@@ -1,0 +1,104 @@
+//! Energy-efficiency extension of the §6.2 power analysis: joules per
+//! generated token for each system, combining the power model with the
+//! performance model.
+//!
+//! The paper reports the Oaken accelerator at 222.7 W — 44.3% below the
+//! A100's 400 W TDP — while also delivering higher throughput; this module
+//! composes the two into tokens/joule, the metric a deployment actually
+//! pays for.
+
+use crate::area::{AreaModel, PowerModel};
+use crate::system::{RunResult, SystemModel, Workload};
+use oaken_model::ModelConfig;
+
+/// Energy summary of one simulated workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyReport {
+    /// System name.
+    pub system: String,
+    /// Board power used for the estimate, in watts.
+    pub power_w: f64,
+    /// Output tokens per joule.
+    pub tokens_per_joule: f64,
+    /// Total energy for the workload, in joules.
+    pub total_joules: f64,
+}
+
+/// Nominal board power for a system: the A100's TDP for GPU platforms, the
+/// calibrated accelerator power for NPU platforms.
+pub fn nominal_power_w(sys: &SystemModel) -> f64 {
+    match sys.accel.kind {
+        crate::spec::PlatformKind::Gpu => 400.0,
+        crate::spec::PlatformKind::Npu => {
+            let area = AreaModel::tsmc28();
+            PowerModel::oaken_lpddr().total_w(sys.accel.num_cores, area.core_mm2())
+        }
+    }
+}
+
+/// Runs a workload and converts the result to energy terms.
+pub fn energy_report(sys: &SystemModel, model: &ModelConfig, w: &Workload) -> EnergyReport {
+    let run: RunResult = sys.run(model, w);
+    let power = nominal_power_w(sys);
+    let tokens = (w.batch * w.output_len) as f64;
+    let joules = power * run.total_time;
+    EnergyReport {
+        system: sys.name(),
+        power_w: power,
+        tokens_per_joule: if run.oom || joules == 0.0 {
+            0.0
+        } else {
+            tokens / joules
+        },
+        total_joules: joules,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::QuantPolicy;
+    use crate::spec::AcceleratorSpec;
+
+    #[test]
+    fn oaken_more_efficient_than_a100_vllm() {
+        let m = ModelConfig::llama2_13b();
+        let w = Workload::one_k_one_k(128);
+        let oaken = energy_report(
+            &SystemModel::new(AcceleratorSpec::oaken_lpddr(), QuantPolicy::oaken()),
+            &m,
+            &w,
+        );
+        let vllm = energy_report(
+            &SystemModel::new(AcceleratorSpec::a100(), QuantPolicy::fp16()),
+            &m,
+            &w,
+        );
+        assert!(oaken.power_w < vllm.power_w, "lower power");
+        assert!(
+            oaken.tokens_per_joule > vllm.tokens_per_joule * 1.5,
+            "oaken {} vs vllm {} tokens/J",
+            oaken.tokens_per_joule,
+            vllm.tokens_per_joule
+        );
+    }
+
+    #[test]
+    fn oom_reports_zero_efficiency() {
+        let m = ModelConfig::llama2_70b();
+        let w = Workload::one_k_one_k(16);
+        let r = energy_report(
+            &SystemModel::new(AcceleratorSpec::oaken_hbm(), QuantPolicy::oaken()),
+            &m,
+            &w,
+        );
+        assert_eq!(r.tokens_per_joule, 0.0);
+    }
+
+    #[test]
+    fn npu_power_matches_table4_calibration() {
+        let sys = SystemModel::new(AcceleratorSpec::oaken_lpddr(), QuantPolicy::oaken());
+        let p = nominal_power_w(&sys);
+        assert!((200.0..245.0).contains(&p), "{p} W");
+    }
+}

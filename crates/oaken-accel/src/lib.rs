@@ -1,0 +1,40 @@
+//! Analytical performance, area, and power simulator for LLM accelerators
+//! and GPU baselines — the evaluation substrate of the Oaken reproduction.
+//!
+//! The paper evaluates Oaken with "a hardware simulator for the Oaken
+//! accelerator by extending the existing hardware simulator of LPU"
+//! (§6.1). This crate plays that role: a roofline-style analytical model of
+//! batched LLM inference with
+//!
+//! * per-phase latency (prefill vs generation) split into batchable
+//!   *non-attention* segments and un-batchable *attention* segments
+//!   (§2.2's activation-weight vs activation-activation distinction),
+//! * bandwidth/capacity modelling for HBM and LPDDR devices (Table 1,
+//!   Figure 4),
+//! * per-method online quantization overheads driven by [`OnlineCost`]
+//!   (topK sorting, channel reordering, mixed-precision warp divergence),
+//!   overlapped on Oaken's dedicated engines and exposed on GPUs
+//!   (Figure 12b),
+//! * OOM/admission behaviour that produces the saturation and missing-bar
+//!   shapes of Figures 4, 11, and 13,
+//! * a component-level area/power model calibrated to the paper's TSMC
+//!   28 nm synthesis results (Table 4),
+//! * and the bandwidth–capacity trade-off space of Figure 1.
+//!
+//! [`OnlineCost`]: oaken_core::OnlineCost
+
+pub mod area;
+pub mod energy;
+pub mod policy;
+pub mod spec;
+pub mod system;
+pub mod tradeoff;
+pub mod utilization;
+
+pub use area::{AreaModel, ComponentArea, PowerModel};
+pub use energy::{energy_report, nominal_power_w, EnergyReport};
+pub use policy::QuantPolicy;
+pub use spec::{AcceleratorSpec, MemoryKind, MemorySpec, PlatformKind};
+pub use system::{CapacityPolicy, IterationBreakdown, RunResult, SystemModel, Workload};
+pub use tradeoff::{tradeoff_space, TradeoffPoint};
+pub use utilization::{generation_utilization, OpSegment, UtilizationReport};

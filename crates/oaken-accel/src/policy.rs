@@ -1,0 +1,215 @@
+//! Quantization policies: what the system stores the KV cache (and
+//! weights) in, and what the online machinery costs — the knobs that
+//! separate the eight systems of Figure 11.
+
+use oaken_core::OnlineCost;
+use serde::{Deserialize, Serialize};
+
+/// A system-level quantization policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantPolicy {
+    /// Policy name as used in figure legends.
+    pub name: String,
+    /// Stored bits per KV-cache element (effective bitwidth).
+    pub kv_bits: f64,
+    /// Stored bits per weight parameter.
+    pub weight_bits: f64,
+    /// Online cost descriptor (serialized alongside for reports).
+    #[serde(skip, default = "OnlineCost::free")]
+    pub cost: OnlineCost,
+    /// Whether (de)quantization runs on dedicated engines in the DMA path
+    /// (overlapped, §5.3) rather than on the compute cores.
+    pub dedicated_engine: bool,
+    /// Fraction of physical bandwidth sustained on KV-cache reads. Oaken's
+    /// page-based MMU keeps reads burst-aligned (§5.2, "maximal bandwidth,
+    /// close to the physical limit"); mixed-precision sparse layouts
+    /// (KVQuant/KIVI) and reorder-indexed layouts (QServe/Atom/Tender)
+    /// scatter accesses and waste bus transactions.
+    pub kv_read_efficiency: f64,
+}
+
+impl QuantPolicy {
+    /// FP16 everything — vLLM and the plain LPU.
+    pub fn fp16() -> Self {
+        Self {
+            name: "FP16".to_owned(),
+            kv_bits: 16.0,
+            weight_bits: 16.0,
+            cost: OnlineCost::free(),
+            dedicated_engine: false,
+            kv_read_efficiency: 0.85,
+        }
+    }
+
+    /// Oaken: 4.8-bit effective KV, overlapped dedicated engines.
+    pub fn oaken() -> Self {
+        Self {
+            name: "Oaken".to_owned(),
+            kv_bits: 4.8,
+            weight_bits: 16.0,
+            cost: OnlineCost {
+                quant_flops_per_elem: 5.0,
+                dequant_flops_per_elem: 3.0,
+                sort_nlogn: false,
+                channel_reorder: false,
+                gpu_divergence_penalty: 4.0,
+            },
+            dedicated_engine: true,
+            kv_read_efficiency: 0.95,
+        }
+    }
+
+    /// Oaken's algorithm executed on GPU kernels (Figure 12b "Oaken-GPU"):
+    /// same bits, no dedicated engines, warp divergence exposed. The
+    /// three-way group branch, COO gather, and per-group scale lookups
+    /// serialize most of a warp, so the divergence penalty is far larger
+    /// than for uniform INT4 kernels (§6.2: "long quantization and
+    /// dequantization latencies due to warp divergence in CUDA").
+    pub fn oaken_gpu() -> Self {
+        let mut p = Self::oaken();
+        p.name = "Oaken-GPU".to_owned();
+        p.dedicated_engine = false;
+        p.kv_read_efficiency = 0.7;
+        p.cost.gpu_divergence_penalty = 12.0;
+        p
+    }
+
+    /// KVQuant on GPU: ~4.8-bit KV, online topK + FP16 sparse
+    /// mixed-precision kernels.
+    pub fn kvquant() -> Self {
+        Self {
+            name: "KVQuant".to_owned(),
+            kv_bits: 4.86,
+            weight_bits: 16.0,
+            cost: OnlineCost {
+                quant_flops_per_elem: 4.0,
+                dequant_flops_per_elem: 2.0,
+                sort_nlogn: true,
+                channel_reorder: false,
+                gpu_divergence_penalty: 6.0,
+            },
+            dedicated_engine: false,
+            kv_read_efficiency: 0.6,
+        }
+    }
+
+    /// KIVI on GPU: ~5-bit KV, FP16 residual mixed precision.
+    pub fn kivi() -> Self {
+        Self {
+            name: "KIVI".to_owned(),
+            kv_bits: 4.99,
+            weight_bits: 16.0,
+            cost: OnlineCost {
+                quant_flops_per_elem: 3.0,
+                dequant_flops_per_elem: 2.0,
+                sort_nlogn: false,
+                channel_reorder: false,
+                gpu_divergence_penalty: 5.0,
+            },
+            dedicated_engine: false,
+            kv_read_efficiency: 0.65,
+        }
+    }
+
+    /// QServe on GPU: 4.25-bit KV, smooth+reorder, lean INT4 kernels.
+    pub fn qserve() -> Self {
+        Self {
+            name: "QServe".to_owned(),
+            kv_bits: 4.25,
+            weight_bits: 16.0,
+            cost: OnlineCost {
+                quant_flops_per_elem: 3.0,
+                dequant_flops_per_elem: 3.0,
+                sort_nlogn: false,
+                channel_reorder: true,
+                gpu_divergence_penalty: 1.2,
+            },
+            dedicated_engine: false,
+            kv_read_efficiency: 0.75,
+        }
+    }
+
+    /// Tender ASIC: 4.07-bit KV, shift-based requant on dedicated paths.
+    pub fn tender() -> Self {
+        Self {
+            name: "Tender".to_owned(),
+            kv_bits: 4.07,
+            weight_bits: 16.0,
+            cost: OnlineCost {
+                quant_flops_per_elem: 1.5,
+                dequant_flops_per_elem: 1.5,
+                sort_nlogn: false,
+                channel_reorder: true,
+                gpu_divergence_penalty: 1.2,
+            },
+            dedicated_engine: true,
+            kv_read_efficiency: 0.70,
+        }
+    }
+
+    /// Weight-only INT4 quantization (Figure 5b "Weight Quant."): weights
+    /// shrink, KV stays FP16.
+    pub fn weight_only_int4() -> Self {
+        Self {
+            name: "Weight-INT4".to_owned(),
+            kv_bits: 16.0,
+            weight_bits: 4.0,
+            cost: OnlineCost {
+                quant_flops_per_elem: 0.0,
+                dequant_flops_per_elem: 1.0,
+                sort_nlogn: false,
+                channel_reorder: false,
+                gpu_divergence_penalty: 1.0,
+            },
+            dedicated_engine: false,
+            kv_read_efficiency: 0.85,
+        }
+    }
+
+    /// Plain 4-bit KV quantization (Figure 5b "KV Quant."): per-token
+    /// min/max INT4 with no outlier handling.
+    pub fn kv_int4_plain() -> Self {
+        Self {
+            name: "KV-INT4".to_owned(),
+            kv_bits: 4.25,
+            weight_bits: 16.0,
+            cost: OnlineCost {
+                quant_flops_per_elem: 2.0,
+                dequant_flops_per_elem: 2.0,
+                sort_nlogn: false,
+                channel_reorder: false,
+                gpu_divergence_penalty: 1.2,
+            },
+            dedicated_engine: true,
+            kv_read_efficiency: 0.9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_bits_match_table2() {
+        assert_eq!(QuantPolicy::oaken().kv_bits, 4.8);
+        assert!((QuantPolicy::kvquant().kv_bits - 4.86).abs() < 0.01);
+        assert!((QuantPolicy::kivi().kv_bits - 4.99).abs() < 0.01);
+        assert_eq!(QuantPolicy::qserve().kv_bits, 4.25);
+        assert!((QuantPolicy::tender().kv_bits - 4.07).abs() < 0.01);
+    }
+
+    #[test]
+    fn only_asic_policies_overlap() {
+        assert!(QuantPolicy::oaken().dedicated_engine);
+        assert!(QuantPolicy::tender().dedicated_engine);
+        assert!(!QuantPolicy::oaken_gpu().dedicated_engine);
+        assert!(!QuantPolicy::kvquant().dedicated_engine);
+    }
+
+    #[test]
+    fn kvquant_pays_for_sorting() {
+        assert!(QuantPolicy::kvquant().cost.sort_nlogn);
+        assert!(!QuantPolicy::oaken().cost.sort_nlogn);
+    }
+}

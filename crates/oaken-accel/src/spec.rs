@@ -1,0 +1,261 @@
+//! Hardware specifications: memory devices and accelerator platforms
+//! (paper Table 1 and Figure 4c).
+
+use serde::{Deserialize, Serialize};
+
+/// Memory technology, the two ends of the bandwidth-capacity trade-off
+/// (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryKind {
+    /// High-bandwidth memory: bandwidth-rich, capacity-poor.
+    Hbm,
+    /// LPDDR DRAM: capacity-rich, bandwidth-poor.
+    Lpddr,
+}
+
+/// A memory subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemorySpec {
+    /// Technology.
+    pub kind: MemoryKind,
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Capacity in bytes.
+    pub capacity: u64,
+}
+
+impl MemorySpec {
+    /// A100-class HBM: 2.0 TB/s, 80 GB (Table 1).
+    pub fn hbm_80gb() -> Self {
+        Self {
+            kind: MemoryKind::Hbm,
+            bandwidth: 2.0e12,
+            capacity: 80 * (1 << 30),
+        }
+    }
+
+    /// CXL-PNM-class LPDDR: 1.1 TB/s, 256 GB (Table 1).
+    pub fn lpddr_256gb() -> Self {
+        Self {
+            kind: MemoryKind::Lpddr,
+            bandwidth: 1.1e12,
+            capacity: 256 * (1 << 30),
+        }
+    }
+
+    /// Scales capacity (e.g. two pipeline-parallel GPUs ⇒ 160 GB at the
+    /// same per-pipeline bandwidth, the paper's multi-GPU convention §6.1).
+    pub fn with_capacity_scale(self, factor: u64) -> Self {
+        Self {
+            capacity: self.capacity * factor,
+            ..self
+        }
+    }
+}
+
+/// GPU or NPU/ASIC execution style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// SIMT GPU: pays warp-divergence penalties for irregular quantization
+    /// kernels.
+    Gpu,
+    /// Streaming NPU/ASIC (LPU-style): matrix units stream weights from
+    /// memory; dedicated quantization engines sit in the DMA path.
+    Npu,
+}
+
+/// An accelerator platform (Table 1 / Figure 4c).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorSpec {
+    /// Platform name as it appears in the figures.
+    pub name: String,
+    /// Peak FP16 throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Core clock in Hz.
+    pub freq: f64,
+    /// Compute cores (LPU-style NPUs; informational for GPUs).
+    pub num_cores: usize,
+    /// Vector lanes per core (sizing the quant/dequant engines).
+    pub lanes_per_core: usize,
+    /// Memory subsystem.
+    pub mem: MemorySpec,
+    /// Execution style.
+    pub kind: PlatformKind,
+    /// Fraction of peak achieved on large batched GEMM.
+    pub matmul_efficiency: f64,
+    /// Fraction of peak achieved on memory-irregular vector work
+    /// (attention score/context kernels, dequantization on GPUs).
+    pub vector_efficiency: f64,
+    /// Whether the systolic/matrix pipeline requires padding batches to the
+    /// longest prompt (Tender's weakness on traces, Figure 14).
+    pub pads_to_max_prompt: bool,
+    /// Fraction of roofline performance the serving stack sustains
+    /// end-to-end. GPU serving systems lose time to kernel launches, host
+    /// scheduling, and batching glue; LPU-style ASICs run a thin streaming
+    /// pipeline (§5.3) and stay near the roofline.
+    pub framework_efficiency: f64,
+}
+
+impl AcceleratorSpec {
+    /// NVIDIA A100 80 GB (Table 1): 312 TFLOPS, 1.4 GHz, HBM.
+    pub fn a100() -> Self {
+        Self {
+            name: "A100".to_owned(),
+            peak_flops: 312e12,
+            freq: 1.4e9,
+            num_cores: 108,
+            lanes_per_core: 64,
+            mem: MemorySpec::hbm_80gb(),
+            kind: PlatformKind::Gpu,
+            matmul_efficiency: 0.55,
+            vector_efficiency: 0.30,
+            pads_to_max_prompt: false,
+            framework_efficiency: 0.65,
+        }
+    }
+
+    /// Two pipeline-parallel A100s: same bandwidth/compute per stage,
+    /// doubled capacity (the paper's setup for OPT-30B/Mixtral/Llama2-70B).
+    pub fn a100_x2() -> Self {
+        let mut s = Self::a100();
+        s.name = "A100x2".to_owned();
+        s.mem = s.mem.with_capacity_scale(2);
+        s
+    }
+
+    /// Oaken accelerator with HBM (Table 1): 270 TFLOPS, 1 GHz, 2 TB/s,
+    /// 80 GB.
+    pub fn oaken_hbm() -> Self {
+        Self {
+            name: "Oaken-HBM".to_owned(),
+            peak_flops: 270e12,
+            freq: 1.0e9,
+            num_cores: 256,
+            lanes_per_core: 32,
+            mem: MemorySpec::hbm_80gb(),
+            kind: PlatformKind::Npu,
+            matmul_efficiency: 0.75,
+            vector_efficiency: 0.50,
+            pads_to_max_prompt: false,
+            framework_efficiency: 0.95,
+        }
+    }
+
+    /// Oaken accelerator with LPDDR (Table 1): 270 TFLOPS, 1.1 TB/s,
+    /// 256 GB.
+    pub fn oaken_lpddr() -> Self {
+        Self {
+            name: "Oaken-LPDDR".to_owned(),
+            mem: MemorySpec::lpddr_256gb(),
+            ..Self::oaken_hbm()
+        }
+    }
+
+    /// The baseline LPU (Oaken's host accelerator without the quantization
+    /// modules), LPDDR variant used in Figures 11–14.
+    pub fn lpu() -> Self {
+        Self {
+            name: "LPU".to_owned(),
+            ..Self::oaken_lpddr()
+        }
+    }
+
+    /// HBM-NPU of the Figure 4 motivation study: 270.3 TFLOPS, 2 TB/s,
+    /// 80 GB.
+    pub fn hbm_npu() -> Self {
+        Self {
+            name: "HBM-NPU".to_owned(),
+            ..Self::oaken_hbm()
+        }
+    }
+
+    /// LPDDR-NPU of the Figure 4 motivation study: 270.3 TFLOPS, 1.1 TB/s,
+    /// 256 GB.
+    pub fn lpddr_npu() -> Self {
+        Self {
+            name: "LPDDR-NPU".to_owned(),
+            ..Self::oaken_lpddr()
+        }
+    }
+
+    /// Tender: quantization ASIC with systolic arrays, aligned to A100
+    /// memory/compute per §6.1, padding-sensitive on traces.
+    pub fn tender() -> Self {
+        Self {
+            name: "Tender".to_owned(),
+            peak_flops: 312e12,
+            freq: 1.0e9,
+            num_cores: 128,
+            lanes_per_core: 32,
+            mem: MemorySpec::hbm_80gb(),
+            kind: PlatformKind::Npu,
+            // Systolic arrays are tuned for quantized GEMM, not decode
+            // GEMV: low vector efficiency, and per-group runtime
+            // requantization breaks read bursts (hence the low sustained
+            // KV read efficiency in `QuantPolicy::tender`).
+            matmul_efficiency: 0.50,
+            vector_efficiency: 0.25,
+            pads_to_max_prompt: true,
+            framework_efficiency: 0.80,
+        }
+    }
+
+    /// Dedicated quant/dequant engine throughput in elements/second:
+    /// one element per lane per cycle, streaming with the DMA.
+    pub fn engine_elems_per_s(&self) -> f64 {
+        self.num_cores as f64 * self.lanes_per_core as f64 * self.freq
+    }
+
+    /// Effective batched-GEMM efficiency at batch size `b`: utilization
+    /// saturates as the batch fills the cores (Figure 3's prefill vs
+    /// generation asymmetry).
+    pub fn gemm_efficiency_at(&self, b: usize) -> f64 {
+        let sat = b as f64 / (b as f64 + 8.0);
+        self.matmul_efficiency * sat.max(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_specs() {
+        let a = AcceleratorSpec::a100();
+        assert_eq!(a.peak_flops, 312e12);
+        assert_eq!(a.mem.bandwidth, 2.0e12);
+        assert_eq!(a.mem.capacity, 80 * (1 << 30));
+        let o = AcceleratorSpec::oaken_lpddr();
+        assert_eq!(o.peak_flops, 270e12);
+        assert_eq!(o.mem.bandwidth, 1.1e12);
+        assert_eq!(o.mem.capacity, 256 * (1 << 30));
+    }
+
+    #[test]
+    fn multi_gpu_scales_capacity_only() {
+        let one = AcceleratorSpec::a100();
+        let two = AcceleratorSpec::a100_x2();
+        assert_eq!(two.mem.capacity, 2 * one.mem.capacity);
+        assert_eq!(two.mem.bandwidth, one.mem.bandwidth);
+        assert_eq!(two.peak_flops, one.peak_flops);
+    }
+
+    #[test]
+    fn gemm_efficiency_grows_with_batch() {
+        let a = AcceleratorSpec::a100();
+        assert!(a.gemm_efficiency_at(256) > a.gemm_efficiency_at(1));
+        assert!(a.gemm_efficiency_at(256) <= a.matmul_efficiency);
+    }
+
+    #[test]
+    fn engine_rate_matches_lanes() {
+        let o = AcceleratorSpec::oaken_hbm();
+        assert_eq!(o.engine_elems_per_s(), 256.0 * 32.0 * 1.0e9);
+    }
+
+    #[test]
+    fn tender_pads_to_max_prompt() {
+        assert!(AcceleratorSpec::tender().pads_to_max_prompt);
+        assert!(!AcceleratorSpec::a100().pads_to_max_prompt);
+    }
+}

@@ -1,0 +1,182 @@
+//! The bandwidth–capacity trade-off space of Figure 1: effective bandwidth
+//! and effective capacity ("the scale of data that can be transmitted
+//! to/from and stored on memory") for the solution landscape, with a
+//! throughput estimate from the system model.
+
+use crate::policy::QuantPolicy;
+use crate::spec::AcceleratorSpec;
+use crate::system::{SystemModel, Workload};
+use oaken_model::ModelConfig;
+
+/// One point in the Figure 1 scatter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeoffPoint {
+    /// Solution name.
+    pub name: String,
+    /// Category used for the figure's marker shapes.
+    pub category: &'static str,
+    /// Effective bandwidth in TB/s (raw × 16/kv_bits for quantizing
+    /// systems; raw × internal-stack factor for PIM/PNM).
+    pub eff_bandwidth_tbps: f64,
+    /// Effective capacity in GB (same scaling).
+    pub eff_capacity_gb: f64,
+    /// Modelled throughput in tokens/s on Llama2-13B, batch 256, 1K:1K
+    /// (`None` for systems our model does not simulate, e.g. PIM).
+    pub throughput: Option<f64>,
+}
+
+fn quantized_point(
+    name: &str,
+    category: &'static str,
+    accel: AcceleratorSpec,
+    policy: QuantPolicy,
+) -> TradeoffPoint {
+    let factor = 16.0 / policy.kv_bits;
+    let model = ModelConfig::llama2_13b();
+    let run = SystemModel::new(accel.clone(), policy.clone())
+        .with_capacity(crate::system::CapacityPolicy::Waves)
+        .run(&model, &Workload::one_k_one_k(256));
+    TradeoffPoint {
+        name: name.to_owned(),
+        category,
+        eff_bandwidth_tbps: accel.mem.bandwidth * factor / 1e12,
+        eff_capacity_gb: accel.mem.capacity as f64 * factor / 1e9,
+        throughput: Some(run.throughput),
+    }
+}
+
+/// Builds the Figure 1 landscape.
+pub fn tradeoff_space() -> Vec<TradeoffPoint> {
+    let mut points = vec![
+        quantized_point("A100", "gpu", AcceleratorSpec::a100(), QuantPolicy::fp16()),
+        quantized_point(
+            "KVQuant",
+            "gpu-quant",
+            AcceleratorSpec::a100(),
+            QuantPolicy::kvquant(),
+        ),
+        quantized_point(
+            "QServe",
+            "gpu-quant",
+            AcceleratorSpec::a100(),
+            QuantPolicy::qserve(),
+        ),
+        quantized_point(
+            "Atom",
+            "gpu-quant",
+            AcceleratorSpec::a100(),
+            QuantPolicy::qserve(), // Atom's system profile matches QServe's
+        ),
+        quantized_point(
+            "Tender",
+            "accelerator",
+            AcceleratorSpec::tender(),
+            QuantPolicy::tender(),
+        ),
+        quantized_point(
+            "LPU",
+            "accelerator",
+            AcceleratorSpec::lpu(),
+            QuantPolicy::fp16(),
+        ),
+        quantized_point(
+            "Oaken",
+            "accelerator",
+            AcceleratorSpec::oaken_lpddr(),
+            QuantPolicy::oaken(),
+        ),
+    ];
+    // Mark Atom with its own name (constructed with QServe's profile).
+    if let Some(p) = points.iter_mut().find(|p| p.name == "Atom") {
+        p.name = "Atom".to_owned();
+    }
+    // Fixed-position references we do not simulate end-to-end.
+    points.extend([
+        TradeoffPoint {
+            name: "TPUv4".to_owned(),
+            category: "gpu",
+            eff_bandwidth_tbps: 1.2,
+            eff_capacity_gb: 32.0,
+            throughput: None,
+        },
+        TradeoffPoint {
+            name: "DFX".to_owned(),
+            category: "accelerator",
+            eff_bandwidth_tbps: 0.9,
+            eff_capacity_gb: 16.0,
+            throughput: None,
+        },
+        TradeoffPoint {
+            name: "NeuPIMs".to_owned(),
+            category: "pim",
+            eff_bandwidth_tbps: 6.0,
+            eff_capacity_gb: 48.0,
+            throughput: None,
+        },
+        TradeoffPoint {
+            name: "AttAcc".to_owned(),
+            category: "pim",
+            eff_bandwidth_tbps: 8.0,
+            eff_capacity_gb: 80.0,
+            throughput: None,
+        },
+        TradeoffPoint {
+            name: "TransPIM".to_owned(),
+            category: "pim",
+            eff_bandwidth_tbps: 4.5,
+            eff_capacity_gb: 16.0,
+            throughput: None,
+        },
+        TradeoffPoint {
+            name: "CXL-PNM".to_owned(),
+            category: "pim",
+            eff_bandwidth_tbps: 1.1,
+            eff_capacity_gb: 512.0,
+            throughput: None,
+        },
+    ]);
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oaken_dominates_capacity_corner() {
+        let pts = tradeoff_space();
+        let oaken = pts.iter().find(|p| p.name == "Oaken").unwrap();
+        let a100 = pts.iter().find(|p| p.name == "A100").unwrap();
+        // Oaken: LPDDR capacity × 16/4.8 ≈ 853 GB effective.
+        assert!(oaken.eff_capacity_gb > 800.0, "{}", oaken.eff_capacity_gb);
+        assert!(oaken.eff_bandwidth_tbps > a100.eff_bandwidth_tbps);
+        assert!(oaken.eff_capacity_gb > a100.eff_capacity_gb * 8.0);
+    }
+
+    #[test]
+    fn oaken_throughput_leads_simulated_systems() {
+        let pts = tradeoff_space();
+        let oaken = pts
+            .iter()
+            .find(|p| p.name == "Oaken")
+            .and_then(|p| p.throughput)
+            .unwrap();
+        for p in pts.iter().filter(|p| p.throughput.is_some()) {
+            assert!(
+                oaken >= p.throughput.unwrap() * 0.99,
+                "{} beats Oaken: {} vs {oaken}",
+                p.name,
+                p.throughput.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn landscape_has_all_categories() {
+        let pts = tradeoff_space();
+        for cat in ["gpu", "gpu-quant", "accelerator", "pim"] {
+            assert!(pts.iter().any(|p| p.category == cat), "missing {cat}");
+        }
+        assert!(pts.len() >= 12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the performance model: monotonicity and conservation
+//! laws that must hold for any workload.
+
+use oaken_accel::{AcceleratorSpec, QuantPolicy, SystemModel, Workload};
+use oaken_model::ModelConfig;
+use proptest::prelude::*;
+
+fn any_system() -> impl Strategy<Value = SystemModel> {
+    prop::sample::select(vec![
+        SystemModel::new(AcceleratorSpec::a100(), QuantPolicy::fp16()),
+        SystemModel::new(AcceleratorSpec::a100(), QuantPolicy::qserve()),
+        SystemModel::new(AcceleratorSpec::oaken_lpddr(), QuantPolicy::oaken()),
+        SystemModel::new(AcceleratorSpec::lpu(), QuantPolicy::fp16()),
+        SystemModel::new(AcceleratorSpec::tender(), QuantPolicy::tender()),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Iteration latency grows (weakly) with context length.
+    #[test]
+    fn iteration_monotone_in_context(sys in any_system(), batch in 1usize..128) {
+        let m = ModelConfig::llama2_7b();
+        let short = sys.generation_iteration(&m, batch, 256).total();
+        let long = sys.generation_iteration(&m, batch, 4096).total();
+        prop_assert!(long >= short, "{}: {short} -> {long}", sys.name());
+    }
+
+    /// Iteration latency grows (weakly) with batch size.
+    #[test]
+    fn iteration_monotone_in_batch(sys in any_system(), ctx in 128usize..4096) {
+        let m = ModelConfig::llama2_7b();
+        let small = sys.generation_iteration(&m, 4, ctx).total();
+        let large = sys.generation_iteration(&m, 64, ctx).total();
+        prop_assert!(large >= small, "{}", sys.name());
+    }
+
+    /// The breakdown components are non-negative and sum to the total.
+    #[test]
+    fn breakdown_is_consistent(sys in any_system(), batch in 1usize..256, ctx in 64usize..4096) {
+        let m = ModelConfig::llama2_13b();
+        let it = sys.generation_iteration(&m, batch, ctx);
+        prop_assert!(it.non_attention >= 0.0);
+        prop_assert!(it.attention >= 0.0);
+        prop_assert!(it.quant_exposed >= 0.0 && it.quant_exposed <= it.quant_raw + 1e-12);
+        prop_assert!(it.dequant_exposed >= 0.0);
+        let sum = it.non_attention + it.attention + it.quant_exposed + it.dequant_exposed;
+        prop_assert!((sum - it.total()).abs() < 1e-12);
+    }
+
+    /// Throughput never exceeds the physics bound of one token per
+    /// iteration per request.
+    #[test]
+    fn throughput_bounded_by_iteration_floor(sys in any_system(), batch in 1usize..64) {
+        let m = ModelConfig::llama2_7b();
+        let w = Workload { batch, input_len: 256, output_len: 256 };
+        let r = sys.run(&m, &w);
+        if !r.oom {
+            let floor = sys.generation_iteration(&m, r.effective_batch, w.input_len).total();
+            let bound = r.effective_batch as f64 / floor;
+            prop_assert!(
+                r.throughput <= bound * 1.001,
+                "{}: {} > {}",
+                sys.name(), r.throughput, bound
+            );
+        }
+    }
+
+    /// Capacity accounting is monotone: more requests or longer sequences
+    /// never need less memory.
+    #[test]
+    fn memory_required_monotone(
+        sys in any_system(),
+        batch in 1usize..128,
+        seq in 128usize..4096,
+    ) {
+        let m = ModelConfig::llama2_13b();
+        let base = sys.memory_required(&m, batch, seq);
+        prop_assert!(sys.memory_required(&m, batch + 1, seq) >= base);
+        prop_assert!(sys.memory_required(&m, batch, seq + 128) >= base);
+    }
+
+    /// Quantized policies always admit at least as many requests as FP16.
+    #[test]
+    fn quantization_never_shrinks_admission(seq in 256usize..8192) {
+        let m = ModelConfig::llama2_13b();
+        let fp16 = SystemModel::new(AcceleratorSpec::oaken_lpddr(), QuantPolicy::fp16());
+        let oaken = SystemModel::new(AcceleratorSpec::oaken_lpddr(), QuantPolicy::oaken());
+        prop_assert!(
+            oaken.max_concurrent_batch(&m, seq) >= fp16.max_concurrent_batch(&m, seq)
+        );
+    }
+}

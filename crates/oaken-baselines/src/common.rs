@@ -1,0 +1,202 @@
+//! Shared quantization building blocks for the baseline methods: per-group
+//! and per-channel min/max quantization, and calibrated channel ordering.
+
+use oaken_core::UniformQuantizer;
+
+/// Quantize-dequantizes a `[rows × d]` matrix with one min/max scale per
+/// `group` consecutive channels within each row (the granularity of Atom /
+/// QServe after reordering).
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * d` or `group == 0`.
+pub fn quantize_groups_per_row(data: &[f32], rows: usize, d: usize, group: usize, bits: u8) -> Vec<f32> {
+    assert_eq!(data.len(), rows * d, "matrix data/shape mismatch");
+    assert!(group > 0, "group size must be positive");
+    let mut out = Vec::with_capacity(data.len());
+    for r in 0..rows {
+        let row = &data[r * d..(r + 1) * d];
+        for chunk in row.chunks(group) {
+            let q = UniformQuantizer::from_values(chunk, bits)
+                .expect("bit-width validated by caller");
+            out.extend(chunk.iter().map(|&x| q.dequantize(q.quantize(x))));
+        }
+    }
+    out
+}
+
+/// Quantize-dequantizes a `[rows × d]` matrix with one min/max scale per
+/// channel (column), the granularity KIVI and KVQuant use for keys.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * d`.
+pub fn quantize_per_channel(data: &[f32], rows: usize, d: usize, bits: u8) -> Vec<f32> {
+    assert_eq!(data.len(), rows * d, "matrix data/shape mismatch");
+    let mut out = vec![0.0f32; data.len()];
+    let mut col = Vec::with_capacity(rows);
+    for c in 0..d {
+        col.clear();
+        col.extend((0..rows).map(|r| data[r * d + c]));
+        let q = UniformQuantizer::from_values(&col, bits).expect("valid bit-width");
+        for r in 0..rows {
+            out[r * d + c] = q.dequantize(q.quantize(col[r]));
+        }
+    }
+    out
+}
+
+/// A calibrated channel permutation: channels sorted by mean magnitude so
+/// that same-magnitude channels land in the same quantization group
+/// (the RPTQ-style reordering used by Atom, QServe, and Tender).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChannelOrder {
+    perm: Vec<usize>,
+}
+
+impl ChannelOrder {
+    /// Identity ordering over `d` channels.
+    pub fn identity(d: usize) -> Self {
+        Self {
+            perm: (0..d).collect(),
+        }
+    }
+
+    /// Calibrates an ordering from a sample matrix by ascending mean
+    /// absolute channel magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * d`.
+    pub fn calibrate(data: &[f32], rows: usize, d: usize) -> Self {
+        assert_eq!(data.len(), rows * d, "matrix data/shape mismatch");
+        let mut mags = vec![0.0f64; d];
+        for r in 0..rows {
+            for c in 0..d {
+                mags[c] += f64::from(data[r * d + c].abs());
+            }
+        }
+        let mut perm: Vec<usize> = (0..d).collect();
+        perm.sort_by(|&a, &b| mags[a].partial_cmp(&mags[b]).unwrap());
+        Self { perm }
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Whether the ordering is empty.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// Applies the permutation to every row of a `[rows × d]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d != self.len()` or the data length mismatches.
+    pub fn permute(&self, data: &[f32], rows: usize, d: usize) -> Vec<f32> {
+        assert_eq!(d, self.perm.len(), "channel count mismatch");
+        assert_eq!(data.len(), rows * d, "matrix data/shape mismatch");
+        let mut out = Vec::with_capacity(data.len());
+        for r in 0..rows {
+            let row = &data[r * d..(r + 1) * d];
+            out.extend(self.perm.iter().map(|&c| row[c]));
+        }
+        out
+    }
+
+    /// Inverts [`ChannelOrder::permute`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn unpermute(&self, data: &[f32], rows: usize, d: usize) -> Vec<f32> {
+        assert_eq!(d, self.perm.len(), "channel count mismatch");
+        assert_eq!(data.len(), rows * d, "matrix data/shape mismatch");
+        let mut out = vec![0.0f32; data.len()];
+        for r in 0..rows {
+            for (i, &c) in self.perm.iter().enumerate() {
+                out[r * d + c] = data[r * d + i];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, d: usize) -> Vec<f32> {
+        (0..rows * d)
+            .map(|i| ((i * 2654435761) % 1000) as f32 / 100.0 - 5.0)
+            .collect()
+    }
+
+    #[test]
+    fn group_quant_error_shrinks_with_group_size() {
+        let (rows, d) = (8, 256);
+        let data = sample(rows, d);
+        let err = |g: usize| {
+            let q = quantize_groups_per_row(&data, rows, d, g, 4);
+            data.iter()
+                .zip(&q)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+        };
+        assert!(err(16) <= err(256), "finer groups should not be worse");
+    }
+
+    #[test]
+    fn per_channel_quant_shape_and_degenerate_column() {
+        let rows = 4;
+        let d = 3;
+        // Column 2 is constant → degenerate range must reconstruct exactly.
+        let data = vec![
+            1.0, -2.0, 7.0, //
+            3.0, 0.5, 7.0, //
+            -1.0, 2.0, 7.0, //
+            0.0, -0.5, 7.0,
+        ];
+        let q = quantize_per_channel(&data, rows, d, 4);
+        assert_eq!(q.len(), data.len());
+        for r in 0..rows {
+            assert_eq!(q[r * d + 2], 7.0);
+        }
+    }
+
+    #[test]
+    fn channel_order_roundtrip() {
+        let (rows, d) = (3, 16);
+        let data = sample(rows, d);
+        let order = ChannelOrder::calibrate(&data, rows, d);
+        let p = order.permute(&data, rows, d);
+        let back = order.unpermute(&p, rows, d);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn calibrated_order_sorts_by_magnitude() {
+        let rows = 2;
+        let d = 4;
+        // Channel magnitudes: c0=10, c1=1, c2=5, c3=0.1
+        let data = vec![10.0, 1.0, 5.0, 0.1, -10.0, -1.0, -5.0, -0.1];
+        let order = ChannelOrder::calibrate(&data, rows, d);
+        let p = order.permute(&data, rows, d);
+        // First row after sorting ascending magnitude: 0.1, 1, 5, 10.
+        assert_eq!(p[0].abs(), 0.1);
+        assert_eq!(p[3].abs(), 10.0);
+    }
+
+    #[test]
+    fn identity_order_is_noop() {
+        let (rows, d) = (2, 8);
+        let data = sample(rows, d);
+        let order = ChannelOrder::identity(d);
+        assert_eq!(order.permute(&data, rows, d), data);
+        assert_eq!(order.len(), d);
+        assert!(!order.is_empty());
+    }
+}

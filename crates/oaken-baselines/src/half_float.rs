@@ -1,0 +1,150 @@
+//! Minimal IEEE 754 binary16 conversion, used to model FP16 storage without
+//! an external crate.
+//!
+//! Round-to-nearest-even on the f32→f16 path; exact on the way back.
+
+/// Converts an `f32` to its nearest binary16 bit pattern
+/// (round-to-nearest-even, with overflow to infinity and flush of
+/// sub-binary16-subnormal magnitudes to signed zero).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let frac = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf/NaN.
+        let nan_payload = if frac != 0 { 0x0200 } else { 0 };
+        return sign | 0x7C00 | nan_payload;
+    }
+    // Unbiased exponent.
+    let e = exp - 127;
+    if e > 15 {
+        return sign | 0x7C00; // overflow → inf
+    }
+    if e >= -14 {
+        // Normal f16.
+        let mut mant = frac >> 13;
+        let rest = frac & 0x1FFF;
+        // Round to nearest even.
+        if rest > 0x1000 || (rest == 0x1000 && (mant & 1) == 1) {
+            mant += 1;
+        }
+        let mut he = (e + 15) as u32;
+        if mant == 0x400 {
+            mant = 0;
+            he += 1;
+            if he >= 31 {
+                return sign | 0x7C00;
+            }
+        }
+        return sign | ((he as u16) << 10) | (mant as u16);
+    }
+    if e >= -24 {
+        // Subnormal f16.
+        let shift = (-14 - e) as u32; // 1..=10
+        let mant_full = (frac | 0x0080_0000) >> (13 + shift);
+        let rest_mask = (1u32 << (13 + shift)) - 1;
+        let rest = (frac | 0x0080_0000) & rest_mask;
+        let half = 1u32 << (12 + shift);
+        let mut mant = mant_full;
+        if rest > half || (rest == half && (mant & 1) == 1) {
+            mant += 1;
+        }
+        return sign | (mant as u16);
+    }
+    sign // underflow → signed zero
+}
+
+/// Converts a binary16 bit pattern back to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = u32::from(h >> 10) & 0x1F;
+    let mant = u32::from(h) & 0x3FF;
+    let bits = if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: value = (mant/1024)·2^-14; normalize to 1.m form.
+            let mut e = -14i32;
+            let mut m = mant;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x3FF;
+            sign | (((e + 127) as u32) << 23) | (m << 13)
+        }
+    } else if exp == 0x1F {
+        sign | 0x7F80_0000 | (mant << 13)
+    } else {
+        sign | ((exp + 112) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Rounds an `f32` through binary16 precision, modelling FP16 storage.
+#[inline]
+pub fn f16_roundtrip(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers() {
+        for i in -512..=512 {
+            let x = i as f32;
+            assert_eq!(f16_roundtrip(x), x, "{x}");
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        // binary16 has 11 significand bits → rel. error ≤ 2^-11.
+        let mut x = 1e-3f32;
+        while x < 6.0e4 {
+            let r = f16_roundtrip(x);
+            assert!(((r - x) / x).abs() <= 1.0 / 2048.0 + 1e-7, "{x} -> {r}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn signs_preserved() {
+        assert_eq!(f16_roundtrip(-2.5), -2.5);
+        assert!(f16_roundtrip(-0.0).is_sign_negative());
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert!(f16_roundtrip(1e6).is_infinite());
+        assert!(f16_roundtrip(-1e6).is_infinite());
+        assert!(f16_roundtrip(-1e6) < 0.0);
+    }
+
+    #[test]
+    fn tiny_values_flush_to_zero() {
+        assert_eq!(f16_roundtrip(1e-9), 0.0);
+        // But f16 subnormals survive.
+        let sub = 3.0e-6f32;
+        let r = f16_roundtrip(sub);
+        assert!(r > 0.0 && (r - sub).abs() / sub < 0.2);
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(f16_roundtrip(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(f32_to_f16_bits(1.0), 0x3C00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xC000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7BFF); // f16::MAX
+        assert_eq!(f16_bits_to_f32(0x3C00), 1.0);
+        assert_eq!(f16_bits_to_f32(0x7BFF), 65504.0);
+    }
+}

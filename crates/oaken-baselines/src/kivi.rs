@@ -1,0 +1,160 @@
+//! KIVI-style baseline: tuning-free asymmetric quantization, per-channel
+//! for keys and per-token for values, with the most recent `residual`
+//! tokens kept in full FP16 until a group of tokens fills up.
+//!
+//! The FP16 residual window plus fine-grained grouping is what gives KIVI
+//! its accuracy — and its larger effective bitwidth (4.99 in Table 2) plus
+//! the mixed-precision compute overhead Oaken's §6.2 identifies.
+
+use crate::common::quantize_per_channel;
+use crate::half_float::f16_roundtrip;
+use oaken_core::{KvKind, KvQuantizer, OnlineCost, UniformQuantizer};
+
+/// Configuration and implementation of the KIVI-style baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct KiviStyle {
+    /// Most recent tokens kept FP16 (the "residual" window).
+    pub residual: usize,
+    /// Dense bit-width for quantized tokens.
+    pub bits: u8,
+    /// Channel-group size for per-channel key scales.
+    pub group: usize,
+}
+
+impl KiviStyle {
+    /// Creates a configuration.
+    pub fn new(residual: usize, bits: u8, group: usize) -> Self {
+        Self {
+            residual,
+            bits,
+            group,
+        }
+    }
+}
+
+impl Default for KiviStyle {
+    fn default() -> Self {
+        Self::new(64, 4, 128)
+    }
+}
+
+impl KvQuantizer for KiviStyle {
+    fn name(&self) -> &'static str {
+        "kivi"
+    }
+
+    fn roundtrip_matrix(
+        &self,
+        data: &[f32],
+        rows: usize,
+        d: usize,
+        _layer: usize,
+        kind: KvKind,
+    ) -> Vec<f32> {
+        assert_eq!(data.len(), rows * d, "matrix data/shape mismatch");
+        let keep = self.residual.min(rows);
+        let quant_rows = rows - keep;
+        let mut out = Vec::with_capacity(data.len());
+        if quant_rows > 0 {
+            let body = &data[..quant_rows * d];
+            let quantized = match kind {
+                KvKind::Key => quantize_per_channel(body, quant_rows, d, self.bits),
+                KvKind::Value => {
+                    let mut v = Vec::with_capacity(body.len());
+                    for r in 0..quant_rows {
+                        let row = &body[r * d..(r + 1) * d];
+                        // Per-token with channel groups for tighter scales.
+                        for chunk in row.chunks(self.group) {
+                            let q = UniformQuantizer::from_values(chunk, self.bits)
+                                .expect("valid bit-width");
+                            v.extend(chunk.iter().map(|&x| q.dequantize(q.quantize(x))));
+                        }
+                    }
+                    v
+                }
+            };
+            out.extend(quantized);
+        }
+        // Residual window stays FP16.
+        out.extend(data[quant_rows * d..].iter().map(|&x| f16_roundtrip(x)));
+        out
+    }
+
+    fn effective_bits(&self, rows: usize, d: usize) -> f64 {
+        let rows = rows.max(1) as f64;
+        let keep = (self.residual as f64).min(rows);
+        let frac_fp16 = keep / rows;
+        // Group scales: two FP16 values per channel-group per token.
+        let scale_bits = 32.0 / self.group as f64;
+        f64::from(self.bits) * (1.0 - frac_fp16) + 16.0 * frac_fp16 + scale_bits
+            + 32.0 / d.max(1) as f64
+    }
+
+    fn online_cost(&self) -> OnlineCost {
+        OnlineCost {
+            quant_flops_per_elem: 3.0,
+            dequant_flops_per_elem: 2.0,
+            sort_nlogn: false,
+            channel_reorder: false,
+            gpu_divergence_penalty: 5.0, // FP16 residual + INT4 mixed compute
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, d: usize) -> Vec<f32> {
+        (0..rows * d)
+            .map(|i| ((i * 131071) % 4096) as f32 / 512.0 - 4.0)
+            .collect()
+    }
+
+    #[test]
+    fn residual_window_is_lossless_to_fp16() {
+        let q = KiviStyle::default();
+        let (rows, d) = (100, 64);
+        let data = sample(rows, d);
+        let out = q.roundtrip_matrix(&data, rows, d, 0, KvKind::Key);
+        // Last `residual` rows only see FP16 rounding.
+        for i in (rows - 64) * d..rows * d {
+            assert!((out[i] - data[i]).abs() <= data[i].abs() / 1024.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn short_sequences_entirely_fp16() {
+        let q = KiviStyle::default();
+        let (rows, d) = (8, 32);
+        let data = sample(rows, d);
+        let out = q.roundtrip_matrix(&data, rows, d, 0, KvKind::Value);
+        for (a, b) in data.iter().zip(&out) {
+            assert!((a - b).abs() <= a.abs() / 1024.0 + 1e-6);
+        }
+        // And the effective bits reflect that.
+        assert!(q.effective_bits(8, 32) > 15.0);
+    }
+
+    #[test]
+    fn effective_bits_near_paper_for_long_contexts() {
+        let q = KiviStyle::default();
+        let eb = q.effective_bits(1024, 4096);
+        assert!((4.5..5.5).contains(&eb), "{eb}");
+    }
+
+    #[test]
+    fn longer_residual_is_more_accurate() {
+        let (rows, d) = (256, 128);
+        let data = sample(rows, d);
+        let mse = |resid: usize| {
+            let q = KiviStyle::new(resid, 4, 32);
+            let out = q.roundtrip_matrix(&data, rows, d, 0, KvKind::Value);
+            data.iter()
+                .zip(&out)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+        };
+        assert!(mse(128) <= mse(0));
+    }
+}

@@ -1,0 +1,173 @@
+//! Tender-style baseline: channels are decomposed into groups of similar
+//! magnitude via indirect indexing, and each group's scale is a
+//! *power-of-two multiple* of a shared tensor scale, so requantization
+//! between groups reduces to bit-shifts (the paper's "tensor decomposition
+//! and runtime requantization").
+//!
+//! The power-of-two constraint plus coarse per-group granularity gives
+//! Tender the lowest effective bitwidth (≈4.07) *and* the worst accuracy of
+//! the Table 2 baselines — it trades precision for hardware simplicity in
+//! the opposite direction from Oaken.
+
+use crate::common::ChannelOrder;
+use oaken_core::{KvKind, KvQuantizer, OnlineCost, UniformQuantizer};
+
+/// Configuration and implementation of the Tender-style baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct TenderStyle {
+    /// Number of magnitude-decomposed channel groups.
+    pub num_groups: usize,
+    /// Dense bit-width.
+    pub bits: u8,
+    /// Rows used to calibrate the channel decomposition (offline indirect
+    /// index tables in the real system).
+    pub calib_rows: usize,
+}
+
+impl TenderStyle {
+    /// Creates a configuration.
+    pub fn new(num_groups: usize, bits: u8) -> Self {
+        Self {
+            num_groups,
+            bits,
+            calib_rows: 4,
+        }
+    }
+}
+
+impl Default for TenderStyle {
+    fn default() -> Self {
+        Self::new(8, 4)
+    }
+}
+
+impl KvQuantizer for TenderStyle {
+    fn name(&self) -> &'static str {
+        "tender"
+    }
+
+    fn roundtrip_matrix(
+        &self,
+        data: &[f32],
+        rows: usize,
+        d: usize,
+        _layer: usize,
+        _kind: KvKind,
+    ) -> Vec<f32> {
+        assert_eq!(data.len(), rows * d, "matrix data/shape mismatch");
+        let calib = self.calib_rows.clamp(1, rows);
+        let order = ChannelOrder::calibrate(&data[..calib * d], calib, d);
+        let permuted = order.permute(data, rows, d);
+
+        // One symmetric base scale for the whole tensor; each group gets a
+        // power-of-two shift of it.
+        let absmax = permuted.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let group_width = d.div_ceil(self.num_groups.max(1));
+        let mut out = vec![0.0f32; rows * d];
+        for g in 0..self.num_groups.max(1) {
+            let c0 = g * group_width;
+            if c0 >= d {
+                break;
+            }
+            let c1 = ((g + 1) * group_width).min(d);
+            // Group magnitude → nearest power-of-two fraction of absmax.
+            let mut gmax = 0.0f32;
+            for r in 0..rows {
+                for c in c0..c1 {
+                    gmax = gmax.max(permuted[r * d + c].abs());
+                }
+            }
+            let scale = if gmax > 0.0 && absmax > 0.0 {
+                let ratio = gmax / absmax;
+                // Round the exponent up so the group range is covered.
+                absmax * 2.0f32.powi(ratio.log2().ceil() as i32)
+            } else {
+                absmax.max(1e-12)
+            };
+            let q = UniformQuantizer::new(-scale, scale, self.bits).expect("valid bit-width");
+            for r in 0..rows {
+                for c in c0..c1 {
+                    let x = permuted[r * d + c];
+                    out[r * d + c] = q.dequantize(q.quantize(x));
+                }
+            }
+        }
+        order.unpermute(&out, rows, d)
+    }
+
+    fn effective_bits(&self, rows: usize, d: usize) -> f64 {
+        // Per-group exponents are 4-bit shifts; one FP16 base scale per
+        // tensor. Both amortize to almost nothing.
+        f64::from(self.bits)
+            + (self.num_groups as f64 * 4.0 + 16.0) / (rows.max(1) * d.max(1)) as f64
+            + 0.07 // indirect index metadata per channel (paper: 4.07)
+    }
+
+    fn online_cost(&self) -> OnlineCost {
+        OnlineCost {
+            quant_flops_per_elem: 1.5, // shift-based requantization is cheap
+            dequant_flops_per_elem: 1.5,
+            sort_nlogn: false,
+            channel_reorder: true, // indirect indexing
+            gpu_divergence_penalty: 1.2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, d: usize) -> Vec<f32> {
+        (0..rows * d)
+            .map(|i| {
+                let c = i % d;
+                (((i * 16807) % 4096) as f32 / 512.0 - 4.0) * (1.0 + (c % 7) as f32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_is_lossy_but_bounded() {
+        let t = TenderStyle::default();
+        let (rows, d) = (8, 128);
+        let data = sample(rows, d);
+        let out = t.roundtrip_matrix(&data, rows, d, 0, KvKind::Key);
+        let absmax = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        for (a, b) in data.iter().zip(&out) {
+            assert!((a - b).abs() <= absmax / 4.0, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn lowest_effective_bits_of_all() {
+        let eb = TenderStyle::default().effective_bits(1024, 4096);
+        assert!((4.0..4.2).contains(&eb), "{eb}");
+    }
+
+    #[test]
+    fn worse_than_fine_grained_quant() {
+        use crate::common::quantize_groups_per_row;
+        let (rows, d) = (16, 256);
+        let data = sample(rows, d);
+        let t = TenderStyle::default();
+        let tender_out = t.roundtrip_matrix(&data, rows, d, 0, KvKind::Key);
+        let fine = quantize_groups_per_row(&data, rows, d, 32, 4);
+        let mse = |out: &[f32]| {
+            data.iter()
+                .zip(out)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+        };
+        assert!(mse(&tender_out) > mse(&fine));
+    }
+
+    #[test]
+    fn single_group_degenerates_to_per_tensor() {
+        let t = TenderStyle::new(1, 4);
+        let (rows, d) = (4, 32);
+        let data = sample(rows, d);
+        let out = t.roundtrip_matrix(&data, rows, d, 0, KvKind::Value);
+        assert_eq!(out.len(), data.len());
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the baseline quantizers: every method must be
+//! shape-preserving, finite, bounded by the input's dynamic range, and
+//! exact on constants.
+
+use oaken_baselines::{
+    f16_roundtrip, AtomStyle, Fp16Reference, KiviStyle, KvQuantStyle, QServeStyle, TenderStyle,
+};
+use oaken_core::{KvKind, KvQuantizer};
+use proptest::prelude::*;
+
+fn methods() -> Vec<Box<dyn KvQuantizer>> {
+    vec![
+        Box::new(Fp16Reference::new()),
+        Box::new(KvQuantStyle::default()),
+        Box::new(KiviStyle::default()),
+        Box::new(AtomStyle::default()),
+        Box::new(QServeStyle::default()),
+        Box::new(TenderStyle::default()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn roundtrips_preserve_shape_and_bounds(
+        v in prop::collection::vec(-100.0f32..100.0, 8..256),
+        rows in 1usize..4,
+    ) {
+        // Trim to a rows×d matrix.
+        let d = (v.len() / rows).max(1);
+        let data = &v[..rows * d];
+        let absmax = data.iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        for m in methods() {
+            for kind in KvKind::ALL {
+                let out = m.roundtrip_matrix(data, rows, d, 0, kind);
+                prop_assert_eq!(out.len(), data.len(), "{}", m.name());
+                for &y in &out {
+                    prop_assert!(y.is_finite(), "{} produced {}", m.name(), y);
+                    prop_assert!(
+                        y.abs() <= absmax * 1.26 + 1e-3,
+                        "{} overshot: |{}| > {}",
+                        m.name(), y, absmax
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_matrices_are_fixed_points(c in -50.0f32..50.0, n in 4usize..64) {
+        let data = vec![c; n * 2];
+        for m in methods() {
+            let out = m.roundtrip_matrix(&data, 2, n, 0, KvKind::Value);
+            for &y in &out {
+                // A constant has zero quantization range; every method must
+                // reconstruct it to FP16 precision or better.
+                prop_assert!(
+                    (y - f16_roundtrip(c)).abs() <= c.abs() / 256.0 + 1e-3,
+                    "{}: {} -> {}",
+                    m.name(), c, y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn effective_bits_below_fp16(rows in 8usize..2048, d in 64usize..4096) {
+        for m in methods() {
+            let eb = m.effective_bits(rows, d);
+            prop_assert!(eb > 0.0, "{}", m.name());
+            if m.name() != "fp16" && rows > 256 {
+                prop_assert!(eb < 16.0, "{} claims {eb} bits", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_is_idempotent(x in -6.0e4f32..6.0e4) {
+        let once = f16_roundtrip(x);
+        let twice = f16_roundtrip(once);
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the attention substrate: single-token MHA/GQA
+//! over growing KV caches, the operation whose memory traffic the whole
+//! paper targets.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oaken_model::{attend_one, AttentionShape};
+
+fn bench_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention");
+    for seq_len in [128usize, 512, 2048] {
+        let shape = AttentionShape {
+            num_heads: 8,
+            num_kv_heads: 8,
+            head_dim: 64,
+            window: None,
+        };
+        let q = vec![0.5f32; shape.q_dim()];
+        let keys = vec![0.25f32; seq_len * shape.kv_dim()];
+        let values = vec![0.75f32; seq_len * shape.kv_dim()];
+        group.bench_function(format!("mha_seq{seq_len}"), |b| {
+            b.iter(|| attend_one(black_box(&q), &keys, &values, seq_len, &shape))
+        });
+    }
+    // GQA with 4× fewer KV heads: same query width, quarter the KV traffic.
+    let gqa = AttentionShape {
+        num_heads: 8,
+        num_kv_heads: 2,
+        head_dim: 64,
+        window: None,
+    };
+    let q = vec![0.5f32; gqa.q_dim()];
+    let keys = vec![0.25f32; 2048 * gqa.kv_dim()];
+    let values = vec![0.75f32; 2048 * gqa.kv_dim()];
+    group.bench_function("gqa_seq2048", |b| {
+        b.iter(|| attend_one(black_box(&q), &keys, &values, 2048, &gqa))
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_attention
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the fused dense-and-sparse encoding: packing,
+//! COO decode, and the capacity arithmetic.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oaken_core::{CooEntry, FusedVector, GroupKind, ScaleSet};
+
+fn build_parts(d: usize) -> (Vec<u8>, Vec<CooEntry>) {
+    let codes: Vec<u8> = (0..d).map(|i| (i % 16) as u8).collect();
+    let outliers: Vec<CooEntry> = (0..d / 10)
+        .map(|i| CooEntry {
+            index: i * 10,
+            group: if i % 3 == 0 {
+                GroupKind::Inner
+            } else {
+                GroupKind::Outer
+            },
+            high_side: i % 2 == 0,
+        })
+        .collect();
+    (codes, outliers)
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let d = 4096;
+    let (codes, outliers) = build_parts(d);
+    let scales = ScaleSet::default();
+
+    let mut group = c.benchmark_group("fused_encoding_4096");
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            FusedVector::from_parts(d, 64, black_box(&codes), black_box(&outliers), scales)
+                .unwrap()
+        })
+    });
+    let fv = FusedVector::from_parts(d, 64, &codes, &outliers, scales).unwrap();
+    group.bench_function("decode_outliers", |b| b.iter(|| black_box(&fv).decode_outliers()));
+    group.bench_function("dense_code_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..d {
+                acc += u32::from(black_box(&fv).dense_code(i));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_encoding
+}
+criterion_main!(benches);

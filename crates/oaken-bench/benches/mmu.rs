@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the MMU: token writes, burst planning, and
+//! request retirement.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oaken_mmu::{MmuSim, StreamClass, StreamKey};
+
+fn key(request: u32, head: u16) -> StreamKey {
+    StreamKey {
+        request,
+        layer: 0,
+        head,
+        class: StreamClass::Dense,
+    }
+}
+
+fn bench_mmu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mmu");
+    group.bench_function("write_1k_tokens", |b| {
+        b.iter(|| {
+            let mut mmu = MmuSim::new(4096, 4096);
+            for t in 0..1024u32 {
+                mmu.write_token(key(1, (t % 8) as u16), 64).unwrap();
+            }
+            black_box(mmu.allocator().allocated_pages())
+        })
+    });
+
+    let mut mmu = MmuSim::new(4096, 4096);
+    for t in 0..1024u32 {
+        mmu.write_token(key(1, (t % 8) as u16), 64).unwrap();
+    }
+    group.bench_function("read_plan_1k", |b| {
+        b.iter(|| black_box(&mmu).read_plan(&key(1, 0), 64))
+    });
+    group.bench_function("alloc_free_request", |b| {
+        b.iter(|| {
+            let mut m = MmuSim::new(512, 4096);
+            for t in 0..128u32 {
+                m.write_token(key(7, (t % 4) as u16), 256).unwrap();
+            }
+            m.free_request(7).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_mmu
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the quantization hot paths: Oaken's online
+//! quantize/dequantize versus the baseline roundtrips, per 4096-element KV
+//! vector (Llama2-7B's kv_dim).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oaken_baselines::{KiviStyle, KvQuantStyle, QServeStyle, TenderStyle};
+use oaken_core::{KvKind, KvQuantizer, OakenConfig, OakenQuantizer, OfflineProfiler};
+
+fn kv_vector(n: usize, seed: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let u = ((i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed) >> 33) as f32
+                / (1u64 << 31) as f32;
+            let base = (u - 0.5) * 6.0;
+            match i % 53 {
+                0 => base * 10.0,
+                1 => base * 0.01,
+                _ => base,
+            }
+        })
+        .collect()
+}
+
+fn oaken_quantizer(d: usize) -> OakenQuantizer {
+    let config = OakenConfig::default();
+    let mut p = OfflineProfiler::new(config.clone(), 1);
+    for s in 0..16 {
+        p.observe(0, KvKind::Key, &kv_vector(d, s));
+        p.observe(0, KvKind::Value, &kv_vector(d, s));
+    }
+    OakenQuantizer::new(config, p.finish())
+}
+
+fn bench_quantizers(c: &mut Criterion) {
+    let d = 4096;
+    let x = kv_vector(d, 999);
+    let oaken = oaken_quantizer(d);
+
+    let mut group = c.benchmark_group("quantize_4096");
+    group.bench_function("oaken_quantize", |b| {
+        b.iter(|| oaken.quantize_vector(black_box(&x), 0, KvKind::Key).unwrap())
+    });
+    let fused = oaken.quantize_vector(&x, 0, KvKind::Key).unwrap();
+    group.bench_function("oaken_dequantize", |b| {
+        b.iter(|| oaken.dequantize_vector(black_box(&fused), 0, KvKind::Key).unwrap())
+    });
+    group.bench_function("oaken_roundtrip", |b| {
+        b.iter(|| oaken.roundtrip_matrix(black_box(&x), 1, d, 0, KvKind::Key))
+    });
+    for (name, q) in [
+        ("kvquant", Box::new(KvQuantStyle::default()) as Box<dyn KvQuantizer>),
+        ("kivi", Box::new(KiviStyle::default())),
+        ("qserve", Box::new(QServeStyle::default())),
+        ("tender", Box::new(TenderStyle::default())),
+    ] {
+        group.bench_function(format!("{name}_roundtrip"), |b| {
+            b.iter(|| q.roundtrip_matrix(black_box(&x), 1, d, 0, KvKind::Key))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_quantizers
+}
+criterion_main!(benches);

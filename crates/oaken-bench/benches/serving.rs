@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the serving simulation: full workload runs of
+//! the system model and trace replays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oaken_accel::{AcceleratorSpec, QuantPolicy, SystemModel, Workload};
+use oaken_model::ModelConfig;
+use oaken_serving::{simulate_trace, synthesize_requests, TraceSpec};
+
+fn bench_serving(c: &mut Criterion) {
+    let model = ModelConfig::llama2_13b();
+    let oaken = SystemModel::new(AcceleratorSpec::oaken_lpddr(), QuantPolicy::oaken());
+
+    let mut group = c.benchmark_group("serving_sim");
+    group.bench_function("workload_1k1k_b256", |b| {
+        b.iter(|| oaken.run(black_box(&model), &Workload::one_k_one_k(256)))
+    });
+
+    let requests = synthesize_requests(&TraceSpec::burstgpt(), 128, 11);
+    group.bench_function("trace_replay_128req", |b| {
+        b.iter(|| simulate_trace(&oaken, black_box(&model), &requests, 64))
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_serving
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation: fused dense-and-sparse encoding (§4.5) vs the naive
+//! mixed-precision layout of prior work — how many bits each outlier costs
+//! and what that does to the effective bitwidth and capacity gain.
+//!
+//! Prior dense-and-sparse schemes (KVQuant/SqueezeLLM) store each outlier
+//! as 16 value bits + 6 index bits + 1 group bit = 23 bits. Oaken's fusion
+//! re-uses the zeroed 4-bit dense slot for the outlier magnitude, leaving
+//! 8 bits of genuinely new storage per outlier.
+
+use oaken_bench::{banner, f, row};
+use oaken_core::{GroupRatios, OakenConfig};
+
+fn main() {
+    banner(
+        "Ablation: fused encoding",
+        "outlier storage cost vs effective bitwidth (d = 4096)",
+    );
+    row(
+        &[
+            &"outlier %",
+            &"fused eff-bits",
+            &"naive-23b eff-bits",
+            &"fused x vs fp16",
+            &"naive x vs fp16",
+        ],
+        &[10, 15, 19, 16, 16],
+    );
+    for outlier_pct in [2u32, 4, 6, 8, 10, 14, 18, 20] {
+        let frac = f64::from(outlier_pct) / 100.0;
+        let ratios =
+            GroupRatios::new(frac * 0.4, 1.0 - frac, frac * 0.6).expect("valid sweep ratios");
+        let config = OakenConfig {
+            ratios,
+            ..OakenConfig::default()
+        };
+        let fused = config.predicted_effective_bits(4096);
+        // Naive layout: dense 4-bit codes stay allocated AND outliers cost
+        // 23 bits each on top (value no longer fused into the dense slot).
+        let naive = 4.0 + frac * 23.0 + 64.0 / 4096.0;
+        row(
+            &[
+                &outlier_pct,
+                &f(fused, 3),
+                &f(naive, 3),
+                &format!("{:.2}x", 16.0 / fused),
+                &format!("{:.2}x", 16.0 / naive),
+            ],
+            &[10, 15, 19, 16, 16],
+        );
+    }
+    println!();
+    println!("Expected shape: at the paper's 10% outlier budget, fusion keeps");
+    println!("the effective bitwidth at 4.8 bits where the naive layout needs");
+    println!("6.3 — the gap widens linearly with the outlier fraction, which");
+    println!("is what makes the wider Figure 12(a) sweep affordable at all.");
+}

@@ -1,0 +1,87 @@
+//! Table 2: perplexity (Wikitext-like) and zero-shot accuracy (PIQA/
+//! Winogrande/Hellaswag-like) for the FP16 reference, five baselines, and
+//! Oaken, across the eight model proxies, with effective bitwidths.
+
+use oaken_baselines::{AtomStyle, Fp16Reference, KiviStyle, KvQuantStyle, QServeStyle, TenderStyle};
+use oaken_bench::{banner, f, row};
+use oaken_core::{KvQuantizer, OakenConfig};
+use oaken_eval::harness::EvalSpec;
+use oaken_eval::{profile_oaken, EvalHarness};
+use oaken_model::{Model, ModelConfig};
+use std::sync::Arc;
+
+fn main() {
+    banner(
+        "Table 2",
+        "accuracy of KV quantization methods on the eight model proxies",
+    );
+    let mut loss_rows: Vec<(String, f64)> = Vec::new();
+    for base in ModelConfig::paper_models() {
+        let proxy = base.proxy(3, 48);
+        // Distinct weights per model: fold the name into the seed.
+        let seed = base
+            .name
+            .bytes()
+            .fold(314_159u64, |h, b| h.wrapping_mul(31).wrapping_add(u64::from(b)));
+        let model = Model::synthetic(proxy, seed);
+        let harness = EvalHarness::new(&model, &EvalSpec::paper());
+        let full_kv_dim = base.kv_dim();
+        println!("\n--- {} (proxy) ---", base.name);
+        row(
+            &[&"method", &"ppl", &"piqa%", &"wino%", &"hella%", &"eff-bits"],
+            &[9, 8, 7, 7, 7, 8],
+        );
+
+        let oaken = profile_oaken(&model, OakenConfig::default(), 10, 48, 2718);
+        let methods: Vec<(String, Option<Arc<dyn KvQuantizer>>)> = vec![
+            ("original".to_owned(), Some(Arc::new(Fp16Reference::new()))),
+            ("kvquant".to_owned(), Some(Arc::new(KvQuantStyle::default()))),
+            ("kivi".to_owned(), Some(Arc::new(KiviStyle::default()))),
+            ("tender".to_owned(), Some(Arc::new(TenderStyle::default()))),
+            ("atom".to_owned(), Some(Arc::new(AtomStyle::default()))),
+            ("qserve".to_owned(), Some(Arc::new(QServeStyle::default()))),
+            ("oaken".to_owned(), Some(Arc::new(oaken))),
+        ];
+        let mut original_acc = 0.0f64;
+        for (label, method) in methods {
+            // Report effective bits at the *full* model's KV width — the
+            // proxy's tiny kv_dim would inflate per-vector scale overheads.
+            let eff_bits = method
+                .as_ref()
+                .map_or(16.0, |m| m.effective_bits(1024, full_kv_dim));
+            let r = harness.evaluate(method);
+            if label == "original" {
+                original_acc = r.mean_accuracy();
+            } else {
+                loss_rows.push((label.clone(), original_acc - r.mean_accuracy()));
+            }
+            row(
+                &[
+                    &label,
+                    &f(r.perplexity, 3),
+                    &f(r.piqa, 1),
+                    &f(r.winogrande, 1),
+                    &f(r.hellaswag, 1),
+                    &f(eff_bits, 2),
+                ],
+                &[9, 8, 7, 7, 7, 8],
+            );
+        }
+    }
+
+    println!("\n--- mean zero-shot accuracy loss vs FP16 (all proxies) ---");
+    for method in ["kvquant", "kivi", "tender", "atom", "qserve", "oaken"] {
+        let losses: Vec<f64> = loss_rows
+            .iter()
+            .filter(|(m, _)| m == method)
+            .map(|(_, l)| *l)
+            .collect();
+        let mean = losses.iter().sum::<f64>() / losses.len().max(1) as f64;
+        println!("{method:>8}: {mean:+.2}%");
+    }
+    println!();
+    println!("Expected shape (paper Table 2): Oaken within ~1% of FP16 and of");
+    println!("KVQuant/KIVI (which spend more effective bits), clearly better");
+    println!("than QServe/Atom/Tender, whose coarse per-group scales miss the");
+    println!("distribution's exceptions.");
+}

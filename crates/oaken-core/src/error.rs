@@ -1,0 +1,112 @@
+//! Error type for the quantization pipeline.
+
+use std::fmt;
+
+/// Errors produced by the Oaken quantization pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OakenError {
+    /// Group ratios must be positive and sum to 1.
+    InvalidRatios {
+        /// Offending outer/middle/inner ratios.
+        outer: f64,
+        middle: f64,
+        inner: f64,
+    },
+    /// Thresholds must be ordered `outer_lo <= inner_lo <= inner_hi <= outer_hi`.
+    InvalidThresholds {
+        /// Human-readable description of the violated ordering.
+        detail: String,
+    },
+    /// A layer index was out of range for the profiled model.
+    LayerOutOfRange {
+        /// Requested layer.
+        layer: usize,
+        /// Number of profiled layers.
+        layers: usize,
+    },
+    /// The profiler finished without observing any data for a layer.
+    UnprofiledLayer {
+        /// The layer that has no statistics.
+        layer: usize,
+    },
+    /// A packed vector's dimension disagrees with the caller's expectation.
+    DimensionMismatch {
+        /// Expected vector dimension.
+        expected: usize,
+        /// Dimension found in the encoded data.
+        actual: usize,
+    },
+    /// An encoded buffer failed validation (truncated or corrupt).
+    CorruptEncoding {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A quantization bit-width outside the supported 1..=8 range.
+    UnsupportedBitWidth {
+        /// The requested width.
+        bits: u8,
+    },
+}
+
+impl fmt::Display for OakenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OakenError::InvalidRatios {
+                outer,
+                middle,
+                inner,
+            } => write!(
+                f,
+                "group ratios must be positive and sum to 1, got outer={outer} middle={middle} inner={inner}"
+            ),
+            OakenError::InvalidThresholds { detail } => {
+                write!(f, "invalid threshold ordering: {detail}")
+            }
+            OakenError::LayerOutOfRange { layer, layers } => {
+                write!(f, "layer {layer} out of range for {layers} profiled layers")
+            }
+            OakenError::UnprofiledLayer { layer } => {
+                write!(f, "layer {layer} has no profiling statistics")
+            }
+            OakenError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, found {actual}")
+            }
+            OakenError::CorruptEncoding { detail } => {
+                write!(f, "corrupt encoding: {detail}")
+            }
+            OakenError::UnsupportedBitWidth { bits } => {
+                write!(f, "unsupported quantization bit-width {bits} (must be 1..=8)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OakenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_without_period() {
+        let errors: Vec<OakenError> = vec![
+            OakenError::InvalidRatios {
+                outer: 0.5,
+                middle: 0.6,
+                inner: 0.1,
+            },
+            OakenError::LayerOutOfRange { layer: 5, layers: 2 },
+            OakenError::UnprofiledLayer { layer: 0 },
+            OakenError::DimensionMismatch {
+                expected: 8,
+                actual: 4,
+            },
+            OakenError::UnsupportedBitWidth { bits: 12 },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(msg.starts_with(|c: char| c.is_lowercase()), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Online group classification (paper Eq. 1).
+//!
+//! Given the offline thresholds, every incoming KV value is classified into
+//! one of three quantization groups in O(1) — this replaces the O(n log n)
+//! online topK that makes prior mixed-precision schemes impractical (§4.3).
+
+use crate::thresholds::Thresholds;
+
+/// The three quantization groups of Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupKind {
+    /// Large-magnitude outliers: `x < T_o_lo` or `x > T_o_hi`.
+    Outer,
+    /// Inliers: between the outer and inner thresholds on either side.
+    Middle,
+    /// Near-zero outliers: `T_i_lo <= x <= T_i_hi`.
+    Inner,
+}
+
+impl GroupKind {
+    /// Whether this group is stored sparsely (outer and inner are the
+    /// "outliers" that go to the COO side of the fused encoding).
+    pub fn is_outlier(self) -> bool {
+        matches!(self, GroupKind::Outer | GroupKind::Inner)
+    }
+}
+
+/// Classifies one value per Eq. 1. Total: every finite `x` lands in exactly
+/// one group.
+#[inline]
+pub fn classify(x: f32, t: &Thresholds) -> GroupKind {
+    if x < t.outer_lo || x > t.outer_hi {
+        GroupKind::Outer
+    } else if (t.inner_lo..=t.inner_hi).contains(&x) {
+        GroupKind::Inner
+    } else {
+        GroupKind::Middle
+    }
+}
+
+/// Observed per-vector group occupancy, used to verify that offline
+/// thresholds deliver the configured target ratios on unseen data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroupStats {
+    /// Number of outer-group values.
+    pub outer: usize,
+    /// Number of middle-group values.
+    pub middle: usize,
+    /// Number of inner-group values.
+    pub inner: usize,
+}
+
+impl GroupStats {
+    /// Classifies a whole vector and tallies group occupancy.
+    pub fn of(values: &[f32], t: &Thresholds) -> Self {
+        let mut s = GroupStats::default();
+        for &x in values {
+            match classify(x, t) {
+                GroupKind::Outer => s.outer += 1,
+                GroupKind::Middle => s.middle += 1,
+                GroupKind::Inner => s.inner += 1,
+            }
+        }
+        s
+    }
+
+    /// Total classified values.
+    pub fn total(&self) -> usize {
+        self.outer + self.middle + self.inner
+    }
+
+    /// Fraction of values that are outliers (outer + inner).
+    pub fn outlier_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.outer + self.inner) as f64 / self.total() as f64
+    }
+
+    /// Merges two tallies.
+    pub fn merge(&self, other: &GroupStats) -> GroupStats {
+        GroupStats {
+            outer: self.outer + other.outer,
+            middle: self.middle + other.middle,
+            inner: self.inner + other.inner,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thresholds::Thresholds;
+
+    fn t() -> Thresholds {
+        Thresholds::new(-4.0, -0.5, 0.5, 4.0).unwrap()
+    }
+
+    #[test]
+    fn classify_each_region() {
+        let t = t();
+        assert_eq!(classify(-10.0, &t), GroupKind::Outer);
+        assert_eq!(classify(10.0, &t), GroupKind::Outer);
+        assert_eq!(classify(-2.0, &t), GroupKind::Middle);
+        assert_eq!(classify(2.0, &t), GroupKind::Middle);
+        assert_eq!(classify(0.0, &t), GroupKind::Inner);
+        assert_eq!(classify(0.4, &t), GroupKind::Inner);
+    }
+
+    #[test]
+    fn classify_boundaries_follow_eq1() {
+        let t = t();
+        // Eq. 1: G_m includes T_o_lo (<=) and T_o_hi (<=); G_i includes both
+        // inner thresholds; x just above inner_hi is middle.
+        assert_eq!(classify(-4.0, &t), GroupKind::Middle);
+        assert_eq!(classify(4.0, &t), GroupKind::Middle);
+        assert_eq!(classify(0.5, &t), GroupKind::Inner);
+        assert_eq!(classify(-0.5, &t), GroupKind::Inner);
+        assert_eq!(classify(0.500001, &t), GroupKind::Middle);
+        assert_eq!(classify(4.000001, &t), GroupKind::Outer);
+    }
+
+    #[test]
+    fn stats_partition_is_total() {
+        let t = t();
+        let vals: Vec<f32> = (-100..100).map(|i| i as f32 / 10.0).collect();
+        let s = GroupStats::of(&vals, &t);
+        assert_eq!(s.total(), vals.len());
+        assert!(s.outer > 0 && s.middle > 0 && s.inner > 0);
+    }
+
+    #[test]
+    fn outlier_fraction_empty_is_zero() {
+        assert_eq!(GroupStats::default().outlier_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = GroupStats {
+            outer: 1,
+            middle: 2,
+            inner: 3,
+        };
+        let b = GroupStats {
+            outer: 10,
+            middle: 20,
+            inner: 30,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.outer, 11);
+        assert_eq!(m.middle, 22);
+        assert_eq!(m.inner, 33);
+    }
+
+    #[test]
+    fn is_outlier_flags() {
+        assert!(GroupKind::Outer.is_outlier());
+        assert!(GroupKind::Inner.is_outlier());
+        assert!(!GroupKind::Middle.is_outlier());
+    }
+}

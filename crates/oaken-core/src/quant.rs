@@ -1,0 +1,218 @@
+//! Uniform quantization (paper Eq. 2–3).
+//!
+//! Oaken deliberately uses plain min/max uniform quantization — "the scaling
+//! factor σ is calculated using only simple statistics to minimize hardware
+//! complexity" — leaving all the accuracy heavy-lifting to grouping and
+//! group-shift.
+
+use crate::error::OakenError;
+
+/// A min/max uniform quantizer with `bits`-wide codes.
+///
+/// ```text
+/// σ    = (2^m − 1) / (max − min)            (Eq. 2)
+/// Q(x) = round((x − min) · σ)                (Eq. 3)
+/// D(q) = min + q / σ
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformQuantizer {
+    min: f32,
+    max: f32,
+    bits: u8,
+    sigma: f32,
+}
+
+impl UniformQuantizer {
+    /// Creates a quantizer for the closed range `[min, max]`.
+    ///
+    /// A degenerate range (`max <= min`) is permitted and maps every input
+    /// to code 0 / reconstruction `min`; this happens online when a group is
+    /// empty or holds a single value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OakenError::UnsupportedBitWidth`] unless `1 <= bits <= 8`.
+    pub fn new(min: f32, max: f32, bits: u8) -> Result<Self, OakenError> {
+        if bits == 0 || bits > 8 {
+            return Err(OakenError::UnsupportedBitWidth { bits });
+        }
+        let levels = ((1u32 << bits) - 1) as f32;
+        let range = max - min;
+        let sigma = if range > 0.0 && range.is_finite() {
+            levels / range
+        } else {
+            0.0
+        };
+        Ok(Self {
+            min,
+            max,
+            bits,
+            sigma,
+        })
+    }
+
+    /// Convenience constructor scanning a slice for its min/max.
+    ///
+    /// Returns a degenerate quantizer for empty input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OakenError::UnsupportedBitWidth`] for invalid `bits`.
+    pub fn from_values(values: &[f32], bits: u8) -> Result<Self, OakenError> {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &v in values {
+            if v < min {
+                min = v;
+            }
+            if v > max {
+                max = v;
+            }
+        }
+        if values.is_empty() {
+            min = 0.0;
+            max = 0.0;
+        }
+        Self::new(min, max, bits)
+    }
+
+    /// The scaling factor σ of Eq. 2 (0 for a degenerate range).
+    pub fn sigma(&self) -> f32 {
+        self.sigma
+    }
+
+    /// Lower bound of the quantized range.
+    pub fn min(&self) -> f32 {
+        self.min
+    }
+
+    /// Upper bound of the quantized range.
+    pub fn max(&self) -> f32 {
+        self.max
+    }
+
+    /// Code bit-width.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Largest representable code, `2^bits − 1`.
+    pub fn max_code(&self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+
+    /// Quantizes `x` per Eq. 3, clamping to the representable code range so
+    /// out-of-range inputs saturate instead of wrapping.
+    #[inline]
+    pub fn quantize(&self, x: f32) -> u32 {
+        if self.sigma == 0.0 {
+            return 0;
+        }
+        let q = ((x - self.min) * self.sigma).round();
+        if q <= 0.0 {
+            0
+        } else if q >= self.max_code() as f32 {
+            self.max_code()
+        } else {
+            q as u32
+        }
+    }
+
+    /// Reconstructs the value for code `q`.
+    #[inline]
+    pub fn dequantize(&self, q: u32) -> f32 {
+        if self.sigma == 0.0 {
+            return self.min;
+        }
+        self.min + q.min(self.max_code()) as f32 / self.sigma
+    }
+
+    /// Worst-case absolute reconstruction error for in-range inputs:
+    /// half the quantization granule.
+    pub fn max_abs_error(&self) -> f32 {
+        if self.sigma == 0.0 {
+            0.0
+        } else {
+            0.5 / self.sigma
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_granule() {
+        let q = UniformQuantizer::new(-2.0, 6.0, 4).unwrap();
+        let granule = 8.0 / 15.0;
+        for i in 0..100 {
+            let x = -2.0 + 8.0 * i as f32 / 99.0;
+            let r = q.dequantize(q.quantize(x));
+            assert!(
+                (x - r).abs() <= granule / 2.0 + 1e-5,
+                "x={x} r={r} granule={granule}"
+            );
+        }
+        assert!((q.max_abs_error() - granule / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn endpoints_are_exact() {
+        let q = UniformQuantizer::new(-1.0, 1.0, 5).unwrap();
+        assert_eq!(q.quantize(-1.0), 0);
+        assert_eq!(q.quantize(1.0), q.max_code());
+        assert!((q.dequantize(0) + 1.0).abs() < 1e-6);
+        assert!((q.dequantize(q.max_code()) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn saturates_out_of_range() {
+        let q = UniformQuantizer::new(0.0, 1.0, 4).unwrap();
+        assert_eq!(q.quantize(-10.0), 0);
+        assert_eq!(q.quantize(10.0), 15);
+    }
+
+    #[test]
+    fn degenerate_range_maps_to_min() {
+        let q = UniformQuantizer::new(3.0, 3.0, 4).unwrap();
+        assert_eq!(q.quantize(3.0), 0);
+        assert_eq!(q.quantize(100.0), 0);
+        assert_eq!(q.dequantize(7), 3.0);
+        assert_eq!(q.max_abs_error(), 0.0);
+    }
+
+    #[test]
+    fn from_values_scans_range() {
+        let q = UniformQuantizer::from_values(&[1.0, -3.0, 2.0], 4).unwrap();
+        assert_eq!(q.min(), -3.0);
+        assert_eq!(q.max(), 2.0);
+        let empty = UniformQuantizer::from_values(&[], 4).unwrap();
+        assert_eq!(empty.quantize(5.0), 0);
+    }
+
+    #[test]
+    fn rejects_bad_bitwidths() {
+        assert!(UniformQuantizer::new(0.0, 1.0, 0).is_err());
+        assert!(UniformQuantizer::new(0.0, 1.0, 9).is_err());
+        assert!(UniformQuantizer::new(0.0, 1.0, 8).is_ok());
+    }
+
+    #[test]
+    fn sigma_matches_eq2() {
+        let q = UniformQuantizer::new(0.0, 3.0, 4).unwrap();
+        assert!((q.sigma() - 15.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn codes_monotone_in_input() {
+        let q = UniformQuantizer::new(-5.0, 5.0, 4).unwrap();
+        let mut prev = 0;
+        for i in 0..50 {
+            let x = -5.0 + 10.0 * i as f32 / 49.0;
+            let c = q.quantize(x);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+}

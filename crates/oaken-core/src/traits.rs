@@ -1,0 +1,149 @@
+//! The [`KvQuantizer`] abstraction shared by Oaken and all baseline
+//! reimplementations, plus the [`OnlineCost`] descriptor that the
+//! performance simulator uses to charge each method's runtime overhead.
+
+use crate::thresholds::KvKind;
+
+/// Runtime-cost descriptor of a KV quantization method, consumed by the
+/// `oaken-accel` performance simulator.
+///
+/// The paper's central performance argument (§3.3, §6.2) is that methods
+/// with low *effective bitwidth* can still lose end-to-end because their
+/// online machinery — topK sorting, channel reordering, mixed-precision
+/// scatter/gather — costs more than the bandwidth it saves. This struct
+/// captures exactly those axes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineCost {
+    /// Arithmetic operations per element on the quantization (write) path,
+    /// excluding any sorting term.
+    pub quant_flops_per_elem: f64,
+    /// Arithmetic operations per element on the dequantization (read) path.
+    pub dequant_flops_per_elem: f64,
+    /// Whether the method requires an online `O(n log n)` sort/topK per
+    /// quantized vector (KVQuant-style outlier detection).
+    pub sort_nlogn: bool,
+    /// Whether the method performs online channel reordering (QServe, Atom,
+    /// Tender), charged as one gather per element.
+    pub channel_reorder: bool,
+    /// Whether mixed-precision (FP16 sparse + INT4 dense) compute paths are
+    /// required, which serializes GPU warps; ≥ 1.0 multiplier applied to
+    /// quant/dequant time when executed on a GPU.
+    pub gpu_divergence_penalty: f64,
+}
+
+impl OnlineCost {
+    /// A zero-overhead placeholder (used by the FP16 no-quantization
+    /// reference).
+    pub fn free() -> Self {
+        Self {
+            quant_flops_per_elem: 0.0,
+            dequant_flops_per_elem: 0.0,
+            sort_nlogn: false,
+            channel_reorder: false,
+            gpu_divergence_penalty: 1.0,
+        }
+    }
+
+    /// Total quantization-side operations for an `n`-element vector,
+    /// including the sorting and reordering terms.
+    pub fn quant_ops(&self, n: usize) -> f64 {
+        let n_f = n as f64;
+        let mut ops = self.quant_flops_per_elem * n_f;
+        if self.sort_nlogn {
+            ops += n_f * n_f.max(2.0).log2();
+        }
+        if self.channel_reorder {
+            ops += n_f;
+        }
+        ops
+    }
+
+    /// Total dequantization-side operations for an `n`-element vector.
+    pub fn dequant_ops(&self, n: usize) -> f64 {
+        self.dequant_flops_per_elem * n as f64
+    }
+}
+
+impl Default for OnlineCost {
+    fn default() -> Self {
+        Self::free()
+    }
+}
+
+/// A KV-cache quantization method operating on `[rows × d]` row-major
+/// matrices (rows = tokens, columns = channels).
+///
+/// The matrix-level API accommodates both per-token methods (Oaken, which
+/// processes each row independently and could stream) and per-channel
+/// methods (KIVI/KVQuant keys, which need column statistics).
+///
+/// Implementors must be `Send + Sync` so evaluation sweeps can fan out
+/// across threads.
+pub trait KvQuantizer: Send + Sync {
+    /// Short stable identifier used in reports ("oaken", "kivi", ...).
+    fn name(&self) -> &'static str;
+
+    /// Quantizes and immediately dequantizes a `[rows × d]` matrix,
+    /// returning the lossy reconstruction. `layer` and `kind` give
+    /// profile-aware methods (Oaken, KVQuant) their context; data-free
+    /// methods ignore them.
+    fn roundtrip_matrix(
+        &self,
+        data: &[f32],
+        rows: usize,
+        d: usize,
+        layer: usize,
+        kind: KvKind,
+    ) -> Vec<f32>;
+
+    /// Nominal stored bits per element for a `[rows × d]` matrix (scale and
+    /// index overheads amortized in).
+    fn effective_bits(&self, rows: usize, d: usize) -> f64;
+
+    /// Runtime-cost descriptor for the performance simulator.
+    fn online_cost(&self) -> OnlineCost;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_cost_is_zero() {
+        let c = OnlineCost::free();
+        assert_eq!(c.quant_ops(1024), 0.0);
+        assert_eq!(c.dequant_ops(1024), 0.0);
+        assert_eq!(c.gpu_divergence_penalty, 1.0);
+    }
+
+    #[test]
+    fn sort_term_is_nlogn() {
+        let c = OnlineCost {
+            sort_nlogn: true,
+            ..OnlineCost::free()
+        };
+        let n = 4096usize;
+        let expected = n as f64 * (n as f64).log2();
+        assert!((c.quant_ops(n) - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn reorder_term_is_linear() {
+        let c = OnlineCost {
+            channel_reorder: true,
+            ..OnlineCost::free()
+        };
+        assert_eq!(c.quant_ops(100), 100.0);
+    }
+
+    #[test]
+    fn flop_terms_accumulate() {
+        let c = OnlineCost {
+            quant_flops_per_elem: 3.0,
+            dequant_flops_per_elem: 2.0,
+            ..OnlineCost::free()
+        };
+        assert_eq!(c.quant_ops(10), 30.0);
+        assert_eq!(c.dequant_ops(10), 20.0);
+    }
+}

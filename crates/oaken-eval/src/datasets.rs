@@ -1,0 +1,242 @@
+//! Synthetic dataset generation: perplexity corpora and MCQ task sets,
+//! sampled from the FP32 proxy model itself (see the crate-level
+//! methodology note).
+
+use oaken_model::{sample_temperature, ExactCache, Model};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a perplexity corpus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusSpec {
+    /// Number of sequences.
+    pub num_seqs: usize,
+    /// Tokens per sequence.
+    pub seq_len: usize,
+    /// Sampling temperature (lower ⇒ more predictable corpus ⇒ lower
+    /// baseline perplexity).
+    pub temperature: f32,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl CorpusSpec {
+    /// A Wikitext2-like corpus: the most predictable of the four.
+    pub fn wikitext() -> Self {
+        Self {
+            num_seqs: 12,
+            seq_len: 72,
+            temperature: 0.6,
+            seed: 101,
+        }
+    }
+}
+
+/// Parameters of an MCQ task set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McqSpec {
+    /// Number of items.
+    pub num_tasks: usize,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Continuation length in tokens.
+    pub cont_len: usize,
+    /// Choices per item (PIQA/Winogrande: 2, Hellaswag: 4).
+    pub num_choices: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl McqSpec {
+    /// PIQA-like: 2 choices.
+    pub fn piqa() -> Self {
+        Self {
+            num_tasks: 24,
+            prompt_len: 20,
+            cont_len: 6,
+            num_choices: 2,
+            seed: 211,
+        }
+    }
+
+    /// Winogrande-like: 2 choices, shorter prompts.
+    pub fn winogrande() -> Self {
+        Self {
+            num_tasks: 24,
+            prompt_len: 12,
+            cont_len: 5,
+            num_choices: 2,
+            seed: 307,
+        }
+    }
+
+    /// Hellaswag-like: 4 choices.
+    pub fn hellaswag() -> Self {
+        Self {
+            num_tasks: 20,
+            prompt_len: 24,
+            cont_len: 8,
+            num_choices: 4,
+            seed: 401,
+        }
+    }
+}
+
+/// One multiple-choice item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McqTask {
+    /// Prompt tokens.
+    pub prompt: Vec<u32>,
+    /// Candidate continuations.
+    pub choices: Vec<Vec<u32>>,
+    /// Index of the correct continuation.
+    pub correct: usize,
+}
+
+/// Generator for all synthetic evaluation data of one proxy model.
+#[derive(Debug)]
+pub struct SyntheticDatasets<'m> {
+    model: &'m Model,
+}
+
+impl<'m> SyntheticDatasets<'m> {
+    /// Creates a generator bound to the FP32 proxy model.
+    pub fn new(model: &'m Model) -> Self {
+        Self { model }
+    }
+
+    /// Samples a perplexity corpus from the model.
+    pub fn corpus(&self, spec: &CorpusSpec) -> Vec<Vec<u32>> {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let vocab = self.model.config().vocab_size as u32;
+        (0..spec.num_seqs)
+            .map(|_| {
+                let mut seq = vec![rng.gen_range(0..vocab)];
+                let mut session = self.model.session(Box::new(ExactCache::new()));
+                let mut logits = session.advance(seq[0]);
+                while seq.len() < spec.seq_len {
+                    let tok = sample_temperature(&logits, spec.temperature, &mut rng);
+                    seq.push(tok);
+                    if seq.len() < spec.seq_len {
+                        logits = session.advance(tok);
+                    }
+                }
+                seq
+            })
+            .collect()
+    }
+
+    /// Generates an MCQ task set. The correct continuation is the model's
+    /// near-greedy continuation of the prompt; distractors are
+    /// *same-prompt* continuations sampled at high temperature — plausible
+    /// in context but lower-probability, so the FP32 model ranks the
+    /// correct answer first by a margin that KV-cache quantization can
+    /// erode (the Table 2 sensitivity mechanism).
+    pub fn mcq(&self, spec: &McqSpec) -> Vec<McqTask> {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let vocab = self.model.config().vocab_size as u32;
+        let gen_seq = |prompt: &[u32], len: usize, temp: f32, rng: &mut StdRng| {
+            let mut session = self.model.session(Box::new(ExactCache::new()));
+            let mut logits = session.prefill(prompt);
+            let mut cont = Vec::with_capacity(len);
+            for _ in 0..len {
+                let tok = sample_temperature(&logits, temp, rng);
+                cont.push(tok);
+                logits = session.advance(tok);
+            }
+            cont
+        };
+        (0..spec.num_tasks)
+            .map(|_| {
+                let prompt: Vec<u32> =
+                    (0..spec.prompt_len).map(|_| rng.gen_range(0..vocab)).collect();
+                let correct_cont = gen_seq(&prompt, spec.cont_len, 0.3, &mut rng);
+                let mut choices = Vec::with_capacity(spec.num_choices);
+                let correct = rng.gen_range(0..spec.num_choices);
+                for c in 0..spec.num_choices {
+                    if c == correct {
+                        choices.push(correct_cont.clone());
+                    } else {
+                        // Distractor: same prompt, hotter sampling; reroll
+                        // collisions with the correct continuation.
+                        let mut distractor = gen_seq(&prompt, spec.cont_len, 1.0, &mut rng);
+                        while distractor == correct_cont {
+                            distractor = gen_seq(&prompt, spec.cont_len, 1.6, &mut rng);
+                        }
+                        choices.push(distractor);
+                    }
+                }
+                McqTask {
+                    prompt,
+                    choices,
+                    correct,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oaken_model::ModelConfig;
+
+    fn model() -> Model {
+        Model::synthetic(ModelConfig::llama2_7b().proxy(2, 32), 11)
+    }
+
+    #[test]
+    fn corpus_has_requested_shape() {
+        let m = model();
+        let spec = CorpusSpec {
+            num_seqs: 3,
+            seq_len: 10,
+            temperature: 0.7,
+            seed: 5,
+        };
+        let corpus = SyntheticDatasets::new(&m).corpus(&spec);
+        assert_eq!(corpus.len(), 3);
+        assert!(corpus.iter().all(|s| s.len() == 10));
+    }
+
+    #[test]
+    fn corpus_generation_is_deterministic() {
+        let m = model();
+        let spec = CorpusSpec {
+            num_seqs: 2,
+            seq_len: 8,
+            temperature: 0.7,
+            seed: 9,
+        };
+        let a = SyntheticDatasets::new(&m).corpus(&spec);
+        let b = SyntheticDatasets::new(&m).corpus(&spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mcq_tasks_well_formed() {
+        let m = model();
+        let spec = McqSpec {
+            num_tasks: 4,
+            prompt_len: 6,
+            cont_len: 3,
+            num_choices: 3,
+            seed: 2,
+        };
+        let tasks = SyntheticDatasets::new(&m).mcq(&spec);
+        assert_eq!(tasks.len(), 4);
+        for t in &tasks {
+            assert_eq!(t.prompt.len(), 6);
+            assert_eq!(t.choices.len(), 3);
+            assert!(t.correct < 3);
+            assert!(t.choices.iter().all(|c| c.len() == 3));
+        }
+    }
+
+    #[test]
+    fn specs_have_paper_choice_counts() {
+        assert_eq!(McqSpec::piqa().num_choices, 2);
+        assert_eq!(McqSpec::winogrande().num_choices, 2);
+        assert_eq!(McqSpec::hellaswag().num_choices, 4);
+    }
+}

@@ -1,0 +1,236 @@
+//! The Table 2 harness: ties profiling, datasets, and quantized inference
+//! together into per-method accuracy rows.
+
+use crate::datasets::{CorpusSpec, McqSpec, McqTask, SyntheticDatasets};
+use crate::perplexity::perplexity;
+use crate::zeroshot::mcq_accuracy;
+use oaken_core::{KvQuantizer, OakenConfig, OakenQuantizer, OfflineProfiler};
+use oaken_model::{ExactCache, KvCacheBackend, Model, QuantizedCache};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Runs Oaken's offline threshold profiling on a proxy model by attaching
+/// the profiler to the KV observer over `num_seqs` random sample prompts
+/// (§4.3: "approximately a hundred offline inferences").
+pub fn profile_oaken(
+    model: &Model,
+    config: OakenConfig,
+    num_seqs: usize,
+    seq_len: usize,
+    seed: u64,
+) -> OakenQuantizer {
+    let profiler = Rc::new(RefCell::new(OfflineProfiler::new(
+        config.clone(),
+        model.config().num_layers,
+    )));
+    let vocab = model.config().vocab_size as u64;
+    for s in 0..num_seqs {
+        let mut session = model.session(Box::new(ExactCache::new()));
+        let p = Rc::clone(&profiler);
+        session.set_kv_observer(Box::new(move |layer, kind, values| {
+            p.borrow_mut().observe(layer, kind, values);
+        }));
+        for i in 0..seq_len {
+            let mix = ((s * seq_len + i) as u64).wrapping_mul(1442695040888963407);
+            let tok = ((seed.wrapping_mul(6364136223846793005).wrapping_add(mix)) >> 33) % vocab;
+            session.advance(tok as u32);
+        }
+    }
+    let thresholds = Rc::try_unwrap(profiler)
+        .expect("all observer clones dropped with their sessions")
+        .into_inner()
+        .finish();
+    OakenQuantizer::new(config, thresholds)
+}
+
+/// One accuracy row of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyRow {
+    /// Method name ("fp32", "oaken", "kivi", ...).
+    pub method: String,
+    /// Wikitext2-like perplexity (lower is better).
+    pub perplexity: f64,
+    /// PIQA-like zero-shot accuracy (%).
+    pub piqa: f64,
+    /// Winogrande-like zero-shot accuracy (%).
+    pub winogrande: f64,
+    /// Hellaswag-like zero-shot accuracy (%).
+    pub hellaswag: f64,
+    /// Nominal effective bits per KV element.
+    pub effective_bits: f64,
+}
+
+impl AccuracyRow {
+    /// Mean zero-shot accuracy across the three task sets.
+    pub fn mean_accuracy(&self) -> f64 {
+        (self.piqa + self.winogrande + self.hellaswag) / 3.0
+    }
+}
+
+/// Evaluation-size knobs. The defaults match the bench binaries; `quick()`
+/// keeps unit tests fast.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalSpec {
+    /// Perplexity corpus parameters.
+    pub corpus: CorpusSpec,
+    /// PIQA-like task parameters.
+    pub piqa: McqSpec,
+    /// Winogrande-like task parameters.
+    pub winogrande: McqSpec,
+    /// Hellaswag-like task parameters.
+    pub hellaswag: McqSpec,
+}
+
+impl EvalSpec {
+    /// Bench-scale evaluation.
+    pub fn paper() -> Self {
+        Self {
+            corpus: CorpusSpec::wikitext(),
+            piqa: McqSpec::piqa(),
+            winogrande: McqSpec::winogrande(),
+            hellaswag: McqSpec::hellaswag(),
+        }
+    }
+
+    /// Reduced sizes for unit tests.
+    pub fn quick() -> Self {
+        Self {
+            corpus: CorpusSpec {
+                num_seqs: 3,
+                seq_len: 24,
+                temperature: 0.6,
+                seed: 101,
+            },
+            piqa: McqSpec {
+                num_tasks: 5,
+                prompt_len: 8,
+                cont_len: 4,
+                num_choices: 2,
+                seed: 211,
+            },
+            winogrande: McqSpec {
+                num_tasks: 5,
+                prompt_len: 6,
+                cont_len: 3,
+                num_choices: 2,
+                seed: 307,
+            },
+            hellaswag: McqSpec {
+                num_tasks: 4,
+                prompt_len: 8,
+                cont_len: 4,
+                num_choices: 4,
+                seed: 401,
+            },
+        }
+    }
+}
+
+impl Default for EvalSpec {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Pre-generated datasets for one proxy model, reused across all methods so
+/// every quantizer is graded on identical data.
+pub struct EvalHarness<'m> {
+    model: &'m Model,
+    corpus: Vec<Vec<u32>>,
+    piqa: Vec<McqTask>,
+    winogrande: Vec<McqTask>,
+    hellaswag: Vec<McqTask>,
+    kv_dim: usize,
+}
+
+impl std::fmt::Debug for EvalHarness<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalHarness")
+            .field("model", &self.model.config().name)
+            .field("corpus_seqs", &self.corpus.len())
+            .finish()
+    }
+}
+
+impl<'m> EvalHarness<'m> {
+    /// Generates all datasets from the FP32 model.
+    pub fn new(model: &'m Model, spec: &EvalSpec) -> Self {
+        let gen = SyntheticDatasets::new(model);
+        Self {
+            corpus: gen.corpus(&spec.corpus),
+            piqa: gen.mcq(&spec.piqa),
+            winogrande: gen.mcq(&spec.winogrande),
+            hellaswag: gen.mcq(&spec.hellaswag),
+            kv_dim: model.config().kv_dim(),
+            model,
+        }
+    }
+
+    /// Evaluates one method. `None` runs the lossless FP32 reference.
+    pub fn evaluate(&self, method: Option<Arc<dyn KvQuantizer>>) -> AccuracyRow {
+        let name = method.as_ref().map_or("fp32", |m| m.name()).to_owned();
+        let effective_bits = method
+            .as_ref()
+            .map_or(32.0, |m| m.effective_bits(1024, self.kv_dim));
+        let make_cache = || -> Box<dyn KvCacheBackend + 'm> {
+            match &method {
+                None => Box::new(ExactCache::new()),
+                Some(q) => Box::new(QuantizedCache::new(Arc::clone(q))),
+            }
+        };
+        AccuracyRow {
+            method: name,
+            perplexity: perplexity(self.model, make_cache, &self.corpus),
+            piqa: mcq_accuracy(self.model, make_cache, &self.piqa),
+            winogrande: mcq_accuracy(self.model, make_cache, &self.winogrande),
+            hellaswag: mcq_accuracy(self.model, make_cache, &self.hellaswag),
+            effective_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oaken_model::ModelConfig;
+
+    #[test]
+    fn oaken_profiling_covers_all_layers() {
+        let model = Model::synthetic(ModelConfig::llama2_7b().proxy(2, 32), 5);
+        let q = profile_oaken(&model, OakenConfig::default(), 4, 16, 99);
+        assert_eq!(q.thresholds().num_layers(), 2);
+        for (_, lt) in q.thresholds().iter() {
+            assert!(lt.key.validate().is_ok());
+            assert!(lt.value.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn fp32_row_is_the_reference() {
+        let model = Model::synthetic(ModelConfig::llama2_7b().proxy(2, 32), 5);
+        let h = EvalHarness::new(&model, &EvalSpec::quick());
+        let row = h.evaluate(None);
+        assert_eq!(row.method, "fp32");
+        assert!(row.perplexity.is_finite() && row.perplexity > 1.0);
+        assert!(row.mean_accuracy() >= 50.0, "{row:?}");
+        assert_eq!(row.effective_bits, 32.0);
+    }
+
+    #[test]
+    fn oaken_row_close_to_fp32() {
+        let model = Model::synthetic(ModelConfig::llama2_7b().proxy(2, 32), 5);
+        let h = EvalHarness::new(&model, &EvalSpec::quick());
+        let fp32 = h.evaluate(None);
+        let oaken = profile_oaken(&model, OakenConfig::default(), 6, 24, 99);
+        let row = h.evaluate(Some(Arc::new(oaken)));
+        assert_eq!(row.method, "oaken");
+        // Perplexity degradation should be modest (paper: ~1% relative).
+        assert!(
+            row.perplexity < fp32.perplexity * 1.35,
+            "oaken {} vs fp32 {}",
+            row.perplexity,
+            fp32.perplexity
+        );
+    }
+}

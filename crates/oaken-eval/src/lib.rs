@@ -1,0 +1,39 @@
+//! Evaluation harness for the Oaken reproduction: synthetic datasets,
+//! perplexity, zero-shot accuracy, KV-distribution probes, and
+//! quantization-error metrics.
+//!
+//! # Methodology note (dataset substitution)
+//!
+//! The paper evaluates on Wikitext2 (perplexity) and PIQA / Winogrande /
+//! Hellaswag (zero-shot accuracy) with pretrained checkpoints. Neither the
+//! checkpoints nor the datasets are available here, so the harness measures
+//! the *same quantity Table 2 actually compares* — degradation relative to
+//! the full-precision run of the same model — using model-generated data:
+//!
+//! * **perplexity corpora** are sequences sampled from the FP32 proxy model
+//!   at moderate temperature. The FP32 model assigns them low perplexity by
+//!   construction; KV-cache quantization perturbs attention and measurably
+//!   raises it. Different "datasets" use different sampling seeds and
+//!   temperatures (Wikitext2-like is the lowest-temperature, most
+//!   predictable corpus).
+//! * **MCQ tasks** pair a prompt with its own high-likelihood continuation
+//!   (correct answer) and low-likelihood distractors; accuracy is whether
+//!   the (quantized) model still ranks the correct continuation first by
+//!   sequence log-probability — the standard zero-shot scoring rule.
+//!
+//! This preserves exactly what the paper's accuracy experiment isolates:
+//! the error introduced by each KV-cache quantizer.
+
+pub mod datasets;
+pub mod distribution;
+pub mod harness;
+pub mod perplexity;
+pub mod sqnr;
+pub mod zeroshot;
+
+pub use datasets::{CorpusSpec, McqSpec, McqTask, SyntheticDatasets};
+pub use distribution::{channel_concentration, kv_layer_ranges, LayerRange};
+pub use harness::{profile_oaken, AccuracyRow, EvalHarness};
+pub use perplexity::{perplexity, sequence_logprob};
+pub use sqnr::{mse, sqnr_db};
+pub use zeroshot::mcq_accuracy;

@@ -1,0 +1,78 @@
+//! Elementwise quantization-error metrics.
+
+/// Mean squared error between a reference and its reconstruction.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mse(reference: &[f32], reconstruction: &[f32]) -> f64 {
+    assert_eq!(reference.len(), reconstruction.len(), "length mismatch");
+    assert!(!reference.is_empty(), "empty input");
+    reference
+        .iter()
+        .zip(reconstruction)
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum::<f64>()
+        / reference.len() as f64
+}
+
+/// Signal-to-quantization-noise ratio in dB:
+/// `10 log10(Σ x² / Σ (x − x̂)²)`. Returns `f64::INFINITY` for an exact
+/// reconstruction.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn sqnr_db(reference: &[f32], reconstruction: &[f32]) -> f64 {
+    let signal: f64 = reference.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+    let noise: f64 = reference
+        .iter()
+        .zip(reconstruction)
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum();
+    assert_eq!(reference.len(), reconstruction.len(), "length mismatch");
+    assert!(!reference.is_empty(), "empty input");
+    if noise == 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (signal / noise).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let x = [1.0, -2.0, 3.0];
+        assert_eq!(mse(&x, &x), 0.0);
+        assert_eq!(sqnr_db(&x, &x), f64::INFINITY);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let a = [0.0, 0.0];
+        let b = [1.0, -1.0];
+        assert_eq!(mse(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn sqnr_improves_with_better_reconstruction() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let coarse = [1.5, 1.5, 3.5, 3.5];
+        let fine = [1.1, 2.1, 2.9, 3.9];
+        assert!(sqnr_db(&x, &fine) > sqnr_db(&x, &coarse));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn checks_lengths() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Zero-shot multiple-choice scoring: the model (through a possibly lossy
+//! KV cache) picks the continuation with the highest sequence
+//! log-probability, and accuracy is the fraction of items answered
+//! correctly — the scoring rule used for PIQA / Winogrande / Hellaswag.
+
+use crate::datasets::McqTask;
+use oaken_model::{KvCacheBackend, Model};
+use oaken_tensor::log_softmax;
+
+/// Scores one `(prompt, continuation)` pair: `Σ log p(cont_i | prefix)`.
+fn continuation_logprob<'m>(
+    model: &'m Model,
+    cache: Box<dyn KvCacheBackend + 'm>,
+    prompt: &[u32],
+    cont: &[u32],
+) -> f64 {
+    let mut session = model.session(cache);
+    let mut logits = session.prefill(prompt);
+    let mut total = 0.0f64;
+    for &tok in cont {
+        let lsm = log_softmax(&logits);
+        total += f64::from(lsm[tok as usize]);
+        logits = session.advance(tok);
+    }
+    total
+}
+
+/// Zero-shot accuracy (%) over a task set, each choice evaluated with a
+/// fresh cache from `make_cache`.
+///
+/// # Panics
+///
+/// Panics if `tasks` is empty.
+#[allow(clippy::needless_lifetimes)]
+pub fn mcq_accuracy<'m, F>(model: &'m Model, mut make_cache: F, tasks: &[McqTask]) -> f64
+where
+    F: FnMut() -> Box<dyn KvCacheBackend + 'm>,
+{
+    assert!(!tasks.is_empty(), "task set must not be empty");
+    let mut correct = 0usize;
+    for task in tasks {
+        let mut best = f64::NEG_INFINITY;
+        let mut best_idx = 0usize;
+        for (i, choice) in task.choices.iter().enumerate() {
+            let lp = continuation_logprob(model, make_cache(), &task.prompt, choice);
+            if lp > best {
+                best = lp;
+                best_idx = i;
+            }
+        }
+        if best_idx == task.correct {
+            correct += 1;
+        }
+    }
+    100.0 * correct as f64 / tasks.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{McqSpec, SyntheticDatasets};
+    use oaken_model::{ExactCache, Model, ModelConfig};
+
+    #[test]
+    fn fp32_model_beats_chance_on_its_own_tasks() {
+        let m = Model::synthetic(ModelConfig::llama2_7b().proxy(2, 32), 17);
+        let spec = McqSpec {
+            num_tasks: 10,
+            prompt_len: 8,
+            cont_len: 4,
+            num_choices: 2,
+            seed: 3,
+        };
+        let tasks = SyntheticDatasets::new(&m).mcq(&spec);
+        let acc = mcq_accuracy(&m, || Box::new(ExactCache::new()), &tasks);
+        assert!(acc >= 70.0, "FP32 should ace self-generated tasks: {acc}%");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn rejects_empty_task_sets() {
+        let m = Model::synthetic(ModelConfig::llama2_7b().proxy(2, 32), 17);
+        mcq_accuracy(&m, || Box::new(ExactCache::new()), &[]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Physical page allocator over the device memory's single address space.
+
+use crate::PhysAddr;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u32);
+
+/// Allocation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The device memory has no free pages left (the OOM condition of
+    /// Figures 4/11/13).
+    OutOfPages {
+        /// Total pages in the device.
+        capacity: u32,
+    },
+    /// A page was freed twice or was never allocated.
+    NotAllocated {
+        /// The offending page.
+        page: PageId,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfPages { capacity } => {
+                write!(f, "out of memory: all {capacity} pages allocated")
+            }
+            AllocError::NotAllocated { page } => {
+                write!(f, "page {page:?} is not currently allocated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A first-fit (lowest-id-first) physical page allocator.
+///
+/// Lowest-id-first keeps pages of one stream as adjacent as the global
+/// allocation pattern allows, which the burst planner rewards.
+#[derive(Debug, Clone)]
+pub struct PageAllocator {
+    page_size: usize,
+    num_pages: u32,
+    free: BTreeSet<PageId>,
+}
+
+impl PageAllocator {
+    /// Creates an allocator over `num_pages` pages of `page_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    pub fn new(num_pages: u32, page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        Self {
+            page_size,
+            num_pages,
+            free: (0..num_pages).map(PageId).collect(),
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Total pages.
+    pub fn capacity(&self) -> u32 {
+        self.num_pages
+    }
+
+    /// Currently free pages.
+    pub fn free_pages(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Currently allocated pages.
+    pub fn allocated_pages(&self) -> u32 {
+        self.num_pages - self.free_pages()
+    }
+
+    /// Allocates the lowest-numbered free page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::OutOfPages`] when the device is full.
+    pub fn alloc(&mut self) -> Result<PageId, AllocError> {
+        let page = *self.free.iter().next().ok_or(AllocError::OutOfPages {
+            capacity: self.num_pages,
+        })?;
+        self.free.remove(&page);
+        Ok(page)
+    }
+
+    /// Frees a page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::NotAllocated`] on double-free or an invalid id.
+    pub fn free(&mut self, page: PageId) -> Result<(), AllocError> {
+        if page.0 >= self.num_pages || self.free.contains(&page) {
+            return Err(AllocError::NotAllocated { page });
+        }
+        self.free.insert(page);
+        Ok(())
+    }
+
+    /// Physical base address of a page.
+    pub fn base_addr(&self, page: PageId) -> PhysAddr {
+        PhysAddr(u64::from(page.0) * self.page_size as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_lowest_first() {
+        let mut a = PageAllocator::new(4, 4096);
+        assert_eq!(a.alloc().unwrap(), PageId(0));
+        assert_eq!(a.alloc().unwrap(), PageId(1));
+        assert_eq!(a.free_pages(), 2);
+    }
+
+    #[test]
+    fn exhaustion_is_oom() {
+        let mut a = PageAllocator::new(2, 64);
+        a.alloc().unwrap();
+        a.alloc().unwrap();
+        assert_eq!(
+            a.alloc(),
+            Err(AllocError::OutOfPages { capacity: 2 })
+        );
+    }
+
+    #[test]
+    fn freed_pages_are_reused() {
+        let mut a = PageAllocator::new(2, 64);
+        let p0 = a.alloc().unwrap();
+        let _p1 = a.alloc().unwrap();
+        a.free(p0).unwrap();
+        assert_eq!(a.alloc().unwrap(), p0);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = PageAllocator::new(2, 64);
+        let p = a.alloc().unwrap();
+        a.free(p).unwrap();
+        assert!(matches!(a.free(p), Err(AllocError::NotAllocated { .. })));
+        assert!(matches!(
+            a.free(PageId(9)),
+            Err(AllocError::NotAllocated { .. })
+        ));
+    }
+
+    #[test]
+    fn base_addresses_are_page_aligned() {
+        let a = PageAllocator::new(8, 4096);
+        assert_eq!(a.base_addr(PageId(0)), PhysAddr(0));
+        assert_eq!(a.base_addr(PageId(3)), PhysAddr(3 * 4096));
+    }
+}

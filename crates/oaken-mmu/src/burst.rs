@@ -1,0 +1,139 @@
+//! Burst planning: coalescing per-token reads into long contiguous memory
+//! transactions (§5.2 challenge 2, "read-write granularity and order
+//! determination").
+//!
+//! Because the MMU writes each head's KV history sequentially, the read
+//! plan for a generation-phase attention fetch is mostly contiguous; the
+//! planner merges adjacent ranges and reports how efficiently the resulting
+//! bursts use the memory bus.
+
+use crate::table::TableEntry;
+
+/// The result of coalescing a read plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BurstPlan {
+    /// Coalesced `(start_address, length)` bursts in issue order.
+    pub bursts: Vec<(u64, u64)>,
+    /// Total payload bytes.
+    pub total_bytes: u64,
+    /// Bus transactions needed at the given transaction granularity.
+    pub transactions: u64,
+}
+
+impl BurstPlan {
+    /// Mean burst length in bytes (0 for an empty plan).
+    pub fn mean_burst(&self) -> f64 {
+        if self.bursts.is_empty() {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.bursts.len() as f64
+        }
+    }
+
+    /// Bus efficiency: payload bytes over bytes actually moved
+    /// (`transactions × granularity`). 1.0 means every transaction is full.
+    pub fn efficiency(&self, granularity: u64) -> f64 {
+        if self.transactions == 0 {
+            return 1.0;
+        }
+        self.total_bytes as f64 / (self.transactions * granularity) as f64
+    }
+}
+
+/// Coalesces token-ordered table entries into bursts and counts bus
+/// transactions of `granularity` bytes (64 B models a DRAM burst).
+///
+/// # Panics
+///
+/// Panics if `granularity` is zero.
+pub fn plan_bursts<'a>(entries: impl Iterator<Item = &'a TableEntry>, granularity: u64) -> BurstPlan {
+    assert!(granularity > 0, "transaction granularity must be positive");
+    let mut bursts: Vec<(u64, u64)> = Vec::new();
+    let mut total = 0u64;
+    for e in entries {
+        let start = e.addr.0;
+        let len = u64::from(e.size);
+        if len == 0 {
+            continue;
+        }
+        total += len;
+        match bursts.last_mut() {
+            Some((bstart, blen)) if *bstart + *blen == start => *blen += len,
+            _ => bursts.push((start, len)),
+        }
+    }
+    let transactions = bursts
+        .iter()
+        .map(|&(start, len)| {
+            let first = start / granularity;
+            let last = (start + len - 1) / granularity;
+            last - first + 1
+        })
+        .sum();
+    BurstPlan {
+        bursts,
+        total_bytes: total,
+        transactions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PhysAddr;
+
+    fn entry(addr: u64, size: u32) -> TableEntry {
+        TableEntry {
+            addr: PhysAddr(addr),
+            size,
+        }
+    }
+
+    #[test]
+    fn contiguous_entries_coalesce_to_one_burst() {
+        let es = [entry(0, 64), entry(64, 64), entry(128, 64)];
+        let plan = plan_bursts(es.iter(), 64);
+        assert_eq!(plan.bursts, vec![(0, 192)]);
+        assert_eq!(plan.transactions, 3);
+        assert_eq!(plan.efficiency(64), 1.0);
+        assert_eq!(plan.mean_burst(), 192.0);
+    }
+
+    #[test]
+    fn gaps_split_bursts() {
+        let es = [entry(0, 64), entry(256, 64)];
+        let plan = plan_bursts(es.iter(), 64);
+        assert_eq!(plan.bursts.len(), 2);
+        assert_eq!(plan.total_bytes, 128);
+    }
+
+    #[test]
+    fn small_scattered_reads_waste_bus() {
+        // 8-byte reads scattered across distinct 64B lines: efficiency 1/8.
+        let es: Vec<TableEntry> = (0..8).map(|i| entry(i * 640, 8)).collect();
+        let plan = plan_bursts(es.iter(), 64);
+        assert_eq!(plan.transactions, 8);
+        assert!((plan.efficiency(64) - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unaligned_burst_spans_extra_transaction() {
+        // 64 bytes starting at offset 32 touches two 64B lines.
+        let plan = plan_bursts([entry(32, 64)].iter(), 64);
+        assert_eq!(plan.transactions, 2);
+    }
+
+    #[test]
+    fn empty_plan_is_benign() {
+        let plan = plan_bursts([].iter(), 64);
+        assert_eq!(plan.total_bytes, 0);
+        assert_eq!(plan.mean_burst(), 0.0);
+        assert_eq!(plan.efficiency(64), 1.0);
+    }
+
+    #[test]
+    fn zero_size_entries_skipped() {
+        let plan = plan_bursts([entry(0, 0), entry(0, 64)].iter(), 64);
+        assert_eq!(plan.bursts, vec![(0, 64)]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Functional model of Oaken's memory management unit (paper §5.2,
+//! Figure 10).
+//!
+//! The MMU manages the quantized KV cache in device memory at *page*
+//! granularity, with two management tables per stream:
+//!
+//! * the **dense table** holds fixed-size transfer entries (the packed
+//!   4-bit dense matrix has a predictable per-token size);
+//! * the **sparse table** holds variable-size entries (the COO outlier
+//!   stream length changes token to token), which is why transfer sizes are
+//!   recorded per token.
+//!
+//! Both map a single virtual address space onto physical pages, and the
+//! write layout implements the paper's burst-order rule: key-value vectors
+//! are split per attention head and appended *sequentially* to that head's
+//! pages, so reading the whole history of one head during generation is a
+//! stream of long contiguous bursts.
+//!
+//! The model is functional rather than cycle-accurate: it tracks page
+//! allocation, address translation, per-token transfer sizes, burst
+//! coalescing, and fragmentation — the quantities the performance simulator
+//! and the Figure 11/13 capacity arguments consume.
+
+pub mod alloc;
+pub mod burst;
+pub mod stream;
+pub mod table;
+
+pub use alloc::{AllocError, PageAllocator, PageId};
+pub use burst::{plan_bursts, BurstPlan};
+pub use stream::{MmuSim, StreamClass, StreamKey, WriteReceipt};
+pub use table::{StreamTable, TableEntry};
+
+/// Physical byte address in the device memory's single address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// Byte offset addition.
+    pub fn offset(self, bytes: u64) -> PhysAddr {
+        PhysAddr(self.0 + bytes)
+    }
+}
+
+impl std::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}

@@ -1,0 +1,85 @@
+//! Management tables: per-token physical addresses and transfer sizes
+//! (Figure 10's "Dense Management Table" and "Sparse Management Table").
+
+use crate::PhysAddr;
+
+/// One table row: where a token's data starts and how many bytes to
+/// transfer. Dense streams have constant sizes; sparse streams vary per
+//  token with the outlier count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableEntry {
+    /// Physical start address.
+    pub addr: PhysAddr,
+    /// Transfer size in bytes.
+    pub size: u32,
+}
+
+/// The per-stream management table: one entry per cached token, in token
+/// order, "considering up to the maximum sequence length per attention
+/// head" (§5.2).
+#[derive(Debug, Clone, Default)]
+pub struct StreamTable {
+    entries: Vec<TableEntry>,
+}
+
+impl StreamTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the entry for a newly written token.
+    pub fn push(&mut self, entry: TableEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Number of cached tokens.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the stream has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry for token `t`.
+    pub fn get(&self, t: usize) -> Option<&TableEntry> {
+        self.entries.get(t)
+    }
+
+    /// Iterates entries in token order — the read plan for a full-history
+    /// generation-phase fetch.
+    pub fn iter(&self) -> impl Iterator<Item = &TableEntry> {
+        self.entries.iter()
+    }
+
+    /// Total bytes the stream occupies.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| u64::from(e.size)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_tracks_tokens_in_order() {
+        let mut t = StreamTable::new();
+        assert!(t.is_empty());
+        t.push(TableEntry {
+            addr: PhysAddr(0),
+            size: 32,
+        });
+        t.push(TableEntry {
+            addr: PhysAddr(32),
+            size: 40,
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1).unwrap().size, 40);
+        assert_eq!(t.total_bytes(), 72);
+        let addrs: Vec<u64> = t.iter().map(|e| e.addr.0).collect();
+        assert_eq!(addrs, vec![0, 32]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the MMU: allocation safety and address-translation
+//! laws under arbitrary interleaved workloads.
+
+use oaken_mmu::{MmuSim, PageAllocator, StreamClass, StreamKey};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No page is ever handed out twice while allocated.
+    #[test]
+    fn allocator_never_double_allocates(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut alloc = PageAllocator::new(32, 4096);
+        let mut held = Vec::new();
+        let mut seen = HashSet::new();
+        for op in ops {
+            if op || held.is_empty() {
+                if let Ok(p) = alloc.alloc() {
+                    prop_assert!(seen.insert(p), "page {p:?} double-allocated");
+                    held.push(p);
+                }
+            } else {
+                let p = held.swap_remove(0);
+                alloc.free(p).unwrap();
+                seen.remove(&p);
+            }
+        }
+        prop_assert_eq!(
+            alloc.allocated_pages() as usize,
+            held.len(),
+            "book-keeping must match"
+        );
+    }
+
+    /// Streams never overlap in physical memory: every (addr, size) range
+    /// of one stream is disjoint from every range of every other stream.
+    #[test]
+    fn streams_are_physically_disjoint(
+        writes in prop::collection::vec((0u32..3, 0u16..3, 1u32..200), 1..120),
+    ) {
+        let mut mmu = MmuSim::new(256, 512);
+        let mut keys = HashSet::new();
+        for (request, head, bytes) in writes {
+            let key = StreamKey { request, layer: 0, head, class: StreamClass::Dense };
+            if mmu.write_token(key, bytes).is_ok() {
+                keys.insert(key);
+            }
+        }
+        let mut occupied: Vec<(u64, u64, StreamKey)> = Vec::new();
+        for key in &keys {
+            let table = mmu.table(key).unwrap();
+            for e in table.iter() {
+                let start = e.addr.0;
+                let end = start + u64::from(e.size);
+                for &(s, e2, other) in &occupied {
+                    let overlap = start < e2 && s < end;
+                    prop_assert!(
+                        !overlap,
+                        "ranges [{start},{end}) of {key:?} and [{s},{e2}) of {other:?} overlap"
+                    );
+                }
+                occupied.push((start, end, *key));
+            }
+        }
+    }
+
+    /// Burst plans are exact: coalesced ranges cover exactly the written
+    /// bytes, in order, without overlap.
+    #[test]
+    fn burst_plan_partitions_the_stream(
+        sizes in prop::collection::vec(1u32..300, 1..80),
+    ) {
+        let mut mmu = MmuSim::new(512, 1024);
+        let key = StreamKey { request: 1, layer: 0, head: 0, class: StreamClass::Sparse };
+        let mut total = 0u64;
+        for s in &sizes {
+            mmu.write_token(key, *s).unwrap();
+            total += u64::from(*s);
+        }
+        let plan = mmu.read_plan(&key, 64);
+        prop_assert_eq!(plan.total_bytes, total);
+        let burst_sum: u64 = plan.bursts.iter().map(|&(_, len)| len).sum();
+        prop_assert_eq!(burst_sum, total);
+        // Bursts strictly ordered and non-overlapping.
+        for w in plan.bursts.windows(2) {
+            prop_assert!(w[0].0 + w[0].1 <= w[1].0);
+        }
+        // Transactions at least cover the payload.
+        prop_assert!(plan.transactions * 64 >= total);
+    }
+
+    /// Fragmentation is always in [0, 1) and free restores it to zero for
+    /// a fully-retired MMU.
+    #[test]
+    fn fragmentation_bounded_and_recoverable(
+        sizes in prop::collection::vec(1u32..512, 1..60),
+    ) {
+        let mut mmu = MmuSim::new(256, 512);
+        let key = StreamKey { request: 3, layer: 1, head: 2, class: StreamClass::Dense };
+        for s in sizes {
+            let _ = mmu.write_token(key, s);
+        }
+        let frag = mmu.internal_fragmentation();
+        prop_assert!((0.0..1.0).contains(&frag), "{frag}");
+        mmu.free_request(3).unwrap();
+        prop_assert_eq!(mmu.internal_fragmentation(), 0.0);
+        prop_assert_eq!(mmu.allocator().free_pages(), 256);
+    }
+}

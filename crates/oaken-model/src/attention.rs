@@ -1,0 +1,169 @@
+//! Single-token multi-head attention over the cached KV matrices —
+//! the un-batchable activation-activation operation at the heart of the
+//! paper's bandwidth argument (§2.2, Figure 2b).
+//!
+//! Supports multi-head (MHA), grouped-query (GQA), and sliding-window
+//! attention as used by the eight evaluation models.
+
+use oaken_tensor::softmax_in_place;
+
+/// Shape parameters for one attention call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttentionShape {
+    /// Query heads.
+    pub num_heads: usize,
+    /// Key/value heads (divides `num_heads`).
+    pub num_kv_heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+    /// Sliding-window span, if any.
+    pub window: Option<usize>,
+}
+
+impl AttentionShape {
+    /// Query width, `num_heads × head_dim`.
+    pub fn q_dim(&self) -> usize {
+        self.num_heads * self.head_dim
+    }
+
+    /// KV width, `num_kv_heads × head_dim`.
+    pub fn kv_dim(&self) -> usize {
+        self.num_kv_heads * self.head_dim
+    }
+
+    /// How many query heads share one KV head.
+    pub fn group_size(&self) -> usize {
+        self.num_heads / self.num_kv_heads.max(1)
+    }
+}
+
+/// Computes attention for a single query token against `seq_len` cached
+/// positions, returning the `[num_heads × head_dim]` context vector
+/// (the `C` rows of Figure 2b).
+///
+/// `keys`/`values` are row-major `[seq_len × kv_dim]`.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the shape parameters.
+pub fn attend_one(
+    q: &[f32],
+    keys: &[f32],
+    values: &[f32],
+    seq_len: usize,
+    shape: &AttentionShape,
+) -> Vec<f32> {
+    let hd = shape.head_dim;
+    let kv_dim = shape.kv_dim();
+    assert_eq!(q.len(), shape.q_dim(), "query width mismatch");
+    assert_eq!(keys.len(), seq_len * kv_dim, "key matrix shape mismatch");
+    assert_eq!(values.len(), seq_len * kv_dim, "value matrix shape mismatch");
+
+    let start = match shape.window {
+        Some(w) => seq_len.saturating_sub(w),
+        None => 0,
+    };
+    let span = seq_len - start;
+    let inv_sqrt = 1.0 / (hd as f32).sqrt();
+    let group = shape.group_size();
+
+    let mut out = vec![0.0f32; shape.q_dim()];
+    let mut scores = vec![0.0f32; span];
+    for h in 0..shape.num_heads {
+        let kvh = h / group.max(1);
+        let q_h = &q[h * hd..(h + 1) * hd];
+        for (i, t) in (start..seq_len).enumerate() {
+            let k_t = &keys[t * kv_dim + kvh * hd..t * kv_dim + (kvh + 1) * hd];
+            scores[i] = q_h.iter().zip(k_t).map(|(&a, &b)| a * b).sum::<f32>() * inv_sqrt;
+        }
+        softmax_in_place(&mut scores);
+        let out_h = &mut out[h * hd..(h + 1) * hd];
+        for (i, t) in (start..seq_len).enumerate() {
+            let p = scores[i];
+            if p == 0.0 {
+                continue;
+            }
+            let v_t = &values[t * kv_dim + kvh * hd..t * kv_dim + (kvh + 1) * hd];
+            for (o, &v) in out_h.iter_mut().zip(v_t) {
+                *o += p * v;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(heads: usize, kv: usize, hd: usize, window: Option<usize>) -> AttentionShape {
+        AttentionShape {
+            num_heads: heads,
+            num_kv_heads: kv,
+            head_dim: hd,
+            window,
+        }
+    }
+
+    #[test]
+    fn single_position_returns_its_value() {
+        let s = shape(2, 2, 2, None);
+        let q = vec![1.0, 0.0, 0.0, 1.0];
+        let keys = vec![0.5, 0.5, 0.5, 0.5];
+        let values = vec![1.0, 2.0, 3.0, 4.0];
+        let out = attend_one(&q, &keys, &values, 1, &s);
+        // One position → softmax weight 1 → output = its value.
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn attends_to_matching_key() {
+        let s = shape(1, 1, 2, None);
+        let q = vec![10.0, 0.0];
+        // Position 0 key aligned with q, position 1 orthogonal.
+        let keys = vec![1.0, 0.0, 0.0, 1.0];
+        let values = vec![5.0, 5.0, -5.0, -5.0];
+        let out = attend_one(&q, &keys, &values, 2, &s);
+        assert!(out[0] > 4.5, "should focus on position 0: {out:?}");
+    }
+
+    #[test]
+    fn gqa_shares_kv_heads() {
+        // 4 query heads, 2 KV heads: heads 0-1 use kv0, heads 2-3 use kv1.
+        let s = shape(4, 2, 1, None);
+        let q = vec![1.0; 4];
+        let keys = vec![1.0, 1.0]; // one token, kv_dim=2
+        let values = vec![7.0, 9.0];
+        let out = attend_one(&q, &keys, &values, 1, &s);
+        assert_eq!(out, vec![7.0, 7.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn sliding_window_ignores_old_tokens() {
+        let s = shape(1, 1, 1, Some(2));
+        let q = vec![1.0];
+        // Three tokens; the first has a huge value but falls outside the
+        // window of 2.
+        let keys = vec![5.0, 1.0, 1.0];
+        let values = vec![1000.0, 1.0, 2.0];
+        let out = attend_one(&q, &keys, &values, 3, &s);
+        assert!(out[0] < 3.0, "window must exclude token 0: {out:?}");
+    }
+
+    #[test]
+    fn uniform_keys_average_values() {
+        let s = shape(1, 1, 1, None);
+        let q = vec![0.0]; // zero query → uniform scores
+        let keys = vec![1.0, 2.0, 3.0, 4.0];
+        let values = vec![1.0, 2.0, 3.0, 4.0];
+        let out = attend_one(&q, &keys, &values, 4, &s);
+        assert!((out[0] - 2.5).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "query width mismatch")]
+    fn validates_query_width() {
+        let s = shape(2, 2, 4, None);
+        attend_one(&[0.0; 4], &[0.0; 8], &[0.0; 8], 1, &s);
+    }
+}

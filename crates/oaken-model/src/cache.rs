@@ -1,0 +1,276 @@
+//! KV cache backends with pluggable quantization.
+//!
+//! The model writes each generated token's K/V vector through a
+//! [`KvCacheBackend`]; attention reads the (possibly lossy) cached
+//! matrices back. [`ExactCache`] stores f32 (the FP32 reference);
+//! [`QuantizedCache`] routes all storage through any [`KvQuantizer`]
+//! (Oaken or a baseline), so quantization error propagates through
+//! attention into the logits exactly as it would on real hardware.
+
+use oaken_core::{KvKind, KvQuantizer};
+use std::sync::Arc;
+
+/// Storage backend for the per-layer KV cache.
+pub trait KvCacheBackend: Send {
+    /// Clears all state and prepares storage for `num_layers` layers of
+    /// `kv_dim`-wide vectors.
+    fn reset(&mut self, num_layers: usize, kv_dim: usize);
+
+    /// Appends the current token's key and value vectors for `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `layer` is out of range or the vector
+    /// width disagrees with `kv_dim`.
+    fn append(&mut self, layer: usize, k: &[f32], v: &[f32]);
+
+    /// Number of cached tokens for `layer`.
+    fn seq_len(&self, layer: usize) -> usize;
+
+    /// Row-major `[seq_len × kv_dim]` view of the cached keys as the
+    /// compute engine sees them (dequantized for lossy backends).
+    fn keys(&mut self, layer: usize) -> &[f32];
+
+    /// Row-major view of the cached values.
+    fn values(&mut self, layer: usize) -> &[f32];
+
+    /// Mean stored bits per cached element, for capacity accounting.
+    fn stored_bits_per_elem(&self) -> f64;
+}
+
+#[derive(Debug, Default, Clone)]
+struct LayerStore {
+    k: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// Lossless f32 cache: the "Original" reference configuration.
+#[derive(Debug, Default)]
+pub struct ExactCache {
+    kv_dim: usize,
+    layers: Vec<LayerStore>,
+}
+
+impl ExactCache {
+    /// Creates an empty cache; call [`KvCacheBackend::reset`] before use
+    /// (the model session does this automatically).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl KvCacheBackend for ExactCache {
+    fn reset(&mut self, num_layers: usize, kv_dim: usize) {
+        self.kv_dim = kv_dim;
+        self.layers = vec![LayerStore::default(); num_layers];
+    }
+
+    fn append(&mut self, layer: usize, k: &[f32], v: &[f32]) {
+        assert_eq!(k.len(), self.kv_dim, "key width mismatch");
+        assert_eq!(v.len(), self.kv_dim, "value width mismatch");
+        let store = &mut self.layers[layer];
+        store.k.extend_from_slice(k);
+        store.v.extend_from_slice(v);
+    }
+
+    fn seq_len(&self, layer: usize) -> usize {
+        if self.kv_dim == 0 {
+            return 0;
+        }
+        self.layers[layer].k.len() / self.kv_dim
+    }
+
+    fn keys(&mut self, layer: usize) -> &[f32] {
+        &self.layers[layer].k
+    }
+
+    fn values(&mut self, layer: usize) -> &[f32] {
+        &self.layers[layer].v
+    }
+
+    fn stored_bits_per_elem(&self) -> f64 {
+        32.0
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct QuantLayerStore {
+    exact_k: Vec<f32>,
+    exact_v: Vec<f32>,
+    view_k: Vec<f32>,
+    view_v: Vec<f32>,
+    dirty_k: bool,
+    dirty_v: bool,
+}
+
+/// A cache that stores all KV data through a [`KvQuantizer`].
+///
+/// On every read the backend re-materialises the quantized view of any
+/// layer whose contents changed. Per-token methods (Oaken) produce
+/// identical results to true streaming because rows are independent;
+/// per-channel methods (KIVI/KVQuant keys) see mildly *optimistic* scales
+/// (recomputed over the full prefix rather than frozen per block), which
+/// favours the baselines, never Oaken.
+pub struct QuantizedCache {
+    quantizer: Arc<dyn KvQuantizer>,
+    kv_dim: usize,
+    layers: Vec<QuantLayerStore>,
+}
+
+impl QuantizedCache {
+    /// Creates a cache backed by `quantizer`.
+    pub fn new(quantizer: Arc<dyn KvQuantizer>) -> Self {
+        Self {
+            quantizer,
+            kv_dim: 0,
+            layers: Vec::new(),
+        }
+    }
+
+    /// The backing quantizer's name.
+    pub fn quantizer_name(&self) -> &'static str {
+        self.quantizer.name()
+    }
+
+    fn refresh(&mut self, layer: usize, kind: KvKind) {
+        let kv_dim = self.kv_dim;
+        let store = &mut self.layers[layer];
+        let (exact, view, dirty) = match kind {
+            KvKind::Key => (&store.exact_k, &mut store.view_k, &mut store.dirty_k),
+            KvKind::Value => (&store.exact_v, &mut store.view_v, &mut store.dirty_v),
+        };
+        if *dirty {
+            let rows = exact.len() / kv_dim.max(1);
+            *view = self
+                .quantizer
+                .roundtrip_matrix(exact, rows, kv_dim, layer, kind);
+            *dirty = false;
+        }
+    }
+}
+
+impl std::fmt::Debug for QuantizedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantizedCache")
+            .field("quantizer", &self.quantizer.name())
+            .field("kv_dim", &self.kv_dim)
+            .field("layers", &self.layers.len())
+            .finish()
+    }
+}
+
+impl KvCacheBackend for QuantizedCache {
+    fn reset(&mut self, num_layers: usize, kv_dim: usize) {
+        self.kv_dim = kv_dim;
+        self.layers = vec![QuantLayerStore::default(); num_layers];
+    }
+
+    fn append(&mut self, layer: usize, k: &[f32], v: &[f32]) {
+        assert_eq!(k.len(), self.kv_dim, "key width mismatch");
+        assert_eq!(v.len(), self.kv_dim, "value width mismatch");
+        let store = &mut self.layers[layer];
+        store.exact_k.extend_from_slice(k);
+        store.exact_v.extend_from_slice(v);
+        store.dirty_k = true;
+        store.dirty_v = true;
+    }
+
+    fn seq_len(&self, layer: usize) -> usize {
+        if self.kv_dim == 0 {
+            return 0;
+        }
+        self.layers[layer].exact_k.len() / self.kv_dim
+    }
+
+    fn keys(&mut self, layer: usize) -> &[f32] {
+        self.refresh(layer, KvKind::Key);
+        &self.layers[layer].view_k
+    }
+
+    fn values(&mut self, layer: usize) -> &[f32] {
+        self.refresh(layer, KvKind::Value);
+        &self.layers[layer].view_v
+    }
+
+    fn stored_bits_per_elem(&self) -> f64 {
+        let rows = self
+            .layers
+            .first()
+            .map_or(1, |l| (l.exact_k.len() / self.kv_dim.max(1)).max(1));
+        self.quantizer.effective_bits(rows, self.kv_dim.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oaken_core::OnlineCost;
+
+    /// A deliberately terrible quantizer: rounds to integers.
+    struct RoundingQuantizer;
+
+    impl KvQuantizer for RoundingQuantizer {
+        fn name(&self) -> &'static str {
+            "round"
+        }
+        fn roundtrip_matrix(
+            &self,
+            data: &[f32],
+            _rows: usize,
+            _d: usize,
+            _layer: usize,
+            _kind: KvKind,
+        ) -> Vec<f32> {
+            data.iter().map(|x| x.round()).collect()
+        }
+        fn effective_bits(&self, _rows: usize, _d: usize) -> f64 {
+            8.0
+        }
+        fn online_cost(&self) -> OnlineCost {
+            OnlineCost::free()
+        }
+    }
+
+    #[test]
+    fn exact_cache_roundtrips() {
+        let mut c = ExactCache::new();
+        c.reset(2, 4);
+        c.append(0, &[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]);
+        c.append(0, &[9.0; 4], &[10.0; 4]);
+        assert_eq!(c.seq_len(0), 2);
+        assert_eq!(c.seq_len(1), 0);
+        assert_eq!(&c.keys(0)[..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&c.values(0)[4..], &[10.0; 4]);
+        assert_eq!(c.stored_bits_per_elem(), 32.0);
+    }
+
+    #[test]
+    fn quantized_cache_applies_quantizer() {
+        let mut c = QuantizedCache::new(Arc::new(RoundingQuantizer));
+        c.reset(1, 2);
+        c.append(0, &[1.4, 2.6], &[0.2, -0.7]);
+        assert_eq!(c.keys(0), &[1.0, 3.0]);
+        assert_eq!(c.values(0), &[0.0, -1.0]);
+        assert_eq!(c.quantizer_name(), "round");
+        assert_eq!(c.stored_bits_per_elem(), 8.0);
+    }
+
+    #[test]
+    fn quantized_cache_refreshes_after_append() {
+        let mut c = QuantizedCache::new(Arc::new(RoundingQuantizer));
+        c.reset(1, 1);
+        c.append(0, &[1.4], &[1.4]);
+        assert_eq!(c.keys(0), &[1.0]);
+        c.append(0, &[2.6], &[2.6]);
+        assert_eq!(c.keys(0), &[1.0, 3.0]);
+        assert_eq!(c.seq_len(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn append_checks_width() {
+        let mut c = ExactCache::new();
+        c.reset(1, 4);
+        c.append(0, &[1.0], &[1.0]);
+    }
+}

@@ -1,0 +1,424 @@
+//! The decoder-only transformer: synthetic construction, and token-by-token
+//! inference sessions with pluggable KV cache backends and KV observation
+//! hooks for offline profiling.
+
+use crate::attention::{attend_one, AttentionShape};
+use crate::cache::KvCacheBackend;
+use crate::config::{ModelConfig, Positional};
+use crate::ffn::{DenseFfn, FfnWeights};
+use crate::synth::{self, SynthParams};
+use oaken_core::KvKind;
+use oaken_tensor::norm::{layernorm, rmsnorm, NormKind};
+use oaken_tensor::rope::{apply_rope, DEFAULT_THETA};
+use oaken_tensor::Tensor;
+
+/// Weights of one decoder layer.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Query projection `[d × d]`.
+    pub wq: Tensor,
+    /// Key projection `[kv_dim × d]`.
+    pub wk: Tensor,
+    /// Value projection `[kv_dim × d]`.
+    pub wv: Tensor,
+    /// Output projection `[d × d]`.
+    pub wo: Tensor,
+    /// Pre-attention norm gain.
+    pub attn_norm_w: Vec<f32>,
+    /// Pre-attention norm bias (LayerNorm models).
+    pub attn_norm_b: Option<Vec<f32>>,
+    /// Pre-FFN norm gain.
+    pub ffn_norm_w: Vec<f32>,
+    /// Pre-FFN norm bias (LayerNorm models).
+    pub ffn_norm_b: Option<Vec<f32>>,
+    /// Feed-forward weights.
+    pub ffn: FfnWeights,
+}
+
+/// A complete decoder-only transformer with synthetic weights.
+#[derive(Debug, Clone)]
+pub struct Model {
+    config: ModelConfig,
+    embed: Tensor,
+    pos_embed: Option<Tensor>,
+    layers: Vec<LayerWeights>,
+    final_norm_w: Vec<f32>,
+    final_norm_b: Option<Vec<f32>>,
+    lm_head: Tensor,
+}
+
+impl Model {
+    /// Builds a model with synthetic weights from `seed`, using the default
+    /// [`SynthParams`] calibrated to the paper's KV-distribution
+    /// observations.
+    pub fn synthetic(config: ModelConfig, seed: u64) -> Self {
+        Self::synthetic_with(config, seed, &SynthParams::default())
+    }
+
+    /// Builds a model with explicit synthesis parameters.
+    pub fn synthetic_with(config: ModelConfig, seed: u64, params: &SynthParams) -> Self {
+        let d = config.d_model;
+        let kv_dim = config.kv_dim();
+        let mut stream = 0u64;
+        fn next(seed: u64, stream: &mut u64, rows: usize, cols: usize, scale: f32) -> Tensor {
+            *stream += 1;
+            synth::dense(&mut synth::stream_rng(seed, *stream), rows, cols, scale)
+        }
+
+        let embed = synth::embedding(&mut synth::stream_rng(seed, 9_000), config.vocab_size, d);
+        let pos_embed = match config.positional {
+            Positional::Learned => Some(synth::dense(
+                &mut synth::stream_rng(seed, 9_001),
+                config.max_seq_len,
+                d,
+                0.3,
+            )),
+            Positional::Rope => None,
+        };
+
+        let mut layers = Vec::with_capacity(config.num_layers);
+        for l in 0..config.num_layers {
+            let scale = synth::layer_scale(l, config.num_layers);
+            stream += 1;
+            let wk = synth::kv_projection(
+                &mut synth::stream_rng(seed, stream),
+                kv_dim,
+                d,
+                scale,
+                params,
+            );
+            stream += 1;
+            let value_params = SynthParams {
+                outlier_gain: (
+                    params.outlier_gain.0 * 0.6,
+                    params.outlier_gain.1 * 0.6,
+                ),
+                ..*params
+            };
+            let wv = synth::kv_projection(
+                &mut synth::stream_rng(seed, stream),
+                kv_dim,
+                d,
+                scale * 0.8,
+                &value_params,
+            );
+            let bias = |dim: usize| match config.norm {
+                NormKind::Layer => Some(vec![0.0f32; dim]),
+                NormKind::Rms => None,
+            };
+            let ffn = Self::build_ffn(&config, seed, &mut stream);
+            layers.push(LayerWeights {
+                wq: next(seed, &mut stream, d, d, 1.0),
+                wk,
+                wv,
+                wo: next(seed, &mut stream, d, d, 1.0),
+                attn_norm_w: vec![1.0; d],
+                attn_norm_b: bias(d),
+                ffn_norm_w: vec![1.0; d],
+                ffn_norm_b: bias(d),
+                ffn,
+            });
+        }
+
+        let final_norm_b = match config.norm {
+            NormKind::Layer => Some(vec![0.0f32; d]),
+            NormKind::Rms => None,
+        };
+        // Slightly sharpened LM head so synthetic generations are
+        // predictable enough for perplexity to be a sensitive metric.
+        let lm_head = next(seed, &mut stream, config.vocab_size, d, 2.0);
+        Self {
+            final_norm_w: vec![1.0; d],
+            final_norm_b,
+            embed,
+            pos_embed,
+            layers,
+            lm_head,
+            config,
+        }
+    }
+
+    fn build_ffn(config: &ModelConfig, seed: u64, stream: &mut u64) -> FfnWeights {
+        let d = config.d_model;
+        let f = config.ffn_hidden;
+        let mut next = |rows: usize, cols: usize| {
+            *stream += 1;
+            synth::dense(&mut synth::stream_rng(seed, *stream), rows, cols, 1.0)
+        };
+        let mut dense_ffn = |gated: bool| DenseFfn {
+            w_gate: gated.then(|| next(f, d)),
+            w_up: next(f, d),
+            w_down: next(d, f),
+        };
+        match config.moe {
+            None => FfnWeights::Dense(dense_ffn(config.gated_ffn())),
+            Some(moe) => {
+                let experts = (0..moe.num_experts)
+                    .map(|_| dense_ffn(config.gated_ffn()))
+                    .collect();
+                FfnWeights::Moe {
+                    router: next(moe.num_experts, d),
+                    experts,
+                    top_k: moe.top_k,
+                }
+            }
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Per-layer weights (read-only).
+    pub fn layers(&self) -> &[LayerWeights] {
+        &self.layers
+    }
+
+    /// Starts an inference session over the given cache backend.
+    pub fn session<'m>(&'m self, mut cache: Box<dyn KvCacheBackend + 'm>) -> Session<'m> {
+        cache.reset(self.config.num_layers, self.config.kv_dim());
+        Session {
+            model: self,
+            cache,
+            pos: 0,
+            observer: None,
+        }
+    }
+
+    fn norm(&self, x: &[f32], w: &[f32], b: Option<&Vec<f32>>) -> Vec<f32> {
+        match self.config.norm {
+            NormKind::Rms => rmsnorm(x, w, 1e-5),
+            NormKind::Layer => layernorm(
+                x,
+                w,
+                b.map(|v| v.as_slice()).unwrap_or(&[]),
+                1e-5,
+            ),
+        }
+    }
+}
+
+/// Callback observing each freshly generated KV vector before caching:
+/// `(layer, kind, vector)`. This is the hook the offline profiler and the
+/// Figure 6 distribution probes attach to.
+pub type KvObserver<'m> = Box<dyn FnMut(usize, KvKind, &[f32]) + 'm>;
+
+/// A token-by-token inference session.
+pub struct Session<'m> {
+    model: &'m Model,
+    cache: Box<dyn KvCacheBackend + 'm>,
+    pos: usize,
+    observer: Option<KvObserver<'m>>,
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("model", &self.model.config().name)
+            .field("pos", &self.pos)
+            .finish()
+    }
+}
+
+impl<'m> Session<'m> {
+    /// Attaches a KV observer that sees every new K/V vector.
+    pub fn set_kv_observer(&mut self, observer: KvObserver<'m>) {
+        self.observer = Some(observer);
+    }
+
+    /// Current sequence position (tokens consumed so far).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Mean stored bits per KV element in the backing cache.
+    pub fn cache_bits_per_elem(&self) -> f64 {
+        self.cache.stored_bits_per_elem()
+    }
+
+    /// Feeds one token and returns the next-token logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is outside the vocabulary or the sequence exceeds
+    /// `max_seq_len`.
+    pub fn advance(&mut self, token: u32) -> Vec<f32> {
+        let cfg = self.model.config();
+        assert!(
+            (token as usize) < cfg.vocab_size,
+            "token {token} outside vocabulary {}",
+            cfg.vocab_size
+        );
+        assert!(
+            self.pos < cfg.max_seq_len,
+            "sequence exceeds max_seq_len {}",
+            cfg.max_seq_len
+        );
+        let d = cfg.d_model;
+        let hd = cfg.head_dim();
+        let shape = AttentionShape {
+            num_heads: cfg.num_heads,
+            num_kv_heads: cfg.num_kv_heads,
+            head_dim: hd,
+            window: cfg.sliding_window,
+        };
+
+        let mut x = self.model.embed.row(token as usize).to_vec();
+        if let Some(pe) = &self.model.pos_embed {
+            for (xi, pi) in x.iter_mut().zip(pe.row(self.pos)) {
+                *xi += pi;
+            }
+        }
+
+        for (l, lw) in self.model.layers.iter().enumerate() {
+            // Attention block.
+            let h = self
+                .model
+                .norm(&x, &lw.attn_norm_w, lw.attn_norm_b.as_ref());
+            let mut q = lw.wq.matvec(&h).expect("Wq shape");
+            let mut k = lw.wk.matvec(&h).expect("Wk shape");
+            let v = lw.wv.matvec(&h).expect("Wv shape");
+            if cfg.positional == Positional::Rope {
+                for head in q.chunks_mut(hd) {
+                    apply_rope(head, self.pos, DEFAULT_THETA);
+                }
+                for head in k.chunks_mut(hd) {
+                    apply_rope(head, self.pos, DEFAULT_THETA);
+                }
+            }
+            if let Some(obs) = &mut self.observer {
+                obs(l, KvKind::Key, &k);
+                obs(l, KvKind::Value, &v);
+            }
+            self.cache.append(l, &k, &v);
+            let seq_len = self.cache.seq_len(l);
+            let att = {
+                let keys = self.cache.keys(l).to_vec();
+                let values = self.cache.values(l);
+                attend_one(&q, &keys, values, seq_len, &shape)
+            };
+            let proj = lw.wo.matvec(&att).expect("Wo shape");
+            for (xi, pi) in x.iter_mut().zip(proj) {
+                *xi += pi;
+            }
+
+            // FFN block.
+            let h = self.model.norm(&x, &lw.ffn_norm_w, lw.ffn_norm_b.as_ref());
+            let y = lw.ffn.forward(&h, cfg.activation);
+            for (xi, yi) in x.iter_mut().zip(y) {
+                *xi += yi;
+            }
+        }
+
+        self.pos += 1;
+        let h = self
+            .model
+            .norm(&x, &self.model.final_norm_w, self.model.final_norm_b.as_ref());
+        debug_assert_eq!(h.len(), d);
+        self.model.lm_head.matvec(&h).expect("LM head shape")
+    }
+
+    /// Feeds a token sequence, returning the logits after the final token.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty prompt.
+    pub fn prefill(&mut self, tokens: &[u32]) -> Vec<f32> {
+        assert!(!tokens.is_empty(), "prompt must not be empty");
+        let mut logits = Vec::new();
+        for &t in tokens {
+            logits = self.advance(t);
+        }
+        logits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ExactCache;
+
+    fn tiny() -> Model {
+        let cfg = ModelConfig::llama2_7b().proxy(2, 32);
+        Model::synthetic(cfg, 42)
+    }
+
+    #[test]
+    fn advance_returns_vocab_logits() {
+        let m = tiny();
+        let mut s = m.session(Box::new(ExactCache::new()));
+        let logits = s.advance(5);
+        assert_eq!(logits.len(), m.config().vocab_size);
+        assert!(logits.iter().all(|v| v.is_finite()));
+        assert_eq!(s.position(), 1);
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let m = tiny();
+        let mut s1 = m.session(Box::new(ExactCache::new()));
+        let mut s2 = m.session(Box::new(ExactCache::new()));
+        let a = s1.prefill(&[1, 2, 3]);
+        let b = s2.prefill(&[1, 2, 3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_contexts_give_different_logits() {
+        let m = tiny();
+        let mut s1 = m.session(Box::new(ExactCache::new()));
+        let mut s2 = m.session(Box::new(ExactCache::new()));
+        let a = s1.prefill(&[1, 2, 3]);
+        let b = s2.prefill(&[4, 5, 3]);
+        assert_ne!(a, b, "context must influence the final logits");
+    }
+
+    #[test]
+    fn observer_sees_every_layer_and_kind() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let m = tiny();
+        let kv_dim = m.config().kv_dim();
+        let seen: Rc<RefCell<Vec<(usize, KvKind)>>> = Rc::new(RefCell::new(Vec::new()));
+        {
+            let mut s = m.session(Box::new(ExactCache::new()));
+            let log = Rc::clone(&seen);
+            s.set_kv_observer(Box::new(move |l, kind, v| {
+                assert_eq!(v.len(), kv_dim);
+                log.borrow_mut().push((l, kind));
+            }));
+            s.advance(1);
+        }
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 4); // 2 layers × (key + value)
+        assert!(seen.contains(&(0, KvKind::Key)));
+        assert!(seen.contains(&(1, KvKind::Value)));
+    }
+
+    #[test]
+    fn opt_proxy_runs_with_learned_positions() {
+        let cfg = ModelConfig::opt_6_7b().proxy(2, 32);
+        let m = Model::synthetic(cfg, 7);
+        let mut s = m.session(Box::new(ExactCache::new()));
+        let logits = s.prefill(&[1, 2, 3, 4]);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mixtral_proxy_runs_with_moe() {
+        let cfg = ModelConfig::mixtral_8x7b().proxy(2, 32);
+        let m = Model::synthetic(cfg, 7);
+        let mut s = m.session(Box::new(ExactCache::new()));
+        let logits = s.prefill(&[9, 8, 7]);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn rejects_out_of_vocab_tokens() {
+        let m = tiny();
+        let mut s = m.session(Box::new(ExactCache::new()));
+        s.advance(10_000);
+    }
+}

@@ -1,0 +1,94 @@
+//! Token sampling strategies for synthetic data generation.
+
+use oaken_tensor::{argmax, softmax_in_place};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Greedy (argmax) sampling.
+///
+/// # Panics
+///
+/// Panics on empty logits.
+pub fn sample_greedy(logits: &[f32]) -> u32 {
+    argmax(logits).expect("logits must be non-empty") as u32
+}
+
+/// Temperature sampling: softmax(logits / temperature), then draw.
+///
+/// `temperature <= 0` degenerates to greedy.
+///
+/// # Panics
+///
+/// Panics on empty logits.
+pub fn sample_temperature(logits: &[f32], temperature: f32, rng: &mut StdRng) -> u32 {
+    if temperature <= 0.0 {
+        return sample_greedy(logits);
+    }
+    let mut p: Vec<f32> = logits.iter().map(|&l| l / temperature).collect();
+    softmax_in_place(&mut p);
+    let draw: f32 = rng.gen();
+    let mut acc = 0.0f32;
+    for (i, &pi) in p.iter().enumerate() {
+        acc += pi;
+        if draw <= acc {
+            return i as u32;
+        }
+    }
+    (p.len() - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_picks_max() {
+        assert_eq!(sample_greedy(&[0.1, 5.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn zero_temperature_is_greedy() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sample_temperature(&[0.0, 9.0, 1.0], 0.0, &mut rng), 1);
+    }
+
+    #[test]
+    fn low_temperature_concentrates_on_max() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let logits = [0.0, 4.0, 1.0];
+        let hits = (0..100)
+            .filter(|_| sample_temperature(&logits, 0.3, &mut rng) == 1)
+            .count();
+        assert!(hits > 90, "{hits}");
+    }
+
+    #[test]
+    fn high_temperature_spreads_mass() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let logits = [0.0, 1.0, 0.5];
+        let mut counts = [0usize; 3];
+        for _ in 0..300 {
+            counts[sample_temperature(&logits, 50.0, &mut rng) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 50), "{counts:?}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let logits = [1.0, 2.0, 3.0, 0.5];
+        let a: Vec<u32> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..20)
+                .map(|_| sample_temperature(&logits, 1.0, &mut rng))
+                .collect()
+        };
+        let b: Vec<u32> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..20)
+                .map(|_| sample_temperature(&logits, 1.0, &mut rng))
+                .collect()
+        };
+        assert_eq!(a, b);
+    }
+}

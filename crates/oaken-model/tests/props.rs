@@ -1,0 +1,94 @@
+//! Property tests for the transformer substrate: attention laws and cache
+//! equivalence under arbitrary inputs.
+
+use oaken_model::{attend_one, AttentionShape, ExactCache, KvCacheBackend, Model, ModelConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Attention output is a convex combination of the cached values:
+    /// every output coordinate lies within the min/max of that coordinate
+    /// across cached positions (per KV head).
+    #[test]
+    fn attention_is_convex_combination(
+        q in prop::collection::vec(-4.0f32..4.0, 8),
+        kv in prop::collection::vec(-4.0f32..4.0, 8 * 6),
+    ) {
+        let shape = AttentionShape { num_heads: 2, num_kv_heads: 2, head_dim: 4, window: None };
+        let seq_len = kv.len() / shape.kv_dim() / 2 * 2; // keys + values halves
+        let (keys, values) = kv.split_at(kv.len() / 2);
+        let seq = keys.len() / shape.kv_dim();
+        prop_assume!(seq >= 1);
+        let _ = seq_len;
+        let out = attend_one(&q, &keys[..seq * 8], &values[..seq * 8], seq, &shape);
+        for h in 0..shape.num_heads {
+            for c in 0..shape.head_dim {
+                let coord = h * shape.head_dim + c;
+                let kvh = h; // one-to-one here
+                let column: Vec<f32> = (0..seq)
+                    .map(|t| values[t * shape.kv_dim() + kvh * shape.head_dim + c])
+                    .collect();
+                let min = column.iter().cloned().fold(f32::INFINITY, f32::min);
+                let max = column.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                prop_assert!(
+                    out[coord] >= min - 1e-4 && out[coord] <= max + 1e-4,
+                    "coord {coord}: {} outside [{min}, {max}]",
+                    out[coord]
+                );
+            }
+        }
+    }
+
+    /// A sliding window of `seq_len` or larger equals full attention.
+    #[test]
+    fn window_at_least_seq_is_identity(
+        q in prop::collection::vec(-2.0f32..2.0, 4),
+        kv in prop::collection::vec(-2.0f32..2.0, 4 * 10),
+    ) {
+        let shape_full = AttentionShape { num_heads: 1, num_kv_heads: 1, head_dim: 4, window: None };
+        let seq = kv.len() / 4 / 2;
+        let (keys, values) = kv.split_at(seq * 4);
+        let shape_win = AttentionShape { window: Some(seq + 3), ..shape_full };
+        let a = attend_one(&q, keys, &values[..seq * 4], seq, &shape_full);
+        let b = attend_one(&q, keys, &values[..seq * 4], seq, &shape_win);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    /// The exact cache is a faithful recorder: reads return exactly the
+    /// appended rows in order.
+    #[test]
+    fn exact_cache_is_faithful(
+        rows in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 8), 1..20),
+    ) {
+        let mut cache = ExactCache::new();
+        cache.reset(1, 8);
+        for r in &rows {
+            cache.append(0, r, r);
+        }
+        prop_assert_eq!(cache.seq_len(0), rows.len());
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        prop_assert_eq!(cache.keys(0), &flat[..]);
+        prop_assert_eq!(cache.values(0), &flat[..]);
+    }
+}
+
+/// Deterministic construction: the same (config, seed) always builds the
+/// same model, and different seeds differ.
+#[test]
+fn model_construction_deterministic() {
+    let cfg = ModelConfig::llama2_7b().proxy(2, 32);
+    let a = Model::synthetic(cfg.clone(), 9);
+    let b = Model::synthetic(cfg.clone(), 9);
+    let c = Model::synthetic(cfg, 10);
+    let mut sa = a.session(Box::new(ExactCache::new()));
+    let mut sb = b.session(Box::new(ExactCache::new()));
+    let mut sc = c.session(Box::new(ExactCache::new()));
+    let la = sa.prefill(&[1, 2, 3]);
+    let lb = sb.prefill(&[1, 2, 3]);
+    let lc = sc.prefill(&[1, 2, 3]);
+    assert_eq!(la, lb);
+    assert_ne!(la, lc);
+}

@@ -1,0 +1,85 @@
+//! Property tests for the serving layer: scheduler conservation laws and
+//! trace-simulation sanity under arbitrary request mixes.
+
+use oaken_accel::{AcceleratorSpec, QuantPolicy, SystemModel};
+use oaken_model::ModelConfig;
+use oaken_serving::{simulate_trace, Request, TokenScheduler};
+use proptest::prelude::*;
+
+fn requests(max: usize) -> impl Strategy<Value = Vec<Request>> {
+    prop::collection::vec((8usize..2048, 8usize..512), 1..max).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .enumerate()
+            .map(|(id, (input_len, output_len))| Request {
+                id: id as u64,
+                input_len,
+                output_len,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every request lands on exactly one core and cores are balanced to
+    /// within one request.
+    #[test]
+    fn generation_assignment_is_balanced(active in 1usize..600, cores in 1usize..300) {
+        let s = TokenScheduler::new(cores);
+        let a = s.assign_generation(active);
+        prop_assert_eq!(a.core_of.len(), active);
+        let mut counts = vec![0usize; cores];
+        for &c in &a.core_of {
+            prop_assert!(c < cores);
+            counts[c] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "imbalance: {min}..{max}");
+        prop_assert_eq!(s.generation_rounds(active), max);
+    }
+
+    /// Admission waves partition the request list exactly.
+    #[test]
+    fn admission_waves_partition(reqs in requests(64), cap in 1usize..40) {
+        let s = TokenScheduler::new(8);
+        let waves = s.admission_waves(&reqs, cap);
+        let total: usize = waves.iter().map(|w| w.len()).sum();
+        prop_assert_eq!(total, reqs.len());
+        for w in &waves {
+            prop_assert!(w.len() <= cap);
+        }
+        // Order preserved.
+        let flat: Vec<u64> = waves.iter().flat_map(|w| w.iter().map(|r| r.id)).collect();
+        let orig: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+        prop_assert_eq!(flat, orig);
+    }
+
+    /// The trace simulator accounts every output token exactly once and
+    /// produces finite positive throughput whenever anything ran.
+    #[test]
+    fn trace_sim_conserves_tokens(reqs in requests(24), batch in 1usize..16) {
+        let m = ModelConfig::llama2_7b();
+        let sys = SystemModel::new(AcceleratorSpec::oaken_lpddr(), QuantPolicy::oaken());
+        let r = simulate_trace(&sys, &m, &reqs, batch);
+        let expected: u64 = reqs.iter().map(|q| q.output_len as u64).sum();
+        prop_assert_eq!(r.output_tokens, expected);
+        prop_assert!(r.total_time.is_finite() && r.total_time > 0.0);
+        prop_assert!(r.gen_throughput > 0.0);
+    }
+
+    /// A faster memory system never lowers trace throughput.
+    #[test]
+    fn more_bandwidth_never_hurts(reqs in requests(16)) {
+        let m = ModelConfig::llama2_7b();
+        let lpddr = SystemModel::new(AcceleratorSpec::oaken_lpddr(), QuantPolicy::oaken());
+        let mut fast_spec = AcceleratorSpec::oaken_lpddr();
+        fast_spec.mem.bandwidth *= 2.0;
+        let fast = SystemModel::new(fast_spec, QuantPolicy::oaken());
+        let slow_t = simulate_trace(&lpddr, &m, &reqs, 8).gen_throughput;
+        let fast_t = simulate_trace(&fast, &m, &reqs, 8).gen_throughput;
+        prop_assert!(fast_t >= slow_t * 0.999, "{fast_t} < {slow_t}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Minimal dense `f32` tensor library used as the numeric substrate for the
+//! Oaken reproduction.
+//!
+//! The Oaken paper evaluates KV-cache quantization inside real transformer
+//! inference. This crate provides just enough linear algebra to run a
+//! from-scratch transformer ([`oaken-model`]) without any external BLAS:
+//! row-major tensors, matrix multiplication, softmax, normalisation layers,
+//! activations, rotary position embeddings, and the order statistics
+//! (top-k, quantiles) that Oaken's offline profiler relies on.
+//!
+//! # Example
+//!
+//! ```
+//! use oaken_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok::<(), oaken_tensor::TensorError>(())
+//! ```
+//!
+//! [`oaken-model`]: https://docs.rs/oaken-model
+
+mod stats;
+mod tensor;
+
+pub mod activation;
+pub mod norm;
+pub mod ops;
+pub mod rope;
+
+pub use ops::{log_softmax, softmax_in_place};
+pub use stats::{argmax, bottom_k, quantile, top_k, MinMax};
+pub use tensor::{Tensor, TensorError};

@@ -1,0 +1,85 @@
+//! Normalisation layers: RMSNorm (Llama2/Mistral/Mixtral) and LayerNorm (OPT).
+
+/// Root-mean-square normalisation with a learned gain vector.
+///
+/// `y_i = x_i / rms(x) * weight_i`, `rms(x) = sqrt(mean(x²) + eps)`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `x.len() != weight.len()`.
+pub fn rmsnorm(x: &[f32], weight: &[f32], eps: f32) -> Vec<f32> {
+    debug_assert_eq!(x.len(), weight.len());
+    let ms = x.iter().map(|&v| v * v).sum::<f32>() / x.len().max(1) as f32;
+    let inv = 1.0 / (ms + eps).sqrt();
+    x.iter()
+        .zip(weight)
+        .map(|(&v, &w)| v * inv * w)
+        .collect()
+}
+
+/// Standard layer normalisation with learned gain and bias.
+///
+/// # Panics
+///
+/// Panics in debug builds if the three slices differ in length.
+pub fn layernorm(x: &[f32], weight: &[f32], bias: &[f32], eps: f32) -> Vec<f32> {
+    debug_assert_eq!(x.len(), weight.len());
+    debug_assert_eq!(x.len(), bias.len());
+    let n = x.len().max(1) as f32;
+    let mean = x.iter().sum::<f32>() / n;
+    let var = x.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let inv = 1.0 / (var + eps).sqrt();
+    x.iter()
+        .zip(weight.iter().zip(bias))
+        .map(|(&v, (&w, &b))| (v - mean) * inv * w + b)
+        .collect()
+}
+
+/// Which normalisation a decoder layer uses.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum NormKind {
+    /// RMSNorm — Llama-family models.
+    #[default]
+    Rms,
+    /// LayerNorm — OPT-family models.
+    Layer,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmsnorm_unit_gain() {
+        let x = vec![3.0, 4.0];
+        let w = vec![1.0, 1.0];
+        let y = rmsnorm(&x, &w, 0.0);
+        // rms = sqrt((9+16)/2) = sqrt(12.5)
+        let rms = 12.5f32.sqrt();
+        assert!((y[0] - 3.0 / rms).abs() < 1e-6);
+        assert!((y[1] - 4.0 / rms).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let w = vec![1.0; 4];
+        let b = vec![0.0; 4];
+        let y = layernorm(&x, &w, &b, 1e-6);
+        let mean: f32 = y.iter().sum::<f32>() / 4.0;
+        let var: f32 = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layernorm_applies_bias() {
+        let x = vec![1.0, -1.0];
+        let w = vec![1.0, 1.0];
+        let b = vec![10.0, 10.0];
+        let y = layernorm(&x, &w, &b, 1e-6);
+        assert!(y.iter().all(|&v| v > 8.0));
+    }
+}

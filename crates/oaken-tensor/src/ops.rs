@@ -1,0 +1,82 @@
+//! Free functions on slices shared by the higher-level modules: numerically
+//! stable softmax and log-softmax.
+
+/// Numerically stable in-place softmax.
+///
+/// Subtracts the maximum before exponentiation so that large attention
+/// logits (common with long contexts) do not overflow.
+///
+/// An empty slice is left untouched.
+pub fn softmax_in_place(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        for v in x.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Numerically stable log-softmax, returning a new vector.
+///
+/// Used by the perplexity harness: `log p(token) = logit - logsumexp`.
+pub fn log_softmax(x: &[f32]) -> Vec<f32> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let lse = max
+        + x.iter()
+            .map(|&v| (v - max).exp())
+            .sum::<f32>()
+            .ln();
+    x.iter().map(|&v| v - lse).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        softmax_in_place(&mut x);
+        let s: f32 = x.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let mut x = vec![1000.0, 1001.0];
+        softmax_in_place(&mut x);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty_noop() {
+        let mut x: Vec<f32> = vec![];
+        softmax_in_place(&mut x);
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let x = vec![0.5, -1.0, 2.0];
+        let ls = log_softmax(&x);
+        let mut sm = x.clone();
+        softmax_in_place(&mut sm);
+        for (l, s) in ls.iter().zip(&sm) {
+            assert!((l.exp() - s).abs() < 1e-5);
+        }
+    }
+}

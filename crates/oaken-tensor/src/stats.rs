@@ -1,0 +1,191 @@
+//! Order statistics used by Oaken's offline threshold profiler (§4.3 of the
+//! paper): top-k / bottom-k selection and quantiles.
+//!
+//! The paper points out that computing topK *online* costs `O(n log n)` and
+//! ruins the speedup of quantization — which is exactly why Oaken moves this
+//! computation offline. These helpers are therefore used only during offline
+//! profiling and evaluation, never on the quantization hot path.
+
+/// A `(min, max)` pair, the only statistics Oaken's online quantizer needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinMax {
+    /// Smallest observed value.
+    pub min: f32,
+    /// Largest observed value.
+    pub max: f32,
+}
+
+impl MinMax {
+    /// Scans a slice, returning `None` when it is empty. NaNs are ignored.
+    pub fn of(values: &[f32]) -> Option<Self> {
+        let mut it = values.iter().copied().filter(|v| !v.is_nan());
+        let first = it.next()?;
+        let mut mm = MinMax {
+            min: first,
+            max: first,
+        };
+        for v in it {
+            if v < mm.min {
+                mm.min = v;
+            }
+            if v > mm.max {
+                mm.max = v;
+            }
+        }
+        Some(mm)
+    }
+
+    /// Width of the interval, `max - min`.
+    pub fn range(&self) -> f32 {
+        self.max - self.min
+    }
+
+    /// Expands this interval so it also covers `other`.
+    pub fn merge(&self, other: &MinMax) -> MinMax {
+        MinMax {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+impl Default for MinMax {
+    fn default() -> Self {
+        MinMax {
+            min: f32::INFINITY,
+            max: f32::NEG_INFINITY,
+        }
+    }
+}
+
+/// Returns the `k` largest values, descending. `k` is clamped to `len`.
+///
+/// Uses `select_nth_unstable` (average `O(n)`) followed by a sort of the
+/// selected prefix — profiling happens on whole KV vectors, so this is the
+/// same asymptotic cost the paper attributes to topK.
+pub fn top_k(values: &[f32], k: usize) -> Vec<f32> {
+    let k = k.min(values.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut v: Vec<f32> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    let k = k.min(v.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let n = v.len();
+    v.select_nth_unstable_by(n - k, |a, b| a.partial_cmp(b).unwrap());
+    let mut top: Vec<f32> = v.split_off(n - k);
+    top.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+    top
+}
+
+/// Returns the `k` smallest values, ascending. `k` is clamped to `len`.
+pub fn bottom_k(values: &[f32], k: usize) -> Vec<f32> {
+    let k = k.min(values.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut v: Vec<f32> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    let k = k.min(v.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    v.select_nth_unstable_by(k - 1, |a, b| a.partial_cmp(b).unwrap());
+    let mut bot: Vec<f32> = v;
+    bot.truncate(k);
+    bot.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    bot
+}
+
+/// Linear-interpolation quantile, `q` in `[0, 1]`. Returns `None` for empty
+/// input or out-of-range `q`.
+pub fn quantile(values: &[f32], q: f64) -> Option<f32> {
+    if values.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut v: Vec<f32> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = (pos - lo as f64) as f32;
+    Some(v[lo] + (v[hi] - v[lo]) * frac)
+}
+
+/// Index of the maximum element, or `None` for empty input.
+pub fn argmax(values: &[f32]) -> Option<usize> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_nan())
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_basic() {
+        let mm = MinMax::of(&[3.0, -1.0, 2.0]).unwrap();
+        assert_eq!(mm.min, -1.0);
+        assert_eq!(mm.max, 3.0);
+        assert_eq!(mm.range(), 4.0);
+        assert!(MinMax::of(&[]).is_none());
+    }
+
+    #[test]
+    fn minmax_merge() {
+        let a = MinMax { min: 0.0, max: 1.0 };
+        let b = MinMax {
+            min: -2.0,
+            max: 0.5,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.min, -2.0);
+        assert_eq!(m.max, 1.0);
+    }
+
+    #[test]
+    fn minmax_skips_nan() {
+        let mm = MinMax::of(&[f32::NAN, 1.0, 2.0]).unwrap();
+        assert_eq!(mm.min, 1.0);
+        assert_eq!(mm.max, 2.0);
+    }
+
+    #[test]
+    fn top_k_descending() {
+        let v = [1.0, 5.0, 3.0, 2.0, 4.0];
+        assert_eq!(top_k(&v, 2), vec![5.0, 4.0]);
+        assert_eq!(top_k(&v, 0), Vec::<f32>::new());
+        assert_eq!(top_k(&v, 10).len(), 5);
+    }
+
+    #[test]
+    fn bottom_k_ascending() {
+        let v = [1.0, 5.0, 3.0, 2.0, 4.0];
+        assert_eq!(bottom_k(&v, 2), vec![1.0, 2.0]);
+        assert_eq!(bottom_k(&v, 10).len(), 5);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&v, 1.5), None);
+    }
+
+    #[test]
+    fn argmax_basic() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+}

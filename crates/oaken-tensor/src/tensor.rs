@@ -1,0 +1,565 @@
+//! The [`Tensor`] type: a row-major, heap-allocated, dense `f32` tensor.
+
+use std::fmt;
+
+/// Error type for all fallible tensor operations.
+///
+/// The `Display` representation is lowercase without trailing punctuation,
+/// per the Rust API guidelines (C-GOOD-ERR).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The product of the requested dimensions does not match the length of
+    /// the provided data buffer.
+    ShapeMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors were combined with incompatible shapes.
+    IncompatibleShapes {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor's shape.
+        shape: Vec<usize>,
+    },
+    /// A tensor with zero elements was passed to an operation that requires
+    /// at least one element (e.g. min/max reduction).
+    Empty,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape expects {expected} elements but data has {actual}")
+            }
+            TensorError::IncompatibleShapes { lhs, rhs, op } => {
+                write!(f, "incompatible shapes {lhs:?} and {rhs:?} for {op}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::Empty => write!(f, "operation requires a non-empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// A dense, row-major `f32` tensor of arbitrary rank.
+///
+/// `Tensor` deliberately stays small: it is the numeric substrate for the
+/// transformer inference engine and the quantization pipeline, not a general
+/// autodiff framework. All operations are implemented in safe Rust.
+///
+/// # Example
+///
+/// ```
+/// use oaken_tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a data buffer and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len()` does not equal
+    /// the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(TensorError::ShapeMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Self {
+            data,
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Self {
+            data: vec![value; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying buffer in row-major order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying buffer in row-major order.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of the same element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(TensorError::ShapeMismatch {
+                expected,
+                actual: self.data.len(),
+            });
+        }
+        Ok(Self {
+            data: self.data.clone(),
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Returns the element at a fully-specified index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index rank differs
+    /// from the tensor rank or any coordinate exceeds its dimension.
+    pub fn get(&self, index: &[usize]) -> Result<f32, TensorError> {
+        let off = self.offset(index)?;
+        Ok(self.data[off])
+    }
+
+    /// Sets the element at a fully-specified index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] on an invalid index.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
+        let off = self.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.shape.len() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.shape.clone(),
+            });
+        }
+        let mut off = 0usize;
+        for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            if ix >= dim {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: index.to_vec(),
+                    shape: self.shape.clone(),
+                });
+            }
+            off = off * dim + ix;
+            debug_assert!(i < self.shape.len());
+        }
+        Ok(off)
+    }
+
+    /// Borrows row `r` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `r` is out of bounds; rows are a
+    /// hot-path accessor so the check is an assertion rather than a `Result`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert_eq!(self.rank(), 2, "row() requires a rank-2 tensor");
+        let cols = self.shape[1];
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutably borrows row `r` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert_eq!(self.rank(), 2, "row_mut() requires a rank-2 tensor");
+        let cols = self.shape[1];
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] when shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] when shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] when shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, "mul", |a, b| a * b)
+    }
+
+    fn zip_with(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::IncompatibleShapes {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+                op,
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            data,
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| x * s).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Minimum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for empty tensors.
+    pub fn min(&self) -> Result<f32, TensorError> {
+        if self.is_empty() {
+            return Err(TensorError::Empty);
+        }
+        Ok(self.data.iter().copied().fold(f32::INFINITY, f32::min))
+    }
+
+    /// Maximum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for empty tensors.
+    pub fn max(&self) -> Result<f32, TensorError> {
+        if self.is_empty() {
+            return Err(TensorError::Empty);
+        }
+        Ok(self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max))
+    }
+
+    /// Arithmetic mean of all elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for empty tensors.
+    pub fn mean(&self) -> Result<f32, TensorError> {
+        if self.is_empty() {
+            return Err(TensorError::Empty);
+        }
+        Ok(self.data.iter().sum::<f32>() / self.data.len() as f32)
+    }
+
+    /// Matrix multiplication of two rank-2 tensors: `(m,k) × (k,n) → (m,n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] unless both operands are
+    /// rank 2 and the inner dimensions agree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 || other.rank() != 2 || self.shape[1] != other.shape[0] {
+            return Err(TensorError::IncompatibleShapes {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+                op: "matmul",
+            });
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = other.shape[1];
+        let mut out = vec![0.0f32; m * n];
+        // i-k-j loop order keeps the inner loop streaming over contiguous
+        // rows of `other`, which matters for the larger model configs.
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix-vector product of a rank-2 tensor with a vector: `(m,k) × (k,) → (m,)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] unless `self` is rank 2
+    /// and `v.len()` equals the column count.
+    pub fn matvec(&self, v: &[f32]) -> Result<Vec<f32>, TensorError> {
+        if self.rank() != 2 || self.shape[1] != v.len() {
+            return Err(TensorError::IncompatibleShapes {
+                lhs: self.shape.clone(),
+                rhs: vec![v.len()],
+                op: "matvec",
+            });
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * k..(i + 1) * k];
+            *o = dot(row, v);
+        }
+        Ok(out)
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] for non-rank-2 tensors.
+    pub fn transpose(&self) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::IncompatibleShapes {
+                lhs: self.shape.clone(),
+                rhs: vec![],
+                op: "transpose",
+            });
+        }
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+}
+
+impl Default for Tensor {
+    /// The default tensor is a rank-1 empty tensor.
+    fn default() -> Self {
+        Tensor {
+            data: Vec::new(),
+            shape: vec![0],
+        }
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics (via `debug_assert!`) in debug builds when lengths differ; in
+/// release builds the shorter length wins.
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_shape() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(&[2, 2]);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let f = Tensor::full(&[2, 2], 3.5);
+        assert!(f.as_slice().iter().all(|&x| x == 3.5));
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let i3 = Tensor::eye(3);
+        let c = a.matmul(&i3).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::IncompatibleShapes { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let v = vec![1.0, 0.5, -1.0];
+        let got = a.matvec(&v).unwrap();
+        let vm = Tensor::from_vec(v.clone(), &[3, 1]).unwrap();
+        let want = a.matmul(&vm).unwrap();
+        assert_eq!(got, want.as_slice());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        let t = a.transpose().unwrap();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 3, 4]);
+        t.set(&[1, 2, 3], 9.0).unwrap();
+        assert_eq!(t.get(&[1, 2, 3]).unwrap(), 9.0);
+        assert!(t.get(&[2, 0, 0]).is_err());
+        assert!(t.get(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[3.0, 10.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![-1.0, 4.0, 2.0], &[3]).unwrap();
+        assert_eq!(t.min().unwrap(), -1.0);
+        assert_eq!(t.max().unwrap(), 4.0);
+        assert!((t.mean().unwrap() - 5.0 / 3.0).abs() < 1e-6);
+        let e = Tensor::default();
+        assert!(matches!(e.min(), Err(TensorError::Empty)));
+    }
+
+    #[test]
+    fn rows_of_rank2() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.row(0), &[1.0, 2.0]);
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let r = t.reshape(&[4]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn error_display_is_lowercase() {
+        let e = TensorError::Empty.to_string();
+        assert!(e.starts_with(|c: char| c.is_lowercase()));
+        assert!(!e.ends_with('.'));
+    }
+}

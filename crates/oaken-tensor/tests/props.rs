@@ -1,0 +1,103 @@
+//! Property tests for the tensor substrate: algebraic identities that must
+//! hold for arbitrary shapes and values.
+
+use oaken_tensor::{log_softmax, quantile, softmax_in_place, top_k, MinMax, Tensor};
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1.0e3f32..1.0e3, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn matmul_identity(v in finite_vec(64)) {
+        let n = v.len();
+        let a = Tensor::from_vec(v.clone(), &[1, n]).unwrap();
+        let id = Tensor::eye(n);
+        let out = a.matmul(&id).unwrap();
+        for (x, y) in v.iter().zip(out.as_slice()) {
+            prop_assert!((x - y).abs() <= x.abs() * 1e-6 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in finite_vec(16),
+        b in finite_vec(16),
+    ) {
+        let n = a.len().min(b.len()).max(1);
+        let a = Tensor::from_vec(a[..n].to_vec(), &[1, n]).unwrap();
+        let b = Tensor::from_vec(b[..n].to_vec(), &[1, n]).unwrap();
+        // (a + b) · I == a·I + b·I
+        let id = Tensor::eye(n);
+        let lhs = a.add(&b).unwrap().matmul(&id).unwrap();
+        let rhs = a.matmul(&id).unwrap().add(&b.matmul(&id).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= x.abs() * 1e-5 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(v in finite_vec(48)) {
+        let n = v.len();
+        // Factor into a 2D shape.
+        let rows = (1..=n).rev().find(|r| n % r == 0).unwrap();
+        let t = Tensor::from_vec(v, &[rows, n / rows]).unwrap();
+        prop_assert_eq!(t.transpose().unwrap().transpose().unwrap(), t);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(mut v in finite_vec(64)) {
+        softmax_in_place(&mut v);
+        let sum: f32 = v.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(v.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+    }
+
+    #[test]
+    fn softmax_invariant_to_shift(v in finite_vec(32), shift in -100.0f32..100.0) {
+        let mut a = v.clone();
+        let mut b: Vec<f32> = v.iter().map(|x| x + shift).collect();
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn log_softmax_exponentiates_to_distribution(v in finite_vec(32)) {
+        let ls = log_softmax(&v);
+        let sum: f32 = ls.iter().map(|l| l.exp()).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn top_k_contains_the_maximum(v in finite_vec(64), k in 1usize..8) {
+        let top = top_k(&v, k);
+        let max = v.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert_eq!(top[0], max);
+        // Descending order.
+        for w in top.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn quantile_monotone(v in finite_vec(64), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&v, lo).unwrap();
+        let b = quantile(&v, hi).unwrap();
+        prop_assert!(a <= b + 1e-6);
+    }
+
+    #[test]
+    fn minmax_brackets_every_element(v in finite_vec(64)) {
+        let mm = MinMax::of(&v).unwrap();
+        for &x in &v {
+            prop_assert!(mm.min <= x && x <= mm.max);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Batched serving simulation: compare vLLM-on-A100, the plain LPU, and
+//! the Oaken accelerators on Llama2-13B across batch sizes — a compact
+//! version of Figure 11.
+//!
+//! Run with: `cargo run --example serving_sim`
+
+use oaken::accel::{AcceleratorSpec, QuantPolicy, SystemModel, Workload};
+use oaken::model::ModelConfig;
+
+fn main() {
+    let model = ModelConfig::llama2_13b();
+    let systems = [
+        SystemModel::new(AcceleratorSpec::a100(), QuantPolicy::fp16()),
+        SystemModel::new(AcceleratorSpec::a100(), QuantPolicy::qserve()),
+        SystemModel::new(AcceleratorSpec::lpu(), QuantPolicy::fp16()),
+        SystemModel::new(AcceleratorSpec::oaken_hbm(), QuantPolicy::oaken()),
+        SystemModel::new(AcceleratorSpec::oaken_lpddr(), QuantPolicy::oaken()),
+    ];
+    println!("Llama2-13B, 1K input : 1K output — throughput in tokens/s\n");
+    print!("{:>6}", "batch");
+    for s in &systems {
+        print!("{:>20}", s.name());
+    }
+    println!();
+    for batch in [16usize, 32, 64, 128, 256] {
+        let w = Workload::one_k_one_k(batch);
+        print!("{batch:>6}");
+        for s in &systems {
+            let r = s.run(&model, &w);
+            if r.oom {
+                print!("{:>20}", "OOM");
+            } else {
+                print!("{:>20.0}", r.throughput);
+            }
+        }
+        println!();
+    }
+    println!("\nAt batch 256, Oaken-LPDDR should lead: its 4.8-bit KV cache");
+    println!("stretches both the 1.1 TB/s bandwidth and the 256 GB capacity");
+    println!("by 16/4.8 = 3.3x, while the GPU baselines saturate on capacity.");
+}

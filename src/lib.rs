@@ -1,0 +1,41 @@
+//! # Oaken
+//!
+//! A full reproduction of *"Oaken: Fast and Efficient LLM Serving with
+//! Online-Offline Hybrid KV Cache Quantization"* (ISCA 2025) as a Rust
+//! workspace. This facade crate re-exports every subsystem:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`core`] | `oaken-core` | the paper's contribution: hybrid quantization |
+//! | [`baselines`] | `oaken-baselines` | KVQuant/KIVI/Atom/QServe/Tender reimplementations |
+//! | [`tensor`] | `oaken-tensor` | minimal f32 tensor substrate |
+//! | [`model`] | `oaken-model` | from-scratch transformer inference engine |
+//! | [`eval`] | `oaken-eval` | datasets, perplexity, zero-shot, distribution probes |
+//! | [`mmu`] | `oaken-mmu` | page-based dense/sparse memory management unit |
+//! | [`accel`] | `oaken-accel` | accelerator/GPU performance, area, power simulator |
+//! | [`serving`] | `oaken-serving` | batch scheduling, traces, serving simulation |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use oaken::core::{KvKind, OakenConfig, OakenQuantizer, OfflineProfiler};
+//!
+//! let config = OakenConfig::default();
+//! let mut profiler = OfflineProfiler::new(config.clone(), 1);
+//! let sample: Vec<f32> = (0..256).map(|i| ((i % 31) as f32 - 15.0) / 3.0).collect();
+//! profiler.observe(0, KvKind::Key, &sample);
+//! profiler.observe(0, KvKind::Value, &sample);
+//! let quantizer = OakenQuantizer::new(config, profiler.finish());
+//! let fused = quantizer.quantize_vector(&sample, 0, KvKind::Key)?;
+//! assert!(fused.effective_bits() < 16.0);
+//! # Ok::<(), oaken::core::OakenError>(())
+//! ```
+
+pub use oaken_accel as accel;
+pub use oaken_baselines as baselines;
+pub use oaken_core as core;
+pub use oaken_eval as eval;
+pub use oaken_mmu as mmu;
+pub use oaken_model as model;
+pub use oaken_serving as serving;
+pub use oaken_tensor as tensor;

@@ -1,0 +1,89 @@
+//! Cross-crate capacity consistency: the analytical capacity model of
+//! `oaken-accel` and the page-level OOM of `oaken-mmu` must tell the same
+//! story about when a workload fits.
+
+use oaken::accel::{AcceleratorSpec, QuantPolicy, SystemModel};
+use oaken::mmu::{AllocError, MmuSim, StreamClass, StreamKey};
+use oaken::model::ModelConfig;
+
+#[test]
+fn analytical_and_page_level_capacity_agree() {
+    // Build a miniature device: 1 MiB of KV memory in 4 KiB pages, and a
+    // miniature model; both layers of the stack must agree on the max
+    // number of 1024-token requests that fit (long enough that per-stream
+    // page fragmentation stays second-order).
+    let page_size = 4096usize;
+    let num_pages = 256u32; // 1 MiB
+    let kv_dim = 64usize;
+    let layers = 2usize;
+    let tokens_per_req = 1024usize;
+    let bits = 4.8f64;
+    let bytes_per_token_per_stream = (kv_dim as f64 * bits / 8.0).ceil() as u32; // one K or V row
+
+    // Page-level: fill the MMU with whole requests until OOM.
+    let mut mmu = MmuSim::new(num_pages, page_size);
+    let mut fitted = 0u32;
+    'outer: for req in 0..10_000u32 {
+        for t in 0..tokens_per_req {
+            for layer in 0..layers {
+                for class in [StreamClass::Dense, StreamClass::Sparse] {
+                    // Dense stream carries the packed payload; model the
+                    // sparse side at ~10% of it.
+                    let bytes = match class {
+                        StreamClass::Dense => bytes_per_token_per_stream,
+                        StreamClass::Sparse => (bytes_per_token_per_stream / 10).max(1),
+                    };
+                    let key = StreamKey {
+                        request: req,
+                        layer: layer as u16,
+                        head: (t % 4) as u16,
+                        class,
+                    };
+                    match mmu.write_token(key, bytes) {
+                        Ok(_) => {}
+                        Err(AllocError::OutOfPages { .. }) => break 'outer,
+                        Err(e) => panic!("unexpected MMU error: {e}"),
+                    }
+                }
+            }
+        }
+        fitted = req + 1;
+    }
+    assert!(fitted > 0, "at least one request must fit");
+
+    // Analytical: every token writes one dense and one sparse entry per
+    // layer (the loop above), so the true per-request footprint is
+    // tokens × layers × (dense + sparse) bytes.
+    let capacity_bytes = num_pages as u64 * page_size as u64;
+    let sparse_bytes = (bytes_per_token_per_stream / 10).max(1);
+    let per_req = (tokens_per_req * layers) as f64
+        * f64::from(bytes_per_token_per_stream + sparse_bytes);
+    let analytical = (capacity_bytes as f64 / per_req) as u32;
+    let ratio = f64::from(fitted) / f64::from(analytical.max(1));
+    assert!(
+        (0.5..=1.5).contains(&ratio),
+        "page-level fitted {fitted} vs analytical {analytical} (fragmentation should cost <2x)"
+    );
+}
+
+#[test]
+fn quantization_extends_max_batch_by_bit_ratio() {
+    let m = ModelConfig::llama2_13b();
+    let fp16 = SystemModel::new(AcceleratorSpec::oaken_lpddr(), QuantPolicy::fp16());
+    let oaken = SystemModel::new(AcceleratorSpec::oaken_lpddr(), QuantPolicy::oaken());
+    let b_fp16 = fp16.max_concurrent_batch(&m, 2048);
+    let b_oaken = oaken.max_concurrent_batch(&m, 2048);
+    let gain = b_oaken as f64 / b_fp16 as f64;
+    // 16/4.8 = 3.33×, modulo integer truncation.
+    assert!((2.8..3.8).contains(&gain), "capacity gain {gain}");
+}
+
+#[test]
+fn weights_that_do_not_fit_are_always_oom() {
+    // Llama2-70B FP16 weights exceed 80 GB: every batch OOMs on HBM.
+    let m = ModelConfig::llama2_70b();
+    let sys = SystemModel::new(AcceleratorSpec::oaken_hbm(), QuantPolicy::oaken());
+    assert_eq!(sys.max_concurrent_batch(&m, 2048), 0);
+    let r = sys.run(&m, &oaken::accel::Workload::one_k_one_k(16));
+    assert!(r.oom);
+}
