@@ -68,8 +68,7 @@ impl AreaModel {
     pub fn vpu_mm2(&self) -> f64 {
         let alus = self.lanes as f64 * self.fp16_alu;
         let vregs = 20.0 * self.sram_per_kib;
-        let control = 0.10 * alus
-            ;
+        let control = 0.10 * alus;
         alus + vregs + control
     }
 

@@ -153,7 +153,11 @@ impl SystemModel {
     /// Largest concurrent batch that fits for `seq_len`-token requests.
     pub fn max_concurrent_batch(&self, model: &ModelConfig, seq_len: usize) -> usize {
         let weights = model.weight_bytes(self.policy.weight_bits);
-        let budget = self.accel.mem.capacity.saturating_sub(weights + weights / 50);
+        let budget = self
+            .accel
+            .mem
+            .capacity
+            .saturating_sub(weights + weights / 50);
         let per_req = seq_len as u64 * model.kv_bytes_per_token(self.policy.kv_bits);
         if per_req == 0 {
             return usize::MAX;
@@ -251,8 +255,8 @@ impl SystemModel {
         let proj_flops = 2.0 * params * b * l;
         let attn_flops =
             b * model.num_layers as f64 * 2.0 * l * model.attention_span(input_len) as f64 * d;
-        let t_compute = (proj_flops + attn_flops) / (self.accel.peak_flops
-            * self.accel.matmul_efficiency);
+        let t_compute =
+            (proj_flops + attn_flops) / (self.accel.peak_flops * self.accel.matmul_efficiency);
         let weight_bytes = model.weight_bytes(self.policy.weight_bits) as f64;
         let kv_write = b * l * model.kv_bytes_per_token(self.policy.kv_bits) as f64;
         let t_mem = (weight_bytes + kv_write) / self.accel.mem.bandwidth;
@@ -419,7 +423,10 @@ mod tests {
         let hbm_npu = SystemModel::new(AcceleratorSpec::hbm_npu(), QuantPolicy::fp16())
             .with_capacity(CapacityPolicy::Fail)
             .run(&m, &w);
-        assert!(hbm_npu.oom, "OPT-30B at batch 16 must OOM on 80 GB (Fig. 4b)");
+        assert!(
+            hbm_npu.oom,
+            "OPT-30B at batch 16 must OOM on 80 GB (Fig. 4b)"
+        );
         let lpddr_npu = SystemModel::new(AcceleratorSpec::lpddr_npu(), QuantPolicy::fp16())
             .with_capacity(CapacityPolicy::Fail)
             .run(&m, &w);
@@ -433,13 +440,19 @@ mod tests {
         let m = llama13b();
         let w = Workload::one_k_one_k(128);
         let base = SystemModel::new(AcceleratorSpec::lpddr_npu(), QuantPolicy::fp16()).run(&m, &w);
-        let wq = SystemModel::new(AcceleratorSpec::lpddr_npu(), QuantPolicy::weight_only_int4())
-            .run(&m, &w);
+        let wq = SystemModel::new(
+            AcceleratorSpec::lpddr_npu(),
+            QuantPolicy::weight_only_int4(),
+        )
+        .run(&m, &w);
         let kvq = SystemModel::new(AcceleratorSpec::lpddr_npu(), QuantPolicy::kv_int4_plain())
             .run(&m, &w);
         let weight_gain = wq.throughput / base.throughput;
         let kv_gain = kvq.throughput / base.throughput;
-        assert!(kv_gain > weight_gain, "kv {kv_gain} vs weight {weight_gain}");
+        assert!(
+            kv_gain > weight_gain,
+            "kv {kv_gain} vs weight {weight_gain}"
+        );
         assert!(kv_gain > 1.5, "kv quant should matter: {kv_gain}");
     }
 

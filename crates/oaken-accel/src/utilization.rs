@@ -102,10 +102,9 @@ pub fn generation_utilization(
     let ffn_mats = if model.gated_ffn() { 3.0 } else { 2.0 };
     let active = model.moe.map_or(1.0, |m| m.top_k as f64);
     let experts_stored = model.moe.map_or(1.0, |m| m.num_experts as f64);
-    let ffn_bytes = layers
-        * (d * d + experts_stored * ffn_mats * d * model.ffn_hidden as f64)
-        * weight_bits
-        / 8.0;
+    let ffn_bytes =
+        layers * (d * d + experts_stored * ffn_mats * d * model.ffn_hidden as f64) * weight_bits
+            / 8.0;
     let ffn_flops =
         b * layers * (2.0 * d * d + active * ffn_mats * 2.0 * d * model.ffn_hidden as f64);
     let ffn_time = (ffn_bytes / bw).max(ffn_flops / (peak * accel.gemm_efficiency_at(batch)));
@@ -152,11 +151,7 @@ mod tests {
             1536,
         );
         for (seg, u) in &r.segments {
-            assert!(
-                (0.0..=100.0).contains(u),
-                "{}: {u}%",
-                seg.label()
-            );
+            assert!((0.0..=100.0).contains(u), "{}: {u}%", seg.label());
         }
     }
 
@@ -166,6 +161,9 @@ mod tests {
         let a = AcceleratorSpec::a100();
         let small = generation_utilization(&a, &m, 4, 1536).get(OpSegment::Ffn);
         let large = generation_utilization(&a, &m, 128, 1536).get(OpSegment::Ffn);
-        assert!(large > small, "batch should lift FFN util: {small} → {large}");
+        assert!(
+            large > small,
+            "batch should lift FFN util: {small} → {large}"
+        );
     }
 }

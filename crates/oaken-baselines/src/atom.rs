@@ -7,8 +7,10 @@
 //! usual channels, §4.1 Observation 3) still land inside coarse groups and
 //! cost accuracy, which is exactly the weakness Table 2 shows.
 
-use crate::common::{quantize_groups_per_row, ChannelOrder};
-use oaken_core::{KvKind, KvQuantizer, OnlineCost, UniformQuantizer};
+use crate::common::{
+    quantize_groups_row_into, CalibratedRowKernel, CalibratedStream, ChannelOrder,
+};
+use oaken_core::{KvKind, KvQuantizer, KvRowStream, OnlineCost, UniformQuantizer};
 
 /// Configuration and implementation of the Atom-style baseline.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +44,26 @@ impl Default for AtomStyle {
     }
 }
 
+impl AtomStyle {
+    /// Quantize-dequantizes one already-permuted row: per-group INT4 over
+    /// the low-magnitude region, INT8 over the promoted tail. Appends
+    /// `permuted.len()` values to `out`. Shared by the batch and streaming
+    /// paths so they agree bit-for-bit.
+    fn quantize_permuted_row(&self, permuted: &[f32], out: &mut Vec<f32>) {
+        let d = permuted.len();
+        let n_int8 = ((d as f64 * self.int8_channel_fraction).round() as usize).min(d);
+        let d4 = d - n_int8;
+        if d4 > 0 {
+            quantize_groups_row_into(&permuted[..d4], self.group.min(d4), self.bits, out);
+        }
+        if n_int8 > 0 {
+            let chunk = &permuted[d4..];
+            let q8 = UniformQuantizer::from_values(chunk, 8).expect("valid bit-width");
+            out.extend(chunk.iter().map(|&x| q8.dequantize(q8.quantize(x))));
+        }
+    }
+}
+
 impl KvQuantizer for AtomStyle {
     fn name(&self) -> &'static str {
         "atom"
@@ -58,41 +80,28 @@ impl KvQuantizer for AtomStyle {
         assert_eq!(data.len(), rows * d, "matrix data/shape mismatch");
         // Calibrate the reorder on the prefix only (offline in the real
         // system; the permutation application itself is the online cost).
+        // After ascending-magnitude sort the INT8 channels are the last
+        // ones; every row is then processed independently.
         let calib = self.calib_rows.clamp(1, rows);
         let order = ChannelOrder::calibrate(&data[..calib * d], calib, d);
-        let permuted = order.permute(data, rows, d);
-
-        // After ascending-magnitude sort the INT8 channels are the last ones.
-        let n_int8 = ((d as f64 * self.int8_channel_fraction).round() as usize).min(d);
-        let d4 = d - n_int8;
-
         let mut out = vec![0.0f32; rows * d];
-        if d4 > 0 {
-            // INT4 region, per-group scales.
-            let mut region = Vec::with_capacity(rows * d4);
-            for r in 0..rows {
-                region.extend_from_slice(&permuted[r * d..r * d + d4]);
-            }
-            let q4 = quantize_groups_per_row(&region, rows, d4, self.group.min(d4), self.bits);
-            for r in 0..rows {
-                out[r * d..r * d + d4].copy_from_slice(&q4[r * d4..(r + 1) * d4]);
-            }
+        let mut permuted = Vec::with_capacity(d);
+        let mut qrow = Vec::with_capacity(d);
+        for r in 0..rows {
+            permuted.clear();
+            order.permute_row_into(&data[r * d..(r + 1) * d], &mut permuted);
+            qrow.clear();
+            self.quantize_permuted_row(&permuted, &mut qrow);
+            order.unpermute_row_into(&qrow, &mut out[r * d..(r + 1) * d]);
         }
-        if n_int8 > 0 {
-            for r in 0..rows {
-                let chunk = &permuted[r * d + d4..(r + 1) * d];
-                let q8 = UniformQuantizer::from_values(chunk, 8).expect("valid bit-width");
-                for (i, &x) in chunk.iter().enumerate() {
-                    out[r * d + d4 + i] = q8.dequantize(q8.quantize(x));
-                }
-            }
-        }
-        order.unpermute(&out, rows, d)
+        out
     }
 
     fn effective_bits(&self, _rows: usize, d: usize) -> f64 {
         let f8 = self.int8_channel_fraction;
-        f64::from(self.bits) * (1.0 - f8) + 8.0 * f8 + 32.0 / self.group as f64
+        f64::from(self.bits) * (1.0 - f8)
+            + 8.0 * f8
+            + 32.0 / self.group as f64
             + 32.0 / d.max(1) as f64
     }
 
@@ -105,11 +114,61 @@ impl KvQuantizer for AtomStyle {
             gpu_divergence_penalty: 1.5,
         }
     }
+
+    fn row_stream(&self, d: usize, _layer: usize, _kind: KvKind) -> Option<Box<dyn KvRowStream>> {
+        Some(Box::new(CalibratedStream::new(
+            AtomKernel {
+                cfg: *self,
+                order: ChannelOrder::identity(d),
+                permuted: Vec::with_capacity(d),
+                qrow: Vec::with_capacity(d),
+            },
+            d,
+        )))
+    }
+}
+
+/// Streaming Atom kernel: the channel order freezes after `calib_rows`
+/// tokens (offline calibration in the real system); per-row group
+/// quantization is row-independent, so frozen-state appends are O(d) and
+/// bit-exact with the batch path.
+struct AtomKernel {
+    cfg: AtomStyle,
+    order: ChannelOrder,
+    permuted: Vec<f32>,
+    qrow: Vec<f32>,
+}
+
+impl CalibratedRowKernel for AtomKernel {
+    fn calib_rows(&self) -> usize {
+        self.cfg.calib_rows
+    }
+
+    fn roundtrip_prefix(&self, data: &[f32], rows: usize, d: usize) -> Vec<f32> {
+        self.cfg.roundtrip_matrix(data, rows, d, 0, KvKind::Key)
+    }
+
+    fn freeze(&mut self, calib: &[f32], rows: usize, d: usize) {
+        self.order = ChannelOrder::calibrate(calib, rows, d);
+    }
+
+    fn process_row(&mut self, row: &[f32], view: &mut Vec<f32>) {
+        self.permuted.clear();
+        self.order.permute_row_into(row, &mut self.permuted);
+        self.qrow.clear();
+        self.cfg
+            .quantize_permuted_row(&self.permuted, &mut self.qrow);
+        let start = view.len();
+        view.resize(start + row.len(), 0.0);
+        self.order
+            .unpermute_row_into(&self.qrow, &mut view[start..]);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::quantize_groups_per_row;
 
     fn channelized(rows: usize, d: usize) -> Vec<f32> {
         (0..rows * d)

@@ -1,7 +1,24 @@
 //! Shared quantization building blocks for the baseline methods: per-group
-//! and per-channel min/max quantization, and calibrated channel ordering.
+//! and per-channel min/max quantization, calibrated channel ordering, and
+//! the calibrate-then-freeze row-stream driver behind every token-granular
+//! baseline's incremental cache path.
 
-use oaken_core::UniformQuantizer;
+use oaken_core::{KvRowStream, UniformQuantizer};
+
+/// Quantize-dequantizes one row with one min/max scale per `group`
+/// consecutive channels, appending `row.len()` values to `out` — the
+/// per-row kernel both the batch and the streaming paths share.
+///
+/// # Panics
+///
+/// Panics if `group == 0`.
+pub fn quantize_groups_row_into(row: &[f32], group: usize, bits: u8, out: &mut Vec<f32>) {
+    assert!(group > 0, "group size must be positive");
+    for chunk in row.chunks(group) {
+        let q = UniformQuantizer::from_values(chunk, bits).expect("bit-width validated by caller");
+        out.extend(chunk.iter().map(|&x| q.dequantize(q.quantize(x))));
+    }
+}
 
 /// Quantize-dequantizes a `[rows × d]` matrix with one min/max scale per
 /// `group` consecutive channels within each row (the granularity of Atom /
@@ -10,17 +27,17 @@ use oaken_core::UniformQuantizer;
 /// # Panics
 ///
 /// Panics if `data.len() != rows * d` or `group == 0`.
-pub fn quantize_groups_per_row(data: &[f32], rows: usize, d: usize, group: usize, bits: u8) -> Vec<f32> {
+pub fn quantize_groups_per_row(
+    data: &[f32],
+    rows: usize,
+    d: usize,
+    group: usize,
+    bits: u8,
+) -> Vec<f32> {
     assert_eq!(data.len(), rows * d, "matrix data/shape mismatch");
-    assert!(group > 0, "group size must be positive");
     let mut out = Vec::with_capacity(data.len());
     for r in 0..rows {
-        let row = &data[r * d..(r + 1) * d];
-        for chunk in row.chunks(group) {
-            let q = UniformQuantizer::from_values(chunk, bits)
-                .expect("bit-width validated by caller");
-            out.extend(chunk.iter().map(|&x| q.dequantize(q.quantize(x))));
-        }
+        quantize_groups_row_into(&data[r * d..(r + 1) * d], group, bits, &mut out);
     }
     out
 }
@@ -91,6 +108,29 @@ impl ChannelOrder {
         self.perm.is_empty()
     }
 
+    /// Appends one permuted row to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.len()`.
+    pub fn permute_row_into(&self, row: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(row.len(), self.perm.len(), "channel count mismatch");
+        out.extend(self.perm.iter().map(|&c| row[c]));
+    }
+
+    /// Scatters one permuted row back to channel order into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths disagree with `self.len()`.
+    pub fn unpermute_row_into(&self, row: &[f32], out: &mut [f32]) {
+        assert_eq!(row.len(), self.perm.len(), "channel count mismatch");
+        assert_eq!(out.len(), self.perm.len(), "channel count mismatch");
+        for (i, &c) in self.perm.iter().enumerate() {
+            out[c] = row[i];
+        }
+    }
+
     /// Applies the permutation to every row of a `[rows × d]` matrix.
     ///
     /// # Panics
@@ -101,8 +141,7 @@ impl ChannelOrder {
         assert_eq!(data.len(), rows * d, "matrix data/shape mismatch");
         let mut out = Vec::with_capacity(data.len());
         for r in 0..rows {
-            let row = &data[r * d..(r + 1) * d];
-            out.extend(self.perm.iter().map(|&c| row[c]));
+            self.permute_row_into(&data[r * d..(r + 1) * d], &mut out);
         }
         out
     }
@@ -117,11 +156,80 @@ impl ChannelOrder {
         assert_eq!(data.len(), rows * d, "matrix data/shape mismatch");
         let mut out = vec![0.0f32; data.len()];
         for r in 0..rows {
-            for (i, &c) in self.perm.iter().enumerate() {
-                out[r * d + c] = data[r * d + i];
-            }
+            self.unpermute_row_into(&data[r * d..(r + 1) * d], &mut out[r * d..(r + 1) * d]);
         }
         out
+    }
+}
+
+/// A per-row quantization kernel whose calibration state (channel order,
+/// smoothing scales, frozen group quantizers) is extracted once from the
+/// first `calib_rows` tokens and immutable afterwards — the structure
+/// shared by the Atom/QServe/Tender streaming paths.
+pub(crate) trait CalibratedRowKernel: Send {
+    /// Rows required before calibration freezes (≥ 1 effective).
+    fn calib_rows(&self) -> usize;
+
+    /// Batch roundtrip used while calibrating, bit-exact with the method's
+    /// `roundtrip_matrix` on the same prefix.
+    fn roundtrip_prefix(&self, data: &[f32], rows: usize, d: usize) -> Vec<f32>;
+
+    /// Freezes calibration state from the `[rows × d]` calibration prefix.
+    fn freeze(&mut self, calib: &[f32], rows: usize, d: usize);
+
+    /// Processes one row with frozen calibration, appending `d` values.
+    fn process_row(&mut self, row: &[f32], view: &mut Vec<f32>);
+}
+
+/// [`KvRowStream`] driver for [`CalibratedRowKernel`]s: during warm-up the
+/// whole (tiny) view is recomputed through the batch path on each append;
+/// once `calib_rows` tokens are seen the kernel freezes and every further
+/// append is a pure O(d) extension of the view.
+pub(crate) struct CalibratedStream<K> {
+    kernel: K,
+    d: usize,
+    rows: usize,
+    /// Exact rows buffered only during warm-up (dropped at freeze).
+    buffered: Vec<f32>,
+    frozen: bool,
+}
+
+impl<K: CalibratedRowKernel> CalibratedStream<K> {
+    pub(crate) fn new(kernel: K, d: usize) -> Self {
+        Self {
+            kernel,
+            d,
+            rows: 0,
+            buffered: Vec::new(),
+            frozen: false,
+        }
+    }
+}
+
+impl<K: CalibratedRowKernel> KvRowStream for CalibratedStream<K> {
+    fn append_row(&mut self, row: &[f32], view: &mut Vec<f32>) {
+        assert_eq!(row.len(), self.d, "row width mismatch");
+        self.rows += 1;
+        if self.frozen {
+            self.kernel.process_row(row, view);
+            return;
+        }
+        self.buffered.extend_from_slice(row);
+        view.clear();
+        *view = self
+            .kernel
+            .roundtrip_prefix(&self.buffered, self.rows, self.d);
+        if self.rows >= self.kernel.calib_rows().max(1) {
+            let calib_rows = self.kernel.calib_rows().max(1).min(self.rows);
+            let calib: Vec<f32> = self.buffered[..calib_rows * self.d].to_vec();
+            self.kernel.freeze(&calib, calib_rows, self.d);
+            self.buffered = Vec::new();
+            self.frozen = true;
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.rows
     }
 }
 

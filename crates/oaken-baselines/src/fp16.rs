@@ -2,7 +2,7 @@
 //! GPU baseline of Figure 11).
 
 use crate::half_float::f16_roundtrip;
-use oaken_core::{KvKind, KvQuantizer, OnlineCost};
+use oaken_core::{KvKind, KvQuantizer, KvRowStream, OnlineCost};
 
 /// Stores the KV cache in FP16, the serving-system default.
 #[derive(Debug, Clone, Copy, Default)]
@@ -40,6 +40,33 @@ impl KvQuantizer for Fp16Reference {
 
     fn online_cost(&self) -> OnlineCost {
         OnlineCost::free()
+    }
+
+    fn row_stream(&self, d: usize, _layer: usize, _kind: KvKind) -> Option<Box<dyn KvRowStream>> {
+        Some(Box::new(Fp16RowStream { d, rows: 0 }))
+    }
+}
+
+/// Streaming FP16 path: each element converts independently, so appends
+/// are trivially O(d) and bit-exact with the batch path.
+struct Fp16RowStream {
+    d: usize,
+    rows: usize,
+}
+
+impl KvRowStream for Fp16RowStream {
+    fn append_row(&mut self, row: &[f32], view: &mut Vec<f32>) {
+        assert_eq!(row.len(), self.d, "row width mismatch");
+        view.extend(row.iter().map(|&x| f16_roundtrip(x)));
+        self.rows += 1;
+    }
+
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn payload_bytes(&self) -> Option<usize> {
+        Some(self.rows * self.d * 2)
     }
 }
 

@@ -5,6 +5,14 @@
 //! The FP16 residual window plus fine-grained grouping is what gives KIVI
 //! its accuracy — and its larger effective bitwidth (4.99 in Table 2) plus
 //! the mixed-precision compute overhead Oaken's §6.2 identifies.
+//!
+//! KIVI is **not token-granular**: keys quantize per-channel (column
+//! statistics over the whole prefix) and the trailing residual window
+//! migrates rows from FP16 to quantized as it slides, so past rows are
+//! rewritten on every append. The method therefore does not implement
+//! `KvQuantizer::row_stream`, and the serving cache uses its documented
+//! full-recompute fallback (which favours KIVI: scales are recomputed over
+//! the complete prefix, never Oaken).
 
 use crate::common::quantize_per_channel;
 use crate::half_float::f16_roundtrip;
@@ -86,7 +94,9 @@ impl KvQuantizer for KiviStyle {
         let frac_fp16 = keep / rows;
         // Group scales: two FP16 values per channel-group per token.
         let scale_bits = 32.0 / self.group as f64;
-        f64::from(self.bits) * (1.0 - frac_fp16) + 16.0 * frac_fp16 + scale_bits
+        f64::from(self.bits) * (1.0 - frac_fp16)
+            + 16.0 * frac_fp16
+            + scale_bits
             + 32.0 / d.max(1) as f64
     }
 

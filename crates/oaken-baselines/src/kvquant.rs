@@ -13,6 +13,13 @@
 //! inference (`sort_nlogn`) and the mixed-precision layout divides GPU
 //! warps.
 //!
+//! KVQuant is **not token-granular**: the topK outlier threshold is a
+//! quantile of the whole tensor and keys quantize per-channel, both of
+//! which shift as the prefix grows. The method therefore does not implement
+//! `KvQuantizer::row_stream`, and the serving cache uses its documented
+//! full-recompute fallback (which favours the baseline — its threshold and
+//! scales always see the complete prefix).
+//!
 //! [`OnlineCost`]: oaken_core::OnlineCost
 
 use crate::common::quantize_per_channel;
@@ -76,8 +83,7 @@ impl KvQuantizer for KvQuantStyle {
                 let mut out = Vec::with_capacity(masked.len());
                 for r in 0..rows {
                     let row = &masked[r * d..(r + 1) * d];
-                    let q = UniformQuantizer::from_values(row, self.bits)
-                        .expect("valid bit-width");
+                    let q = UniformQuantizer::from_values(row, self.bits).expect("valid bit-width");
                     out.extend(row.iter().map(|&x| q.dequantize(q.quantize(x))));
                 }
                 out

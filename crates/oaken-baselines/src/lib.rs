@@ -77,6 +77,67 @@ mod tests {
     }
 
     #[test]
+    fn streaming_support_matches_granularity() {
+        // Token-granular methods stream; per-channel/whole-tensor methods
+        // fall back (documented in their module docs).
+        let d = 64;
+        for (name, expect_stream) in [
+            ("fp16", true),
+            ("atom", true),
+            ("qserve", true),
+            ("tender", true),
+            ("kivi", false),
+            ("kvquant", false),
+        ] {
+            let b = all_baselines()
+                .into_iter()
+                .find(|b| b.name() == name)
+                .unwrap();
+            assert_eq!(
+                b.row_stream(d, 0, KvKind::Key).is_some(),
+                expect_stream,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn streams_bit_exact_with_batch_after_any_prefix() {
+        let d = 96;
+        let rows = 13; // crosses every calib_rows=4 boundary
+        let data: Vec<f32> = (0..rows * d)
+            .map(|i| {
+                let c = i % d;
+                let base = ((i * 48271) % 9973) as f32 / 997.0 - 5.0;
+                if c % 31 == 0 {
+                    base * 12.0
+                } else {
+                    base
+                }
+            })
+            .collect();
+        for b in all_baselines() {
+            for kind in KvKind::ALL {
+                let Some(mut stream) = b.row_stream(d, 0, kind) else {
+                    continue;
+                };
+                let mut view = Vec::new();
+                for r in 0..rows {
+                    stream.append_row(&data[r * d..(r + 1) * d], &mut view);
+                    let batch = b.roundtrip_matrix(&data[..(r + 1) * d], r + 1, d, 0, kind);
+                    assert_eq!(
+                        batch.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        view.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "{} diverged at {} rows",
+                        b.name(),
+                        r + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn effective_bits_ordering_matches_paper() {
         // Tender < Atom/QServe < KVQuant/KIVI < FP16.
         let rows = 1024;

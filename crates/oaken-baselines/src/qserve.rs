@@ -8,8 +8,10 @@
 //! matching QServe's Table 2 position: better than Tender/Atom, worse than
 //! Oaken/KIVI/KVQuant.
 
-use crate::common::{quantize_groups_per_row, ChannelOrder};
-use oaken_core::{KvKind, KvQuantizer, OnlineCost};
+use crate::common::{
+    quantize_groups_row_into, CalibratedRowKernel, CalibratedStream, ChannelOrder,
+};
+use oaken_core::{KvKind, KvQuantizer, KvRowStream, OnlineCost};
 
 /// Configuration and implementation of the QServe-style baseline.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +46,53 @@ impl Default for QServeStyle {
     }
 }
 
+impl QServeStyle {
+    /// Computes the per-channel smoothing factors from a `[rows × d]`
+    /// calibration prefix: `s_c = max(|x_c|)^alpha` (1.0 for silent
+    /// channels).
+    fn smoothing_scales(&self, calib: &[f32], rows: usize, d: usize) -> Vec<f32> {
+        let mut smooth = vec![0.0f32; d];
+        for r in 0..rows {
+            for c in 0..d {
+                smooth[c] = smooth[c].max(calib[r * d + c].abs());
+            }
+        }
+        for s in &mut smooth {
+            *s = if *s > 0.0 { s.powf(self.alpha) } else { 1.0 };
+        }
+        smooth
+    }
+
+    /// Quantize-dequantizes one row through the frozen smoothing scales and
+    /// channel order, appending `d` values to `view`. Shared by the batch
+    /// and streaming paths so they agree bit-for-bit.
+    #[allow(clippy::too_many_arguments)]
+    fn quantize_row_with(
+        &self,
+        row: &[f32],
+        smooth: &[f32],
+        order: &ChannelOrder,
+        smoothed: &mut Vec<f32>,
+        permuted: &mut Vec<f32>,
+        qrow: &mut Vec<f32>,
+        view: &mut Vec<f32>,
+    ) {
+        let d = row.len();
+        smoothed.clear();
+        smoothed.extend(row.iter().zip(smooth).map(|(&x, &s)| x / s));
+        permuted.clear();
+        order.permute_row_into(smoothed, permuted);
+        qrow.clear();
+        quantize_groups_row_into(permuted, self.group.min(d), self.bits, qrow);
+        let start = view.len();
+        view.resize(start + d, 0.0);
+        order.unpermute_row_into(qrow, &mut view[start..]);
+        for (v, &s) in view[start..].iter_mut().zip(smooth) {
+            *v *= s;
+        }
+    }
+}
+
 impl KvQuantizer for QServeStyle {
     fn name(&self) -> &'static str {
         "qserve"
@@ -63,30 +112,28 @@ impl KvQuantizer for QServeStyle {
         // live values, so intra-channel "exceptions" (Observation 3) fall
         // outside the calibrated scales.
         let calib = self.calib_rows.clamp(1, rows);
-        let mut smooth = vec![0.0f32; d];
-        for r in 0..calib {
-            for c in 0..d {
-                smooth[c] = smooth[c].max(data[r * d + c].abs());
-            }
-        }
-        for s in &mut smooth {
-            *s = if *s > 0.0 { s.powf(self.alpha) } else { 1.0 };
-        }
-        let smoothed: Vec<f32> = data
+        let smooth = self.smoothing_scales(&data[..calib * d], calib, d);
+        let smoothed_calib: Vec<f32> = data[..calib * d]
             .iter()
             .enumerate()
             .map(|(i, &x)| x / smooth[i % d])
             .collect();
+        let order = ChannelOrder::calibrate(&smoothed_calib, calib, d);
 
-        let order = ChannelOrder::calibrate(&smoothed[..calib * d], calib, d);
-        let permuted = order.permute(&smoothed, rows, d);
-        let quant = quantize_groups_per_row(&permuted, rows, d, self.group.min(d), self.bits);
-        let unperm = order.unpermute(&quant, rows, d);
-        unperm
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| x * smooth[i % d])
-            .collect()
+        let mut out = Vec::with_capacity(rows * d);
+        let (mut smoothed, mut permuted, mut qrow) = (Vec::new(), Vec::new(), Vec::new());
+        for r in 0..rows {
+            self.quantize_row_with(
+                &data[r * d..(r + 1) * d],
+                &smooth,
+                &order,
+                &mut smoothed,
+                &mut permuted,
+                &mut qrow,
+                &mut out,
+            );
+        }
+        out
     }
 
     fn effective_bits(&self, _rows: usize, d: usize) -> f64 {
@@ -102,11 +149,70 @@ impl KvQuantizer for QServeStyle {
             gpu_divergence_penalty: 1.2, // uniform INT4 kernels, low divergence
         }
     }
+
+    fn row_stream(&self, d: usize, _layer: usize, _kind: KvKind) -> Option<Box<dyn KvRowStream>> {
+        Some(Box::new(CalibratedStream::new(
+            QServeKernel {
+                cfg: *self,
+                smooth: vec![1.0; d],
+                order: ChannelOrder::identity(d),
+                smoothed: Vec::with_capacity(d),
+                permuted: Vec::with_capacity(d),
+                qrow: Vec::with_capacity(d),
+            },
+            d,
+        )))
+    }
+}
+
+/// Streaming QServe kernel: smoothing scales and channel order freeze after
+/// `calib_rows` tokens (folded into weights offline in the real system);
+/// per-row group quantization is row-independent afterwards.
+struct QServeKernel {
+    cfg: QServeStyle,
+    smooth: Vec<f32>,
+    order: ChannelOrder,
+    smoothed: Vec<f32>,
+    permuted: Vec<f32>,
+    qrow: Vec<f32>,
+}
+
+impl CalibratedRowKernel for QServeKernel {
+    fn calib_rows(&self) -> usize {
+        self.cfg.calib_rows
+    }
+
+    fn roundtrip_prefix(&self, data: &[f32], rows: usize, d: usize) -> Vec<f32> {
+        self.cfg.roundtrip_matrix(data, rows, d, 0, KvKind::Key)
+    }
+
+    fn freeze(&mut self, calib: &[f32], rows: usize, d: usize) {
+        self.smooth = self.cfg.smoothing_scales(calib, rows, d);
+        let smoothed_calib: Vec<f32> = calib
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x / self.smooth[i % d])
+            .collect();
+        self.order = ChannelOrder::calibrate(&smoothed_calib, rows, d);
+    }
+
+    fn process_row(&mut self, row: &[f32], view: &mut Vec<f32>) {
+        self.cfg.quantize_row_with(
+            row,
+            &self.smooth,
+            &self.order,
+            &mut self.smoothed,
+            &mut self.permuted,
+            &mut self.qrow,
+            view,
+        );
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::quantize_groups_per_row;
 
     fn spread_channels(rows: usize, d: usize) -> Vec<f32> {
         (0..rows * d)

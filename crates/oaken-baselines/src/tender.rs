@@ -4,13 +4,21 @@
 //! between groups reduces to bit-shifts (the paper's "tensor decomposition
 //! and runtime requantization").
 //!
+//! The channel decomposition **and the group scales are calibrated offline**
+//! from the first `calib_rows` tokens and frozen afterwards — matching
+//! Tender's offline-built indirect index tables, and making the method
+//! token-granular: with frozen scales every row quantizes independently, so
+//! the incremental cache path appends in O(d). Live values that exceed the
+//! calibrated range saturate, which is part of the accuracy cost Table 2
+//! charges the method.
+//!
 //! The power-of-two constraint plus coarse per-group granularity gives
 //! Tender the lowest effective bitwidth (≈4.07) *and* the worst accuracy of
 //! the Table 2 baselines — it trades precision for hardware simplicity in
 //! the opposite direction from Oaken.
 
-use crate::common::ChannelOrder;
-use oaken_core::{KvKind, KvQuantizer, OnlineCost, UniformQuantizer};
+use crate::common::{CalibratedRowKernel, CalibratedStream, ChannelOrder};
+use oaken_core::{KvKind, KvQuantizer, KvRowStream, OnlineCost, UniformQuantizer};
 
 /// Configuration and implementation of the Tender-style baseline.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +49,66 @@ impl Default for TenderStyle {
     }
 }
 
+impl TenderStyle {
+    /// Width of each magnitude-decomposed channel group over `d` channels.
+    fn group_width(&self, d: usize) -> usize {
+        d.div_ceil(self.num_groups.max(1))
+    }
+
+    /// Builds the frozen per-group quantizers from the *permuted*
+    /// calibration prefix: one symmetric base scale for the whole tensor,
+    /// each group a power-of-two shift of it.
+    fn group_quantizers(
+        &self,
+        permuted_calib: &[f32],
+        rows: usize,
+        d: usize,
+    ) -> Vec<UniformQuantizer> {
+        let absmax = permuted_calib.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let group_width = self.group_width(d);
+        let mut quants = Vec::new();
+        for g in 0..self.num_groups.max(1) {
+            let c0 = g * group_width;
+            if c0 >= d {
+                break;
+            }
+            let c1 = ((g + 1) * group_width).min(d);
+            // Group magnitude → nearest power-of-two fraction of absmax.
+            let mut gmax = 0.0f32;
+            for r in 0..rows {
+                for c in c0..c1 {
+                    gmax = gmax.max(permuted_calib[r * d + c].abs());
+                }
+            }
+            let scale = if gmax > 0.0 && absmax > 0.0 {
+                let ratio = gmax / absmax;
+                // Round the exponent up so the group range is covered.
+                absmax * 2.0f32.powi(ratio.log2().ceil() as i32)
+            } else {
+                absmax.max(1e-12)
+            };
+            quants.push(UniformQuantizer::new(-scale, scale, self.bits).expect("valid bit-width"));
+        }
+        quants
+    }
+
+    /// Quantize-dequantizes one permuted row through the frozen group
+    /// quantizers, appending `permuted.len()` values. Shared by the batch
+    /// and streaming paths so they agree bit-for-bit.
+    fn quantize_permuted_row(
+        &self,
+        permuted: &[f32],
+        quants: &[UniformQuantizer],
+        out: &mut Vec<f32>,
+    ) {
+        let group_width = self.group_width(permuted.len());
+        for (c, &x) in permuted.iter().enumerate() {
+            let q = &quants[c / group_width];
+            out.push(q.dequantize(q.quantize(x)));
+        }
+    }
+}
+
 impl KvQuantizer for TenderStyle {
     fn name(&self) -> &'static str {
         "tender"
@@ -57,42 +125,20 @@ impl KvQuantizer for TenderStyle {
         assert_eq!(data.len(), rows * d, "matrix data/shape mismatch");
         let calib = self.calib_rows.clamp(1, rows);
         let order = ChannelOrder::calibrate(&data[..calib * d], calib, d);
-        let permuted = order.permute(data, rows, d);
+        let permuted_calib = order.permute(&data[..calib * d], calib, d);
+        let quants = self.group_quantizers(&permuted_calib, calib, d);
 
-        // One symmetric base scale for the whole tensor; each group gets a
-        // power-of-two shift of it.
-        let absmax = permuted.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
-        let group_width = d.div_ceil(self.num_groups.max(1));
         let mut out = vec![0.0f32; rows * d];
-        for g in 0..self.num_groups.max(1) {
-            let c0 = g * group_width;
-            if c0 >= d {
-                break;
-            }
-            let c1 = ((g + 1) * group_width).min(d);
-            // Group magnitude → nearest power-of-two fraction of absmax.
-            let mut gmax = 0.0f32;
-            for r in 0..rows {
-                for c in c0..c1 {
-                    gmax = gmax.max(permuted[r * d + c].abs());
-                }
-            }
-            let scale = if gmax > 0.0 && absmax > 0.0 {
-                let ratio = gmax / absmax;
-                // Round the exponent up so the group range is covered.
-                absmax * 2.0f32.powi(ratio.log2().ceil() as i32)
-            } else {
-                absmax.max(1e-12)
-            };
-            let q = UniformQuantizer::new(-scale, scale, self.bits).expect("valid bit-width");
-            for r in 0..rows {
-                for c in c0..c1 {
-                    let x = permuted[r * d + c];
-                    out[r * d + c] = q.dequantize(q.quantize(x));
-                }
-            }
+        let mut permuted = Vec::with_capacity(d);
+        let mut qrow = Vec::with_capacity(d);
+        for r in 0..rows {
+            permuted.clear();
+            order.permute_row_into(&data[r * d..(r + 1) * d], &mut permuted);
+            qrow.clear();
+            self.quantize_permuted_row(&permuted, &quants, &mut qrow);
+            order.unpermute_row_into(&qrow, &mut out[r * d..(r + 1) * d]);
         }
-        order.unpermute(&out, rows, d)
+        out
     }
 
     fn effective_bits(&self, rows: usize, d: usize) -> f64 {
@@ -111,6 +157,59 @@ impl KvQuantizer for TenderStyle {
             channel_reorder: true, // indirect indexing
             gpu_divergence_penalty: 1.2,
         }
+    }
+
+    fn row_stream(&self, d: usize, _layer: usize, _kind: KvKind) -> Option<Box<dyn KvRowStream>> {
+        Some(Box::new(CalibratedStream::new(
+            TenderKernel {
+                cfg: *self,
+                order: ChannelOrder::identity(d),
+                quants: Vec::new(),
+                permuted: Vec::with_capacity(d),
+                qrow: Vec::with_capacity(d),
+            },
+            d,
+        )))
+    }
+}
+
+/// Streaming Tender kernel: the channel decomposition and power-of-two
+/// group scales freeze after `calib_rows` tokens (offline index tables in
+/// the real system); frozen-state appends are O(d) and bit-exact with the
+/// batch path.
+struct TenderKernel {
+    cfg: TenderStyle,
+    order: ChannelOrder,
+    quants: Vec<UniformQuantizer>,
+    permuted: Vec<f32>,
+    qrow: Vec<f32>,
+}
+
+impl CalibratedRowKernel for TenderKernel {
+    fn calib_rows(&self) -> usize {
+        self.cfg.calib_rows
+    }
+
+    fn roundtrip_prefix(&self, data: &[f32], rows: usize, d: usize) -> Vec<f32> {
+        self.cfg.roundtrip_matrix(data, rows, d, 0, KvKind::Key)
+    }
+
+    fn freeze(&mut self, calib: &[f32], rows: usize, d: usize) {
+        self.order = ChannelOrder::calibrate(calib, rows, d);
+        let permuted_calib = self.order.permute(calib, rows, d);
+        self.quants = self.cfg.group_quantizers(&permuted_calib, rows, d);
+    }
+
+    fn process_row(&mut self, row: &[f32], view: &mut Vec<f32>) {
+        self.permuted.clear();
+        self.order.permute_row_into(row, &mut self.permuted);
+        self.qrow.clear();
+        self.cfg
+            .quantize_permuted_row(&self.permuted, &self.quants, &mut self.qrow);
+        let start = view.len();
+        view.resize(start + row.len(), 0.0);
+        self.order
+            .unpermute_row_into(&self.qrow, &mut view[start..]);
     }
 }
 

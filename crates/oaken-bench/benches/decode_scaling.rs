@@ -1,0 +1,51 @@
+//! Criterion benchmark of the incremental streaming cache vs the legacy
+//! full-recompute path at CI-friendly sequence lengths. The committed
+//! `BENCH_decode.json` baseline comes from the `decode_scaling` binary,
+//! which sweeps up to 8k tokens; this bench tracks the same two paths at
+//! 256/1024 tokens so regressions surface in seconds, not minutes. Both
+//! share `oaken_bench::decode_workload` so they measure the same data.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oaken_bench::decode_workload::{decode_rows, oaken, KV_DIM};
+use oaken_core::KvQuantizer;
+use oaken_model::{KvCacheBackend, QuantizedCache};
+use std::sync::Arc;
+
+fn decode(q: &Arc<dyn KvQuantizer>, seq_len: usize, incremental: bool, rows: &[Vec<f32>]) {
+    let mut cache = if incremental {
+        QuantizedCache::new(q.clone())
+    } else {
+        QuantizedCache::new_recompute(q.clone())
+    };
+    cache.reset(1, KV_DIM);
+    for t in 0..seq_len {
+        cache.append(0, &rows[2 * t], &rows[2 * t + 1]);
+        black_box(cache.keys(0));
+        black_box(cache.values(0));
+    }
+}
+
+fn bench_decode_scaling(c: &mut Criterion) {
+    let q = oaken();
+    let mut group = c.benchmark_group("decode_scaling");
+    for seq_len in [256usize, 1024] {
+        let rows = decode_rows(seq_len);
+        group.bench_function(format!("incremental_seq{seq_len}"), |b| {
+            b.iter(|| decode(&q, seq_len, true, &rows))
+        });
+        group.bench_function(format!("recompute_seq{seq_len}"), |b| {
+            b.iter(|| decode(&q, seq_len, false, &rows))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_decode_scaling
+}
+criterion_main!(benches);

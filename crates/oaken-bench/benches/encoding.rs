@@ -28,12 +28,13 @@ fn bench_encoding(c: &mut Criterion) {
     let mut group = c.benchmark_group("fused_encoding_4096");
     group.bench_function("encode", |b| {
         b.iter(|| {
-            FusedVector::from_parts(d, 64, black_box(&codes), black_box(&outliers), scales)
-                .unwrap()
+            FusedVector::from_parts(d, 64, black_box(&codes), black_box(&outliers), scales).unwrap()
         })
     });
     let fv = FusedVector::from_parts(d, 64, &codes, &outliers, scales).unwrap();
-    group.bench_function("decode_outliers", |b| b.iter(|| black_box(&fv).decode_outliers()));
+    group.bench_function("decode_outliers", |b| {
+        b.iter(|| black_box(&fv).decode_outliers())
+    });
     group.bench_function("dense_code_scan", |b| {
         b.iter(|| {
             let mut acc = 0u32;
@@ -46,7 +47,7 @@ fn bench_encoding(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

@@ -9,7 +9,10 @@ use oaken_core::{KvKind, KvQuantizer, OakenConfig, OakenQuantizer, OfflineProfil
 fn kv_vector(n: usize, seed: u64) -> Vec<f32> {
     (0..n)
         .map(|i| {
-            let u = ((i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed) >> 33) as f32
+            let u = ((i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(seed)
+                >> 33) as f32
                 / (1u64 << 31) as f32;
             let base = (u - 0.5) * 6.0;
             match i % 53 {
@@ -38,17 +41,28 @@ fn bench_quantizers(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("quantize_4096");
     group.bench_function("oaken_quantize", |b| {
-        b.iter(|| oaken.quantize_vector(black_box(&x), 0, KvKind::Key).unwrap())
+        b.iter(|| {
+            oaken
+                .quantize_vector(black_box(&x), 0, KvKind::Key)
+                .unwrap()
+        })
     });
     let fused = oaken.quantize_vector(&x, 0, KvKind::Key).unwrap();
     group.bench_function("oaken_dequantize", |b| {
-        b.iter(|| oaken.dequantize_vector(black_box(&fused), 0, KvKind::Key).unwrap())
+        b.iter(|| {
+            oaken
+                .dequantize_vector(black_box(&fused), 0, KvKind::Key)
+                .unwrap()
+        })
     });
     group.bench_function("oaken_roundtrip", |b| {
         b.iter(|| oaken.roundtrip_matrix(black_box(&x), 1, d, 0, KvKind::Key))
     });
     for (name, q) in [
-        ("kvquant", Box::new(KvQuantStyle::default()) as Box<dyn KvQuantizer>),
+        (
+            "kvquant",
+            Box::new(KvQuantStyle::default()) as Box<dyn KvQuantizer>,
+        ),
         ("kivi", Box::new(KiviStyle::default())),
         ("qserve", Box::new(QServeStyle::default())),
         ("tender", Box::new(TenderStyle::default())),
@@ -60,7 +74,7 @@ fn bench_quantizers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

@@ -91,5 +91,8 @@ fn main() {
         num_heads
     );
     println!("threshold-table storage — the paper's per-layer choice trades a");
-    println!("small accuracy margin for a {}x smaller threshold register file.", num_heads);
+    println!(
+        "small accuracy margin for a {}x smaller threshold register file.",
+        num_heads
+    );
 }

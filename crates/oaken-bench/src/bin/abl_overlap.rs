@@ -13,7 +13,12 @@ fn main() {
     );
     let model = ModelConfig::llama2_7b();
     row(
-        &[&"batch", &"overlapped (tok/s)", &"exposed (tok/s)", &"GPU kernels (tok/s)"],
+        &[
+            &"batch",
+            &"overlapped (tok/s)",
+            &"exposed (tok/s)",
+            &"GPU kernels (tok/s)",
+        ],
         &[6, 19, 16, 20],
     );
     let overlapped = SystemModel::new(AcceleratorSpec::oaken_lpddr(), QuantPolicy::oaken());

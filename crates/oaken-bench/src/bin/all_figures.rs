@@ -6,8 +6,22 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "fig01", "fig03", "fig04", "fig05", "fig06", "fig11", "fig12a", "fig12b", "fig13",
-        "fig14", "table2", "table3", "table4", "abl_encoding", "abl_granularity", "abl_overlap",
+        "fig01",
+        "fig03",
+        "fig04",
+        "fig05",
+        "fig06",
+        "fig11",
+        "fig12a",
+        "fig12b",
+        "fig13",
+        "fig14",
+        "table2",
+        "table3",
+        "table4",
+        "abl_encoding",
+        "abl_granularity",
+        "abl_overlap",
         "energy",
     ];
     let exe = std::env::current_exe().expect("own path");

@@ -1,0 +1,138 @@
+//! Decode-scaling benchmark: tokens/sec of the incremental streaming KV
+//! cache versus the legacy full-recompute path, over growing sequence
+//! lengths — the measurement behind the O(n·d) vs O(n²·d) claim of the
+//! incremental cache design (and the committed `BENCH_decode.json`
+//! baseline).
+//!
+//! Per token the loop does exactly what one decoder layer does in decode:
+//! append the token's K/V rows, then read both dequantized views for
+//! attention. In recompute mode every read re-quantizes the whole prefix;
+//! in incremental mode the append is O(d) and the read is free.
+//!
+//! Usage: `cargo run --release -p oaken-bench --bin decode_scaling
+//! [out.json]` — writes a JSON summary to `out.json` (default
+//! `BENCH_decode.json`) and a human-readable table to stdout.
+
+use oaken_bench::decode_workload::{decode_rows, kv_row, oaken, KV_DIM};
+use oaken_bench::{banner, f, row};
+use oaken_core::KvQuantizer;
+use oaken_model::{KvCacheBackend, QuantizedCache};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEQ_LENS: [usize; 3] = [512, 2048, 8192];
+/// Recompute above this length is extrapolation-verified only (the
+/// quadratic path at 8k already takes tens of seconds; we still run it —
+/// this cap only guards accidental larger sweeps).
+const MAX_MEASURED: usize = 8192;
+
+/// Runs one decode of `seq_len` tokens, returning (seconds, view checksum).
+fn run_decode(mut cache: QuantizedCache, seq_len: usize) -> (f64, f64) {
+    cache.reset(1, KV_DIM);
+    let rows = decode_rows(seq_len);
+    let mut checksum = 0.0f64;
+    let start = Instant::now();
+    for t in 0..seq_len {
+        cache.append(0, &rows[2 * t], &rows[2 * t + 1]);
+        // Attention reads both views every token.
+        let keys = black_box(cache.keys(0));
+        checksum += f64::from(keys[keys.len() - 1]);
+        let values = black_box(cache.values(0));
+        checksum += f64::from(values[values.len() - 1]);
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+/// Confirms the two modes materialize bit-identical views over a full
+/// decode (final keys and values compared bit-for-bit).
+fn verify_bit_identical(q: &Arc<dyn KvQuantizer>, seq_len: usize) -> bool {
+    let mut inc = QuantizedCache::new(q.clone());
+    let mut rec = QuantizedCache::new_recompute(q.clone());
+    inc.reset(1, KV_DIM);
+    rec.reset(1, KV_DIM);
+    for t in 0..seq_len {
+        let k = kv_row(KV_DIM, 10_000 + 2 * t as u64);
+        let v = kv_row(KV_DIM, 10_001 + 2 * t as u64);
+        inc.append(0, &k, &v);
+        rec.append(0, &k, &v);
+    }
+    let keys_match = inc
+        .keys(0)
+        .iter()
+        .zip(rec.keys(0))
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    let values_match = inc
+        .values(0)
+        .iter()
+        .zip(rec.values(0))
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    keys_match && values_match && inc.keys(0).len() == seq_len * KV_DIM
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_decode.json".to_owned());
+    let q = oaken();
+
+    banner(
+        "decode_scaling",
+        "incremental streaming cache vs full-recompute path (Oaken quantizer, kv_dim 128)",
+    );
+    let identical = verify_bit_identical(&q, 512);
+    println!("bit-identical views (seq 512): {identical}");
+    assert!(
+        identical,
+        "incremental path must be bit-exact with recompute"
+    );
+
+    let widths = [8, 14, 14, 14, 10];
+    row(
+        &[
+            &"seq_len",
+            &"inc tok/s",
+            &"rec tok/s",
+            &"speedup",
+            &"growth",
+        ],
+        &widths,
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"decode_scaling\",\n  \"kv_dim\": 128,\n  \"quantizer\": \"oaken\",\n  \"bit_identical\": true,\n  \"results\": [\n");
+    let mut prev_speedup = 0.0f64;
+    for (i, &seq_len) in SEQ_LENS.iter().enumerate() {
+        assert!(seq_len <= MAX_MEASURED);
+        let (inc_secs, c1) = run_decode(QuantizedCache::new(q.clone()), seq_len);
+        let (rec_secs, c2) = run_decode(QuantizedCache::new_recompute(q.clone()), seq_len);
+        assert_eq!(c1.to_bits(), c2.to_bits(), "checksum mismatch at {seq_len}");
+        let inc_tps = seq_len as f64 / inc_secs;
+        let rec_tps = seq_len as f64 / rec_secs;
+        let speedup = inc_tps / rec_tps;
+        let growth = if prev_speedup > 0.0 {
+            f(speedup / prev_speedup, 2)
+        } else {
+            "-".to_owned()
+        };
+        row(
+            &[
+                &seq_len,
+                &f(inc_tps, 0),
+                &f(rec_tps, 0),
+                &format!("{}x", f(speedup, 1)),
+                &growth,
+            ],
+            &widths,
+        );
+        let _ = write!(
+            json,
+            "    {{\"seq_len\": {seq_len}, \"incremental_tokens_per_sec\": {inc_tps:.1}, \"recompute_tokens_per_sec\": {rec_tps:.1}, \"speedup\": {speedup:.2}}}"
+        );
+        json.push_str(if i + 1 < SEQ_LENS.len() { ",\n" } else { "\n" });
+        prev_speedup = speedup;
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("\nwrote {out_path}");
+}

@@ -19,7 +19,13 @@ fn main() {
         SystemModel::new(AcceleratorSpec::oaken_lpddr(), QuantPolicy::oaken()),
     ];
     row(
-        &[&"batch", &"system", &"power (W)", &"tokens/J", &"J per 1K tokens"],
+        &[
+            &"batch",
+            &"system",
+            &"power (W)",
+            &"tokens/J",
+            &"J per 1K tokens",
+        ],
         &[6, 20, 10, 10, 16],
     );
     for batch in [32usize, 128, 256] {

@@ -11,7 +11,13 @@ fn main() {
         "effective bandwidth vs effective capacity (Llama2-13B, batch 256, 1K:1K)",
     );
     row(
-        &[&"solution", &"category", &"eff-BW (TB/s)", &"eff-cap (GB)", &"tokens/s"],
+        &[
+            &"solution",
+            &"category",
+            &"eff-BW (TB/s)",
+            &"eff-cap (GB)",
+            &"tokens/s",
+        ],
         &[12, 12, 14, 13, 10],
     );
     let mut points = tradeoff_space();
@@ -22,9 +28,7 @@ fn main() {
             .unwrap()
     });
     for p in &points {
-        let tp = p
-            .throughput
-            .map_or_else(|| "-".to_owned(), |t| f(t, 0));
+        let tp = p.throughput.map_or_else(|| "-".to_owned(), |t| f(t, 0));
         row(
             &[
                 &p.name,

@@ -13,7 +13,10 @@ fn main() {
     let batches = [1usize, 4, 8, 12, 16, 24, 32];
     for model in [ModelConfig::llama2_13b(), ModelConfig::opt_30b()] {
         println!("\n--- {} ---", model.name);
-        row(&[&"batch", &"HBM-NPU (tok/s)", &"LPDDR-NPU (tok/s)"], &[6, 16, 18]);
+        row(
+            &[&"batch", &"HBM-NPU (tok/s)", &"LPDDR-NPU (tok/s)"],
+            &[6, 16, 18],
+        );
         // The motivation-study NPUs use fixed KV allocation: over-capacity
         // batches hard-OOM (the missing bars of Figure 4b).
         let hbm = SystemModel::new(AcceleratorSpec::hbm_npu(), QuantPolicy::fp16())

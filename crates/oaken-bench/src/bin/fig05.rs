@@ -8,7 +8,10 @@ use oaken_model::ModelConfig;
 
 fn main() {
     let model = ModelConfig::llama2_13b();
-    banner("Figure 5(a)", "Llama2-13B memory requirement by batch (2K tokens)");
+    banner(
+        "Figure 5(a)",
+        "Llama2-13B memory requirement by batch (2K tokens)",
+    );
     row(
         &[&"batch", &"weights (GB)", &"KV cache (GB)", &"KV share (%)"],
         &[6, 13, 14, 13],

@@ -9,8 +9,8 @@ use oaken_model::{Model, ModelConfig};
 fn seq(n: usize, seed: u64) -> Vec<u32> {
     (0..n as u64)
         .map(|i| {
-            let mixed = (i ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-                .wrapping_mul(6364136223846793005);
+            let mixed =
+                (i ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(6364136223846793005);
             ((mixed >> 33) % 256) as u32
         })
         .collect()
@@ -28,7 +28,10 @@ fn main() {
         let model = Model::synthetic(cfg, 1234);
         let ranges = kv_layer_ranges(&model, &[seq(48, 1)]);
         println!("\n--- {name} ---");
-        row(&[&"layer", &"key min", &"key max", &"val min", &"val max"], &[6, 9, 9, 9, 9]);
+        row(
+            &[&"layer", &"key min", &"key max", &"val min", &"val max"],
+            &[6, 9, 9, 9, 9],
+        );
         for r in &ranges {
             row(
                 &[
@@ -49,7 +52,10 @@ fn main() {
         "range consistency across datasets (Llama2-7B proxy)",
     );
     let model = Model::synthetic(ModelConfig::llama2_7b().proxy(8, 64), 1234);
-    row(&[&"layer", &"wikitext", &"piqa-like", &"hellaswag-like"], &[6, 10, 10, 15]);
+    row(
+        &[&"layer", &"wikitext", &"piqa-like", &"hellaswag-like"],
+        &[6, 10, 10, 15],
+    );
     let a = kv_layer_ranges(&model, &[seq(48, 1)]);
     let b = kv_layer_ranges(&model, &[seq(48, 777)]);
     let c = kv_layer_ranges(&model, &[seq(48, 31415)]);

@@ -14,7 +14,10 @@ fn systems(two_gpus: bool) -> Vec<(&'static str, SystemModel)> {
     };
     vec![
         ("vLLM", SystemModel::new(gpu.clone(), QuantPolicy::fp16())),
-        ("KVQuant", SystemModel::new(gpu.clone(), QuantPolicy::kvquant())),
+        (
+            "KVQuant",
+            SystemModel::new(gpu.clone(), QuantPolicy::kvquant()),
+        ),
         ("KIVI", SystemModel::new(gpu.clone(), QuantPolicy::kivi())),
         ("QServe", SystemModel::new(gpu, QuantPolicy::qserve())),
         (
@@ -64,7 +67,10 @@ fn main() {
         for (name, _) in &sys {
             header.push(name);
         }
-        let widths = vec![6usize; header.len()].into_iter().map(|_| 11).collect::<Vec<_>>();
+        let widths = vec![6usize; header.len()]
+            .into_iter()
+            .map(|_| 11)
+            .collect::<Vec<_>>();
         row(&header, &widths);
         for &b in &BATCH_SWEEP {
             let w = Workload::one_k_one_k(b);

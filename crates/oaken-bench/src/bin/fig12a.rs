@@ -20,7 +20,12 @@ fn main() {
     println!("FP32 reference perplexity: {:.3}\n", fp32.perplexity);
 
     row(
-        &[&"outer/middle/inner", &"outlier %", &"eff bits", &"perplexity"],
+        &[
+            &"outer/middle/inner",
+            &"outlier %",
+            &"eff bits",
+            &"perplexity",
+        ],
         &[18, 10, 9, 11],
     );
     // Sweep outlier budget and its split, as in the figure.
@@ -37,8 +42,8 @@ fn main() {
         (0.10, 0.10),
     ];
     for (outer, inner) in sweeps {
-        let ratios = GroupRatios::new(outer, 1.0 - outer - inner, inner)
-            .expect("sweep ratios are valid");
+        let ratios =
+            GroupRatios::new(outer, 1.0 - outer - inner, inner).expect("sweep ratios are valid");
         let config = OakenConfig {
             ratios,
             ..OakenConfig::default()
@@ -54,7 +59,15 @@ fn main() {
             (1.0 - outer - inner) * 100.0,
             inner * 100.0
         );
-        row(&[&label, &f((outer + inner) * 100.0, 0), &f(eff, 2), &f(ppl, 3)], &[18, 10, 9, 11]);
+        row(
+            &[
+                &label,
+                &f((outer + inner) * 100.0, 0),
+                &f(eff, 2),
+                &f(ppl, 3),
+            ],
+            &[18, 10, 9, 11],
+        );
     }
     println!();
     println!("Expected shape: perplexity falls toward the FP32 reference as");

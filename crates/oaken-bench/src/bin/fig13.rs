@@ -66,7 +66,10 @@ fn main() {
             input_len: total_len / 2,
             output_len: total_len / 2,
         };
-        let cells: Vec<String> = systems.iter().map(|(_, s)| show(&s.run(&model, &w))).collect();
+        let cells: Vec<String> = systems
+            .iter()
+            .map(|(_, s)| show(&s.run(&model, &w)))
+            .collect();
         let label = if total_len >= 1024 {
             format!("{}K", total_len / 1024)
         } else {

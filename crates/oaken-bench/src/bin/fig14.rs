@@ -25,10 +25,7 @@ fn main() {
                 AcceleratorSpec::a100()
             };
             let mut systems = vec![
-                (
-                    "vLLM",
-                    SystemModel::new(gpu.clone(), QuantPolicy::fp16()),
-                ),
+                ("vLLM", SystemModel::new(gpu.clone(), QuantPolicy::fp16())),
                 (
                     "Tender",
                     SystemModel::new(AcceleratorSpec::tender(), QuantPolicy::tender()),

@@ -2,8 +2,8 @@
 //! method on live proxy-model KV tensors — the elementwise view that
 //! underlies the Table 2 accuracy ordering.
 
-use oaken_bench::{banner, f, row};
 use oaken_baselines::all_baselines;
+use oaken_bench::{banner, f, row};
 use oaken_core::{KvKind, KvQuantizer, OakenConfig};
 use oaken_eval::{profile_oaken, sqnr_db};
 use oaken_model::{ExactCache, Model, ModelConfig};
@@ -21,8 +21,7 @@ fn main() {
     // Collect a [tokens × kv_dim] matrix per (layer, kind).
     let kv_dim = model.config().kv_dim();
     let layers = model.config().num_layers;
-    let store: Rc<RefCell<Vec<Vec<f32>>>> =
-        Rc::new(RefCell::new(vec![Vec::new(); layers * 2]));
+    let store: Rc<RefCell<Vec<Vec<f32>>>> = Rc::new(RefCell::new(vec![Vec::new(); layers * 2]));
     {
         let mut session = model.session(Box::new(ExactCache::new()));
         let s = Rc::clone(&store);
@@ -38,7 +37,10 @@ fn main() {
 
     let mut methods: Vec<Box<dyn KvQuantizer>> = all_baselines();
     methods.push(Box::new(oaken));
-    row(&[&"method", &"keys SQNR", &"values SQNR", &"eff-bits"], &[9, 10, 12, 9]);
+    row(
+        &[&"method", &"keys SQNR", &"values SQNR", &"eff-bits"],
+        &[9, 10, 12, 9],
+    );
     for m in &methods {
         let mut acc = [0.0f64; 2]; // keys, values
         let mut n = [0usize; 2];
@@ -57,8 +59,16 @@ fn main() {
                 }
             }
         }
-        let keys = if n[0] > 0 { acc[0] / n[0] as f64 } else { f64::INFINITY };
-        let values = if n[1] > 0 { acc[1] / n[1] as f64 } else { f64::INFINITY };
+        let keys = if n[0] > 0 {
+            acc[0] / n[0] as f64
+        } else {
+            f64::INFINITY
+        };
+        let values = if n[1] > 0 {
+            acc[1] / n[1] as f64
+        } else {
+            f64::INFINITY
+        };
         let eff = m.effective_bits(1024, 4096);
         let show = |x: f64| {
             if x.is_finite() {
@@ -67,7 +77,10 @@ fn main() {
                 ">60".to_owned()
             }
         };
-        row(&[&m.name(), &show(keys), &show(values), &f(eff, 2)], &[9, 10, 12, 9]);
+        row(
+            &[&m.name(), &show(keys), &show(values), &f(eff, 2)],
+            &[9, 10, 12, 9],
+        );
     }
     println!();
     println!("Expected shape: fp16 ≫ everything; Oaken and KVQuant lead the");

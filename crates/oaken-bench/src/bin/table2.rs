@@ -2,7 +2,9 @@
 //! Winogrande/Hellaswag-like) for the FP16 reference, five baselines, and
 //! Oaken, across the eight model proxies, with effective bitwidths.
 
-use oaken_baselines::{AtomStyle, Fp16Reference, KiviStyle, KvQuantStyle, QServeStyle, TenderStyle};
+use oaken_baselines::{
+    AtomStyle, Fp16Reference, KiviStyle, KvQuantStyle, QServeStyle, TenderStyle,
+};
 use oaken_bench::{banner, f, row};
 use oaken_core::{KvQuantizer, OakenConfig};
 use oaken_eval::harness::EvalSpec;
@@ -19,23 +21,32 @@ fn main() {
     for base in ModelConfig::paper_models() {
         let proxy = base.proxy(3, 48);
         // Distinct weights per model: fold the name into the seed.
-        let seed = base
-            .name
-            .bytes()
-            .fold(314_159u64, |h, b| h.wrapping_mul(31).wrapping_add(u64::from(b)));
+        let seed = base.name.bytes().fold(314_159u64, |h, b| {
+            h.wrapping_mul(31).wrapping_add(u64::from(b))
+        });
         let model = Model::synthetic(proxy, seed);
         let harness = EvalHarness::new(&model, &EvalSpec::paper());
         let full_kv_dim = base.kv_dim();
         println!("\n--- {} (proxy) ---", base.name);
         row(
-            &[&"method", &"ppl", &"piqa%", &"wino%", &"hella%", &"eff-bits"],
+            &[
+                &"method",
+                &"ppl",
+                &"piqa%",
+                &"wino%",
+                &"hella%",
+                &"eff-bits",
+            ],
             &[9, 8, 7, 7, 7, 8],
         );
 
         let oaken = profile_oaken(&model, OakenConfig::default(), 10, 48, 2718);
         let methods: Vec<(String, Option<Arc<dyn KvQuantizer>>)> = vec![
             ("original".to_owned(), Some(Arc::new(Fp16Reference::new()))),
-            ("kvquant".to_owned(), Some(Arc::new(KvQuantStyle::default()))),
+            (
+                "kvquant".to_owned(),
+                Some(Arc::new(KvQuantStyle::default())),
+            ),
             ("kivi".to_owned(), Some(Arc::new(KiviStyle::default()))),
             ("tender".to_owned(), Some(Arc::new(TenderStyle::default()))),
             ("atom".to_owned(), Some(Arc::new(AtomStyle::default()))),

@@ -20,7 +20,13 @@ fn main() {
     println!("FP32 reference perplexity: {:.3}\n", fp32.perplexity);
 
     row(
-        &[&"group ratios", &"groups", &"outlier bits", &"eff bits", &"ppl"],
+        &[
+            &"group ratios",
+            &"groups",
+            &"outlier bits",
+            &"eff bits",
+            &"ppl",
+        ],
         &[16, 7, 13, 9, 9],
     );
     for config in AblationQuantizer::paper_rows() {

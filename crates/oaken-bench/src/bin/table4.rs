@@ -23,5 +23,8 @@ fn main() {
     let power = PowerModel::oaken_lpddr().total_w(256, model.core_mm2());
     println!("\nAccelerator power (256 cores + LPDDR): {power:.1} W");
     println!("(paper: 222.7 W, 44.3% below the A100's 400 W TDP)");
-    println!("Reduction vs A100 TDP: {:.1}%", 100.0 * (1.0 - power / 400.0));
+    println!(
+        "Reduction vs A100 TDP: {:.1}%",
+        100.0 * (1.0 - power / 400.0)
+    );
 }

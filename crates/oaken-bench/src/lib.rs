@@ -28,6 +28,57 @@ pub fn f(x: f64, digits: usize) -> String {
     format!("{x:.digits$}")
 }
 
+/// Shared decode-benchmark workload: the KV-row generator and profiled
+/// Oaken quantizer used by **both** the `decode_scaling` binary (source of
+/// the committed `BENCH_decode.json` baseline) and the criterion
+/// `decode_scaling` bench, so the CI regression bench and the committed
+/// baseline can never silently diverge onto different workloads.
+pub mod decode_workload {
+    use oaken_core::{KvKind, KvQuantizer, OakenConfig, OakenQuantizer, OfflineProfiler};
+    use std::sync::Arc;
+
+    /// KV-cache width used by the decode-scaling measurements.
+    pub const KV_DIM: usize = 128;
+
+    /// Deterministic KV-like row with occasional outer/inner outliers.
+    pub fn kv_row(d: usize, seed: u64) -> Vec<f32> {
+        (0..d)
+            .map(|i| {
+                let u = ((i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(seed * 6_151)
+                    >> 33) as f32
+                    / (1u64 << 31) as f32;
+                let base = (u - 0.5) * 6.0;
+                match i % 31 {
+                    0 => base * 10.0,
+                    1 => base * 0.02,
+                    _ => base,
+                }
+            })
+            .collect()
+    }
+
+    /// Single-layer Oaken quantizer profiled on the workload distribution.
+    pub fn oaken() -> Arc<dyn KvQuantizer> {
+        let config = OakenConfig::default();
+        let mut p = OfflineProfiler::new(config.clone(), 1);
+        for s in 0..32 {
+            p.observe(0, KvKind::Key, &kv_row(KV_DIM, s));
+            p.observe(0, KvKind::Value, &kv_row(KV_DIM, s + 999));
+        }
+        Arc::new(OakenQuantizer::new(config, p.try_finish().unwrap()))
+    }
+
+    /// The decode token rows for a `seq_len`-token run (2 rows per token:
+    /// key + value).
+    pub fn decode_rows(seq_len: usize) -> Vec<Vec<f32>> {
+        (0..seq_len * 2)
+            .map(|i| kv_row(KV_DIM, 10_000 + i as u64))
+            .collect()
+    }
+}
+
 /// The standard batch sweep of Figure 11.
 pub const BATCH_SWEEP: [usize; 5] = [16, 32, 64, 128, 256];
 

@@ -78,19 +78,33 @@ impl AblationQuantizer {
         let b = |kind, ratio| BandSpec { kind, ratio };
         vec![
             // 3 groups (the shipping configuration).
-            Self::new("4/90/6", vec![b(Outer, 0.04), b(Middle, 0.90), b(Inner, 0.06)], 5),
+            Self::new(
+                "4/90/6",
+                vec![b(Outer, 0.04), b(Middle, 0.90), b(Inner, 0.06)],
+                5,
+            ),
             // 2 groups.
             Self::new("90/10", vec![b(Middle, 0.90), b(Inner, 0.10)], 5),
             Self::new("10/90", vec![b(Outer, 0.10), b(Middle, 0.90)], 5),
             // 4–5 groups, 5-bit outliers.
             Self::new(
                 "4/90/3/3",
-                vec![b(Outer, 0.04), b(Middle, 0.90), b(Inner, 0.03), b(Inner, 0.03)],
+                vec![
+                    b(Outer, 0.04),
+                    b(Middle, 0.90),
+                    b(Inner, 0.03),
+                    b(Inner, 0.03),
+                ],
                 5,
             ),
             Self::new(
                 "2/2/90/6",
-                vec![b(Outer, 0.02), b(Outer, 0.02), b(Middle, 0.90), b(Inner, 0.06)],
+                vec![
+                    b(Outer, 0.02),
+                    b(Outer, 0.02),
+                    b(Middle, 0.90),
+                    b(Inner, 0.06),
+                ],
                 5,
             ),
             Self::new(
@@ -107,12 +121,22 @@ impl AblationQuantizer {
             // 4–5 groups, 4-bit outliers (keeps 8-bit alignment).
             Self::new(
                 "4/90/3/3 (4b)",
-                vec![b(Outer, 0.04), b(Middle, 0.90), b(Inner, 0.03), b(Inner, 0.03)],
+                vec![
+                    b(Outer, 0.04),
+                    b(Middle, 0.90),
+                    b(Inner, 0.03),
+                    b(Inner, 0.03),
+                ],
                 4,
             ),
             Self::new(
                 "2/2/90/6 (4b)",
-                vec![b(Outer, 0.02), b(Outer, 0.02), b(Middle, 0.90), b(Inner, 0.06)],
+                vec![
+                    b(Outer, 0.02),
+                    b(Outer, 0.02),
+                    b(Middle, 0.90),
+                    b(Inner, 0.06),
+                ],
                 4,
             ),
             Self::new(
@@ -212,8 +236,8 @@ impl AblationQuantizer {
                 self.outlier_bits.max(2) - 1 // one bit spent on the sign
             };
             let band_mags: Vec<f32> = members.iter().map(|&i| x[i].abs()).collect();
-            let q = UniformQuantizer::from_values(&band_mags, bits.max(1))
-                .expect("bit-width in range");
+            let q =
+                UniformQuantizer::from_values(&band_mags, bits.max(1)).expect("bit-width in range");
             for &i in &members {
                 let rec = q.dequantize(q.quantize(x[i].abs()));
                 out[i] = rec.copysign(x[i]);
@@ -302,7 +326,10 @@ mod tests {
         let x = sample(4096);
         let mse = |q: &AblationQuantizer| {
             let y = q.roundtrip_vector(&x);
-            x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
+            x.iter()
+                .zip(&y)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
         };
         assert!(
             mse(three) < mse(two),
@@ -320,7 +347,10 @@ mod tests {
         let x = sample(4096);
         let mse = |q: &AblationQuantizer| {
             let y = q.roundtrip_vector(&x);
-            x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
+            x.iter()
+                .zip(&y)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
         };
         assert!(mse(five) <= mse(three) * 1.05);
     }
@@ -333,7 +363,10 @@ mod tests {
         let x = sample(4096);
         let mse = |q: &AblationQuantizer| {
             let y = q.roundtrip_vector(&x);
-            x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
+            x.iter()
+                .zip(&y)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
         };
         assert!(mse(four_bit) >= mse(five_bit));
     }

@@ -220,19 +220,24 @@ impl FusedVector {
         &self.block_counts
     }
 
-    /// Decodes the COO stream back into absolute-indexed entries, using the
-    /// per-block counts to attribute bytes to blocks — exactly the zero-insert
-    /// walk the dequantization engine performs (§5.2 "outlier dequantizer").
-    pub fn decode_outliers(&self) -> Vec<CooEntry> {
-        let mut out = Vec::with_capacity(self.sparse.len());
-        let mut cursor = 0usize;
-        for (block, &count) in self.block_counts.iter().enumerate() {
-            for &byte in &self.sparse[cursor..cursor + count as usize] {
-                out.push(CooEntry::unpack(byte, block, self.block_size));
-            }
-            cursor += count as usize;
+    /// Streams the COO entries in ascending index order without allocating,
+    /// using the per-block counts to attribute bytes to blocks — exactly the
+    /// zero-insert walk the dequantization engine performs (§5.2 "outlier
+    /// dequantizer"). This is the decode hot path: the streaming
+    /// dequantizer peeks it once per element.
+    pub fn outliers(&self) -> OutlierIter<'_> {
+        OutlierIter {
+            fv: self,
+            cursor: 0,
+            block: 0,
+            left_in_block: self.block_counts.first().copied().unwrap_or(0),
         }
-        out
+    }
+
+    /// Decodes the COO stream into a fresh `Vec` (allocating convenience
+    /// wrapper over [`FusedVector::outliers`]).
+    pub fn decode_outliers(&self) -> Vec<CooEntry> {
+        self.outliers().collect()
     }
 
     /// Bytes of KV payload: dense nibbles + sparse COO entries + FP16 scales.
@@ -253,6 +258,41 @@ impl FusedVector {
         self.payload_bytes() as f64 * 8.0 / self.dim.max(1) as f64
     }
 }
+
+/// Allocation-free iterator over a [`FusedVector`]'s COO entries in
+/// ascending index order. Created by [`FusedVector::outliers`].
+#[derive(Debug, Clone)]
+pub struct OutlierIter<'a> {
+    fv: &'a FusedVector,
+    /// Next byte to read from the sparse stream.
+    cursor: usize,
+    /// Block the next entry belongs to.
+    block: usize,
+    /// Entries remaining in the current block.
+    left_in_block: u8,
+}
+
+impl Iterator for OutlierIter<'_> {
+    type Item = CooEntry;
+
+    fn next(&mut self) -> Option<CooEntry> {
+        while self.left_in_block == 0 {
+            self.block += 1;
+            self.left_in_block = *self.fv.block_counts.get(self.block)?;
+        }
+        let byte = self.fv.sparse[self.cursor];
+        self.cursor += 1;
+        self.left_in_block -= 1;
+        Some(CooEntry::unpack(byte, self.block, self.fv.block_size))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.fv.sparse.len() - self.cursor;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for OutlierIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -336,6 +376,23 @@ mod tests {
         assert_eq!(fv.block_counts(), &[2, 1, 1, 1]);
         let decoded = fv.decode_outliers();
         assert_eq!(decoded, outs);
+    }
+
+    #[test]
+    fn outlier_iterator_matches_decode_and_reports_len() {
+        let dim = 300;
+        let codes = vec![0u8; dim];
+        let outs: Vec<CooEntry> = [1usize, 63, 64, 65, 190, 299]
+            .iter()
+            .map(|&i| entry(i, GroupKind::Outer, i % 2 == 0))
+            .collect();
+        let fv = FusedVector::from_parts(dim, 64, &codes, &outs, ScaleSet::default()).unwrap();
+        let it = fv.outliers();
+        assert_eq!(it.len(), outs.len());
+        assert_eq!(it.collect::<Vec<_>>(), outs);
+        // Empty stream iterates to nothing.
+        let fv = FusedVector::from_parts(dim, 64, &codes, &[], ScaleSet::default()).unwrap();
+        assert_eq!(fv.outliers().count(), 0);
     }
 
     #[test]

@@ -95,7 +95,10 @@ mod tests {
                 middle: 0.6,
                 inner: 0.1,
             },
-            OakenError::LayerOutOfRange { layer: 5, layers: 2 },
+            OakenError::LayerOutOfRange {
+                layer: 5,
+                layers: 2,
+            },
             OakenError::UnprofiledLayer { layer: 0 },
             OakenError::DimensionMismatch {
                 expected: 8,

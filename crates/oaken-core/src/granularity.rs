@@ -76,7 +76,11 @@ impl PerHeadProfiler {
     /// Finalises into a per-head quantizer.
     pub fn finish(self) -> PerHeadQuantizer {
         PerHeadQuantizer {
-            heads: self.profilers.into_iter().map(OfflineProfiler::finish).collect(),
+            heads: self
+                .profilers
+                .into_iter()
+                .map(OfflineProfiler::finish)
+                .collect(),
             config: self.config,
             head_dim: self.head_dim,
         }
@@ -181,7 +185,10 @@ mod tests {
     fn two_scale_vector(head_dim: usize, seed: u64) -> Vec<f32> {
         let mut v = Vec::with_capacity(head_dim * 2);
         for i in 0..head_dim * 2 {
-            let u = ((i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed) >> 33) as f32
+            let u = ((i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(seed)
+                >> 33) as f32
                 / (1u64 << 31) as f32
                 - 0.5;
             let scale = if i < head_dim { 0.5 } else { 20.0 };
@@ -216,12 +223,7 @@ mod tests {
         let ph = per_head.roundtrip_vector(&x, 0, KvKind::Key).unwrap();
         let fv = per_layer.quantize_vector(&x, 0, KvKind::Key).unwrap();
         let pl = per_layer.dequantize_vector(&fv, 0, KvKind::Key).unwrap();
-        let mse = |y: &[f32]| {
-            x.iter()
-                .zip(y)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f32>()
-        };
+        let mse = |y: &[f32]| x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f32>();
         assert!(
             mse(&ph) < mse(&pl),
             "per-head {} should beat per-layer {}",

@@ -38,7 +38,11 @@ pub fn shift(x: f32, t: &Thresholds) -> ShiftedValue {
     match group {
         GroupKind::Outer => {
             let high_side = x > t.outer_hi;
-            let shifted = if high_side { x - t.outer_hi } else { t.outer_lo - x };
+            let shifted = if high_side {
+                x - t.outer_hi
+            } else {
+                t.outer_lo - x
+            };
             ShiftedValue {
                 group,
                 high_side,
@@ -47,7 +51,11 @@ pub fn shift(x: f32, t: &Thresholds) -> ShiftedValue {
         }
         GroupKind::Middle => {
             let high_side = x > t.inner_hi;
-            let shifted = if high_side { x - t.inner_hi } else { x - t.inner_lo };
+            let shifted = if high_side {
+                x - t.inner_hi
+            } else {
+                x - t.inner_lo
+            };
             ShiftedValue {
                 group,
                 high_side,

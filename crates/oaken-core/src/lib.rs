@@ -47,8 +47,8 @@
 pub mod ablation;
 pub mod config;
 pub mod encoding;
-pub mod granularity;
 pub mod error;
+pub mod granularity;
 pub mod groups;
 pub mod groupshift;
 pub mod pipeline;
@@ -59,12 +59,12 @@ pub mod traits;
 
 pub use ablation::{AblationQuantizer, BandKind, BandSpec};
 pub use config::{BitWidths, GroupRatios, OakenConfig};
-pub use encoding::{CooEntry, FusedVector, ScaleSet};
+pub use encoding::{CooEntry, FusedVector, OutlierIter, ScaleSet};
 pub use error::OakenError;
 pub use granularity::{PerHeadProfiler, PerHeadQuantizer};
 pub use groups::{classify, GroupKind, GroupStats};
-pub use pipeline::{CompressionReport, OakenQuantizer};
+pub use pipeline::{CompressionReport, OakenQuantizer, OakenRowStream, OakenScratch};
 pub use profiler::OfflineProfiler;
 pub use quant::UniformQuantizer;
 pub use thresholds::{KvKind, LayerThresholds, ModelThresholds, Thresholds};
-pub use traits::{KvQuantizer, OnlineCost};
+pub use traits::{KvQuantizer, KvRowStream, OnlineCost};

@@ -16,10 +16,44 @@ use crate::config::OakenConfig;
 use crate::encoding::{CooEntry, FusedVector, ScaleSet};
 use crate::error::OakenError;
 use crate::groups::GroupKind;
-use crate::groupshift::{shift, unshift_middle, unshift_sparse};
+use crate::groupshift::{shift, unshift_middle, unshift_sparse, ShiftedValue};
 use crate::quant::UniformQuantizer;
-use crate::thresholds::{KvKind, ModelThresholds};
-use crate::traits::{KvQuantizer, OnlineCost};
+use crate::thresholds::{KvKind, ModelThresholds, Thresholds};
+use crate::traits::{KvQuantizer, KvRowStream, OnlineCost};
+
+/// Reusable scratch buffers for the allocation-free quantize/dequantize
+/// paths ([`OakenQuantizer::quantize_vector_with`],
+/// [`OakenQuantizer::roundtrip_vector_into`]).
+///
+/// Holding one `OakenScratch` per decode stream removes every per-token
+/// heap allocation from the online quantizer — the property §5.2's
+/// hardware engine gets for free from its fixed SRAM buffers, and the one
+/// the serving simulation must replicate to keep long-sequence decode
+/// linear. Buffers grow to the vector width on first use and are reused
+/// verbatim afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct OakenScratch {
+    /// Per-element classification + shifted values (pass 1 output).
+    shifted: Vec<ShiftedValue>,
+    /// 4-bit dense codes (pass 2 output), one byte per element.
+    dense_codes: Vec<u8>,
+    /// Absolute-indexed outlier entries in ascending index order.
+    outliers: Vec<CooEntry>,
+    /// Per-vector scales computed in pass 1.
+    scales: ScaleSet,
+}
+
+impl OakenScratch {
+    /// Creates an empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of outliers found by the last quantization pass.
+    pub fn num_outliers(&self) -> usize {
+        self.outliers.len()
+    }
+}
 
 /// Oaken's online KV-cache quantizer, constructed from offline-profiled
 /// thresholds.
@@ -67,6 +101,10 @@ impl OakenQuantizer {
 
     /// Quantizes one per-token KV vector into the fused encoding.
     ///
+    /// Convenience wrapper over [`OakenQuantizer::quantize_vector_with`]
+    /// with throwaway scratch; hot paths (the streaming cache, benches)
+    /// should hold an [`OakenScratch`] and use the `_with` variant.
+    ///
     /// # Errors
     ///
     /// Returns [`OakenError::LayerOutOfRange`] for an unprofiled layer.
@@ -76,18 +114,55 @@ impl OakenQuantizer {
         layer: usize,
         kind: KvKind,
     ) -> Result<FusedVector, OakenError> {
+        self.quantize_vector_with(x, layer, kind, &mut OakenScratch::new())
+    }
+
+    /// Quantizes one per-token KV vector using caller-owned scratch
+    /// buffers: the only heap allocations are the encoded
+    /// [`FusedVector`]'s own storage (which *is* the cache payload), never
+    /// intermediate state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OakenError::LayerOutOfRange`] for an unprofiled layer.
+    pub fn quantize_vector_with(
+        &self,
+        x: &[f32],
+        layer: usize,
+        kind: KvKind,
+        scratch: &mut OakenScratch,
+    ) -> Result<FusedVector, OakenError> {
         let t = *self.thresholds.get(layer, kind)?;
+        self.quantize_into_scratch(x, &t, scratch)?;
+        FusedVector::from_parts(
+            x.len(),
+            self.config.block_size,
+            &scratch.dense_codes,
+            &scratch.outliers,
+            scratch.scales,
+        )
+    }
+
+    /// The two-pass quantization engine (§5.2 Figure 9), writing into
+    /// reusable scratch buffers.
+    fn quantize_into_scratch(
+        &self,
+        x: &[f32],
+        t: &Thresholds,
+        scratch: &mut OakenScratch,
+    ) -> Result<(), OakenError> {
         let bits = self.config.bits;
 
         // Pass 1: decompose + group-shift + per-group min/max.
-        let mut shifted = Vec::with_capacity(x.len());
+        scratch.shifted.clear();
+        scratch.shifted.reserve(x.len());
         let mut middle_min = f32::INFINITY;
         let mut middle_max = f32::NEG_INFINITY;
         let mut inner_mag_max = 0.0f32;
         let mut outer_mag_max = 0.0f32;
         let mut num_middle = 0usize;
         for &v in x {
-            let s = shift(v, &t);
+            let s = shift(v, t);
             match s.group {
                 GroupKind::Middle => {
                     num_middle += 1;
@@ -97,13 +172,13 @@ impl OakenQuantizer {
                 GroupKind::Inner => inner_mag_max = inner_mag_max.max(s.shifted),
                 GroupKind::Outer => outer_mag_max = outer_mag_max.max(s.shifted),
             }
-            shifted.push(s);
+            scratch.shifted.push(s);
         }
         if num_middle == 0 {
             middle_min = 0.0;
             middle_max = 0.0;
         }
-        let scales = ScaleSet {
+        scratch.scales = ScaleSet {
             middle_min,
             middle_max,
             inner_mag_max,
@@ -116,22 +191,23 @@ impl OakenQuantizer {
         let q_outer = UniformQuantizer::new(0.0, outer_mag_max, bits.outlier_mag)?;
 
         // Pass 2: emit dense codes and COO entries.
-        let mut dense_codes = Vec::with_capacity(x.len());
-        let mut outliers = Vec::new();
-        for (i, s) in shifted.iter().enumerate() {
+        scratch.dense_codes.clear();
+        scratch.dense_codes.reserve(x.len());
+        scratch.outliers.clear();
+        for (i, s) in scratch.shifted.iter().enumerate() {
             match s.group {
-                GroupKind::Middle => dense_codes.push(q_mid.quantize(s.shifted) as u8),
+                GroupKind::Middle => scratch.dense_codes.push(q_mid.quantize(s.shifted) as u8),
                 GroupKind::Inner => {
-                    dense_codes.push(q_inner.quantize(s.shifted) as u8);
-                    outliers.push(CooEntry {
+                    scratch.dense_codes.push(q_inner.quantize(s.shifted) as u8);
+                    scratch.outliers.push(CooEntry {
                         index: i,
                         group: GroupKind::Inner,
                         high_side: s.high_side,
                     });
                 }
                 GroupKind::Outer => {
-                    dense_codes.push(q_outer.quantize(s.shifted) as u8);
-                    outliers.push(CooEntry {
+                    scratch.dense_codes.push(q_outer.quantize(s.shifted) as u8);
+                    scratch.outliers.push(CooEntry {
                         index: i,
                         group: GroupKind::Outer,
                         high_side: s.high_side,
@@ -139,12 +215,14 @@ impl OakenQuantizer {
                 }
             }
         }
-
-        FusedVector::from_parts(x.len(), self.config.block_size, &dense_codes, &outliers, scales)
+        Ok(())
     }
 
-    /// Dequantizes a fused vector back to f32, mirroring the streaming
-    /// dequantization engine (zero-insert walk over the COO stream).
+    /// Dequantizes a fused vector back to f32.
+    ///
+    /// Convenience wrapper over
+    /// [`OakenQuantizer::dequantize_vector_into`] allocating a fresh
+    /// output vector.
     ///
     /// # Errors
     ///
@@ -155,35 +233,85 @@ impl OakenQuantizer {
         layer: usize,
         kind: KvKind,
     ) -> Result<Vec<f32>, OakenError> {
+        let mut out = Vec::with_capacity(fv.dim());
+        self.dequantize_vector_into(fv, layer, kind, &mut out)?;
+        Ok(out)
+    }
+
+    /// Dequantizes a fused vector, *appending* `fv.dim()` values to `out`
+    /// without any other allocation: the streaming engine's zero-insert is
+    /// an in-order walk of the COO stream ([`FusedVector::outliers`])
+    /// interleaved with the dense nibble scan, not a scatter into a
+    /// position map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OakenError::LayerOutOfRange`] for an unprofiled layer.
+    pub fn dequantize_vector_into(
+        &self,
+        fv: &FusedVector,
+        layer: usize,
+        kind: KvKind,
+        out: &mut Vec<f32>,
+    ) -> Result<(), OakenError> {
         let t = *self.thresholds.get(layer, kind)?;
         let bits = self.config.bits;
         let s = *fv.scales();
         let q_mid = UniformQuantizer::new(s.middle_min, s.middle_max, bits.middle)?;
         let q_inner = UniformQuantizer::new(0.0, s.inner_mag_max, bits.outlier_mag)?;
         let q_outer = UniformQuantizer::new(0.0, s.outer_mag_max, bits.outlier_mag)?;
+        decode_walk(
+            &t,
+            &q_mid,
+            &q_inner,
+            &q_outer,
+            fv.dim(),
+            |i| u32::from(fv.dense_code(i)),
+            fv.outliers(),
+            out,
+        );
+        Ok(())
+    }
 
-        // Mark outlier positions (the zero-insert step).
-        let mut kindmap: Vec<Option<(GroupKind, bool)>> = vec![None; fv.dim()];
-        for e in fv.decode_outliers() {
-            kindmap[e.index] = Some((e.group, e.high_side));
-        }
-
-        let mut out = Vec::with_capacity(fv.dim());
-        for (i, &kind_slot) in kindmap.iter().enumerate() {
-            let code = u32::from(fv.dense_code(i));
-            let v = match kind_slot {
-                None => unshift_middle(q_mid.dequantize(code), &t),
-                Some((GroupKind::Inner, high)) => {
-                    unshift_sparse(GroupKind::Inner, high, q_inner.dequantize(code), &t)
-                }
-                Some((GroupKind::Outer, high)) => {
-                    unshift_sparse(GroupKind::Outer, high, q_outer.dequantize(code), &t)
-                }
-                Some((GroupKind::Middle, _)) => unreachable!("COO never stores middle"),
-            };
-            out.push(v);
-        }
-        Ok(out)
+    /// Quantizes and immediately dequantizes one vector entirely through
+    /// caller-owned buffers — zero heap allocations once `scratch` and
+    /// `out` have warmed up. This is the per-token decode simulation path:
+    /// what the dedicated quantization/dequantization engines of §5.2 do
+    /// in hardware per generated token.
+    ///
+    /// Appends exactly `x.len()` values to `out`. Bit-identical to
+    /// [`OakenQuantizer::quantize_vector`] followed by
+    /// [`OakenQuantizer::dequantize_vector`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OakenError::LayerOutOfRange`] for an unprofiled layer.
+    pub fn roundtrip_vector_into(
+        &self,
+        x: &[f32],
+        layer: usize,
+        kind: KvKind,
+        scratch: &mut OakenScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<(), OakenError> {
+        let t = *self.thresholds.get(layer, kind)?;
+        self.quantize_into_scratch(x, &t, scratch)?;
+        let bits = self.config.bits;
+        let s = scratch.scales;
+        let q_mid = UniformQuantizer::new(s.middle_min, s.middle_max, bits.middle)?;
+        let q_inner = UniformQuantizer::new(0.0, s.inner_mag_max, bits.outlier_mag)?;
+        let q_outer = UniformQuantizer::new(0.0, s.outer_mag_max, bits.outlier_mag)?;
+        decode_walk(
+            &t,
+            &q_mid,
+            &q_inner,
+            &q_outer,
+            x.len(),
+            |i| u32::from(scratch.dense_codes[i]),
+            scratch.outliers.iter().copied(),
+            out,
+        );
+        Ok(())
     }
 
     /// Quantizes a `[rows × d]` matrix row-by-row and reports aggregate
@@ -221,6 +349,103 @@ impl OakenQuantizer {
             table_bytes: tables,
             outliers,
         })
+    }
+}
+
+/// The streaming zero-insert dequantization walk shared by the fused and
+/// scratch decode paths: scan elements in order, consuming the (sorted)
+/// outlier stream whenever its head matches the current index.
+#[allow(clippy::too_many_arguments)]
+fn decode_walk(
+    t: &Thresholds,
+    q_mid: &UniformQuantizer,
+    q_inner: &UniformQuantizer,
+    q_outer: &UniformQuantizer,
+    dim: usize,
+    code_at: impl Fn(usize) -> u32,
+    outliers: impl Iterator<Item = CooEntry>,
+    out: &mut Vec<f32>,
+) {
+    let mut outliers = outliers.peekable();
+    out.reserve(dim);
+    for i in 0..dim {
+        let code = code_at(i);
+        let v = match outliers.peek() {
+            Some(e) if e.index == i => {
+                let e = *e;
+                outliers.next();
+                match e.group {
+                    GroupKind::Inner => {
+                        unshift_sparse(GroupKind::Inner, e.high_side, q_inner.dequantize(code), t)
+                    }
+                    GroupKind::Outer => {
+                        unshift_sparse(GroupKind::Outer, e.high_side, q_outer.dequantize(code), t)
+                    }
+                    GroupKind::Middle => unreachable!("COO never stores middle"),
+                }
+            }
+            _ => unshift_middle(q_mid.dequantize(code), t),
+        };
+        out.push(v);
+    }
+}
+
+/// Incremental append-only stream for Oaken: rows are independent (all
+/// statistics are per-vector, thresholds are offline), so every append is
+/// O(d) with no warm-up and the stream is bit-exact with the batch path by
+/// construction. The stream owns the canonical *encoded* state — one
+/// [`FusedVector`] per row, exactly what the MMU lays out in pages.
+pub struct OakenRowStream {
+    quantizer: OakenQuantizer,
+    layer: usize,
+    kind: KvKind,
+    d: usize,
+    scratch: OakenScratch,
+    /// Per-row fused encodings: the stored cache payload.
+    encoded: Vec<FusedVector>,
+    payload: usize,
+}
+
+impl OakenRowStream {
+    /// The encoded rows held by the stream (the actual cache contents).
+    pub fn encoded_rows(&self) -> &[FusedVector] {
+        &self.encoded
+    }
+}
+
+impl std::fmt::Debug for OakenRowStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OakenRowStream")
+            .field("layer", &self.layer)
+            .field("kind", &self.kind)
+            .field("d", &self.d)
+            .field("rows", &self.encoded.len())
+            .finish()
+    }
+}
+
+impl KvRowStream for OakenRowStream {
+    fn append_row(&mut self, row: &[f32], view: &mut Vec<f32>) {
+        assert_eq!(row.len(), self.d, "row width mismatch");
+        // An unprofiled layer is a caller bug on the streaming path, as on
+        // the trait-level batch path.
+        let fv = self
+            .quantizer
+            .quantize_vector_with(row, self.layer, self.kind, &mut self.scratch)
+            .expect("layer must be profiled before streaming quantization");
+        self.quantizer
+            .dequantize_vector_into(&fv, self.layer, self.kind, view)
+            .expect("fused vector decodes with the same thresholds");
+        self.payload += fv.payload_bytes();
+        self.encoded.push(fv);
+    }
+
+    fn rows(&self) -> usize {
+        self.encoded.len()
+    }
+
+    fn payload_bytes(&self) -> Option<usize> {
+        Some(self.payload)
     }
 }
 
@@ -273,6 +498,18 @@ impl KvQuantizer for OakenQuantizer {
             gpu_divergence_penalty: 4.0,
         }
     }
+
+    fn row_stream(&self, d: usize, layer: usize, kind: KvKind) -> Option<Box<dyn KvRowStream>> {
+        Some(Box::new(OakenRowStream {
+            quantizer: self.clone(),
+            layer,
+            kind,
+            d,
+            scratch: OakenScratch::new(),
+            encoded: Vec::new(),
+            payload: 0,
+        }))
+    }
 }
 
 /// Aggregate compression statistics for a quantized matrix.
@@ -315,8 +552,10 @@ mod tests {
     fn test_vector(n: usize, seed: u64) -> Vec<f32> {
         (0..n)
             .map(|i| {
-                let u = ((i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed) >> 33)
-                    as f32
+                let u = ((i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(seed)
+                    >> 33) as f32
                     / (1u64 << 31) as f32;
                 let base = (u - 0.5) * 4.0;
                 match i % 53 {
@@ -349,8 +588,12 @@ mod tests {
         let back = q.dequantize_vector(&fv, 0, KvKind::Key).unwrap();
         assert_eq!(back.len(), x.len());
         let rng = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-        let mse: f32 =
-            x.iter().zip(&back).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / x.len() as f32;
+        let mse: f32 = x
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / x.len() as f32;
         let rel = mse.sqrt() / rng;
         assert!(rel < 0.02, "relative RMS error too large: {rel}");
     }
@@ -447,8 +690,59 @@ mod tests {
                 .map(|(a, b)| (a - b) * (a - b))
                 .sum::<f32>()
         };
-        assert!(err(&large) <= err(&small) * 1.5, "more outliers should not hurt much");
+        assert!(
+            err(&large) <= err(&small) * 1.5,
+            "more outliers should not hurt much"
+        );
         assert!(large.effective_bits(1, 2048) > small.effective_bits(1, 2048));
+    }
+
+    #[test]
+    fn scratch_paths_bit_exact_with_allocating_paths() {
+        let q = quantizer();
+        let mut scratch = OakenScratch::new();
+        let mut out = Vec::new();
+        for seed in 0..8 {
+            let x = test_vector(512, seed * 31 + 1);
+            for kind in KvKind::ALL {
+                let fv_alloc = q.quantize_vector(&x, 1, kind).unwrap();
+                let fv_scratch = q.quantize_vector_with(&x, 1, kind, &mut scratch).unwrap();
+                assert_eq!(fv_alloc, fv_scratch);
+
+                let back_alloc = q.dequantize_vector(&fv_alloc, 1, kind).unwrap();
+                out.clear();
+                q.roundtrip_vector_into(&x, 1, kind, &mut scratch, &mut out)
+                    .unwrap();
+                assert_eq!(
+                    back_alloc.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_stream_matches_batch_roundtrip() {
+        let q = quantizer();
+        let d = 256;
+        let rows = 24;
+        let data: Vec<f32> = (0..rows)
+            .flat_map(|r| test_vector(d, r as u64 + 5))
+            .collect();
+        let mut stream = q.row_stream(d, 0, KvKind::Key).expect("oaken streams");
+        let mut view = Vec::new();
+        for r in 0..rows {
+            stream.append_row(&data[r * d..(r + 1) * d], &mut view);
+            assert_eq!(stream.rows(), r + 1);
+            let batch = q.roundtrip_matrix(&data[..(r + 1) * d], r + 1, d, 0, KvKind::Key);
+            assert_eq!(
+                batch.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                view.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "divergence after {} rows",
+                r + 1
+            );
+        }
+        assert!(stream.payload_bytes().unwrap() > 0);
     }
 
     #[test]

@@ -219,8 +219,10 @@ mod tests {
         // Deterministic heavy-ish tailed values without pulling in rand.
         (0..n)
             .map(|i| {
-                let x = ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) >> 33)
-                    as f32
+                let x = ((i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed)
+                    >> 33) as f32
                     / (1u64 << 31) as f32
                     - 0.5;
                 let base = (x * 12.0).sin() * 2.0 + x * 4.0;

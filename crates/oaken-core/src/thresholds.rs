@@ -220,7 +220,10 @@ mod tests {
         assert_eq!(mt.get(1, KvKind::Key).unwrap().outer_hi, 1.0);
         assert!(matches!(
             mt.get(3, KvKind::Key),
-            Err(OakenError::LayerOutOfRange { layer: 3, layers: 3 })
+            Err(OakenError::LayerOutOfRange {
+                layer: 3,
+                layers: 3
+            })
         ));
     }
 }

@@ -1,6 +1,7 @@
 //! The [`KvQuantizer`] abstraction shared by Oaken and all baseline
-//! reimplementations, plus the [`OnlineCost`] descriptor that the
-//! performance simulator uses to charge each method's runtime overhead.
+//! reimplementations, the [`KvRowStream`] incremental append interface that
+//! the serving-path KV cache drives, plus the [`OnlineCost`] descriptor that
+//! the performance simulator uses to charge each method's runtime overhead.
 
 use crate::thresholds::KvKind;
 
@@ -70,12 +71,55 @@ impl Default for OnlineCost {
     }
 }
 
+/// An incremental, append-only stream of quantized KV rows for one
+/// `(layer, kind)` tensor — the abstraction the serving-path cache drives
+/// once per generated token.
+///
+/// Contract:
+///
+/// * [`append_row`](KvRowStream::append_row) consumes one `d`-wide token
+///   vector and leaves `view` holding exactly `rows() × d` dequantized
+///   values afterwards. The same `view` buffer must be passed on every
+///   call; the stream owns its contents between appends.
+/// * After the stream's **calibration warm-up** (if the method has one —
+///   e.g. reorder-based baselines freeze their channel permutation after
+///   `calib_rows` tokens), an append only *extends* `view`: rows already
+///   materialized are never rewritten, so appends are O(d) and the
+///   attention read path is allocation- and recompute-free.
+/// * During warm-up an append may rewrite the whole view (the prefix is at
+///   most a few calibration rows, so the total extra work is O(1) rows).
+///
+/// Streams must replicate the batch [`KvQuantizer::roundtrip_matrix`]
+/// semantics bit-exactly for any prefix at least as long as the warm-up;
+/// the property tests in `oaken-model` enforce this across random append
+/// schedules.
+pub trait KvRowStream: Send {
+    /// Quantizes and immediately dequantizes the next token row, appending
+    /// the `d` reconstructed values to `view` (rewriting earlier rows only
+    /// during calibration warm-up).
+    fn append_row(&mut self, row: &[f32], view: &mut Vec<f32>);
+
+    /// Number of rows appended so far.
+    fn rows(&self) -> usize;
+
+    /// Exact encoded payload bytes held by the stream, when the method
+    /// tracks real storage (Oaken's fused vectors); `None` means the cache
+    /// should fall back to the nominal [`KvQuantizer::effective_bits`]
+    /// estimate.
+    fn payload_bytes(&self) -> Option<usize> {
+        None
+    }
+}
+
 /// A KV-cache quantization method operating on `[rows × d]` row-major
 /// matrices (rows = tokens, columns = channels).
 ///
 /// The matrix-level API accommodates both per-token methods (Oaken, which
-/// processes each row independently and could stream) and per-channel
-/// methods (KIVI/KVQuant keys, which need column statistics).
+/// processes each row independently and streams) and per-channel methods
+/// (KIVI/KVQuant keys, which need column statistics). Token-granular
+/// methods additionally expose a [`KvRowStream`] through
+/// [`row_stream`](KvQuantizer::row_stream) so the serving cache can append
+/// in O(d) instead of re-quantizing the whole prefix per token.
 ///
 /// Implementors must be `Send + Sync` so evaluation sweeps can fan out
 /// across threads.
@@ -102,6 +146,18 @@ pub trait KvQuantizer: Send + Sync {
 
     /// Runtime-cost descriptor for the performance simulator.
     fn online_cost(&self) -> OnlineCost;
+
+    /// Opens an incremental row stream for one `(layer, kind)` tensor of
+    /// width `d`, or `None` when the method needs tensor-level statistics
+    /// (per-channel scales, whole-tensor topK) and the cache must fall back
+    /// to full re-quantization on read.
+    ///
+    /// The default is `None`: correctness first, with the streaming fast
+    /// path as an opt-in per method.
+    fn row_stream(&self, d: usize, layer: usize, kind: KvKind) -> Option<Box<dyn KvRowStream>> {
+        let _ = (d, layer, kind);
+        None
+    }
 }
 
 #[cfg(test)]

@@ -148,8 +148,9 @@ impl<'m> SyntheticDatasets<'m> {
         };
         (0..spec.num_tasks)
             .map(|_| {
-                let prompt: Vec<u32> =
-                    (0..spec.prompt_len).map(|_| rng.gen_range(0..vocab)).collect();
+                let prompt: Vec<u32> = (0..spec.prompt_len)
+                    .map(|_| rng.gen_range(0..vocab))
+                    .collect();
                 let correct_cont = gen_seq(&prompt, spec.cont_len, 0.3, &mut rng);
                 let mut choices = Vec::with_capacity(spec.num_choices);
                 let correct = rng.gen_range(0..spec.num_choices);

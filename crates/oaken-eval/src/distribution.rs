@@ -24,7 +24,10 @@ pub struct LayerRange {
 pub fn kv_layer_ranges(model: &Model, sequences: &[Vec<u32>]) -> Vec<LayerRange> {
     let num_layers = model.config().num_layers;
     let ranges: Rc<RefCell<Vec<(MinMax, MinMax)>>> =
-        Rc::new(RefCell::new(vec![(MinMax::default(), MinMax::default()); num_layers]));
+        Rc::new(RefCell::new(vec![
+            (MinMax::default(), MinMax::default());
+            num_layers
+        ]));
     for seq in sequences {
         let mut session = model.session(Box::new(ExactCache::new()));
         let r = Rc::clone(&ranges);
@@ -99,10 +102,7 @@ pub fn channel_concentration(
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     let top10 = (kv_dim / 10).max(1);
     let captured: usize = sorted[..top10].iter().sum();
-    (
-        captured as f64 / total_hits.max(1) as f64,
-        channels_hit,
-    )
+    (captured as f64 / total_hits.max(1) as f64, channels_hit)
 }
 
 #[cfg(test)]

@@ -134,10 +134,7 @@ mod tests {
         let mut a = PageAllocator::new(2, 64);
         a.alloc().unwrap();
         a.alloc().unwrap();
-        assert_eq!(
-            a.alloc(),
-            Err(AllocError::OutOfPages { capacity: 2 })
-        );
+        assert_eq!(a.alloc(), Err(AllocError::OutOfPages { capacity: 2 }));
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl BurstPlan {
 /// # Panics
 ///
 /// Panics if `granularity` is zero.
-pub fn plan_bursts<'a>(entries: impl Iterator<Item = &'a TableEntry>, granularity: u64) -> BurstPlan {
+pub fn plan_bursts<'a>(
+    entries: impl Iterator<Item = &'a TableEntry>,
+    granularity: u64,
+) -> BurstPlan {
     assert!(granularity > 0, "transaction granularity must be positive");
     let mut bursts: Vec<(u64, u64)> = Vec::new();
     let mut total = 0u64;

@@ -105,7 +105,10 @@ impl MmuSim {
             new_page = true;
         }
         let tail = *stream.pages.last().expect("page just ensured");
-        let addr = self.allocator.base_addr(tail).offset(stream.tail_used as u64);
+        let addr = self
+            .allocator
+            .base_addr(tail)
+            .offset(stream.tail_used as u64);
         stream.tail_used += bytes as usize;
         stream.table.push(TableEntry { addr, size: bytes });
         Ok(WriteReceipt {
@@ -249,7 +252,8 @@ mod tests {
     fn free_request_releases_everything() {
         let mut mmu = MmuSim::new(4, 128);
         for head in 0..4 {
-            mmu.write_token(key(7, head, StreamClass::Dense), 64).unwrap();
+            mmu.write_token(key(7, head, StreamClass::Dense), 64)
+                .unwrap();
         }
         assert_eq!(mmu.allocator().free_pages(), 0);
         let freed = mmu.free_request(7).unwrap();

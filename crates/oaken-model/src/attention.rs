@@ -57,7 +57,11 @@ pub fn attend_one(
     let kv_dim = shape.kv_dim();
     assert_eq!(q.len(), shape.q_dim(), "query width mismatch");
     assert_eq!(keys.len(), seq_len * kv_dim, "key matrix shape mismatch");
-    assert_eq!(values.len(), seq_len * kv_dim, "value matrix shape mismatch");
+    assert_eq!(
+        values.len(),
+        seq_len * kv_dim,
+        "value matrix shape mismatch"
+    );
 
     let start = match shape.window {
         Some(w) => seq_len.saturating_sub(w),

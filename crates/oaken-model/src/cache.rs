@@ -6,8 +6,45 @@
 //! [`QuantizedCache`] routes all storage through any [`KvQuantizer`]
 //! (Oaken or a baseline), so quantization error propagates through
 //! attention into the logits exactly as it would on real hardware.
+//!
+//! # Incremental cache design
+//!
+//! Decode is append-only: each generated token contributes one K and one V
+//! row per layer, and attention then reads the whole prefix. Oaken's
+//! hardware engine (§5.2) therefore quantizes each row **once, when it is
+//! written**, and the read path is a pure stream of already-encoded pages.
+//! [`QuantizedCache`] mirrors that architecture: for every `(layer, kind)`
+//! it asks the quantizer for a [`KvRowStream`] and, when one is available
+//! (token-granular methods — Oaken, FP16, Atom, QServe, Tender), each
+//! append is O(d): the row is quantized, its encoded form is retained by
+//! the stream, and its dequantized image is appended to a materialized
+//! view. Reads return the view as-is — no recomputation, no allocation —
+//! so a full decode of `n` tokens costs O(n·d) quantization work instead
+//! of the O(n²·d) of re-quantizing the prefix on every read.
+//!
+//! # Per-channel fallback semantics
+//!
+//! Methods that need statistics over the whole prefix (KIVI and KVQuant:
+//! per-channel key scales, whole-tensor topK thresholds, sliding FP16
+//! residual windows) cannot append rows immutably; they return no stream
+//! and the cache falls back to the legacy behaviour: exact rows are
+//! retained and the quantized view of a dirty layer is **fully
+//! re-materialized on read** via [`KvQuantizer::roundtrip_matrix`]. The
+//! recomputed scales see the complete prefix rather than frozen per-block
+//! statistics, which is mildly *optimistic* for those baselines — the
+//! approximation favours them, never Oaken. The same path can be forced
+//! for every method with [`QuantizedCache::new_recompute`], which is how
+//! the decode-scaling benchmark measures the quadratic path the streaming
+//! design eliminates.
+//!
+//! Calibration-based streaming methods (Atom, QServe, Tender) freeze their
+//! channel order / smoothing scales / group scales after the first
+//! `calib_rows` tokens; during that warm-up the stream recomputes its
+//! (tiny) view on each append, after which appends never rewrite history.
+//! Streams are bit-exact with the batch path on every prefix — enforced by
+//! the property tests in `tests/props.rs`.
 
-use oaken_core::{KvKind, KvQuantizer};
+use oaken_core::{KvKind, KvQuantizer, KvRowStream};
 use std::sync::Arc;
 
 /// Storage backend for the per-layer KV cache.
@@ -93,35 +130,85 @@ impl KvCacheBackend for ExactCache {
     }
 }
 
-#[derive(Debug, Default, Clone)]
-struct QuantLayerStore {
-    exact_k: Vec<f32>,
-    exact_v: Vec<f32>,
-    view_k: Vec<f32>,
-    view_v: Vec<f32>,
-    dirty_k: bool,
-    dirty_v: bool,
+/// How a [`QuantizedCache`] materializes its dequantized views.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Use each method's [`KvRowStream`] when available: O(d) appends,
+    /// zero-cost reads. Methods without a stream use the recompute
+    /// fallback automatically.
+    Incremental,
+    /// Force the legacy batch path for every method: retain exact rows and
+    /// re-quantize the whole prefix on each read after an append. Kept for
+    /// benchmarking (`oaken-bench`'s decode-scaling comparison) and as the
+    /// reference semantics streams must match.
+    Recompute,
+}
+
+/// Per-(layer, kind) storage: either a live row stream or the fallback's
+/// exact copy, plus the materialized dequantized view attention reads.
+struct KindSlot {
+    stream: Option<Box<dyn KvRowStream>>,
+    /// Exact rows (fallback path only).
+    exact: Vec<f32>,
+    /// Dequantized `[rows × d]` view.
+    view: Vec<f32>,
+    /// Fallback only: view is stale relative to `exact`.
+    dirty: bool,
+    rows: usize,
+}
+
+impl KindSlot {
+    fn new(stream: Option<Box<dyn KvRowStream>>) -> Self {
+        Self {
+            stream,
+            exact: Vec::new(),
+            view: Vec::new(),
+            dirty: false,
+            rows: 0,
+        }
+    }
+
+    fn append(&mut self, row: &[f32]) {
+        self.rows += 1;
+        match &mut self.stream {
+            Some(stream) => stream.append_row(row, &mut self.view),
+            None => {
+                self.exact.extend_from_slice(row);
+                self.dirty = true;
+            }
+        }
+    }
 }
 
 /// A cache that stores all KV data through a [`KvQuantizer`].
 ///
-/// On every read the backend re-materialises the quantized view of any
-/// layer whose contents changed. Per-token methods (Oaken) produce
-/// identical results to true streaming because rows are independent;
-/// per-channel methods (KIVI/KVQuant keys) see mildly *optimistic* scales
-/// (recomputed over the full prefix rather than frozen per block), which
-/// favours the baselines, never Oaken.
+/// See the module docs for the incremental design and the per-channel
+/// fallback semantics.
 pub struct QuantizedCache {
     quantizer: Arc<dyn KvQuantizer>,
+    mode: CacheMode,
     kv_dim: usize,
-    layers: Vec<QuantLayerStore>,
+    layers: Vec<[KindSlot; 2]>,
 }
 
 impl QuantizedCache {
-    /// Creates a cache backed by `quantizer`.
+    /// Creates an incremental cache backed by `quantizer` (streaming for
+    /// token-granular methods, recompute fallback otherwise).
     pub fn new(quantizer: Arc<dyn KvQuantizer>) -> Self {
+        Self::with_mode(quantizer, CacheMode::Incremental)
+    }
+
+    /// Creates a cache that always re-quantizes the full prefix on read —
+    /// the quadratic legacy path, kept for benchmarking and reference.
+    pub fn new_recompute(quantizer: Arc<dyn KvQuantizer>) -> Self {
+        Self::with_mode(quantizer, CacheMode::Recompute)
+    }
+
+    /// Creates a cache with an explicit materialization mode.
+    pub fn with_mode(quantizer: Arc<dyn KvQuantizer>, mode: CacheMode) -> Self {
         Self {
             quantizer,
+            mode,
             kv_dim: 0,
             layers: Vec::new(),
         }
@@ -132,20 +219,33 @@ impl QuantizedCache {
         self.quantizer.name()
     }
 
+    /// The active materialization mode.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// Whether the `(layer, kind)` slot runs on the streaming path.
+    pub fn is_streaming(&self, layer: usize, kind: KvKind) -> bool {
+        self.layers[layer][slot_index(kind)].stream.is_some()
+    }
+
     fn refresh(&mut self, layer: usize, kind: KvKind) {
         let kv_dim = self.kv_dim;
-        let store = &mut self.layers[layer];
-        let (exact, view, dirty) = match kind {
-            KvKind::Key => (&store.exact_k, &mut store.view_k, &mut store.dirty_k),
-            KvKind::Value => (&store.exact_v, &mut store.view_v, &mut store.dirty_v),
-        };
-        if *dirty {
-            let rows = exact.len() / kv_dim.max(1);
-            *view = self
+        let slot = &mut self.layers[layer][slot_index(kind)];
+        if slot.stream.is_none() && slot.dirty {
+            let rows = slot.exact.len() / kv_dim.max(1);
+            slot.view = self
                 .quantizer
-                .roundtrip_matrix(exact, rows, kv_dim, layer, kind);
-            *dirty = false;
+                .roundtrip_matrix(&slot.exact, rows, kv_dim, layer, kind);
+            slot.dirty = false;
         }
+    }
+}
+
+fn slot_index(kind: KvKind) -> usize {
+    match kind {
+        KvKind::Key => 0,
+        KvKind::Value => 1,
     }
 }
 
@@ -153,6 +253,7 @@ impl std::fmt::Debug for QuantizedCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QuantizedCache")
             .field("quantizer", &self.quantizer.name())
+            .field("mode", &self.mode)
             .field("kv_dim", &self.kv_dim)
             .field("layers", &self.layers.len())
             .finish()
@@ -162,42 +263,69 @@ impl std::fmt::Debug for QuantizedCache {
 impl KvCacheBackend for QuantizedCache {
     fn reset(&mut self, num_layers: usize, kv_dim: usize) {
         self.kv_dim = kv_dim;
-        self.layers = vec![QuantLayerStore::default(); num_layers];
+        self.layers = (0..num_layers)
+            .map(|layer| {
+                let mk = |kind: KvKind| {
+                    let stream = match self.mode {
+                        CacheMode::Incremental => self.quantizer.row_stream(kv_dim, layer, kind),
+                        CacheMode::Recompute => None,
+                    };
+                    KindSlot::new(stream)
+                };
+                [mk(KvKind::Key), mk(KvKind::Value)]
+            })
+            .collect();
     }
 
     fn append(&mut self, layer: usize, k: &[f32], v: &[f32]) {
         assert_eq!(k.len(), self.kv_dim, "key width mismatch");
         assert_eq!(v.len(), self.kv_dim, "value width mismatch");
-        let store = &mut self.layers[layer];
-        store.exact_k.extend_from_slice(k);
-        store.exact_v.extend_from_slice(v);
-        store.dirty_k = true;
-        store.dirty_v = true;
+        let [key_slot, value_slot] = &mut self.layers[layer];
+        key_slot.append(k);
+        value_slot.append(v);
     }
 
     fn seq_len(&self, layer: usize) -> usize {
-        if self.kv_dim == 0 {
-            return 0;
-        }
-        self.layers[layer].exact_k.len() / self.kv_dim
+        self.layers[layer][0].rows
     }
 
     fn keys(&mut self, layer: usize) -> &[f32] {
         self.refresh(layer, KvKind::Key);
-        &self.layers[layer].view_k
+        &self.layers[layer][0].view
     }
 
     fn values(&mut self, layer: usize) -> &[f32] {
         self.refresh(layer, KvKind::Value);
-        &self.layers[layer].view_v
+        &self.layers[layer][1].view
     }
 
+    /// Mean stored bits per element across **all layers and both tensor
+    /// kinds, weighted by each slot's actual row count**. Streaming slots
+    /// that track their encoded payload report exact stored bytes; other
+    /// slots use the quantizer's nominal estimate at their true
+    /// `(rows, d)`. An empty cache reports the nominal single-row
+    /// estimate.
     fn stored_bits_per_elem(&self) -> f64 {
-        let rows = self
-            .layers
-            .first()
-            .map_or(1, |l| (l.exact_k.len() / self.kv_dim.max(1)).max(1));
-        self.quantizer.effective_bits(rows, self.kv_dim.max(1))
+        let d = self.kv_dim.max(1);
+        let mut bits = 0.0f64;
+        let mut elems = 0usize;
+        for layer in &self.layers {
+            for slot in layer {
+                if slot.rows == 0 {
+                    continue;
+                }
+                let n = slot.rows * d;
+                bits += match slot.stream.as_ref().and_then(|s| s.payload_bytes()) {
+                    Some(bytes) => bytes as f64 * 8.0,
+                    None => self.quantizer.effective_bits(slot.rows, d) * n as f64,
+                };
+                elems += n;
+            }
+        }
+        if elems == 0 {
+            return self.quantizer.effective_bits(1, d);
+        }
+        bits / elems as f64
     }
 }
 
@@ -231,6 +359,36 @@ mod tests {
         }
     }
 
+    /// Row-bit accounting depends on rows: 16 bits for short prefixes,
+    /// 4 for long ones (like KIVI's residual window amortization).
+    struct RowDependentBits;
+
+    impl KvQuantizer for RowDependentBits {
+        fn name(&self) -> &'static str {
+            "rowdep"
+        }
+        fn roundtrip_matrix(
+            &self,
+            data: &[f32],
+            _rows: usize,
+            _d: usize,
+            _layer: usize,
+            _kind: KvKind,
+        ) -> Vec<f32> {
+            data.to_vec()
+        }
+        fn effective_bits(&self, rows: usize, _d: usize) -> f64 {
+            if rows >= 4 {
+                4.0
+            } else {
+                16.0
+            }
+        }
+        fn online_cost(&self) -> OnlineCost {
+            OnlineCost::free()
+        }
+    }
+
     #[test]
     fn exact_cache_roundtrips() {
         let mut c = ExactCache::new();
@@ -253,6 +411,8 @@ mod tests {
         assert_eq!(c.values(0), &[0.0, -1.0]);
         assert_eq!(c.quantizer_name(), "round");
         assert_eq!(c.stored_bits_per_elem(), 8.0);
+        // No row_stream -> fallback path.
+        assert!(!c.is_streaming(0, KvKind::Key));
     }
 
     #[test]
@@ -264,6 +424,108 @@ mod tests {
         c.append(0, &[2.6], &[2.6]);
         assert_eq!(c.keys(0), &[1.0, 3.0]);
         assert_eq!(c.seq_len(0), 2);
+    }
+
+    #[test]
+    fn stored_bits_weight_layers_by_actual_rows() {
+        let mut c = QuantizedCache::new(Arc::new(RowDependentBits));
+        c.reset(2, 2);
+        // Layer 0: 4 rows (4.0 bits); layer 1: 1 row (16.0 bits).
+        for i in 0..4 {
+            c.append(0, &[i as f32, 0.0], &[0.0, 0.0]);
+        }
+        c.append(1, &[1.0, 1.0], &[2.0, 2.0]);
+        // Elements: layer0 = 4*2*2 = 16 at 4 bits, layer1 = 1*2*2 = 4 at
+        // 16 bits -> (16*4 + 4*16) / 20 = 6.4. The old layer-0-only
+        // extrapolation would have claimed 4.0.
+        let bits = c.stored_bits_per_elem();
+        assert!((bits - 6.4).abs() < 1e-9, "{bits}");
+    }
+
+    #[test]
+    fn empty_quantized_cache_reports_nominal_bits() {
+        let mut c = QuantizedCache::new(Arc::new(RoundingQuantizer));
+        c.reset(1, 8);
+        assert_eq!(c.stored_bits_per_elem(), 8.0);
+    }
+
+    #[test]
+    fn recompute_mode_disables_streams() {
+        use oaken_baselines_test_helpers::oaken_quantizer;
+        let q = Arc::new(oaken_quantizer(16, 1));
+        let mut inc = QuantizedCache::new(q.clone());
+        inc.reset(1, 16);
+        assert!(inc.is_streaming(0, KvKind::Key));
+        let mut rec = QuantizedCache::new_recompute(q);
+        rec.reset(1, 16);
+        assert!(!rec.is_streaming(0, KvKind::Key));
+        assert_eq!(rec.mode(), CacheMode::Recompute);
+    }
+
+    #[test]
+    fn incremental_and_recompute_views_are_bit_identical_for_oaken() {
+        use oaken_baselines_test_helpers::{oaken_quantizer, test_row};
+        let d = 32;
+        let q = Arc::new(oaken_quantizer(d, 2));
+        let mut inc = QuantizedCache::new(q.clone());
+        let mut rec = QuantizedCache::new_recompute(q);
+        inc.reset(2, d);
+        rec.reset(2, d);
+        for t in 0..20 {
+            for layer in 0..2 {
+                let k = test_row(d, t * 7 + layer as u64);
+                let v = test_row(d, t * 13 + layer as u64 + 99);
+                inc.append(layer, &k, &v);
+                rec.append(layer, &k, &v);
+            }
+            for layer in 0..2 {
+                let a: Vec<u32> = inc.keys(layer).iter().map(|x| x.to_bits()).collect();
+                let b: Vec<u32> = rec.keys(layer).iter().map(|x| x.to_bits()).collect();
+                assert_eq!(a, b, "keys diverged at token {t} layer {layer}");
+                let a: Vec<u32> = inc.values(layer).iter().map(|x| x.to_bits()).collect();
+                let b: Vec<u32> = rec.values(layer).iter().map(|x| x.to_bits()).collect();
+                assert_eq!(a, b, "values diverged at token {t} layer {layer}");
+            }
+        }
+        // The streaming slots track exact payload bytes.
+        let bits = inc.stored_bits_per_elem();
+        assert!(bits > 3.0 && bits < 8.0, "{bits}");
+    }
+
+    /// Tiny helpers building a profiled Oaken quantizer for cache tests.
+    mod oaken_baselines_test_helpers {
+        use oaken_core::{KvKind, OakenConfig, OakenQuantizer, OfflineProfiler};
+
+        pub fn test_row(d: usize, seed: u64) -> Vec<f32> {
+            (0..d)
+                .map(|i| {
+                    let u = ((i as u64)
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        .wrapping_add(seed)
+                        >> 33) as f32
+                        / (1u64 << 31) as f32;
+                    let base = (u - 0.5) * 6.0;
+                    match i % 17 {
+                        0 => base * 9.0,
+                        1 => base * 0.02,
+                        _ => base,
+                    }
+                })
+                .collect()
+        }
+
+        pub fn oaken_quantizer(d: usize, layers: usize) -> OakenQuantizer {
+            let config = OakenConfig::default();
+            let mut p = OfflineProfiler::new(config.clone(), layers);
+            for s in 0..24 {
+                for layer in 0..layers {
+                    for kind in KvKind::ALL {
+                        p.observe(layer, kind, &test_row(d.max(64), s * 3 + layer as u64));
+                    }
+                }
+            }
+            OakenQuantizer::new(config, p.try_finish().unwrap())
+        }
     }
 
     #[test]

@@ -133,7 +133,7 @@ impl ModelConfig {
         let active_experts = self.moe.map_or(1.0, |m| m.top_k as f64);
         let per_layer = 2.0 * (d * d + 2.0 * d * kv + d * d)   // projections
             + 2.0 * 2.0 * span * d                              // QK^T and SV
-            + active_experts * ffn_mats * 2.0 * d * f;          // FFN
+            + active_experts * ffn_mats * 2.0 * d * f; // FFN
         self.num_layers as f64 * per_layer + 2.0 * d * self.vocab_size as f64
     }
 

@@ -47,7 +47,7 @@ pub mod sampling;
 pub mod synth;
 
 pub use attention::{attend_one, AttentionShape};
-pub use cache::{ExactCache, KvCacheBackend, QuantizedCache};
+pub use cache::{CacheMode, ExactCache, KvCacheBackend, QuantizedCache};
 pub use config::{ModelConfig, MoeConfig, Positional};
 pub use ffn::{DenseFfn, FfnWeights};
 pub use model::{KvObserver, LayerWeights, Model, Session};

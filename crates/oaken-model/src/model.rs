@@ -89,10 +89,7 @@ impl Model {
             );
             stream += 1;
             let value_params = SynthParams {
-                outlier_gain: (
-                    params.outlier_gain.0 * 0.6,
-                    params.outlier_gain.1 * 0.6,
-                ),
+                outlier_gain: (params.outlier_gain.0 * 0.6, params.outlier_gain.1 * 0.6),
                 ..*params
             };
             let wv = synth::kv_projection(
@@ -189,12 +186,7 @@ impl Model {
     fn norm(&self, x: &[f32], w: &[f32], b: Option<&Vec<f32>>) -> Vec<f32> {
         match self.config.norm {
             NormKind::Rms => rmsnorm(x, w, 1e-5),
-            NormKind::Layer => layernorm(
-                x,
-                w,
-                b.map(|v| v.as_slice()).unwrap_or(&[]),
-                1e-5,
-            ),
+            NormKind::Layer => layernorm(x, w, b.map(|v| v.as_slice()).unwrap_or(&[]), 1e-5),
         }
     }
 }
@@ -312,9 +304,11 @@ impl<'m> Session<'m> {
         }
 
         self.pos += 1;
-        let h = self
-            .model
-            .norm(&x, &self.model.final_norm_w, self.model.final_norm_b.as_ref());
+        let h = self.model.norm(
+            &x,
+            &self.model.final_norm_w,
+            self.model.final_norm_b.as_ref(),
+        );
         debug_assert_eq!(h.len(), d);
         self.model.lm_head.matvec(&h).expect("LM head shape")
     }

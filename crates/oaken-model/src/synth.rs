@@ -79,7 +79,11 @@ pub fn kv_projection(
     let mut w = dense(rng, rows, cols, scale * params.base_scale);
     let n_outlier = ((rows as f64 * params.outlier_channel_fraction).round() as usize).min(rows);
     // Deterministically spread outlier channels across the output dim.
-    let stride = if n_outlier > 0 { rows / n_outlier.max(1) } else { rows };
+    let stride = if n_outlier > 0 {
+        rows / n_outlier.max(1)
+    } else {
+        rows
+    };
     let data = w.as_mut_slice();
     for i in 0..n_outlier {
         let ch = (i * stride.max(1) + i * 7) % rows;
@@ -126,10 +130,13 @@ mod tests {
     fn dense_has_expected_scale() {
         let mut rng = stream_rng(1, 0);
         let w = dense(&mut rng, 64, 256, 1.0);
-        let var: f32 =
-            w.as_slice().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
+        let var: f32 = w.as_slice().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
         // Target variance 1/cols.
-        assert!((var * 256.0 - 1.0).abs() < 0.3, "normalized var {}", var * 256.0);
+        assert!(
+            (var * 256.0 - 1.0).abs() < 0.3,
+            "normalized var {}",
+            var * 256.0
+        );
     }
 
     #[test]

@@ -1,8 +1,57 @@
-//! Property tests for the transformer substrate: attention laws and cache
-//! equivalence under arbitrary inputs.
+//! Property tests for the transformer substrate: attention laws, cache
+//! equivalence under arbitrary inputs, and bit-exactness of the
+//! incremental quantized-cache path against the batch recompute path
+//! across random append/read schedules.
 
+use oaken_baselines::{AtomStyle, Fp16Reference, QServeStyle, TenderStyle};
+use oaken_core::{KvKind, KvQuantizer, OakenConfig, OakenQuantizer, OfflineProfiler};
+use oaken_model::QuantizedCache;
 use oaken_model::{attend_one, AttentionShape, ExactCache, KvCacheBackend, Model, ModelConfig};
 use proptest::prelude::*;
+use std::sync::Arc;
+
+/// KV-like row with occasional outer and inner outliers.
+fn kv_row(d: usize, seed: u64) -> Vec<f32> {
+    (0..d)
+        .map(|i| {
+            let u = ((i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(seed * 1_000_003)
+                >> 33) as f32
+                / (1u64 << 31) as f32;
+            let base = (u - 0.5) * 6.0;
+            match i % 23 {
+                0 => base * 11.0,
+                1 => base * 0.015,
+                _ => base,
+            }
+        })
+        .collect()
+}
+
+fn profiled_oaken(d: usize, layers: usize) -> OakenQuantizer {
+    let config = OakenConfig::default();
+    let mut p = OfflineProfiler::new(config.clone(), layers);
+    for s in 0..24 {
+        for layer in 0..layers {
+            for kind in KvKind::ALL {
+                p.observe(layer, kind, &kv_row(d.max(128), s * 5 + layer as u64));
+            }
+        }
+    }
+    OakenQuantizer::new(config, p.try_finish().unwrap())
+}
+
+/// Every method whose streaming path must match the batch path bit-for-bit.
+fn token_granular_methods(d: usize, layers: usize) -> Vec<Arc<dyn KvQuantizer>> {
+    vec![
+        Arc::new(profiled_oaken(d, layers)),
+        Arc::new(Fp16Reference::new()),
+        Arc::new(AtomStyle::default()),
+        Arc::new(QServeStyle::default()),
+        Arc::new(TenderStyle::default()),
+    ]
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -72,6 +121,64 @@ proptest! {
         let flat: Vec<f32> = rows.iter().flatten().copied().collect();
         prop_assert_eq!(cache.keys(0), &flat[..]);
         prop_assert_eq!(cache.values(0), &flat[..]);
+    }
+
+    /// The incremental streaming cache is bit-exact with the batch
+    /// recompute path for Oaken and every token-granular baseline, across
+    /// random append schedules with interleaved reads (reads at arbitrary
+    /// prefix lengths must already agree — not just the final state).
+    #[test]
+    fn incremental_cache_bit_exact_with_recompute(
+        seed in 0u64..1_000,
+        tokens in 5usize..40,
+        read_every in 1usize..7,
+    ) {
+        let d = 48;
+        let layers = 2;
+        for q in token_granular_methods(d, layers) {
+            let mut inc = QuantizedCache::new(q.clone());
+            let mut rec = QuantizedCache::new_recompute(q.clone());
+            inc.reset(layers, d);
+            rec.reset(layers, d);
+            for t in 0..tokens {
+                for layer in 0..layers {
+                    let k = kv_row(d, seed * 31 + (t * layers + layer) as u64);
+                    let v = kv_row(d, seed * 37 + (t * layers + layer) as u64 + 7_777);
+                    inc.append(layer, &k, &v);
+                    rec.append(layer, &k, &v);
+                }
+                if t % read_every == 0 || t + 1 == tokens {
+                    for layer in 0..layers {
+                        let ik: Vec<u32> = inc.keys(layer).iter().map(|x| x.to_bits()).collect();
+                        let rk: Vec<u32> = rec.keys(layer).iter().map(|x| x.to_bits()).collect();
+                        prop_assert_eq!(ik, rk, "{} keys diverged at token {}", q.name(), t);
+                        let iv: Vec<u32> = inc.values(layer).iter().map(|x| x.to_bits()).collect();
+                        let rv: Vec<u32> = rec.values(layer).iter().map(|x| x.to_bits()).collect();
+                        prop_assert_eq!(iv, rv, "{} values diverged at token {}", q.name(), t);
+                    }
+                }
+            }
+            for layer in 0..layers {
+                prop_assert_eq!(inc.seq_len(layer), tokens);
+            }
+        }
+    }
+
+    /// End-to-end: a full decode through the incremental cache produces the
+    /// exact same attention outputs (hence logits) as the recompute cache.
+    #[test]
+    fn decode_logits_identical_between_cache_modes(seed in 0u64..500) {
+        let cfg = ModelConfig::llama2_7b().proxy(2, 32);
+        let model = Model::synthetic(cfg, 42);
+        let q: Arc<dyn KvQuantizer> = Arc::new(profiled_oaken(model.config().kv_dim(), 2));
+        let mut inc = model.session(Box::new(QuantizedCache::new(q.clone())));
+        let mut rec = model.session(Box::new(QuantizedCache::new_recompute(q)));
+        let prompt: Vec<u32> = (0..6).map(|i| ((seed + i * 97) % 64) as u32).collect();
+        let a = inc.prefill(&prompt);
+        let b = rec.prefill(&prompt);
+        let a_bits: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+        let b_bits: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(a_bits, b_bits);
     }
 }
 

@@ -11,10 +11,7 @@ pub fn rmsnorm(x: &[f32], weight: &[f32], eps: f32) -> Vec<f32> {
     debug_assert_eq!(x.len(), weight.len());
     let ms = x.iter().map(|&v| v * v).sum::<f32>() / x.len().max(1) as f32;
     let inv = 1.0 / (ms + eps).sqrt();
-    x.iter()
-        .zip(weight)
-        .map(|(&v, &w)| v * inv * w)
-        .collect()
+    x.iter().zip(weight).map(|(&v, &w)| v * inv * w).collect()
 }
 
 /// Standard layer normalisation with learned gain and bias.

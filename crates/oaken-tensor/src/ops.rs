@@ -33,11 +33,7 @@ pub fn log_softmax(x: &[f32]) -> Vec<f32> {
         return Vec::new();
     }
     let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let lse = max
-        + x.iter()
-            .map(|&v| (v - max).exp())
-            .sum::<f32>()
-            .ln();
+    let lse = max + x.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
     x.iter().map(|&v| v - lse).collect()
 }
 

@@ -13,7 +13,10 @@
 ///
 /// Panics in debug builds if `head.len()` is odd.
 pub fn apply_rope(head: &mut [f32], pos: usize, theta: f32) {
-    debug_assert!(head.len().is_multiple_of(2), "RoPE requires an even head dimension");
+    debug_assert!(
+        head.len().is_multiple_of(2),
+        "RoPE requires an even head dimension"
+    );
     let d = head.len();
     for i in 0..d / 2 {
         let freq = theta.powf(-2.0 * i as f32 / d as f32);

@@ -43,7 +43,7 @@ proptest! {
     fn transpose_is_involution(v in finite_vec(48)) {
         let n = v.len();
         // Factor into a 2D shape.
-        let rows = (1..=n).rev().find(|r| n % r == 0).unwrap();
+        let rows = (1..=n).rev().find(|&r| n.is_multiple_of(r)).unwrap();
         let t = Tensor::from_vec(v, &[rows, n / rows]).unwrap();
         prop_assert_eq!(t.transpose().unwrap().transpose().unwrap(), t);
     }

@@ -11,7 +11,10 @@ use oaken::mmu::{MmuSim, StreamClass, StreamKey};
 fn kv_vector(n: usize, seed: u64) -> Vec<f32> {
     (0..n)
         .map(|i| {
-            let u = ((i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed) >> 33) as f32
+            let u = ((i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(seed)
+                >> 33) as f32
                 / (1u64 << 31) as f32;
             let base = (u - 0.5) * 6.0;
             if i % 41 == 0 {
@@ -42,7 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // streams separately — the §5.2 write layout.
     println!("writing 32 tokens x {heads} heads (dense + sparse streams)...");
     for t in 0..32u64 {
-        let fv = quantizer.quantize_vector(&kv_vector(head_dim * heads, 1000 + t), 0, KvKind::Key)?;
+        let fv =
+            quantizer.quantize_vector(&kv_vector(head_dim * heads, 1000 + t), 0, KvKind::Key)?;
         // Per-head split of the encoded payload (model: equal shares of the
         // dense nibbles, sparse entries attributed to their head's blocks).
         let dense_per_head = (fv.dense_bytes().len() / heads) as u32;
@@ -96,7 +100,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = mmu.read_plan(&dense_key, 64);
     println!("\nburst plan for the full dense history of head 0:");
     println!("  payload: {} bytes", plan.total_bytes);
-    println!("  bursts:  {} (mean {:.0} bytes)", plan.bursts.len(), plan.mean_burst());
+    println!(
+        "  bursts:  {} (mean {:.0} bytes)",
+        plan.bursts.len(),
+        plan.mean_burst()
+    );
     println!(
         "  bus efficiency at 64B transactions: {:.1}%",
         100.0 * plan.efficiency(64)
@@ -110,6 +118,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Retire the request; everything returns to the free pool.
     let freed = mmu.free_request(7)?;
-    println!("request retired: {freed} pages freed, {} free", mmu.allocator().free_pages());
+    println!(
+        "request retired: {freed} pages freed, {} free",
+        mmu.allocator().free_pages()
+    );
     Ok(())
 }

@@ -11,7 +11,10 @@ fn synthetic_kv_vector(n: usize, seed: u64) -> Vec<f32> {
     // a few near-zero values.
     (0..n)
         .map(|i| {
-            let u = ((i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed) >> 33) as f32
+            let u = ((i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(seed)
+                >> 33) as f32
                 / (1u64 << 31) as f32;
             let base = (u - 0.5) * 6.0;
             match i % 47 {
@@ -45,10 +48,23 @@ fn main() -> Result<(), OakenError> {
     let fused = quantizer.quantize_vector(&x, 0, KvKind::Key)?;
     println!("\nfused encoding of a 4096-element vector:");
     println!("  dense bytes:   {}", fused.dense_bytes().len());
-    println!("  sparse bytes:  {} ({} outliers)", fused.sparse_bytes().len(), fused.num_outliers());
-    println!("  table bytes:   {} (MMU transfer sizes)", fused.table_bytes());
-    println!("  effective bits: {:.2} (FP16 = 16.00)", fused.effective_bits());
-    println!("  compression:    {:.2}x vs FP16", 16.0 / fused.effective_bits());
+    println!(
+        "  sparse bytes:  {} ({} outliers)",
+        fused.sparse_bytes().len(),
+        fused.num_outliers()
+    );
+    println!(
+        "  table bytes:   {} (MMU transfer sizes)",
+        fused.table_bytes()
+    );
+    println!(
+        "  effective bits: {:.2} (FP16 = 16.00)",
+        fused.effective_bits()
+    );
+    println!(
+        "  compression:    {:.2}x vs FP16",
+        16.0 / fused.effective_bits()
+    );
 
     // 3. Dequantize and check the reconstruction error.
     let restored = quantizer.dequantize_vector(&fused, 0, KvKind::Key)?;
@@ -60,6 +76,10 @@ fn main() -> Result<(), OakenError> {
         / x.len() as f32)
         .sqrt();
     let range = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-    println!("\nreconstruction RMS error: {:.4} ({:.3}% of range)", rms, 100.0 * rms / range);
+    println!(
+        "\nreconstruction RMS error: {:.4} ({:.3}% of range)",
+        rms,
+        100.0 * rms / range
+    );
     Ok(())
 }

@@ -56,8 +56,8 @@ fn analytical_and_page_level_capacity_agree() {
     // tokens × layers × (dense + sparse) bytes.
     let capacity_bytes = num_pages as u64 * page_size as u64;
     let sparse_bytes = (bytes_per_token_per_stream / 10).max(1);
-    let per_req = (tokens_per_req * layers) as f64
-        * f64::from(bytes_per_token_per_stream + sparse_bytes);
+    let per_req =
+        (tokens_per_req * layers) as f64 * f64::from(bytes_per_token_per_stream + sparse_bytes);
     let analytical = (capacity_bytes as f64 / per_req) as u32;
     let ratio = f64::from(fitted) / f64::from(analytical.max(1));
     assert!(

@@ -3,8 +3,8 @@
 //! qualitative shape.
 
 use oaken::accel::{
-    generation_utilization, tradeoff_space, AcceleratorSpec, AreaModel, CapacityPolicy,
-    OpSegment, PowerModel, QuantPolicy, SystemModel, Workload,
+    generation_utilization, tradeoff_space, AcceleratorSpec, AreaModel, CapacityPolicy, OpSegment,
+    PowerModel, QuantPolicy, SystemModel, Workload,
 };
 use oaken::core::AblationQuantizer;
 use oaken::model::ModelConfig;
@@ -41,7 +41,10 @@ fn fig04_oom_crossover() {
     let rh = hbm.run(&m, &small);
     let rl = lpddr.run(&m, &small);
     assert!(!rh.oom && !rl.oom);
-    assert!(rh.throughput > rl.throughput, "HBM should win small batches");
+    assert!(
+        rh.throughput > rl.throughput,
+        "HBM should win small batches"
+    );
     // Large batch: HBM OOMs, LPDDR keeps going (Figure 4b).
     let large = Workload::one_k_one_k(16);
     assert!(hbm.run(&m, &large).oom);

@@ -64,8 +64,14 @@ fn quantized_cache_inference_stays_close_to_exact() {
         .zip(&quant_logits)
         .map(|(&a, &b)| f64::from(a) * f64::from(b))
         .sum();
-    let na: f64 = exact_logits.iter().map(|&a| f64::from(a) * f64::from(a)).sum();
-    let nb: f64 = quant_logits.iter().map(|&b| f64::from(b) * f64::from(b)).sum();
+    let na: f64 = exact_logits
+        .iter()
+        .map(|&a| f64::from(a) * f64::from(a))
+        .sum();
+    let nb: f64 = quant_logits
+        .iter()
+        .map(|&b| f64::from(b) * f64::from(b))
+        .sum();
     let cosine = dot / (na.sqrt() * nb.sqrt());
     assert!(cosine > 0.90, "logit cosine similarity {cosine}");
 
@@ -75,7 +81,10 @@ fn quantized_cache_inference_stays_close_to_exact() {
     let mut ranked: Vec<usize> = (0..quant_logits.len()).collect();
     ranked.sort_by(|&a, &b| quant_logits[b].partial_cmp(&quant_logits[a]).unwrap());
     let rank = ranked.iter().position(|&i| i == top_exact).unwrap();
-    assert!(rank < 5, "exact top token fell to rank {rank} under quantization");
+    assert!(
+        rank < 5,
+        "exact top token fell to rank {rank} under quantization"
+    );
 }
 
 #[test]
@@ -119,10 +128,10 @@ fn effective_bits_ordering_holds_end_to_end() {
 fn gqa_and_moe_proxies_run_quantized() {
     // Every structural feature must survive the quantized cache path.
     for cfg in [
-        ModelConfig::llama2_70b().proxy(2, 32), // GQA
-        ModelConfig::mistral_7b().proxy(2, 32), // GQA + sliding window
+        ModelConfig::llama2_70b().proxy(2, 32),   // GQA
+        ModelConfig::mistral_7b().proxy(2, 32),   // GQA + sliding window
         ModelConfig::mixtral_8x7b().proxy(2, 32), // GQA + MoE
-        ModelConfig::opt_6_7b().proxy(2, 32),   // LayerNorm + learned pos
+        ModelConfig::opt_6_7b().proxy(2, 32),     // LayerNorm + learned pos
     ] {
         let name = cfg.name.clone();
         let model = Model::synthetic(cfg, 7);

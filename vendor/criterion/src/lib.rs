@@ -1,0 +1,264 @@
+//! Minimal offline benchmarking harness mirroring the subset of the
+//! `criterion` API this workspace uses: `criterion_group!`/`criterion_main!`
+//! (struct-config form), `Criterion::benchmark_group`, `bench_function`,
+//! `Bencher::iter`, and `black_box`.
+//!
+//! Measurement model: warm up for `warm_up_time`, then time batches of
+//! iterations until `measurement_time` elapses and report the mean
+//! per-iteration latency and throughput on stdout. There are no plots,
+//! statistics files, or outlier analysis — this is a wall-clock harness
+//! sized for CI smoke runs and the committed `BENCH_*.json` snapshots.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the nominal sample count (used to size measurement batches).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group: {name}");
+        BenchmarkGroup { c: self, name }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let stats = run_bench(self, &mut f);
+        report(&id, &stats);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let stats = run_bench(self.c, &mut f);
+        report(&id, &stats);
+        self
+    }
+
+    /// Closes the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    mode: BenchMode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+enum BenchMode {
+    WarmUp { until: Instant },
+    Measure { iters: u64 },
+}
+
+impl Bencher {
+    /// Runs the benchmark body under the harness's current mode.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BenchMode::WarmUp { until } => {
+                let start = Instant::now();
+                while Instant::now() < until {
+                    black_box(routine());
+                    self.iters += 1;
+                }
+                self.elapsed = start.elapsed();
+            }
+            BenchMode::Measure { iters } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                self.elapsed = start.elapsed();
+                self.iters = iters;
+            }
+        }
+    }
+}
+
+/// Mean per-iteration timing for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchStats {
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Total measured iterations.
+    pub iters: u64,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, f: &mut F) -> BenchStats {
+    // Warm-up phase also estimates the per-iteration cost.
+    let mut b = Bencher {
+        mode: BenchMode::WarmUp {
+            until: Instant::now() + c.warm_up,
+        },
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let warm_iters = b.iters.max(1);
+    let per_iter = b.elapsed.as_secs_f64() / warm_iters as f64;
+
+    // Size batches so sample_size batches fill the measurement window.
+    let batch = ((c.measurement.as_secs_f64() / c.sample_size as f64 / per_iter.max(1e-9)).ceil()
+        as u64)
+        .max(1);
+    let deadline = Instant::now() + c.measurement;
+    let mut total_ns = 0.0f64;
+    let mut total_iters = 0u64;
+    while Instant::now() < deadline {
+        let mut b = Bencher {
+            mode: BenchMode::Measure { iters: batch },
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total_ns += b.elapsed.as_nanos() as f64;
+        total_iters += b.iters;
+    }
+    BenchStats {
+        mean_ns: total_ns / total_iters.max(1) as f64,
+        iters: total_iters,
+    }
+}
+
+fn report(id: &str, stats: &BenchStats) {
+    let (value, unit) = humanize_ns(stats.mean_ns);
+    println!(
+        "{id:<48} {value:>9.3} {unit}/iter   ({:.3e} iter/s, n={})",
+        1e9 / stats.mean_ns.max(1e-9),
+        stats.iters
+    );
+}
+
+fn humanize_ns(ns: f64) -> (f64, &'static str) {
+    if ns < 1e3 {
+        (ns, "ns")
+    } else if ns < 1e6 {
+        (ns / 1e3, "us")
+    } else if ns < 1e9 {
+        (ns / 1e6, "ms")
+    } else {
+        (ns / 1e9, "s")
+    }
+}
+
+/// Declares a benchmark group runner (struct-config and list forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes flags like `--bench`; this harness has no
+            // filtering, so arguments are accepted and ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5);
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("count", |b| {
+                b.iter(|| {
+                    ran += 1;
+                    ran
+                })
+            });
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn humanize_scales() {
+        assert_eq!(humanize_ns(500.0).1, "ns");
+        assert_eq!(humanize_ns(5_000.0).1, "us");
+        assert_eq!(humanize_ns(5_000_000.0).1, "ms");
+        assert_eq!(humanize_ns(5e9).1, "s");
+    }
+}

@@ -1,0 +1,413 @@
+//! Minimal offline property-testing harness mirroring the subset of the
+//! `proptest` API this workspace uses.
+//!
+//! Supported surface: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), range strategies (`0usize..10`,
+//! `-1.0f32..1.0`), tuple strategies, [`prop::collection::vec`],
+//! [`prop::sample::select`], [`Strategy::prop_map`], [`any`],
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Unlike the real proptest there is **no shrinking**: a failing case
+//! panics with its case index, and because every test's RNG stream is
+//! deterministic (seeded from the test path), simply re-running the test
+//! reproduces the identical failing inputs — instrument the body (or
+//! count cases up to the reported index) to inspect them.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod test_runner;
+
+pub use test_runner::{TestCaseError, TestRng};
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values (subset of `proptest::strategy::Strategy`;
+/// no shrinking).
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Types with a canonical full-range strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Samples one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-range strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy combinator namespaces (subset of `proptest::prop`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// A size specification: exact (`8`) or half-open range (`1..20`).
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                Self {
+                    lo: r.start,
+                    hi: r.end,
+                }
+            }
+        }
+
+        /// Strategy for `Vec`s with element strategy `S`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let len = if self.size.hi - self.size.lo <= 1 {
+                    self.size.lo
+                } else {
+                    rng.gen_range(self.size.lo..self.size.hi)
+                };
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+
+        /// Generates `Vec`s of `size` elements drawn from `elem`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy choosing uniformly from a fixed pool.
+        #[derive(Debug, Clone)]
+        pub struct Select<T: Clone> {
+            pool: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn sample(&self, rng: &mut TestRng) -> T {
+                self.pool[rng.gen_range(0..self.pool.len())].clone()
+            }
+        }
+
+        /// Chooses uniformly from `pool`.
+        ///
+        /// # Panics
+        ///
+        /// Panics (at sample time) if `pool` is empty.
+        pub fn select<T: Clone>(pool: Vec<T>) -> Select<T> {
+            assert!(!pool.is_empty(), "select requires a non-empty pool");
+            Select { pool }
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// item expands to a `#[test]`-style function running `config.cases`
+/// accepted cases with inputs sampled from the strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts < config.cases.saturating_mul(16) + 256,
+                    "too many prop_assume rejections in {}",
+                    stringify!($name)
+                );
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} failed on case {} (deterministic stream; \
+                             re-running reproduces this exact case): {}",
+                            stringify!($name),
+                            accepted,
+                            msg
+                        )
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the whole
+/// process) so the harness can report the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{:?}` != `{:?}`",
+                        left, right
+                    )));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{:?}` != `{:?}`: {}",
+                        left,
+                        right,
+                        format!($($fmt)*)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case (it is resampled and does not count toward the
+/// configured case total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0u32..10, 4..9)) {
+            prop_assert!(v.len() >= 4 && v.len() < 9);
+            for e in &v {
+                prop_assert!(*e < 10);
+            }
+        }
+
+        #[test]
+        fn exact_vec_size(v in prop::collection::vec(0u32..10, 8)) {
+            prop_assert_eq!(v.len(), 8);
+        }
+
+        #[test]
+        fn map_and_select(
+            n in prop::sample::select(vec![1usize, 2, 4]).prop_map(|n| n * 2),
+            b in any::<bool>(),
+        ) {
+            prop_assert!(n == 2 || n == 4 || n == 8);
+            // Rejected cases are resampled and do not count toward `cases`.
+            prop_assume!(n != 2 || b);
+        }
+
+        #[test]
+        fn tuples_sample_componentwise(p in (0u16..4, 1u32..200, 0.0f64..1.0)) {
+            prop_assert!(p.0 < 4 && p.1 >= 1 && p.1 < 200);
+            prop_assert!((0.0..1.0).contains(&p.2));
+        }
+    }
+}

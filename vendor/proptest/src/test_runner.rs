@@ -1,0 +1,51 @@
+//! Test-runner plumbing: the deterministic per-test RNG and the case-level
+//! error type the assertion macros return.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SampleUniform, SeedableRng, Standard};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Why a single property case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; resample without counting.
+    Reject,
+    /// `prop_assert!`-family failure with a rendered message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Deterministic RNG handed to strategies; seeded from the test's path so
+/// every `cargo test` run samples the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary label (the harness passes the test path).
+    pub fn deterministic(label: &str) -> Self {
+        let mut h = DefaultHasher::new();
+        label.hash(&mut h);
+        Self {
+            inner: StdRng::seed_from_u64(h.finish()),
+        }
+    }
+
+    /// Draws one uniform value (`[0, 1)` for floats).
+    pub fn gen<T: Standard>(&mut self) -> T {
+        self.inner.gen()
+    }
+
+    /// Draws uniformly from a half-open range.
+    pub fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        self.inner.gen_range(range)
+    }
+}

@@ -1,0 +1,200 @@
+//! Minimal offline stand-in for the subset of `rand` this workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range`, and `Rng::gen_bool`.
+//!
+//! The generator is SplitMix64 — statistically solid for simulation and
+//! synthetic-weight generation, deterministic across platforms, and
+//! dependency-free. It intentionally does *not* promise the same streams as
+//! the real `rand::rngs::StdRng` (ChaCha12); everything in this repository
+//! treats seeds as opaque reproducibility handles, never as cross-library
+//! golden values.
+
+use std::ops::Range;
+
+/// Types that can be drawn uniformly from `Rng::gen` (unit interval for
+/// floats, full range for integers, fair coin for bool).
+pub trait Standard: Sized {
+    /// Draws one value from `bits`, a fresh uniform `u64`.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for f32 {
+    fn from_bits(bits: u64) -> Self {
+        // 24 explicit mantissa bits -> uniform in [0, 1).
+        (bits >> 40) as f32 / (1u32 << 24) as f32
+    }
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+/// Types drawable from a half-open `lo..hi` range by `Rng::gen_range`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)` given a fresh uniform `u64`.
+    fn sample_half_open(bits: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(bits: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range requires a non-empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128);
+                lo.wrapping_add((bits as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f32 {
+    fn sample_half_open(bits: u64, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range requires a non-empty range");
+        lo + <f32 as Standard>::from_bits(bits) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open(bits: u64, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range requires a non-empty range");
+        lo + <f64 as Standard>::from_bits(bits) * (hi - lo)
+    }
+}
+
+/// The random-value interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// The raw 64-bit source all drawing methods derive from.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws one uniform value (`[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Draws uniformly from a half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_half_open(self.next_u64(), range.start, range.end)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        <f64 as Standard>::from_bits(self.next_u64()) < p
+    }
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = StdRng { state: seed };
+            // One warm-up step decorrelates small adjacent seeds.
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..512 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,9 @@
+//! Minimal offline facade for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! just enough surface for `use serde::{Deserialize, Serialize};` and
+//! `#[derive(Serialize, Deserialize)]` to compile. No serialization backend
+//! exists in the workspace; swapping in the real serde is a one-line change
+//! in the workspace `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! No-op derive macros standing in for `serde_derive` in this offline
+//! workspace.
+//!
+//! The repository's build environment has no network access to crates.io,
+//! so `serde` is vendored as a minimal facade (see `vendor/serde`). Nothing
+//! in the workspace serializes data — the derives exist only so that
+//! `#[derive(Serialize, Deserialize)]` annotations on config/result types
+//! keep compiling and can be switched to the real serde by editing one
+//! workspace dependency line.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
