@@ -142,23 +142,42 @@ impl SystemModel {
         format!("{}/{}", self.accel.name, self.policy.name)
     }
 
+    /// Non-KV device bytes this system pins: weights at the policy's
+    /// storage precision plus ~2% scratch for activations and collectives.
+    ///
+    /// Single source for the reserved-memory term of both
+    /// [`SystemModel::memory_required`] and
+    /// [`SystemModel::max_concurrent_batch`].
+    pub fn reserved_bytes(&self, model: &ModelConfig) -> u64 {
+        let weights = model.weight_bytes(self.policy.weight_bits);
+        weights + weights / 50
+    }
+
+    /// KV-cache bytes one request of `seq_len` tokens stores under this
+    /// system's policy.
+    ///
+    /// Routed through [`ModelConfig::kv_bytes_per_token`] — the same
+    /// bytes-per-token helper `oaken-model`'s `PagedKvPool` admission uses
+    /// — so the analytic capacity model and the executed paged pool cannot
+    /// drift apart (the pool additionally pays page rounding, which this
+    /// analytic figure deliberately ignores).
+    pub fn kv_bytes_per_request(&self, model: &ModelConfig, seq_len: usize) -> u64 {
+        seq_len as u64 * model.kv_bytes_per_token(self.policy.kv_bits)
+    }
+
     /// Device bytes needed for `batch` requests of `seq_len` total tokens.
     pub fn memory_required(&self, model: &ModelConfig, batch: usize, seq_len: usize) -> u64 {
-        let weights = model.weight_bytes(self.policy.weight_bits);
-        let kv = batch as u64 * seq_len as u64 * model.kv_bytes_per_token(self.policy.kv_bits);
-        // ~2% scratch for activations and collectives.
-        weights + kv + weights / 50
+        self.reserved_bytes(model) + batch as u64 * self.kv_bytes_per_request(model, seq_len)
     }
 
     /// Largest concurrent batch that fits for `seq_len`-token requests.
     pub fn max_concurrent_batch(&self, model: &ModelConfig, seq_len: usize) -> usize {
-        let weights = model.weight_bytes(self.policy.weight_bits);
         let budget = self
             .accel
             .mem
             .capacity
-            .saturating_sub(weights + weights / 50);
-        let per_req = seq_len as u64 * model.kv_bytes_per_token(self.policy.kv_bits);
+            .saturating_sub(self.reserved_bytes(model));
+        let per_req = self.kv_bytes_per_request(model, seq_len);
         if per_req == 0 {
             return usize::MAX;
         }

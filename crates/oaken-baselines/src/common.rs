@@ -231,6 +231,15 @@ impl<K: CalibratedRowKernel> KvRowStream for CalibratedStream<K> {
     fn rows(&self) -> usize {
         self.rows
     }
+
+    fn reset(&mut self) {
+        // Calibration (the frozen kernel) is per-model state and survives
+        // the reset — exactly how Atom/QServe/Tender share their offline
+        // channel orders and smoothing scales across serving requests. A
+        // stream reset *before* freezing restarts warm-up from scratch.
+        self.rows = 0;
+        self.buffered.clear();
+    }
 }
 
 #[cfg(test)]

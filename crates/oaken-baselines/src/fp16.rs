@@ -68,6 +68,14 @@ impl KvRowStream for Fp16RowStream {
     fn payload_bytes(&self) -> Option<usize> {
         Some(self.rows * self.d * 2)
     }
+
+    fn reset(&mut self) {
+        self.rows = 0;
+    }
+
+    fn last_row_payload(&self) -> Option<(usize, usize)> {
+        (self.rows > 0).then_some((self.d * 2, 0))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,267 @@
+//! Serving-scaling benchmark: aggregate tokens/sec of the *executed*
+//! continuous-batching engine (`oaken-serving`'s `BatchEngine` over the
+//! shared `PagedKvPool`) swept over batch size and pool capacity — the
+//! measured counterpart of the analytic Figure 11/14 curves (and the
+//! committed `BENCH_serving.json` baseline).
+//!
+//! Two sweeps:
+//!
+//! 1. **Batch sweep** — a fixed request set replayed at growing `max_batch`.
+//!    The engine's layer-major forward pass dots each weight row against
+//!    the whole batch in one sweep (`Tensor::matvec_batch`), so the row
+//!    load is amortized and the independent accumulator chains pipeline —
+//!    aggregate tokens/sec must rise with batch, exactly like a GEMV
+//!    widened into a GEMM on real hardware.
+//! 2. **Capacity sweep** — fixed batch over a shrinking page pool,
+//!    measuring admission stalls and preemptions as capacity bites (the
+//!    executed version of the Figure 4/11 OOM story).
+//!
+//! Usage: `cargo run --release -p oaken-bench --bin serving_scaling
+//! [--smoke] [out.json]` — `--smoke` runs a tiny model for 2 decode
+//! tokens per request (CI wiring); the default workload writes the
+//! committed baseline.
+
+use oaken_bench::{banner, f, row};
+use oaken_core::{KvQuantizer, OakenConfig};
+use oaken_eval::harness::profile_oaken;
+use oaken_model::{Model, ModelConfig, PagedKvPool};
+use oaken_serving::{
+    AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, EngineStats, Request, TokenScheduler,
+};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Workload {
+    model: Model,
+    quantizer: Arc<dyn KvQuantizer>,
+    requests: Vec<EngineRequest>,
+    batch_sweep: Vec<usize>,
+    /// Page counts for the capacity sweep (ample first).
+    capacity_sweep: Vec<u32>,
+    ample_pages: u32,
+    page_size: usize,
+    repeats: usize,
+}
+
+/// Profiles Oaken thresholds on the model's own KV distribution (offline
+/// phase, shared with the Table 2 harness).
+fn profile(model: &Model) -> Arc<dyn KvQuantizer> {
+    Arc::new(profile_oaken(model, OakenConfig::default(), 4, 8, 11))
+}
+
+fn requests(n: usize, input_len: usize, output_len: usize) -> Vec<EngineRequest> {
+    (0..n as u64)
+        .map(|id| {
+            EngineRequest::from_lengths(
+                &Request {
+                    id,
+                    input_len,
+                    output_len,
+                },
+                256,
+                0xBEEF,
+            )
+        })
+        .collect()
+}
+
+fn workload(smoke: bool) -> Workload {
+    if smoke {
+        let model = Model::synthetic(ModelConfig::llama2_7b().proxy(2, 32), 11);
+        let quantizer = profile(&model);
+        Workload {
+            requests: requests(4, 4, 2),
+            batch_sweep: vec![1, 2],
+            capacity_sweep: vec![256, 72],
+            ample_pages: 256,
+            page_size: 512,
+            model,
+            quantizer,
+            repeats: 1,
+        }
+    } else {
+        // Sized so the per-layer weights (~28 MB) dwarf the private
+        // caches: single-sequence decode is bound by streaming weight rows
+        // through one serial dot chain, which is exactly what the batched
+        // matvec amortizes.
+        let model = Model::synthetic(ModelConfig::llama2_7b().proxy(4, 768), 11);
+        let quantizer = profile(&model);
+        Workload {
+            requests: requests(8, 16, 48),
+            batch_sweep: vec![1, 2, 4, 8],
+            capacity_sweep: vec![2048, 512, 384, 256],
+            ample_pages: 2048,
+            page_size: 4096,
+            model,
+            quantizer,
+            repeats: 3,
+        }
+    }
+}
+
+struct Measurement {
+    tokens_per_sec: f64,
+    stats: EngineStats,
+}
+
+fn run_once(w: &Workload, max_batch: usize, pages: u32) -> Measurement {
+    let pool = PagedKvPool::for_model(
+        w.model.config(),
+        Some(w.quantizer.clone()),
+        pages,
+        w.page_size,
+    );
+    let mut engine = BatchEngine::new(
+        &w.model,
+        pool,
+        TokenScheduler::new(max_batch.max(1)),
+        EngineConfig {
+            max_batch,
+            admission: AdmissionPolicy::PromptOnly,
+            record_logits: false,
+        },
+    );
+    for r in &w.requests {
+        engine.submit(r.clone());
+    }
+    let start = Instant::now();
+    engine.run();
+    let secs = start.elapsed().as_secs_f64();
+    let stats = *engine.stats();
+    assert_eq!(
+        stats.retired as usize,
+        w.requests.len(),
+        "every request must complete (pages {pages}, batch {max_batch})"
+    );
+    Measurement {
+        tokens_per_sec: stats.decode_tokens as f64 / secs,
+        stats,
+    }
+}
+
+/// Best-of-N to suppress scheduler noise (counters are identical across
+/// repeats — the engine is deterministic — so only the clock varies).
+fn run_config(w: &Workload, max_batch: usize, pages: u32) -> Measurement {
+    let mut best = run_once(w, max_batch, pages);
+    for _ in 1..w.repeats {
+        let m = run_once(w, max_batch, pages);
+        if m.tokens_per_sec > best.tokens_per_sec {
+            best = m;
+        }
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serving.json".to_owned());
+    let w = workload(smoke);
+
+    banner(
+        "serving_scaling",
+        "continuous-batching engine over the shared paged quantized KV pool",
+    );
+    println!(
+        "model: {} ({} layers, d={}, kv_dim={}), {} requests of {}:{} tokens\n",
+        w.model.config().name,
+        w.model.config().num_layers,
+        w.model.config().d_model,
+        w.model.config().kv_dim(),
+        w.requests.len(),
+        w.requests[0].prompt.len(),
+        w.requests[0].max_new_tokens,
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"serving_scaling\",\n");
+    let _ = writeln!(
+        json,
+        "  \"model\": \"{}\",\n  \"requests\": {},\n  \"smoke\": {smoke},",
+        w.model.config().name,
+        w.requests.len()
+    );
+
+    // --- Batch sweep (ample pool) ---------------------------------------
+    println!("batch sweep (pool {} pages):", w.ample_pages);
+    let widths = [6, 12, 12, 10, 12];
+    row(&[&"batch", &"tok/s", &"iters", &"stalls", &"util"], &widths);
+    json.push_str("  \"batch_sweep\": [\n");
+    let mut prev_tps = 0.0f64;
+    let mut monotonic = true;
+    for (i, &batch) in w.batch_sweep.iter().enumerate() {
+        let m = run_config(&w, batch, w.ample_pages);
+        monotonic &= m.tokens_per_sec >= prev_tps;
+        prev_tps = m.tokens_per_sec;
+        row(
+            &[
+                &batch,
+                &f(m.tokens_per_sec, 1),
+                &m.stats.iterations,
+                &m.stats.admission_stalls,
+                &f(m.stats.mean_core_utilization(), 2),
+            ],
+            &widths,
+        );
+        let _ = write!(
+            json,
+            "    {{\"batch\": {batch}, \"tokens_per_sec\": {:.1}, \"iterations\": {}, \"admission_stalls\": {}}}",
+            m.tokens_per_sec, m.stats.iterations, m.stats.admission_stalls
+        );
+        json.push_str(if i + 1 < w.batch_sweep.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"batch_monotonic\": {monotonic},");
+    println!("aggregate tokens/sec monotonic in batch: {monotonic}\n");
+
+    // --- Capacity sweep (largest batch) ---------------------------------
+    let batch = *w.batch_sweep.last().expect("non-empty sweep");
+    println!("capacity sweep (batch {batch}):");
+    let cwidths = [8, 12, 10, 12, 8];
+    row(
+        &[&"pages", &"tok/s", &"stalls", &"preempts", &"active"],
+        &cwidths,
+    );
+    json.push_str("  \"capacity_sweep\": [\n");
+    for (i, &pages) in w.capacity_sweep.iter().enumerate() {
+        let m = run_config(&w, batch, pages);
+        row(
+            &[
+                &pages,
+                &f(m.tokens_per_sec, 1),
+                &m.stats.admission_stalls,
+                &m.stats.preemptions,
+                &m.stats.peak_active,
+            ],
+            &cwidths,
+        );
+        let _ = write!(
+            json,
+            "    {{\"pages\": {pages}, \"tokens_per_sec\": {:.1}, \"admission_stalls\": {}, \"preemptions\": {}, \"peak_active\": {}}}",
+            m.tokens_per_sec, m.stats.admission_stalls, m.stats.preemptions, m.stats.peak_active
+        );
+        json.push_str(if i + 1 < w.capacity_sweep.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("\nwrote {out_path}");
+    // Sub-millisecond smoke runs are pure timer noise; the scaling claim
+    // is only meaningful (and enforced) on the real workload.
+    assert!(
+        smoke || monotonic,
+        "aggregate tokens/sec must rise monotonically with batch"
+    );
+}

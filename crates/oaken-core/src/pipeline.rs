@@ -447,6 +447,23 @@ impl KvRowStream for OakenRowStream {
     fn payload_bytes(&self) -> Option<usize> {
         Some(self.payload)
     }
+
+    fn reset(&mut self) {
+        // All Oaken state beyond the appended rows (thresholds, config) is
+        // offline-calibrated and shared, so a reset stream is bit-exact
+        // with a freshly opened one. Scratch buffers are deliberately kept
+        // warm for the next sequence.
+        self.encoded.clear();
+        self.payload = 0;
+    }
+
+    fn last_row_payload(&self) -> Option<(usize, usize)> {
+        self.encoded.last().map(|fv| {
+            let sparse = fv.sparse_bytes().len();
+            // Scales travel with the dense transfer (fixed size per token).
+            (fv.payload_bytes() - sparse, sparse)
+        })
+    }
 }
 
 impl KvQuantizer for OakenQuantizer {

@@ -109,6 +109,26 @@ pub trait KvRowStream: Send {
     fn payload_bytes(&self) -> Option<usize> {
         None
     }
+
+    /// Clears all appended rows so the stream slot can be handed to a new
+    /// sequence, **retaining any frozen calibration state** (channel
+    /// orders, smoothing scales, group quantizers). This is the
+    /// multi-sequence serving contract: calibration is per-model (offline
+    /// or frozen after warm-up) and shared across requests, while row
+    /// history is per-sequence. Methods without calibration state become
+    /// indistinguishable from a fresh stream after `reset`.
+    fn reset(&mut self);
+
+    /// `(dense_bytes, sparse_bytes)` of the most recently appended row's
+    /// encoded payload, when the method tracks real storage: the dense
+    /// component (packed codes + scales, fixed-size per token) and the
+    /// variable COO outlier component. The paged KV pool uses this to lay
+    /// rows into the MMU's dense/sparse page streams at their *actual*
+    /// stored sizes. `None` means the caller should fall back to the
+    /// nominal [`KvQuantizer::effective_bits`] estimate (dense only).
+    fn last_row_payload(&self) -> Option<(usize, usize)> {
+        None
+    }
 }
 
 /// A KV-cache quantization method operating on `[rows × d]` row-major

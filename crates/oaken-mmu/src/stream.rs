@@ -123,6 +123,45 @@ impl MmuSim {
         self.streams.get(key).map(|s| &s.table)
     }
 
+    /// Translates `(stream, token)` to the physical transfer that fetches
+    /// that token's payload — the per-token address lookup the serving
+    /// layer's attention reads go through. `None` for unknown streams or
+    /// tokens beyond the stream's history.
+    pub fn translate(&self, key: &StreamKey, token: usize) -> Option<TableEntry> {
+        self.streams
+            .get(key)
+            .and_then(|s| s.table.get(token))
+            .copied()
+    }
+
+    /// Free bytes remaining in a stream's tail page: the headroom the next
+    /// `write_token` can use before a fresh page must be allocated. `0` for
+    /// unknown streams (the first write always opens a page).
+    pub fn tail_free(&self, key: &StreamKey) -> usize {
+        match self.streams.get(key) {
+            Some(s) if !s.pages.is_empty() => self.allocator.page_size() - s.tail_used,
+            _ => 0,
+        }
+    }
+
+    /// Pages currently owned by `request` across all of its streams.
+    pub fn request_pages(&self, request: u32) -> u32 {
+        self.streams
+            .iter()
+            .filter(|(k, _)| k.request == request)
+            .map(|(_, s)| s.pages.len() as u32)
+            .sum()
+    }
+
+    /// Bytes actually stored for `request` (sum of its table entries).
+    pub fn request_bytes(&self, request: u32) -> u64 {
+        self.streams
+            .iter()
+            .filter(|(k, _)| k.request == request)
+            .map(|(_, s)| s.table.total_bytes())
+            .sum()
+    }
+
     /// Plans the full-history burst read of a stream (the generation-phase
     /// attention fetch). Returns an empty plan for unknown streams.
     pub fn read_plan(&self, key: &StreamKey, granularity: u64) -> BurstPlan {
@@ -276,5 +315,47 @@ mod tests {
     fn oversized_payload_rejected() {
         let mut mmu = MmuSim::new(4, 64);
         let _ = mmu.write_token(key(1, 0, StreamClass::Dense), 65);
+    }
+
+    #[test]
+    fn translate_returns_per_token_transfers() {
+        let mut mmu = MmuSim::new(16, 128);
+        let k = key(3, 0, StreamClass::Sparse);
+        let receipts: Vec<WriteReceipt> = [9u32, 17, 5]
+            .iter()
+            .map(|&b| mmu.write_token(k, b).unwrap())
+            .collect();
+        for (t, r) in receipts.iter().enumerate() {
+            let e = mmu.translate(&k, t).expect("token written");
+            assert_eq!(e.addr, r.addr);
+            assert_eq!(e.size, r.bytes);
+        }
+        assert!(mmu.translate(&k, 3).is_none());
+        assert!(mmu.translate(&key(4, 0, StreamClass::Dense), 0).is_none());
+    }
+
+    #[test]
+    fn tail_free_tracks_page_headroom() {
+        let mut mmu = MmuSim::new(16, 100);
+        let k = key(1, 0, StreamClass::Dense);
+        assert_eq!(mmu.tail_free(&k), 0, "no page before the first write");
+        mmu.write_token(k, 30).unwrap();
+        assert_eq!(mmu.tail_free(&k), 70);
+        mmu.write_token(k, 80).unwrap(); // overflows into a new page
+        assert_eq!(mmu.tail_free(&k), 20);
+    }
+
+    #[test]
+    fn request_accounting_sums_streams() {
+        let mut mmu = MmuSim::new(16, 128);
+        for head in 0..3 {
+            mmu.write_token(key(9, head, StreamClass::Dense), 40)
+                .unwrap();
+        }
+        mmu.write_token(key(8, 0, StreamClass::Dense), 40).unwrap();
+        assert_eq!(mmu.request_pages(9), 3);
+        assert_eq!(mmu.request_bytes(9), 120);
+        assert_eq!(mmu.request_pages(7), 0);
+        assert_eq!(mmu.request_bytes(7), 0);
     }
 }

@@ -75,6 +75,56 @@ pub trait KvCacheBackend: Send {
     fn stored_bits_per_elem(&self) -> f64;
 }
 
+/// A KV cache serving *multiple concurrent sequences*, addressed by a
+/// dense batch `slot` index. This is the storage interface the batched
+/// forward pass ([`crate::Model::forward_batch`]) drives: slot `i` is the
+/// `i`-th sequence of the current iteration's batch.
+///
+/// Every single-sequence [`KvCacheBackend`] is automatically a
+/// `BatchKvCache` with exactly one slot (slot `0`), which is how the
+/// legacy [`crate::Session`] runs on the shared forward pass — guaranteeing
+/// the batched engine and the single-sequence path execute identical code.
+pub trait BatchKvCache {
+    /// Appends the current token's K/V vectors for `(slot, layer)`.
+    fn append(&mut self, slot: usize, layer: usize, k: &[f32], v: &[f32]);
+
+    /// Number of cached tokens for `(slot, layer)`.
+    fn seq_len(&self, slot: usize, layer: usize) -> usize;
+
+    /// Row-major dequantized view of the cached keys for `(slot, layer)`.
+    fn keys(&mut self, slot: usize, layer: usize) -> &[f32];
+
+    /// Row-major dequantized view of the cached values for `(slot, layer)`.
+    fn values(&mut self, slot: usize, layer: usize) -> &[f32];
+}
+
+/// Adapter exposing one single-sequence [`KvCacheBackend`] as a one-slot
+/// [`BatchKvCache`] (slot `0`). [`crate::Session`] wraps its backend in
+/// this to run on the shared batched forward pass.
+pub struct SingleSlot<'a>(pub &'a mut dyn KvCacheBackend);
+
+impl BatchKvCache for SingleSlot<'_> {
+    fn append(&mut self, slot: usize, layer: usize, k: &[f32], v: &[f32]) {
+        assert_eq!(slot, 0, "single-sequence cache has one slot");
+        self.0.append(layer, k, v);
+    }
+
+    fn seq_len(&self, slot: usize, layer: usize) -> usize {
+        assert_eq!(slot, 0, "single-sequence cache has one slot");
+        self.0.seq_len(layer)
+    }
+
+    fn keys(&mut self, slot: usize, layer: usize) -> &[f32] {
+        assert_eq!(slot, 0, "single-sequence cache has one slot");
+        self.0.keys(layer)
+    }
+
+    fn values(&mut self, slot: usize, layer: usize) -> &[f32] {
+        assert_eq!(slot, 0, "single-sequence cache has one slot");
+        self.0.values(layer)
+    }
+}
+
 #[derive(Debug, Default, Clone)]
 struct LayerStore {
     k: Vec<f32>,
@@ -146,19 +196,23 @@ pub enum CacheMode {
 
 /// Per-(layer, kind) storage: either a live row stream or the fallback's
 /// exact copy, plus the materialized dequantized view attention reads.
-struct KindSlot {
-    stream: Option<Box<dyn KvRowStream>>,
+///
+/// Shared between the single-sequence [`QuantizedCache`] and the
+/// multi-sequence [`crate::pool::PagedKvPool`], which hold one slot per
+/// `(sequence, layer, kind)`.
+pub(crate) struct KindSlot {
+    pub(crate) stream: Option<Box<dyn KvRowStream>>,
     /// Exact rows (fallback path only).
-    exact: Vec<f32>,
+    pub(crate) exact: Vec<f32>,
     /// Dequantized `[rows × d]` view.
-    view: Vec<f32>,
+    pub(crate) view: Vec<f32>,
     /// Fallback only: view is stale relative to `exact`.
-    dirty: bool,
-    rows: usize,
+    pub(crate) dirty: bool,
+    pub(crate) rows: usize,
 }
 
 impl KindSlot {
-    fn new(stream: Option<Box<dyn KvRowStream>>) -> Self {
+    pub(crate) fn new(stream: Option<Box<dyn KvRowStream>>) -> Self {
         Self {
             stream,
             exact: Vec::new(),
@@ -168,7 +222,7 @@ impl KindSlot {
         }
     }
 
-    fn append(&mut self, row: &[f32]) {
+    pub(crate) fn append(&mut self, row: &[f32]) {
         self.rows += 1;
         match &mut self.stream {
             Some(stream) => stream.append_row(row, &mut self.view),
@@ -177,6 +231,19 @@ impl KindSlot {
                 self.dirty = true;
             }
         }
+    }
+
+    /// Clears the slot's row history (keeping buffers and any frozen
+    /// stream calibration) so a retired sequence's storage can be reused
+    /// by a new one without reallocating.
+    pub(crate) fn reset_for_reuse(&mut self) {
+        if let Some(stream) = &mut self.stream {
+            stream.reset();
+        }
+        self.exact.clear();
+        self.view.clear();
+        self.dirty = false;
+        self.rows = 0;
     }
 }
 

@@ -36,6 +36,37 @@ impl DenseFfn {
         }
         self.w_down.matvec(&up).expect("down-projection shape")
     }
+
+    /// Applies the FFN to a batch of token vectors through
+    /// [`Tensor::matvec_batch`], bit-exact per vector with
+    /// [`DenseFfn::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shapes disagree with the inputs.
+    pub fn forward_batch(&self, xs: &[&[f32]], act: Activation) -> Vec<Vec<f32>> {
+        let mut ups = self.w_up.matvec_batch(xs).expect("up-projection shape");
+        match &self.w_gate {
+            Some(g) => {
+                let mut gates = g.matvec_batch(xs).expect("gate shape");
+                for (up, gate) in ups.iter_mut().zip(&mut gates) {
+                    act.apply_in_place(gate);
+                    for (u, g) in up.iter_mut().zip(gate.iter()) {
+                        *u *= g;
+                    }
+                }
+            }
+            None => {
+                for up in &mut ups {
+                    act.apply_in_place(up);
+                }
+            }
+        }
+        let refs: Vec<&[f32]> = ups.iter().map(|v| v.as_slice()).collect();
+        self.w_down
+            .matvec_batch(&refs)
+            .expect("down-projection shape")
+    }
 }
 
 /// The FFN of one decoder layer: dense or mixture-of-experts.
@@ -81,6 +112,17 @@ impl FfnWeights {
                 }
                 out
             }
+        }
+    }
+
+    /// Applies the FFN to a batch of vectors, bit-exact per vector with
+    /// [`FfnWeights::forward`]. Dense FFNs share one weight sweep across
+    /// the batch; MoE layers route per token, so they fall back to
+    /// per-vector execution (each token may hit different experts).
+    pub fn forward_batch(&self, xs: &[&[f32]], act: Activation) -> Vec<Vec<f32>> {
+        match self {
+            FfnWeights::Dense(ffn) => ffn.forward_batch(xs, act),
+            moe @ FfnWeights::Moe { .. } => xs.iter().map(|x| moe.forward(x, act)).collect(),
         }
     }
 

@@ -24,6 +24,12 @@
 //! [`KvQuantizer`] so that quantization error propagates through attention
 //! into the logits — the mechanism behind every accuracy number in Table 2.
 //!
+//! For multi-sequence serving, [`pool::PagedKvPool`] shares one paged
+//! device memory (backed by `oaken-mmu`'s allocator) across concurrent
+//! sequences, and [`Model::forward_batch`] advances a whole batch one
+//! token per call, layer-major with batched weight sweeps — bit-exact per
+//! sequence with [`Session`].
+//!
 //! [`KvQuantizer`]: oaken_core::KvQuantizer
 //!
 //! # Example
@@ -43,13 +49,15 @@ pub mod cache;
 pub mod config;
 pub mod ffn;
 pub mod model;
+pub mod pool;
 pub mod sampling;
 pub mod synth;
 
 pub use attention::{attend_one, AttentionShape};
-pub use cache::{CacheMode, ExactCache, KvCacheBackend, QuantizedCache};
+pub use cache::{BatchKvCache, CacheMode, ExactCache, KvCacheBackend, QuantizedCache, SingleSlot};
 pub use config::{ModelConfig, MoeConfig, Positional};
 pub use ffn::{DenseFfn, FfnWeights};
-pub use model::{KvObserver, LayerWeights, Model, Session};
+pub use model::{BatchKvObserver, BatchStep, KvObserver, LayerWeights, Model, Session};
+pub use pool::{PagedKvPool, PoolBatchView, PoolError, SeqId};
 pub use sampling::{sample_greedy, sample_temperature};
 pub use synth::SynthParams;

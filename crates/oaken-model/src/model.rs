@@ -3,7 +3,7 @@
 //! hooks for offline profiling.
 
 use crate::attention::{attend_one, AttentionShape};
-use crate::cache::KvCacheBackend;
+use crate::cache::{BatchKvCache, KvCacheBackend, SingleSlot};
 use crate::config::{ModelConfig, Positional};
 use crate::ffn::{DenseFfn, FfnWeights};
 use crate::synth::{self, SynthParams};
@@ -189,6 +189,163 @@ impl Model {
             NormKind::Layer => layernorm(x, w, b.map(|v| v.as_slice()).unwrap_or(&[]), 1e-5),
         }
     }
+
+    /// Advances a *batch* of independent sequences by one token each and
+    /// returns the next-token logits per step, in step order.
+    ///
+    /// This is the serving engine's iteration primitive: each step names a
+    /// batch `slot` of `cache`, the sequence's current position, and the
+    /// token to feed. Execution is **layer-major** — all sequences pass
+    /// through decoder layer `l` before any touches layer `l+1` — so each
+    /// layer's weight matrices are streamed from memory once per iteration
+    /// and reused across the whole batch, the locality that makes batched
+    /// decode profitable (and the software analogue of §5.3's token-level
+    /// scheduling, where one core's weight fetch serves many requests).
+    ///
+    /// Per-sequence arithmetic is *identical* to the single-sequence path:
+    /// sequences never mix activations, so a batch of one is bit-exact
+    /// with [`Session::advance`], and any interleaving of sequences across
+    /// iterations leaves each sequence's logits unchanged (enforced by the
+    /// engine's property tests).
+    ///
+    /// `observer` (if any) sees every freshly generated K/V vector as
+    /// `(step_index, layer, kind, vector)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any step's token is outside the vocabulary or its
+    /// position exceeds `max_seq_len`.
+    pub fn forward_batch(
+        &self,
+        cache: &mut dyn BatchKvCache,
+        steps: &[BatchStep],
+        mut observer: Option<&mut BatchKvObserver<'_>>,
+    ) -> Vec<Vec<f32>> {
+        let cfg = &self.config;
+        for s in steps {
+            assert!(
+                (s.token as usize) < cfg.vocab_size,
+                "token {} outside vocabulary {}",
+                s.token,
+                cfg.vocab_size
+            );
+            assert!(
+                s.pos < cfg.max_seq_len,
+                "sequence exceeds max_seq_len {}",
+                cfg.max_seq_len
+            );
+        }
+        let d = cfg.d_model;
+        let hd = cfg.head_dim();
+        let shape = AttentionShape {
+            num_heads: cfg.num_heads,
+            num_kv_heads: cfg.num_kv_heads,
+            head_dim: hd,
+            window: cfg.sliding_window,
+        };
+
+        let mut xs: Vec<Vec<f32>> = steps
+            .iter()
+            .map(|s| {
+                let mut x = self.embed.row(s.token as usize).to_vec();
+                if let Some(pe) = &self.pos_embed {
+                    for (xi, pi) in x.iter_mut().zip(pe.row(s.pos)) {
+                        *xi += pi;
+                    }
+                }
+                x
+            })
+            .collect();
+
+        fn as_refs(vs: &[Vec<f32>]) -> Vec<&[f32]> {
+            vs.iter().map(|v| v.as_slice()).collect()
+        }
+
+        for (l, lw) in self.layers.iter().enumerate() {
+            // Attention block: one weight sweep per projection serves the
+            // whole batch (matvec_batch), everything per-sequence stays
+            // per-sequence.
+            let hs: Vec<Vec<f32>> = xs
+                .iter()
+                .map(|x| self.norm(x, &lw.attn_norm_w, lw.attn_norm_b.as_ref()))
+                .collect();
+            let href = as_refs(&hs);
+            let mut qs = lw.wq.matvec_batch(&href).expect("Wq shape");
+            let mut ks = lw.wk.matvec_batch(&href).expect("Wk shape");
+            let vs = lw.wv.matvec_batch(&href).expect("Wv shape");
+            let mut atts = Vec::with_capacity(steps.len());
+            for (i, step) in steps.iter().enumerate() {
+                let (q, k, v) = (&mut qs[i], &mut ks[i], &vs[i]);
+                if cfg.positional == Positional::Rope {
+                    for head in q.chunks_mut(hd) {
+                        apply_rope(head, step.pos, DEFAULT_THETA);
+                    }
+                    for head in k.chunks_mut(hd) {
+                        apply_rope(head, step.pos, DEFAULT_THETA);
+                    }
+                }
+                if let Some(obs) = observer.as_deref_mut() {
+                    obs(i, l, KvKind::Key, k);
+                    obs(i, l, KvKind::Value, v);
+                }
+                cache.append(step.slot, l, k, v);
+                let seq_len = cache.seq_len(step.slot, l);
+                let att = {
+                    let keys = cache.keys(step.slot, l).to_vec();
+                    let values = cache.values(step.slot, l);
+                    attend_one(q, &keys, values, seq_len, &shape)
+                };
+                atts.push(att);
+            }
+            let attref = as_refs(&atts);
+            let projs = lw.wo.matvec_batch(&attref).expect("Wo shape");
+            for (x, proj) in xs.iter_mut().zip(projs) {
+                for (xi, pi) in x.iter_mut().zip(proj) {
+                    *xi += pi;
+                }
+            }
+
+            // FFN block.
+            let hs: Vec<Vec<f32>> = xs
+                .iter()
+                .map(|x| self.norm(x, &lw.ffn_norm_w, lw.ffn_norm_b.as_ref()))
+                .collect();
+            let href = as_refs(&hs);
+            let ys = lw.ffn.forward_batch(&href, cfg.activation);
+            for (x, y) in xs.iter_mut().zip(ys) {
+                for (xi, yi) in x.iter_mut().zip(y) {
+                    *xi += yi;
+                }
+            }
+        }
+
+        let hs: Vec<Vec<f32>> = xs
+            .iter()
+            .map(|x| {
+                let h = self.norm(x, &self.final_norm_w, self.final_norm_b.as_ref());
+                debug_assert_eq!(h.len(), d);
+                h
+            })
+            .collect();
+        let href = as_refs(&hs);
+        self.lm_head.matvec_batch(&href).expect("LM head shape")
+    }
+}
+
+/// Observer for batched forward passes: sees every freshly generated K/V
+/// vector as `(step_index, layer, kind, vector)`.
+pub type BatchKvObserver<'a> = dyn FnMut(usize, usize, KvKind, &[f32]) + 'a;
+
+/// One sequence's step within a batched forward pass
+/// ([`Model::forward_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStep {
+    /// Batch slot in the `BatchKvCache`.
+    pub slot: usize,
+    /// The sequence's current position (tokens cached so far).
+    pub pos: usize,
+    /// Token to feed.
+    pub token: u32,
 }
 
 /// Callback observing each freshly generated KV vector before caching:
@@ -231,86 +388,31 @@ impl<'m> Session<'m> {
 
     /// Feeds one token and returns the next-token logits.
     ///
+    /// Runs as a batch of one on the shared [`Model::forward_batch`] pass,
+    /// so the legacy single-sequence path and the batched serving engine
+    /// execute identical arithmetic.
+    ///
     /// # Panics
     ///
     /// Panics if `token` is outside the vocabulary or the sequence exceeds
     /// `max_seq_len`.
     pub fn advance(&mut self, token: u32) -> Vec<f32> {
-        let cfg = self.model.config();
-        assert!(
-            (token as usize) < cfg.vocab_size,
-            "token {token} outside vocabulary {}",
-            cfg.vocab_size
-        );
-        assert!(
-            self.pos < cfg.max_seq_len,
-            "sequence exceeds max_seq_len {}",
-            cfg.max_seq_len
-        );
-        let d = cfg.d_model;
-        let hd = cfg.head_dim();
-        let shape = AttentionShape {
-            num_heads: cfg.num_heads,
-            num_kv_heads: cfg.num_kv_heads,
-            head_dim: hd,
-            window: cfg.sliding_window,
+        let step = BatchStep {
+            slot: 0,
+            pos: self.pos,
+            token,
         };
-
-        let mut x = self.model.embed.row(token as usize).to_vec();
-        if let Some(pe) = &self.model.pos_embed {
-            for (xi, pi) in x.iter_mut().zip(pe.row(self.pos)) {
-                *xi += pi;
-            }
-        }
-
-        for (l, lw) in self.model.layers.iter().enumerate() {
-            // Attention block.
-            let h = self
-                .model
-                .norm(&x, &lw.attn_norm_w, lw.attn_norm_b.as_ref());
-            let mut q = lw.wq.matvec(&h).expect("Wq shape");
-            let mut k = lw.wk.matvec(&h).expect("Wk shape");
-            let v = lw.wv.matvec(&h).expect("Wv shape");
-            if cfg.positional == Positional::Rope {
-                for head in q.chunks_mut(hd) {
-                    apply_rope(head, self.pos, DEFAULT_THETA);
-                }
-                for head in k.chunks_mut(hd) {
-                    apply_rope(head, self.pos, DEFAULT_THETA);
-                }
-            }
-            if let Some(obs) = &mut self.observer {
-                obs(l, KvKind::Key, &k);
-                obs(l, KvKind::Value, &v);
-            }
-            self.cache.append(l, &k, &v);
-            let seq_len = self.cache.seq_len(l);
-            let att = {
-                let keys = self.cache.keys(l).to_vec();
-                let values = self.cache.values(l);
-                attend_one(&q, &keys, values, seq_len, &shape)
-            };
-            let proj = lw.wo.matvec(&att).expect("Wo shape");
-            for (xi, pi) in x.iter_mut().zip(proj) {
-                *xi += pi;
-            }
-
-            // FFN block.
-            let h = self.model.norm(&x, &lw.ffn_norm_w, lw.ffn_norm_b.as_ref());
-            let y = lw.ffn.forward(&h, cfg.activation);
-            for (xi, yi) in x.iter_mut().zip(y) {
-                *xi += yi;
-            }
-        }
-
+        let mut cache = SingleSlot(&mut *self.cache);
+        let mut logits = match &mut self.observer {
+            Some(obs) => self.model.forward_batch(
+                &mut cache,
+                &[step],
+                Some(&mut |_slot, l, kind, v| obs(l, kind, v)),
+            ),
+            None => self.model.forward_batch(&mut cache, &[step], None),
+        };
         self.pos += 1;
-        let h = self.model.norm(
-            &x,
-            &self.model.final_norm_w,
-            self.model.final_norm_b.as_ref(),
-        );
-        debug_assert_eq!(h.len(), d);
-        self.model.lm_head.matvec(&h).expect("LM head shape")
+        logits.pop().expect("one step yields one logits vector")
     }
 
     /// Feeds a token sequence, returning the logits after the final token.

@@ -1,0 +1,777 @@
+//! A shared, paged, quantized KV pool serving many concurrent sequences —
+//! the software model of Oaken's MMU-managed device memory (§5.2) under a
+//! continuous-batching engine.
+//!
+//! Where [`crate::QuantizedCache`] owns one sequence's KV history,
+//! [`PagedKvPool`] multiplexes *all* active sequences over one
+//! [`oaken_mmu::PageAllocator`]: every appended token row is quantized
+//! incrementally through the per-`(sequence, layer, kind)`
+//! [`KvRowStream`](oaken_core::KvRowStream)s, and its encoded payload is
+//! laid into fixed-size physical pages — split per attention head into a
+//! *dense* stream (packed codes + scales, fixed size per token) and a
+//! *sparse* stream (variable COO outlier bytes), exactly the two
+//! management tables of Figure 10. The pool therefore makes capacity,
+//! fragmentation, and admission **real**: running out of pages is an
+//! allocator-level OOM, not an analytic estimate.
+//!
+//! # Consistency contract
+//!
+//! * **Bit-exactness** — for methods whose per-row state is offline or
+//!   per-token (Oaken, FP16, exact f32, the recompute fallbacks), a
+//!   sequence's dequantized views depend only on its own append history:
+//!   the pool drives the same `KvRowStream`s as `QuantizedCache`, so any
+//!   interleaving of sequences is bit-identical to independent
+//!   single-sequence runs (enforced by `oaken-serving`'s engine property
+//!   tests). The one deliberate exception: *calibrate-then-freeze*
+//!   baselines (Atom/QServe/Tender) keep their frozen calibration when a
+//!   slot is recycled — calibration is per-model state shared across
+//!   requests in real serving, so a later sequence reusing a slot decodes
+//!   with the already-frozen channel order/scales instead of re-warming
+//!   on its own first rows.
+//! * **Guarded appends** — [`PagedKvPool::append`] checks a conservative
+//!   worst-case page bound *before* touching any state and fails cleanly
+//!   with [`PoolError::OutOfPages`]; a successful call is atomic for the
+//!   `(layer, K, V)` triple. Schedulers should gate whole-token appends
+//!   with [`PagedKvPool::pages_possibly_needed`] so a multi-layer forward
+//!   pass never stalls mid-token.
+//! * **Slot recycling** — retiring a sequence frees its pages immediately
+//!   and recycles its stream/view buffers (via
+//!   [`KvRowStream::reset`](oaken_core::KvRowStream::reset), which retains
+//!   frozen calibration) for the next admitted sequence.
+//!
+//! # Capacity accounting
+//!
+//! Admission estimates route through the same bytes-per-token helper as
+//! the analytic capacity model ([`ModelConfig::kv_bytes_per_token`], also
+//! used by `oaken-accel`'s `SystemModel::max_concurrent_batch`), so the
+//! analytic and executed paths cannot drift; the pool then adds the
+//! page-rounding the analytic model ignores.
+
+use crate::cache::{BatchKvCache, KindSlot};
+use crate::config::ModelConfig;
+use oaken_core::{KvKind, KvQuantizer};
+use oaken_mmu::{MmuSim, StreamClass, StreamKey};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Handle to one sequence's KV state inside a [`PagedKvPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeqId(pub u32);
+
+/// Errors surfaced by the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// Appending could require more pages than the device has free — the
+    /// admission/preemption signal.
+    OutOfPages {
+        /// Worst-case pages the append might need.
+        needed: u32,
+        /// Pages currently free.
+        free: u32,
+    },
+    /// The sequence handle is unknown (already freed or never allocated).
+    UnknownSequence {
+        /// The offending handle.
+        seq: SeqId,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::OutOfPages { needed, free } => {
+                write!(f, "append may need {needed} pages but only {free} are free")
+            }
+            PoolError::UnknownSequence { seq } => {
+                write!(f, "sequence {seq:?} is not active in the pool")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Per-sequence storage: one [`KindSlot`] per `(layer, kind)`, plus a
+/// running page count so admission accounting never scans the MMU's
+/// global stream map.
+struct SeqSlots {
+    slots: Vec<[KindSlot; 2]>,
+    pages: u32,
+}
+
+fn kind_index(kind: KvKind) -> usize {
+    match kind {
+        KvKind::Key => 0,
+        KvKind::Value => 1,
+    }
+}
+
+/// The shared paged KV pool. See the module docs for the design.
+pub struct PagedKvPool {
+    quantizer: Option<Arc<dyn KvQuantizer>>,
+    num_layers: usize,
+    kv_dim: usize,
+    kv_heads: usize,
+    head_dim: usize,
+    /// Nominal KV bytes per token for the whole model — computed through
+    /// the shared [`ModelConfig::kv_bytes_per_token`] helper.
+    bytes_per_token: u64,
+    mmu: MmuSim,
+    seqs: HashMap<u32, SeqSlots>,
+    recycled: Vec<SeqSlots>,
+    next_id: u32,
+}
+
+impl fmt::Debug for PagedKvPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PagedKvPool")
+            .field(
+                "quantizer",
+                &self.quantizer.as_ref().map_or("exact-f32", |q| q.name()),
+            )
+            .field("num_layers", &self.num_layers)
+            .field("kv_dim", &self.kv_dim)
+            .field("active_seqs", &self.seqs.len())
+            .field("free_pages", &self.free_pages())
+            .finish()
+    }
+}
+
+impl PagedKvPool {
+    /// Creates a pool for `model`'s KV geometry over `num_pages` pages of
+    /// `page_size` bytes. `quantizer = None` stores exact f32 rows (the
+    /// FP32 reference configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` cannot hold one worst-case per-head row
+    /// payload (pages must be at least `4 × head_dim + 16` bytes).
+    pub fn for_model(
+        model: &ModelConfig,
+        quantizer: Option<Arc<dyn KvQuantizer>>,
+        num_pages: u32,
+        page_size: usize,
+    ) -> Self {
+        let kv_dim = model.kv_dim();
+        let kv_heads = model.num_kv_heads;
+        let head_dim = kv_dim / kv_heads;
+        let bits = quantizer
+            .as_ref()
+            .map_or(32.0, |q| q.effective_bits(1, kv_dim));
+        let pool = Self {
+            quantizer,
+            num_layers: model.num_layers,
+            kv_dim,
+            kv_heads,
+            head_dim,
+            bytes_per_token: model.kv_bytes_per_token(bits),
+            mmu: MmuSim::new(num_pages, page_size),
+            seqs: HashMap::new(),
+            recycled: Vec::new(),
+            next_id: 0,
+        };
+        assert!(
+            pool.dense_row_bound() <= page_size,
+            "page size {page_size} cannot hold one per-head row (bound {})",
+            pool.dense_row_bound()
+        );
+        pool
+    }
+
+    /// Worst-case dense bytes one appended row can add to a single head's
+    /// page stream (f32 storage plus scale/metadata slack) — the guard the
+    /// capacity pre-checks use so a checked append can never fail inside
+    /// the MMU.
+    fn dense_row_bound(&self) -> usize {
+        4 * self.head_dim + 16
+    }
+
+    /// Worst-case sparse (COO outlier) bytes per head per row: one byte
+    /// per element plus metadata slack.
+    fn sparse_row_bound(&self) -> usize {
+        self.head_dim + 16
+    }
+
+    /// Whether the pool's quantizer produces a variable sparse stream
+    /// (methods going through the incremental row streams may emit COO
+    /// outliers; exact f32 storage never does).
+    fn has_sparse(&self) -> bool {
+        self.quantizer.is_some()
+    }
+
+    /// The backing MMU simulator (read-only): translation tables, burst
+    /// plans, and fragmentation statistics over the actual stored sizes.
+    pub fn mmu(&self) -> &MmuSim {
+        &self.mmu
+    }
+
+    /// Total pages in the device.
+    pub fn capacity_pages(&self) -> u32 {
+        self.mmu.allocator().capacity()
+    }
+
+    /// Currently free pages.
+    pub fn free_pages(&self) -> u32 {
+        self.mmu.allocator().free_pages()
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.mmu.allocator().page_size()
+    }
+
+    /// Number of active sequences.
+    pub fn active_seqs(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Pages currently owned by a sequence (O(1): tracked per sequence,
+    /// not recounted from the MMU's stream map).
+    pub fn seq_pages(&self, seq: SeqId) -> u32 {
+        self.seqs.get(&seq.0).map_or(0, |s| s.pages)
+    }
+
+    /// Nominal KV bytes per token (the shared bytes-per-token figure the
+    /// analytic capacity model also uses).
+    pub fn bytes_per_token(&self) -> u64 {
+        self.bytes_per_token
+    }
+
+    /// Admission estimate: pages a sequence of `tokens` total tokens will
+    /// occupy, including the per-stream page rounding the analytic model
+    /// ignores. Uses the *nominal* bytes-per-token; the executed footprint
+    /// of variable-rate methods can differ slightly, which preemption
+    /// absorbs.
+    pub fn pages_for_tokens(&self, tokens: usize) -> u64 {
+        if tokens == 0 {
+            return 0;
+        }
+        let dense_streams = (2 * self.num_layers * self.kv_heads) as u64;
+        let page = self.page_size() as u64;
+        // Nominal per-head bytes for the whole sequence, rounded to pages
+        // per stream (each head's dense data lives in its own page
+        // stream). The nominal bytes-per-token already folds the sparse
+        // payload in, which slightly over-counts the dense pages...
+        let stream_bytes = (tokens as u64 * self.bytes_per_token).div_ceil(dense_streams);
+        let mut pages = dense_streams * stream_bytes.div_ceil(page);
+        // ...while each *sparse* stream still pins at least one page of
+        // its own once the first outlier lands (the dominant sparse cost:
+        // COO bytes per head per token are single digits).
+        if self.has_sparse() {
+            pages += dense_streams;
+        }
+        pages
+    }
+
+    /// Worst-case pages appending **one token** to `seq` could allocate:
+    /// one page for every per-head stream whose tail cannot absorb a
+    /// worst-case row. Schedulers sum this over the batch before an
+    /// iteration and preempt until it fits in [`PagedKvPool::free_pages`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::UnknownSequence`] for a freed handle.
+    pub fn pages_possibly_needed(&self, seq: SeqId) -> Result<u32, PoolError> {
+        if !self.seqs.contains_key(&seq.0) {
+            return Err(PoolError::UnknownSequence { seq });
+        }
+        let mut needed = 0u32;
+        for layer in 0..self.num_layers {
+            needed += self.layer_pages_possibly_needed(seq, layer);
+        }
+        Ok(needed)
+    }
+
+    fn layer_pages_possibly_needed(&self, seq: SeqId, layer: usize) -> u32 {
+        let mut needed = 0u32;
+        for kind in KvKind::ALL {
+            for head in 0..self.kv_heads {
+                let mut key = self.stream_key(seq, layer, kind, head, StreamClass::Dense);
+                if self.mmu.tail_free(&key) < self.dense_row_bound() {
+                    needed += 1;
+                }
+                if self.has_sparse() {
+                    key.class = StreamClass::Sparse;
+                    if self.mmu.tail_free(&key) < self.sparse_row_bound() {
+                        needed += 1;
+                    }
+                }
+            }
+        }
+        needed
+    }
+
+    fn stream_key(
+        &self,
+        seq: SeqId,
+        layer: usize,
+        kind: KvKind,
+        head: usize,
+        class: StreamClass,
+    ) -> StreamKey {
+        // Key and value streams of one layer are distinct `layer` rows in
+        // the management tables: even layers = keys, odd = values.
+        StreamKey {
+            request: seq.0,
+            layer: (2 * layer + kind_index(kind)) as u16,
+            head: head as u16,
+            class,
+        }
+    }
+
+    /// Admits a new sequence, reusing a retired sequence's buffers when
+    /// available. No pages are allocated until the first append.
+    pub fn alloc_seq(&mut self) -> SeqId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let slots = match self.recycled.pop() {
+            Some(s) => s,
+            None => SeqSlots {
+                slots: (0..self.num_layers)
+                    .map(|layer| {
+                        let mk = |kind: KvKind| {
+                            let stream = self
+                                .quantizer
+                                .as_ref()
+                                .and_then(|q| q.row_stream(self.kv_dim, layer, kind));
+                            KindSlot::new(stream)
+                        };
+                        [mk(KvKind::Key), mk(KvKind::Value)]
+                    })
+                    .collect(),
+                pages: 0,
+            },
+        };
+        self.seqs.insert(id, slots);
+        SeqId(id)
+    }
+
+    /// Retires a sequence: frees every page it owns and recycles its
+    /// buffers. Returns the number of freed pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::UnknownSequence`] for a double-free.
+    pub fn free_seq(&mut self, seq: SeqId) -> Result<u32, PoolError> {
+        let mut slots = self
+            .seqs
+            .remove(&seq.0)
+            .ok_or(PoolError::UnknownSequence { seq })?;
+        let freed = self
+            .mmu
+            .free_request(seq.0)
+            .expect("pool-owned pages cannot double-free");
+        for pair in &mut slots.slots {
+            for slot in pair {
+                slot.reset_for_reuse();
+            }
+        }
+        slots.pages = 0;
+        self.recycled.push(slots);
+        Ok(freed)
+    }
+
+    /// Appends one token's K/V rows for `(seq, layer)`, quantizing them
+    /// incrementally and laying the encoded payload into pages. Atomic:
+    /// on `Err` nothing was modified.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownSequence`] for a freed handle,
+    /// [`PoolError::OutOfPages`] when the worst-case page bound exceeds
+    /// the free pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector widths disagree with the model's `kv_dim`.
+    pub fn append(
+        &mut self,
+        seq: SeqId,
+        layer: usize,
+        k: &[f32],
+        v: &[f32],
+    ) -> Result<(), PoolError> {
+        assert_eq!(k.len(), self.kv_dim, "key width mismatch");
+        assert_eq!(v.len(), self.kv_dim, "value width mismatch");
+        if !self.seqs.contains_key(&seq.0) {
+            return Err(PoolError::UnknownSequence { seq });
+        }
+        let needed = self.layer_pages_possibly_needed(seq, layer);
+        let free = self.free_pages();
+        if needed > free {
+            return Err(PoolError::OutOfPages { needed, free });
+        }
+        for (kind, row) in [(KvKind::Key, k), (KvKind::Value, v)] {
+            let (dense, sparse) = self.append_row(seq, layer, kind, row);
+            self.write_pages(seq, layer, kind, dense, sparse);
+        }
+        Ok(())
+    }
+
+    /// Appends one row to the `(seq, layer, kind)` slot and returns the
+    /// `(dense, sparse)` stored byte sizes of the encoded row.
+    fn append_row(
+        &mut self,
+        seq: SeqId,
+        layer: usize,
+        kind: KvKind,
+        row: &[f32],
+    ) -> (usize, usize) {
+        let slot = &mut self.seqs.get_mut(&seq.0).expect("checked by caller").slots[layer]
+            [kind_index(kind)];
+        slot.append(row);
+        match &slot.stream {
+            Some(stream) => stream.last_row_payload().unwrap_or_else(|| {
+                let bits = self
+                    .quantizer
+                    .as_ref()
+                    .expect("streams only exist with a quantizer")
+                    .effective_bits(slot.rows, self.kv_dim);
+                (((bits * self.kv_dim as f64) / 8.0).ceil() as usize, 0)
+            }),
+            None => match &self.quantizer {
+                // Recompute-fallback methods: nominal stored size.
+                Some(q) => {
+                    let bits = q.effective_bits(slot.rows, self.kv_dim);
+                    (((bits * self.kv_dim as f64) / 8.0).ceil() as usize, 0)
+                }
+                // Exact f32 storage.
+                None => (self.kv_dim * 4, 0),
+            },
+        }
+    }
+
+    /// Lays one encoded row's bytes into the per-head dense/sparse page
+    /// streams (the burst-order write layout of §5.2). Byte totals are
+    /// split evenly across heads, remainder to the lowest heads.
+    fn write_pages(&mut self, seq: SeqId, layer: usize, kind: KvKind, dense: usize, sparse: usize) {
+        let mut new_pages = 0u32;
+        for (class, total) in [(StreamClass::Dense, dense), (StreamClass::Sparse, sparse)] {
+            if total == 0 {
+                continue;
+            }
+            let base = total / self.kv_heads;
+            let extra = total % self.kv_heads;
+            for head in 0..self.kv_heads {
+                let bytes = base + usize::from(head < extra);
+                if bytes == 0 {
+                    continue;
+                }
+                let key = self.stream_key(seq, layer, kind, head, class);
+                let receipt = self
+                    .mmu
+                    .write_token(key, bytes as u32)
+                    .expect("append pre-checked the worst-case page bound");
+                new_pages += u32::from(receipt.new_page);
+            }
+        }
+        if new_pages > 0 {
+            self.seqs
+                .get_mut(&seq.0)
+                .expect("caller validated the sequence")
+                .pages += new_pages;
+        }
+    }
+
+    fn refresh(&mut self, seq: SeqId, layer: usize, kind: KvKind) {
+        let kv_dim = self.kv_dim;
+        let slot = &mut self
+            .seqs
+            .get_mut(&seq.0)
+            .expect("caller validated the sequence")
+            .slots[layer][kind_index(kind)];
+        if slot.stream.is_none() && slot.dirty {
+            let rows = slot.exact.len() / kv_dim.max(1);
+            slot.view = match &self.quantizer {
+                Some(q) => q.roundtrip_matrix(&slot.exact, rows, kv_dim, layer, kind),
+                None => slot.exact.clone(),
+            };
+            slot.dirty = false;
+        }
+    }
+
+    /// Number of cached tokens for `(seq, layer)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown sequence.
+    pub fn seq_len(&self, seq: SeqId, layer: usize) -> usize {
+        self.seqs.get(&seq.0).expect("unknown sequence").slots[layer][0].rows
+    }
+
+    /// Dequantized `[seq_len × kv_dim]` view of the cached keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown sequence.
+    pub fn keys(&mut self, seq: SeqId, layer: usize) -> &[f32] {
+        self.refresh(seq, layer, KvKind::Key);
+        &self.seqs.get(&seq.0).expect("unknown sequence").slots[layer][0].view
+    }
+
+    /// Dequantized view of the cached values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown sequence.
+    pub fn values(&mut self, seq: SeqId, layer: usize) -> &[f32] {
+        self.refresh(seq, layer, KvKind::Value);
+        &self.seqs.get(&seq.0).expect("unknown sequence").slots[layer][1].view
+    }
+}
+
+/// Borrowed view pairing a [`PagedKvPool`] with the batch's slot → sequence
+/// mapping for one engine iteration, implementing [`BatchKvCache`] for
+/// [`crate::Model::forward_batch`].
+///
+/// Appends panic on pool exhaustion: the scheduler must reserve capacity
+/// with [`PagedKvPool::pages_possibly_needed`] (and preempt) *before* the
+/// forward pass, so a mid-token allocation failure is an engine bug, not a
+/// recoverable condition.
+pub struct PoolBatchView<'p> {
+    pool: &'p mut PagedKvPool,
+    seqs: &'p [SeqId],
+}
+
+impl<'p> PoolBatchView<'p> {
+    /// Creates a view where batch slot `i` maps to `seqs[i]`.
+    pub fn new(pool: &'p mut PagedKvPool, seqs: &'p [SeqId]) -> Self {
+        Self { pool, seqs }
+    }
+}
+
+impl BatchKvCache for PoolBatchView<'_> {
+    fn append(&mut self, slot: usize, layer: usize, k: &[f32], v: &[f32]) {
+        self.pool
+            .append(self.seqs[slot], layer, k, v)
+            .expect("scheduler reserves pages before the iteration");
+    }
+
+    fn seq_len(&self, slot: usize, layer: usize) -> usize {
+        self.pool.seq_len(self.seqs[slot], layer)
+    }
+
+    fn keys(&mut self, slot: usize, layer: usize) -> &[f32] {
+        self.pool.keys(self.seqs[slot], layer)
+    }
+
+    fn values(&mut self, slot: usize, layer: usize) -> &[f32] {
+        self.pool.values(self.seqs[slot], layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{KvCacheBackend, QuantizedCache};
+    use oaken_core::{OakenConfig, OakenQuantizer, OfflineProfiler};
+
+    fn row(d: usize, seed: u64) -> Vec<f32> {
+        (0..d)
+            .map(|i| {
+                let u = ((i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(seed * 7919)
+                    >> 33) as f32
+                    / (1u64 << 31) as f32;
+                let base = (u - 0.5) * 6.0;
+                match i % 19 {
+                    0 => base * 9.0,
+                    1 => base * 0.02,
+                    _ => base,
+                }
+            })
+            .collect()
+    }
+
+    fn tiny_config(layers: usize, kv_heads: usize, head_dim: usize) -> ModelConfig {
+        let mut cfg = ModelConfig::llama2_7b().proxy(layers, kv_heads * head_dim);
+        cfg.num_heads = kv_heads;
+        cfg.num_kv_heads = kv_heads;
+        cfg
+    }
+
+    fn oaken(d: usize, layers: usize) -> Arc<dyn KvQuantizer> {
+        let config = OakenConfig::default();
+        let mut p = OfflineProfiler::new(config.clone(), layers);
+        for s in 0..24 {
+            for layer in 0..layers {
+                for kind in KvKind::ALL {
+                    p.observe(layer, kind, &row(d.max(64), s * 3 + layer as u64));
+                }
+            }
+        }
+        Arc::new(OakenQuantizer::new(config, p.try_finish().unwrap()))
+    }
+
+    #[test]
+    fn pool_views_match_quantized_cache_bit_exactly() {
+        let layers = 2;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        assert_eq!(cfg.kv_dim(), d);
+        let q = oaken(d, layers);
+        let mut pool = PagedKvPool::for_model(&cfg, Some(q.clone()), 256, 4096);
+        let mut cache = QuantizedCache::new(q);
+        cache.reset(layers, d);
+        let seq = pool.alloc_seq();
+        for t in 0..20u64 {
+            for layer in 0..layers {
+                let k = row(d, 2 * t + layer as u64);
+                let v = row(d, 1000 + 2 * t + layer as u64);
+                pool.append(seq, layer, &k, &v).unwrap();
+                cache.append(layer, &k, &v);
+            }
+            for layer in 0..layers {
+                let a: Vec<u32> = pool.keys(seq, layer).iter().map(|x| x.to_bits()).collect();
+                let b: Vec<u32> = cache.keys(layer).iter().map(|x| x.to_bits()).collect();
+                assert_eq!(a, b, "keys diverged at token {t} layer {layer}");
+                let a: Vec<u32> = pool
+                    .values(seq, layer)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect();
+                let b: Vec<u32> = cache.values(layer).iter().map(|x| x.to_bits()).collect();
+                assert_eq!(a, b, "values diverged at token {t} layer {layer}");
+            }
+        }
+        assert_eq!(pool.seq_len(seq, 0), 20);
+        assert!(pool.mmu().request_bytes(seq.0) > 0);
+    }
+
+    #[test]
+    fn interleaved_sequences_do_not_cross_contaminate() {
+        let layers = 1;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let q = oaken(d, layers);
+        let mut pool = PagedKvPool::for_model(&cfg, Some(q.clone()), 512, 4096);
+        let a = pool.alloc_seq();
+        let b = pool.alloc_seq();
+        // Interleave appends: a, b, b, a, ...
+        let schedule = [0u8, 1, 1, 0, 1, 0, 0, 1, 1, 0];
+        let mut counts = [0u64, 0];
+        for &who in &schedule {
+            let (seq, salt) = if who == 0 { (a, 0) } else { (b, 500) };
+            let t = counts[who as usize];
+            counts[who as usize] += 1;
+            pool.append(seq, 0, &row(d, salt + t), &row(d, salt + 100 + t))
+                .unwrap();
+        }
+        // Reference: each sequence alone in its own cache.
+        for (seq, salt, n) in [(a, 0u64, counts[0]), (b, 500, counts[1])] {
+            let mut cache = QuantizedCache::new(q.clone());
+            cache.reset(layers, d);
+            for t in 0..n {
+                cache.append(0, &row(d, salt + t), &row(d, salt + 100 + t));
+            }
+            assert_eq!(pool.keys(seq, 0), cache.keys(0));
+            assert_eq!(pool.values(seq, 0), cache.values(0));
+        }
+    }
+
+    #[test]
+    fn exhaustion_is_a_clean_error_and_freeing_recovers() {
+        let layers = 1;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        // 4 pages of 256 bytes: tiny on purpose.
+        let mut pool = PagedKvPool::for_model(&cfg, None, 4, 256);
+        let a = pool.alloc_seq();
+        let mut appended = 0usize;
+        let err = loop {
+            match pool.append(a, 0, &row(d, appended as u64), &row(d, appended as u64)) {
+                Ok(()) => appended += 1,
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, PoolError::OutOfPages { .. }));
+        assert!(appended >= 1, "at least one token must fit");
+        // The failed append changed nothing.
+        assert_eq!(pool.seq_len(a, 0), appended);
+        let freed = pool.free_seq(a).unwrap();
+        assert!(freed > 0);
+        assert_eq!(pool.free_pages(), pool.capacity_pages());
+        assert!(matches!(
+            pool.free_seq(a),
+            Err(PoolError::UnknownSequence { .. })
+        ));
+        // A recycled slot starts clean.
+        let b = pool.alloc_seq();
+        assert_eq!(pool.seq_len(b, 0), 0);
+        pool.append(b, 0, &row(d, 7), &row(d, 8)).unwrap();
+        assert_eq!(pool.seq_len(b, 0), 1);
+    }
+
+    #[test]
+    fn admission_estimate_brackets_actual_usage() {
+        let layers = 2;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let q = oaken(d, layers);
+        let mut pool = PagedKvPool::for_model(&cfg, Some(q), 4096, 1024);
+        let tokens = 64usize;
+        let estimate = pool.pages_for_tokens(tokens);
+        let seq = pool.alloc_seq();
+        for t in 0..tokens {
+            for layer in 0..layers {
+                pool.append(seq, layer, &row(d, t as u64), &row(d, 900 + t as u64))
+                    .unwrap();
+            }
+        }
+        let used = u64::from(pool.mmu().request_pages(seq.0));
+        // The nominal estimate must be the right order of magnitude: within
+        // 2x of the executed footprint either way (page rounding and the
+        // sparse stream split move it, the shared bytes-per-token anchors it).
+        assert!(
+            estimate <= used * 2 && used <= estimate * 2,
+            "estimate {estimate} vs used {used}"
+        );
+    }
+
+    #[test]
+    fn seq_pages_counter_matches_mmu_ground_truth() {
+        let layers = 2;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let q = oaken(d, layers);
+        let mut pool = PagedKvPool::for_model(&cfg, Some(q), 512, 512);
+        let a = pool.alloc_seq();
+        let b = pool.alloc_seq();
+        for t in 0..30u64 {
+            for layer in 0..layers {
+                pool.append(a, layer, &row(d, t), &row(d, t + 7)).unwrap();
+            }
+            if t % 3 == 0 {
+                pool.append(b, 0, &row(d, 400 + t), &row(d, 500 + t))
+                    .unwrap();
+            }
+            assert_eq!(pool.seq_pages(a), pool.mmu().request_pages(a.0));
+            assert_eq!(pool.seq_pages(b), pool.mmu().request_pages(b.0));
+        }
+        pool.free_seq(a).unwrap();
+        assert_eq!(pool.seq_pages(a), 0);
+        // A recycled slot starts its counter fresh.
+        let c = pool.alloc_seq();
+        pool.append(c, 0, &row(d, 1), &row(d, 2)).unwrap();
+        assert_eq!(pool.seq_pages(c), pool.mmu().request_pages(c.0));
+    }
+
+    #[test]
+    fn pages_possibly_needed_is_a_safe_upper_bound() {
+        let layers = 1;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let q = oaken(d, layers);
+        let mut pool = PagedKvPool::for_model(&cfg, Some(q), 64, 512);
+        let seq = pool.alloc_seq();
+        for t in 0..40 {
+            let before = pool.mmu().allocator().allocated_pages();
+            let bound = pool.pages_possibly_needed(seq).unwrap();
+            pool.append(seq, 0, &row(d, t), &row(d, t + 77)).unwrap();
+            let grown = pool.mmu().allocator().allocated_pages() - before;
+            assert!(grown <= bound, "token {t}: grew {grown} > bound {bound}");
+        }
+    }
+}

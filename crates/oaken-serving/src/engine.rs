@@ -1,0 +1,657 @@
+//! The continuous-batching serving engine: real token-by-token execution
+//! of many concurrent requests over a shared [`PagedKvPool`].
+//!
+//! This is the executed counterpart of the analytic serving simulator in
+//! [`crate::simulate`]. Scheduling follows the Orca/vLLM shape the paper's
+//! §5.3 token-level scheduler assumes:
+//!
+//! * **iteration-level scheduling** — every engine step advances each
+//!   active sequence by exactly one token (prefill tokens and decode
+//!   tokens interleave freely in the same batch), through the model's
+//!   layer-major [`Model::forward_batch`] pass;
+//! * **admission control** — a queued request is admitted the moment the
+//!   pool has pages for it (policy-selectable: prompt-only or full
+//!   sequence reservation), and retired sequences free their pages
+//!   *within the same step*, so their slots refill immediately;
+//! * **preemption by eviction** — when the pool cannot guarantee the next
+//!   token for every active sequence, the newest sequences are evicted
+//!   (pages freed, request re-queued at the front for restart) until the
+//!   remaining batch is safe — the recompute-on-restart strategy of
+//!   vLLM's PagedAttention scheduler.
+//!
+//! Per-sequence arithmetic is bit-exact with a legacy single-sequence
+//! [`oaken_model::Session`] run over the same quantizer, for every
+//! admission/retire interleaving — enforced by `tests/engine_props.rs`.
+
+use crate::scheduler::TokenScheduler;
+use oaken_model::{sample_greedy, BatchStep, Model, PagedKvPool, PoolBatchView, SeqId};
+use std::collections::VecDeque;
+
+/// One serving request with real token content: a prompt to prefill and a
+/// number of tokens to greedily decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineRequest {
+    /// Request id (unique per engine run).
+    pub id: u64,
+    /// Prompt tokens.
+    pub prompt: Vec<u32>,
+    /// Tokens to generate after the prompt.
+    pub max_new_tokens: usize,
+}
+
+impl EngineRequest {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty prompt or zero output budget.
+    pub fn new(id: u64, prompt: Vec<u32>, max_new_tokens: usize) -> Self {
+        assert!(!prompt.is_empty(), "prompt must not be empty");
+        assert!(max_new_tokens > 0, "must generate at least one token");
+        Self {
+            id,
+            prompt,
+            max_new_tokens,
+        }
+    }
+
+    /// Synthesizes deterministic prompt content for a length-only
+    /// [`crate::Request`] (trace replays carry lengths, not tokens).
+    pub fn from_lengths(req: &crate::Request, vocab_size: usize, seed: u64) -> Self {
+        let prompt = (0..req.input_len.max(1))
+            .map(|i| {
+                let x = (req.id ^ seed)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0xD134_2543_DE82_EF95);
+                ((x >> 33) % vocab_size as u64) as u32
+            })
+            .collect();
+        Self::new(req.id, prompt, req.output_len.max(1))
+    }
+
+    /// Tokens the pool holds when the request completes (the final sampled
+    /// token is returned, never fed back).
+    pub fn total_tokens(&self) -> usize {
+        self.prompt.len() + self.max_new_tokens - 1
+    }
+}
+
+/// How much pool capacity admission reserves per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Admit as soon as the *prompt* fits; decode growth is absorbed by
+    /// preemption under pressure (vLLM-style optimistic admission —
+    /// maximizes batch occupancy, exercises eviction).
+    #[default]
+    PromptOnly,
+    /// Admit only when the full `prompt + output` footprint fits
+    /// (conservative; preemption becomes a fragmentation-only edge case).
+    FullSequence,
+}
+
+/// Engine knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Maximum concurrent sequences per iteration.
+    pub max_batch: usize,
+    /// Admission reservation policy.
+    pub admission: AdmissionPolicy,
+    /// Record every decode-phase logits vector per request (for the
+    /// bit-exactness tests; memory-heavy on real vocabularies).
+    pub record_logits: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            admission: AdmissionPolicy::default(),
+            record_logits: false,
+        }
+    }
+}
+
+/// A completed (or failed) request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinishedRequest {
+    /// Request id.
+    pub id: u64,
+    /// Prompt length.
+    pub prompt_len: usize,
+    /// Greedily decoded tokens (empty for failed requests).
+    pub generated: Vec<u32>,
+    /// Decode-phase logits, present when `record_logits` was set.
+    pub logits: Vec<Vec<f32>>,
+    /// `false` when the request could never fit the pool and was dropped.
+    pub completed: bool,
+    /// Times the request was evicted and restarted.
+    pub preemptions: usize,
+}
+
+/// Aggregate counters over one engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Engine iterations executed.
+    pub iterations: u64,
+    /// Admissions (restarts after preemption count again).
+    pub admitted: u64,
+    /// Requests retired complete.
+    pub retired: u64,
+    /// Requests dropped as impossible (footprint exceeds the pool).
+    pub failed: u64,
+    /// Evictions under page pressure.
+    pub preemptions: u64,
+    /// Iterations where a queued request could not be admitted for lack
+    /// of pages (the capacity-stall signal of Figures 4/11).
+    pub admission_stalls: u64,
+    /// Largest concurrent batch observed.
+    pub peak_active: usize,
+    /// Prompt tokens fed.
+    pub prefill_tokens: u64,
+    /// Tokens generated.
+    pub decode_tokens: u64,
+    /// Sum over iterations of the generation core utilization.
+    utilization_sum: f64,
+}
+
+impl EngineStats {
+    /// Mean generation-phase core utilization across iterations.
+    pub fn mean_core_utilization(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.utilization_sum / self.iterations as f64
+        }
+    }
+}
+
+struct QueuedRequest {
+    req: EngineRequest,
+    preemptions: usize,
+}
+
+struct ActiveSeq {
+    req: EngineRequest,
+    seq: SeqId,
+    /// Tokens fed so far (prompt cursor while < prompt.len()).
+    pos: usize,
+    generated: Vec<u32>,
+    logits: Vec<Vec<f32>>,
+    preemptions: usize,
+}
+
+impl ActiveSeq {
+    fn next_token(&self) -> u32 {
+        if self.pos < self.req.prompt.len() {
+            self.req.prompt[self.pos]
+        } else {
+            *self
+                .generated
+                .last()
+                .expect("decode phase implies at least one generated token")
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.generated.len() >= self.req.max_new_tokens
+    }
+}
+
+/// The continuous-batching engine. See the module docs.
+pub struct BatchEngine<'m> {
+    model: &'m Model,
+    pool: PagedKvPool,
+    scheduler: TokenScheduler,
+    config: EngineConfig,
+    queue: VecDeque<QueuedRequest>,
+    active: Vec<ActiveSeq>,
+    finished: Vec<FinishedRequest>,
+    stats: EngineStats,
+}
+
+impl<'m> BatchEngine<'m> {
+    /// Creates an engine over a model, a shared pool (whose geometry must
+    /// match the model), and a core scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn new(
+        model: &'m Model,
+        pool: PagedKvPool,
+        scheduler: TokenScheduler,
+        config: EngineConfig,
+    ) -> Self {
+        assert!(config.max_batch > 0, "need at least one batch slot");
+        Self {
+            model,
+            pool,
+            scheduler,
+            config,
+            queue: VecDeque::new(),
+            active: Vec::new(),
+            finished: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Enqueues a request.
+    pub fn submit(&mut self, req: EngineRequest) {
+        assert!(
+            req.prompt
+                .iter()
+                .all(|&t| (t as usize) < self.model.config().vocab_size),
+            "prompt tokens must be in-vocabulary"
+        );
+        self.queue.push_back(QueuedRequest {
+            req,
+            preemptions: 0,
+        });
+    }
+
+    /// Requests finished so far.
+    pub fn finished(&self) -> &[FinishedRequest] {
+        &self.finished
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The shared pool (read-only).
+    pub fn pool(&self) -> &PagedKvPool {
+        &self.pool
+    }
+
+    /// Currently active sequences.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Queued (not yet admitted) requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs one engine iteration: admit, reserve capacity (possibly
+    /// preempting), advance every active sequence one token, retire
+    /// finished sequences, and refill their slots. Returns `false` once no
+    /// work remains.
+    pub fn step(&mut self) -> bool {
+        if self.active.is_empty() && self.queue.is_empty() {
+            return false;
+        }
+        self.stats.iterations += 1;
+        let mut stalled = self.admit();
+        self.reserve_capacity();
+        if self.active.is_empty() {
+            // Only impossible requests were queued and all got dropped.
+            if stalled {
+                self.stats.admission_stalls += 1;
+            }
+            return !self.queue.is_empty();
+        }
+
+        // Advance the whole batch one token (layer-major under the hood).
+        let seqs: Vec<SeqId> = self.active.iter().map(|a| a.seq).collect();
+        let steps: Vec<BatchStep> = self
+            .active
+            .iter()
+            .enumerate()
+            .map(|(slot, a)| BatchStep {
+                slot,
+                pos: a.pos,
+                token: a.next_token(),
+            })
+            .collect();
+        let mut view = PoolBatchView::new(&mut self.pool, &seqs);
+        let logits = self.model.forward_batch(&mut view, &steps, None);
+
+        for (a, lg) in self.active.iter_mut().zip(logits) {
+            let fed_prompt = a.pos < a.req.prompt.len();
+            a.pos += 1;
+            if fed_prompt {
+                self.stats.prefill_tokens += 1;
+            }
+            if a.pos < a.req.prompt.len() {
+                continue; // still prefilling: logits are not sampled
+            }
+            a.generated.push(sample_greedy(&lg));
+            self.stats.decode_tokens += 1;
+            if self.config.record_logits {
+                a.logits.push(lg);
+            }
+        }
+
+        // §5.3 generation-phase core picture for this iteration.
+        let ctx: Vec<f64> = self.active.iter().map(|a| a.pos as f64).collect();
+        let assignment = self.scheduler.assign_generation_least_loaded(&ctx);
+        self.stats.utilization_sum += assignment.core_utilization();
+
+        self.retire();
+        // Freed pages refill their slots in the same step.
+        stalled |= self.admit();
+        if stalled {
+            self.stats.admission_stalls += 1;
+        }
+        !self.active.is_empty() || !self.queue.is_empty()
+    }
+
+    /// Runs until every submitted request is finished or dropped.
+    pub fn run(&mut self) -> &[FinishedRequest] {
+        while self.step() {}
+        &self.finished
+    }
+
+    /// Pages the admission policy has promised to active sequences but
+    /// that are not yet physically allocated. Admission must leave this
+    /// headroom untouched, otherwise "reserving" would be a no-op until
+    /// the pages actually allocate and `FullSequence` would over-admit.
+    fn committed_pages(&self) -> u64 {
+        self.active
+            .iter()
+            .map(|a| {
+                let promised = match self.config.admission {
+                    AdmissionPolicy::PromptOnly => self.pool.pages_for_tokens(a.req.prompt.len()),
+                    AdmissionPolicy::FullSequence => {
+                        self.pool.pages_for_tokens(a.req.total_tokens())
+                    }
+                };
+                promised.saturating_sub(u64::from(self.pool.seq_pages(a.seq)))
+            })
+            .sum()
+    }
+
+    /// Drops a request that can never (or can no longer) complete.
+    fn fail(&mut self, req: EngineRequest, preemptions: usize) {
+        self.stats.failed += 1;
+        self.finished.push(FinishedRequest {
+            id: req.id,
+            prompt_len: req.prompt.len(),
+            generated: Vec::new(),
+            logits: Vec::new(),
+            completed: false,
+            preemptions,
+        });
+    }
+
+    /// Admits queue-front requests while the pool has pages and batch
+    /// slots. Requests that can never complete — footprint beyond the
+    /// whole pool, or sequence length beyond the model's `max_seq_len` —
+    /// are dropped as failed. Returns whether a possible request was left
+    /// waiting for pages (an admission stall).
+    fn admit(&mut self) -> bool {
+        let mut stalled = false;
+        while self.active.len() < self.config.max_batch {
+            let Some(front) = self.queue.front() else {
+                break;
+            };
+            let full = self.pool.pages_for_tokens(front.req.total_tokens());
+            if full > u64::from(self.pool.capacity_pages())
+                || front.req.total_tokens() > self.model.config().max_seq_len
+            {
+                let q = self.queue.pop_front().expect("front exists");
+                self.fail(q.req, q.preemptions);
+                continue;
+            }
+            let reserve = match self.config.admission {
+                AdmissionPolicy::PromptOnly => self.pool.pages_for_tokens(front.req.prompt.len()),
+                AdmissionPolicy::FullSequence => full,
+            };
+            if reserve + self.committed_pages() > u64::from(self.pool.free_pages()) {
+                stalled = true;
+                break;
+            }
+            let q = self.queue.pop_front().expect("front exists");
+            let seq = self.pool.alloc_seq();
+            self.stats.admitted += 1;
+            self.active.push(ActiveSeq {
+                req: q.req,
+                seq,
+                pos: 0,
+                generated: Vec::new(),
+                logits: Vec::new(),
+                preemptions: q.preemptions,
+            });
+        }
+        self.stats.peak_active = self.stats.peak_active.max(self.active.len());
+        stalled
+    }
+
+    /// Guarantees the pool can absorb one token from every active
+    /// sequence, evicting the newest sequences (restart-on-preempt) until
+    /// it can. A sequence that cannot proceed even alone is dropped.
+    fn reserve_capacity(&mut self) {
+        loop {
+            let needed: u32 = self
+                .active
+                .iter()
+                .map(|a| {
+                    self.pool
+                        .pages_possibly_needed(a.seq)
+                        .expect("active sequences are live in the pool")
+                })
+                .sum();
+            if needed <= self.pool.free_pages() {
+                return;
+            }
+            let a = self.active.pop().expect("pressure implies active seqs");
+            self.pool
+                .free_seq(a.seq)
+                .expect("active sequences are live in the pool");
+            if self.active.is_empty() {
+                // Even alone, the *worst-case* bound says the sequence
+                // cannot take one more token. The bound is deliberately
+                // conservative (appends must never fail mid-forward), so
+                // at the extreme margin this can drop a request whose
+                // actual encoded rows would still have squeezed into the
+                // page tails — safety over utilization.
+                self.fail(a.req, a.preemptions);
+                return;
+            }
+            self.stats.preemptions += 1;
+            self.queue.push_front(QueuedRequest {
+                req: a.req,
+                preemptions: a.preemptions + 1,
+            });
+        }
+    }
+
+    /// Retires finished sequences, freeing their pages immediately.
+    fn retire(&mut self) {
+        let mut i = 0;
+        while i < self.active.len() {
+            if !self.active[i].finished() {
+                i += 1;
+                continue;
+            }
+            let a = self.active.remove(i);
+            self.pool
+                .free_seq(a.seq)
+                .expect("active sequences are live in the pool");
+            self.stats.retired += 1;
+            self.finished.push(FinishedRequest {
+                id: a.req.id,
+                prompt_len: a.req.prompt.len(),
+                generated: a.generated,
+                logits: a.logits,
+                completed: true,
+                preemptions: a.preemptions,
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for BatchEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchEngine")
+            .field("active", &self.active.len())
+            .field("queued", &self.queue.len())
+            .field("finished", &self.finished.len())
+            .field("free_pages", &self.pool.free_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oaken_model::{ModelConfig, PagedKvPool};
+
+    fn tiny_model() -> Model {
+        Model::synthetic(ModelConfig::llama2_7b().proxy(2, 32), 42)
+    }
+
+    fn engine_with_pages<'m>(
+        model: &'m Model,
+        pages: u32,
+        config: EngineConfig,
+    ) -> BatchEngine<'m> {
+        let pool = PagedKvPool::for_model(model.config(), None, pages, 512);
+        BatchEngine::new(model, pool, TokenScheduler::new(4), config)
+    }
+
+    fn req(id: u64, prompt_len: usize, out: usize) -> EngineRequest {
+        EngineRequest::new(
+            id,
+            (0..prompt_len as u32)
+                .map(|i| (i * 7 + id as u32) % 256)
+                .collect(),
+            out,
+        )
+    }
+
+    #[test]
+    fn single_request_completes() {
+        let m = tiny_model();
+        let mut e = engine_with_pages(&m, 512, EngineConfig::default());
+        e.submit(req(0, 4, 3));
+        let fin = e.run().to_vec();
+        assert_eq!(fin.len(), 1);
+        assert!(fin[0].completed);
+        assert_eq!(fin[0].generated.len(), 3);
+        assert_eq!(e.stats().retired, 1);
+        assert_eq!(e.stats().prefill_tokens, 4);
+        assert_eq!(e.stats().decode_tokens, 3);
+        // All pages returned.
+        assert_eq!(e.pool().free_pages(), e.pool().capacity_pages());
+    }
+
+    #[test]
+    fn retired_slots_refill_immediately() {
+        let m = tiny_model();
+        let mut e = engine_with_pages(
+            &m,
+            512,
+            EngineConfig {
+                max_batch: 2,
+                ..EngineConfig::default()
+            },
+        );
+        for id in 0..5 {
+            e.submit(req(id, 2, 2));
+        }
+        e.run();
+        assert_eq!(e.stats().retired, 5);
+        assert_eq!(e.stats().peak_active, 2);
+        // 5 requests × 3 steps each (2 prefill-ish + decode), two at a
+        // time: the run cannot have taken 5 × 3 sequential iterations.
+        assert!(e.stats().iterations < 15, "{:?}", e.stats());
+    }
+
+    #[test]
+    fn impossible_request_fails_cleanly() {
+        let m = tiny_model();
+        // 36 pages: enough for one short sequence (this geometry's page
+        // floor is 32 streams × 1 page), far too small for request 0.
+        let mut e = engine_with_pages(&m, 36, EngineConfig::default());
+        e.submit(req(0, 200, 100));
+        e.submit(req(1, 2, 2));
+        let fin = e.run().to_vec();
+        assert_eq!(fin.len(), 2);
+        let failed = fin.iter().find(|f| f.id == 0).unwrap();
+        assert!(!failed.completed);
+        assert!(failed.generated.is_empty());
+        let ok = fin.iter().find(|f| f.id == 1).unwrap();
+        assert!(ok.completed);
+        assert_eq!(e.stats().failed, 1);
+    }
+
+    #[test]
+    fn tight_pool_stalls_admission_but_completes_everything() {
+        let m = tiny_model();
+        // 40 pages holds exactly one 32-page sequence at a time.
+        let mut e = engine_with_pages(
+            &m,
+            40,
+            EngineConfig {
+                max_batch: 4,
+                admission: AdmissionPolicy::FullSequence,
+                ..EngineConfig::default()
+            },
+        );
+        for id in 0..4 {
+            e.submit(req(id, 6, 4));
+        }
+        let fin = e.run().to_vec();
+        assert_eq!(fin.len(), 4);
+        assert!(fin.iter().all(|f| f.completed), "{fin:?}");
+        assert!(
+            e.stats().admission_stalls > 0,
+            "a 16-page pool must stall admission: {:?}",
+            e.stats()
+        );
+    }
+
+    #[test]
+    fn optimistic_admission_preempts_under_pressure() {
+        let m = tiny_model();
+        // 70 pages: prompt-only admission packs two sequences (32 pages
+        // promised each), but their decode growth to 64 pages each must
+        // overflow and evict.
+        let mut e = engine_with_pages(
+            &m,
+            70,
+            EngineConfig {
+                max_batch: 4,
+                admission: AdmissionPolicy::PromptOnly,
+                ..EngineConfig::default()
+            },
+        );
+        for id in 0..4 {
+            e.submit(req(id, 4, 40));
+        }
+        let fin = e.run().to_vec();
+        assert_eq!(fin.len(), 4);
+        assert!(fin.iter().all(|f| f.completed), "{fin:?}");
+        assert!(
+            e.stats().preemptions > 0,
+            "long decodes over an optimistically packed pool must evict: {:?}",
+            e.stats()
+        );
+        assert!(fin.iter().any(|f| f.preemptions > 0));
+    }
+
+    #[test]
+    fn over_long_request_fails_instead_of_panicking() {
+        let m = tiny_model(); // proxy max_seq_len = 512
+        let mut e = engine_with_pages(&m, 100_000, EngineConfig::default());
+        e.submit(req(0, 200, 400)); // 599 cached tokens > 512
+        e.submit(req(1, 3, 3));
+        let fin = e.run().to_vec();
+        assert!(!fin.iter().find(|f| f.id == 0).unwrap().completed);
+        assert!(fin.iter().find(|f| f.id == 1).unwrap().completed);
+    }
+
+    #[test]
+    fn utilization_is_tracked() {
+        let m = tiny_model();
+        let mut e = engine_with_pages(&m, 256, EngineConfig::default());
+        e.submit(req(0, 3, 3));
+        e.run();
+        let u = e.stats().mean_core_utilization();
+        assert!(u > 0.0 && u <= 1.0, "{u}");
+    }
+}

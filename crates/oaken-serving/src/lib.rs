@@ -1,6 +1,8 @@
-//! Batched LLM serving simulation: request synthesis from production-trace
-//! statistics, token-level batch scheduling (§5.3), and trace-driven
-//! throughput measurement (Figure 14).
+//! Batched LLM serving: request synthesis from production-trace
+//! statistics, token-level batch scheduling (§5.3), trace-driven
+//! throughput measurement (Figure 14), and — in [`engine`] — a
+//! continuous-batching engine that *executes* the model over a shared
+//! paged quantized KV pool rather than estimating throughput analytically.
 //!
 //! The paper's real-world benchmark follows the NeuPIMs methodology:
 //! requests are sampled from two Azure production traces — *Conversation*
@@ -11,11 +13,15 @@
 //! length distributions; what Figure 14 exercises is precisely the
 //! input/output length *ratio*, which the synthesizers preserve.
 
+pub mod engine;
 pub mod request;
 pub mod scheduler;
 pub mod simulate;
 pub mod traces;
 
+pub use engine::{
+    AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, EngineStats, FinishedRequest,
+};
 pub use request::Request;
 pub use scheduler::{CoreAssignment, TokenScheduler};
 pub use simulate::{simulate_trace, TraceResult};

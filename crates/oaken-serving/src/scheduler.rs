@@ -62,6 +62,43 @@ impl TokenScheduler {
         }
     }
 
+    /// Least-loaded generation assignment: requests are placed on the core
+    /// with the smallest accumulated load, heaviest requests first (LPT
+    /// scheduling). `loads[i]` is request `i`'s per-iteration cost — in
+    /// generation that is its context length, since attention reads the
+    /// whole cached prefix — so long-context requests stop piling onto the
+    /// same core the way position-based round-robin lets them.
+    pub fn assign_generation_least_loaded(&self, loads: &[f64]) -> CoreAssignment {
+        let mut order: Vec<usize> = (0..loads.len()).collect();
+        // Heaviest first; ties broken by request index for determinism.
+        order.sort_by(|&a, &b| {
+            loads[b]
+                .partial_cmp(&loads[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut core_load = vec![0.0f64; self.num_cores];
+        let mut core_of = vec![0usize; loads.len()];
+        for req in order {
+            let core = core_load
+                .iter()
+                .enumerate()
+                .min_by(|(ca, la), (cb, lb)| {
+                    la.partial_cmp(lb)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(ca.cmp(cb))
+                })
+                .map(|(c, _)| c)
+                .expect("at least one core");
+            core_of[req] = core;
+            core_load[core] += loads[req];
+        }
+        CoreAssignment {
+            core_of,
+            num_cores: self.num_cores,
+        }
+    }
+
     /// Number of sequential core-rounds one generation iteration takes
     /// (`ceil(active/cores)`): beyond one round, per-core serialization
     /// stretches the iteration.
@@ -148,6 +185,66 @@ mod tests {
         assert_eq!(waves.len(), 3);
         assert_eq!(waves[2].len(), 2);
         assert!(s.admission_waves(&reqs, 0).is_empty());
+    }
+
+    #[test]
+    fn least_loaded_beats_round_robin_on_skewed_contexts() {
+        let s = TokenScheduler::new(2);
+        // Index-based round-robin stacks the long contexts (even indices)
+        // onto core 0; least-loaded must split them and never finish later
+        // than round-robin's slowest core.
+        let loads = [800.0, 100.0, 700.0, 90.0, 600.0, 80.0];
+        let max_core_load = |a: &CoreAssignment| {
+            let mut per_core = vec![0.0f64; a.num_cores];
+            for (i, &c) in a.core_of.iter().enumerate() {
+                per_core[c] += loads[i];
+            }
+            per_core.into_iter().fold(0.0f64, f64::max)
+        };
+        let rr = s.assign_generation(loads.len());
+        let ll = s.assign_generation_least_loaded(&loads);
+        assert!(ll.core_of.iter().all(|&c| c < 2));
+        assert_ne!(ll.core_of[0], ll.core_of[2], "two heaviest must split");
+        assert!(
+            max_core_load(&ll) <= max_core_load(&rr),
+            "least-loaded {} vs round-robin {}",
+            max_core_load(&ll),
+            max_core_load(&rr)
+        );
+        assert_eq!(ll.core_utilization(), 1.0);
+    }
+
+    /// Regression: on *shrinking* active sets (requests completing during
+    /// generation, Figure 3b), the utilization picture reported by
+    /// round-robin and least-loaded must agree — both fill `min(active,
+    /// cores)` cores with at most `ceil(active/cores)` requests each.
+    #[test]
+    fn utilization_agrees_between_strategies_on_shrinking_sets() {
+        let s = TokenScheduler::new(16);
+        for active in (0..=48).rev() {
+            let rr = s.assign_generation(active);
+            let loads: Vec<f64> = (0..active).map(|i| 64.0 + i as f64).collect();
+            let ll = s.assign_generation_least_loaded(&loads);
+            let expected_util = (active.min(16)) as f64 / 16.0;
+            assert!(
+                (rr.core_utilization() - expected_util).abs() < 1e-9,
+                "rr at {active}"
+            );
+            assert!(
+                (ll.core_utilization() - expected_util).abs() < 1e-9,
+                "ll at {active}"
+            );
+            assert_eq!(
+                rr.max_per_core(),
+                active.div_ceil(16),
+                "rr rounds at {active}"
+            );
+            assert_eq!(
+                ll.max_per_core(),
+                rr.max_per_core(),
+                "ll rounds at {active}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Bit-exactness guard for the continuous-batching engine: batched decode
+//! over the shared paged pool must be indistinguishable — token for token,
+//! logit bit for logit bit — from independent legacy `Session` runs, for
+//! any admission/retire interleaving.
+
+use oaken_core::{KvQuantizer, OakenConfig};
+use oaken_eval::harness::profile_oaken;
+use oaken_model::{sample_greedy, Model, ModelConfig, PagedKvPool, QuantizedCache, Session};
+use oaken_serving::{AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, TokenScheduler};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn tiny_model() -> Model {
+    Model::synthetic(ModelConfig::llama2_7b().proxy(2, 32), 7)
+}
+
+/// Profiles an Oaken quantizer on the model's *actual* KV distribution via
+/// the observer hook (the paper's offline phase, shared with the Table 2
+/// harness), so the online thresholds are realistic for these weights.
+fn profiled_oaken(model: &Model) -> Arc<dyn KvQuantizer> {
+    Arc::new(profile_oaken(model, OakenConfig::default(), 6, 8, 5))
+}
+
+/// Greedy reference decode through the legacy single-sequence `Session`.
+fn reference_decode(
+    model: &Model,
+    quantizer: Option<Arc<dyn KvQuantizer>>,
+    prompt: &[u32],
+    max_new: usize,
+) -> (Vec<u32>, Vec<Vec<f32>>) {
+    let mut session: Session = match quantizer {
+        Some(q) => model.session(Box::new(QuantizedCache::new(q))),
+        None => model.session(Box::new(oaken_model::ExactCache::new())),
+    };
+    let mut logits = session.prefill(prompt);
+    let mut tokens = Vec::new();
+    let mut all_logits = Vec::new();
+    for _ in 0..max_new {
+        let tok = sample_greedy(&logits);
+        tokens.push(tok);
+        all_logits.push(logits.clone());
+        if tokens.len() == max_new {
+            break;
+        }
+        logits = session.advance(tok);
+    }
+    (tokens, all_logits)
+}
+
+fn assert_bit_identical(a: &[Vec<f32>], b: &[Vec<f32>], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: logits count");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let xb: Vec<u32> = x.iter().map(|v| v.to_bits()).collect();
+        let yb: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(xb, yb, "{ctx}: logits diverged at decode step {i}");
+    }
+}
+
+fn run_engine_and_compare(
+    model: &Model,
+    quantizer: Option<Arc<dyn KvQuantizer>>,
+    requests: &[(Vec<u32>, usize)],
+    max_batch: usize,
+    num_pages: u32,
+    admission: AdmissionPolicy,
+) {
+    let pool = PagedKvPool::for_model(model.config(), quantizer.clone(), num_pages, 512);
+    let mut engine = BatchEngine::new(
+        model,
+        pool,
+        TokenScheduler::new(4),
+        EngineConfig {
+            max_batch,
+            admission,
+            record_logits: true,
+        },
+    );
+    for (id, (prompt, max_new)) in requests.iter().enumerate() {
+        engine.submit(EngineRequest::new(id as u64, prompt.clone(), *max_new));
+    }
+    engine.run();
+    assert_eq!(engine.finished().len(), requests.len());
+    for fin in engine.finished() {
+        let (prompt, max_new) = &requests[fin.id as usize];
+        assert!(
+            fin.completed,
+            "request {} must complete (pool {num_pages} pages)",
+            fin.id
+        );
+        let (ref_tokens, ref_logits) = reference_decode(model, quantizer.clone(), prompt, *max_new);
+        assert_eq!(
+            fin.generated, ref_tokens,
+            "request {}: generated tokens differ from the legacy Session",
+            fin.id
+        );
+        assert_bit_identical(&fin.logits, &ref_logits, &format!("request {}", fin.id));
+    }
+}
+
+/// The acceptance bar: 8 concurrent sequences through one engine are
+/// bit-identical, per sequence, to 8 independent legacy `Session` runs.
+#[test]
+fn eight_concurrent_sequences_match_eight_sessions_bitwise() {
+    let model = tiny_model();
+    let quantizer = profiled_oaken(&model);
+    let requests: Vec<(Vec<u32>, usize)> = (0..8u32)
+        .map(|r| {
+            let prompt: Vec<u32> = (0..4 + r % 5).map(|i| (r * 37 + i * 11) % 256).collect();
+            (prompt, 3 + (r as usize % 4))
+        })
+        .collect();
+    run_engine_and_compare(
+        &model,
+        Some(quantizer),
+        &requests,
+        8,
+        4096,
+        AdmissionPolicy::FullSequence,
+    );
+}
+
+#[test]
+fn exact_pool_matches_exact_cache_sessions() {
+    let model = tiny_model();
+    let requests: Vec<(Vec<u32>, usize)> = (0..4u32)
+        .map(|r| ((0..6).map(|i| (r * 53 + i * 29) % 256).collect(), 4))
+        .collect();
+    run_engine_and_compare(
+        &model,
+        None,
+        &requests,
+        4,
+        4096,
+        AdmissionPolicy::FullSequence,
+    );
+}
+
+/// Preempted-and-restarted sequences must still match the reference: the
+/// restart recomputes the prefix through the same streams.
+#[test]
+fn preemption_preserves_bit_exactness() {
+    let model = tiny_model();
+    let quantizer = profiled_oaken(&model);
+    let requests: Vec<(Vec<u32>, usize)> = (0..4u32)
+        .map(|r| ((0..4).map(|i| (r * 41 + i * 17) % 256).collect(), 40))
+        .collect();
+    // 70 pages with optimistic admission: decode growth forces eviction
+    // (same shape as the engine's unit test, which asserts preemptions).
+    run_engine_and_compare(
+        &model,
+        Some(quantizer),
+        &requests,
+        4,
+        70,
+        AdmissionPolicy::PromptOnly,
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random admission/retire schedules: arbitrary request mixes, batch
+    /// limits, and pool sizes (large enough that every request *can*
+    /// complete) never cross-contaminate sequences.
+    #[test]
+    fn random_schedules_never_cross_contaminate(
+        shapes in prop::collection::vec((1usize..10, 1usize..6, 0u32..1000), 1..6),
+        max_batch in 1usize..5,
+        optimistic in any::<bool>(),
+    ) {
+        let model = tiny_model();
+        let quantizer = profiled_oaken(&model);
+        let requests: Vec<(Vec<u32>, usize)> = shapes
+            .iter()
+            .map(|&(plen, max_new, salt)| {
+                let prompt = (0..plen as u32).map(|i| (salt + i * 13) % 256).collect();
+                (prompt, max_new)
+            })
+            .collect();
+        let admission = if optimistic {
+            AdmissionPolicy::PromptOnly
+        } else {
+            AdmissionPolicy::FullSequence
+        };
+        run_engine_and_compare(&model, Some(quantizer), &requests, max_batch, 2048, admission);
+    }
+}

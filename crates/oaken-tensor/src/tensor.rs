@@ -405,6 +405,73 @@ impl Tensor {
         Ok(out)
     }
 
+    /// Matrix-vector product against *several* vectors at once:
+    /// `(m,k) × n·(k,) → n·(m,)` — the batched-decode primitive.
+    ///
+    /// Each weight row is loaded once and dotted against every input
+    /// before moving on, so (a) the row stays in L1 across the batch and
+    /// (b) the `n` accumulator chains are independent, letting the FP
+    /// adders pipeline instead of serializing on one dot's dependency
+    /// chain. This is where batched decode gets its measured throughput:
+    /// one weight sweep serves the whole batch, exactly like a GEMV
+    /// widened into a GEMM on real hardware.
+    ///
+    /// Per input, the accumulation order is identical to
+    /// [`Tensor::matvec`], so `matvec_batch(&[x])[0]` is bit-exact with
+    /// `matvec(x)` and results never depend on the co-batched vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] unless `self` is rank 2
+    /// and every vector's length equals the column count.
+    pub fn matvec_batch(&self, xs: &[&[f32]]) -> Result<Vec<Vec<f32>>, TensorError> {
+        for v in xs {
+            if self.rank() != 2 || self.shape[1] != v.len() {
+                return Err(TensorError::IncompatibleShapes {
+                    lhs: self.shape.clone(),
+                    rhs: vec![v.len()],
+                    op: "matvec_batch",
+                });
+            }
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let mut outs = vec![vec![0.0f32; m]; xs.len()];
+        let mut start = 0usize;
+        while start < xs.len() {
+            let n = (xs.len() - start).min(MATVEC_CHUNK);
+            if n == 1 {
+                // A lone vector gains nothing from interleaving; take the
+                // single-sequence dot path (identical accumulation order).
+                let x = xs[start];
+                for (i, o) in outs[start].iter_mut().enumerate() {
+                    *o = dot(&self.data[i * k..(i + 1) * k], x);
+                }
+                start += 1;
+                continue;
+            }
+            // Re-slice each input to exactly `k` elements so the indexed
+            // loads below are provably in bounds and check-free.
+            let mut chunk = [&[] as &[f32]; MATVEC_CHUNK];
+            for (c, x) in chunk[..n].iter_mut().zip(&xs[start..start + n]) {
+                *c = &x[..k];
+            }
+            for i in 0..m {
+                let row = &self.data[i * k..(i + 1) * k];
+                let mut acc = [0.0f32; MATVEC_CHUNK];
+                for (j, &w) in row.iter().enumerate() {
+                    for (a, x) in acc[..n].iter_mut().zip(&chunk[..n]) {
+                        *a += w * x[j];
+                    }
+                }
+                for (s, &a) in acc[..n].iter().enumerate() {
+                    outs[start + s][i] = a;
+                }
+            }
+            start += n;
+        }
+        Ok(outs)
+    }
+
     /// Transposes a rank-2 tensor.
     ///
     /// # Errors
@@ -438,6 +505,11 @@ impl Default for Tensor {
         }
     }
 }
+
+/// Sequences interleaved per weight row by [`Tensor::matvec_batch`]:
+/// enough independent FP-add chains to hide the add latency, few enough
+/// that the accumulators stay in registers.
+const MATVEC_CHUNK: usize = 8;
 
 /// Dot product of two equal-length slices.
 ///
@@ -502,6 +574,43 @@ mod tests {
         let vm = Tensor::from_vec(v.clone(), &[3, 1]).unwrap();
         let want = a.matmul(&vm).unwrap();
         assert_eq!(got, want.as_slice());
+    }
+
+    #[test]
+    fn matvec_batch_bit_exact_with_matvec() {
+        // 3 rows × 17 cols with awkward values so any reassociation of the
+        // accumulation order would change the bits.
+        let k = 17;
+        let data: Vec<f32> = (0..3 * k)
+            .map(|i| ((i * 2654435761) % 997) as f32 / 131.0 - 3.7)
+            .collect();
+        let a = Tensor::from_vec(data, &[3, k]).unwrap();
+        // 11 vectors crosses the interleave-chunk boundary.
+        let xs: Vec<Vec<f32>> = (0..11)
+            .map(|s| {
+                (0..k)
+                    .map(|j| ((s * 31 + j * 7) % 23) as f32 / 7.0 - 1.5)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let batch = a.matvec_batch(&refs).unwrap();
+        assert_eq!(batch.len(), 11);
+        for (s, x) in xs.iter().enumerate() {
+            let single = a.matvec(x).unwrap();
+            let sb: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = batch[s].iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, bb, "sequence {s} diverged");
+        }
+    }
+
+    #[test]
+    fn matvec_batch_checks_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let good = [0.0f32; 3];
+        let bad = [0.0f32; 2];
+        assert!(a.matvec_batch(&[&good, &bad]).is_err());
+        assert!(a.matvec_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! | [`eval`] | `oaken-eval` | datasets, perplexity, zero-shot, distribution probes |
 //! | [`mmu`] | `oaken-mmu` | page-based dense/sparse memory management unit |
 //! | [`accel`] | `oaken-accel` | accelerator/GPU performance, area, power simulator |
-//! | [`serving`] | `oaken-serving` | batch scheduling, traces, serving simulation |
+//! | [`serving`] | `oaken-serving` | batch scheduling, traces, serving simulation, executed `BatchEngine` |
 //!
 //! # Quickstart
 //!

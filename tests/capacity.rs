@@ -79,6 +79,47 @@ fn quantization_extends_max_batch_by_bit_ratio() {
 }
 
 #[test]
+fn analytic_and_pool_admission_share_bytes_per_token() {
+    // Regression for the duplicated-capacity-math fix: the analytic model
+    // (`SystemModel::max_concurrent_batch`) and the executed pool's
+    // admission both route through `ModelConfig::kv_bytes_per_token`, so
+    // at matched bit-widths the pool's nominal page demand must equal the
+    // analytic per-request KV bytes, modulo only page rounding.
+    use oaken::model::PagedKvPool;
+
+    let m = ModelConfig::llama2_7b().proxy(4, 256);
+    let bits = 32.0; // exact pool
+    let sys = SystemModel::new(AcceleratorSpec::oaken_lpddr(), QuantPolicy::fp16());
+    let page_size = 4096usize;
+    let pool = PagedKvPool::for_model(&m, None, 4096, page_size);
+
+    for tokens in [64usize, 256, 1024] {
+        let analytic_bytes = tokens as u64 * m.kv_bytes_per_token(bits);
+        assert_eq!(
+            pool.bytes_per_token(),
+            m.kv_bytes_per_token(bits),
+            "pool must use the shared bytes-per-token helper"
+        );
+        let pool_pages = pool.pages_for_tokens(tokens);
+        let analytic_pages = analytic_bytes.div_ceil(page_size as u64);
+        // Per-stream rounding can only add pages (≤ one page per stream),
+        // never remove them.
+        let streams = 2 * m.num_layers as u64 * m.num_kv_heads as u64;
+        assert!(
+            pool_pages >= analytic_pages && pool_pages <= analytic_pages + streams,
+            "tokens {tokens}: pool {pool_pages} vs analytic {analytic_pages} (+{streams} max)"
+        );
+    }
+    // And the analytic side itself: memory_required decomposes into the
+    // shared helpers exactly.
+    let req = sys.memory_required(&m, 8, 2048);
+    assert_eq!(
+        req,
+        sys.reserved_bytes(&m) + 8 * sys.kv_bytes_per_request(&m, 2048)
+    );
+}
+
+#[test]
 fn weights_that_do_not_fit_are_always_oom() {
     // Llama2-70B FP16 weights exceed 80 GB: every batch OOMs on HBM.
     let m = ModelConfig::llama2_70b();
