@@ -45,6 +45,12 @@ impl KvQuantizer for Fp16Reference {
     fn row_stream(&self, d: usize, _layer: usize, _kind: KvKind) -> Option<Box<dyn KvRowStream>> {
         Some(Box::new(Fp16RowStream { d, rows: 0 }))
     }
+
+    /// Each element converts to FP16 independently — trivially a pure
+    /// function of the row, so FP16 pages are prefix-shareable.
+    fn prefix_deterministic(&self) -> bool {
+        true
+    }
 }
 
 /// Streaming FP16 path: each element converts independently, so appends

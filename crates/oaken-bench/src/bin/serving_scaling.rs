@@ -4,7 +4,7 @@
 //! measured counterpart of the analytic Figure 11/14 curves (and the
 //! committed `BENCH_serving.json` baseline).
 //!
-//! Two sweeps:
+//! Three sweeps:
 //!
 //! 1. **Batch sweep** — a fixed request set replayed at growing `max_batch`.
 //!    The engine's layer-major forward pass dots each weight row against
@@ -15,6 +15,11 @@
 //! 2. **Capacity sweep** — fixed batch over a shrinking page pool,
 //!    measuring admission stalls and preemptions as capacity bites (the
 //!    executed version of the Figure 4/11 OOM story).
+//! 3. **Prefix-overlap sweep** — a shared-system-prompt trace at 0%, 50%,
+//!    and 100% prompt overlap, on an ample and a tight pool: trie hits
+//!    skip prefill work (higher tok/s, lower time-to-first-token),
+//!    deduplicated pages admit more concurrency under pressure (fewer
+//!    admission stalls).
 //!
 //! Usage: `cargo run --release -p oaken-bench --bin serving_scaling
 //! [--smoke] [out.json]` — `--smoke` runs a tiny model for 2 decode
@@ -42,6 +47,12 @@ struct Workload {
     ample_pages: u32,
     page_size: usize,
     repeats: usize,
+    /// Prefix-overlap sweep: `(prompt_len, output_len)` of the
+    /// shared-system-prompt trace, its block granularity, and the tight
+    /// pool used for the admission-stall comparison.
+    overlap_shape: (usize, usize),
+    overlap_block_tokens: usize,
+    overlap_tight_pages: u32,
 }
 
 /// Profiles Oaken thresholds on the model's own KV distribution (offline
@@ -66,6 +77,30 @@ fn requests(n: usize, input_len: usize, output_len: usize) -> Vec<EngineRequest>
         .collect()
 }
 
+/// A shared-system-prompt trace: every request starts with the identical
+/// `shared`-token prefix, the rest is request-unique.
+fn shared_requests(
+    n: usize,
+    input_len: usize,
+    output_len: usize,
+    shared: usize,
+) -> Vec<EngineRequest> {
+    (0..n as u64)
+        .map(|id| {
+            EngineRequest::from_lengths_with_shared_prefix(
+                &Request {
+                    id,
+                    input_len,
+                    output_len,
+                },
+                256,
+                0xBEEF,
+                shared,
+            )
+        })
+        .collect()
+}
+
 fn workload(smoke: bool) -> Workload {
     if smoke {
         let model = Model::synthetic(ModelConfig::llama2_7b().proxy(2, 32), 11);
@@ -79,6 +114,9 @@ fn workload(smoke: bool) -> Workload {
             model,
             quantizer,
             repeats: 1,
+            overlap_shape: (12, 2),
+            overlap_block_tokens: 8,
+            overlap_tight_pages: 256,
         }
     } else {
         // Sized so the per-layer weights (~28 MB) dwarf the private
@@ -96,6 +134,9 @@ fn workload(smoke: bool) -> Workload {
             model,
             quantizer,
             repeats: 3,
+            overlap_shape: (128, 16),
+            overlap_block_tokens: 32,
+            overlap_tight_pages: 768,
         }
     }
 }
@@ -120,6 +161,7 @@ fn run_once(w: &Workload, max_batch: usize, pages: u32) -> Measurement {
             max_batch,
             admission: AdmissionPolicy::PromptOnly,
             record_logits: false,
+            prefill_token_budget: 16,
         },
     );
     for r in &w.requests {
@@ -137,6 +179,82 @@ fn run_once(w: &Workload, max_batch: usize, pages: u32) -> Measurement {
     Measurement {
         tokens_per_sec: stats.decode_tokens as f64 / secs,
         stats,
+    }
+}
+
+struct OverlapMeasurement {
+    tokens_per_sec: f64,
+    mean_ttft_iters: f64,
+    stats: EngineStats,
+    stalls_tight: u64,
+}
+
+/// One point of the prefix-overlap sweep: 8 requests over a shared system
+/// prompt covering `overlap_pct` of the input. Request 0 is submitted
+/// first and the rest arrive the moment its prefill completes (while it
+/// still holds its sealed blocks), so later requests exercise alloc-time
+/// trie hits — the cache-hot steady state of a shared-prompt service.
+/// Runs on the ample pool for throughput/TTFT and on the tight pool for
+/// the admission-stall comparison.
+fn run_overlap(w: &Workload, overlap_pct: usize) -> OverlapMeasurement {
+    let (input_len, output_len) = w.overlap_shape;
+    let shared = input_len * overlap_pct / 100;
+    let reqs = shared_requests(8, input_len, output_len, shared);
+    let run = |pages: u32| -> (f64, EngineStats, f64) {
+        let mut pool = PagedKvPool::for_model(
+            w.model.config(),
+            Some(w.quantizer.clone()),
+            pages,
+            w.page_size,
+        );
+        pool.set_block_tokens(w.overlap_block_tokens);
+        let mut engine = BatchEngine::new(
+            &w.model,
+            pool,
+            TokenScheduler::new(8),
+            EngineConfig {
+                max_batch: 8,
+                admission: AdmissionPolicy::PromptOnly,
+                record_logits: false,
+                prefill_token_budget: 16,
+            },
+        );
+        let mut it = reqs.iter().cloned();
+        let start = Instant::now();
+        engine.submit(it.next().expect("8 requests"));
+        while engine.stats().decode_tokens == 0 && engine.step() {}
+        for r in it {
+            engine.submit(r);
+        }
+        engine.run();
+        let secs = start.elapsed().as_secs_f64();
+        let stats = *engine.stats();
+        assert_eq!(
+            stats.retired as usize,
+            reqs.len(),
+            "every request must complete (pages {pages}, overlap {overlap_pct}%)"
+        );
+        let mean_ttft = engine
+            .finished()
+            .iter()
+            .map(|f| f.ttft_iteration as f64)
+            .sum::<f64>()
+            / reqs.len() as f64;
+        (stats.decode_tokens as f64 / secs, stats, mean_ttft)
+    };
+    let (mut tokens_per_sec, mut stats, mut mean_ttft_iters) = run(w.ample_pages);
+    for _ in 1..w.repeats {
+        let (tps, s, ttft) = run(w.ample_pages);
+        if tps > tokens_per_sec {
+            (tokens_per_sec, stats, mean_ttft_iters) = (tps, s, ttft);
+        }
+    }
+    let (_, tight_stats, _) = run(w.overlap_tight_pages);
+    OverlapMeasurement {
+        tokens_per_sec,
+        mean_ttft_iters,
+        stats,
+        stalls_tight: tight_stats.admission_stalls,
     }
 }
 
@@ -254,14 +372,82 @@ fn main() {
             "\n"
         });
     }
+    json.push_str("  ],\n");
+
+    // --- Prefix-overlap sweep -------------------------------------------
+    let (plen, olen) = w.overlap_shape;
+    println!(
+        "\nprefix-overlap sweep (8 requests of {plen}:{olen}, block {} tokens, tight pool {} pages):",
+        w.overlap_block_tokens, w.overlap_tight_pages
+    );
+    let owidths = [9, 10, 12, 11, 12, 13, 13];
+    row(
+        &[
+            &"overlap",
+            &"tok/s",
+            &"ttft_iters",
+            &"trie_hits",
+            &"reused_tok",
+            &"dedup_bytes",
+            &"tight_stalls",
+        ],
+        &owidths,
+    );
+    json.push_str("  \"prefix_sweep\": [\n");
+    let overlaps = [0usize, 50, 100];
+    let mut stalls_by_overlap = Vec::new();
+    let mut ttft_by_overlap = Vec::new();
+    for (i, &pct) in overlaps.iter().enumerate() {
+        let m = run_overlap(&w, pct);
+        stalls_by_overlap.push(m.stalls_tight);
+        ttft_by_overlap.push(m.mean_ttft_iters);
+        row(
+            &[
+                &format!("{pct}%"),
+                &f(m.tokens_per_sec, 1),
+                &f(m.mean_ttft_iters, 1),
+                &m.stats.prefix.trie_hits,
+                &m.stats.prefix.tokens_reused,
+                &m.stats.prefix.bytes_deduplicated,
+                &m.stalls_tight,
+            ],
+            &owidths,
+        );
+        let _ = write!(
+            json,
+            "    {{\"overlap_pct\": {pct}, \"tokens_per_sec\": {:.1}, \"mean_ttft_iterations\": {:.1}, \
+             \"trie_hits\": {}, \"tokens_reused\": {}, \"bytes_deduplicated\": {}, \
+             \"shared_pages_peak\": {}, \"admission_stalls_tight_pool\": {}}}",
+            m.tokens_per_sec,
+            m.mean_ttft_iters,
+            m.stats.prefix.trie_hits,
+            m.stats.prefix.tokens_reused,
+            m.stats.prefix.bytes_deduplicated,
+            m.stats.shared_pages_peak,
+            m.stalls_tight
+        );
+        json.push_str(if i + 1 < overlaps.len() { ",\n" } else { "\n" });
+    }
     json.push_str("  ]\n}\n");
 
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("\nwrote {out_path}");
-    // Sub-millisecond smoke runs are pure timer noise; the scaling claim
-    // is only meaningful (and enforced) on the real workload.
+    // Sub-millisecond smoke runs are pure timer noise; the scaling claims
+    // are only meaningful (and enforced) on the real workload.
     assert!(
         smoke || monotonic,
         "aggregate tokens/sec must rise monotonically with batch"
+    );
+    assert!(
+        smoke || stalls_by_overlap[2] < stalls_by_overlap[0],
+        "100% prompt overlap must stall strictly less than 0% on the tight pool: {stalls_by_overlap:?}"
+    );
+    assert!(
+        smoke || stalls_by_overlap[1] <= stalls_by_overlap[0],
+        "50% overlap must not stall more than 0%: {stalls_by_overlap:?}"
+    );
+    assert!(
+        smoke || ttft_by_overlap[2] < ttft_by_overlap[0],
+        "full prefix reuse must lower mean TTFT: {ttft_by_overlap:?}"
     );
 }

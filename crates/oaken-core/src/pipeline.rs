@@ -527,6 +527,14 @@ impl KvQuantizer for OakenQuantizer {
             payload: 0,
         }))
     }
+
+    /// Every per-row decision (group classification, shift, scale) is made
+    /// against the *offline*-profiled thresholds, so a row's encoding is a
+    /// pure function of the row — the property that makes Oaken's pages
+    /// prefix-shareable.
+    fn prefix_deterministic(&self) -> bool {
+        true
+    }
 }
 
 /// Aggregate compression statistics for a quantized matrix.

@@ -178,6 +178,25 @@ pub trait KvQuantizer: Send + Sync {
         let _ = (d, layer, kind);
         None
     }
+
+    /// Whether a token row's encoded payload (and its dequantized image)
+    /// depends **only on the row itself** — never on which rows preceded
+    /// it, which sequence produced it, or what a stream saw before.
+    ///
+    /// This is the soundness gate for cross-sequence prefix sharing:
+    /// identical prompt prefixes produce bit-identical quantized pages
+    /// exactly when this holds, so a paged pool may deduplicate them.
+    /// True for Oaken (all state is offline-profiled thresholds) and
+    /// plain FP16/exact storage; **false** for calibrate-then-freeze
+    /// baselines (Atom, QServe, Tender — encoding depends on whichever
+    /// rows warmed the stream up) and for per-channel/whole-tensor
+    /// methods (KIVI, KVQuant — scales span the prefix).
+    ///
+    /// The default is `false`: sharing is an opt-in guarantee, never an
+    /// assumption.
+    fn prefix_deterministic(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

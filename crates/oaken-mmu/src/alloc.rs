@@ -39,15 +39,25 @@ impl fmt::Display for AllocError {
 
 impl std::error::Error for AllocError {}
 
-/// A first-fit (lowest-id-first) physical page allocator.
+/// A first-fit (lowest-id-first) physical page allocator with per-page
+/// reference counts.
 ///
 /// Lowest-id-first keeps pages of one stream as adjacent as the global
-/// allocation pattern allows, which the burst planner rewards.
+/// allocation pattern allows, which the burst planner rewards. Reference
+/// counting is what makes prefix sharing possible one layer up: a page
+/// holding a shared prompt's quantized rows is [retained](Self::retain)
+/// once per sharer and only returns to the free set when the last sharer
+/// [releases](Self::release) it.
 #[derive(Debug, Clone)]
 pub struct PageAllocator {
     page_size: usize,
     num_pages: u32,
     free: BTreeSet<PageId>,
+    /// Reference count per page (0 = free).
+    refs: Vec<u32>,
+    /// Pages with refcount ≥ 2 (kept incrementally; the shared-vs-private
+    /// accounting the serving stats report).
+    shared: u32,
 }
 
 impl PageAllocator {
@@ -62,6 +72,8 @@ impl PageAllocator {
             page_size,
             num_pages,
             free: (0..num_pages).map(PageId).collect(),
+            refs: vec![0; num_pages as usize],
+            shared: 0,
         }
     }
 
@@ -85,7 +97,23 @@ impl PageAllocator {
         self.num_pages - self.free_pages()
     }
 
-    /// Allocates the lowest-numbered free page.
+    /// Pages whose reference count is at least 2 — physical pages whose
+    /// payload is shared by more than one owner (prefix-cache hits).
+    pub fn shared_pages(&self) -> u32 {
+        self.shared
+    }
+
+    /// Allocated pages with a reference count of exactly 1.
+    pub fn private_pages(&self) -> u32 {
+        self.allocated_pages() - self.shared
+    }
+
+    /// Current reference count of a page (0 = free).
+    pub fn refcount(&self, page: PageId) -> u32 {
+        self.refs.get(page.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Allocates the lowest-numbered free page with a reference count of 1.
     ///
     /// # Errors
     ///
@@ -95,18 +123,67 @@ impl PageAllocator {
             capacity: self.num_pages,
         })?;
         self.free.remove(&page);
+        self.refs[page.0 as usize] = 1;
         Ok(page)
     }
 
-    /// Frees a page.
+    /// Adds a reference to an allocated page (a new sharer of its
+    /// payload). Returns the new reference count.
     ///
     /// # Errors
     ///
-    /// Returns [`AllocError::NotAllocated`] on double-free or an invalid id.
-    pub fn free(&mut self, page: PageId) -> Result<(), AllocError> {
-        if page.0 >= self.num_pages || self.free.contains(&page) {
+    /// Returns [`AllocError::NotAllocated`] for a free or invalid page.
+    pub fn retain(&mut self, page: PageId) -> Result<u32, AllocError> {
+        if self.refcount(page) == 0 {
             return Err(AllocError::NotAllocated { page });
         }
+        let rc = &mut self.refs[page.0 as usize];
+        *rc += 1;
+        if *rc == 2 {
+            self.shared += 1;
+        }
+        Ok(*rc)
+    }
+
+    /// Drops one reference to a page, returning it to the free set when
+    /// the last reference goes. Returns `true` when the page was freed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::NotAllocated`] on over-release or an invalid
+    /// id.
+    pub fn release(&mut self, page: PageId) -> Result<bool, AllocError> {
+        if self.refcount(page) == 0 {
+            return Err(AllocError::NotAllocated { page });
+        }
+        let rc = &mut self.refs[page.0 as usize];
+        *rc -= 1;
+        match *rc {
+            0 => {
+                self.free.insert(page);
+                Ok(true)
+            }
+            1 => {
+                self.shared -= 1;
+                Ok(false)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Frees an *exclusively owned* page (refcount exactly 1) — the
+    /// hard-free used for private streams, where a lingering sharer would
+    /// indicate corruption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::NotAllocated`] on double-free, an invalid id,
+    /// or a page still shared by another owner.
+    pub fn free(&mut self, page: PageId) -> Result<(), AllocError> {
+        if self.refcount(page) != 1 {
+            return Err(AllocError::NotAllocated { page });
+        }
+        self.refs[page.0 as usize] = 0;
         self.free.insert(page);
         Ok(())
     }
@@ -154,6 +231,49 @@ mod tests {
         assert!(matches!(a.free(p), Err(AllocError::NotAllocated { .. })));
         assert!(matches!(
             a.free(PageId(9)),
+            Err(AllocError::NotAllocated { .. })
+        ));
+    }
+
+    #[test]
+    fn retained_pages_survive_release_until_last_owner() {
+        let mut a = PageAllocator::new(4, 64);
+        let p = a.alloc().unwrap();
+        assert_eq!(a.refcount(p), 1);
+        assert_eq!(a.shared_pages(), 0);
+        assert_eq!(a.retain(p).unwrap(), 2);
+        assert_eq!(a.retain(p).unwrap(), 3);
+        assert_eq!(a.shared_pages(), 1);
+        assert_eq!(a.private_pages(), 0);
+        assert!(!a.release(p).unwrap());
+        assert!(!a.release(p).unwrap());
+        assert_eq!(a.shared_pages(), 0);
+        assert_eq!(a.private_pages(), 1);
+        assert!(a.release(p).unwrap());
+        assert_eq!(a.free_pages(), 4);
+        assert!(matches!(a.release(p), Err(AllocError::NotAllocated { .. })));
+    }
+
+    #[test]
+    fn shared_pages_cannot_be_hard_freed() {
+        let mut a = PageAllocator::new(2, 64);
+        let p = a.alloc().unwrap();
+        a.retain(p).unwrap();
+        assert!(matches!(a.free(p), Err(AllocError::NotAllocated { .. })));
+        a.release(p).unwrap();
+        a.free(p).unwrap();
+        assert_eq!(a.free_pages(), 2);
+    }
+
+    #[test]
+    fn retain_rejects_free_pages() {
+        let mut a = PageAllocator::new(2, 64);
+        assert!(matches!(
+            a.retain(PageId(0)),
+            Err(AllocError::NotAllocated { .. })
+        ));
+        assert!(matches!(
+            a.retain(PageId(9)),
             Err(AllocError::NotAllocated { .. })
         ));
     }

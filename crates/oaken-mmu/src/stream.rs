@@ -42,6 +42,10 @@ struct Stream {
     pages: Vec<PageId>,
     /// Bytes used in the last page.
     tail_used: usize,
+    /// Copy-on-write marker: the tail page is shared with another stream
+    /// (this stream was forked), so the next write must open a fresh page
+    /// instead of appending into the shared one.
+    cow_tail: bool,
 }
 
 /// Result of one token write.
@@ -98,10 +102,14 @@ impl MmuSim {
         );
         let stream = self.streams.entry(key).or_default();
         let mut new_page = false;
-        if stream.pages.is_empty() || stream.tail_used + bytes as usize > page_size {
+        if stream.pages.is_empty()
+            || stream.cow_tail
+            || stream.tail_used + bytes as usize > page_size
+        {
             let page = self.allocator.alloc()?;
             stream.pages.push(page);
             stream.tail_used = 0;
+            stream.cow_tail = false;
             new_page = true;
         }
         let tail = *stream.pages.last().expect("page just ensured");
@@ -171,11 +179,15 @@ impl MmuSim {
         }
     }
 
-    /// Frees every page belonging to `request` (request retirement).
+    /// Frees every page belonging to `request` (request retirement). The
+    /// request's stream tables are removed unconditionally; each page drops
+    /// one reference and physically frees only when no other owner (a fork
+    /// or a retained sharer) still holds it. Returns the pages actually
+    /// freed.
     ///
     /// # Errors
     ///
-    /// Propagates double-free errors, which indicate internal corruption.
+    /// Propagates over-release errors, which indicate internal corruption.
     pub fn free_request(&mut self, request: u32) -> Result<u32, AllocError> {
         let keys: Vec<StreamKey> = self
             .streams
@@ -187,11 +199,131 @@ impl MmuSim {
         for k in keys {
             let stream = self.streams.remove(&k).expect("key listed above");
             for p in stream.pages {
-                self.allocator.free(p)?;
-                freed += 1;
+                freed += u32::from(self.allocator.release(p)?);
             }
         }
         Ok(freed)
+    }
+
+    /// Adds one reference to every page owned by `request`'s streams — a
+    /// new sharer adopting the request's payload (a prefix-cache hit).
+    /// Returns the number of pages retained (0 for an unknown request).
+    pub fn retain_request(&mut self, request: u32) -> u32 {
+        let mut retained = 0u32;
+        for (k, s) in &self.streams {
+            if k.request != request {
+                continue;
+            }
+            for &p in &s.pages {
+                self.allocator
+                    .retain(p)
+                    .expect("stream-owned pages are allocated");
+                retained += 1;
+            }
+        }
+        retained
+    }
+
+    /// Drops one reference from every page owned by `request`'s streams (a
+    /// sharer departing). When the last reference goes, the pages free and
+    /// the stream tables are removed; while other sharers remain, the
+    /// tables stay readable. Returns the pages actually freed.
+    ///
+    /// Contract: the request must be **whole-request shared** — every page
+    /// at the same refcount, which [`retain_request`](Self::retain_request)
+    /// preserves and appends break. A request that was written to after a
+    /// [`fork_stream`](Self::fork_stream) mixes shared and private pages
+    /// and must be retired with [`free_request`](Self::free_request)
+    /// instead; releasing it would free its private tail while its tables
+    /// stay live, so that misuse is rejected loudly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's pages do not share one refcount.
+    pub fn release_request(&mut self, request: u32) -> u32 {
+        let keys: Vec<StreamKey> = self
+            .streams
+            .keys()
+            .filter(|k| k.request == request)
+            .copied()
+            .collect();
+        let pages: Vec<PageId> = keys
+            .iter()
+            .flat_map(|k| self.streams[k].pages.iter().copied())
+            .collect();
+        // Reject mixed-refcount requests before touching any state: a
+        // partial release would free a private tail page while the
+        // request's tables stay live.
+        let uniform = pages
+            .windows(2)
+            .all(|w| self.allocator.refcount(w[0]) == self.allocator.refcount(w[1]));
+        assert!(
+            uniform,
+            "release_request on mixed-refcount request {request}: \
+             forked-then-written requests must use free_request"
+        );
+        let mut freed = 0u32;
+        let mut fully_freed = true;
+        for &p in &pages {
+            let went = self
+                .allocator
+                .release(p)
+                .expect("stream-owned pages are allocated");
+            freed += u32::from(went);
+            fully_freed &= went;
+        }
+        // Uniform refcounts mean either every page freed (last sharer:
+        // drop the tables) or none did (tables stay for the remaining
+        // sharers).
+        if fully_freed {
+            for k in keys {
+                self.streams.remove(&k);
+            }
+        }
+        freed
+    }
+
+    /// Copy-on-write fork: `dst` becomes a new stream sharing every page
+    /// (and table entry) `src` has written so far. The shared pages gain
+    /// one reference each; `dst`'s tail is marked copy-on-write, so its
+    /// next [`write_token`](Self::write_token) opens a fresh private page
+    /// while `src` keeps appending into its own tail. Returns the number
+    /// of pages now shared, or `None` when `src` is unknown or `dst`
+    /// already exists.
+    pub fn fork_stream(&mut self, src: &StreamKey, dst: StreamKey) -> Option<u32> {
+        if self.streams.contains_key(&dst) {
+            return None;
+        }
+        let (table, pages, tail_used) = {
+            let s = self.streams.get(src)?;
+            (s.table.clone(), s.pages.clone(), s.tail_used)
+        };
+        for &p in &pages {
+            self.allocator
+                .retain(p)
+                .expect("stream-owned pages are allocated");
+        }
+        let shared = pages.len() as u32;
+        self.streams.insert(
+            dst,
+            Stream {
+                table,
+                pages,
+                tail_used,
+                cow_tail: true,
+            },
+        );
+        Some(shared)
+    }
+
+    /// Physical pages currently referenced by more than one owner.
+    pub fn shared_pages(&self) -> u32 {
+        self.allocator.shared_pages()
+    }
+
+    /// Physical pages with exactly one owner.
+    pub fn private_pages(&self) -> u32 {
+        self.allocator.private_pages()
     }
 
     /// Internal fragmentation: allocated-but-unused bytes over allocated
@@ -343,6 +475,100 @@ mod tests {
         assert_eq!(mmu.tail_free(&k), 70);
         mmu.write_token(k, 80).unwrap(); // overflows into a new page
         assert_eq!(mmu.tail_free(&k), 20);
+    }
+
+    #[test]
+    fn retain_release_request_shares_pages_until_last_owner() {
+        let mut mmu = MmuSim::new(8, 128);
+        let k = key(10, 0, StreamClass::Dense);
+        for _ in 0..4 {
+            mmu.write_token(k, 100).unwrap(); // 4 pages
+        }
+        assert_eq!(mmu.request_pages(10), 4);
+        assert_eq!(mmu.shared_pages(), 0);
+        // Two additional sharers adopt the request's payload.
+        assert_eq!(mmu.retain_request(10), 4);
+        assert_eq!(mmu.retain_request(10), 4);
+        assert_eq!(mmu.shared_pages(), 4);
+        // Departing sharers free nothing while others remain; the tables
+        // stay readable.
+        assert_eq!(mmu.release_request(10), 0);
+        assert!(mmu.table(&k).is_some());
+        assert_eq!(mmu.release_request(10), 0);
+        assert_eq!(mmu.shared_pages(), 0);
+        // The last owner frees everything and drops the tables.
+        assert_eq!(mmu.release_request(10), 4);
+        assert!(mmu.table(&k).is_none());
+        assert_eq!(mmu.allocator().free_pages(), 8);
+    }
+
+    #[test]
+    fn free_request_releases_shared_pages_without_freeing_them() {
+        let mut mmu = MmuSim::new(8, 128);
+        let k = key(3, 0, StreamClass::Dense);
+        mmu.write_token(k, 64).unwrap();
+        mmu.retain_request(3);
+        // Hard retirement removes the tables but the page survives for the
+        // remaining owner.
+        assert_eq!(mmu.free_request(3).unwrap(), 0);
+        assert!(mmu.table(&k).is_none());
+        assert_eq!(mmu.allocator().free_pages(), 7);
+    }
+
+    #[test]
+    fn fork_stream_shares_history_and_diverges_on_write() {
+        let mut mmu = MmuSim::new(8, 128);
+        let src = key(1, 0, StreamClass::Dense);
+        for _ in 0..3 {
+            mmu.write_token(src, 60).unwrap(); // 2 pages, tail half full
+        }
+        let dst = key(2, 0, StreamClass::Dense);
+        assert_eq!(mmu.fork_stream(&src, dst).unwrap(), 2);
+        assert_eq!(mmu.shared_pages(), 2);
+        // The fork reads the same history...
+        for t in 0..3 {
+            assert_eq!(mmu.translate(&src, t), mmu.translate(&dst, t));
+        }
+        // ...but the next write is copy-on-write: dst opens a private page
+        // even though the shared tail has room, while src keeps appending
+        // in place.
+        let before = mmu.allocator().allocated_pages();
+        let rd = mmu.write_token(dst, 10).unwrap();
+        assert!(rd.new_page, "forked tail must not be written in place");
+        assert_eq!(mmu.allocator().allocated_pages(), before + 1);
+        let rs = mmu.write_token(src, 10).unwrap();
+        assert!(!rs.new_page, "src still owns its tail");
+        assert_ne!(rs.addr, rd.addr);
+        // Freeing src releases its references; dst keeps the shared pages.
+        mmu.free_request(1).unwrap();
+        assert_eq!(mmu.shared_pages(), 0);
+        assert!(mmu.translate(&dst, 0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed-refcount")]
+    fn release_request_rejects_forked_then_written_requests() {
+        let mut mmu = MmuSim::new(8, 128);
+        let src = key(1, 0, StreamClass::Dense);
+        mmu.write_token(src, 60).unwrap();
+        let dst = key(2, 0, StreamClass::Dense);
+        mmu.fork_stream(&src, dst).unwrap();
+        // dst now mixes a shared history page (rc 2) with a private tail
+        // page (rc 1): releasing it whole-request would corrupt; it must
+        // be retired with free_request instead.
+        mmu.write_token(dst, 10).unwrap();
+        mmu.release_request(2);
+    }
+
+    #[test]
+    fn fork_stream_rejects_unknown_src_and_existing_dst() {
+        let mut mmu = MmuSim::new(4, 128);
+        let a = key(1, 0, StreamClass::Dense);
+        let b = key(2, 0, StreamClass::Dense);
+        assert!(mmu.fork_stream(&a, b).is_none(), "unknown src");
+        mmu.write_token(a, 10).unwrap();
+        mmu.write_token(b, 10).unwrap();
+        assert!(mmu.fork_stream(&a, b).is_none(), "dst exists");
     }
 
     #[test]

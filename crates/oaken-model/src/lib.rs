@@ -25,10 +25,13 @@
 //! into the logits — the mechanism behind every accuracy number in Table 2.
 //!
 //! For multi-sequence serving, [`pool::PagedKvPool`] shares one paged
-//! device memory (backed by `oaken-mmu`'s allocator) across concurrent
-//! sequences, and [`Model::forward_batch`] advances a whole batch one
-//! token per call, layer-major with batched weight sweeps — bit-exact per
-//! sequence with [`Session`].
+//! device memory (backed by `oaken-mmu`'s refcounted allocator) across
+//! concurrent sequences — deduplicating common prompt prefixes through
+//! the [`trie`] of sealed, refcounted blocks whenever the quantizer is
+//! prefix-deterministic — and [`Model::forward_batch`] advances a whole
+//! batch of steps per call (one token per decoding sequence, multi-token
+//! prompt chunks for prefilling ones), layer-major with batched weight
+//! sweeps — bit-exact per sequence with [`Session`].
 //!
 //! [`KvQuantizer`]: oaken_core::KvQuantizer
 //!
@@ -52,12 +55,14 @@ pub mod model;
 pub mod pool;
 pub mod sampling;
 pub mod synth;
+pub mod trie;
 
 pub use attention::{attend_one, AttentionShape};
 pub use cache::{BatchKvCache, CacheMode, ExactCache, KvCacheBackend, QuantizedCache, SingleSlot};
 pub use config::{ModelConfig, MoeConfig, Positional};
 pub use ffn::{DenseFfn, FfnWeights};
 pub use model::{BatchKvObserver, BatchStep, KvObserver, LayerWeights, Model, Session};
-pub use pool::{PagedKvPool, PoolBatchView, PoolError, SeqId};
+pub use pool::{PageAccounting, PagedKvPool, PoolBatchView, PoolError, PrefixAlloc, SeqId};
 pub use sampling::{sample_greedy, sample_temperature};
 pub use synth::SynthParams;
+pub use trie::PrefixStats;

@@ -190,17 +190,26 @@ impl Model {
         }
     }
 
-    /// Advances a *batch* of independent sequences by one token each and
-    /// returns the next-token logits per step, in step order.
+    /// Advances a *batch* of sequence steps and returns the next-token
+    /// logits per step, in step order.
     ///
     /// This is the serving engine's iteration primitive: each step names a
     /// batch `slot` of `cache`, the sequence's current position, and the
-    /// token to feed. Execution is **layer-major** — all sequences pass
+    /// token to feed. Execution is **layer-major** — all steps pass
     /// through decoder layer `l` before any touches layer `l+1` — so each
     /// layer's weight matrices are streamed from memory once per iteration
     /// and reused across the whole batch, the locality that makes batched
     /// decode profitable (and the software analogue of §5.3's token-level
     /// scheduling, where one core's weight fetch serves many requests).
+    ///
+    /// A slot may appear in **multiple steps** with consecutive positions
+    /// — a *prompt chunk* (Sarathi-style chunked prefill). Within a layer,
+    /// steps execute in order, each appending its K/V rows before
+    /// attending, so step `j` of a chunk sees the rows of steps `i < j`:
+    /// causal attention over the chunk is exactly the arithmetic of
+    /// feeding the same tokens one iteration at a time, and the logits of
+    /// every step are bit-identical to the token-by-token schedule
+    /// (enforced by `chunked_prefill_matches_single_steps_bitwise`).
     ///
     /// Per-sequence arithmetic is *identical* to the single-sequence path:
     /// sequences never mix activations, so a batch of one is bit-exact
@@ -214,7 +223,8 @@ impl Model {
     /// # Panics
     ///
     /// Panics if any step's token is outside the vocabulary or its
-    /// position exceeds `max_seq_len`.
+    /// position exceeds `max_seq_len`; debug builds additionally check
+    /// that a slot's steps have strictly consecutive positions.
     pub fn forward_batch(
         &self,
         cache: &mut dyn BatchKvCache,
@@ -234,6 +244,21 @@ impl Model {
                 "sequence exceeds max_seq_len {}",
                 cfg.max_seq_len
             );
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut last: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::new();
+            for s in steps {
+                if let Some(prev) = last.insert(s.slot, s.pos) {
+                    debug_assert_eq!(
+                        s.pos,
+                        prev + 1,
+                        "slot {}: chunked steps must have consecutive positions",
+                        s.slot
+                    );
+                }
+            }
         }
         let d = cfg.d_model;
         let hd = cfg.head_dim();
@@ -516,5 +541,59 @@ mod tests {
         let m = tiny();
         let mut s = m.session(Box::new(ExactCache::new()));
         s.advance(10_000);
+    }
+
+    /// Chunked prefill (multiple steps of one slot in a single
+    /// `forward_batch` call) must be bit-identical to feeding the same
+    /// tokens one call at a time — the property the serving engine's
+    /// per-iteration token budget relies on.
+    #[test]
+    fn chunked_prefill_matches_single_steps_bitwise() {
+        use crate::cache::SingleSlot;
+        let m = tiny();
+        let tokens: Vec<u32> = (0..11).map(|i| (i * 29 + 3) % 256).collect();
+
+        // Reference: one token per call.
+        let mut ref_cache = ExactCache::new();
+        ref_cache.reset(m.config().num_layers, m.config().kv_dim());
+        let mut ref_logits = Vec::new();
+        for (pos, &token) in tokens.iter().enumerate() {
+            let mut view = SingleSlot(&mut ref_cache);
+            let out = m.forward_batch(
+                &mut view,
+                &[BatchStep {
+                    slot: 0,
+                    pos,
+                    token,
+                }],
+                None,
+            );
+            ref_logits.extend(out);
+        }
+
+        // Chunked: uneven chunks covering the same positions.
+        let mut cache = ExactCache::new();
+        cache.reset(m.config().num_layers, m.config().kv_dim());
+        let mut logits = Vec::new();
+        let mut pos = 0usize;
+        for chunk in [1usize, 4, 2, 3, 1] {
+            let steps: Vec<BatchStep> = (0..chunk)
+                .map(|j| BatchStep {
+                    slot: 0,
+                    pos: pos + j,
+                    token: tokens[pos + j],
+                })
+                .collect();
+            let mut view = SingleSlot(&mut cache);
+            logits.extend(m.forward_batch(&mut view, &steps, None));
+            pos += chunk;
+        }
+
+        assert_eq!(logits.len(), ref_logits.len());
+        for (i, (a, b)) in logits.iter().zip(&ref_logits).enumerate() {
+            let ab: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+            let bb: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(ab, bb, "logits diverged at position {i}");
+        }
     }
 }

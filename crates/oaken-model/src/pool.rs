@@ -14,6 +14,36 @@
 //! fragmentation, and admission **real**: running out of pages is an
 //! allocator-level OOM, not an analytic estimate.
 //!
+//! # Prefix sharing
+//!
+//! Because Oaken quantizes each row against *offline*-profiled thresholds,
+//! a row's encoded bytes are a pure function of the row itself
+//! ([`KvQuantizer::prefix_deterministic`]) — identical prompt prefixes
+//! produce bit-identical page payloads, and the pool deduplicates them
+//! through a [prefix trie](crate::trie) of immutable, refcounted,
+//! `block_tokens`-sized blocks:
+//!
+//! * [`PagedKvPool::alloc_seq_with_prefix`] walks the trie with the new
+//!   sequence's prompt, **adopts** every matched full block (refcount up,
+//!   pages retained, dequantized views copied — no quantization, and the
+//!   caller skips the model forward pass for those tokens too), and plans
+//!   private *pending* blocks for the unmatched remainder — the
+//!   copy-on-write tail of the prompt;
+//! * [`PagedKvPool::append`] **seals** a pending block the moment its last
+//!   row lands (all layers, both kinds): the block's page streams become
+//!   immutable and enter the trie, or — when a concurrent sequence sealed
+//!   the identical block first — are freed and the existing block adopted
+//!   (late dedup, with a debug-mode bit-exactness check between the two
+//!   independently quantized copies);
+//! * [`PagedKvPool::free_seq`] *releases* shared blocks leaf-first instead
+//!   of freeing them, so a preempted or retired sharer never invalidates
+//!   the others.
+//!
+//! Sharing is gated on the quantizer reporting itself prefix-deterministic:
+//! Oaken, FP16 and exact-f32 pools share; calibrate-then-freeze baselines
+//! (Atom/QServe/Tender) and per-channel methods (KIVI/KVQuant) opt out and
+//! keep fully private page streams.
+//!
 //! # Consistency contract
 //!
 //! * **Bit-exactness** — for methods whose per-row state is offline or
@@ -22,20 +52,24 @@
 //!   the pool drives the same `KvRowStream`s as `QuantizedCache`, so any
 //!   interleaving of sequences is bit-identical to independent
 //!   single-sequence runs (enforced by `oaken-serving`'s engine property
-//!   tests). The one deliberate exception: *calibrate-then-freeze*
-//!   baselines (Atom/QServe/Tender) keep their frozen calibration when a
-//!   slot is recycled — calibration is per-model state shared across
-//!   requests in real serving, so a later sequence reusing a slot decodes
-//!   with the already-frozen channel order/scales instead of re-warming
-//!   on its own first rows.
+//!   tests). Prefix sharing preserves this: adopted blocks hold exactly
+//!   the bytes a private run would have produced, which is what
+//!   `prefix_deterministic` asserts. The one deliberate exception:
+//!   *calibrate-then-freeze* baselines (Atom/QServe/Tender) keep their
+//!   frozen calibration when a slot is recycled — calibration is per-model
+//!   state shared across requests in real serving, so a later sequence
+//!   reusing a slot decodes with the already-frozen channel order/scales
+//!   instead of re-warming on its own first rows.
 //! * **Guarded appends** — [`PagedKvPool::append`] checks a conservative
 //!   worst-case page bound *before* touching any state and fails cleanly
 //!   with [`PoolError::OutOfPages`]; a successful call is atomic for the
 //!   `(layer, K, V)` triple. Schedulers should gate whole-token appends
-//!   with [`PagedKvPool::pages_possibly_needed`] so a multi-layer forward
+//!   with [`PagedKvPool::pages_possibly_needed`] (or the chunk-sized
+//!   [`PagedKvPool::pages_possibly_needed_n`]) so a multi-layer forward
 //!   pass never stalls mid-token.
-//! * **Slot recycling** — retiring a sequence frees its pages immediately
-//!   and recycles its stream/view buffers (via
+//! * **Slot recycling** — retiring a sequence frees its private pages
+//!   immediately, releases its shared blocks, and recycles its
+//!   stream/view buffers (via
 //!   [`KvRowStream::reset`](oaken_core::KvRowStream::reset), which retains
 //!   frozen calibration) for the next admitted sequence.
 //!
@@ -45,10 +79,16 @@
 //! the analytic capacity model ([`ModelConfig::kv_bytes_per_token`], also
 //! used by `oaken-accel`'s `SystemModel::max_concurrent_batch`), so the
 //! analytic and executed paths cannot drift; the pool then adds the
-//! page-rounding the analytic model ignores.
+//! page-rounding the analytic model ignores. Every physical page is owned
+//! by exactly one sequence (tail + pending blocks) or one trie block, and
+//! [`PagedKvPool::page_accounting`] exposes the three-way split — free,
+//! private, shared — whose sum is always the device capacity.
+//!
+//! [`KvQuantizer::prefix_deterministic`]: oaken_core::KvQuantizer::prefix_deterministic
 
 use crate::cache::{BatchKvCache, KindSlot};
 use crate::config::ModelConfig;
+use crate::trie::{PrefixStats, PrefixTrie, TrieBlock};
 use oaken_core::{KvKind, KvQuantizer};
 use oaken_mmu::{MmuSim, StreamClass, StreamKey};
 use std::collections::HashMap;
@@ -92,12 +132,75 @@ impl fmt::Display for PoolError {
 
 impl std::error::Error for PoolError {}
 
+/// Result of [`PagedKvPool::alloc_seq_with_prefix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixAlloc {
+    /// The admitted sequence.
+    pub seq: SeqId,
+    /// Leading prompt tokens satisfied from the prefix trie: their K/V
+    /// rows are already cached (views pre-filled, pages shared), so the
+    /// caller starts feeding the model at this position.
+    pub matched_tokens: usize,
+}
+
+/// Three-way physical page ownership split of a pool; the components
+/// always sum to the device capacity (the refcount invariant the serving
+/// property tests re-check after every engine step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageAccounting {
+    /// Pages on the free list.
+    pub free: u32,
+    /// Pages owned exclusively by one active sequence (its private tail
+    /// plus its not-yet-sealed pending blocks).
+    pub private: u32,
+    /// Pages owned by sealed trie blocks (each stored once, regardless of
+    /// how many sequences reference it).
+    pub shared_blocks: u32,
+}
+
+impl PageAccounting {
+    /// Sum of the three components — must equal the pool capacity.
+    pub fn total(&self) -> u32 {
+        self.free + self.private + self.shared_blocks
+    }
+}
+
+/// One slot of a sequence's prompt-block plan.
+#[derive(Debug, Clone, Copy)]
+enum SeqBlock {
+    /// Adopted from (or sealed into) the trie; the sequence holds one
+    /// refcount on it.
+    Shared(usize),
+    /// Still being written privately by this sequence under its own MMU
+    /// request id.
+    Pending {
+        /// MMU request id owning the pending pages.
+        mmu: u32,
+    },
+}
+
+/// The prompt-sharing plan of one sequence.
+struct SeqPlan {
+    /// The prompt tokens announced at allocation (trie keys).
+    prompt: Vec<u32>,
+    /// One entry per full prompt block, root-to-leaf. Entries `[..sealed]`
+    /// are `Shared`; the rest are `Pending`.
+    blocks: Vec<SeqBlock>,
+    /// Blocks sealed (or adopted) so far.
+    sealed: usize,
+}
+
 /// Per-sequence storage: one [`KindSlot`] per `(layer, kind)`, plus a
-/// running page count so admission accounting never scans the MMU's
-/// global stream map.
+/// running private page count so admission accounting never scans the
+/// MMU's global stream map.
 struct SeqSlots {
     slots: Vec<[KindSlot; 2]>,
+    /// Pages owned exclusively by this sequence: tail streams plus pending
+    /// (unsealed) blocks. Adopted shared pages are *not* counted here.
     pages: u32,
+    /// Prompt-block plan, present when the sequence was admitted through
+    /// [`PagedKvPool::alloc_seq_with_prefix`] with sharing enabled.
+    plan: Option<SeqPlan>,
 }
 
 fn kind_index(kind: KvKind) -> usize {
@@ -106,6 +209,9 @@ fn kind_index(kind: KvKind) -> usize {
         KvKind::Value => 1,
     }
 }
+
+/// Default tokens per shareable prefix block.
+pub const DEFAULT_BLOCK_TOKENS: usize = 16;
 
 /// The shared paged KV pool. See the module docs for the design.
 pub struct PagedKvPool {
@@ -121,6 +227,17 @@ pub struct PagedKvPool {
     seqs: HashMap<u32, SeqSlots>,
     recycled: Vec<SeqSlots>,
     next_id: u32,
+    /// Tokens per shareable prefix block.
+    block_tokens: usize,
+    /// Whether the quantizer permits sharing at all.
+    sharing_supported: bool,
+    /// Whether sharing is currently enabled (supported and not disabled).
+    sharing: bool,
+    trie: PrefixTrie,
+    /// MMU request ids for blocks count down from the top so they never
+    /// collide with sequence ids counting up.
+    next_block_mmu: u32,
+    stats: PrefixStats,
 }
 
 impl fmt::Debug for PagedKvPool {
@@ -134,6 +251,8 @@ impl fmt::Debug for PagedKvPool {
             .field("kv_dim", &self.kv_dim)
             .field("active_seqs", &self.seqs.len())
             .field("free_pages", &self.free_pages())
+            .field("prefix_sharing", &self.sharing)
+            .field("trie_blocks", &self.trie.len())
             .finish()
     }
 }
@@ -141,7 +260,9 @@ impl fmt::Debug for PagedKvPool {
 impl PagedKvPool {
     /// Creates a pool for `model`'s KV geometry over `num_pages` pages of
     /// `page_size` bytes. `quantizer = None` stores exact f32 rows (the
-    /// FP32 reference configuration).
+    /// FP32 reference configuration). Prefix sharing is enabled whenever
+    /// the quantizer is prefix-deterministic (always, for exact f32), with
+    /// [`DEFAULT_BLOCK_TOKENS`]-token blocks.
     ///
     /// # Panics
     ///
@@ -159,6 +280,7 @@ impl PagedKvPool {
         let bits = quantizer
             .as_ref()
             .map_or(32.0, |q| q.effective_bits(1, kv_dim));
+        let sharing_supported = quantizer.as_ref().is_none_or(|q| q.prefix_deterministic());
         let pool = Self {
             quantizer,
             num_layers: model.num_layers,
@@ -170,6 +292,12 @@ impl PagedKvPool {
             seqs: HashMap::new(),
             recycled: Vec::new(),
             next_id: 0,
+            block_tokens: DEFAULT_BLOCK_TOKENS,
+            sharing_supported,
+            sharing: sharing_supported,
+            trie: PrefixTrie::default(),
+            next_block_mmu: u32::MAX,
+            stats: PrefixStats::default(),
         };
         assert!(
             pool.dense_row_bound() <= page_size,
@@ -226,8 +354,11 @@ impl PagedKvPool {
         self.seqs.len()
     }
 
-    /// Pages currently owned by a sequence (O(1): tracked per sequence,
-    /// not recounted from the MMU's stream map).
+    /// Pages owned *exclusively* by a sequence — its private tail streams
+    /// plus its unsealed pending blocks (O(1): tracked per sequence, not
+    /// recounted from the MMU's stream map). Adopted shared pages are not
+    /// included; they are accounted once, under
+    /// [`PagedKvPool::shared_block_pages`].
     pub fn seq_pages(&self, seq: SeqId) -> u32 {
         self.seqs.get(&seq.0).map_or(0, |s| s.pages)
     }
@@ -238,11 +369,81 @@ impl PagedKvPool {
         self.bytes_per_token
     }
 
+    /// Whether prefix sharing is active.
+    pub fn prefix_sharing(&self) -> bool {
+        self.sharing
+    }
+
+    /// Enables or disables prefix sharing. Disabling (the PR-2 baseline
+    /// behaviour, kept for A/B sweeps) always works; enabling is a no-op
+    /// when the quantizer is not prefix-deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sequences are active or the trie is non-empty — the
+    /// switch is a construction-time choice.
+    pub fn set_prefix_sharing(&mut self, enabled: bool) {
+        assert!(
+            self.seqs.is_empty() && self.trie.len() == 0,
+            "prefix sharing can only be toggled on an idle pool"
+        );
+        self.sharing = enabled && self.sharing_supported;
+    }
+
+    /// Tokens per shareable prefix block.
+    pub fn block_tokens(&self) -> usize {
+        self.block_tokens
+    }
+
+    /// Sets the prefix-block granularity. Smaller blocks share more of a
+    /// partially common prompt but cost more page-rounding per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero, or if sequences are active or the trie is
+    /// non-empty.
+    pub fn set_block_tokens(&mut self, block_tokens: usize) {
+        assert!(block_tokens > 0, "blocks must hold at least one token");
+        assert!(
+            self.seqs.is_empty() && self.trie.len() == 0,
+            "block granularity can only change on an idle pool"
+        );
+        self.block_tokens = block_tokens;
+    }
+
+    /// Cumulative prefix-cache counters.
+    pub fn prefix_stats(&self) -> PrefixStats {
+        self.stats
+    }
+
+    /// Pages currently held by sealed trie blocks (each counted once,
+    /// however many sequences share it).
+    pub fn shared_block_pages(&self) -> u32 {
+        self.trie.total_pages()
+    }
+
+    /// Sealed blocks currently live in the trie.
+    pub fn trie_blocks(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// The free/private/shared page-ownership split; `total()` always
+    /// equals [`PagedKvPool::capacity_pages`].
+    pub fn page_accounting(&self) -> PageAccounting {
+        PageAccounting {
+            free: self.free_pages(),
+            private: self.seqs.values().map(|s| s.pages).sum(),
+            shared_blocks: self.trie.total_pages(),
+        }
+    }
+
     /// Admission estimate: pages a sequence of `tokens` total tokens will
     /// occupy, including the per-stream page rounding the analytic model
     /// ignores. Uses the *nominal* bytes-per-token; the executed footprint
     /// of variable-rate methods can differ slightly, which preemption
-    /// absorbs.
+    /// absorbs. Callers admitting a prompt with a known trie prefix should
+    /// pass only the *non-shared* tokens (`tokens −`
+    /// [`PagedKvPool::probe_prefix`]).
     pub fn pages_for_tokens(&self, tokens: usize) -> u64 {
         if tokens == 0 {
             return 0;
@@ -273,38 +474,105 @@ impl PagedKvPool {
     ///
     /// Returns [`PoolError::UnknownSequence`] for a freed handle.
     pub fn pages_possibly_needed(&self, seq: SeqId) -> Result<u32, PoolError> {
-        if !self.seqs.contains_key(&seq.0) {
-            return Err(PoolError::UnknownSequence { seq });
+        self.pages_possibly_needed_n(seq, 1)
+    }
+
+    /// Worst-case pages appending the next `n` tokens to `seq` could
+    /// allocate — the chunked-prefill reservation bound: per stream, the
+    /// current tail absorbs whole worst-case rows first, then fresh pages
+    /// are charged at worst-case rows-per-page packing. Positions are
+    /// attributed to the streams they will actually target (pending
+    /// prompt blocks, then the private tail).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::UnknownSequence`] for a freed handle.
+    pub fn pages_possibly_needed_n(&self, seq: SeqId, n: usize) -> Result<u32, PoolError> {
+        let state = self
+            .seqs
+            .get(&seq.0)
+            .ok_or(PoolError::UnknownSequence { seq })?;
+        if n == 0 {
+            return Ok(0);
         }
         let mut needed = 0u32;
-        for layer in 0..self.num_layers {
-            needed += self.layer_pages_possibly_needed(seq, layer);
+        for (layer, pair) in state.slots.iter().enumerate() {
+            for kind in KvKind::ALL {
+                let start = pair[kind_index(kind)].rows;
+                for (owner, count) in self.owner_segments(state, seq.0, start, n) {
+                    needed += self.stream_set_pages_needed(owner, layer, kind, count);
+                }
+            }
         }
         Ok(needed)
     }
 
-    fn layer_pages_possibly_needed(&self, seq: SeqId, layer: usize) -> u32 {
+    /// Worst-case new pages `count` rows of `(layer, kind)` need across
+    /// the per-head dense (and sparse) streams of `owner`.
+    fn stream_set_pages_needed(&self, owner: u32, layer: usize, kind: KvKind, count: usize) -> u32 {
+        let page = self.page_size();
         let mut needed = 0u32;
-        for kind in KvKind::ALL {
-            for head in 0..self.kv_heads {
-                let mut key = self.stream_key(seq, layer, kind, head, StreamClass::Dense);
-                if self.mmu.tail_free(&key) < self.dense_row_bound() {
-                    needed += 1;
-                }
-                if self.has_sparse() {
-                    key.class = StreamClass::Sparse;
-                    if self.mmu.tail_free(&key) < self.sparse_row_bound() {
-                        needed += 1;
-                    }
-                }
+        for head in 0..self.kv_heads {
+            let mut key = self.stream_key(owner, layer, kind, head, StreamClass::Dense);
+            needed += rows_to_pages(
+                self.mmu.tail_free(&key),
+                count,
+                self.dense_row_bound(),
+                page,
+            );
+            if self.has_sparse() {
+                key.class = StreamClass::Sparse;
+                needed += rows_to_pages(
+                    self.mmu.tail_free(&key),
+                    count,
+                    self.sparse_row_bound(),
+                    page,
+                );
             }
         }
         needed
     }
 
+    /// Splits positions `start .. start + n` into `(mmu_owner, count)`
+    /// runs: pending prompt blocks own their token ranges, everything past
+    /// the planned blocks lands in the sequence's private tail.
+    fn owner_segments(
+        &self,
+        state: &SeqSlots,
+        seq_id: u32,
+        start: usize,
+        n: usize,
+    ) -> Vec<(u32, usize)> {
+        let mut segs: Vec<(u32, usize)> = Vec::new();
+        for pos in start..start + n {
+            let owner = self.owner_for_pos(state, seq_id, pos);
+            match segs.last_mut() {
+                Some((o, c)) if *o == owner => *c += 1,
+                _ => segs.push((owner, 1)),
+            }
+        }
+        segs
+    }
+
+    /// The MMU request id the row at `pos` belongs to.
+    fn owner_for_pos(&self, state: &SeqSlots, seq_id: u32, pos: usize) -> u32 {
+        if let Some(plan) = &state.plan {
+            let b = pos / self.block_tokens;
+            if b < plan.blocks.len() {
+                return match plan.blocks[b] {
+                    SeqBlock::Pending { mmu } => mmu,
+                    SeqBlock::Shared(_) => {
+                        panic!("position {pos} lies in an adopted shared block")
+                    }
+                };
+            }
+        }
+        seq_id
+    }
+
     fn stream_key(
         &self,
-        seq: SeqId,
+        owner: u32,
         layer: usize,
         kind: KvKind,
         head: usize,
@@ -313,19 +581,15 @@ impl PagedKvPool {
         // Key and value streams of one layer are distinct `layer` rows in
         // the management tables: even layers = keys, odd = values.
         StreamKey {
-            request: seq.0,
+            request: owner,
             layer: (2 * layer + kind_index(kind)) as u16,
             head: head as u16,
             class,
         }
     }
 
-    /// Admits a new sequence, reusing a retired sequence's buffers when
-    /// available. No pages are allocated until the first append.
-    pub fn alloc_seq(&mut self) -> SeqId {
-        let id = self.next_id;
-        self.next_id += 1;
-        let slots = match self.recycled.pop() {
+    fn fresh_slots(&mut self) -> SeqSlots {
+        match self.recycled.pop() {
             Some(s) => s,
             None => SeqSlots {
                 slots: (0..self.num_layers)
@@ -341,40 +605,197 @@ impl PagedKvPool {
                     })
                     .collect(),
                 pages: 0,
+                plan: None,
             },
-        };
+        }
+    }
+
+    /// Admits a new sequence with no prompt plan (no prefix sharing),
+    /// reusing a retired sequence's buffers when available. No pages are
+    /// allocated until the first append.
+    pub fn alloc_seq(&mut self) -> SeqId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let slots = self.fresh_slots();
         self.seqs.insert(id, slots);
         SeqId(id)
     }
 
-    /// Retires a sequence: frees every page it owns and recycles its
-    /// buffers. Returns the number of freed pages.
+    /// Leading prompt tokens an [`alloc_seq_with_prefix`] call would
+    /// satisfy from the trie right now — the read-only admission probe
+    /// (always a multiple of [`PagedKvPool::block_tokens`], and 0 with
+    /// sharing disabled). Schedulers subtract this from a request's
+    /// footprint so cache-hot requests admit under page pressure that
+    /// would stall a cold one.
+    ///
+    /// [`alloc_seq_with_prefix`]: PagedKvPool::alloc_seq_with_prefix
+    pub fn probe_prefix(&self, tokens: &[u32]) -> usize {
+        self.walk_prefix(tokens).len() * self.block_tokens
+    }
+
+    /// Full prompt blocks `tokens` can plan: at least the final token is
+    /// always fed live so the caller gets next-token logits.
+    fn planned_blocks(&self, tokens: &[u32]) -> usize {
+        if self.sharing {
+            tokens.len().saturating_sub(1) / self.block_tokens
+        } else {
+            0
+        }
+    }
+
+    /// Trie ids of the longest matched block chain for `tokens`.
+    fn walk_prefix(&self, tokens: &[u32]) -> Vec<usize> {
+        let planned = self.planned_blocks(tokens);
+        let bt = self.block_tokens;
+        let mut ids = Vec::new();
+        let mut parent = None;
+        while ids.len() < planned {
+            let b = ids.len();
+            match self.trie.child(parent, &tokens[b * bt..(b + 1) * bt]) {
+                Some(id) => {
+                    ids.push(id);
+                    parent = Some(id);
+                }
+                None => break,
+            }
+        }
+        ids
+    }
+
+    /// Admits a new sequence for a known prompt, walking the prefix trie:
+    /// every matched full block is **adopted** (refcount bumped, pages
+    /// retained, dequantized views copied into the sequence's cache — no
+    /// re-quantization), and the unmatched remainder of the prompt is
+    /// planned as private pending blocks that will seal as they fill. The
+    /// caller must feed tokens starting at `matched_tokens` (the adopted
+    /// rows are already cached) and must feed exactly `tokens` for the
+    /// prompt span — the trie keys sealed blocks by this announced
+    /// content.
+    ///
+    /// With sharing disabled (or a non-prefix-deterministic quantizer)
+    /// this is exactly [`PagedKvPool::alloc_seq`].
+    pub fn alloc_seq_with_prefix(&mut self, tokens: &[u32]) -> PrefixAlloc {
+        let seq = self.alloc_seq();
+        let planned = self.planned_blocks(tokens);
+        if planned == 0 {
+            return PrefixAlloc {
+                seq,
+                matched_tokens: 0,
+            };
+        }
+        let matched_ids = self.walk_prefix(tokens);
+        let matched = matched_ids.len();
+        let bt = self.block_tokens;
+        // Adopt every matched block: refcount + page references + views.
+        let mut adopted_bytes = 0u64;
+        for &id in &matched_ids {
+            self.trie.retain(id);
+            let block_mmu = self.trie.get(id).mmu;
+            self.mmu.retain_request(block_mmu);
+            adopted_bytes += self.trie.get(id).bytes;
+            let state = self.seqs.get_mut(&seq.0).expect("just allocated");
+            let block = self.trie.get(id);
+            for (layer, pair) in state.slots.iter_mut().enumerate() {
+                for (ki, slot) in pair.iter_mut().enumerate() {
+                    let rows = &block.views[layer][ki];
+                    slot.view.extend_from_slice(rows);
+                    if slot.stream.is_none() {
+                        // Exact-f32 pools re-materialize views from
+                        // `exact` on read; keep it in sync.
+                        slot.exact.extend_from_slice(rows);
+                    }
+                    slot.rows += bt;
+                }
+            }
+        }
+        let mut blocks: Vec<SeqBlock> = matched_ids.into_iter().map(SeqBlock::Shared).collect();
+        for _ in matched..planned {
+            blocks.push(SeqBlock::Pending {
+                mmu: self.fresh_block_mmu(),
+            });
+        }
+        let state = self.seqs.get_mut(&seq.0).expect("just allocated");
+        state.plan = Some(SeqPlan {
+            prompt: tokens.to_vec(),
+            blocks,
+            sealed: matched,
+        });
+        self.stats.trie_hits += matched as u64;
+        self.stats.tokens_reused += (matched * bt) as u64;
+        self.stats.quant_rows_skipped += (matched * bt * self.num_layers * 2) as u64;
+        self.stats.bytes_deduplicated += adopted_bytes;
+        PrefixAlloc {
+            seq,
+            matched_tokens: matched * bt,
+        }
+    }
+
+    fn fresh_block_mmu(&mut self) -> u32 {
+        let id = self.next_block_mmu;
+        self.next_block_mmu -= 1;
+        assert!(
+            self.next_block_mmu > self.next_id,
+            "block and sequence id spaces collided"
+        );
+        id
+    }
+
+    /// Retires a sequence: frees its private pages (tail + pending
+    /// blocks), releases its shared blocks leaf-first (freeing each only
+    /// when the last sharer departs), and recycles its buffers. Returns
+    /// the number of physically freed pages.
     ///
     /// # Errors
     ///
     /// Returns [`PoolError::UnknownSequence`] for a double-free.
     pub fn free_seq(&mut self, seq: SeqId) -> Result<u32, PoolError> {
-        let mut slots = self
+        let mut state = self
             .seqs
             .remove(&seq.0)
             .ok_or(PoolError::UnknownSequence { seq })?;
-        let freed = self
+        let mut freed = self
             .mmu
             .free_request(seq.0)
             .expect("pool-owned pages cannot double-free");
-        for pair in &mut slots.slots {
+        if let Some(plan) = state.plan.take() {
+            for block in plan.blocks.into_iter().rev() {
+                match block {
+                    SeqBlock::Pending { mmu } => {
+                        freed += self
+                            .mmu
+                            .free_request(mmu)
+                            .expect("pending pages are exclusively owned");
+                    }
+                    SeqBlock::Shared(id) => {
+                        let block_mmu = self.trie.get(id).mmu;
+                        let released = self.mmu.release_request(block_mmu);
+                        match self.trie.release(id) {
+                            Some(b) => {
+                                debug_assert_eq!(released, b.pages, "block page accounting");
+                                freed += released;
+                            }
+                            None => debug_assert_eq!(released, 0, "block still shared"),
+                        }
+                    }
+                }
+            }
+        }
+        for pair in &mut state.slots {
             for slot in pair {
                 slot.reset_for_reuse();
             }
         }
-        slots.pages = 0;
-        self.recycled.push(slots);
+        state.pages = 0;
+        self.recycled.push(state);
         Ok(freed)
     }
 
     /// Appends one token's K/V rows for `(seq, layer)`, quantizing them
-    /// incrementally and laying the encoded payload into pages. Atomic:
-    /// on `Err` nothing was modified.
+    /// incrementally and laying the encoded payload into pages — pending
+    /// prompt-block streams while inside the planned prompt, the private
+    /// tail stream afterwards. Atomic: on `Err` nothing was modified.
+    /// Completing the last row of a pending block **seals** it into the
+    /// prefix trie (see the module docs).
     ///
     /// # Errors
     ///
@@ -394,18 +815,27 @@ impl PagedKvPool {
     ) -> Result<(), PoolError> {
         assert_eq!(k.len(), self.kv_dim, "key width mismatch");
         assert_eq!(v.len(), self.kv_dim, "value width mismatch");
-        if !self.seqs.contains_key(&seq.0) {
+        let Some(state) = self.seqs.get(&seq.0) else {
             return Err(PoolError::UnknownSequence { seq });
+        };
+        let mut needed = 0u32;
+        for kind in KvKind::ALL {
+            let pos = state.slots[layer][kind_index(kind)].rows;
+            let owner = self.owner_for_pos(state, seq.0, pos);
+            needed += self.stream_set_pages_needed(owner, layer, kind, 1);
         }
-        let needed = self.layer_pages_possibly_needed(seq, layer);
         let free = self.free_pages();
         if needed > free {
             return Err(PoolError::OutOfPages { needed, free });
         }
         for (kind, row) in [(KvKind::Key, k), (KvKind::Value, v)] {
+            let state = self.seqs.get(&seq.0).expect("checked above");
+            let pos = state.slots[layer][kind_index(kind)].rows;
+            let owner = self.owner_for_pos(state, seq.0, pos);
             let (dense, sparse) = self.append_row(seq, layer, kind, row);
-            self.write_pages(seq, layer, kind, dense, sparse);
+            self.write_pages(seq, owner, layer, kind, dense, sparse);
         }
+        self.seal_completed_blocks(seq);
         Ok(())
     }
 
@@ -442,10 +872,20 @@ impl PagedKvPool {
         }
     }
 
-    /// Lays one encoded row's bytes into the per-head dense/sparse page
-    /// streams (the burst-order write layout of §5.2). Byte totals are
-    /// split evenly across heads, remainder to the lowest heads.
-    fn write_pages(&mut self, seq: SeqId, layer: usize, kind: KvKind, dense: usize, sparse: usize) {
+    /// Lays one encoded row's bytes into `owner`'s per-head dense/sparse
+    /// page streams (the burst-order write layout of §5.2). Byte totals
+    /// are split evenly across heads, remainder to the lowest heads. New
+    /// pages are charged to the sequence's private count (pending blocks
+    /// stay private until sealed).
+    fn write_pages(
+        &mut self,
+        seq: SeqId,
+        owner: u32,
+        layer: usize,
+        kind: KvKind,
+        dense: usize,
+        sparse: usize,
+    ) {
         let mut new_pages = 0u32;
         for (class, total) in [(StreamClass::Dense, dense), (StreamClass::Sparse, sparse)] {
             if total == 0 {
@@ -458,7 +898,7 @@ impl PagedKvPool {
                 if bytes == 0 {
                     continue;
                 }
-                let key = self.stream_key(seq, layer, kind, head, class);
+                let key = self.stream_key(owner, layer, kind, head, class);
                 let receipt = self
                     .mmu
                     .write_token(key, bytes as u32)
@@ -472,6 +912,140 @@ impl PagedKvPool {
                 .expect("caller validated the sequence")
                 .pages += new_pages;
         }
+    }
+
+    /// Seals every pending block whose rows are complete across all
+    /// layers and kinds: the block either enters the trie as a new node
+    /// (its pages move from private to shared accounting) or — when a
+    /// concurrent sequence already sealed the identical block — is freed
+    /// and the existing node adopted instead (late dedup).
+    fn seal_completed_blocks(&mut self, seq: SeqId) {
+        loop {
+            let state = self.seqs.get(&seq.0).expect("caller validated");
+            let Some(plan) = &state.plan else {
+                return;
+            };
+            if plan.sealed >= plan.blocks.len() {
+                return;
+            }
+            let boundary = (plan.sealed + 1) * self.block_tokens;
+            let complete = state
+                .slots
+                .iter()
+                .all(|pair| pair.iter().all(|s| s.rows >= boundary));
+            if !complete {
+                return;
+            }
+            self.seal_block(seq);
+        }
+    }
+
+    /// Materialized dequantized rows `[start, end)` of one slot. Streaming
+    /// slots keep `view` current on every append; exact-f32 slots hold the
+    /// authoritative copy in `exact` (the view is lazily re-cloned).
+    fn block_rows(slot: &KindSlot, kv_dim: usize, start: usize, end: usize) -> Vec<f32> {
+        let src = if slot.stream.is_some() {
+            &slot.view
+        } else {
+            &slot.exact
+        };
+        src[start * kv_dim..end * kv_dim].to_vec()
+    }
+
+    /// Seals the next pending block of `seq` (see
+    /// [`seal_completed_blocks`](Self::seal_completed_blocks)).
+    fn seal_block(&mut self, seq: SeqId) {
+        let bt = self.block_tokens;
+        let kv_dim = self.kv_dim;
+        let (b, pending_mmu, chunk, parent) = {
+            let state = self.seqs.get(&seq.0).expect("caller validated");
+            let plan = state.plan.as_ref().expect("caller checked");
+            let b = plan.sealed;
+            let mmu = match plan.blocks[b] {
+                SeqBlock::Pending { mmu } => mmu,
+                SeqBlock::Shared(_) => unreachable!("sealed blocks are skipped"),
+            };
+            let chunk: Box<[u32]> = plan.prompt[b * bt..(b + 1) * bt].into();
+            let parent = match b.checked_sub(1) {
+                None => None,
+                Some(prev) => match plan.blocks[prev] {
+                    SeqBlock::Shared(id) => Some(id),
+                    SeqBlock::Pending { .. } => unreachable!("blocks seal in order"),
+                },
+            };
+            (b, mmu, chunk, parent)
+        };
+        let sealed_id = match self.trie.child(parent, &chunk) {
+            Some(existing) => {
+                // Late dedup: another sequence sealed the identical block
+                // first. Prefix determinism says both copies are
+                // bit-identical — check it in debug builds — so drop ours
+                // and adopt theirs.
+                #[cfg(debug_assertions)]
+                {
+                    let state = self.seqs.get(&seq.0).expect("caller validated");
+                    let block = self.trie.get(existing);
+                    for (layer, pair) in state.slots.iter().enumerate() {
+                        for (ki, slot) in pair.iter().enumerate() {
+                            let ours = Self::block_rows(slot, kv_dim, b * bt, (b + 1) * bt);
+                            let theirs = &block.views[layer][ki];
+                            debug_assert!(
+                                ours.iter()
+                                    .map(|x| x.to_bits())
+                                    .eq(theirs.iter().map(|x| x.to_bits())),
+                                "trie hit is not bit-exact (layer {layer}, kind {ki}): \
+                                 quantizer wrongly claims prefix determinism"
+                            );
+                        }
+                    }
+                }
+                let freed = self
+                    .mmu
+                    .free_request(pending_mmu)
+                    .expect("pending pages are exclusively owned");
+                self.seqs.get_mut(&seq.0).expect("caller validated").pages -= freed;
+                self.trie.retain(existing);
+                let block_mmu = self.trie.get(existing).mmu;
+                self.mmu.retain_request(block_mmu);
+                self.stats.seal_dedups += 1;
+                self.stats.bytes_deduplicated += self.trie.get(existing).bytes;
+                existing
+            }
+            None => {
+                let pages = self.mmu.request_pages(pending_mmu);
+                let bytes = self.mmu.request_bytes(pending_mmu);
+                let views: Vec<[Vec<f32>; 2]> = {
+                    let state = self.seqs.get(&seq.0).expect("caller validated");
+                    state
+                        .slots
+                        .iter()
+                        .map(|pair| {
+                            [
+                                Self::block_rows(&pair[0], kv_dim, b * bt, (b + 1) * bt),
+                                Self::block_rows(&pair[1], kv_dim, b * bt, (b + 1) * bt),
+                            ]
+                        })
+                        .collect()
+                };
+                let id = self.trie.insert(
+                    parent,
+                    TrieBlock::new(chunk, pending_mmu, pages, bytes, views),
+                );
+                // The pages move from this sequence's private count to the
+                // trie's shared count.
+                self.seqs.get_mut(&seq.0).expect("caller validated").pages -= pages;
+                id
+            }
+        };
+        let plan = self
+            .seqs
+            .get_mut(&seq.0)
+            .expect("caller validated")
+            .plan
+            .as_mut()
+            .expect("caller checked");
+        plan.blocks[b] = SeqBlock::Shared(sealed_id);
+        plan.sealed += 1;
     }
 
     fn refresh(&mut self, seq: SeqId, layer: usize, kind: KvKind) {
@@ -521,14 +1095,27 @@ impl PagedKvPool {
     }
 }
 
+/// Worst-case pages `rows` rows of at most `bound` bytes each need on a
+/// stream whose tail page has `tail_free` bytes left: the tail absorbs
+/// whole worst-case rows first, fresh pages are charged at worst-case
+/// packing (rows never span pages).
+fn rows_to_pages(tail_free: usize, rows: usize, bound: usize, page: usize) -> u32 {
+    let absorbed = tail_free / bound;
+    if absorbed >= rows {
+        return 0;
+    }
+    let per_page = page / bound;
+    ((rows - absorbed).div_ceil(per_page)) as u32
+}
+
 /// Borrowed view pairing a [`PagedKvPool`] with the batch's slot → sequence
 /// mapping for one engine iteration, implementing [`BatchKvCache`] for
 /// [`crate::Model::forward_batch`].
 ///
 /// Appends panic on pool exhaustion: the scheduler must reserve capacity
-/// with [`PagedKvPool::pages_possibly_needed`] (and preempt) *before* the
-/// forward pass, so a mid-token allocation failure is an engine bug, not a
-/// recoverable condition.
+/// with [`PagedKvPool::pages_possibly_needed_n`] (and preempt) *before*
+/// the forward pass, so a mid-token allocation failure is an engine bug,
+/// not a recoverable condition.
 pub struct PoolBatchView<'p> {
     pool: &'p mut PagedKvPool,
     seqs: &'p [SeqId],
@@ -773,5 +1360,299 @@ mod tests {
             let grown = pool.mmu().allocator().allocated_pages() - before;
             assert!(grown <= bound, "token {t}: grew {grown} > bound {bound}");
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Prefix-sharing tests
+    // ------------------------------------------------------------------
+
+    /// Token-deterministic rows: position `pos` of a prompt always yields
+    /// the same K/V vectors (the property the real model provides — K/V at
+    /// a position are a function of the token prefix).
+    fn kv_for_pos(d: usize, pos: usize) -> (Vec<f32>, Vec<f32>) {
+        (row(d, pos as u64), row(d, 5000 + pos as u64))
+    }
+
+    fn feed_prompt(
+        pool: &mut PagedKvPool,
+        seq: SeqId,
+        layers: usize,
+        d: usize,
+        from: usize,
+        to: usize,
+    ) {
+        for pos in from..to {
+            let (k, v) = kv_for_pos(d, pos);
+            for layer in 0..layers {
+                pool.append(seq, layer, &k, &v).unwrap();
+            }
+        }
+    }
+
+    fn assert_balanced(pool: &PagedKvPool) {
+        let acc = pool.page_accounting();
+        assert_eq!(
+            acc.total(),
+            pool.capacity_pages(),
+            "page accounting must balance: {acc:?}"
+        );
+    }
+
+    #[test]
+    fn adopted_prefix_is_bit_exact_and_dedupes_pages() {
+        let layers = 2;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let q = oaken(d, layers);
+        let mut pool = PagedKvPool::for_model(&cfg, Some(q.clone()), 2048, 512);
+        pool.set_block_tokens(4);
+        let prompt: Vec<u32> = (0..13).map(|i| 10 + i).collect(); // 3 full blocks + tail
+
+        // First sequence: cold, everything private, blocks seal as filled.
+        let a = pool.alloc_seq_with_prefix(&prompt);
+        assert_eq!(a.matched_tokens, 0);
+        feed_prompt(&mut pool, a.seq, layers, d, 0, prompt.len());
+        assert_eq!(pool.trie_blocks(), 3);
+        assert_balanced(&pool);
+        let pages_after_one = pool.capacity_pages() - pool.free_pages();
+
+        // Second sequence: trie hit on all three blocks.
+        let b = pool.alloc_seq_with_prefix(&prompt);
+        assert_eq!(b.matched_tokens, 12);
+        assert_eq!(pool.seq_len(b.seq, 0), 12, "adopted rows are cached");
+        feed_prompt(&mut pool, b.seq, layers, d, 12, prompt.len() + 4);
+        assert_balanced(&pool);
+        let stats = pool.prefix_stats();
+        assert_eq!(stats.trie_hits, 3);
+        assert_eq!(stats.tokens_reused, 12);
+        assert_eq!(stats.quant_rows_skipped, 12 * layers as u64 * 2);
+        assert!(stats.bytes_deduplicated > 0);
+
+        // The sharer consumed far fewer pages than a second private copy:
+        // only its tail is new.
+        let pages_after_two = pool.capacity_pages() - pool.free_pages();
+        assert!(
+            pages_after_two - pages_after_one < pages_after_one,
+            "sharing must not double the footprint ({pages_after_one} -> {pages_after_two})"
+        );
+
+        // Bit-exactness against a private single-sequence cache.
+        let mut cache = QuantizedCache::new(q);
+        cache.reset(layers, d);
+        for pos in 0..prompt.len() + 4 {
+            let (k, v) = kv_for_pos(d, pos);
+            for layer in 0..layers {
+                cache.append(layer, &k, &v);
+            }
+        }
+        for layer in 0..layers {
+            let pk: Vec<u32> = pool
+                .keys(b.seq, layer)
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let ck: Vec<u32> = cache.keys(layer).iter().map(|x| x.to_bits()).collect();
+            assert_eq!(pk, ck, "keys diverged at layer {layer}");
+            let pv: Vec<u32> = pool
+                .values(b.seq, layer)
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let cv: Vec<u32> = cache.values(layer).iter().map(|x| x.to_bits()).collect();
+            assert_eq!(pv, cv, "values diverged at layer {layer}");
+        }
+
+        // Freeing the sealer keeps the blocks alive for the sharer.
+        pool.free_seq(a.seq).unwrap();
+        assert_eq!(pool.trie_blocks(), 3);
+        assert_balanced(&pool);
+        assert_eq!(pool.seq_len(b.seq, 0), prompt.len() + 4);
+        // Freeing the last sharer drains everything.
+        pool.free_seq(b.seq).unwrap();
+        assert_eq!(pool.trie_blocks(), 0);
+        assert_eq!(pool.free_pages(), pool.capacity_pages());
+    }
+
+    #[test]
+    fn concurrent_prefills_dedup_at_seal() {
+        let layers = 1;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let q = oaken(d, layers);
+        let mut pool = PagedKvPool::for_model(&cfg, Some(q), 2048, 512);
+        pool.set_block_tokens(4);
+        let prompt: Vec<u32> = (0..9).collect(); // 2 full blocks
+
+        // Both sequences admitted before either sealed: both miss.
+        let a = pool.alloc_seq_with_prefix(&prompt);
+        let b = pool.alloc_seq_with_prefix(&prompt);
+        assert_eq!(a.matched_tokens + b.matched_tokens, 0);
+        // Interleaved prefill, token by token.
+        for pos in 0..prompt.len() {
+            let (k, v) = kv_for_pos(d, pos);
+            pool.append(a.seq, 0, &k, &v).unwrap();
+            pool.append(b.seq, 0, &k, &v).unwrap();
+        }
+        // Whoever sealed second merged into the first's blocks.
+        assert_eq!(pool.trie_blocks(), 2);
+        let stats = pool.prefix_stats();
+        assert_eq!(stats.seal_dedups, 2);
+        assert!(stats.bytes_deduplicated > 0);
+        assert_balanced(&pool);
+        pool.free_seq(a.seq).unwrap();
+        pool.free_seq(b.seq).unwrap();
+        assert_eq!(pool.free_pages(), pool.capacity_pages());
+        assert_eq!(pool.trie_blocks(), 0);
+    }
+
+    #[test]
+    fn diverging_prompts_share_only_the_common_blocks() {
+        let layers = 1;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let q = oaken(d, layers);
+        let mut pool = PagedKvPool::for_model(&cfg, Some(q), 2048, 512);
+        pool.set_block_tokens(4);
+        let p1: Vec<u32> = (0..13).collect();
+        let mut p2 = p1.clone();
+        p2[9] = 99; // diverge inside the third block
+
+        let a = pool.alloc_seq_with_prefix(&p1);
+        feed_prompt(&mut pool, a.seq, layers, d, 0, p1.len());
+        assert_eq!(pool.trie_blocks(), 3);
+
+        assert_eq!(pool.probe_prefix(&p2), 8, "two common blocks");
+        let b = pool.alloc_seq_with_prefix(&p2);
+        assert_eq!(b.matched_tokens, 8);
+        // Feed the divergent remainder (rows keyed off the divergent
+        // tokens so content genuinely differs).
+        for pos in 8..p2.len() {
+            let (k, v) = kv_for_pos(d, p2[pos] as usize + 1000 * usize::from(pos >= 9));
+            pool.append(b.seq, 0, &k, &v).unwrap();
+        }
+        assert_eq!(
+            pool.trie_blocks(),
+            4,
+            "divergent third block forks the trie"
+        );
+        assert_balanced(&pool);
+        pool.free_seq(b.seq).unwrap();
+        assert_eq!(pool.trie_blocks(), 3, "fork released, common chain kept");
+        pool.free_seq(a.seq).unwrap();
+        assert_eq!(pool.trie_blocks(), 0);
+        assert_eq!(pool.free_pages(), pool.capacity_pages());
+    }
+
+    #[test]
+    fn sharing_is_gated_on_prefix_determinism() {
+        use oaken_baselines_like_calib::CalibLike;
+        let layers = 1;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let pool = PagedKvPool::for_model(&cfg, Some(Arc::new(CalibLike)), 64, 512);
+        assert!(
+            !pool.prefix_sharing(),
+            "calib-prefix methods must not share"
+        );
+        let q = oaken(d, layers);
+        let mut pool = PagedKvPool::for_model(&cfg, Some(q), 64, 512);
+        assert!(pool.prefix_sharing(), "oaken shares");
+        pool.set_prefix_sharing(false);
+        let a = pool.alloc_seq_with_prefix(&(0..40).collect::<Vec<u32>>());
+        assert_eq!(a.matched_tokens, 0);
+    }
+
+    /// A stand-in for a calibrate-then-freeze baseline: correct row
+    /// quantization but explicitly *not* prefix-deterministic.
+    mod oaken_baselines_like_calib {
+        use oaken_core::{KvKind, KvQuantizer, OnlineCost};
+
+        pub struct CalibLike;
+
+        impl KvQuantizer for CalibLike {
+            fn name(&self) -> &'static str {
+                "calib-like"
+            }
+            fn roundtrip_matrix(
+                &self,
+                data: &[f32],
+                _rows: usize,
+                _d: usize,
+                _layer: usize,
+                _kind: KvKind,
+            ) -> Vec<f32> {
+                data.to_vec()
+            }
+            fn effective_bits(&self, _rows: usize, _d: usize) -> f64 {
+                8.0
+            }
+            fn online_cost(&self) -> OnlineCost {
+                OnlineCost::free()
+            }
+        }
+    }
+
+    #[test]
+    fn exact_pool_shares_prefixes_too() {
+        let layers = 1;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let mut pool = PagedKvPool::for_model(&cfg, None, 2048, 512);
+        pool.set_block_tokens(4);
+        assert!(
+            pool.prefix_sharing(),
+            "exact f32 is trivially deterministic"
+        );
+        let prompt: Vec<u32> = (0..9).collect();
+        let a = pool.alloc_seq_with_prefix(&prompt);
+        feed_prompt(&mut pool, a.seq, layers, d, 0, prompt.len());
+        let b = pool.alloc_seq_with_prefix(&prompt);
+        assert_eq!(b.matched_tokens, 8);
+        feed_prompt(&mut pool, b.seq, layers, d, 8, prompt.len() + 2);
+        // The exact path re-materializes views from `exact`; the adopted
+        // prefix must survive that.
+        let keys = pool.keys(b.seq, 0).to_vec();
+        assert_eq!(keys.len(), (prompt.len() + 2) * d);
+        let (k0, _) = kv_for_pos(d, 0);
+        assert_eq!(&keys[..d], &k0[..], "adopted rows present after refresh");
+        assert_balanced(&pool);
+        pool.free_seq(a.seq).unwrap();
+        pool.free_seq(b.seq).unwrap();
+        assert_eq!(pool.free_pages(), pool.capacity_pages());
+    }
+
+    #[test]
+    fn chunk_reservation_bound_is_safe() {
+        let layers = 2;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let q = oaken(d, layers);
+        let mut pool = PagedKvPool::for_model(&cfg, Some(q), 4096, 512);
+        pool.set_block_tokens(4);
+        let prompt: Vec<u32> = (0..23).collect();
+        let s = pool.alloc_seq_with_prefix(&prompt);
+        let mut pos = 0usize;
+        for chunk in [3usize, 5, 4, 7, 4] {
+            let before = pool.mmu().allocator().allocated_pages();
+            let bound = pool.pages_possibly_needed_n(s.seq, chunk).unwrap();
+            feed_prompt(&mut pool, s.seq, layers, d, pos, pos + chunk);
+            pos += chunk;
+            let grown = pool.mmu().allocator().allocated_pages() - before;
+            assert!(
+                grown <= bound,
+                "chunk at {pos}: grew {grown} > bound {bound}"
+            );
+        }
+        assert_balanced(&pool);
+    }
+
+    #[test]
+    fn rows_to_pages_bounds() {
+        // Tail absorbs two 100-byte rows of a 512-byte page.
+        assert_eq!(rows_to_pages(250, 2, 100, 512), 0);
+        // Third row opens a page that packs five.
+        assert_eq!(rows_to_pages(250, 3, 100, 512), 1);
+        assert_eq!(rows_to_pages(0, 11, 100, 512), 3);
+        assert_eq!(rows_to_pages(0, 1, 100, 512), 1);
     }
 }

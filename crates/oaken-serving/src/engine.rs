@@ -3,28 +3,41 @@
 //!
 //! This is the executed counterpart of the analytic serving simulator in
 //! [`crate::simulate`]. Scheduling follows the Orca/vLLM shape the paper's
-//! §5.3 token-level scheduler assumes:
+//! §5.3 token-level scheduler assumes, extended with the two levers
+//! high-QPS shared-prompt traffic rewards:
 //!
-//! * **iteration-level scheduling** — every engine step advances each
-//!   active sequence by exactly one token (prefill tokens and decode
-//!   tokens interleave freely in the same batch), through the model's
-//!   layer-major [`Model::forward_batch`] pass;
-//! * **admission control** — a queued request is admitted the moment the
-//!   pool has pages for it (policy-selectable: prompt-only or full
-//!   sequence reservation), and retired sequences free their pages
-//!   *within the same step*, so their slots refill immediately;
+//! * **iteration-level scheduling with chunked prefill** — every engine
+//!   step advances each decoding sequence by exactly one token, while
+//!   prompt ingestion is split into chunks under a per-iteration
+//!   [token budget](EngineConfig::prefill_token_budget) (Sarathi-style):
+//!   a single long prompt no longer monopolizes iterations, decode and
+//!   prefill interleave inside one layer-major
+//!   [`Model::forward_batch`] pass, and every prefilling sequence is
+//!   guaranteed at least one token per iteration so nothing starves;
+//! * **prefix-aware admission control** — a queued request is probed
+//!   against the pool's prefix trie ([`PagedKvPool::probe_prefix`]) and
+//!   reserves pages only for its *non-shared* tokens, so a cache-hot
+//!   request admits under page pressure that would stall a cold one;
+//!   retired sequences free their pages *within the same step*, so their
+//!   slots refill immediately;
 //! * **preemption by eviction** — when the pool cannot guarantee the next
-//!   token for every active sequence, the newest sequences are evicted
-//!   (pages freed, request re-queued at the front for restart) until the
-//!   remaining batch is safe — the recompute-on-restart strategy of
-//!   vLLM's PagedAttention scheduler.
+//!   chunk for every active sequence, the engine first degrades to
+//!   single-token steps, then evicts the newest sequences (pages freed,
+//!   request re-queued at the front for restart) until the remaining
+//!   batch is safe — the recompute-on-restart strategy of vLLM's
+//!   PagedAttention scheduler. A restarted request re-walks the trie, so
+//!   its previously sealed prefix blocks are re-adopted instead of
+//!   re-quantized.
 //!
 //! Per-sequence arithmetic is bit-exact with a legacy single-sequence
 //! [`oaken_model::Session`] run over the same quantizer, for every
-//! admission/retire interleaving — enforced by `tests/engine_props.rs`.
+//! admission/retire interleaving and every chunk schedule — enforced by
+//! `tests/engine_props.rs` and `tests/prefix_props.rs`.
 
 use crate::scheduler::TokenScheduler;
-use oaken_model::{sample_greedy, BatchStep, Model, PagedKvPool, PoolBatchView, SeqId};
+use oaken_model::{
+    sample_greedy, BatchStep, Model, PagedKvPool, PoolBatchView, PrefixStats, SeqId,
+};
 use std::collections::VecDeque;
 
 /// One serving request with real token content: a prompt to prefill and a
@@ -58,13 +71,36 @@ impl EngineRequest {
     /// Synthesizes deterministic prompt content for a length-only
     /// [`crate::Request`] (trace replays carry lengths, not tokens).
     pub fn from_lengths(req: &crate::Request, vocab_size: usize, seed: u64) -> Self {
-        let prompt = (0..req.input_len.max(1))
+        Self::from_lengths_with_shared_prefix(req, vocab_size, seed, 0)
+    }
+
+    /// Like [`from_lengths`](Self::from_lengths), but the first
+    /// `shared_prefix` prompt tokens are derived from `seed` alone — every
+    /// request synthesized with the same `(seed, shared_prefix)` starts
+    /// with the identical system prompt, the traffic shape prefix caching
+    /// deduplicates. The remainder stays request-unique.
+    pub fn from_lengths_with_shared_prefix(
+        req: &crate::Request,
+        vocab_size: usize,
+        seed: u64,
+        shared_prefix: usize,
+    ) -> Self {
+        fn tok(salt: u64, i: usize, vocab_size: usize) -> u32 {
+            let x = salt
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64)
+                .wrapping_mul(0xD134_2543_DE82_EF95);
+            ((x >> 33) % vocab_size as u64) as u32
+        }
+        let len = req.input_len.max(1);
+        let shared = shared_prefix.min(len);
+        let prompt = (0..len)
             .map(|i| {
-                let x = (req.id ^ seed)
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(i as u64)
-                    .wrapping_mul(0xD134_2543_DE82_EF95);
-                ((x >> 33) % vocab_size as u64) as u32
+                if i < shared {
+                    tok(seed ^ 0x5EED_5EED, i, vocab_size)
+                } else {
+                    tok(req.id ^ seed, i, vocab_size)
+                }
             })
             .collect();
         Self::new(req.id, prompt, req.output_len.max(1))
@@ -77,7 +113,8 @@ impl EngineRequest {
     }
 }
 
-/// How much pool capacity admission reserves per request.
+/// How much pool capacity admission reserves per request (always net of
+/// the request's trie-shared prefix).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AdmissionPolicy {
     /// Admit as soon as the *prompt* fits; decode growth is absorbed by
@@ -100,6 +137,13 @@ pub struct EngineConfig {
     /// Record every decode-phase logits vector per request (for the
     /// bit-exactness tests; memory-heavy on real vocabularies).
     pub record_logits: bool,
+    /// Target prompt tokens ingested per iteration across the whole batch
+    /// (the Sarathi-style chunked-prefill budget). Decoding sequences
+    /// consume one token each first; the remainder is handed to
+    /// prefilling sequences in admission order. Soft: every prefilling
+    /// sequence still receives at least one token per iteration, so the
+    /// classic one-token-per-step schedule is the `1` setting.
+    pub prefill_token_budget: usize,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +152,7 @@ impl Default for EngineConfig {
             max_batch: 8,
             admission: AdmissionPolicy::default(),
             record_logits: false,
+            prefill_token_budget: 16,
         }
     }
 }
@@ -127,6 +172,10 @@ pub struct FinishedRequest {
     pub completed: bool,
     /// Times the request was evicted and restarted.
     pub preemptions: usize,
+    /// Engine iteration (1-based) that produced the request's first
+    /// decode token — the time-to-first-token in iterations. 0 for failed
+    /// requests.
+    pub ttft_iteration: u64,
 }
 
 /// Aggregate counters over one engine run.
@@ -147,21 +196,39 @@ pub struct EngineStats {
     pub admission_stalls: u64,
     /// Largest concurrent batch observed.
     pub peak_active: usize,
-    /// Prompt tokens fed.
+    /// Prompt tokens actually fed through the model (trie-reused tokens
+    /// are *not* fed and not counted here).
     pub prefill_tokens: u64,
     /// Tokens generated.
     pub decode_tokens: u64,
-    /// Sum over iterations of the generation core utilization.
+    /// Per-sequence prompt chunks executed (a chunk is one iteration's
+    /// prompt feed for one sequence, of any length ≥ 1).
+    pub prefill_chunks: u64,
+    /// Prefix-cache counters mirrored from the pool (trie hits, reused
+    /// tokens, skipped quantizations, deduplicated bytes).
+    pub prefix: PrefixStats,
+    /// Peak pages held by sealed shared blocks over the run.
+    pub shared_pages_peak: u32,
+    /// Peak allocated pages over the run (the high-water capacity mark
+    /// prefix dedup lowers).
+    pub pages_in_use_peak: u32,
+    /// Sum over generation iterations of the core utilization.
     utilization_sum: f64,
+    /// Iterations with at least one decoding sequence — the denominator
+    /// for the utilization mean. Pure-prefill and fully stalled
+    /// iterations (both common under chunked prefill) are excluded
+    /// instead of diluting the mean toward zero.
+    utilization_iters: u64,
 }
 
 impl EngineStats {
-    /// Mean generation-phase core utilization across iterations.
+    /// Mean generation-phase core utilization across the iterations that
+    /// actually decoded (pure-prefill/stalled iterations are ignored).
     pub fn mean_core_utilization(&self) -> f64 {
-        if self.iterations == 0 {
+        if self.utilization_iters == 0 {
             0.0
         } else {
-            self.utilization_sum / self.iterations as f64
+            self.utilization_sum / self.utilization_iters as f64
         }
     }
 }
@@ -169,28 +236,28 @@ impl EngineStats {
 struct QueuedRequest {
     req: EngineRequest,
     preemptions: usize,
+    /// Iteration of the request's first decode token, carried across
+    /// preemption restarts (the token was already produced — and in a
+    /// real deployment streamed to the user — before the eviction; the
+    /// restart merely recomputes the identical suffix).
+    ttft_iteration: u64,
 }
 
 struct ActiveSeq {
     req: EngineRequest,
     seq: SeqId,
-    /// Tokens fed so far (prompt cursor while < prompt.len()).
+    /// Tokens cached so far (prompt cursor while < prompt.len()); starts
+    /// at the trie-matched prefix length — adopted tokens are never fed.
     pos: usize,
     generated: Vec<u32>,
     logits: Vec<Vec<f32>>,
     preemptions: usize,
+    ttft_iteration: u64,
 }
 
 impl ActiveSeq {
-    fn next_token(&self) -> u32 {
-        if self.pos < self.req.prompt.len() {
-            self.req.prompt[self.pos]
-        } else {
-            *self
-                .generated
-                .last()
-                .expect("decode phase implies at least one generated token")
-        }
+    fn decoding(&self) -> bool {
+        self.pos >= self.req.prompt.len()
     }
 
     fn finished(&self) -> bool {
@@ -216,7 +283,7 @@ impl<'m> BatchEngine<'m> {
     ///
     /// # Panics
     ///
-    /// Panics if `max_batch` is zero.
+    /// Panics if `max_batch` or `prefill_token_budget` is zero.
     pub fn new(
         model: &'m Model,
         pool: PagedKvPool,
@@ -224,6 +291,10 @@ impl<'m> BatchEngine<'m> {
         config: EngineConfig,
     ) -> Self {
         assert!(config.max_batch > 0, "need at least one batch slot");
+        assert!(
+            config.prefill_token_budget > 0,
+            "need at least one prefill token per iteration"
+        );
         Self {
             model,
             pool,
@@ -247,6 +318,7 @@ impl<'m> BatchEngine<'m> {
         self.queue.push_back(QueuedRequest {
             req,
             preemptions: 0,
+            ttft_iteration: 0,
         });
     }
 
@@ -275,60 +347,87 @@ impl<'m> BatchEngine<'m> {
         self.queue.len()
     }
 
-    /// Runs one engine iteration: admit, reserve capacity (possibly
-    /// preempting), advance every active sequence one token, retire
-    /// finished sequences, and refill their slots. Returns `false` once no
-    /// work remains.
+    /// Runs one engine iteration: admit (prefix-probed), reserve capacity
+    /// for the iteration's chunk plan (possibly degrading to single-token
+    /// steps, then preempting), advance every active sequence by its
+    /// chunk, retire finished sequences, and refill their slots. Returns
+    /// `false` once no work remains.
     pub fn step(&mut self) -> bool {
         if self.active.is_empty() && self.queue.is_empty() {
             return false;
         }
         self.stats.iterations += 1;
         let mut stalled = self.admit();
-        self.reserve_capacity();
+        let plan = self.reserve_capacity();
         if self.active.is_empty() {
             // Only impossible requests were queued and all got dropped.
             if stalled {
                 self.stats.admission_stalls += 1;
             }
+            self.sync_prefix_stats();
             return !self.queue.is_empty();
         }
 
-        // Advance the whole batch one token (layer-major under the hood).
+        // Advance the whole batch by its chunk plan (layer-major under
+        // the hood; a chunk's steps attend causally within the same
+        // forward pass).
         let seqs: Vec<SeqId> = self.active.iter().map(|a| a.seq).collect();
-        let steps: Vec<BatchStep> = self
-            .active
-            .iter()
-            .enumerate()
-            .map(|(slot, a)| BatchStep {
-                slot,
-                pos: a.pos,
-                token: a.next_token(),
-            })
-            .collect();
-        let mut view = PoolBatchView::new(&mut self.pool, &seqs);
-        let logits = self.model.forward_batch(&mut view, &steps, None);
-
-        for (a, lg) in self.active.iter_mut().zip(logits) {
-            let fed_prompt = a.pos < a.req.prompt.len();
-            a.pos += 1;
-            if fed_prompt {
-                self.stats.prefill_tokens += 1;
-            }
-            if a.pos < a.req.prompt.len() {
-                continue; // still prefilling: logits are not sampled
-            }
-            a.generated.push(sample_greedy(&lg));
-            self.stats.decode_tokens += 1;
-            if self.config.record_logits {
-                a.logits.push(lg);
+        let mut steps = Vec::new();
+        for (slot, (a, &n)) in self.active.iter().zip(&plan).enumerate() {
+            for j in 0..n {
+                let pos = a.pos + j;
+                let token = if pos < a.req.prompt.len() {
+                    a.req.prompt[pos]
+                } else {
+                    *a.generated
+                        .last()
+                        .expect("decode phase implies a generated token")
+                };
+                steps.push(BatchStep { slot, pos, token });
             }
         }
+        let mut view = PoolBatchView::new(&mut self.pool, &seqs);
+        let logits = self.model.forward_batch(&mut view, &steps, None);
+        self.stats.pages_in_use_peak = self
+            .stats
+            .pages_in_use_peak
+            .max(self.pool.capacity_pages() - self.pool.free_pages());
 
-        // §5.3 generation-phase core picture for this iteration.
-        let ctx: Vec<f64> = self.active.iter().map(|a| a.pos as f64).collect();
-        let assignment = self.scheduler.assign_generation_least_loaded(&ctx);
-        self.stats.utilization_sum += assignment.core_utilization();
+        let iteration = self.stats.iterations;
+        let mut decode_ctx: Vec<f64> = Vec::new();
+        let mut idx = 0usize;
+        for (a, &n) in self.active.iter_mut().zip(&plan) {
+            let last = &logits[idx + n - 1];
+            idx += n;
+            let prompt_len = a.req.prompt.len();
+            let fed_prompt = prompt_len.saturating_sub(a.pos).min(n);
+            if fed_prompt > 0 {
+                self.stats.prefill_tokens += fed_prompt as u64;
+                self.stats.prefill_chunks += 1;
+            }
+            a.pos += n;
+            if a.pos < prompt_len {
+                continue; // still prefilling: logits are not sampled
+            }
+            a.generated.push(sample_greedy(last));
+            self.stats.decode_tokens += 1;
+            if a.generated.len() == 1 && a.ttft_iteration == 0 {
+                a.ttft_iteration = iteration;
+            }
+            if self.config.record_logits {
+                a.logits.push(last.clone());
+            }
+            decode_ctx.push(a.pos as f64);
+        }
+
+        // §5.3 generation-phase core picture for this iteration: only the
+        // sequences that decoded occupy generation cores; pure-prefill
+        // iterations are skipped rather than diluting the mean.
+        if !decode_ctx.is_empty() {
+            let assignment = self.scheduler.assign_generation_least_loaded(&decode_ctx);
+            self.stats.utilization_sum += assignment.core_utilization();
+            self.stats.utilization_iters += 1;
+        }
 
         self.retire();
         // Freed pages refill their slots in the same step.
@@ -336,6 +435,7 @@ impl<'m> BatchEngine<'m> {
         if stalled {
             self.stats.admission_stalls += 1;
         }
+        self.sync_prefix_stats();
         !self.active.is_empty() || !self.queue.is_empty()
     }
 
@@ -345,21 +445,66 @@ impl<'m> BatchEngine<'m> {
         &self.finished
     }
 
+    fn sync_prefix_stats(&mut self) {
+        self.stats.prefix = self.pool.prefix_stats();
+        self.stats.shared_pages_peak = self
+            .stats
+            .shared_pages_peak
+            .max(self.pool.shared_block_pages());
+    }
+
+    /// Tokens each active sequence feeds this iteration: decoding
+    /// sequences take exactly one; the remaining prefill budget is dealt
+    /// to prefilling sequences in admission order, at least one each.
+    fn chunk_plan(&self) -> Vec<usize> {
+        let decoding = self.active.iter().filter(|a| a.decoding()).count();
+        let mut left = self.config.prefill_token_budget.saturating_sub(decoding);
+        self.active
+            .iter()
+            .map(|a| {
+                if a.decoding() {
+                    1
+                } else {
+                    let n = (a.req.prompt.len() - a.pos).min(left.max(1));
+                    left = left.saturating_sub(n);
+                    n
+                }
+            })
+            .collect()
+    }
+
+    /// Whether the pool can absorb `plan` in the worst case.
+    fn plan_fits(&self, plan: &[usize]) -> bool {
+        let needed: u32 = self
+            .active
+            .iter()
+            .zip(plan)
+            .map(|(a, &n)| {
+                self.pool
+                    .pages_possibly_needed_n(a.seq, n)
+                    .expect("active sequences are live in the pool")
+            })
+            .sum();
+        needed <= self.pool.free_pages()
+    }
+
     /// Pages the admission policy has promised to active sequences but
-    /// that are not yet physically allocated. Admission must leave this
-    /// headroom untouched, otherwise "reserving" would be a no-op until
-    /// the pages actually allocate and `FullSequence` would over-admit.
+    /// that are not yet ingested: the analytic footprint of each
+    /// sequence's remaining promised tokens (net of its trie-shared
+    /// prefix, which is part of `pos` from admission). Admission must
+    /// leave this headroom untouched, otherwise "reserving" would be a
+    /// no-op until the pages actually allocate and `FullSequence` would
+    /// over-admit.
     fn committed_pages(&self) -> u64 {
         self.active
             .iter()
             .map(|a| {
-                let promised = match self.config.admission {
-                    AdmissionPolicy::PromptOnly => self.pool.pages_for_tokens(a.req.prompt.len()),
-                    AdmissionPolicy::FullSequence => {
-                        self.pool.pages_for_tokens(a.req.total_tokens())
-                    }
+                let promised_tokens = match self.config.admission {
+                    AdmissionPolicy::PromptOnly => a.req.prompt.len(),
+                    AdmissionPolicy::FullSequence => a.req.total_tokens(),
                 };
-                promised.saturating_sub(u64::from(self.pool.seq_pages(a.seq)))
+                self.pool
+                    .pages_for_tokens(promised_tokens.saturating_sub(a.pos))
             })
             .sum()
     }
@@ -374,21 +519,27 @@ impl<'m> BatchEngine<'m> {
             logits: Vec::new(),
             completed: false,
             preemptions,
+            ttft_iteration: 0,
         });
     }
 
     /// Admits queue-front requests while the pool has pages and batch
-    /// slots. Requests that can never complete — footprint beyond the
-    /// whole pool, or sequence length beyond the model's `max_seq_len` —
-    /// are dropped as failed. Returns whether a possible request was left
-    /// waiting for pages (an admission stall).
+    /// slots, probing each prompt against the prefix trie so only
+    /// *non-shared* pages are reserved. Requests that can never complete
+    /// — non-shared footprint beyond the whole pool, or sequence length
+    /// beyond the model's `max_seq_len` — are dropped as failed. Returns
+    /// whether a possible request was left waiting for pages (an
+    /// admission stall).
     fn admit(&mut self) -> bool {
         let mut stalled = false;
         while self.active.len() < self.config.max_batch {
             let Some(front) = self.queue.front() else {
                 break;
             };
-            let full = self.pool.pages_for_tokens(front.req.total_tokens());
+            let matched = self.pool.probe_prefix(&front.req.prompt);
+            let full = self
+                .pool
+                .pages_for_tokens(front.req.total_tokens() - matched);
             if full > u64::from(self.pool.capacity_pages())
                 || front.req.total_tokens() > self.model.config().max_seq_len
             {
@@ -397,7 +548,9 @@ impl<'m> BatchEngine<'m> {
                 continue;
             }
             let reserve = match self.config.admission {
-                AdmissionPolicy::PromptOnly => self.pool.pages_for_tokens(front.req.prompt.len()),
+                AdmissionPolicy::PromptOnly => {
+                    self.pool.pages_for_tokens(front.req.prompt.len() - matched)
+                }
                 AdmissionPolicy::FullSequence => full,
             };
             if reserve + self.committed_pages() > u64::from(self.pool.free_pages()) {
@@ -405,37 +558,39 @@ impl<'m> BatchEngine<'m> {
                 break;
             }
             let q = self.queue.pop_front().expect("front exists");
-            let seq = self.pool.alloc_seq();
+            let alloc = self.pool.alloc_seq_with_prefix(&q.req.prompt);
+            debug_assert_eq!(alloc.matched_tokens, matched, "probe/alloc agree");
             self.stats.admitted += 1;
             self.active.push(ActiveSeq {
                 req: q.req,
-                seq,
-                pos: 0,
+                seq: alloc.seq,
+                pos: alloc.matched_tokens,
                 generated: Vec::new(),
                 logits: Vec::new(),
                 preemptions: q.preemptions,
+                ttft_iteration: q.ttft_iteration,
             });
         }
         self.stats.peak_active = self.stats.peak_active.max(self.active.len());
         stalled
     }
 
-    /// Guarantees the pool can absorb one token from every active
-    /// sequence, evicting the newest sequences (restart-on-preempt) until
-    /// it can. A sequence that cannot proceed even alone is dropped.
-    fn reserve_capacity(&mut self) {
+    /// Guarantees the pool can absorb this iteration's chunk plan,
+    /// degrading to single-token steps under pressure and then evicting
+    /// the newest sequences (restart-on-preempt) until it fits. A
+    /// sequence that cannot proceed even alone is dropped. Returns the
+    /// reserved plan.
+    fn reserve_capacity(&mut self) -> Vec<usize> {
         loop {
-            let needed: u32 = self
-                .active
-                .iter()
-                .map(|a| {
-                    self.pool
-                        .pages_possibly_needed(a.seq)
-                        .expect("active sequences are live in the pool")
-                })
-                .sum();
-            if needed <= self.pool.free_pages() {
-                return;
+            let plan = self.chunk_plan();
+            if self.plan_fits(&plan) {
+                return plan;
+            }
+            // Budgeted chunks do not fit: try the classic one-token-each
+            // schedule before evicting anyone.
+            let fallback = vec![1usize; self.active.len()];
+            if self.plan_fits(&fallback) {
+                return fallback;
             }
             let a = self.active.pop().expect("pressure implies active seqs");
             self.pool
@@ -449,17 +604,19 @@ impl<'m> BatchEngine<'m> {
                 // actual encoded rows would still have squeezed into the
                 // page tails — safety over utilization.
                 self.fail(a.req, a.preemptions);
-                return;
+                return Vec::new();
             }
             self.stats.preemptions += 1;
             self.queue.push_front(QueuedRequest {
                 req: a.req,
                 preemptions: a.preemptions + 1,
+                ttft_iteration: a.ttft_iteration,
             });
         }
     }
 
-    /// Retires finished sequences, freeing their pages immediately.
+    /// Retires finished sequences, freeing their private pages and
+    /// releasing their shared blocks immediately.
     fn retire(&mut self) {
         let mut i = 0;
         while i < self.active.len() {
@@ -479,6 +636,7 @@ impl<'m> BatchEngine<'m> {
                 logits: a.logits,
                 completed: true,
                 preemptions: a.preemptions,
+                ttft_iteration: a.ttft_iteration,
             });
         }
     }
@@ -532,11 +690,52 @@ mod tests {
         assert_eq!(fin.len(), 1);
         assert!(fin[0].completed);
         assert_eq!(fin[0].generated.len(), 3);
+        assert!(fin[0].ttft_iteration >= 1);
         assert_eq!(e.stats().retired, 1);
         assert_eq!(e.stats().prefill_tokens, 4);
         assert_eq!(e.stats().decode_tokens, 3);
         // All pages returned.
         assert_eq!(e.pool().free_pages(), e.pool().capacity_pages());
+    }
+
+    #[test]
+    fn chunked_prefill_compresses_prompt_iterations() {
+        let m = tiny_model();
+        let mut chunked = engine_with_pages(
+            &m,
+            2048,
+            EngineConfig {
+                prefill_token_budget: 16,
+                ..EngineConfig::default()
+            },
+        );
+        let mut classic = engine_with_pages(
+            &m,
+            2048,
+            EngineConfig {
+                prefill_token_budget: 1,
+                ..EngineConfig::default()
+            },
+        );
+        chunked.submit(req(0, 40, 3));
+        classic.submit(req(0, 40, 3));
+        chunked.run();
+        classic.run();
+        // Same tokens, same outputs...
+        assert_eq!(
+            chunked.finished()[0].generated,
+            classic.finished()[0].generated
+        );
+        assert_eq!(chunked.stats().prefill_tokens, 40);
+        // ...but the 40-token prompt takes 40 iterations classically vs
+        // ceil(40/16) + decode with the budget.
+        assert!(
+            chunked.stats().iterations * 3 < classic.stats().iterations,
+            "chunked {} vs classic {}",
+            chunked.stats().iterations,
+            classic.stats().iterations
+        );
+        assert!(chunked.stats().prefill_chunks < classic.stats().prefill_chunks);
     }
 
     #[test]
@@ -632,6 +831,19 @@ mod tests {
             e.stats()
         );
         assert!(fin.iter().any(|f| f.preemptions > 0));
+        // TTFT survives preemption: the first-wave requests (4-token
+        // prompts, 16-token budget) sample their first token in the very
+        // first iterations, long before page growth evicts one of them —
+        // the preserved value must not be overwritten by the restart.
+        assert!(fin.iter().all(|f| f.ttft_iteration >= 1));
+        assert!(
+            fin.iter()
+                .any(|f| f.preemptions > 0 && f.ttft_iteration <= 10),
+            "a preempted first-wave request must keep its early TTFT: {:?}",
+            fin.iter()
+                .map(|f| (f.id, f.preemptions, f.ttft_iteration))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -653,5 +865,52 @@ mod tests {
         e.run();
         let u = e.stats().mean_core_utilization();
         assert!(u > 0.0 && u <= 1.0, "{u}");
+    }
+
+    /// Pure-prefill iterations must not drag the generation-phase
+    /// utilization mean toward zero: a long prompt followed by a short
+    /// decode reports the decode iterations' utilization only.
+    #[test]
+    fn utilization_ignores_pure_prefill_iterations() {
+        let m = tiny_model();
+        // Budget 1: a 30-token prompt takes 30 pure-prefill iterations
+        // before 3 decode iterations on a single sequence.
+        let mut e = engine_with_pages(
+            &m,
+            2048,
+            EngineConfig {
+                prefill_token_budget: 1,
+                ..EngineConfig::default()
+            },
+        );
+        e.submit(req(0, 30, 3));
+        e.run();
+        // One sequence on 4 cores decodes at utilization 0.25 exactly;
+        // counting the 29 empty iterations would report ~0.02.
+        let u = e.stats().mean_core_utilization();
+        assert!((u - 0.25).abs() < 1e-9, "{u}");
+    }
+
+    #[test]
+    fn shared_prefix_synthesis_is_shared_exactly() {
+        let mk = |id, shared| {
+            EngineRequest::from_lengths_with_shared_prefix(
+                &crate::Request {
+                    id,
+                    input_len: 12,
+                    output_len: 2,
+                },
+                256,
+                7,
+                shared,
+            )
+        };
+        let a = mk(0, 8);
+        let b = mk(1, 8);
+        assert_eq!(a.prompt[..8], b.prompt[..8], "system prompt shared");
+        assert_ne!(a.prompt[8..], b.prompt[8..], "tails unique");
+        let c = mk(2, 0);
+        let d = mk(3, 0);
+        assert_ne!(c.prompt, d.prompt);
     }
 }

@@ -2,7 +2,9 @@
 //! statistics, token-level batch scheduling (§5.3), trace-driven
 //! throughput measurement (Figure 14), and — in [`engine`] — a
 //! continuous-batching engine that *executes* the model over a shared
-//! paged quantized KV pool rather than estimating throughput analytically.
+//! paged quantized KV pool rather than estimating throughput analytically,
+//! with Sarathi-style chunked prefill and copy-on-write prefix sharing
+//! (admission reserves only a request's non-trie-shared pages).
 //!
 //! The paper's real-world benchmark follows the NeuPIMs methodology:
 //! requests are sampled from two Azure production traces — *Conversation*

@@ -64,6 +64,21 @@ fn run_engine_and_compare(
     num_pages: u32,
     admission: AdmissionPolicy,
 ) {
+    run_engine_and_compare_budget(
+        model, quantizer, requests, max_batch, num_pages, admission, 16,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_engine_and_compare_budget(
+    model: &Model,
+    quantizer: Option<Arc<dyn KvQuantizer>>,
+    requests: &[(Vec<u32>, usize)],
+    max_batch: usize,
+    num_pages: u32,
+    admission: AdmissionPolicy,
+    prefill_token_budget: usize,
+) {
     let pool = PagedKvPool::for_model(model.config(), quantizer.clone(), num_pages, 512);
     let mut engine = BatchEngine::new(
         model,
@@ -73,6 +88,7 @@ fn run_engine_and_compare(
             max_batch,
             admission,
             record_logits: true,
+            prefill_token_budget,
         },
     );
     for (id, (prompt, max_new)) in requests.iter().enumerate() {
@@ -160,13 +176,14 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Random admission/retire schedules: arbitrary request mixes, batch
-    /// limits, and pool sizes (large enough that every request *can*
-    /// complete) never cross-contaminate sequences.
+    /// limits, prefill-chunk budgets, and pool sizes (large enough that
+    /// every request *can* complete) never cross-contaminate sequences.
     #[test]
     fn random_schedules_never_cross_contaminate(
         shapes in prop::collection::vec((1usize..10, 1usize..6, 0u32..1000), 1..6),
         max_batch in 1usize..5,
         optimistic in any::<bool>(),
+        budget in 1usize..24,
     ) {
         let model = tiny_model();
         let quantizer = profiled_oaken(&model);
@@ -182,6 +199,8 @@ proptest! {
         } else {
             AdmissionPolicy::FullSequence
         };
-        run_engine_and_compare(&model, Some(quantizer), &requests, max_batch, 2048, admission);
+        run_engine_and_compare_budget(
+            &model, Some(quantizer), &requests, max_batch, 2048, admission, budget,
+        );
     }
 }

@@ -1,7 +1,8 @@
 //! A tour of the memory management unit (§5.2): write a request's
 //! quantized KV stream through the page-based MMU, inspect the dense and
-//! sparse management tables, and plan the burst read that the generation
-//! phase performs.
+//! sparse management tables, plan the burst read that the generation
+//! phase performs, and fork a stream copy-on-write — the page-sharing
+//! primitive behind the pool's prefix cache.
 //!
 //! Run with: `cargo run --example mmu_tour`
 
@@ -116,11 +117,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * mmu.internal_fragmentation()
     );
 
-    // Retire the request; everything returns to the free pool.
-    let freed = mmu.free_request(7)?;
+    // Copy-on-write fork: a second request adopts head 0's whole written
+    // history by reference — the pages gain a refcount instead of being
+    // copied, exactly how the serving pool shares a common prompt prefix.
+    let forked_key = StreamKey {
+        request: 8,
+        ..dense_key
+    };
+    let shared = mmu
+        .fork_stream(&dense_key, forked_key)
+        .expect("source stream exists");
     println!(
-        "request retired: {freed} pages freed, {} free",
+        "\nforked head-0 stream into request 8: {shared} pages shared \
+         (refcounted, {} shared device-wide)",
+        mmu.shared_pages()
+    );
+    // The fork reads the same history; its first own write goes to a
+    // fresh private page (the shared tail is immutable to it).
+    let receipt = mmu.write_token(forked_key, 64)?;
+    println!(
+        "request 8 appends 64 bytes: new_page = {} (copy-on-write tail)",
+        receipt.new_page
+    );
+
+    // Retire both requests; everything returns to the free pool (shared
+    // pages only free when the last owner departs).
+    let freed7 = mmu.free_request(7)?;
+    let freed8 = mmu.free_request(8)?;
+    println!(
+        "requests retired: {freed7} + {freed8} pages freed, {} free",
         mmu.allocator().free_pages()
     );
+    assert_eq!(mmu.allocator().free_pages(), mmu.allocator().capacity());
     Ok(())
 }

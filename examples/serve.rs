@@ -1,11 +1,16 @@
 //! Serving-engine demo: replay a (scaled-down) Azure-style trace through
 //! the *real* continuous-batching engine — actual token-by-token model
 //! execution over the shared paged quantized KV pool, not the analytic
-//! simulator.
+//! simulator — with chunked prefill and copy-on-write prefix sharing.
 //!
-//! Run with: `cargo run --release --example serve [-- --smoke]`
-//! (`--smoke` is the CI wiring: tiny workload, ~2 decode tokens per
-//! request).
+//! Run with: `cargo run --release --example serve [-- --smoke]
+//! [--prefix-overlap <0..100>]`
+//!
+//! * `--smoke` is the CI wiring: tiny workload, ~2 decode tokens per
+//!   request.
+//! * `--prefix-overlap P` prepends an identical system prompt covering
+//!   `P%` of every request's input — the shared-prompt traffic shape the
+//!   prefix trie deduplicates (default 50).
 
 use oaken::core::OakenConfig;
 use oaken::eval::harness::profile_oaken;
@@ -18,7 +23,15 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let overlap_pct: usize = args
+        .iter()
+        .position(|a| a == "--prefix-overlap")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--prefix-overlap takes 0..100"))
+        .unwrap_or(50);
+    assert!(overlap_pct <= 100, "--prefix-overlap takes 0..100");
     let spec = TraceSpec::conversation();
 
     // A proxy model small enough to execute for real; trace lengths are
@@ -35,7 +48,8 @@ fn main() {
                 input_len: (r.input_len / scale).clamp(2, 48),
                 output_len: (r.output_len / scale).clamp(1, max_out),
             };
-            EngineRequest::from_lengths(&scaled, vocab, 7)
+            let shared = scaled.input_len * overlap_pct / 100;
+            EngineRequest::from_lengths_with_shared_prefix(&scaled, vocab, 7, shared)
         })
         .collect();
 
@@ -44,16 +58,20 @@ fn main() {
     let quantizer = Arc::new(profile_oaken(&model, OakenConfig::default(), 4, 8, 7));
 
     // Online phase: the shared paged pool + continuous-batching engine.
+    // Prefix sharing is on automatically (Oaken is prefix-deterministic);
+    // 8-token blocks suit the scaled-down prompts.
     let pages = if smoke { 512 } else { 2048 };
-    let pool = PagedKvPool::for_model(model.config(), Some(quantizer), pages, 1024);
+    let mut pool = PagedKvPool::for_model(model.config(), Some(quantizer), pages, 1024);
+    pool.set_block_tokens(8);
     println!(
-        "replaying `{}` (scaled 1/{scale}) through the executed engine:",
+        "replaying `{}` (scaled 1/{scale}, {overlap_pct}% shared prefix) through the executed engine:",
         spec.name
     );
     println!(
-        "  model {} | pool {pages} pages x {} B | {} requests\n",
+        "  model {} | pool {pages} pages x {} B | block {} tokens | {} requests\n",
         model.config().name,
         pool.page_size(),
+        pool.block_tokens(),
         requests.len()
     );
     let mut engine = BatchEngine::new(
@@ -64,6 +82,7 @@ fn main() {
             max_batch: if smoke { 2 } else { 8 },
             admission: AdmissionPolicy::PromptOnly,
             record_logits: false,
+            prefill_token_budget: 16,
         },
     );
     for r in requests {
@@ -81,7 +100,21 @@ fn main() {
     println!("{:>22}  {}", "admission stalls", stats.admission_stalls);
     println!("{:>22}  {}", "peak concurrent", stats.peak_active);
     println!("{:>22}  {}", "prefill tokens", stats.prefill_tokens);
+    println!("{:>22}  {}", "prefill chunks", stats.prefill_chunks);
     println!("{:>22}  {}", "decode tokens", stats.decode_tokens);
+    println!("{:>22}  {}", "trie hits", stats.prefix.trie_hits);
+    println!("{:>22}  {}", "seal dedups", stats.prefix.seal_dedups);
+    println!("{:>22}  {}", "tokens reused", stats.prefix.tokens_reused);
+    println!(
+        "{:>22}  {}",
+        "quant rows skipped", stats.prefix.quant_rows_skipped
+    );
+    println!(
+        "{:>22}  {}",
+        "bytes deduplicated", stats.prefix.bytes_deduplicated
+    );
+    println!("{:>22}  {}", "shared pages peak", stats.shared_pages_peak);
+    println!("{:>22}  {}", "pages in use peak", stats.pages_in_use_peak);
     println!(
         "{:>22}  {:.2}",
         "mean core util",
@@ -99,10 +132,11 @@ fn main() {
         .find(|f| f.completed)
         .expect("at least one request completes");
     println!(
-        "\nrequest {}: prompt {} tokens -> {:?}",
+        "\nrequest {}: prompt {} tokens -> {:?} (first token at iteration {})",
         sample.id,
         sample.prompt_len,
-        &sample.generated[..sample.generated.len().min(8)]
+        &sample.generated[..sample.generated.len().min(8)],
+        sample.ttft_iteration
     );
     assert_eq!(stats.retired as usize, engine.finished().len());
     println!("\nall {} requests served to completion.", stats.retired);
