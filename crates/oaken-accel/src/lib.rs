@@ -21,6 +21,14 @@
 //!   28 nm synthesis results (Table 4),
 //! * and the bandwidth–capacity trade-off space of Figure 1.
 //!
+//! This crate is purely **analytic** — closed-form latency/area/energy
+//! over architectural parameters, no token is ever executed. Its executed
+//! counterpart is `oaken-serving`'s `BatchEngine`, which runs the real
+//! model over the paged pool; the two share capacity arithmetic through
+//! [`SystemModel`] (`reserved_bytes`, `kv_bytes_per_request`,
+//! `max_concurrent_batch`) so the analytic and measured paths cannot
+//! drift apart.
+//!
 //! [`OnlineCost`]: oaken_core::OnlineCost
 
 pub mod area;

@@ -17,6 +17,19 @@
 //! performance simulator can charge the online sorting / reordering /
 //! mixed-precision overheads the paper identifies as their weakness.
 //!
+//! Two capability axes matter to the serving stack beyond accuracy:
+//!
+//! * **streaming** — token-granular methods (FP16, Atom, QServe, Tender)
+//!   implement `KvQuantizer::row_stream`, so the incremental cache and the
+//!   paged pool append in O(d); per-channel/whole-tensor methods (KIVI,
+//!   KVQuant) fall back to recompute-on-read, which also keeps them off
+//!   the engine's batched-append/parallel-attention fast path (their views
+//!   are not append-only);
+//! * **prefix determinism** — only methods whose encoded rows are a pure
+//!   function of the row itself may share prefix pages across sequences
+//!   (`KvQuantizer::prefix_deterministic`); the calibrate-then-freeze and
+//!   per-channel baselines report `false` and keep private page streams.
+//!
 //! [`OnlineCost`]: oaken_core::OnlineCost
 
 mod atom;

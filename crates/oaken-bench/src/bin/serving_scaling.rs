@@ -4,7 +4,7 @@
 //! measured counterpart of the analytic Figure 11/14 curves (and the
 //! committed `BENCH_serving.json` baseline).
 //!
-//! Three sweeps:
+//! Four sweeps:
 //!
 //! 1. **Batch sweep** — a fixed request set replayed at growing `max_batch`.
 //!    The engine's layer-major forward pass dots each weight row against
@@ -20,10 +20,17 @@
 //!    skip prefill work (higher tok/s, lower time-to-first-token),
 //!    deduplicated pages admit more concurrency under pressure (fewer
 //!    admission stalls).
+//! 4. **Thread sweep** — the largest batch re-run at 1/2/4/8 engine
+//!    threads (`EngineConfig::num_threads`, the deterministic fork-join
+//!    runtime). Output is bit-exact across the sweep; only the clock
+//!    moves, and only as far as the host's physical cores allow (the
+//!    committed JSON records the host's `available_parallelism`).
 //!
 //! Usage: `cargo run --release -p oaken-bench --bin serving_scaling
-//! [--smoke] [out.json]` — `--smoke` runs a tiny model for 2 decode
-//! tokens per request (CI wiring); the default workload writes the
+//! [--smoke] [--threads N] [out.json]` — `--smoke` runs a tiny model for
+//! 2 decode tokens per request (CI wiring); `--threads N` sets the engine
+//! thread count for the batch/capacity/prefix sweeps (default 1, keeping
+//! those curves comparable across hosts); the default workload writes the
 //! committed baseline.
 
 use oaken_bench::{banner, f, row};
@@ -53,6 +60,8 @@ struct Workload {
     overlap_shape: (usize, usize),
     overlap_block_tokens: usize,
     overlap_tight_pages: u32,
+    /// Engine thread counts for the thread sweep (largest batch).
+    thread_sweep: Vec<usize>,
 }
 
 /// Profiles Oaken thresholds on the model's own KV distribution (offline
@@ -117,6 +126,7 @@ fn workload(smoke: bool) -> Workload {
             overlap_shape: (12, 2),
             overlap_block_tokens: 8,
             overlap_tight_pages: 256,
+            thread_sweep: vec![1, 2],
         }
     } else {
         // Sized so the per-layer weights (~28 MB) dwarf the private
@@ -137,6 +147,7 @@ fn workload(smoke: bool) -> Workload {
             overlap_shape: (128, 16),
             overlap_block_tokens: 32,
             overlap_tight_pages: 768,
+            thread_sweep: vec![1, 2, 4, 8],
         }
     }
 }
@@ -146,7 +157,7 @@ struct Measurement {
     stats: EngineStats,
 }
 
-fn run_once(w: &Workload, max_batch: usize, pages: u32) -> Measurement {
+fn run_once(w: &Workload, max_batch: usize, pages: u32, num_threads: usize) -> Measurement {
     let pool = PagedKvPool::for_model(
         w.model.config(),
         Some(w.quantizer.clone()),
@@ -162,6 +173,7 @@ fn run_once(w: &Workload, max_batch: usize, pages: u32) -> Measurement {
             admission: AdmissionPolicy::PromptOnly,
             record_logits: false,
             prefill_token_budget: 16,
+            num_threads,
         },
     );
     for r in &w.requests {
@@ -196,7 +208,7 @@ struct OverlapMeasurement {
 /// trie hits — the cache-hot steady state of a shared-prompt service.
 /// Runs on the ample pool for throughput/TTFT and on the tight pool for
 /// the admission-stall comparison.
-fn run_overlap(w: &Workload, overlap_pct: usize) -> OverlapMeasurement {
+fn run_overlap(w: &Workload, overlap_pct: usize, num_threads: usize) -> OverlapMeasurement {
     let (input_len, output_len) = w.overlap_shape;
     let shared = input_len * overlap_pct / 100;
     let reqs = shared_requests(8, input_len, output_len, shared);
@@ -217,6 +229,7 @@ fn run_overlap(w: &Workload, overlap_pct: usize) -> OverlapMeasurement {
                 admission: AdmissionPolicy::PromptOnly,
                 record_logits: false,
                 prefill_token_budget: 16,
+                num_threads,
             },
         );
         let mut it = reqs.iter().cloned();
@@ -260,10 +273,10 @@ fn run_overlap(w: &Workload, overlap_pct: usize) -> OverlapMeasurement {
 
 /// Best-of-N to suppress scheduler noise (counters are identical across
 /// repeats — the engine is deterministic — so only the clock varies).
-fn run_config(w: &Workload, max_batch: usize, pages: u32) -> Measurement {
-    let mut best = run_once(w, max_batch, pages);
+fn run_config(w: &Workload, max_batch: usize, pages: u32, num_threads: usize) -> Measurement {
+    let mut best = run_once(w, max_batch, pages, num_threads);
     for _ in 1..w.repeats {
-        let m = run_once(w, max_batch, pages);
+        let m = run_once(w, max_batch, pages, num_threads);
         if m.tokens_per_sec > best.tokens_per_sec {
             best = m;
         }
@@ -274,10 +287,22 @@ fn run_config(w: &Workload, max_batch: usize, pages: u32) -> Measurement {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes a positive integer"))
+        .unwrap_or(1);
+    assert!(threads > 0, "--threads takes a positive integer");
     let out_path = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
+        .enumerate()
+        .filter(|&(i, a)| {
+            !a.starts_with("--")
+                && !matches!(args.get(i.wrapping_sub(1)), Some(p) if p == "--threads")
+        })
+        .map(|(_, a)| a.clone())
+        .next()
         .unwrap_or_else(|| "BENCH_serving.json".to_owned());
     let w = workload(smoke);
 
@@ -296,10 +321,12 @@ fn main() {
         w.requests[0].max_new_tokens,
     );
 
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::from("{\n  \"bench\": \"serving_scaling\",\n");
     let _ = writeln!(
         json,
-        "  \"model\": \"{}\",\n  \"requests\": {},\n  \"smoke\": {smoke},",
+        "  \"model\": \"{}\",\n  \"requests\": {},\n  \"smoke\": {smoke},\n  \
+         \"num_threads\": {threads},\n  \"host_available_parallelism\": {host_cores},",
         w.model.config().name,
         w.requests.len()
     );
@@ -312,7 +339,7 @@ fn main() {
     let mut prev_tps = 0.0f64;
     let mut monotonic = true;
     for (i, &batch) in w.batch_sweep.iter().enumerate() {
-        let m = run_config(&w, batch, w.ample_pages);
+        let m = run_config(&w, batch, w.ample_pages, threads);
         monotonic &= m.tokens_per_sec >= prev_tps;
         prev_tps = m.tokens_per_sec;
         row(
@@ -350,7 +377,7 @@ fn main() {
     );
     json.push_str("  \"capacity_sweep\": [\n");
     for (i, &pages) in w.capacity_sweep.iter().enumerate() {
-        let m = run_config(&w, batch, pages);
+        let m = run_config(&w, batch, pages, threads);
         row(
             &[
                 &pages,
@@ -398,7 +425,7 @@ fn main() {
     let mut stalls_by_overlap = Vec::new();
     let mut ttft_by_overlap = Vec::new();
     for (i, &pct) in overlaps.iter().enumerate() {
-        let m = run_overlap(&w, pct);
+        let m = run_overlap(&w, pct, threads);
         stalls_by_overlap.push(m.stalls_tight);
         ttft_by_overlap.push(m.mean_ttft_iters);
         row(
@@ -427,6 +454,43 @@ fn main() {
             m.stalls_tight
         );
         json.push_str(if i + 1 < overlaps.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+
+    // --- Thread sweep (largest batch, ample pool) ------------------------
+    println!(
+        "\nthread sweep (batch {batch}, pool {} pages, host cores {host_cores}):",
+        w.ample_pages
+    );
+    let twidths = [8, 12, 12, 10];
+    row(&[&"threads", &"tok/s", &"speedup", &"iters"], &twidths);
+    json.push_str("  \"thread_sweep\": [\n");
+    let mut base_tps = 0.0f64;
+    for (i, &t) in w.thread_sweep.iter().enumerate() {
+        let m = run_config(&w, batch, w.ample_pages, t);
+        if i == 0 {
+            base_tps = m.tokens_per_sec;
+        }
+        let speedup = m.tokens_per_sec / base_tps.max(1e-12);
+        row(
+            &[
+                &t,
+                &f(m.tokens_per_sec, 1),
+                &format!("{:.2}x", speedup),
+                &m.stats.iterations,
+            ],
+            &twidths,
+        );
+        let _ = write!(
+            json,
+            "    {{\"threads\": {t}, \"tokens_per_sec\": {:.1}, \"speedup_vs_1\": {:.2}}}",
+            m.tokens_per_sec, speedup
+        );
+        json.push_str(if i + 1 < w.thread_sweep.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("  ]\n}\n");
 

@@ -1,9 +1,18 @@
-//! Shared helpers for the figure/table regeneration binaries.
+//! Shared helpers for the figure/table regeneration binaries and the
+//! committed-baseline generators.
 //!
 //! Every table and figure of the paper's evaluation has a binary in
 //! `src/bin/` (`fig01` … `fig14`, `table2` … `table4`) that prints the
 //! corresponding rows/series. See `DESIGN.md` for the experiment index and
 //! `EXPERIMENTS.md` for paper-vs-measured records.
+//!
+//! Two binaries additionally write the repo's committed performance
+//! baselines: `decode_scaling` (→ `BENCH_decode.json`, incremental vs
+//! recompute cache) and `serving_scaling` (→ `BENCH_serving.json`, the
+//! executed engine's batch / capacity / prefix-overlap / thread sweeps);
+//! `benches/` holds the criterion micro-benchmarks that ride the same
+//! workloads so CI regressions and the committed baselines can never
+//! measure different things.
 
 use std::fmt::Display;
 

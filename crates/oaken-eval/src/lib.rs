@@ -23,6 +23,12 @@
 //!
 //! This preserves exactly what the paper's accuracy experiment isolates:
 //! the error introduced by each KV-cache quantizer.
+//!
+//! Beyond accuracy, [`harness::profile_oaken`] is the shared offline-phase
+//! recipe (observe a model's real KV vectors through the session observer
+//! hook, then freeze thresholds) that the serving engine, the benches, and
+//! the Table 2 harness all use — so every part of the repo quantizes with
+//! thresholds profiled the way §4.2 describes.
 
 pub mod datasets;
 pub mod distribution;

@@ -20,6 +20,23 @@
 //! allocation, address translation, per-token transfer sizes, burst
 //! coalescing, and fragmentation — the quantities the performance simulator
 //! and the Figure 11/13 capacity arguments consume.
+//!
+//! Pages are **refcounted** ([`PageAllocator::retain`]/[`release`]), which
+//! is what makes cross-sequence prefix sharing real at the physical level:
+//! a prefix-cache hit retains a whole request's pages
+//! ([`MmuSim::retain_request`]), copy-on-write forks share history pages
+//! until the next write ([`MmuSim::fork_stream`]), and a departing sharer
+//! frees pages only when it was the last owner. The serving property tests
+//! re-check the resulting ownership balance (free + private + shared =
+//! capacity) after every engine step.
+//!
+//! Under the parallel runtime the MMU is deliberately a **single writer**:
+//! quantization fans out across worker threads, but every
+//! [`MmuSim::write_token`] happens on the calling thread in the serial
+//! item order, so physical page assignment is bit-reproducible for any
+//! thread count.
+//!
+//! [`release`]: PageAllocator::release
 
 pub mod alloc;
 pub mod burst;

@@ -43,6 +43,11 @@ impl AttentionShape {
 ///
 /// `keys`/`values` are row-major `[seq_len × kv_dim]`.
 ///
+/// Internally iterates the KV heads through [`attend_kv_group`], so the
+/// serial path and the runtime-sharded path (one task per `(step,
+/// kv head)`) execute identical per-head arithmetic — the bit-exactness
+/// requirement of the parallel forward pass.
+///
 /// # Panics
 ///
 /// Panics if slice lengths disagree with the shape parameters.
@@ -54,8 +59,72 @@ pub fn attend_one(
     shape: &AttentionShape,
 ) -> Vec<f32> {
     let hd = shape.head_dim;
-    let kv_dim = shape.kv_dim();
     assert_eq!(q.len(), shape.q_dim(), "query width mismatch");
+    let group = shape.group_size().max(1);
+    let mut out = vec![0.0f32; shape.q_dim()];
+    let mut scores = Vec::new();
+    for kvh in 0..shape.num_kv_heads {
+        let out_g = &mut out[kvh * group * hd..(kvh + 1) * group * hd];
+        attend_kv_group_into(q, keys, values, seq_len, shape, kvh, out_g, &mut scores);
+    }
+    out
+}
+
+/// Computes the context of the query heads sharing KV head `kv_head` for a
+/// single token: the `[group_size × head_dim]` slice of [`attend_one`]'s
+/// output covering query heads `kv_head·group .. (kv_head+1)·group`.
+///
+/// This is the shard unit of the parallel forward pass — each KV head's
+/// score/softmax/weighted-sum chain is fully independent, so computing
+/// groups in any order (or concurrently) reproduces [`attend_one`]'s bits
+/// exactly.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the shape parameters or
+/// `kv_head >= num_kv_heads`.
+pub fn attend_kv_group(
+    q: &[f32],
+    keys: &[f32],
+    values: &[f32],
+    seq_len: usize,
+    shape: &AttentionShape,
+    kv_head: usize,
+) -> Vec<f32> {
+    assert_eq!(q.len(), shape.q_dim(), "query width mismatch");
+    assert!(kv_head < shape.num_kv_heads, "kv head out of range");
+    let group = shape.group_size().max(1);
+    let mut out = vec![0.0f32; group * shape.head_dim];
+    let mut scores = Vec::new();
+    attend_kv_group_into(
+        q,
+        keys,
+        values,
+        seq_len,
+        shape,
+        kv_head,
+        &mut out,
+        &mut scores,
+    );
+    out
+}
+
+/// Shared kernel: attention of one KV head's query group, written into
+/// `out_g` (`group_size × head_dim` wide). `scores` is a reusable scratch
+/// buffer.
+#[allow(clippy::too_many_arguments)]
+fn attend_kv_group_into(
+    q: &[f32],
+    keys: &[f32],
+    values: &[f32],
+    seq_len: usize,
+    shape: &AttentionShape,
+    kv_head: usize,
+    out_g: &mut [f32],
+    scores: &mut Vec<f32>,
+) {
+    let hd = shape.head_dim;
+    let kv_dim = shape.kv_dim();
     assert_eq!(keys.len(), seq_len * kv_dim, "key matrix shape mismatch");
     assert_eq!(
         values.len(),
@@ -69,31 +138,30 @@ pub fn attend_one(
     };
     let span = seq_len - start;
     let inv_sqrt = 1.0 / (hd as f32).sqrt();
-    let group = shape.group_size();
+    let group = shape.group_size().max(1);
+    scores.clear();
+    scores.resize(span, 0.0);
 
-    let mut out = vec![0.0f32; shape.q_dim()];
-    let mut scores = vec![0.0f32; span];
-    for h in 0..shape.num_heads {
-        let kvh = h / group.max(1);
+    for g in 0..group {
+        let h = kv_head * group + g;
         let q_h = &q[h * hd..(h + 1) * hd];
         for (i, t) in (start..seq_len).enumerate() {
-            let k_t = &keys[t * kv_dim + kvh * hd..t * kv_dim + (kvh + 1) * hd];
+            let k_t = &keys[t * kv_dim + kv_head * hd..t * kv_dim + (kv_head + 1) * hd];
             scores[i] = q_h.iter().zip(k_t).map(|(&a, &b)| a * b).sum::<f32>() * inv_sqrt;
         }
-        softmax_in_place(&mut scores);
-        let out_h = &mut out[h * hd..(h + 1) * hd];
+        softmax_in_place(scores);
+        let out_h = &mut out_g[g * hd..(g + 1) * hd];
         for (i, t) in (start..seq_len).enumerate() {
             let p = scores[i];
             if p == 0.0 {
                 continue;
             }
-            let v_t = &values[t * kv_dim + kvh * hd..t * kv_dim + (kvh + 1) * hd];
+            let v_t = &values[t * kv_dim + kv_head * hd..t * kv_dim + (kv_head + 1) * hd];
             for (o, &v) in out_h.iter_mut().zip(v_t) {
                 *o += p * v;
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -169,5 +237,35 @@ mod tests {
     fn validates_query_width() {
         let s = shape(2, 2, 4, None);
         attend_one(&[0.0; 4], &[0.0; 8], &[0.0; 8], 1, &s);
+    }
+
+    /// The per-KV-head shard must be bit-identical to the corresponding
+    /// slice of the whole-token attention — the invariant that lets the
+    /// parallel forward pass fan groups out across threads.
+    #[test]
+    fn kv_group_shards_tile_attend_one_bitwise() {
+        // GQA shape with awkward values: 4 query heads over 2 KV heads.
+        let s = shape(4, 2, 3, Some(5));
+        let seq_len = 7;
+        let q: Vec<f32> = (0..s.q_dim())
+            .map(|i| ((i * 37 + 11) % 23) as f32 / 5.0 - 2.1)
+            .collect();
+        let keys: Vec<f32> = (0..seq_len * s.kv_dim())
+            .map(|i| ((i * 53 + 3) % 31) as f32 / 7.0 - 1.9)
+            .collect();
+        let values: Vec<f32> = (0..seq_len * s.kv_dim())
+            .map(|i| ((i * 29 + 17) % 41) as f32 / 9.0 - 2.3)
+            .collect();
+        let whole = attend_one(&q, &keys, &values, seq_len, &s);
+        let gw = s.group_size() * s.head_dim;
+        for kvh in 0..s.num_kv_heads {
+            let part = attend_kv_group(&q, &keys, &values, seq_len, &s, kvh);
+            let wb: Vec<u32> = whole[kvh * gw..(kvh + 1) * gw]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let pb: Vec<u32> = part.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(wb, pb, "kv head {kvh} diverged");
+        }
     }
 }

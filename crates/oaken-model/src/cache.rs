@@ -75,6 +75,18 @@ pub trait KvCacheBackend: Send {
     fn stored_bits_per_elem(&self) -> f64;
 }
 
+/// One slot's K/V rows within a batched append
+/// ([`BatchKvCache::append_batch`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchAppend<'a> {
+    /// Batch slot the rows belong to.
+    pub slot: usize,
+    /// The token's key vector.
+    pub k: &'a [f32],
+    /// The token's value vector.
+    pub v: &'a [f32],
+}
+
 /// A KV cache serving *multiple concurrent sequences*, addressed by a
 /// dense batch `slot` index. This is the storage interface the batched
 /// forward pass ([`crate::Model::forward_batch`]) drives: slot `i` is the
@@ -96,6 +108,38 @@ pub trait BatchKvCache {
 
     /// Row-major dequantized view of the cached values for `(slot, layer)`.
     fn values(&mut self, slot: usize, layer: usize) -> &[f32];
+
+    /// Whether an append only *extends* the dequantized views — rows
+    /// already materialized are never rewritten by later appends.
+    ///
+    /// This is the gate for the parallel forward pass: when it holds, the
+    /// forward pass may append a whole iteration's rows first and attend
+    /// afterwards against length-limited snapshots, with bit-identical
+    /// results to the serial append-then-attend interleaving. It holds
+    /// for exact f32 storage and for every streaming quantizer (the
+    /// [`KvRowStream`] contract); it does **not** hold for the
+    /// recompute-on-read fallback (KIVI/KVQuant re-derive scales over the
+    /// whole prefix), so the conservative default is `false` and the
+    /// forward pass falls back to the serial interleaving.
+    fn append_only_views(&self) -> bool {
+        false
+    }
+
+    /// Appends one iteration's rows for `layer` — semantically identical
+    /// to calling [`BatchKvCache::append`] for each item in order. Backends
+    /// with independent per-slot storage may shard the quantization work
+    /// across `rt`; the default is the serial loop.
+    fn append_batch(
+        &mut self,
+        rt: &oaken_runtime::Runtime,
+        layer: usize,
+        items: &[BatchAppend<'_>],
+    ) {
+        let _ = rt;
+        for it in items {
+            self.append(it.slot, layer, it.k, it.v);
+        }
+    }
 }
 
 /// Adapter exposing one single-sequence [`KvCacheBackend`] as a one-slot

@@ -45,10 +45,29 @@ impl DenseFfn {
     ///
     /// Panics if the matrix shapes disagree with the inputs.
     pub fn forward_batch(&self, xs: &[&[f32]], act: Activation) -> Vec<Vec<f32>> {
-        let mut ups = self.w_up.matvec_batch(xs).expect("up-projection shape");
+        self.forward_batch_on(&oaken_runtime::Runtime::serial(), xs, act)
+    }
+
+    /// [`DenseFfn::forward_batch`] with its three weight sweeps sharded
+    /// across `rt` (row-parallel [`Tensor::matvec_batch_on`]) — bit-exact
+    /// with the serial path for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shapes disagree with the inputs.
+    pub fn forward_batch_on(
+        &self,
+        rt: &oaken_runtime::Runtime,
+        xs: &[&[f32]],
+        act: Activation,
+    ) -> Vec<Vec<f32>> {
+        let mut ups = self
+            .w_up
+            .matvec_batch_on(rt, xs)
+            .expect("up-projection shape");
         match &self.w_gate {
             Some(g) => {
-                let mut gates = g.matvec_batch(xs).expect("gate shape");
+                let mut gates = g.matvec_batch_on(rt, xs).expect("gate shape");
                 for (up, gate) in ups.iter_mut().zip(&mut gates) {
                     act.apply_in_place(gate);
                     for (u, g) in up.iter_mut().zip(gate.iter()) {
@@ -64,7 +83,7 @@ impl DenseFfn {
         }
         let refs: Vec<&[f32]> = ups.iter().map(|v| v.as_slice()).collect();
         self.w_down
-            .matvec_batch(&refs)
+            .matvec_batch_on(rt, &refs)
             .expect("down-projection shape")
     }
 }
@@ -120,8 +139,24 @@ impl FfnWeights {
     /// the batch; MoE layers route per token, so they fall back to
     /// per-vector execution (each token may hit different experts).
     pub fn forward_batch(&self, xs: &[&[f32]], act: Activation) -> Vec<Vec<f32>> {
+        self.forward_batch_on(&oaken_runtime::Runtime::serial(), xs, act)
+    }
+
+    /// [`FfnWeights::forward_batch`] sharded across `rt`: dense layers
+    /// row-shard their weight sweeps; MoE layers run one task per token
+    /// (each token's routed expert pass is independent, and results merge
+    /// in token order) — bit-exact with the serial path either way.
+    pub fn forward_batch_on(
+        &self,
+        rt: &oaken_runtime::Runtime,
+        xs: &[&[f32]],
+        act: Activation,
+    ) -> Vec<Vec<f32>> {
         match self {
-            FfnWeights::Dense(ffn) => ffn.forward_batch(xs, act),
+            FfnWeights::Dense(ffn) => ffn.forward_batch_on(rt, xs, act),
+            moe @ FfnWeights::Moe { .. } if !rt.is_serial() && xs.len() > 1 => {
+                rt.map(xs.len(), |i| moe.forward(xs[i], act))
+            }
             moe @ FfnWeights::Moe { .. } => xs.iter().map(|x| moe.forward(x, act)).collect(),
         }
     }

@@ -32,6 +32,11 @@
 //! batch of steps per call (one token per decoding sequence, multi-token
 //! prompt chunks for prefilling ones), layer-major with batched weight
 //! sweeps — bit-exact per sequence with [`Session`].
+//! [`Model::forward_batch_on`] is the same pass sharded across an
+//! `oaken-runtime` worker pool (rows for the weight sweeps, sequences for
+//! quantize+append via [`pool::PagedKvPool::append_batch`], `(step, KV
+//! head)` tasks for attention), bit-exact with the serial pass for every
+//! thread count.
 //!
 //! [`KvQuantizer`]: oaken_core::KvQuantizer
 //!
@@ -57,12 +62,16 @@ pub mod sampling;
 pub mod synth;
 pub mod trie;
 
-pub use attention::{attend_one, AttentionShape};
-pub use cache::{BatchKvCache, CacheMode, ExactCache, KvCacheBackend, QuantizedCache, SingleSlot};
+pub use attention::{attend_kv_group, attend_one, AttentionShape};
+pub use cache::{
+    BatchAppend, BatchKvCache, CacheMode, ExactCache, KvCacheBackend, QuantizedCache, SingleSlot,
+};
 pub use config::{ModelConfig, MoeConfig, Positional};
 pub use ffn::{DenseFfn, FfnWeights};
 pub use model::{BatchKvObserver, BatchStep, KvObserver, LayerWeights, Model, Session};
-pub use pool::{PageAccounting, PagedKvPool, PoolBatchView, PoolError, PrefixAlloc, SeqId};
+pub use pool::{
+    PageAccounting, PagedKvPool, PoolBatchView, PoolError, PrefixAlloc, SeqId, SeqRowAppend,
+};
 pub use sampling::{sample_greedy, sample_temperature};
 pub use synth::SynthParams;
 pub use trie::PrefixStats;

@@ -2,15 +2,17 @@
 //! inference sessions with pluggable KV cache backends and KV observation
 //! hooks for offline profiling.
 
-use crate::attention::{attend_one, AttentionShape};
-use crate::cache::{BatchKvCache, KvCacheBackend, SingleSlot};
+use crate::attention::{attend_kv_group, attend_one, AttentionShape};
+use crate::cache::{BatchAppend, BatchKvCache, KvCacheBackend, SingleSlot};
 use crate::config::{ModelConfig, Positional};
 use crate::ffn::{DenseFfn, FfnWeights};
 use crate::synth::{self, SynthParams};
 use oaken_core::KvKind;
+use oaken_runtime::Runtime;
 use oaken_tensor::norm::{layernorm, rmsnorm, NormKind};
 use oaken_tensor::rope::{apply_rope, DEFAULT_THETA};
 use oaken_tensor::Tensor;
+use std::collections::HashMap;
 
 /// Weights of one decoder layer.
 #[derive(Debug, Clone)]
@@ -220,6 +222,9 @@ impl Model {
     /// `observer` (if any) sees every freshly generated K/V vector as
     /// `(step_index, layer, kind, vector)`.
     ///
+    /// Runs serially; [`Model::forward_batch_on`] is the same pass with
+    /// its work sharded across a [`Runtime`].
+    ///
     /// # Panics
     ///
     /// Panics if any step's token is outside the vocabulary or its
@@ -227,6 +232,44 @@ impl Model {
     /// that a slot's steps have strictly consecutive positions.
     pub fn forward_batch(
         &self,
+        cache: &mut dyn BatchKvCache,
+        steps: &[BatchStep],
+        observer: Option<&mut BatchKvObserver<'_>>,
+    ) -> Vec<Vec<f32>> {
+        self.forward_batch_on(&Runtime::serial(), cache, steps, observer)
+    }
+
+    /// [`Model::forward_batch`] with the iteration's work sharded across
+    /// `rt` — the parallel serving path, bit-exact with the serial pass
+    /// for every thread count (`rt = Runtime::serial()` *is* the serial
+    /// pass).
+    ///
+    /// Three shard axes, mirroring the paper's many parallel engines:
+    ///
+    /// * **weight sweeps** — every projection (Q/K/V/O, FFN, LM head)
+    ///   runs through the row-sharded [`Tensor::matvec_batch_on`], whose
+    ///   accumulation chains are row-local;
+    /// * **quantize + append** — when the cache's views are append-only
+    ///   ([`BatchKvCache::append_only_views`]), the iteration's K/V rows
+    ///   are appended through [`BatchKvCache::append_batch`], which the
+    ///   paged pool shards per sequence (each slot's row streams are
+    ///   independent) while keeping page allocation single-writer;
+    /// * **attention** — one task per `(step, KV head)` over per-slot
+    ///   snapshots, each sliced to the step's own causal length; group
+    ///   outputs merge in `(step, head)` order
+    ///   ([`attend_kv_group`]).
+    ///
+    /// When the cache's views are *not* append-only (the KIVI/KVQuant
+    /// recompute fallback re-derives scales over the whole prefix on
+    /// read) or an observer is attached, attention and appends keep the
+    /// serial per-step interleaving — only the weight sweeps shard.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Model::forward_batch`].
+    pub fn forward_batch_on(
+        &self,
+        rt: &Runtime,
         cache: &mut dyn BatchKvCache,
         steps: &[BatchStep],
         mut observer: Option<&mut BatchKvObserver<'_>>,
@@ -247,8 +290,7 @@ impl Model {
         }
         #[cfg(debug_assertions)]
         {
-            let mut last: std::collections::HashMap<usize, usize> =
-                std::collections::HashMap::new();
+            let mut last: HashMap<usize, usize> = HashMap::new();
             for s in steps {
                 if let Some(prev) = last.insert(s.slot, s.pos) {
                     debug_assert_eq!(
@@ -260,6 +302,10 @@ impl Model {
                 }
             }
         }
+        // Append-then-attend batching is only bit-exact when appends never
+        // rewrite materialized view rows; the observer callback is `FnMut`
+        // and must fire in step order, so it also forces the serial path.
+        let parallel_attention = !rt.is_serial() && observer.is_none() && cache.append_only_views();
         let d = cfg.d_model;
         let hd = cfg.head_dim();
         let shape = AttentionShape {
@@ -288,42 +334,47 @@ impl Model {
 
         for (l, lw) in self.layers.iter().enumerate() {
             // Attention block: one weight sweep per projection serves the
-            // whole batch (matvec_batch), everything per-sequence stays
-            // per-sequence.
+            // whole batch (matvec_batch, row-sharded on `rt`), everything
+            // per-sequence stays per-sequence.
             let hs: Vec<Vec<f32>> = xs
                 .iter()
                 .map(|x| self.norm(x, &lw.attn_norm_w, lw.attn_norm_b.as_ref()))
                 .collect();
             let href = as_refs(&hs);
-            let mut qs = lw.wq.matvec_batch(&href).expect("Wq shape");
-            let mut ks = lw.wk.matvec_batch(&href).expect("Wk shape");
-            let vs = lw.wv.matvec_batch(&href).expect("Wv shape");
-            let mut atts = Vec::with_capacity(steps.len());
-            for (i, step) in steps.iter().enumerate() {
-                let (q, k, v) = (&mut qs[i], &mut ks[i], &vs[i]);
-                if cfg.positional == Positional::Rope {
-                    for head in q.chunks_mut(hd) {
-                        apply_rope(head, step.pos, DEFAULT_THETA);
+            let mut qs = lw.wq.matvec_batch_on(rt, &href).expect("Wq shape");
+            let mut ks = lw.wk.matvec_batch_on(rt, &href).expect("Wk shape");
+            let vs = lw.wv.matvec_batch_on(rt, &href).expect("Wv shape");
+            let atts: Vec<Vec<f32>> = if parallel_attention {
+                self.attend_layer_parallel(rt, cache, steps, l, &mut qs, &mut ks, &vs, &shape)
+            } else {
+                let mut atts = Vec::with_capacity(steps.len());
+                for (i, step) in steps.iter().enumerate() {
+                    let (q, k, v) = (&mut qs[i], &mut ks[i], &vs[i]);
+                    if cfg.positional == Positional::Rope {
+                        for head in q.chunks_mut(hd) {
+                            apply_rope(head, step.pos, DEFAULT_THETA);
+                        }
+                        for head in k.chunks_mut(hd) {
+                            apply_rope(head, step.pos, DEFAULT_THETA);
+                        }
                     }
-                    for head in k.chunks_mut(hd) {
-                        apply_rope(head, step.pos, DEFAULT_THETA);
+                    if let Some(obs) = observer.as_deref_mut() {
+                        obs(i, l, KvKind::Key, k);
+                        obs(i, l, KvKind::Value, v);
                     }
+                    cache.append(step.slot, l, k, v);
+                    let seq_len = cache.seq_len(step.slot, l);
+                    let att = {
+                        let keys = cache.keys(step.slot, l).to_vec();
+                        let values = cache.values(step.slot, l);
+                        attend_one(q, &keys, values, seq_len, &shape)
+                    };
+                    atts.push(att);
                 }
-                if let Some(obs) = observer.as_deref_mut() {
-                    obs(i, l, KvKind::Key, k);
-                    obs(i, l, KvKind::Value, v);
-                }
-                cache.append(step.slot, l, k, v);
-                let seq_len = cache.seq_len(step.slot, l);
-                let att = {
-                    let keys = cache.keys(step.slot, l).to_vec();
-                    let values = cache.values(step.slot, l);
-                    attend_one(q, &keys, values, seq_len, &shape)
-                };
-                atts.push(att);
-            }
+                atts
+            };
             let attref = as_refs(&atts);
-            let projs = lw.wo.matvec_batch(&attref).expect("Wo shape");
+            let projs = lw.wo.matvec_batch_on(rt, &attref).expect("Wo shape");
             for (x, proj) in xs.iter_mut().zip(projs) {
                 for (xi, pi) in x.iter_mut().zip(proj) {
                     *xi += pi;
@@ -336,7 +387,7 @@ impl Model {
                 .map(|x| self.norm(x, &lw.ffn_norm_w, lw.ffn_norm_b.as_ref()))
                 .collect();
             let href = as_refs(&hs);
-            let ys = lw.ffn.forward_batch(&href, cfg.activation);
+            let ys = lw.ffn.forward_batch_on(rt, &href, cfg.activation);
             for (x, y) in xs.iter_mut().zip(ys) {
                 for (xi, yi) in x.iter_mut().zip(y) {
                     *xi += yi;
@@ -353,7 +404,108 @@ impl Model {
             })
             .collect();
         let href = as_refs(&hs);
-        self.lm_head.matvec_batch(&href).expect("LM head shape")
+        self.lm_head
+            .matvec_batch_on(rt, &href)
+            .expect("LM head shape")
+    }
+
+    /// One layer's attention block on the parallel path: rope + batched
+    /// append (quantization sharded per sequence by the cache), then one
+    /// attention task per `(step, KV head)` against per-slot snapshots.
+    ///
+    /// Bit-exactness with the serial per-step interleaving rests on the
+    /// cache's append-only-views guarantee: a step's snapshot sliced to
+    /// its own causal length (`seq_len` recorded at its append) contains
+    /// exactly the rows the serial path read after that step's append —
+    /// later appends only extend the buffers.
+    #[allow(clippy::too_many_arguments)]
+    fn attend_layer_parallel(
+        &self,
+        rt: &Runtime,
+        cache: &mut dyn BatchKvCache,
+        steps: &[BatchStep],
+        l: usize,
+        qs: &mut [Vec<f32>],
+        ks: &mut [Vec<f32>],
+        vs: &[Vec<f32>],
+        shape: &AttentionShape,
+    ) -> Vec<Vec<f32>> {
+        let cfg = &self.config;
+        let hd = cfg.head_dim();
+        let kv_dim = cfg.kv_dim();
+        // Phase A (serial, step order): position rotation, then the whole
+        // iteration's K/V rows in one batched append. Each step's causal
+        // length is its base length plus its occurrence index within the
+        // batch — the value the serial path reads right after its append.
+        let mut seq_lens = vec![0usize; steps.len()];
+        let mut grown: HashMap<usize, usize> = HashMap::new();
+        for (i, step) in steps.iter().enumerate() {
+            if cfg.positional == Positional::Rope {
+                for head in qs[i].chunks_mut(hd) {
+                    apply_rope(head, step.pos, DEFAULT_THETA);
+                }
+                for head in ks[i].chunks_mut(hd) {
+                    apply_rope(head, step.pos, DEFAULT_THETA);
+                }
+            }
+            let len = grown
+                .entry(step.slot)
+                .or_insert_with(|| cache.seq_len(step.slot, l));
+            *len += 1;
+            seq_lens[i] = *len;
+        }
+        let items: Vec<BatchAppend<'_>> = steps
+            .iter()
+            .enumerate()
+            .map(|(i, step)| BatchAppend {
+                slot: step.slot,
+                k: &ks[i],
+                v: &vs[i],
+            })
+            .collect();
+        cache.append_batch(rt, l, &items);
+
+        // Phase B (serial): one key/value snapshot per distinct slot; all
+        // of a slot's steps slice the same buffers by their own lengths.
+        let mut slots: Vec<usize> = steps.iter().map(|s| s.slot).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        let snaps: HashMap<usize, (Vec<f32>, Vec<f32>)> = slots
+            .into_iter()
+            .map(|slot| {
+                let k = cache.keys(slot, l).to_vec();
+                let v = cache.values(slot, l).to_vec();
+                (slot, (k, v))
+            })
+            .collect();
+
+        // Phase C (parallel): tasks over (step × KV head), merged in
+        // (step, head) order.
+        let nk = cfg.num_kv_heads.max(1);
+        let group_width = shape.group_size().max(1) * hd;
+        let groups = rt.map(steps.len() * nk, |t| {
+            let (i, kvh) = (t / nk, t % nk);
+            let (keys, values) = &snaps[&steps[i].slot];
+            let visible = seq_lens[i] * kv_dim;
+            attend_kv_group(
+                &qs[i],
+                &keys[..visible],
+                &values[..visible],
+                seq_lens[i],
+                shape,
+                kvh,
+            )
+        });
+        (0..steps.len())
+            .map(|i| {
+                let mut out = vec![0.0f32; shape.q_dim()];
+                for kvh in 0..nk {
+                    out[kvh * group_width..(kvh + 1) * group_width]
+                        .copy_from_slice(&groups[i * nk + kvh]);
+                }
+                out
+            })
+            .collect()
     }
 }
 
@@ -594,6 +746,88 @@ mod tests {
             let ab: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
             let bb: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
             assert_eq!(ab, bb, "logits diverged at position {i}");
+        }
+    }
+
+    /// The parallel forward pass (weight sweeps, batched appends, and
+    /// step×KV-head attention sharded across a runtime) must be
+    /// bit-identical to the serial pass for every thread count — over a
+    /// real paged pool with mixed decode steps and prompt chunks.
+    #[test]
+    fn forward_batch_on_matches_serial_bitwise_over_paged_pool() {
+        use crate::pool::{PagedKvPool, PoolBatchView};
+        use oaken_runtime::Runtime;
+
+        let m = tiny();
+        let cfg = m.config().clone();
+        let run = |rt: &Runtime| -> Vec<Vec<f32>> {
+            let mut pool = PagedKvPool::for_model(&cfg, None, 4096, 512);
+            let seqs = vec![pool.alloc_seq(), pool.alloc_seq(), pool.alloc_seq()];
+            assert!(pool.append_only_views(), "exact pool is append-only");
+            let mut all = Vec::new();
+            // Iteration 1: slot 0 feeds a 3-token chunk, slots 1-2 one
+            // token each. Iteration 2: everyone decodes one token.
+            let mk = |steps: &[BatchStep], pool: &mut PagedKvPool| {
+                let mut view = PoolBatchView::new(pool, &seqs);
+                m.forward_batch_on(rt, &mut view, steps, None)
+            };
+            let it1 = [
+                BatchStep {
+                    slot: 0,
+                    pos: 0,
+                    token: 11,
+                },
+                BatchStep {
+                    slot: 0,
+                    pos: 1,
+                    token: 12,
+                },
+                BatchStep {
+                    slot: 0,
+                    pos: 2,
+                    token: 13,
+                },
+                BatchStep {
+                    slot: 1,
+                    pos: 0,
+                    token: 40,
+                },
+                BatchStep {
+                    slot: 2,
+                    pos: 0,
+                    token: 90,
+                },
+            ];
+            all.extend(mk(&it1, &mut pool));
+            let it2 = [
+                BatchStep {
+                    slot: 0,
+                    pos: 3,
+                    token: 14,
+                },
+                BatchStep {
+                    slot: 1,
+                    pos: 1,
+                    token: 41,
+                },
+                BatchStep {
+                    slot: 2,
+                    pos: 1,
+                    token: 91,
+                },
+            ];
+            all.extend(mk(&it2, &mut pool));
+            all
+        };
+        let serial = run(&Runtime::serial());
+        for threads in [2usize, 4, 8] {
+            let par = run(&Runtime::new(threads));
+            assert_eq!(par.len(), serial.len());
+            for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+                let ab: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+                let bb: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(ab, bb, "step {i} diverged at {threads} threads");
+            }
         }
     }
 }

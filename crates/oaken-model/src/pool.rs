@@ -86,11 +86,12 @@
 //!
 //! [`KvQuantizer::prefix_deterministic`]: oaken_core::KvQuantizer::prefix_deterministic
 
-use crate::cache::{BatchKvCache, KindSlot};
+use crate::cache::{BatchAppend, BatchKvCache, KindSlot};
 use crate::config::ModelConfig;
 use crate::trie::{PrefixStats, PrefixTrie, TrieBlock};
 use oaken_core::{KvKind, KvQuantizer};
 use oaken_mmu::{MmuSim, StreamClass, StreamKey};
+use oaken_runtime::{Runtime, UnsafeSlice};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -210,6 +211,57 @@ fn kind_index(kind: KvKind) -> usize {
     }
 }
 
+/// One sequence's K/V rows within a batched pool append
+/// ([`PagedKvPool::append_batch`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SeqRowAppend<'a> {
+    /// The sequence the rows belong to.
+    pub seq: SeqId,
+    /// The token's key vector.
+    pub k: &'a [f32],
+    /// The token's value vector.
+    pub v: &'a [f32],
+}
+
+/// Per-item bookkeeping the parallel quantize phase hands to the serial
+/// page-commit phase.
+#[derive(Debug, Clone, Copy, Default)]
+struct RowRecord {
+    /// Rows held by the `(seq, layer)` slots *before* this item appended
+    /// (identical for both kinds) — the position the page commit routes by.
+    pos: usize,
+    /// `(dense, sparse)` encoded byte sizes of the key row.
+    key_bytes: (usize, usize),
+    /// `(dense, sparse)` encoded byte sizes of the value row.
+    value_bytes: (usize, usize),
+}
+
+/// Raw pointers to the distinct sequences' slot storage for one batched
+/// append — collected serially, dereferenced by exactly one task each.
+#[derive(Default)]
+struct SlotPtrs(Vec<*mut SeqSlots>);
+
+// SAFETY: the pointers are only alive (and only dereferenced) inside one
+// `append_batch` call, each by a single task over a distinct sequence, and
+// the pointees (`SeqSlots`) own only `Send` data (`Box<dyn KvRowStream>`
+// is `Send` by trait bound).
+unsafe impl Send for SlotPtrs {}
+unsafe impl Sync for SlotPtrs {}
+
+/// Reusable buffers for [`PagedKvPool::append_batch`] — held by the pool
+/// so the steady-state batched append path performs no heap allocations
+/// (enforced by `tests/pool_alloc_free.rs`).
+#[derive(Default)]
+struct BatchScratch {
+    /// Consecutive same-sequence runs of the item list:
+    /// `(seq id, first item index, item count)`.
+    runs: Vec<(u32, usize, usize)>,
+    /// One record per item.
+    recs: Vec<RowRecord>,
+    /// One slot pointer per run.
+    ptrs: SlotPtrs,
+}
+
 /// Default tokens per shareable prefix block.
 pub const DEFAULT_BLOCK_TOKENS: usize = 16;
 
@@ -238,6 +290,12 @@ pub struct PagedKvPool {
     /// collide with sequence ids counting up.
     next_block_mmu: u32,
     stats: PrefixStats,
+    /// Whether the quantizer provides incremental row streams (probed once
+    /// at construction): streams keep views append-only, the gate for the
+    /// parallel forward pass. Exact-f32 pools (no quantizer) also qualify.
+    streaming: bool,
+    /// Reusable scratch for [`PagedKvPool::append_batch`].
+    batch: BatchScratch,
 }
 
 impl fmt::Debug for PagedKvPool {
@@ -281,6 +339,16 @@ impl PagedKvPool {
             .as_ref()
             .map_or(32.0, |q| q.effective_bits(1, kv_dim));
         let sharing_supported = quantizer.as_ref().is_none_or(|q| q.prefix_deterministic());
+        // Append-only views require a stream for *every* (layer, kind)
+        // slot — `row_stream` is a per-tensor decision, so probe them all
+        // rather than assuming layer 0's answer generalizes.
+        let streaming = quantizer.as_ref().is_none_or(|q| {
+            (0..model.num_layers).all(|l| {
+                KvKind::ALL
+                    .iter()
+                    .all(|&k| q.row_stream(kv_dim, l, k).is_some())
+            })
+        });
         let pool = Self {
             quantizer,
             num_layers: model.num_layers,
@@ -298,6 +366,8 @@ impl PagedKvPool {
             trie: PrefixTrie::default(),
             next_block_mmu: u32::MAX,
             stats: PrefixStats::default(),
+            streaming,
+            batch: BatchScratch::default(),
         };
         assert!(
             pool.dense_row_bound() <= page_size,
@@ -839,6 +909,214 @@ impl PagedKvPool {
         Ok(())
     }
 
+    /// Whether appends only *extend* this pool's dequantized views (see
+    /// [`BatchKvCache::append_only_views`]): true for exact-f32 pools and
+    /// for every quantizer with an incremental row stream, false for the
+    /// recompute-on-read fallback.
+    pub fn append_only_views(&self) -> bool {
+        self.streaming
+    }
+
+    /// Worst-case new pages `n` consecutive appends to `(seq, layer)`
+    /// could allocate, without heap allocation (the batched-append
+    /// pre-check; [`PagedKvPool::pages_possibly_needed_n`] is the
+    /// all-layers variant schedulers use).
+    fn layer_pages_needed(&self, state: &SeqSlots, seq_id: u32, layer: usize, n: usize) -> u32 {
+        let mut needed = 0u32;
+        for kind in KvKind::ALL {
+            let start = state.slots[layer][kind_index(kind)].rows;
+            // Stream owner runs of `start .. start + n`, accumulated
+            // without the `owner_segments` scratch vector.
+            let mut run: Option<(u32, usize)> = None;
+            for pos in start..start + n {
+                let owner = self.owner_for_pos(state, seq_id, pos);
+                match &mut run {
+                    Some((o, c)) if *o == owner => *c += 1,
+                    _ => {
+                        if let Some((o, c)) = run.take() {
+                            needed += self.stream_set_pages_needed(o, layer, kind, c);
+                        }
+                        run = Some((owner, 1));
+                    }
+                }
+            }
+            if let Some((o, c)) = run {
+                needed += self.stream_set_pages_needed(o, layer, kind, c);
+            }
+        }
+        needed
+    }
+
+    /// Appends one token's K/V rows for `layer` across a whole batch of
+    /// sequences — semantically identical to calling
+    /// [`PagedKvPool::append`] for each item in order (same state, same
+    /// page assignment, same errors), with the quantization work sharded
+    /// across `rt`.
+    ///
+    /// Execution follows the paper's engine/MMU split (§5.2): the many
+    /// quantization engines work on independent shards — here, each
+    /// sequence's own row streams, the software unit that preserves
+    /// bit-exactness — while the MMU stays a **single writer**: a
+    /// conservative page bound is checked up front (the pre-reservation),
+    /// the parallel phase only quantizes into per-sequence buffers, and
+    /// all page allocation happens afterwards on the calling thread in
+    /// item order, so physical page assignment is identical to the serial
+    /// schedule.
+    ///
+    /// Items of one sequence must be consecutive (chunked-prefill order);
+    /// otherwise, and for a serial `rt` or a batch of one, the call
+    /// degrades to the serial loop. After warm-up the batched path
+    /// performs no heap allocations (scratch is pool-owned and reused;
+    /// enforced by `tests/pool_alloc_free.rs`).
+    ///
+    /// # Errors
+    ///
+    /// As [`PagedKvPool::append`]; like the serial loop, items before a
+    /// failing item remain applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector width disagrees with the model's `kv_dim`.
+    pub fn append_batch(
+        &mut self,
+        rt: &Runtime,
+        layer: usize,
+        items: &[SeqRowAppend<'_>],
+    ) -> Result<(), PoolError> {
+        self.append_batch_with(rt, layer, items.len(), &|i| items[i])
+    }
+
+    /// [`PagedKvPool::append_batch`] over an item *accessor* instead of a
+    /// materialized slice, so adapters that only hold a slot→sequence
+    /// mapping (the engine's `PoolBatchView`) can feed the batched path
+    /// without building a translated item list per call — keeping the
+    /// whole engine append path allocation-free in steady state.
+    ///
+    /// `get(i)` must be pure (it is called more than once per item).
+    pub fn append_batch_with<'a>(
+        &mut self,
+        rt: &Runtime,
+        layer: usize,
+        n_items: usize,
+        get: &(dyn Fn(usize) -> SeqRowAppend<'a> + Sync),
+    ) -> Result<(), PoolError> {
+        for i in 0..n_items {
+            let it = get(i);
+            assert_eq!(it.k.len(), self.kv_dim, "key width mismatch");
+            assert_eq!(it.v.len(), self.kv_dim, "value width mismatch");
+        }
+        let serial = |pool: &mut Self| -> Result<(), PoolError> {
+            for i in 0..n_items {
+                let it = get(i);
+                pool.append(it.seq, layer, it.k, it.v)?;
+            }
+            Ok(())
+        };
+        if rt.is_serial() || n_items < 2 {
+            return serial(self);
+        }
+        // Consecutive same-sequence runs; any irregularity (unknown
+        // sequence, a sequence split across non-adjacent runs) falls back
+        // to the serial loop, which surfaces errors at the right item.
+        self.batch.runs.clear();
+        for idx in 0..n_items {
+            let it = get(idx);
+            match self.batch.runs.last_mut() {
+                Some((s, _, len)) if *s == it.seq.0 => *len += 1,
+                _ => self.batch.runs.push((it.seq.0, idx, 1)),
+            }
+        }
+        let runs_ok = self
+            .batch
+            .runs
+            .iter()
+            .enumerate()
+            .all(|(i, &(s, _, _))| self.batch.runs[..i].iter().all(|&(p, _, _)| p != s))
+            && self
+                .batch
+                .runs
+                .iter()
+                .all(|&(s, _, _)| self.seqs.contains_key(&s));
+        if !runs_ok {
+            return serial(self);
+        }
+        // Conservative pre-reservation: worst-case pages for the whole
+        // batch at this layer. When it does not fit, the serial loop
+        // reproduces the exact per-item failure semantics (its per-item
+        // bound is weaker, so it may still make progress).
+        let mut needed = 0u32;
+        for &(seq_id, _, len) in &self.batch.runs {
+            let state = &self.seqs[&seq_id];
+            needed += self.layer_pages_needed(state, seq_id, layer, len);
+        }
+        if needed > self.free_pages() {
+            return serial(self);
+        }
+
+        // Phase 1 (parallel): quantize every row into its sequence's own
+        // streams — one task per run, rows in item order within a run, so
+        // each stream sees exactly the serial append order. Only
+        // per-sequence state is touched; sizes land in disjoint records.
+        self.batch.recs.clear();
+        self.batch.recs.resize(n_items, RowRecord::default());
+        self.batch.ptrs.0.clear();
+        for &(seq_id, _, _) in &self.batch.runs {
+            let state = self.seqs.get_mut(&seq_id).expect("validated above");
+            self.batch.ptrs.0.push(state as *mut SeqSlots);
+        }
+        {
+            let runs = &self.batch.runs;
+            let ptrs = &self.batch.ptrs;
+            let recs = UnsafeSlice::new(&mut self.batch.recs);
+            let quantizer = self.quantizer.as_deref();
+            let kv_dim = self.kv_dim;
+            rt.run(runs.len(), |r| {
+                let (_, start, len) = runs[r];
+                // SAFETY: each run names a distinct live sequence (checked
+                // above), so this is the only task touching these slots,
+                // and `self.seqs` is not otherwise accessed until the
+                // phase completes.
+                let state_ptr: *mut SeqSlots = ptrs.0[r];
+                let state = unsafe { &mut *state_ptr };
+                for idx in start..start + len {
+                    let it = get(idx);
+                    // SAFETY: `idx` ranges are disjoint across runs.
+                    let rec = unsafe { recs.get_mut(idx) };
+                    rec.pos = state.slots[layer][0].rows;
+                    for (ki, row) in [(0usize, it.k), (1usize, it.v)] {
+                        let slot = &mut state.slots[layer][ki];
+                        slot.append(row);
+                        let bytes = encoded_row_payload(slot, quantizer, kv_dim);
+                        if ki == 0 {
+                            rec.key_bytes = bytes;
+                        } else {
+                            rec.value_bytes = bytes;
+                        }
+                    }
+                }
+            });
+        }
+
+        // Phase 2 (serial, item order): lay the encoded bytes into pages
+        // and seal any block whose rows are now fully committed — the
+        // exact write/seal schedule of the serial loop, so page ids and
+        // trie state are bit-identical to it.
+        for idx in 0..n_items {
+            let it = get(idx);
+            let rec = self.batch.recs[idx];
+            for (kind, (dense, sparse)) in [
+                (KvKind::Key, rec.key_bytes),
+                (KvKind::Value, rec.value_bytes),
+            ] {
+                let state = self.seqs.get(&it.seq.0).expect("validated above");
+                let owner = self.owner_for_pos(state, it.seq.0, rec.pos);
+                self.write_pages(it.seq, owner, layer, kind, dense, sparse);
+            }
+            self.seal_ready_blocks(it.seq, Some((layer, rec.pos + 1)));
+        }
+        Ok(())
+    }
+
     /// Appends one row to the `(seq, layer, kind)` slot and returns the
     /// `(dense, sparse)` stored byte sizes of the encoded row.
     fn append_row(
@@ -848,28 +1126,12 @@ impl PagedKvPool {
         kind: KvKind,
         row: &[f32],
     ) -> (usize, usize) {
+        let kv_dim = self.kv_dim;
+        let quantizer = self.quantizer.as_deref();
         let slot = &mut self.seqs.get_mut(&seq.0).expect("checked by caller").slots[layer]
             [kind_index(kind)];
         slot.append(row);
-        match &slot.stream {
-            Some(stream) => stream.last_row_payload().unwrap_or_else(|| {
-                let bits = self
-                    .quantizer
-                    .as_ref()
-                    .expect("streams only exist with a quantizer")
-                    .effective_bits(slot.rows, self.kv_dim);
-                (((bits * self.kv_dim as f64) / 8.0).ceil() as usize, 0)
-            }),
-            None => match &self.quantizer {
-                // Recompute-fallback methods: nominal stored size.
-                Some(q) => {
-                    let bits = q.effective_bits(slot.rows, self.kv_dim);
-                    (((bits * self.kv_dim as f64) / 8.0).ceil() as usize, 0)
-                }
-                // Exact f32 storage.
-                None => (self.kv_dim * 4, 0),
-            },
-        }
+        encoded_row_payload(slot, quantizer, kv_dim)
     }
 
     /// Lays one encoded row's bytes into `owner`'s per-head dense/sparse
@@ -920,6 +1182,19 @@ impl PagedKvPool {
     /// concurrent sequence already sealed the identical block — is freed
     /// and the existing node adopted instead (late dedup).
     fn seal_completed_blocks(&mut self, seq: SeqId) {
+        self.seal_ready_blocks(seq, None);
+    }
+
+    /// [`seal_completed_blocks`](Self::seal_completed_blocks) with an
+    /// optional `(layer, rows)` cap on one layer's committed row count.
+    ///
+    /// The batched append quantizes a whole iteration's rows before any
+    /// page is laid, so during its serial commit phase a layer's
+    /// `slot.rows` can run ahead of the rows whose pages exist; sealing a
+    /// block then would move a partially-written page range into the
+    /// trie. The cap restores the serial invariant: a block seals only
+    /// once every one of its rows is page-committed.
+    fn seal_ready_blocks(&mut self, seq: SeqId, committed: Option<(usize, usize)>) {
         loop {
             let state = self.seqs.get(&seq.0).expect("caller validated");
             let Some(plan) = &state.plan else {
@@ -929,10 +1204,15 @@ impl PagedKvPool {
                 return;
             }
             let boundary = (plan.sealed + 1) * self.block_tokens;
-            let complete = state
-                .slots
-                .iter()
-                .all(|pair| pair.iter().all(|s| s.rows >= boundary));
+            let complete = state.slots.iter().enumerate().all(|(l, pair)| {
+                pair.iter().all(|s| {
+                    let rows = match committed {
+                        Some((cl, limit)) if cl == l => s.rows.min(limit),
+                        _ => s.rows,
+                    };
+                    rows >= boundary
+                })
+            });
             if !complete {
                 return;
             }
@@ -1095,6 +1375,36 @@ impl PagedKvPool {
     }
 }
 
+/// `(dense, sparse)` stored byte sizes of a slot's most recently appended
+/// row: the stream's actual payload when tracked, the quantizer's nominal
+/// estimate otherwise, raw f32 bytes for exact storage.
+///
+/// A free function (not a `PagedKvPool` method) so the parallel batch
+/// append can call it on independently-borrowed slots.
+fn encoded_row_payload(
+    slot: &KindSlot,
+    quantizer: Option<&dyn KvQuantizer>,
+    kv_dim: usize,
+) -> (usize, usize) {
+    match &slot.stream {
+        Some(stream) => stream.last_row_payload().unwrap_or_else(|| {
+            let bits = quantizer
+                .expect("streams only exist with a quantizer")
+                .effective_bits(slot.rows, kv_dim);
+            (((bits * kv_dim as f64) / 8.0).ceil() as usize, 0)
+        }),
+        None => match quantizer {
+            // Recompute-fallback methods: nominal stored size.
+            Some(q) => {
+                let bits = q.effective_bits(slot.rows, kv_dim);
+                (((bits * kv_dim as f64) / 8.0).ceil() as usize, 0)
+            }
+            // Exact f32 storage.
+            None => (kv_dim * 4, 0),
+        },
+    }
+}
+
 /// Worst-case pages `rows` rows of at most `bound` bytes each need on a
 /// stream whose tail page has `tail_free` bytes left: the tail absorbs
 /// whole worst-case rows first, fresh pages are charged at worst-case
@@ -1145,6 +1455,27 @@ impl BatchKvCache for PoolBatchView<'_> {
 
     fn values(&mut self, slot: usize, layer: usize) -> &[f32] {
         self.pool.values(self.seqs[slot], layer)
+    }
+
+    fn append_only_views(&self) -> bool {
+        self.pool.append_only_views()
+    }
+
+    fn append_batch(&mut self, rt: &Runtime, layer: usize, items: &[BatchAppend<'_>]) {
+        // Accessor form: translate slot → sequence on the fly instead of
+        // materializing a mapped item list (this adapter sits on the
+        // steady-state allocation-free append path).
+        let seqs = self.seqs;
+        self.pool
+            .append_batch_with(rt, layer, items.len(), &|i| {
+                let it = &items[i];
+                SeqRowAppend {
+                    seq: seqs[it.slot],
+                    k: it.k,
+                    v: it.v,
+                }
+            })
+            .expect("scheduler reserves pages before the iteration");
     }
 }
 
@@ -1541,6 +1872,113 @@ mod tests {
         pool.free_seq(a.seq).unwrap();
         assert_eq!(pool.trie_blocks(), 0);
         assert_eq!(pool.free_pages(), pool.capacity_pages());
+    }
+
+    /// The sharded batch append must leave the pool in *exactly* the
+    /// state of the serial per-item loop: views bit-identical, page
+    /// counts equal, blocks sealed into the trie the same way — across
+    /// chunked (multi-row) runs, prefix plans, and every thread count.
+    #[test]
+    fn append_batch_is_bit_identical_to_serial_appends() {
+        let layers = 2;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let q = oaken(d, layers);
+        let prompt: Vec<u32> = (0..11).collect();
+        for threads in [2usize, 4, 8] {
+            let rt = Runtime::new(threads);
+            let mut par = PagedKvPool::for_model(&cfg, Some(q.clone()), 2048, 512);
+            let mut ser = PagedKvPool::for_model(&cfg, Some(q.clone()), 2048, 512);
+            par.set_block_tokens(4);
+            ser.set_block_tokens(4);
+            let pa = par.alloc_seq_with_prefix(&prompt).seq;
+            let sa = ser.alloc_seq_with_prefix(&prompt).seq;
+            let pb = par.alloc_seq();
+            let sb = ser.alloc_seq();
+            // Chunked runs: 3 rows of sequence a, then 2 of sequence b,
+            // per layer, repeated — the chunked-prefill batch shape.
+            let mut pos_a = 0usize;
+            let mut pos_b = 0usize;
+            for _round in 0..4 {
+                for layer in 0..layers {
+                    let rows_a: Vec<(Vec<f32>, Vec<f32>)> =
+                        (0..3).map(|j| kv_for_pos(d, pos_a + j)).collect();
+                    let rows_b: Vec<(Vec<f32>, Vec<f32>)> =
+                        (0..2).map(|j| kv_for_pos(d, 500 + pos_b + j)).collect();
+                    let mut items = Vec::new();
+                    for (k, v) in &rows_a {
+                        items.push(SeqRowAppend { seq: pa, k, v });
+                    }
+                    for (k, v) in &rows_b {
+                        items.push(SeqRowAppend { seq: pb, k, v });
+                    }
+                    par.append_batch(&rt, layer, &items).unwrap();
+                    for (k, v) in &rows_a {
+                        ser.append(sa, layer, k, v).unwrap();
+                    }
+                    for (k, v) in &rows_b {
+                        ser.append(sb, layer, k, v).unwrap();
+                    }
+                }
+                pos_a += 3;
+                pos_b += 2;
+            }
+            for layer in 0..layers {
+                for (p, s) in [(pa, sa), (pb, sb)] {
+                    assert_eq!(par.seq_len(p, layer), ser.seq_len(s, layer));
+                    let a: Vec<u32> = par.keys(p, layer).iter().map(|x| x.to_bits()).collect();
+                    let b: Vec<u32> = ser.keys(s, layer).iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(a, b, "keys diverged ({threads} threads, layer {layer})");
+                    let a: Vec<u32> = par.values(p, layer).iter().map(|x| x.to_bits()).collect();
+                    let b: Vec<u32> = ser.values(s, layer).iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(a, b, "values diverged ({threads} threads, layer {layer})");
+                }
+            }
+            assert_eq!(par.free_pages(), ser.free_pages(), "{threads} threads");
+            assert_eq!(par.trie_blocks(), ser.trie_blocks());
+            assert_eq!(par.seq_pages(pa), ser.seq_pages(sa));
+            assert_eq!(par.seq_pages(pb), ser.seq_pages(sb));
+            assert_eq!(par.page_accounting(), ser.page_accounting());
+            assert_balanced(&par);
+        }
+    }
+
+    /// Exhaustion semantics of the batched path match the serial loop:
+    /// a batch whose conservative bound does not fit degrades to the
+    /// per-item loop and surfaces the same partial-progress error.
+    #[test]
+    fn append_batch_exhaustion_matches_serial() {
+        let layers = 1;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let rt = Runtime::new(4);
+        let mut par = PagedKvPool::for_model(&cfg, None, 4, 256);
+        let mut ser = PagedKvPool::for_model(&cfg, None, 4, 256);
+        let p = par.alloc_seq();
+        let s = ser.alloc_seq();
+        let rows: Vec<(Vec<f32>, Vec<f32>)> = (0..16).map(|t| kv_for_pos(d, t)).collect();
+        let mut par_err = None;
+        for chunk in rows.chunks(2) {
+            let items: Vec<SeqRowAppend<'_>> = chunk
+                .iter()
+                .map(|(k, v)| SeqRowAppend { seq: p, k, v })
+                .collect();
+            if let Err(e) = par.append_batch(&rt, 0, &items) {
+                par_err = Some(e);
+                break;
+            }
+        }
+        let mut ser_err = None;
+        for (k, v) in &rows {
+            if let Err(e) = ser.append(s, 0, k, v) {
+                ser_err = Some(e);
+                break;
+            }
+        }
+        assert!(matches!(par_err, Some(PoolError::OutOfPages { .. })));
+        assert!(matches!(ser_err, Some(PoolError::OutOfPages { .. })));
+        assert_eq!(par.seq_len(p, 0), ser.seq_len(s, 0), "same rows landed");
+        assert_eq!(par.free_pages(), ser.free_pages());
     }
 
     #[test]

@@ -38,6 +38,7 @@ use crate::scheduler::TokenScheduler;
 use oaken_model::{
     sample_greedy, BatchStep, Model, PagedKvPool, PoolBatchView, PrefixStats, SeqId,
 };
+use oaken_runtime::Runtime;
 use std::collections::VecDeque;
 
 /// One serving request with real token content: a prompt to prefill and a
@@ -144,6 +145,14 @@ pub struct EngineConfig {
     /// sequence still receives at least one token per iteration, so the
     /// classic one-token-per-step schedule is the `1` setting.
     pub prefill_token_budget: usize,
+    /// Threads executing each engine iteration (the deterministic
+    /// fork-join runtime: weight sweeps, per-sequence quantize+append,
+    /// and per-`(step, KV head)` attention all shard across them).
+    /// Parallel execution is **bit-exact** with `1`, which reproduces the
+    /// single-threaded engine exactly. Defaults to
+    /// [`oaken_runtime::default_threads`] (`OAKEN_THREADS` or the
+    /// machine's available parallelism).
+    pub num_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -153,6 +162,7 @@ impl Default for EngineConfig {
             admission: AdmissionPolicy::default(),
             record_logits: false,
             prefill_token_budget: 16,
+            num_threads: oaken_runtime::default_threads(),
         }
     }
 }
@@ -271,6 +281,7 @@ pub struct BatchEngine<'m> {
     pool: PagedKvPool,
     scheduler: TokenScheduler,
     config: EngineConfig,
+    runtime: Runtime,
     queue: VecDeque<QueuedRequest>,
     active: Vec<ActiveSeq>,
     finished: Vec<FinishedRequest>,
@@ -295,16 +306,23 @@ impl<'m> BatchEngine<'m> {
             config.prefill_token_budget > 0,
             "need at least one prefill token per iteration"
         );
+        assert!(config.num_threads > 0, "need at least one thread");
         Self {
             model,
             pool,
             scheduler,
+            runtime: Runtime::new(config.num_threads),
             config,
             queue: VecDeque::new(),
             active: Vec::new(),
             finished: Vec::new(),
             stats: EngineStats::default(),
         }
+    }
+
+    /// The engine's fork-join runtime (shared by every iteration).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
     }
 
     /// Enqueues a request.
@@ -387,7 +405,9 @@ impl<'m> BatchEngine<'m> {
             }
         }
         let mut view = PoolBatchView::new(&mut self.pool, &seqs);
-        let logits = self.model.forward_batch(&mut view, &steps, None);
+        let logits = self
+            .model
+            .forward_batch_on(&self.runtime, &mut view, &steps, None);
         self.stats.pages_in_use_peak = self
             .stats
             .pages_in_use_peak

@@ -89,6 +89,7 @@ fn run_engine_and_compare_budget(
             admission,
             record_logits: true,
             prefill_token_budget,
+            ..EngineConfig::default()
         },
     );
     for (id, (prompt, max_new)) in requests.iter().enumerate() {

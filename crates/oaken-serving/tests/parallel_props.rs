@@ -1,0 +1,206 @@
+//! Determinism guard for the parallel runtime: the engine's output —
+//! every generated token, every recorded logit bit, every completion and
+//! preemption count — must be **identical** at any `num_threads` to the
+//! single-threaded run, over random chunk budgets, shared-prefix
+//! overlaps, and preemption-inducing pool sizes.
+//!
+//! This is the repository's standing bit-exactness discipline extended to
+//! threads: the fork-join runtime executes a fixed task decomposition
+//! whose accumulation chains are all task-local, so scheduling (the only
+//! nondeterminism threads introduce) is unobservable in the output.
+
+use oaken_core::{KvQuantizer, OakenConfig};
+use oaken_eval::harness::profile_oaken;
+use oaken_model::{Model, ModelConfig, PagedKvPool};
+use oaken_serving::{
+    AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, FinishedRequest, TokenScheduler,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn tiny_model() -> Model {
+    Model::synthetic(ModelConfig::llama2_7b().proxy(2, 32), 7)
+}
+
+fn profiled_oaken(model: &Model) -> Arc<dyn KvQuantizer> {
+    Arc::new(profile_oaken(model, OakenConfig::default(), 6, 8, 5))
+}
+
+/// Runs one full engine schedule at a given thread count and returns the
+/// finished requests sorted by id.
+#[allow(clippy::too_many_arguments)]
+fn run_engine(
+    model: &Model,
+    quantizer: Option<Arc<dyn KvQuantizer>>,
+    requests: &[EngineRequest],
+    num_threads: usize,
+    max_batch: usize,
+    num_pages: u32,
+    prefill_token_budget: usize,
+    block_tokens: usize,
+) -> Vec<FinishedRequest> {
+    let mut pool = PagedKvPool::for_model(model.config(), quantizer, num_pages, 512);
+    pool.set_block_tokens(block_tokens);
+    let mut engine = BatchEngine::new(
+        model,
+        pool,
+        TokenScheduler::new(4),
+        EngineConfig {
+            max_batch,
+            admission: AdmissionPolicy::PromptOnly,
+            record_logits: true,
+            prefill_token_budget,
+            num_threads,
+        },
+    );
+    for r in requests {
+        engine.submit(r.clone());
+    }
+    engine.run();
+    let mut fin = engine.finished().to_vec();
+    fin.sort_by_key(|f| f.id);
+    fin
+}
+
+/// Every observable field must match bit for bit.
+fn assert_runs_identical(serial: &[FinishedRequest], parallel: &[FinishedRequest], ctx: &str) {
+    assert_eq!(serial.len(), parallel.len(), "{ctx}: request count");
+    for (s, p) in serial.iter().zip(parallel) {
+        assert_eq!(s.id, p.id, "{ctx}");
+        assert_eq!(s.completed, p.completed, "{ctx}: request {}", s.id);
+        assert_eq!(s.generated, p.generated, "{ctx}: request {} tokens", s.id);
+        assert_eq!(s.preemptions, p.preemptions, "{ctx}: request {}", s.id);
+        assert_eq!(
+            s.ttft_iteration, p.ttft_iteration,
+            "{ctx}: request {}",
+            s.id
+        );
+        assert_eq!(s.logits.len(), p.logits.len(), "{ctx}: request {}", s.id);
+        for (step, (a, b)) in s.logits.iter().zip(&p.logits).enumerate() {
+            let ab: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                ab, bb,
+                "{ctx}: request {} logits diverged at decode step {step}",
+                s.id
+            );
+        }
+    }
+}
+
+/// Requests where the first `shared` tokens are a common system prompt
+/// (exercising trie adoption and seal dedup under parallel appends).
+fn requests_with_overlap(shapes: &[(usize, usize, u32)], shared: usize) -> Vec<EngineRequest> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(id, &(plen, max_new, salt))| {
+            let prompt = (0..plen as u32)
+                .map(|i| {
+                    if (i as usize) < shared.min(plen.saturating_sub(1)) {
+                        (7 + i * 3) % 256
+                    } else {
+                        (salt + i * 13) % 256
+                    }
+                })
+                .collect();
+            EngineRequest::new(id as u64, prompt, max_new)
+        })
+        .collect()
+}
+
+/// The acceptance bar: 8 concurrent requests, chunked prefill, shared
+/// prefixes — identical output at 2, 4, and 8 threads vs 1.
+#[test]
+fn eight_requests_bit_exact_across_thread_counts() {
+    let model = tiny_model();
+    let quantizer = profiled_oaken(&model);
+    let shapes: Vec<(usize, usize, u32)> = (0..8u32)
+        .map(|r| (6 + (r as usize % 5), 3 + (r as usize % 3), r * 37))
+        .collect();
+    let requests = requests_with_overlap(&shapes, 4);
+    let serial = run_engine(
+        &model,
+        Some(quantizer.clone()),
+        &requests,
+        1,
+        8,
+        4096,
+        16,
+        4,
+    );
+    for threads in [2usize, 4, 8] {
+        let par = run_engine(
+            &model,
+            Some(quantizer.clone()),
+            &requests,
+            threads,
+            8,
+            4096,
+            16,
+            4,
+        );
+        assert_runs_identical(&serial, &par, &format!("{threads} threads"));
+    }
+}
+
+/// Preemption-inducing pool: evictions and restarts must replay
+/// identically under any thread count.
+#[test]
+fn preemption_schedule_bit_exact_across_thread_counts() {
+    let model = tiny_model();
+    // Exact-f32 pool (still append-only, so still the parallel path):
+    // its fat rows make decode growth collide with the worst-case page
+    // bound, the geometry the engine's own preemption unit test uses.
+    let shapes: Vec<(usize, usize, u32)> = (0..4u32).map(|r| (4, 40, r * 41)).collect();
+    let requests = requests_with_overlap(&shapes, 0);
+    let pages = 70;
+    let serial = run_engine(&model, None, &requests, 1, 4, pages, 16, 16);
+    assert!(
+        serial.iter().any(|f| f.preemptions > 0),
+        "workload must actually preempt: {:?}",
+        serial
+            .iter()
+            .map(|f| (f.id, f.completed, f.preemptions))
+            .collect::<Vec<_>>()
+    );
+    for threads in [2usize, 4, 8] {
+        let par = run_engine(&model, None, &requests, threads, 4, pages, 16, 16);
+        assert_runs_identical(&serial, &par, &format!("{threads} threads (preempting)"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random request mixes, chunk budgets, prefix overlaps, block sizes,
+    /// and batch limits: `num_threads ∈ {2, 4, 8}` reproduces the serial
+    /// engine bit for bit, per sequence.
+    #[test]
+    fn random_schedules_bit_exact_across_thread_counts(
+        shapes in prop::collection::vec((2usize..10, 1usize..6, 0u32..1000), 1..6),
+        max_batch in 1usize..5,
+        budget in 1usize..24,
+        overlap in 0usize..8,
+        block_tokens in 2usize..6,
+        tight in any::<bool>(),
+    ) {
+        let model = tiny_model();
+        let quantizer = profiled_oaken(&model);
+        let requests = requests_with_overlap(&shapes, overlap);
+        // Tight pools exercise degradation to single-token steps and
+        // eviction; ample pools exercise the full chunk plans. Both must
+        // stay deterministic.
+        let pages = if tight { 160 } else { 2048 };
+        let serial = run_engine(
+            &model, Some(quantizer.clone()), &requests, 1, max_batch, pages, budget, block_tokens,
+        );
+        for threads in [2usize, 4, 8] {
+            let par = run_engine(
+                &model, Some(quantizer.clone()), &requests, threads, max_batch, pages, budget,
+                block_tokens,
+            );
+            assert_runs_identical(&serial, &par, &format!("{threads} threads"));
+        }
+    }
+}

@@ -149,6 +149,7 @@ fn eight_sharers_dedupe_the_kilotoken_prompt() {
                 admission: AdmissionPolicy::PromptOnly,
                 record_logits: false,
                 prefill_token_budget: if sharing { 64 } else { 1 },
+                ..EngineConfig::default()
             },
         );
         let mut reqs = requests.clone().into_iter();
@@ -254,6 +255,7 @@ fn evicting_a_sharer_preserves_the_survivors() {
             admission: AdmissionPolicy::PromptOnly,
             record_logits: false,
             prefill_token_budget: 8,
+            ..EngineConfig::default()
         },
     );
     for r in &requests {
@@ -304,6 +306,7 @@ fn shared_prompts_stall_strictly_less_on_a_shrinking_pool() {
                 admission: AdmissionPolicy::FullSequence,
                 record_logits: false,
                 prefill_token_budget: 16,
+                ..EngineConfig::default()
             },
         );
         // Stagger: request 0 prefills (sealing the prefix blocks) and is
@@ -393,6 +396,7 @@ proptest! {
                 admission: AdmissionPolicy::PromptOnly,
                 record_logits: true,
                 prefill_token_budget: budget,
+                ..EngineConfig::default()
             },
         );
         let mut reqs = requests.clone().into_iter();

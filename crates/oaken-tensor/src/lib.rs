@@ -8,6 +8,13 @@
 //! activations, rotary position embeddings, and the order statistics
 //! (top-k, quantiles) that Oaken's offline profiler relies on.
 //!
+//! The serving hot path is [`Tensor::matvec_batch`] — one weight-row sweep
+//! dotted against a whole decode batch — and its row-sharded parallel form
+//! [`Tensor::matvec_batch_on`], which fans the rows out across an
+//! `oaken-runtime` worker pool while staying **bit-exact** with the serial
+//! kernel (every accumulation chain is row-local, so no thread count or
+//! schedule can reassociate it).
+//!
 //! # Example
 //!
 //! ```

@@ -472,6 +472,98 @@ impl Tensor {
         Ok(outs)
     }
 
+    /// [`Tensor::matvec_batch`] sharded across output rows on `rt` —
+    /// the parallel form of the batched-decode primitive.
+    ///
+    /// The decomposition follows the runtime's determinism discipline:
+    /// each task owns a contiguous, fixed range of output rows
+    /// ([`oaken_runtime::chunk_range`]) and replicates the serial kernel's
+    /// arithmetic for exactly those rows — every accumulation chain is
+    /// row-local, so no reassociation is possible and the result is
+    /// **bit-exact** with the serial [`Tensor::matvec_batch`] for every
+    /// thread count and every scheduling order. Per-task partial outputs
+    /// are merged in index order.
+    ///
+    /// Small products (or a serial `rt`) take the serial path directly;
+    /// the crossover is sized so the fork-join overhead never dominates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] under the same
+    /// conditions as [`Tensor::matvec_batch`].
+    pub fn matvec_batch_on(
+        &self,
+        rt: &oaken_runtime::Runtime,
+        xs: &[&[f32]],
+    ) -> Result<Vec<Vec<f32>>, TensorError> {
+        let (m, k) = (
+            *self.shape.first().unwrap_or(&0),
+            *self.shape.get(1).unwrap_or(&0),
+        );
+        // The fork-join pays off only when every thread gets real work.
+        let flops = m * k * xs.len();
+        if rt.is_serial() || m < 2 || flops < PAR_MATVEC_MIN_FLOPS {
+            return self.matvec_batch(xs);
+        }
+        for v in xs {
+            if self.rank() != 2 || self.shape[1] != v.len() {
+                return Err(TensorError::IncompatibleShapes {
+                    lhs: self.shape.clone(),
+                    rhs: vec![v.len()],
+                    op: "matvec_batch",
+                });
+            }
+        }
+        let n_tasks = m.min(rt.threads() * PAR_MATVEC_TASKS_PER_THREAD);
+        // Each task computes its own row range for the whole batch,
+        // laid out `[seq][local_row]`; the merge scatters in index order.
+        let partials = rt.map(n_tasks, |t| {
+            let rows = oaken_runtime::chunk_range(t, m, n_tasks);
+            let rows_len = rows.len();
+            let mut local = vec![0.0f32; rows_len * xs.len()];
+            let mut start = 0usize;
+            while start < xs.len() {
+                let n = (xs.len() - start).min(MATVEC_CHUNK);
+                if n == 1 {
+                    // Same lone-vector fast path as the serial kernel.
+                    let x = &xs[start][..k];
+                    for (li, i) in rows.clone().enumerate() {
+                        local[start * rows_len + li] = dot(&self.data[i * k..(i + 1) * k], x);
+                    }
+                    start += 1;
+                    continue;
+                }
+                let mut chunk = [&[] as &[f32]; MATVEC_CHUNK];
+                for (c, x) in chunk[..n].iter_mut().zip(&xs[start..start + n]) {
+                    *c = &x[..k];
+                }
+                for (li, i) in rows.clone().enumerate() {
+                    let row = &self.data[i * k..(i + 1) * k];
+                    let mut acc = [0.0f32; MATVEC_CHUNK];
+                    for (j, &w) in row.iter().enumerate() {
+                        for (a, x) in acc[..n].iter_mut().zip(&chunk[..n]) {
+                            *a += w * x[j];
+                        }
+                    }
+                    for (s, &a) in acc[..n].iter().enumerate() {
+                        local[(start + s) * rows_len + li] = a;
+                    }
+                }
+                start += n;
+            }
+            local
+        });
+        let mut outs = vec![vec![0.0f32; m]; xs.len()];
+        for (t, local) in partials.iter().enumerate() {
+            let rows = oaken_runtime::chunk_range(t, m, n_tasks);
+            let rows_len = rows.len();
+            for (s, out) in outs.iter_mut().enumerate() {
+                out[rows.clone()].copy_from_slice(&local[s * rows_len..(s + 1) * rows_len]);
+            }
+        }
+        Ok(outs)
+    }
+
     /// Transposes a rank-2 tensor.
     ///
     /// # Errors
@@ -510,6 +602,15 @@ impl Default for Tensor {
 /// enough independent FP-add chains to hide the add latency, few enough
 /// that the accumulators stay in registers.
 const MATVEC_CHUNK: usize = 8;
+
+/// Minimum `m × k × batch` product for [`Tensor::matvec_batch_on`] to
+/// shard: below this the fork-join round trip costs more than the
+/// multiply loop it would split.
+const PAR_MATVEC_MIN_FLOPS: usize = 16 * 1024;
+
+/// Row-range tasks per thread for the sharded matvec: enough slack that a
+/// thread finishing early steals remaining chunks instead of idling.
+const PAR_MATVEC_TASKS_PER_THREAD: usize = 4;
 
 /// Dot product of two equal-length slices.
 ///
@@ -602,6 +703,52 @@ mod tests {
             let bb: Vec<u32> = batch[s].iter().map(|v| v.to_bits()).collect();
             assert_eq!(sb, bb, "sequence {s} diverged");
         }
+    }
+
+    /// The row-sharded parallel kernel must reproduce the serial kernel's
+    /// bits for every thread count: all accumulation chains are row-local,
+    /// so the decomposition cannot reassociate anything.
+    #[test]
+    fn matvec_batch_on_bit_exact_with_serial_for_any_thread_count() {
+        let (m, k) = (67, 33); // awkward odd shapes, above the crossover
+        let data: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 2654435761) % 1009) as f32 / 97.0 - 5.1)
+            .collect();
+        let a = Tensor::from_vec(data, &[m, k]).unwrap();
+        let xs: Vec<Vec<f32>> = (0..13)
+            .map(|s| {
+                (0..k)
+                    .map(|j| ((s * 13 + j * 5) % 37) as f32 / 9.0 - 2.0)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let serial = a.matvec_batch(&refs).unwrap();
+        for threads in [2usize, 3, 4, 8] {
+            let rt = oaken_runtime::Runtime::new(threads);
+            let par = a.matvec_batch_on(&rt, &refs).unwrap();
+            for (s, (x, y)) in serial.iter().zip(&par).enumerate() {
+                let xb: Vec<u32> = x.iter().map(|v| v.to_bits()).collect();
+                let yb: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(xb, yb, "sequence {s} diverged at {threads} threads");
+            }
+        }
+        // The serial runtime goes through the serial kernel verbatim.
+        let rt1 = oaken_runtime::Runtime::serial();
+        assert_eq!(a.matvec_batch_on(&rt1, &refs).unwrap(), serial);
+    }
+
+    #[test]
+    fn matvec_batch_on_checks_shapes() {
+        let a = Tensor::zeros(&[64, 64]);
+        let good = [0.0f32; 64];
+        let bad = [0.0f32; 63];
+        let rt = oaken_runtime::Runtime::new(2);
+        let xs: Vec<&[f32]> = (0..7)
+            .map(|i| if i == 5 { &bad[..] } else { &good[..] })
+            .collect();
+        assert!(a.matvec_batch_on(&rt, &xs).is_err());
+        assert!(a.matvec_batch_on(&rt, &[]).unwrap().is_empty());
     }
 
     #[test]

@@ -4,13 +4,16 @@
 //! simulator — with chunked prefill and copy-on-write prefix sharing.
 //!
 //! Run with: `cargo run --release --example serve [-- --smoke]
-//! [--prefix-overlap <0..100>]`
+//! [--prefix-overlap <0..100>] [--threads <N>]`
 //!
 //! * `--smoke` is the CI wiring: tiny workload, ~2 decode tokens per
 //!   request.
 //! * `--prefix-overlap P` prepends an identical system prompt covering
 //!   `P%` of every request's input — the shared-prompt traffic shape the
 //!   prefix trie deduplicates (default 50).
+//! * `--threads N` sizes the engine's deterministic fork-join runtime
+//!   (default: `OAKEN_THREADS` or the machine's available parallelism;
+//!   `1` reproduces the single-threaded engine bit for bit).
 
 use oaken::core::OakenConfig;
 use oaken::eval::harness::profile_oaken;
@@ -32,6 +35,13 @@ fn main() {
         .map(|v| v.parse().expect("--prefix-overlap takes 0..100"))
         .unwrap_or(50);
     assert!(overlap_pct <= 100, "--prefix-overlap takes 0..100");
+    let num_threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes a positive integer"))
+        .unwrap_or_else(oaken::runtime::default_threads);
+    assert!(num_threads > 0, "--threads takes a positive integer");
     let spec = TraceSpec::conversation();
 
     // A proxy model small enough to execute for real; trace lengths are
@@ -68,7 +78,7 @@ fn main() {
         spec.name
     );
     println!(
-        "  model {} | pool {pages} pages x {} B | block {} tokens | {} requests\n",
+        "  model {} | pool {pages} pages x {} B | block {} tokens | {} requests | {num_threads} threads\n",
         model.config().name,
         pool.page_size(),
         pool.block_tokens(),
@@ -83,6 +93,7 @@ fn main() {
             admission: AdmissionPolicy::PromptOnly,
             record_logits: false,
             prefill_token_budget: 16,
+            num_threads,
         },
     );
     for r in requests {

@@ -13,6 +13,7 @@
 //! | [`eval`] | `oaken-eval` | datasets, perplexity, zero-shot, distribution probes |
 //! | [`mmu`] | `oaken-mmu` | page-based dense/sparse memory management unit |
 //! | [`accel`] | `oaken-accel` | accelerator/GPU performance, area, power simulator |
+//! | [`runtime`] | `oaken-runtime` | deterministic fork-join worker pool (bit-exact parallelism) |
 //! | [`serving`] | `oaken-serving` | batch scheduling, traces, serving simulation, executed `BatchEngine` |
 //!
 //! # Quickstart
@@ -37,5 +38,6 @@ pub use oaken_core as core;
 pub use oaken_eval as eval;
 pub use oaken_mmu as mmu;
 pub use oaken_model as model;
+pub use oaken_runtime as runtime;
 pub use oaken_serving as serving;
 pub use oaken_tensor as tensor;
