@@ -25,6 +25,11 @@
 //!    runtime). Output is bit-exact across the sweep; only the clock
 //!    moves, and only as far as the host's physical cores allow (the
 //!    committed JSON records the host's `available_parallelism`).
+//! 5. **Preemption-policy sweep** — the tightest capacity point re-run
+//!    under `RestartRecompute` vs `SwapToHost`: recomputed prefill
+//!    tokens vs bytes swapped, tok/s, and mean TTFT. Quantized pages
+//!    make the swapped bytes 3-4× smaller than FP16 would move, which is
+//!    why suspend/resume beats evict-and-recompute here.
 //!
 //! Usage: `cargo run --release -p oaken-bench --bin serving_scaling
 //! [--smoke] [--threads N] [out.json]` — `--smoke` runs a tiny model for
@@ -38,7 +43,8 @@ use oaken_core::{KvQuantizer, OakenConfig};
 use oaken_eval::harness::profile_oaken;
 use oaken_model::{Model, ModelConfig, PagedKvPool};
 use oaken_serving::{
-    AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, EngineStats, Request, TokenScheduler,
+    AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, EngineStats, PreemptPolicy, Request,
+    TokenScheduler,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -62,6 +68,14 @@ struct Workload {
     overlap_tight_pages: u32,
     /// Engine thread counts for the thread sweep (largest batch).
     thread_sweep: Vec<usize>,
+    /// Preemption-policy sweep: `(prompt_len, output_len)` of a
+    /// decode-heavy workload whose streams outgrow their pages
+    /// mid-decode (the main workload's 48-token outputs never overflow a
+    /// 4 KiB page, so pressure there is all admission stalls and no
+    /// preemption), and the pool that holds two such sequences at
+    /// admission but not at full growth.
+    preempt_shape: (usize, usize),
+    preempt_pages: u32,
 }
 
 /// Profiles Oaken thresholds on the model's own KV distribution (offline
@@ -127,6 +141,8 @@ fn workload(smoke: bool) -> Workload {
             overlap_block_tokens: 8,
             overlap_tight_pages: 256,
             thread_sweep: vec![1, 2],
+            preempt_shape: (4, 2),
+            preempt_pages: 72,
         }
     } else {
         // Sized so the per-layer weights (~28 MB) dwarf the private
@@ -148,6 +164,13 @@ fn workload(smoke: bool) -> Workload {
             overlap_block_tokens: 32,
             overlap_tight_pages: 768,
             thread_sweep: vec![1, 2, 4, 8],
+            // ~68 rows fill one 4 KiB dense page per head at this
+            // geometry, so 135-token sequences double their dense pages
+            // mid-decode: two admit into 320 pages (~128-page floor
+            // each), growth to ~192 pages each then forces preemption of
+            // loaded victims — restart recomputes, swap moves bytes.
+            preempt_shape: (16, 120),
+            preempt_pages: 320,
         }
     }
 }
@@ -158,6 +181,30 @@ struct Measurement {
 }
 
 fn run_once(w: &Workload, max_batch: usize, pages: u32, num_threads: usize) -> Measurement {
+    run_once_policy(
+        w,
+        &w.requests,
+        max_batch,
+        pages,
+        num_threads,
+        PreemptPolicy::RestartRecompute,
+    )
+    .0
+}
+
+/// One engine run of `reqs` under an explicit preemption policy (the
+/// batch / capacity / prefix / thread sweeps pin `RestartRecompute` so
+/// their curves stay comparable with the committed PR 2-4 baselines
+/// regardless of the `OAKEN_PREEMPT` env knob). Also returns the mean
+/// TTFT in iterations.
+fn run_once_policy(
+    w: &Workload,
+    reqs: &[EngineRequest],
+    max_batch: usize,
+    pages: u32,
+    num_threads: usize,
+    preempt: PreemptPolicy,
+) -> (Measurement, f64) {
     let pool = PagedKvPool::for_model(
         w.model.config(),
         Some(w.quantizer.clone()),
@@ -171,12 +218,13 @@ fn run_once(w: &Workload, max_batch: usize, pages: u32, num_threads: usize) -> M
         EngineConfig {
             max_batch,
             admission: AdmissionPolicy::PromptOnly,
+            preempt,
             record_logits: false,
             prefill_token_budget: 16,
             num_threads,
         },
     );
-    for r in &w.requests {
+    for r in reqs {
         engine.submit(r.clone());
     }
     let start = Instant::now();
@@ -185,13 +233,22 @@ fn run_once(w: &Workload, max_batch: usize, pages: u32, num_threads: usize) -> M
     let stats = *engine.stats();
     assert_eq!(
         stats.retired as usize,
-        w.requests.len(),
+        reqs.len(),
         "every request must complete (pages {pages}, batch {max_batch})"
     );
-    Measurement {
-        tokens_per_sec: stats.decode_tokens as f64 / secs,
-        stats,
-    }
+    let mean_ttft = engine
+        .finished()
+        .iter()
+        .map(|f| f.ttft_iteration as f64)
+        .sum::<f64>()
+        / reqs.len() as f64;
+    (
+        Measurement {
+            tokens_per_sec: stats.decode_tokens as f64 / secs,
+            stats,
+        },
+        mean_ttft,
+    )
 }
 
 struct OverlapMeasurement {
@@ -227,6 +284,7 @@ fn run_overlap(w: &Workload, overlap_pct: usize, num_threads: usize) -> OverlapM
             EngineConfig {
                 max_batch: 8,
                 admission: AdmissionPolicy::PromptOnly,
+                preempt: PreemptPolicy::RestartRecompute,
                 record_logits: false,
                 prefill_token_budget: 16,
                 num_threads,
@@ -492,6 +550,74 @@ fn main() {
             "\n"
         });
     }
+    json.push_str("  ],\n");
+
+    // --- Preemption-policy sweep (decode-heavy workload, tight pool) -----
+    let (pin, pout) = w.preempt_shape;
+    let tight = w.preempt_pages;
+    let preempt_reqs = requests(w.requests.len(), pin, pout);
+    println!(
+        "\npreemption-policy sweep ({} requests of {pin}:{pout}, batch {batch}, pool {tight} pages):",
+        preempt_reqs.len()
+    );
+    let pwidths = [10, 10, 12, 11, 12, 13, 13];
+    row(
+        &[
+            &"policy",
+            &"tok/s",
+            &"ttft_iters",
+            &"preempts",
+            &"recomputed",
+            &"bytes_out",
+            &"bytes_in",
+        ],
+        &pwidths,
+    );
+    json.push_str("  \"preempt_sweep\": [\n");
+    let policies = [
+        ("restart", PreemptPolicy::RestartRecompute),
+        ("swap", PreemptPolicy::SwapToHost),
+    ];
+    let mut recompute_by_policy = Vec::new();
+    let mut preempts_by_policy = Vec::new();
+    for (i, &(name, policy)) in policies.iter().enumerate() {
+        // One run per policy: the counters are deterministic (and the
+        // asserted quantities), and the decode-heavy workload is the
+        // slowest point of the whole bench.
+        let (m, ttft) = run_once_policy(&w, &preempt_reqs, batch, tight, threads, policy);
+        recompute_by_policy.push(m.stats.recomputed_prefill_tokens);
+        preempts_by_policy.push(m.stats.preemptions);
+        row(
+            &[
+                &name,
+                &f(m.tokens_per_sec, 1),
+                &f(ttft, 1),
+                &m.stats.preemptions,
+                &m.stats.recomputed_prefill_tokens,
+                &m.stats.swap_bytes_to_host,
+                &m.stats.swap_bytes_to_device,
+            ],
+            &pwidths,
+        );
+        let _ = write!(
+            json,
+            "    {{\"policy\": \"{name}\", \"pages\": {tight}, \"tokens_per_sec\": {:.1}, \
+             \"mean_ttft_iterations\": {:.1}, \"preemptions\": {}, \
+             \"recomputed_prefill_tokens\": {}, \"swap_outs\": {}, \"swap_ins\": {}, \
+             \"swap_bytes_to_host\": {}, \"swap_bytes_to_device\": {}, \
+             \"mean_resume_latency_iters\": {:.1}, \"prompt_len\": {pin}, \"output_len\": {pout}}}",
+            m.tokens_per_sec,
+            ttft,
+            m.stats.preemptions,
+            m.stats.recomputed_prefill_tokens,
+            m.stats.swap_outs,
+            m.stats.swap_ins,
+            m.stats.swap_bytes_to_host,
+            m.stats.swap_bytes_to_device,
+            m.stats.mean_resume_latency(),
+        );
+        json.push_str(if i + 1 < policies.len() { ",\n" } else { "\n" });
+    }
     json.push_str("  ]\n}\n");
 
     std::fs::write(&out_path, &json).expect("write benchmark json");
@@ -513,5 +639,19 @@ fn main() {
     assert!(
         smoke || ttft_by_overlap[2] < ttft_by_overlap[0],
         "full prefix reuse must lower mean TTFT: {ttft_by_overlap:?}"
+    );
+    // The acceptance claim of the two-tier refactor: on the same tight
+    // pool, restart pays a recompute bill and swap pays none.
+    assert!(
+        smoke || preempts_by_policy[0] > 0,
+        "the tight pool must force preemption under restart: {preempts_by_policy:?}"
+    );
+    assert!(
+        smoke || recompute_by_policy[0] > 0,
+        "restart preemption must recompute prefill tokens: {recompute_by_policy:?}"
+    );
+    assert_eq!(
+        recompute_by_policy[1], 0,
+        "swap preemption must recompute nothing: {recompute_by_policy:?}"
     );
 }

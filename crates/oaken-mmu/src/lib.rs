@@ -30,6 +30,16 @@
 //! re-check the resulting ownership balance (free + private + shared =
 //! capacity) after every engine step.
 //!
+//! The device tier is optionally backed by a **host swap tier**
+//! ([`swap::SwapPool`], attached via [`MmuSim::attach_host_tier`]): a
+//! request's page table can be frozen to host
+//! ([`MmuSim::swap_out_request`]) — device pages free, host pages charge,
+//! transfer bytes are accounted — and later rehydrated
+//! ([`MmuSim::swap_in_request`]) onto fresh pages with identical
+//! per-token sizes and tail headroom. This is what turns the serving
+//! engine's preemption from evict-and-recompute into suspend-and-resume;
+//! quantization makes the moved bytes 3-4× cheaper than FP16 pages.
+//!
 //! Under the parallel runtime the MMU is deliberately a **single writer**:
 //! quantization fans out across worker threads, but every
 //! [`MmuSim::write_token`] happens on the calling thread in the serial
@@ -41,11 +51,13 @@
 pub mod alloc;
 pub mod burst;
 pub mod stream;
+pub mod swap;
 pub mod table;
 
 pub use alloc::{AllocError, PageAllocator, PageId};
 pub use burst::{plan_bursts, BurstPlan};
 pub use stream::{MmuSim, StreamClass, StreamKey, WriteReceipt};
+pub use swap::{Residency, SwapError, SwapPool, SwapReceipt, SwapStats};
 pub use table::{StreamTable, TableEntry};
 
 /// Physical byte address in the device memory's single address space.

@@ -9,13 +9,14 @@
 
 use crate::alloc::{AllocError, PageAllocator, PageId};
 use crate::burst::{plan_bursts, BurstPlan};
+use crate::swap::{FrozenRequest, FrozenStream, Residency, SwapError, SwapPool, SwapReceipt};
 use crate::table::{StreamTable, TableEntry};
 use crate::PhysAddr;
 use std::collections::HashMap;
 
 /// Whether a stream carries dense (packed inlier) or sparse (COO outlier)
 /// data — the two management tables of Figure 10.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum StreamClass {
     /// Fixed-size packed dense data.
     Dense,
@@ -24,7 +25,11 @@ pub enum StreamClass {
 }
 
 /// Identifies one KV stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` exists so tier moves ([`MmuSim::swap_out_request`]) can process a
+/// request's streams in a deterministic order independent of hash-map
+/// iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StreamKey {
     /// Serving request id.
     pub request: u32,
@@ -59,25 +64,223 @@ pub struct WriteReceipt {
     pub new_page: bool,
 }
 
-/// The MMU simulator: a page allocator plus dense/sparse stream tables.
+/// The MMU simulator: a page allocator plus dense/sparse stream tables,
+/// optionally backed by a host swap tier ([`SwapPool`]).
 #[derive(Debug)]
 pub struct MmuSim {
     allocator: PageAllocator,
     streams: HashMap<StreamKey, Stream>,
+    /// The host tier; `None` until [`MmuSim::attach_host_tier`].
+    host: Option<SwapPool>,
 }
 
 impl MmuSim {
-    /// Creates an MMU over `num_pages` pages of `page_size` bytes.
+    /// Creates an MMU over `num_pages` pages of `page_size` bytes, with no
+    /// host tier (swaps fail with [`SwapError::NoHostTier`]).
     pub fn new(num_pages: u32, page_size: usize) -> Self {
         Self {
             allocator: PageAllocator::new(num_pages, page_size),
             streams: HashMap::new(),
+            host: None,
         }
     }
 
     /// The backing allocator (read-only view).
     pub fn allocator(&self) -> &PageAllocator {
         &self.allocator
+    }
+
+    /// Attaches (or resizes) a host tier of `host_pages` pages, enabling
+    /// [`swap_out_request`](Self::swap_out_request) /
+    /// [`swap_in_request`](Self::swap_in_request). Resizing an existing
+    /// tier keeps its cumulative [`SwapStats`](crate::swap::SwapStats)
+    /// counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if requests are currently frozen (the tier can only be
+    /// resized while empty).
+    pub fn attach_host_tier(&mut self, host_pages: u32) {
+        let prev_stats = match &self.host {
+            Some(host) => {
+                assert_eq!(
+                    host.used_pages(),
+                    0,
+                    "host tier can only be resized while empty"
+                );
+                host.stats()
+            }
+            None => Default::default(),
+        };
+        let mut tier = SwapPool::new(host_pages);
+        tier.restore_stats(prev_stats);
+        self.host = Some(tier);
+    }
+
+    /// The host tier, when attached (read-only: occupancy, residency,
+    /// transfer stats).
+    pub fn host_tier(&self) -> Option<&SwapPool> {
+        self.host.as_ref()
+    }
+
+    /// Residency of `request`'s pages: [`Residency::Host`] (or
+    /// [`Residency::InFlight`]) when frozen, [`Residency::Device`] when it
+    /// has live streams, `None` when the MMU knows nothing about it.
+    pub fn residency(&self, request: u32) -> Option<Residency> {
+        if let Some(r) = self.host.as_ref().and_then(|h| h.residency(request)) {
+            return Some(r);
+        }
+        self.streams
+            .keys()
+            .any(|k| k.request == request)
+            .then_some(Residency::Device)
+    }
+
+    /// Freezes every stream of `request` to the host tier: the per-token
+    /// payload sizes (the management tables) move to host, the device
+    /// pages free, and the host tier charges the same page count. The
+    /// request's streams become unknown to the device until
+    /// [`swap_in_request`](Self::swap_in_request) thaws them.
+    ///
+    /// A request with *no* streams freezes successfully as an empty entry
+    /// (0 pages, 0 bytes) — a planned-but-unwritten prompt block suspends
+    /// uniformly with its written siblings.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::NoHostTier`] without an attached tier,
+    /// [`SwapError::AlreadyFrozen`] on a double freeze,
+    /// [`SwapError::SharedPages`] when any page has refcount ≥ 2 (shared
+    /// pages must stay resident for their other owners), and
+    /// [`SwapError::OutOfHostPages`] when the tier is full — all checked
+    /// before any state changes, so a failed call is a no-op.
+    pub fn swap_out_request(&mut self, request: u32) -> Result<SwapReceipt, SwapError> {
+        let host = self.host.as_ref().ok_or(SwapError::NoHostTier)?;
+        if host.is_frozen(request) {
+            return Err(SwapError::AlreadyFrozen { request });
+        }
+        let mut keys: Vec<StreamKey> = self
+            .streams
+            .keys()
+            .filter(|k| k.request == request)
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        let mut pages = 0u32;
+        for k in &keys {
+            let s = &self.streams[k];
+            for &p in &s.pages {
+                if self.allocator.refcount(p) != 1 {
+                    return Err(SwapError::SharedPages { request });
+                }
+            }
+            pages += s.pages.len() as u32;
+        }
+        if pages > host.free_pages() {
+            return Err(SwapError::OutOfHostPages {
+                needed: pages,
+                free: host.free_pages(),
+            });
+        }
+        // All checks passed: the move itself cannot fail.
+        let mut entry = FrozenRequest {
+            streams: Vec::with_capacity(keys.len()),
+            pages,
+            bytes: 0,
+            state: Residency::InFlight,
+        };
+        for k in keys {
+            let stream = self.streams.remove(&k).expect("key listed above");
+            entry.bytes += stream.table.total_bytes();
+            for p in stream.pages {
+                self.allocator
+                    .free(p)
+                    .expect("refcount-1 pages hard-free cleanly");
+            }
+            entry.streams.push(FrozenStream {
+                key: k,
+                sizes: stream.table.iter().map(|e| e.size).collect(),
+            });
+        }
+        entry.state = Residency::Host;
+        let receipt = SwapReceipt {
+            pages: entry.pages,
+            bytes: entry.bytes,
+        };
+        self.host
+            .as_mut()
+            .expect("checked above")
+            .freeze(request, entry);
+        Ok(receipt)
+    }
+
+    /// Thaws a frozen request back into device memory: fresh pages are
+    /// allocated and each stream's management table is rebuilt by
+    /// replaying its recorded per-token sizes in deterministic key order.
+    /// Physical page *ids* may differ from before the freeze — the
+    /// contract is `PageId` *semantics*: every table entry translates to a
+    /// live exclusively-owned page, per-token sizes and tail headroom are
+    /// identical, and the page count never exceeds the frozen count.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::NoHostTier`], [`SwapError::NotFrozen`], or
+    /// [`SwapError::OutOfDevicePages`] when the device cannot hold the
+    /// frozen page count — checked up front, so a failed call is a no-op
+    /// and the request stays frozen.
+    pub fn swap_in_request(&mut self, request: u32) -> Result<SwapReceipt, SwapError> {
+        let host = self.host.as_ref().ok_or(SwapError::NoHostTier)?;
+        let frozen_pages = host
+            .residency(request)
+            .map(|_| host.frozen_pages(request))
+            .ok_or(SwapError::NotFrozen { request })?;
+        if frozen_pages > self.allocator.free_pages() {
+            return Err(SwapError::OutOfDevicePages {
+                needed: frozen_pages,
+                free: self.allocator.free_pages(),
+            });
+        }
+        let entry = self
+            .host
+            .as_mut()
+            .expect("checked above")
+            .thaw(request, true)
+            .expect("residency checked above");
+        let mut allocated = 0u32;
+        let bytes = entry.bytes;
+        for fs in entry.streams {
+            debug_assert!(!self.streams.contains_key(&fs.key), "thaw into live key");
+            for size in fs.sizes {
+                let receipt = self
+                    .write_token(fs.key, size)
+                    .expect("pre-checked: replay never exceeds the frozen page count");
+                allocated += u32::from(receipt.new_page);
+            }
+        }
+        debug_assert!(
+            allocated <= frozen_pages,
+            "replay packed into more pages than it froze from"
+        );
+        Ok(SwapReceipt {
+            pages: allocated,
+            bytes,
+        })
+    }
+
+    /// Drops a frozen request without thawing it (a suspended sequence
+    /// retired while on host): the host pages free and the entry's bytes
+    /// are discarded. Returns the host pages released, or an error when
+    /// the request is not frozen.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::NoHostTier`] or [`SwapError::NotFrozen`].
+    pub fn discard_frozen(&mut self, request: u32) -> Result<u32, SwapError> {
+        let host = self.host.as_mut().ok_or(SwapError::NoHostTier)?;
+        let entry = host
+            .thaw(request, false)
+            .ok_or(SwapError::NotFrozen { request })?;
+        Ok(entry.pages)
     }
 
     /// Appends one token's payload to a stream, allocating pages on demand.
@@ -99,6 +302,11 @@ impl MmuSim {
         assert!(
             bytes as usize <= page_size,
             "token payload {bytes} exceeds page size {page_size}"
+        );
+        debug_assert!(
+            !self.host.as_ref().is_some_and(|h| h.is_frozen(key.request)),
+            "write to request {} while it is frozen to host",
+            key.request
         );
         let stream = self.streams.entry(key).or_default();
         let mut new_page = false;
@@ -569,6 +777,143 @@ mod tests {
         mmu.write_token(a, 10).unwrap();
         mmu.write_token(b, 10).unwrap();
         assert!(mmu.fork_stream(&a, b).is_none(), "dst exists");
+    }
+
+    #[test]
+    fn swap_roundtrip_preserves_table_semantics() {
+        let mut mmu = MmuSim::new(8, 128);
+        mmu.attach_host_tier(8);
+        let kd = key(5, 0, StreamClass::Dense);
+        let ks = key(5, 1, StreamClass::Sparse);
+        for size in [100u32, 60, 60] {
+            mmu.write_token(kd, size).unwrap(); // 2 pages, tail 8 free
+        }
+        mmu.write_token(ks, 17).unwrap();
+        let before_pages = mmu.request_pages(5);
+        let before_bytes = mmu.request_bytes(5);
+        let tail_before = mmu.tail_free(&kd);
+        assert_eq!(mmu.residency(5), Some(crate::swap::Residency::Device));
+
+        let out = mmu.swap_out_request(5).unwrap();
+        assert_eq!(out.pages, before_pages);
+        assert_eq!(out.bytes, before_bytes);
+        assert_eq!(mmu.residency(5), Some(crate::swap::Residency::Host));
+        assert_eq!(mmu.request_pages(5), 0, "device side forgot the streams");
+        assert_eq!(mmu.allocator().free_pages(), 8);
+        let host = mmu.host_tier().expect("attached");
+        assert_eq!(host.used_pages(), before_pages);
+        assert_eq!(host.frozen_bytes(5), before_bytes);
+
+        // Another request takes device pages meanwhile.
+        mmu.write_token(key(6, 0, StreamClass::Dense), 50).unwrap();
+
+        let back = mmu.swap_in_request(5).unwrap();
+        assert_eq!(back.pages, before_pages, "no-CoW streams replay exactly");
+        assert_eq!(back.bytes, before_bytes);
+        assert_eq!(mmu.residency(5), Some(crate::swap::Residency::Device));
+        assert_eq!(mmu.request_pages(5), before_pages);
+        assert_eq!(mmu.request_bytes(5), before_bytes);
+        assert_eq!(mmu.tail_free(&kd), tail_before);
+        let sizes: Vec<u32> = mmu.table(&kd).unwrap().iter().map(|e| e.size).collect();
+        assert_eq!(sizes, vec![100, 60, 60]);
+        assert_eq!(mmu.table(&ks).unwrap().len(), 1);
+        assert_eq!(mmu.host_tier().unwrap().used_pages(), 0);
+
+        let stats = mmu.host_tier().unwrap().stats();
+        assert_eq!(stats.swap_outs, 1);
+        assert_eq!(stats.swap_ins, 1);
+        assert_eq!(stats.bytes_to_host, before_bytes);
+        assert_eq!(stats.bytes_to_device, before_bytes);
+
+        // The thawed stream keeps appending normally.
+        mmu.write_token(kd, 8).unwrap();
+        assert_eq!(mmu.table(&kd).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn swap_errors_are_checked_before_any_state_change() {
+        let mut mmu = MmuSim::new(4, 128);
+        let k = key(1, 0, StreamClass::Dense);
+        mmu.write_token(k, 100).unwrap();
+        // No tier attached.
+        assert_eq!(mmu.swap_out_request(1), Err(SwapError::NoHostTier));
+        // Tier too small.
+        mmu.attach_host_tier(0);
+        assert!(matches!(
+            mmu.swap_out_request(1),
+            Err(SwapError::OutOfHostPages { needed: 1, free: 0 })
+        ));
+        assert_eq!(mmu.request_pages(1), 1, "failed swap changed nothing");
+        mmu.attach_host_tier(4);
+        // Shared pages cannot move tiers.
+        mmu.retain_request(1);
+        assert_eq!(
+            mmu.swap_out_request(1),
+            Err(SwapError::SharedPages { request: 1 })
+        );
+        mmu.release_request(1);
+        // Double freeze / thaw of the unknown.
+        mmu.swap_out_request(1).unwrap();
+        assert_eq!(
+            mmu.swap_out_request(1),
+            Err(SwapError::AlreadyFrozen { request: 1 })
+        );
+        assert_eq!(
+            mmu.swap_in_request(9),
+            Err(SwapError::NotFrozen { request: 9 })
+        );
+        // Device full on thaw: the request stays frozen.
+        for _ in 0..4 {
+            mmu.write_token(key(2, 0, StreamClass::Dense), 128).unwrap();
+        }
+        assert!(matches!(
+            mmu.swap_in_request(1),
+            Err(SwapError::OutOfDevicePages { needed: 1, free: 0 })
+        ));
+        assert_eq!(mmu.residency(1), Some(crate::swap::Residency::Host));
+        mmu.free_request(2).unwrap();
+        assert_eq!(mmu.swap_in_request(1).unwrap().pages, 1);
+    }
+
+    #[test]
+    fn host_tier_resize_keeps_cumulative_stats() {
+        let mut mmu = MmuSim::new(4, 128);
+        mmu.attach_host_tier(4);
+        mmu.write_token(key(1, 0, StreamClass::Dense), 40).unwrap();
+        mmu.swap_out_request(1).unwrap();
+        mmu.swap_in_request(1).unwrap();
+        let before = mmu.host_tier().unwrap().stats();
+        assert_eq!(before.swap_outs, 1);
+        mmu.attach_host_tier(16);
+        assert_eq!(mmu.host_tier().unwrap().capacity(), 16);
+        assert_eq!(
+            mmu.host_tier().unwrap().stats(),
+            before,
+            "resize must not zero cumulative counters"
+        );
+    }
+
+    #[test]
+    fn empty_requests_freeze_and_discard_cleanly() {
+        let mut mmu = MmuSim::new(4, 128);
+        mmu.attach_host_tier(2);
+        // A request with no streams freezes as a 0-page entry.
+        let r = mmu.swap_out_request(7).unwrap();
+        assert_eq!(r, SwapReceipt { pages: 0, bytes: 0 });
+        assert_eq!(mmu.residency(7), Some(crate::swap::Residency::Host));
+        assert_eq!(mmu.swap_in_request(7).unwrap().pages, 0);
+        assert_eq!(mmu.residency(7), None);
+        // Discard releases host pages without a swap-in.
+        mmu.write_token(key(3, 0, StreamClass::Dense), 40).unwrap();
+        mmu.swap_out_request(3).unwrap();
+        assert_eq!(mmu.discard_frozen(3).unwrap(), 1);
+        assert_eq!(mmu.host_tier().unwrap().used_pages(), 0);
+        // Only request 7's thaw counted as a swap-in; the discard did not.
+        assert_eq!(mmu.host_tier().unwrap().stats().swap_ins, 1);
+        assert!(matches!(
+            mmu.discard_frozen(3),
+            Err(SwapError::NotFrozen { request: 3 })
+        ));
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! The host tier of the two-level KV memory hierarchy: a swap pool that
+//! device pages can be *frozen* into and *thawed* back from.
+//!
+//! Oaken's quantized KV pages are 3-4× smaller than their FP16
+//! equivalents, which is exactly what makes swap-based preemption cheap
+//! enough to beat evict-and-recompute: moving a sequence's cache to host
+//! memory transfers a fraction of the bytes a restart would re-derive
+//! through the whole model. The KV-management literature (the tensor-
+//! buffer-to-memory-hierarchy and system-aware KV-optimization surveys)
+//! identifies this device/host tiering as the production alternative to
+//! vLLM's recompute preemption; the two techniques compose, and the
+//! serving engine exposes both as [`PreemptPolicy`] choices.
+//!
+//! The model here is functional, like the rest of the MMU: the host tier
+//! tracks page occupancy and transfer bytes (the quantities the serving
+//! stats and the preemption benchmark report), while the payload itself is
+//! carried by the pool's quantizer streams, which are retained verbatim
+//! across a suspend — so a thawed sequence is bit-identical by
+//! construction, and the swap machinery only has to keep the *accounting*
+//! exact.
+//!
+//! # Residency state machine
+//!
+//! ```text
+//!            swap_out (begin)          swap_out (complete)
+//!   Device ───────────────────▶ InFlight ───────────────────▶ Host
+//!      ▲                                                        │
+//!      │            swap_in (complete)       swap_in (begin)    │
+//!      └──────────────────────── InFlight ◀──────────────────────┘
+//! ```
+//!
+//! Transfers in this functional model are synchronous, so an observer only
+//! ever sees `Device` (live streams) or `Host` (frozen); the `InFlight`
+//! state exists so an asynchronous transfer engine can be dropped in
+//! without changing the contract.
+//!
+//! [`PreemptPolicy`]: ../../oaken_serving/engine/enum.PreemptPolicy.html
+
+use crate::stream::StreamKey;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Where a request's pages currently live in the device/host hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Pages are resident in device memory (live streams).
+    Device,
+    /// Pages are frozen in the host tier.
+    Host,
+    /// Pages are mid-transfer between the tiers.
+    InFlight,
+}
+
+/// Swap failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapError {
+    /// The MMU has no host tier attached (capacity 0 still counts as a
+    /// tier; this means [`MmuSim::attach_host_tier`] was never called).
+    ///
+    /// [`MmuSim::attach_host_tier`]: crate::MmuSim::attach_host_tier
+    NoHostTier,
+    /// The host tier cannot hold the request's pages.
+    OutOfHostPages {
+        /// Pages the swap-out needs.
+        needed: u32,
+        /// Host pages currently free.
+        free: u32,
+    },
+    /// Device memory cannot hold the thawed request.
+    OutOfDevicePages {
+        /// Pages the swap-in needs.
+        needed: u32,
+        /// Device pages currently free.
+        free: u32,
+    },
+    /// The request is already frozen to host.
+    AlreadyFrozen {
+        /// The offending request.
+        request: u32,
+    },
+    /// The request has no frozen entry to thaw.
+    NotFrozen {
+        /// The offending request.
+        request: u32,
+    },
+    /// The request owns pages shared with another owner (refcount ≥ 2);
+    /// only exclusively owned pages can move tiers.
+    SharedPages {
+        /// The offending request.
+        request: u32,
+    },
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::NoHostTier => write!(f, "no host tier attached"),
+            SwapError::OutOfHostPages { needed, free } => {
+                write!(f, "host tier full: need {needed} pages, {free} free")
+            }
+            SwapError::OutOfDevicePages { needed, free } => {
+                write!(
+                    f,
+                    "device full on swap-in: need {needed} pages, {free} free"
+                )
+            }
+            SwapError::AlreadyFrozen { request } => {
+                write!(f, "request {request} is already frozen to host")
+            }
+            SwapError::NotFrozen { request } => {
+                write!(f, "request {request} has no frozen entry")
+            }
+            SwapError::SharedPages { request } => {
+                write!(
+                    f,
+                    "request {request} owns shared pages; only private pages can swap"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+/// Result of one tier move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SwapReceipt {
+    /// Pages moved.
+    pub pages: u32,
+    /// Payload bytes moved (the modeled transfer size — encoded dense +
+    /// sparse bytes, not page-rounded).
+    pub bytes: u64,
+}
+
+impl SwapReceipt {
+    /// Component-wise sum (a whole sequence swaps several MMU requests:
+    /// its tail plus its pending prompt blocks).
+    pub fn merge(&mut self, other: SwapReceipt) {
+        self.pages += other.pages;
+        self.bytes += other.bytes;
+    }
+}
+
+/// Cumulative transfer counters of one host tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SwapStats {
+    /// Completed swap-outs (requests frozen).
+    pub swap_outs: u64,
+    /// Completed swap-ins (requests thawed).
+    pub swap_ins: u64,
+    /// Pages moved device → host.
+    pub pages_to_host: u64,
+    /// Pages moved host → device.
+    pub pages_to_device: u64,
+    /// Payload bytes moved device → host.
+    pub bytes_to_host: u64,
+    /// Payload bytes moved host → device.
+    pub bytes_to_device: u64,
+}
+
+/// One frozen stream: its key plus the per-token payload sizes needed to
+/// rebuild its management table (and page layout) bit-compatibly on thaw.
+#[derive(Debug, Clone)]
+pub(crate) struct FrozenStream {
+    pub(crate) key: StreamKey,
+    pub(crate) sizes: Vec<u32>,
+}
+
+/// A request frozen to host: its streams in deterministic key order, the
+/// host pages it occupies, and its residency state.
+#[derive(Debug)]
+pub(crate) struct FrozenRequest {
+    pub(crate) streams: Vec<FrozenStream>,
+    pub(crate) pages: u32,
+    pub(crate) bytes: u64,
+    pub(crate) state: Residency,
+}
+
+/// The host tier: page-granular capacity accounting over frozen requests.
+///
+/// The pool never stores payload bytes here — the functional model keeps
+/// those in the quantizer streams — so the swap pool's job is exact
+/// occupancy and transfer accounting, plus the per-request residency
+/// state machine.
+#[derive(Debug)]
+pub struct SwapPool {
+    capacity: u32,
+    used: u32,
+    pub(crate) frozen: HashMap<u32, FrozenRequest>,
+    stats: SwapStats,
+}
+
+impl SwapPool {
+    /// Creates a host tier of `capacity` pages (page size is inherited
+    /// from the device allocator it is attached to).
+    pub fn new(capacity: u32) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            frozen: HashMap::new(),
+            stats: SwapStats::default(),
+        }
+    }
+
+    /// Total host pages.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Host pages currently occupied by frozen requests.
+    pub fn used_pages(&self) -> u32 {
+        self.used
+    }
+
+    /// Host pages currently free.
+    pub fn free_pages(&self) -> u32 {
+        self.capacity - self.used
+    }
+
+    /// Requests currently frozen.
+    pub fn frozen_requests(&self) -> usize {
+        self.frozen.len()
+    }
+
+    /// Whether `request` is frozen (or mid-transfer).
+    pub fn is_frozen(&self, request: u32) -> bool {
+        self.frozen.contains_key(&request)
+    }
+
+    /// Residency of a *frozen* request (`None` when the host tier holds no
+    /// entry for it; the MMU-level [`residency`](crate::MmuSim::residency)
+    /// resolves live streams to [`Residency::Device`]).
+    pub fn residency(&self, request: u32) -> Option<Residency> {
+        self.frozen.get(&request).map(|f| f.state)
+    }
+
+    /// Host pages a frozen request occupies (0 for unknown requests).
+    pub fn frozen_pages(&self, request: u32) -> u32 {
+        self.frozen.get(&request).map_or(0, |f| f.pages)
+    }
+
+    /// Payload bytes a frozen request holds (0 for unknown requests).
+    pub fn frozen_bytes(&self, request: u32) -> u64 {
+        self.frozen.get(&request).map_or(0, |f| f.bytes)
+    }
+
+    /// Cumulative transfer counters.
+    pub fn stats(&self) -> SwapStats {
+        self.stats
+    }
+
+    /// Carries cumulative counters over from a replaced tier (a resize
+    /// must not silently zero "cumulative" statistics).
+    pub(crate) fn restore_stats(&mut self, stats: SwapStats) {
+        self.stats = stats;
+    }
+
+    /// Admits a frozen request into the host tier (swap-out completion).
+    pub(crate) fn freeze(&mut self, request: u32, entry: FrozenRequest) {
+        self.used += entry.pages;
+        self.stats.swap_outs += 1;
+        self.stats.pages_to_host += u64::from(entry.pages);
+        self.stats.bytes_to_host += entry.bytes;
+        let prev = self.frozen.insert(request, entry);
+        debug_assert!(prev.is_none(), "freeze checked AlreadyFrozen");
+    }
+
+    /// Removes a frozen request (swap-in completion or discard). `moved`
+    /// says whether the removal transfers bytes back to the device (a
+    /// thaw) or drops them (a retired suspended request).
+    pub(crate) fn thaw(&mut self, request: u32, moved: bool) -> Option<FrozenRequest> {
+        let entry = self.frozen.remove(&request)?;
+        self.used -= entry.pages;
+        if moved {
+            self.stats.swap_ins += 1;
+            self.stats.pages_to_device += u64::from(entry.pages);
+            self.stats.bytes_to_device += entry.bytes;
+        }
+        Some(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamClass;
+
+    fn entry(pages: u32, bytes: u64) -> FrozenRequest {
+        FrozenRequest {
+            streams: vec![FrozenStream {
+                key: StreamKey {
+                    request: 1,
+                    layer: 0,
+                    head: 0,
+                    class: StreamClass::Dense,
+                },
+                sizes: vec![bytes as u32],
+            }],
+            pages,
+            bytes,
+            state: Residency::Host,
+        }
+    }
+
+    #[test]
+    fn occupancy_and_stats_track_freeze_thaw() {
+        let mut pool = SwapPool::new(8);
+        assert_eq!(pool.free_pages(), 8);
+        pool.freeze(1, entry(3, 100));
+        assert_eq!(pool.used_pages(), 3);
+        assert_eq!(pool.frozen_pages(1), 3);
+        assert_eq!(pool.frozen_bytes(1), 100);
+        assert_eq!(pool.residency(1), Some(Residency::Host));
+        assert!(pool.is_frozen(1));
+        assert_eq!(pool.frozen_requests(), 1);
+
+        let thawed = pool.thaw(1, true).expect("frozen");
+        assert_eq!(thawed.pages, 3);
+        assert_eq!(pool.used_pages(), 0);
+        assert!(pool.thaw(1, true).is_none(), "double thaw");
+
+        let s = pool.stats();
+        assert_eq!(s.swap_outs, 1);
+        assert_eq!(s.swap_ins, 1);
+        assert_eq!(s.pages_to_host, 3);
+        assert_eq!(s.pages_to_device, 3);
+        assert_eq!(s.bytes_to_host, 100);
+        assert_eq!(s.bytes_to_device, 100);
+    }
+
+    #[test]
+    fn discard_drops_bytes_without_counting_a_swap_in() {
+        let mut pool = SwapPool::new(4);
+        pool.freeze(2, entry(2, 50));
+        pool.thaw(2, false).expect("frozen");
+        let s = pool.stats();
+        assert_eq!(s.swap_outs, 1);
+        assert_eq!(s.swap_ins, 0);
+        assert_eq!(s.bytes_to_device, 0);
+        assert_eq!(pool.used_pages(), 0);
+    }
+
+    #[test]
+    fn receipts_merge_componentwise() {
+        let mut r = SwapReceipt {
+            pages: 1,
+            bytes: 10,
+        };
+        r.merge(SwapReceipt { pages: 2, bytes: 5 });
+        assert_eq!(
+            r,
+            SwapReceipt {
+                pages: 3,
+                bytes: 15
+            }
+        );
+    }
+}

@@ -107,4 +107,52 @@ proptest! {
         prop_assert_eq!(mmu.internal_fragmentation(), 0.0);
         prop_assert_eq!(mmu.allocator().free_pages(), 256);
     }
+
+    /// A freeze/thaw round trip through the host tier preserves every
+    /// stream's semantics for arbitrary multi-stream workloads: same
+    /// per-token sizes, same page count, same tail headroom, device and
+    /// host occupancy balanced at every point.
+    #[test]
+    fn swap_roundtrip_preserves_streams(
+        writes in prop::collection::vec((0u16..2, 0u16..3, 1u32..400), 1..80),
+    ) {
+        let mut mmu = MmuSim::new(256, 512);
+        mmu.attach_host_tier(256);
+        let mut keys = std::collections::HashSet::new();
+        for &(layer, head, bytes) in &writes {
+            let key = StreamKey { request: 9, layer, head, class: StreamClass::Dense };
+            mmu.write_token(key, bytes).unwrap();
+            keys.insert(key);
+        }
+        let pages_before = mmu.request_pages(9);
+        let bytes_before = mmu.request_bytes(9);
+        let tails_before: Vec<(StreamKey, usize)> =
+            keys.iter().map(|k| (*k, mmu.tail_free(k))).collect();
+        let sizes_before: Vec<(StreamKey, Vec<u32>)> = keys
+            .iter()
+            .map(|k| (*k, mmu.table(k).unwrap().iter().map(|e| e.size).collect()))
+            .collect();
+
+        let out = mmu.swap_out_request(9).unwrap();
+        prop_assert_eq!(out.pages, pages_before);
+        prop_assert_eq!(out.bytes, bytes_before);
+        prop_assert_eq!(mmu.allocator().free_pages(), 256);
+        prop_assert_eq!(mmu.host_tier().unwrap().used_pages(), pages_before);
+
+        let back = mmu.swap_in_request(9).unwrap();
+        prop_assert_eq!(back.pages, pages_before, "no-CoW replay is exact");
+        prop_assert_eq!(back.bytes, bytes_before);
+        prop_assert_eq!(mmu.host_tier().unwrap().used_pages(), 0);
+        prop_assert_eq!(mmu.request_pages(9), pages_before);
+        prop_assert_eq!(mmu.request_bytes(9), bytes_before);
+        for (k, tail) in tails_before {
+            prop_assert_eq!(mmu.tail_free(&k), tail, "tail headroom of {:?}", k);
+        }
+        for (k, sizes) in sizes_before {
+            let now: Vec<u32> = mmu.table(&k).unwrap().iter().map(|e| e.size).collect();
+            prop_assert_eq!(now, sizes, "per-token sizes of {:?}", k);
+        }
+        mmu.free_request(9).unwrap();
+        prop_assert_eq!(mmu.allocator().free_pages(), 256);
+    }
 }

@@ -44,6 +44,30 @@
 //! (Atom/QServe/Tender) and per-channel methods (KIVI/KVQuant) opt out and
 //! keep fully private page streams.
 //!
+//! # Two-tier memory: suspend and resume
+//!
+//! The device pool is backed by a host swap tier
+//! ([`oaken_mmu::SwapPool`], sized via [`PagedKvPool::set_host_pages`]),
+//! which turns preemption from evict-and-recompute into
+//! suspend-and-resume:
+//!
+//! * [`PagedKvPool::suspend_seq`] moves a sequence's **private** pages
+//!   (tail streams + pending prompt blocks) to host and freezes its
+//!   quantizer stream state, views, and prompt plan verbatim; **shared**
+//!   trie blocks stay resident with their refcounts held, so no sharer —
+//!   including the suspended sequence itself — can lose sealed prefix
+//!   bytes;
+//! * [`PagedKvPool::resume_seq`] thaws the private streams onto fresh
+//!   device pages (identical per-token sizes and tail headroom) and the
+//!   sequence continues **bit-exactly** where it left off — the hard
+//!   contract the swap-resume property tests enforce against
+//!   uninterrupted `Session` runs;
+//! * transfer pages/bytes are accounted per move
+//!   ([`PagedKvPool::swap_stats`]), and because Oaken's pages hold 4-bit
+//!   dense + sparse payloads, the moved bytes are 3-4× smaller than an
+//!   FP16 cache would transfer — the reason swap beats recompute even
+//!   more clearly under quantization.
+//!
 //! # Consistency contract
 //!
 //! * **Bit-exactness** — for methods whose per-row state is offline or
@@ -90,7 +114,7 @@ use crate::cache::{BatchAppend, BatchKvCache, KindSlot};
 use crate::config::ModelConfig;
 use crate::trie::{PrefixStats, PrefixTrie, TrieBlock};
 use oaken_core::{KvKind, KvQuantizer};
-use oaken_mmu::{MmuSim, StreamClass, StreamKey};
+use oaken_mmu::{MmuSim, StreamClass, StreamKey, SwapReceipt, SwapStats};
 use oaken_runtime::{Runtime, UnsafeSlice};
 use std::collections::HashMap;
 use std::fmt;
@@ -116,6 +140,14 @@ pub enum PoolError {
         /// The offending handle.
         seq: SeqId,
     },
+    /// The host tier cannot hold the sequence's private pages — the
+    /// swap-based preemption must fall back to evict-and-recompute.
+    OutOfHostPages {
+        /// Host pages the suspend needs.
+        needed: u32,
+        /// Host pages currently free.
+        free: u32,
+    },
 }
 
 impl fmt::Display for PoolError {
@@ -126,6 +158,12 @@ impl fmt::Display for PoolError {
             }
             PoolError::UnknownSequence { seq } => {
                 write!(f, "sequence {seq:?} is not active in the pool")
+            }
+            PoolError::OutOfHostPages { needed, free } => {
+                write!(
+                    f,
+                    "suspend needs {needed} host pages but only {free} are free"
+                )
             }
         }
     }
@@ -189,6 +227,16 @@ struct SeqPlan {
     blocks: Vec<SeqBlock>,
     /// Blocks sealed (or adopted) so far.
     sealed: usize,
+}
+
+/// A sequence frozen to the host tier by [`PagedKvPool::suspend_seq`].
+struct SuspendedSeq {
+    /// The sequence's slots, retained verbatim: quantizer stream state,
+    /// dequantized views, row counts, and the prompt-block plan.
+    slots: SeqSlots,
+    /// Host pages its private streams occupy (the device pages a resume
+    /// needs, as an upper bound).
+    frozen_pages: u32,
 }
 
 /// Per-sequence storage: one [`KindSlot`] per `(layer, kind)`, plus a
@@ -277,6 +325,12 @@ pub struct PagedKvPool {
     bytes_per_token: u64,
     mmu: MmuSim,
     seqs: HashMap<u32, SeqSlots>,
+    /// Sequences suspended to the host tier: their stream/view state is
+    /// retained verbatim (which is what makes resume bit-exact), their
+    /// private pages live in the MMU's swap pool, and their shared trie
+    /// blocks stay adopted (refcounts held) so the payload a resume needs
+    /// can never be destroyed underneath them.
+    suspended: HashMap<u32, SuspendedSeq>,
     recycled: Vec<SeqSlots>,
     next_id: u32,
     /// Tokens per shareable prefix block.
@@ -308,6 +362,7 @@ impl fmt::Debug for PagedKvPool {
             .field("num_layers", &self.num_layers)
             .field("kv_dim", &self.kv_dim)
             .field("active_seqs", &self.seqs.len())
+            .field("suspended_seqs", &self.suspended.len())
             .field("free_pages", &self.free_pages())
             .field("prefix_sharing", &self.sharing)
             .field("trie_blocks", &self.trie.len())
@@ -349,6 +404,11 @@ impl PagedKvPool {
                     .all(|&k| q.row_stream(kv_dim, l, k).is_some())
             })
         });
+        // Host tier defaults to mirroring the device capacity (host KV
+        // memory is at least as large as device memory on real serving
+        // nodes); `set_host_pages` resizes or disables it.
+        let mut mmu = MmuSim::new(num_pages, page_size);
+        mmu.attach_host_tier(num_pages);
         let pool = Self {
             quantizer,
             num_layers: model.num_layers,
@@ -356,8 +416,9 @@ impl PagedKvPool {
             kv_heads,
             head_dim,
             bytes_per_token: model.kv_bytes_per_token(bits),
-            mmu: MmuSim::new(num_pages, page_size),
+            mmu,
             seqs: HashMap::new(),
+            suspended: HashMap::new(),
             recycled: Vec::new(),
             next_id: 0,
             block_tokens: DEFAULT_BLOCK_TOKENS,
@@ -495,6 +556,62 @@ impl PagedKvPool {
     /// Sealed blocks currently live in the trie.
     pub fn trie_blocks(&self) -> usize {
         self.trie.len()
+    }
+
+    /// Host-tier capacity in pages (same page size as the device tier).
+    pub fn host_capacity_pages(&self) -> u32 {
+        self.mmu.host_tier().map_or(0, |h| h.capacity())
+    }
+
+    /// Host pages currently occupied by suspended sequences.
+    pub fn host_pages_used(&self) -> u32 {
+        self.mmu.host_tier().map_or(0, |h| h.used_pages())
+    }
+
+    /// Host pages currently free — the headroom swap-based preemption
+    /// (and the engine's optimistic admission under it) can still use.
+    pub fn host_free_pages(&self) -> u32 {
+        self.mmu.host_tier().map_or(0, |h| h.free_pages())
+    }
+
+    /// Resizes the host tier (0 disables swap-based suspension; suspends
+    /// then fail with [`PoolError::OutOfHostPages`] for any sequence that
+    /// owns pages). Defaults to the device capacity at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics while sequences are suspended (the tier can only be resized
+    /// while empty).
+    pub fn set_host_pages(&mut self, pages: u32) {
+        assert!(
+            self.suspended.is_empty(),
+            "host tier can only be resized with no suspended sequences"
+        );
+        self.mmu.attach_host_tier(pages);
+    }
+
+    /// Cumulative device↔host transfer counters.
+    pub fn swap_stats(&self) -> SwapStats {
+        self.mmu
+            .host_tier()
+            .map_or_else(SwapStats::default, |h| h.stats())
+    }
+
+    /// Sequences currently suspended to host.
+    pub fn suspended_seqs(&self) -> usize {
+        self.suspended.len()
+    }
+
+    /// Whether `seq` is currently suspended.
+    pub fn is_suspended(&self, seq: SeqId) -> bool {
+        self.suspended.contains_key(&seq.0)
+    }
+
+    /// Host pages a suspended sequence occupies — also the upper bound on
+    /// the device pages [`resume_seq`](Self::resume_seq) will need (0 for
+    /// handles that are not suspended).
+    pub fn suspended_seq_pages(&self, seq: SeqId) -> u32 {
+        self.suspended.get(&seq.0).map_or(0, |s| s.frozen_pages)
     }
 
     /// The free/private/shared page-ownership split; `total()` always
@@ -836,20 +953,34 @@ impl PagedKvPool {
                             .free_request(mmu)
                             .expect("pending pages are exclusively owned");
                     }
-                    SeqBlock::Shared(id) => {
-                        let block_mmu = self.trie.get(id).mmu;
-                        let released = self.mmu.release_request(block_mmu);
-                        match self.trie.release(id) {
-                            Some(b) => {
-                                debug_assert_eq!(released, b.pages, "block page accounting");
-                                freed += released;
-                            }
-                            None => debug_assert_eq!(released, 0, "block still shared"),
-                        }
-                    }
+                    SeqBlock::Shared(id) => freed += self.release_shared_block(id),
                 }
             }
         }
+        self.recycle_slots(state);
+        Ok(freed)
+    }
+
+    /// Drops one sequence's reference on a sealed trie block, freeing its
+    /// pages when the last sharer departs. Returns the pages physically
+    /// freed.
+    fn release_shared_block(&mut self, id: usize) -> u32 {
+        let block_mmu = self.trie.get(id).mmu;
+        let released = self.mmu.release_request(block_mmu);
+        match self.trie.release(id) {
+            Some(b) => {
+                debug_assert_eq!(released, b.pages, "block page accounting");
+                released
+            }
+            None => {
+                debug_assert_eq!(released, 0, "block still shared");
+                0
+            }
+        }
+    }
+
+    /// Clears a retired sequence's buffers and keeps them for reuse.
+    fn recycle_slots(&mut self, mut state: SeqSlots) {
         for pair in &mut state.slots {
             for slot in pair {
                 slot.reset_for_reuse();
@@ -857,6 +988,145 @@ impl PagedKvPool {
         }
         state.pages = 0;
         self.recycled.push(state);
+    }
+
+    /// MMU request ids whose pages a sequence owns *exclusively*: its own
+    /// tail streams plus its pending (unsealed) prompt blocks — the pages
+    /// that move tiers on suspend. Adopted shared blocks are excluded.
+    fn private_mmu_ids(state: &SeqSlots, seq_id: u32) -> Vec<u32> {
+        let mut ids = vec![seq_id];
+        if let Some(plan) = &state.plan {
+            for block in &plan.blocks {
+                if let SeqBlock::Pending { mmu } = block {
+                    ids.push(*mmu);
+                }
+            }
+        }
+        ids
+    }
+
+    /// Suspends an active sequence to the host tier: its private pages
+    /// (tail streams plus pending prompt blocks) swap out through the MMU
+    /// — device pages free, host pages charge, transfer bytes are
+    /// accounted — while its quantizer stream state, dequantized views,
+    /// and prompt-block plan are retained verbatim, which is what makes a
+    /// later [`resume_seq`](Self::resume_seq) **bit-exact** by
+    /// construction. Shared trie blocks stay resident: the suspended
+    /// sequence keeps its refcounts, so a sealed prefix another sequence
+    /// is using (or that only this sequence still needs) cannot be
+    /// destroyed while it sits on host — releasing them instead would
+    /// break the zero-recompute guarantee whenever this sequence was the
+    /// last sharer.
+    ///
+    /// Returns the pages/bytes moved to host. On `Err` nothing changed
+    /// and the sequence stays active.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownSequence`] for a freed handle,
+    /// [`PoolError::OutOfHostPages`] when the host tier cannot hold the
+    /// sequence's private pages (callers fall back to
+    /// evict-and-recompute).
+    pub fn suspend_seq(&mut self, seq: SeqId) -> Result<SwapReceipt, PoolError> {
+        let state = self
+            .seqs
+            .get(&seq.0)
+            .ok_or(PoolError::UnknownSequence { seq })?;
+        let host_free = self.host_free_pages();
+        if state.pages > host_free {
+            return Err(PoolError::OutOfHostPages {
+                needed: state.pages,
+                free: host_free,
+            });
+        }
+        let mut state = self.seqs.remove(&seq.0).expect("checked above");
+        let mut receipt = SwapReceipt::default();
+        for id in Self::private_mmu_ids(&state, seq.0) {
+            receipt.merge(
+                self.mmu
+                    .swap_out_request(id)
+                    .expect("host headroom pre-checked; private pages are refcount-1"),
+            );
+        }
+        debug_assert_eq!(receipt.pages, state.pages, "private page accounting");
+        state.pages = 0;
+        self.suspended.insert(
+            seq.0,
+            SuspendedSeq {
+                slots: state,
+                frozen_pages: receipt.pages,
+            },
+        );
+        Ok(receipt)
+    }
+
+    /// Resumes a suspended sequence: its private page streams thaw back
+    /// into device memory (fresh pages, identical per-token sizes and
+    /// tail headroom) and the sequence becomes active again, bit-exactly
+    /// where it left off — views, stream calibration, prompt plan, and
+    /// adopted shared blocks all untouched by the round trip. Returns the
+    /// pages/bytes moved back.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownSequence`] when the handle is not suspended,
+    /// [`PoolError::OutOfPages`] when the device lacks the frozen page
+    /// count — the sequence then stays on host and the caller retries
+    /// after pages free.
+    pub fn resume_seq(&mut self, seq: SeqId) -> Result<SwapReceipt, PoolError> {
+        let entry = self
+            .suspended
+            .get(&seq.0)
+            .ok_or(PoolError::UnknownSequence { seq })?;
+        let needed = entry.frozen_pages;
+        let free = self.free_pages();
+        if needed > free {
+            return Err(PoolError::OutOfPages { needed, free });
+        }
+        let mut entry = self.suspended.remove(&seq.0).expect("checked above");
+        let mut receipt = SwapReceipt::default();
+        for id in Self::private_mmu_ids(&entry.slots, seq.0) {
+            receipt.merge(
+                self.mmu
+                    .swap_in_request(id)
+                    .expect("device headroom pre-checked against the frozen page count"),
+            );
+        }
+        entry.slots.pages = receipt.pages;
+        self.seqs.insert(seq.0, entry.slots);
+        Ok(receipt)
+    }
+
+    /// Retires a *suspended* sequence without resuming it: its frozen
+    /// entries are discarded (host pages free, no transfer back) and its
+    /// shared trie blocks are released leaf-first exactly as
+    /// [`free_seq`](Self::free_seq) would. Returns the *device* pages
+    /// physically freed (shared blocks whose last sharer this was).
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownSequence`] when the handle is not suspended.
+    pub fn drop_suspended_seq(&mut self, seq: SeqId) -> Result<u32, PoolError> {
+        let mut entry = self
+            .suspended
+            .remove(&seq.0)
+            .ok_or(PoolError::UnknownSequence { seq })?;
+        for id in Self::private_mmu_ids(&entry.slots, seq.0) {
+            self.mmu
+                .discard_frozen(id)
+                .expect("suspended sequences' private ids are frozen");
+        }
+        let mut freed = 0u32;
+        if let Some(plan) = entry.slots.plan.take() {
+            for block in plan.blocks.into_iter().rev() {
+                match block {
+                    // Pending pages were frozen and just discarded.
+                    SeqBlock::Pending { .. } => {}
+                    SeqBlock::Shared(id) => freed += self.release_shared_block(id),
+                }
+            }
+        }
+        self.recycle_slots(entry.slots);
         Ok(freed)
     }
 
@@ -2082,6 +2352,177 @@ mod tests {
             );
         }
         assert_balanced(&pool);
+    }
+
+    // ------------------------------------------------------------------
+    // Suspend/resume (two-tier memory) tests
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn suspend_resume_roundtrip_is_bit_exact_and_frees_device_pages() {
+        let layers = 2;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let q = oaken(d, layers);
+        let mut pool = PagedKvPool::for_model(&cfg, Some(q.clone()), 2048, 512);
+        pool.set_block_tokens(4);
+        let prompt: Vec<u32> = (0..10).collect();
+        let s = pool.alloc_seq_with_prefix(&prompt);
+        feed_prompt(&mut pool, s.seq, layers, d, 0, 7); // mid-prefill: 1 sealed, 1 pending
+        let before_free = pool.free_pages();
+        let before_private = pool.seq_pages(s.seq);
+        assert!(before_private > 0);
+        let keys_before: Vec<u32> = pool.keys(s.seq, 0).iter().map(|x| x.to_bits()).collect();
+
+        let out = pool.suspend_seq(s.seq).unwrap();
+        assert_eq!(out.pages, before_private, "exactly the private pages move");
+        assert!(out.bytes > 0);
+        assert_eq!(pool.free_pages(), before_free + before_private);
+        assert!(pool.is_suspended(s.seq));
+        assert_eq!(pool.suspended_seq_pages(s.seq), before_private);
+        assert_eq!(pool.host_pages_used(), before_private);
+        assert_balanced(&pool);
+        // Suspended handles are not active.
+        assert!(matches!(
+            pool.append(s.seq, 0, &row(d, 0), &row(d, 0)),
+            Err(PoolError::UnknownSequence { .. })
+        ));
+
+        let back = pool.resume_seq(s.seq).unwrap();
+        assert_eq!(back.pages, before_private, "replay repacks exactly");
+        assert_eq!(back.bytes, out.bytes);
+        assert_eq!(pool.host_pages_used(), 0);
+        assert_eq!(pool.seq_pages(s.seq), before_private);
+        assert_balanced(&pool);
+        let keys_after: Vec<u32> = pool.keys(s.seq, 0).iter().map(|x| x.to_bits()).collect();
+        assert_eq!(keys_after, keys_before, "views survive the round trip");
+
+        // The resumed sequence keeps appending, seals its remaining
+        // blocks, and its whole history stays bit-exact with an
+        // uninterrupted cache.
+        feed_prompt(&mut pool, s.seq, layers, d, 7, prompt.len() + 3);
+        assert_eq!(pool.trie_blocks(), 2);
+        let mut cache = QuantizedCache::new(q);
+        cache.reset(layers, d);
+        for pos in 0..prompt.len() + 3 {
+            let (k, v) = kv_for_pos(d, pos);
+            for layer in 0..layers {
+                cache.append(layer, &k, &v);
+            }
+        }
+        for layer in 0..layers {
+            let a: Vec<u32> = pool
+                .keys(s.seq, layer)
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let b: Vec<u32> = cache.keys(layer).iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "keys diverged after resume (layer {layer})");
+            let a: Vec<u32> = pool
+                .values(s.seq, layer)
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let b: Vec<u32> = cache.values(layer).iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "values diverged after resume (layer {layer})");
+        }
+        let stats = pool.swap_stats();
+        assert_eq!(stats.swap_outs, 2, "tail + one pending block froze");
+        assert_eq!(stats.swap_ins, 2);
+        assert_eq!(stats.bytes_to_host, stats.bytes_to_device);
+        pool.free_seq(s.seq).unwrap();
+        assert_eq!(pool.free_pages(), pool.capacity_pages());
+    }
+
+    #[test]
+    fn suspended_sharer_keeps_trie_blocks_alive() {
+        let layers = 1;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let q = oaken(d, layers);
+        let mut pool = PagedKvPool::for_model(&cfg, Some(q), 2048, 512);
+        pool.set_block_tokens(4);
+        let prompt: Vec<u32> = (0..9).collect();
+        let a = pool.alloc_seq_with_prefix(&prompt);
+        feed_prompt(&mut pool, a.seq, layers, d, 0, prompt.len());
+        assert_eq!(pool.trie_blocks(), 2);
+        let b = pool.alloc_seq_with_prefix(&prompt);
+        assert_eq!(b.matched_tokens, 8);
+        feed_prompt(&mut pool, b.seq, layers, d, 8, prompt.len() + 2);
+
+        // Suspend the sharer, retire the sealer: the blocks must survive
+        // on the suspended sequence's refcounts alone.
+        pool.suspend_seq(b.seq).unwrap();
+        pool.free_seq(a.seq).unwrap();
+        assert_eq!(pool.trie_blocks(), 2, "suspended refcounts pin the trie");
+        assert_balanced(&pool);
+
+        pool.resume_seq(b.seq).unwrap();
+        assert_eq!(pool.seq_len(b.seq, 0), prompt.len() + 2);
+        pool.free_seq(b.seq).unwrap();
+        assert_eq!(pool.trie_blocks(), 0);
+        assert_eq!(pool.free_pages(), pool.capacity_pages());
+    }
+
+    #[test]
+    fn drop_suspended_seq_releases_host_and_shared_pages() {
+        let layers = 1;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let q = oaken(d, layers);
+        let mut pool = PagedKvPool::for_model(&cfg, Some(q), 2048, 512);
+        pool.set_block_tokens(4);
+        let prompt: Vec<u32> = (0..9).collect();
+        let a = pool.alloc_seq_with_prefix(&prompt);
+        feed_prompt(&mut pool, a.seq, layers, d, 0, prompt.len());
+        pool.suspend_seq(a.seq).unwrap();
+        assert!(pool.host_pages_used() > 0);
+        pool.drop_suspended_seq(a.seq).unwrap();
+        assert_eq!(pool.host_pages_used(), 0);
+        assert_eq!(pool.trie_blocks(), 0, "last sharer's blocks released");
+        assert_eq!(pool.free_pages(), pool.capacity_pages());
+        assert!(matches!(
+            pool.drop_suspended_seq(a.seq),
+            Err(PoolError::UnknownSequence { .. })
+        ));
+        // The swap-in counter must not have moved: bytes were discarded.
+        assert_eq!(pool.swap_stats().swap_ins, 0);
+    }
+
+    #[test]
+    fn suspend_respects_host_capacity_and_resume_respects_device() {
+        let layers = 1;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let mut pool = PagedKvPool::for_model(&cfg, None, 16, 256);
+        pool.set_host_pages(2);
+        let a = pool.alloc_seq();
+        for t in 0..4 {
+            pool.append(a, 0, &row(d, t), &row(d, 100 + t)).unwrap();
+        }
+        let private = pool.seq_pages(a);
+        assert!(private > 2, "workload must exceed the tiny host tier");
+        let err = pool.suspend_seq(a).unwrap_err();
+        assert!(matches!(err, PoolError::OutOfHostPages { .. }), "{err}");
+        assert_eq!(pool.seq_pages(a), private, "failed suspend is a no-op");
+
+        pool.set_host_pages(16);
+        pool.suspend_seq(a).unwrap();
+        // Fill the device so the resume cannot fit.
+        let b = pool.alloc_seq();
+        let mut t = 0u64;
+        while pool
+            .append(b, 0, &row(d, 900 + t), &row(d, 990 + t))
+            .is_ok()
+        {
+            t += 1;
+        }
+        let err = pool.resume_seq(a).unwrap_err();
+        assert!(matches!(err, PoolError::OutOfPages { .. }), "{err}");
+        assert!(pool.is_suspended(a), "failed resume keeps the seq frozen");
+        pool.free_seq(b).unwrap();
+        pool.resume_seq(a).unwrap();
+        assert_eq!(pool.seq_len(a, 0), 4);
     }
 
     #[test]

@@ -20,14 +20,21 @@
 //!   request admits under page pressure that would stall a cold one;
 //!   retired sequences free their pages *within the same step*, so their
 //!   slots refill immediately;
-//! * **preemption by eviction** — when the pool cannot guarantee the next
-//!   chunk for every active sequence, the engine first degrades to
-//!   single-token steps, then evicts the newest sequences (pages freed,
-//!   request re-queued at the front for restart) until the remaining
-//!   batch is safe — the recompute-on-restart strategy of vLLM's
-//!   PagedAttention scheduler. A restarted request re-walks the trie, so
-//!   its previously sealed prefix blocks are re-adopted instead of
-//!   re-quantized.
+//! * **preemption, by eviction or by swap** — when the pool cannot
+//!   guarantee the next chunk for every active sequence, the engine first
+//!   degrades to single-token steps, then preempts the newest sequences
+//!   until the remaining batch is safe. What "preempt" means is the
+//!   [`PreemptPolicy`] knob: [`PreemptPolicy::RestartRecompute`] evicts
+//!   (pages freed, request re-queued at the front, the whole prefix
+//!   recomputed on restart — vLLM's PagedAttention strategy; a restarted
+//!   request re-walks the trie, so previously sealed prefix blocks are
+//!   re-adopted instead of re-quantized), while
+//!   [`PreemptPolicy::SwapToHost`] *suspends* the sequence to the pool's
+//!   host tier ([`PagedKvPool::suspend_seq`]) and later resumes it
+//!   bit-exactly — zero recomputed tokens, at the cost of the (quantized,
+//!   3-4× smaller) transfer bytes. Suspended requests wait in a resume
+//!   queue with **priority over fresh admissions**, so swapped work can
+//!   never starve behind new arrivals.
 //!
 //! Per-sequence arithmetic is bit-exact with a legacy single-sequence
 //! [`oaken_model::Session`] run over the same quantizer, for every
@@ -36,7 +43,7 @@
 
 use crate::scheduler::TokenScheduler;
 use oaken_model::{
-    sample_greedy, BatchStep, Model, PagedKvPool, PoolBatchView, PrefixStats, SeqId,
+    sample_greedy, BatchStep, Model, PagedKvPool, PoolBatchView, PoolError, PrefixStats, SeqId,
 };
 use oaken_runtime::Runtime;
 use std::collections::VecDeque;
@@ -128,6 +135,43 @@ pub enum AdmissionPolicy {
     FullSequence,
 }
 
+/// What happens to a preemption victim under page pressure.
+///
+/// Victims are always selected **newest admission first** (LIFO over the
+/// active set, see [`EngineConfig::preempt`]); the policy decides what
+/// preempting costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PreemptPolicy {
+    /// Evict-and-restart: free the victim's pages and re-queue it at the
+    /// queue front; the restart recomputes every previously cached token
+    /// through the model (vLLM's recompute strategy — cheap in memory,
+    /// expensive in compute).
+    #[default]
+    RestartRecompute,
+    /// Suspend-and-resume: move the victim's private pages to the pool's
+    /// host tier and park it in the resume queue; the resume transfers
+    /// the (quantized) bytes back and continues bit-exactly with **zero**
+    /// recomputed tokens. Falls back to [`RestartRecompute`] for a victim
+    /// the host tier cannot hold.
+    ///
+    /// [`RestartRecompute`]: PreemptPolicy::RestartRecompute
+    SwapToHost,
+}
+
+impl PreemptPolicy {
+    /// The process-wide default: `OAKEN_PREEMPT=swap` selects
+    /// [`PreemptPolicy::SwapToHost`], anything else (or unset) selects
+    /// [`PreemptPolicy::RestartRecompute`]. This is the CI knob that runs
+    /// the whole test suite — every bit-exactness property included —
+    /// under swap-based preemption.
+    pub fn default_policy() -> Self {
+        match std::env::var("OAKEN_PREEMPT") {
+            Ok(v) if v.eq_ignore_ascii_case("swap") => PreemptPolicy::SwapToHost,
+            _ => PreemptPolicy::RestartRecompute,
+        }
+    }
+}
+
 /// Engine knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -135,6 +179,14 @@ pub struct EngineConfig {
     pub max_batch: usize,
     /// Admission reservation policy.
     pub admission: AdmissionPolicy,
+    /// Preemption policy under page pressure. Victim ordering is
+    /// **newest-first** regardless of policy: the most recently admitted
+    /// sequence is preempted first, because it has the least cached work
+    /// to move (swap) or redo (restart) and the oldest sequences — closest
+    /// to retiring and releasing their pages for good — keep running.
+    /// Defaults to [`PreemptPolicy::default_policy`] (the `OAKEN_PREEMPT`
+    /// environment knob).
+    pub preempt: PreemptPolicy,
     /// Record every decode-phase logits vector per request (for the
     /// bit-exactness tests; memory-heavy on real vocabularies).
     pub record_logits: bool,
@@ -160,6 +212,7 @@ impl Default for EngineConfig {
         Self {
             max_batch: 8,
             admission: AdmissionPolicy::default(),
+            preempt: PreemptPolicy::default_policy(),
             record_logits: false,
             prefill_token_budget: 16,
             num_threads: oaken_runtime::default_threads(),
@@ -222,6 +275,28 @@ pub struct EngineStats {
     /// Peak allocated pages over the run (the high-water capacity mark
     /// prefix dedup lowers).
     pub pages_in_use_peak: u32,
+    /// Sequences suspended to the host tier ([`PreemptPolicy::SwapToHost`]
+    /// preemptions that found host headroom).
+    pub swap_outs: u64,
+    /// Suspended sequences resumed from the host tier.
+    pub swap_ins: u64,
+    /// Payload bytes moved device → host by suspensions.
+    pub swap_bytes_to_host: u64,
+    /// Payload bytes moved host → device by resumes.
+    pub swap_bytes_to_device: u64,
+    /// Sum over resumes of the iterations each sequence spent suspended
+    /// (see [`EngineStats::mean_resume_latency`]).
+    pub resume_latency_iters: u64,
+    /// Prompt tokens fed through the model that an earlier incarnation of
+    /// the same request had already computed — the restart-recompute waste
+    /// [`PreemptPolicy::SwapToHost`] eliminates (always 0 when every
+    /// preemption swaps and every suspension resumes).
+    pub recomputed_prefill_tokens: u64,
+    /// Suspended sequences converted back to evict-and-restart because
+    /// their resume could provably never fit (nothing active to free
+    /// pages, newly sealed trie blocks pinning the device) — the liveness
+    /// escape hatch of the resume queue. 0 on sanely provisioned pools.
+    pub resume_restarts: u64,
     /// Sum over generation iterations of the core utilization.
     utilization_sum: f64,
     /// Iterations with at least one decoding sequence — the denominator
@@ -241,6 +316,17 @@ impl EngineStats {
             self.utilization_sum / self.utilization_iters as f64
         }
     }
+
+    /// Mean iterations a swapped-out sequence waited before resuming (0.0
+    /// when nothing was resumed) — the suspend/resume round-trip latency
+    /// in scheduler time.
+    pub fn mean_resume_latency(&self) -> f64 {
+        if self.swap_ins == 0 {
+            0.0
+        } else {
+            self.resume_latency_iters as f64 / self.swap_ins as f64
+        }
+    }
 }
 
 struct QueuedRequest {
@@ -251,6 +337,26 @@ struct QueuedRequest {
     /// real deployment streamed to the user — before the eviction; the
     /// restart merely recomputes the identical suffix).
     ttft_iteration: u64,
+    /// Prompt positions an earlier incarnation already computed (0 for
+    /// fresh requests): model-fed prompt tokens below this mark are
+    /// recomputation, the waste `recomputed_prefill_tokens` counts.
+    reached: usize,
+}
+
+/// A sequence suspended to the host tier, waiting in the resume queue.
+/// Unlike a restart, *everything* is retained — position, generated
+/// tokens, logits — because the resume continues bit-exactly.
+struct SuspendedReq {
+    req: EngineRequest,
+    seq: SeqId,
+    pos: usize,
+    generated: Vec<u32>,
+    logits: Vec<Vec<f32>>,
+    preemptions: usize,
+    ttft_iteration: u64,
+    reached: usize,
+    /// Iteration the suspension happened in (resume-latency accounting).
+    suspended_at: u64,
 }
 
 struct ActiveSeq {
@@ -263,6 +369,8 @@ struct ActiveSeq {
     logits: Vec<Vec<f32>>,
     preemptions: usize,
     ttft_iteration: u64,
+    /// See [`QueuedRequest::reached`].
+    reached: usize,
 }
 
 impl ActiveSeq {
@@ -283,6 +391,10 @@ pub struct BatchEngine<'m> {
     config: EngineConfig,
     runtime: Runtime,
     queue: VecDeque<QueuedRequest>,
+    /// Suspended sequences waiting to thaw, oldest suspension first.
+    /// Strict priority over `queue`: fresh admissions wait while a resume
+    /// is pending, so swapped work cannot starve.
+    resume: VecDeque<SuspendedReq>,
     active: Vec<ActiveSeq>,
     finished: Vec<FinishedRequest>,
     stats: EngineStats,
@@ -314,6 +426,7 @@ impl<'m> BatchEngine<'m> {
             runtime: Runtime::new(config.num_threads),
             config,
             queue: VecDeque::new(),
+            resume: VecDeque::new(),
             active: Vec::new(),
             finished: Vec::new(),
             stats: EngineStats::default(),
@@ -337,6 +450,7 @@ impl<'m> BatchEngine<'m> {
             req,
             preemptions: 0,
             ttft_iteration: 0,
+            reached: 0,
         });
     }
 
@@ -365,25 +479,31 @@ impl<'m> BatchEngine<'m> {
         self.queue.len()
     }
 
+    /// Suspended requests waiting in the resume queue.
+    pub fn resume_len(&self) -> usize {
+        self.resume.len()
+    }
+
     /// Runs one engine iteration: admit (prefix-probed), reserve capacity
     /// for the iteration's chunk plan (possibly degrading to single-token
     /// steps, then preempting), advance every active sequence by its
     /// chunk, retire finished sequences, and refill their slots. Returns
     /// `false` once no work remains.
     pub fn step(&mut self) -> bool {
-        if self.active.is_empty() && self.queue.is_empty() {
+        if self.active.is_empty() && self.queue.is_empty() && self.resume.is_empty() {
             return false;
         }
         self.stats.iterations += 1;
         let mut stalled = self.admit();
         let plan = self.reserve_capacity();
         if self.active.is_empty() {
-            // Only impossible requests were queued and all got dropped.
+            // Only impossible requests were queued and all got dropped,
+            // or every live sequence sits suspended waiting for pages.
             if stalled {
                 self.stats.admission_stalls += 1;
             }
             self.sync_prefix_stats();
-            return !self.queue.is_empty();
+            return !self.queue.is_empty() || !self.resume.is_empty();
         }
 
         // Advance the whole batch by its chunk plan (layer-major under
@@ -424,8 +544,13 @@ impl<'m> BatchEngine<'m> {
             if fed_prompt > 0 {
                 self.stats.prefill_tokens += fed_prompt as u64;
                 self.stats.prefill_chunks += 1;
+                // Prompt positions below the restart mark were already
+                // computed by an earlier incarnation: pure recompute.
+                self.stats.recomputed_prefill_tokens +=
+                    a.reached.saturating_sub(a.pos).min(fed_prompt) as u64;
             }
             a.pos += n;
+            a.reached = a.reached.max(a.pos);
             if a.pos < prompt_len {
                 continue; // still prefilling: logits are not sampled
             }
@@ -456,7 +581,7 @@ impl<'m> BatchEngine<'m> {
             self.stats.admission_stalls += 1;
         }
         self.sync_prefix_stats();
-        !self.active.is_empty() || !self.queue.is_empty()
+        !self.active.is_empty() || !self.queue.is_empty() || !self.resume.is_empty()
     }
 
     /// Runs until every submitted request is finished or dropped.
@@ -543,15 +668,93 @@ impl<'m> BatchEngine<'m> {
         });
     }
 
-    /// Admits queue-front requests while the pool has pages and batch
-    /// slots, probing each prompt against the prefix trie so only
-    /// *non-shared* pages are reserved. Requests that can never complete
-    /// — non-shared footprint beyond the whole pool, or sequence length
-    /// beyond the model's `max_seq_len` — are dropped as failed. Returns
-    /// whether a possible request was left waiting for pages (an
-    /// admission stall).
+    /// Resumes suspended sequences from the front of the resume queue
+    /// while device pages and batch slots allow. Returns `Some(stalled)`
+    /// when fresh admission must wait — either because a resume is still
+    /// pending (strict priority: swapped work never starves behind new
+    /// arrivals; `stalled` is true when it was pages, not slots, that
+    /// blocked it) — or `None` when the resume queue drained.
+    ///
+    /// Liveness escape hatch: with *nothing active*, no future retirement
+    /// can free device pages, so a resume head that does not fit then can
+    /// never fit — other suspended sequences may have sealed new trie
+    /// blocks after it froze, pinning device pages it used to occupy. The
+    /// head is converted back to an evict-and-restart (suspended state
+    /// discarded, request re-queued at the front; counted in
+    /// [`EngineStats::resume_restarts`]), which releases its trie pins
+    /// and unwedges the hierarchy at the price of recompute.
+    fn resume_suspended(&mut self) -> Option<bool> {
+        while self.active.len() < self.config.max_batch {
+            let front = self.resume.front()?;
+            let frozen = u64::from(self.pool.suspended_seq_pages(front.seq));
+            if frozen + self.committed_pages() > u64::from(self.pool.free_pages()) {
+                if !self.active.is_empty() {
+                    return Some(true);
+                }
+                let s = self.resume.pop_front().expect("front exists");
+                self.pool
+                    .drop_suspended_seq(s.seq)
+                    .expect("resume-queued sequences are suspended in the pool");
+                self.stats.resume_restarts += 1;
+                self.queue.push_front(QueuedRequest {
+                    req: s.req,
+                    preemptions: s.preemptions,
+                    ttft_iteration: s.ttft_iteration,
+                    reached: s.reached,
+                });
+                continue;
+            }
+            let s = self.resume.pop_front().expect("front exists");
+            let receipt = self
+                .pool
+                .resume_seq(s.seq)
+                .expect("headroom checked against the frozen page count");
+            self.stats.swap_ins += 1;
+            self.stats.swap_bytes_to_device += receipt.bytes;
+            self.stats.resume_latency_iters += self.stats.iterations - s.suspended_at;
+            self.active.push(ActiveSeq {
+                req: s.req,
+                seq: s.seq,
+                pos: s.pos,
+                generated: s.generated,
+                logits: s.logits,
+                preemptions: s.preemptions,
+                ttft_iteration: s.ttft_iteration,
+                reached: s.reached,
+            });
+        }
+        if self.resume.is_empty() {
+            None
+        } else {
+            // Out of batch slots, not pages: no admission stall, but
+            // fresh requests still wait behind the pending resumes.
+            Some(false)
+        }
+    }
+
+    /// Admits requests while the pool has pages and batch slots: first
+    /// the resume queue (strict priority — see
+    /// [`resume_suspended`](Self::resume_suspended)), then queue-front
+    /// fresh requests, probing each prompt against the prefix trie so
+    /// only *non-shared* pages are reserved. Under
+    /// [`PreemptPolicy::SwapToHost`] the fresh-admission headroom also
+    /// counts free *host* pages: overflow is survivable by swapping, so
+    /// the effective capacity is the whole hierarchy, not one tier.
+    /// Requests that can never complete — non-shared footprint beyond the
+    /// whole pool, or sequence length beyond the model's `max_seq_len` —
+    /// are dropped as failed. Returns whether a possible request was left
+    /// waiting for pages (an admission stall).
     fn admit(&mut self) -> bool {
         let mut stalled = false;
+        let pending_resumes = self.resume_suspended();
+        self.stats.peak_active = self.stats.peak_active.max(self.active.len());
+        if let Some(resume_stalled) = pending_resumes {
+            return resume_stalled;
+        }
+        let host_headroom = match self.config.preempt {
+            PreemptPolicy::SwapToHost => u64::from(self.pool.host_free_pages()),
+            PreemptPolicy::RestartRecompute => 0,
+        };
         while self.active.len() < self.config.max_batch {
             let Some(front) = self.queue.front() else {
                 break;
@@ -573,7 +776,8 @@ impl<'m> BatchEngine<'m> {
                 }
                 AdmissionPolicy::FullSequence => full,
             };
-            if reserve + self.committed_pages() > u64::from(self.pool.free_pages()) {
+            if reserve + self.committed_pages() > u64::from(self.pool.free_pages()) + host_headroom
+            {
                 stalled = true;
                 break;
             }
@@ -589,17 +793,27 @@ impl<'m> BatchEngine<'m> {
                 logits: Vec::new(),
                 preemptions: q.preemptions,
                 ttft_iteration: q.ttft_iteration,
+                reached: q.reached,
             });
         }
         self.stats.peak_active = self.stats.peak_active.max(self.active.len());
         stalled
     }
 
+    /// Index of the next preemption victim: the **newest admission**
+    /// (the last slot of the active set). The newest sequence has the
+    /// least cached work to move or redo, and the oldest — closest to
+    /// retiring for good — keep their pages; `tests::victim_ordering`
+    /// pins this choice.
+    fn victim_slot(&self) -> usize {
+        self.active.len() - 1
+    }
+
     /// Guarantees the pool can absorb this iteration's chunk plan,
-    /// degrading to single-token steps under pressure and then evicting
-    /// the newest sequences (restart-on-preempt) until it fits. A
-    /// sequence that cannot proceed even alone is dropped. Returns the
-    /// reserved plan.
+    /// degrading to single-token steps under pressure and then preempting
+    /// the newest sequences (restart or swap, per
+    /// [`EngineConfig::preempt`]) until it fits. A sequence that cannot
+    /// proceed even alone is dropped. Returns the reserved plan.
     fn reserve_capacity(&mut self) -> Vec<usize> {
         loop {
             let plan = self.chunk_plan();
@@ -607,15 +821,12 @@ impl<'m> BatchEngine<'m> {
                 return plan;
             }
             // Budgeted chunks do not fit: try the classic one-token-each
-            // schedule before evicting anyone.
+            // schedule before preempting anyone.
             let fallback = vec![1usize; self.active.len()];
             if self.plan_fits(&fallback) {
                 return fallback;
             }
-            let a = self.active.pop().expect("pressure implies active seqs");
-            self.pool
-                .free_seq(a.seq)
-                .expect("active sequences are live in the pool");
+            let a = self.active.remove(self.victim_slot());
             if self.active.is_empty() {
                 // Even alone, the *worst-case* bound says the sequence
                 // cannot take one more token. The bound is deliberately
@@ -623,14 +834,46 @@ impl<'m> BatchEngine<'m> {
                 // at the extreme margin this can drop a request whose
                 // actual encoded rows would still have squeezed into the
                 // page tails — safety over utilization.
+                self.pool
+                    .free_seq(a.seq)
+                    .expect("active sequences are live in the pool");
                 self.fail(a.req, a.preemptions);
                 return Vec::new();
             }
             self.stats.preemptions += 1;
+            if self.config.preempt == PreemptPolicy::SwapToHost {
+                match self.pool.suspend_seq(a.seq) {
+                    Ok(receipt) => {
+                        self.stats.swap_outs += 1;
+                        self.stats.swap_bytes_to_host += receipt.bytes;
+                        self.resume.push_back(SuspendedReq {
+                            req: a.req,
+                            seq: a.seq,
+                            pos: a.pos,
+                            generated: a.generated,
+                            logits: a.logits,
+                            preemptions: a.preemptions + 1,
+                            ttft_iteration: a.ttft_iteration,
+                            reached: a.reached,
+                            suspended_at: self.stats.iterations,
+                        });
+                        continue;
+                    }
+                    // Host tier full: this victim falls back to
+                    // evict-and-restart (the recompute cost shows up in
+                    // `recomputed_prefill_tokens`).
+                    Err(PoolError::OutOfHostPages { .. }) => {}
+                    Err(e) => panic!("suspend of a live sequence failed: {e}"),
+                }
+            }
+            self.pool
+                .free_seq(a.seq)
+                .expect("active sequences are live in the pool");
             self.queue.push_front(QueuedRequest {
                 req: a.req,
                 preemptions: a.preemptions + 1,
                 ttft_iteration: a.ttft_iteration,
+                reached: a.reached,
             });
         }
     }
@@ -667,6 +910,7 @@ impl std::fmt::Debug for BatchEngine<'_> {
         f.debug_struct("BatchEngine")
             .field("active", &self.active.len())
             .field("queued", &self.queue.len())
+            .field("resume_queued", &self.resume.len())
             .field("finished", &self.finished.len())
             .field("free_pages", &self.pool.free_pages())
             .finish()
@@ -909,6 +1153,126 @@ mod tests {
         // counting the 29 empty iterations would report ~0.02.
         let u = e.stats().mean_core_utilization();
         assert!((u - 0.25).abs() < 1e-9, "{u}");
+    }
+
+    /// Pins the preemption victim ordering in isolation: the victim slot
+    /// is always the *newest admission* (the last active slot), so under
+    /// pressure the engine sheds the sequence with the least cached work
+    /// while the oldest sequences run on toward retirement.
+    #[test]
+    fn victim_ordering_is_newest_admission_first() {
+        let m = tiny_model();
+        let mut e = engine_with_pages(
+            &m,
+            70,
+            EngineConfig {
+                max_batch: 2,
+                admission: AdmissionPolicy::PromptOnly,
+                preempt: PreemptPolicy::RestartRecompute,
+                ..EngineConfig::default()
+            },
+        );
+        e.submit(req(0, 4, 40));
+        e.submit(req(1, 4, 40));
+        // Drive until the first preemption.
+        while e.stats().preemptions == 0 && e.step() {}
+        assert!(e.stats().preemptions > 0, "pressure must preempt");
+        // The victim slot is the last active index by definition...
+        assert_eq!(e.victim_slot(), e.active.len() - 1);
+        // ...and the preempted request was the newest admission (request
+        // 1 was admitted second): request 0 survived in slot 0. (The
+        // victim may already have been re-admitted by the end of the
+        // step, so the durable evidence is who was *never* shed.)
+        assert_eq!(e.active[0].req.id, 0, "oldest admission keeps running");
+        e.run();
+        assert!(e.finished().iter().all(|f| f.completed));
+        let fin1 = e.finished().iter().find(|f| f.id == 1).unwrap();
+        assert!(fin1.preemptions > 0);
+        let fin0 = e.finished().iter().find(|f| f.id == 0).unwrap();
+        assert_eq!(fin0.preemptions, 0, "the oldest sequence was never shed");
+    }
+
+    /// The acceptance bar of the two-tier refactor: on a pool sized to
+    /// force preemption, `SwapToHost` retires the identical workload with
+    /// **zero** recomputed prefill tokens, while `RestartRecompute` pays
+    /// a nonzero recompute bill — and both produce the same tokens.
+    #[test]
+    fn swap_policy_eliminates_recompute_on_the_same_workload() {
+        let m = tiny_model();
+        let run = |preempt: PreemptPolicy| {
+            let mut e = engine_with_pages(
+                &m,
+                70,
+                EngineConfig {
+                    max_batch: 4,
+                    admission: AdmissionPolicy::PromptOnly,
+                    preempt,
+                    ..EngineConfig::default()
+                },
+            );
+            for id in 0..4 {
+                e.submit(req(id, 4, 40));
+            }
+            let mut fin = e.run().to_vec();
+            fin.sort_by_key(|f| f.id);
+            (fin, *e.stats())
+        };
+        let (fin_restart, restart) = run(PreemptPolicy::RestartRecompute);
+        let (fin_swap, swap) = run(PreemptPolicy::SwapToHost);
+        assert!(restart.preemptions > 0, "pool must be tight: {restart:?}");
+        assert!(swap.preemptions > 0, "swap run preempts too: {swap:?}");
+        assert!(
+            restart.recomputed_prefill_tokens > 0,
+            "restart must pay recompute: {restart:?}"
+        );
+        assert_eq!(
+            swap.recomputed_prefill_tokens, 0,
+            "swap must never recompute: {swap:?}"
+        );
+        assert!(swap.swap_outs > 0 && swap.swap_ins > 0);
+        assert_eq!(swap.swap_outs, swap.swap_ins, "everything resumed");
+        assert!(swap.swap_bytes_to_host > 0);
+        assert_eq!(swap.swap_bytes_to_host, swap.swap_bytes_to_device);
+        assert!(swap.mean_resume_latency() >= 1.0, "{swap:?}");
+        assert_eq!(restart.swap_outs, 0, "restart never touches the host tier");
+        // Same workload, same tokens, either way.
+        assert!(fin_swap.iter().all(|f| f.completed));
+        for (a, b) in fin_swap.iter().zip(&fin_restart) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.generated, b.generated, "policies must agree on tokens");
+        }
+    }
+
+    /// A host tier too small for a loaded victim degrades to restart
+    /// instead of wedging: the workload still completes and the recompute
+    /// bill is paid. (Victims with *nothing cached yet* still "suspend" —
+    /// zero pages move, so a 0-page host holds them — which is strictly
+    /// better than restarting them.)
+    #[test]
+    fn swap_policy_falls_back_to_restart_when_host_is_full() {
+        let m = tiny_model();
+        let mut pool = PagedKvPool::for_model(m.config(), None, 70, 512);
+        pool.set_host_pages(0);
+        let mut e = BatchEngine::new(
+            &m,
+            pool,
+            TokenScheduler::new(4),
+            EngineConfig {
+                max_batch: 4,
+                admission: AdmissionPolicy::PromptOnly,
+                preempt: PreemptPolicy::SwapToHost,
+                ..EngineConfig::default()
+            },
+        );
+        for id in 0..4 {
+            e.submit(req(id, 4, 40));
+        }
+        e.run();
+        assert!(e.finished().iter().all(|f| f.completed));
+        let s = e.stats();
+        assert!(s.preemptions > 0);
+        assert_eq!(s.swap_bytes_to_host, 0, "no host pages, no bytes move");
+        assert!(s.recomputed_prefill_tokens > 0, "fallback pays recompute");
     }
 
     #[test]

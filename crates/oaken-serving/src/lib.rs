@@ -30,6 +30,7 @@ pub mod traces;
 
 pub use engine::{
     AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, EngineStats, FinishedRequest,
+    PreemptPolicy,
 };
 pub use request::Request;
 pub use scheduler::{CoreAssignment, TokenScheduler};

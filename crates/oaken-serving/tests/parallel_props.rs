@@ -51,6 +51,7 @@ fn run_engine(
             record_logits: true,
             prefill_token_budget,
             num_threads,
+            ..EngineConfig::default()
         },
     );
     for r in requests {

@@ -13,7 +13,8 @@ use oaken_core::{KvQuantizer, OakenConfig};
 use oaken_eval::harness::profile_oaken;
 use oaken_model::{sample_greedy, Model, ModelConfig, PagedKvPool, QuantizedCache, Session};
 use oaken_serving::{
-    AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, EngineStats, Request, TokenScheduler,
+    AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, EngineStats, PreemptPolicy, Request,
+    TokenScheduler,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -304,6 +305,11 @@ fn shared_prompts_stall_strictly_less_on_a_shrinking_pool() {
             EngineConfig {
                 max_batch: 8,
                 admission: AdmissionPolicy::FullSequence,
+                // Pinned: this test compares admission-stall counts, and
+                // SwapToHost deliberately changes admission headroom (free
+                // host pages count), which would distort the sharing-on vs
+                // sharing-off comparison under the OAKEN_PREEMPT env knob.
+                preempt: PreemptPolicy::RestartRecompute,
                 record_logits: false,
                 prefill_token_budget: 16,
                 ..EngineConfig::default()

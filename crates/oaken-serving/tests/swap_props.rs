@@ -1,0 +1,297 @@
+//! Bit-exactness guard for swap-based preemption: a sequence suspended to
+//! the host tier and resumed must produce **bit-identical tokens and
+//! logits** to an uninterrupted legacy `Session` run — across random
+//! preemption points (driven by pool pressure), shared-prefix sharers
+//! among the victims, and both runtime thread counts — while recomputing
+//! **zero** prefill tokens (the waste `RestartRecompute` pays).
+
+use oaken_core::{KvQuantizer, OakenConfig};
+use oaken_eval::harness::profile_oaken;
+use oaken_model::{sample_greedy, Model, ModelConfig, PagedKvPool, QuantizedCache, Session};
+use oaken_serving::{
+    AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, EngineStats, PreemptPolicy,
+    TokenScheduler,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn tiny_model() -> Model {
+    Model::synthetic(ModelConfig::llama2_7b().proxy(2, 32), 7)
+}
+
+fn profiled_oaken(model: &Model) -> Arc<dyn KvQuantizer> {
+    Arc::new(profile_oaken(model, OakenConfig::default(), 6, 8, 5))
+}
+
+/// Greedy reference decode through the legacy single-sequence `Session` —
+/// the never-preempted run every engine output is held against.
+fn reference_decode(
+    model: &Model,
+    quantizer: Option<Arc<dyn KvQuantizer>>,
+    prompt: &[u32],
+    max_new: usize,
+) -> (Vec<u32>, Vec<Vec<f32>>) {
+    let mut session: Session = match quantizer {
+        Some(q) => model.session(Box::new(QuantizedCache::new(q))),
+        None => model.session(Box::new(oaken_model::ExactCache::new())),
+    };
+    let mut logits = session.prefill(prompt);
+    let mut tokens = Vec::new();
+    let mut all_logits = Vec::new();
+    for _ in 0..max_new {
+        let tok = sample_greedy(&logits);
+        tokens.push(tok);
+        all_logits.push(logits.clone());
+        if tokens.len() == max_new {
+            break;
+        }
+        logits = session.advance(tok);
+    }
+    (tokens, all_logits)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_swap_engine(
+    model: &Model,
+    quantizer: Option<Arc<dyn KvQuantizer>>,
+    requests: &[(Vec<u32>, usize)],
+    max_batch: usize,
+    num_pages: u32,
+    host_pages: u32,
+    block_tokens: usize,
+    num_threads: usize,
+) -> (Vec<oaken_serving::FinishedRequest>, EngineStats) {
+    let mut pool = PagedKvPool::for_model(model.config(), quantizer, num_pages, 512);
+    pool.set_block_tokens(block_tokens);
+    pool.set_host_pages(host_pages);
+    let mut engine = BatchEngine::new(
+        model,
+        pool,
+        TokenScheduler::new(4),
+        EngineConfig {
+            max_batch,
+            admission: AdmissionPolicy::PromptOnly,
+            preempt: PreemptPolicy::SwapToHost,
+            record_logits: true,
+            prefill_token_budget: 16,
+            num_threads,
+        },
+    );
+    for (id, (prompt, max_new)) in requests.iter().enumerate() {
+        engine.submit(EngineRequest::new(id as u64, prompt.clone(), *max_new));
+    }
+    engine.run();
+    let mut fin = engine.finished().to_vec();
+    fin.sort_by_key(|f| f.id);
+    (fin, *engine.stats())
+}
+
+/// Checks every *completed* request against an uninterrupted `Session`
+/// run. `require_complete` additionally demands that nothing was dropped
+/// (fixed-geometry tests); random tight pools may legitimately shed a
+/// request whose worst-case one-token bound exceeds even an empty device
+/// (the conservative safety drop inherited from the restart engine).
+fn assert_matches_reference(
+    model: &Model,
+    quantizer: &Option<Arc<dyn KvQuantizer>>,
+    requests: &[(Vec<u32>, usize)],
+    fin: &[oaken_serving::FinishedRequest],
+    require_complete: bool,
+    ctx: &str,
+) {
+    for f in fin {
+        let (prompt, max_new) = &requests[f.id as usize];
+        if !f.completed {
+            assert!(
+                !require_complete,
+                "{ctx}: request {} must complete (prompt {}, max_new {})",
+                f.id,
+                prompt.len(),
+                max_new
+            );
+            continue;
+        }
+        let (ref_tokens, ref_logits) = reference_decode(model, quantizer.clone(), prompt, *max_new);
+        assert_eq!(
+            f.generated, ref_tokens,
+            "{ctx}: request {} tokens diverged from the uninterrupted Session",
+            f.id
+        );
+        assert_eq!(f.logits.len(), ref_logits.len(), "{ctx}: logits count");
+        for (i, (x, y)) in f.logits.iter().zip(&ref_logits).enumerate() {
+            let xb: Vec<u32> = x.iter().map(|v| v.to_bits()).collect();
+            let yb: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                xb, yb,
+                "{ctx}: request {} logits diverged at decode step {i}",
+                f.id
+            );
+        }
+    }
+}
+
+/// The acceptance test of the two-tier refactor: a pool sized to force
+/// preemption, victims that *share trie prefixes*, both thread counts.
+/// The swap run must (a) actually swap, (b) recompute zero prefill
+/// tokens, (c) stay bit-exact with never-preempted `Session` runs — and
+/// the same workload under `RestartRecompute` must pay a nonzero
+/// recompute bill.
+#[test]
+fn swapped_sharers_resume_bit_exactly_with_zero_recompute() {
+    let model = tiny_model();
+    let quantizer = Some(profiled_oaken(&model));
+    // Four requests sharing one 8-token system prompt (two 4-token trie
+    // blocks, ~50 pinned pages once sealed) with unique tails and long
+    // decodes. The 230-page pool holds roughly two decoding sequences
+    // next to the shared blocks: admission overcommits (host headroom),
+    // and decode growth preempts *loaded* victims mid-stream while their
+    // shared blocks are live — the exact interleaving suspend/resume must
+    // survive bit-exactly.
+    let shared: Vec<u32> = (0..8).map(|i| 100 + i).collect();
+    let requests: Vec<(Vec<u32>, usize)> = (0..4u32)
+        .map(|r| {
+            let mut p = shared.clone();
+            p.extend((0..3).map(|i| (r * 31 + i * 7) % 256));
+            (p, 160)
+        })
+        .collect();
+    for threads in [1usize, 4] {
+        let (fin, stats) = run_swap_engine(
+            &model,
+            quantizer.clone(),
+            &requests,
+            4,
+            230,
+            460,
+            4,
+            threads,
+        );
+        assert!(
+            stats.preemptions > 0,
+            "{threads} threads: the pool must be tight enough to preempt: {stats:?}"
+        );
+        assert!(stats.swap_outs > 0, "{threads} threads: {stats:?}");
+        assert_eq!(
+            stats.swap_outs, stats.swap_ins,
+            "{threads} threads: every suspension resumed"
+        );
+        assert_eq!(
+            stats.recomputed_prefill_tokens, 0,
+            "{threads} threads: swap must never recompute: {stats:?}"
+        );
+        // The victims genuinely share prefix storage: concurrent prefills
+        // dedup at seal time (or later admissions hit the trie outright).
+        assert!(
+            stats.prefix.trie_hits + stats.prefix.seal_dedups > 0,
+            "victims must share trie prefixes: {stats:?}"
+        );
+        assert_eq!(stats.resume_restarts, 0, "no resume may wedge: {stats:?}");
+        assert!(
+            stats.swap_bytes_to_host > 0,
+            "mid-decode victims carry real payload: {stats:?}"
+        );
+        assert_matches_reference(
+            &model,
+            &quantizer,
+            &requests,
+            &fin,
+            true,
+            &format!("{threads} threads"),
+        );
+    }
+    // The restart policy on the identical workload pays recompute.
+    let mut pool = PagedKvPool::for_model(model.config(), quantizer.clone(), 230, 512);
+    pool.set_block_tokens(4);
+    let mut engine = BatchEngine::new(
+        &model,
+        pool,
+        TokenScheduler::new(4),
+        EngineConfig {
+            max_batch: 4,
+            admission: AdmissionPolicy::PromptOnly,
+            preempt: PreemptPolicy::RestartRecompute,
+            record_logits: false,
+            prefill_token_budget: 16,
+            ..EngineConfig::default()
+        },
+    );
+    for (id, (prompt, max_new)) in requests.iter().enumerate() {
+        engine.submit(EngineRequest::new(id as u64, prompt.clone(), *max_new));
+    }
+    engine.run();
+    let restart = engine.stats();
+    assert!(restart.preemptions > 0, "{restart:?}");
+    assert!(
+        restart.recomputed_prefill_tokens > 0,
+        "restart must recompute what swap moves: {restart:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random workloads over tight pools: random request shapes, shared
+    /// overlaps, pool/host sizes, and thread counts (1 and 4) drive
+    /// preemption at arbitrary points — prefill, decode, multiple times
+    /// per request — and every completed output must be bit-identical to
+    /// an uninterrupted `Session` run, with zero recomputed prefill
+    /// tokens and balanced page accounting.
+    #[test]
+    fn random_swap_schedules_stay_bit_exact(
+        shapes in prop::collection::vec((2usize..10, 4usize..24, 0u32..1000), 2..5),
+        shared_len in 0usize..8,
+        pages in 72u32..160,
+        threads in prop::sample::select(vec![1usize, 4]),
+    ) {
+        // Host sized so no suspension ever falls back to restart (the
+        // fallback path is covered by the engine's unit tests; here the
+        // zero-recompute claim must hold unconditionally).
+        let host_pages = 2 * pages;
+        let model = tiny_model();
+        let quantizer = Some(profiled_oaken(&model));
+        let shared: Vec<u32> = (0..shared_len as u32).map(|i| 200 + i).collect();
+        let requests: Vec<(Vec<u32>, usize)> = shapes
+            .iter()
+            .map(|&(plen, max_new, salt)| {
+                let mut p = shared.clone();
+                p.extend((0..plen as u32).map(|i| (salt + i * 13) % 256));
+                (p, max_new)
+            })
+            .collect();
+        let (fin, stats) = run_swap_engine(
+            &model,
+            quantizer.clone(),
+            &requests,
+            3,
+            pages,
+            host_pages,
+            4,
+            threads,
+        );
+        // Zero-recompute holds exactly when every preemption swapped
+        // (host never filled: preemptions == swap_outs) and no resume had
+        // to be converted back to a restart (the liveness escape hatch on
+        // pathologically tight pools, where tiny-block trie pins exceed
+        // the device).
+        if stats.preemptions == stats.swap_outs && stats.resume_restarts == 0 {
+            prop_assert_eq!(
+                stats.recomputed_prefill_tokens,
+                0,
+                "pure-swap schedules must never recompute prefill (stats {:?})",
+                stats
+            );
+        }
+        // The hard contract is unconditional: whatever mix of swap,
+        // fallback restart, and resume conversion the schedule produced,
+        // every completed request is bit-identical to an uninterrupted
+        // Session run.
+        assert_matches_reference(
+            &model,
+            &quantizer,
+            &requests,
+            &fin,
+            false,
+            &format!("pages {pages}, host {host_pages}, {threads} threads"),
+        );
+    }
+}

@@ -4,7 +4,8 @@
 //! simulator — with chunked prefill and copy-on-write prefix sharing.
 //!
 //! Run with: `cargo run --release --example serve [-- --smoke]
-//! [--prefix-overlap <0..100>] [--threads <N>]`
+//! [--prefix-overlap <0..100>] [--threads <N>] [--preempt restart|swap]
+//! [--host-pages <N>]`
 //!
 //! * `--smoke` is the CI wiring: tiny workload, ~2 decode tokens per
 //!   request.
@@ -14,13 +15,19 @@
 //! * `--threads N` sizes the engine's deterministic fork-join runtime
 //!   (default: `OAKEN_THREADS` or the machine's available parallelism;
 //!   `1` reproduces the single-threaded engine bit for bit).
+//! * `--preempt {restart,swap}` picks the preemption policy: `restart`
+//!   evicts and recomputes (vLLM-style), `swap` suspends to the host
+//!   tier and resumes bit-exactly with zero recompute (default: the
+//!   `OAKEN_PREEMPT` env knob, falling back to `restart`).
+//! * `--host-pages N` sizes the host swap tier in pages (default: the
+//!   device page count; `0` disables swapping entirely).
 
 use oaken::core::OakenConfig;
 use oaken::eval::harness::profile_oaken;
 use oaken::model::{Model, ModelConfig, PagedKvPool};
 use oaken::serving::{
-    synthesize_requests, AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, Request,
-    TokenScheduler, TraceSpec,
+    synthesize_requests, AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, PreemptPolicy,
+    Request, TokenScheduler, TraceSpec,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -42,6 +49,21 @@ fn main() {
         .map(|v| v.parse().expect("--threads takes a positive integer"))
         .unwrap_or_else(oaken::runtime::default_threads);
     assert!(num_threads > 0, "--threads takes a positive integer");
+    let preempt = args
+        .iter()
+        .position(|a| a == "--preempt")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| match v.as_str() {
+            "restart" => PreemptPolicy::RestartRecompute,
+            "swap" => PreemptPolicy::SwapToHost,
+            other => panic!("--preempt takes restart|swap, got {other:?}"),
+        })
+        .unwrap_or_else(PreemptPolicy::default_policy);
+    let host_pages: Option<u32> = args
+        .iter()
+        .position(|a| a == "--host-pages")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--host-pages takes a page count"));
     let spec = TraceSpec::conversation();
 
     // A proxy model small enough to execute for real; trace lengths are
@@ -73,16 +95,24 @@ fn main() {
     let pages = if smoke { 512 } else { 2048 };
     let mut pool = PagedKvPool::for_model(model.config(), Some(quantizer), pages, 1024);
     pool.set_block_tokens(8);
+    if let Some(h) = host_pages {
+        pool.set_host_pages(h);
+    }
     println!(
         "replaying `{}` (scaled 1/{scale}, {overlap_pct}% shared prefix) through the executed engine:",
         spec.name
     );
     println!(
-        "  model {} | pool {pages} pages x {} B | block {} tokens | {} requests | {num_threads} threads\n",
+        "  model {} | pool {pages} pages x {} B | host tier {} pages | block {} tokens | {} requests\n  preempt {} | {num_threads} threads\n",
         model.config().name,
         pool.page_size(),
+        pool.host_capacity_pages(),
         pool.block_tokens(),
-        requests.len()
+        requests.len(),
+        match preempt {
+            PreemptPolicy::RestartRecompute => "restart-recompute",
+            PreemptPolicy::SwapToHost => "swap-to-host",
+        },
     );
     let mut engine = BatchEngine::new(
         &model,
@@ -91,6 +121,7 @@ fn main() {
         EngineConfig {
             max_batch: if smoke { 2 } else { 8 },
             admission: AdmissionPolicy::PromptOnly,
+            preempt,
             record_logits: false,
             prefill_token_budget: 16,
             num_threads,
@@ -126,6 +157,22 @@ fn main() {
     );
     println!("{:>22}  {}", "shared pages peak", stats.shared_pages_peak);
     println!("{:>22}  {}", "pages in use peak", stats.pages_in_use_peak);
+    println!("{:>22}  {}", "swap outs", stats.swap_outs);
+    println!("{:>22}  {}", "swap ins", stats.swap_ins);
+    println!("{:>22}  {}", "swap bytes to host", stats.swap_bytes_to_host);
+    println!(
+        "{:>22}  {}",
+        "swap bytes to device", stats.swap_bytes_to_device
+    );
+    println!(
+        "{:>22}  {:.1} iters",
+        "mean resume latency",
+        stats.mean_resume_latency()
+    );
+    println!(
+        "{:>22}  {}",
+        "recomputed prefill", stats.recomputed_prefill_tokens
+    );
     println!(
         "{:>22}  {:.2}",
         "mean core util",
