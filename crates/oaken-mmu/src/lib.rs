@@ -50,12 +50,14 @@
 
 pub mod alloc;
 pub mod burst;
+pub mod fault;
 pub mod stream;
 pub mod swap;
 pub mod table;
 
 pub use alloc::{AllocError, PageAllocator, PageId};
 pub use burst::{plan_bursts, BurstPlan};
+pub use fault::{FaultInjector, FaultKind, FaultOp, FaultPlan, FaultStats};
 pub use stream::{MmuSim, StreamClass, StreamKey, WriteReceipt};
 pub use swap::{Residency, SwapError, SwapPool, SwapReceipt, SwapStats};
 pub use table::{StreamTable, TableEntry};

@@ -9,6 +9,7 @@
 
 use crate::alloc::{AllocError, PageAllocator, PageId};
 use crate::burst::{plan_bursts, BurstPlan};
+use crate::fault::{FaultInjector, FaultKind, FaultOp, FaultPlan, FaultStats};
 use crate::swap::{FrozenRequest, FrozenStream, Residency, SwapError, SwapPool, SwapReceipt};
 use crate::table::{StreamTable, TableEntry};
 use crate::PhysAddr;
@@ -72,6 +73,10 @@ pub struct MmuSim {
     streams: HashMap<StreamKey, Stream>,
     /// The host tier; `None` until [`MmuSim::attach_host_tier`].
     host: Option<SwapPool>,
+    /// Installed fault schedule; `None` (the default) disables injection
+    /// entirely — [`poll_fault`](Self::poll_fault) is then a single
+    /// discriminant check.
+    faults: Option<FaultInjector>,
 }
 
 impl MmuSim {
@@ -82,12 +87,44 @@ impl MmuSim {
             allocator: PageAllocator::new(num_pages, page_size),
             streams: HashMap::new(),
             host: None,
+            faults: None,
         }
     }
 
     /// The backing allocator (read-only view).
     pub fn allocator(&self) -> &PageAllocator {
         &self.allocator
+    }
+
+    /// Installs a deterministic fault schedule (see [`crate::fault`]).
+    /// Replaces any previous schedule, resetting its attempt counters.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultInjector::new(plan));
+    }
+
+    /// Removes the fault schedule; subsequent polls always pass.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Whether a fault schedule is installed.
+    pub fn faults_active(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Counters over the faults injected so far (zero when no schedule
+    /// was ever installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats()).unwrap_or_default()
+    }
+
+    /// Polls the installed schedule for one attempt of `op` — `None`
+    /// (always, when no schedule is installed) means proceed; `Some`
+    /// means the caller must fail the operation without mutating state.
+    /// Callers sit at pre-check boundaries, so a faulted operation is a
+    /// no-op by construction.
+    pub fn poll_fault(&mut self, op: FaultOp) -> Option<FaultKind> {
+        self.faults.as_mut()?.poll(op)
     }
 
     /// Attaches (or resizes) a host tier of `host_pages` pages, enabling

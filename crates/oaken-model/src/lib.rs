@@ -69,7 +69,7 @@ pub use cache::{
 pub use config::{ModelConfig, MoeConfig, Positional};
 pub use ffn::{DenseFfn, FfnWeights};
 pub use model::{BatchKvObserver, BatchStep, KvObserver, LayerWeights, Model, Session};
-pub use oaken_mmu::{Residency, SwapReceipt, SwapStats};
+pub use oaken_mmu::{FaultKind, FaultOp, FaultPlan, FaultStats, Residency, SwapReceipt, SwapStats};
 pub use pool::{
     PageAccounting, PagedKvPool, PoolBatchView, PoolError, PrefixAlloc, SeqId, SeqRowAppend,
 };

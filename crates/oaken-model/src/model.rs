@@ -486,12 +486,16 @@ impl Model {
         let groups = rt.map(steps.len() * nk, |t| {
             let (i, kvh) = (t / nk, t % nk);
             let (keys, values) = &snaps[&steps[i].slot];
-            let visible = seq_lens[i] * kv_dim;
+            // Clamp to what the cache actually holds: a poisoned slot
+            // (failed append, see `PoolBatchView`) has fewer rows than
+            // the Phase-A prediction; on the fault-free path the two are
+            // always equal, so the clamp is bit-exact there.
+            let visible = (seq_lens[i] * kv_dim).min(keys.len());
             attend_kv_group(
                 &qs[i],
                 &keys[..visible],
                 &values[..visible],
-                seq_lens[i],
+                visible / kv_dim,
                 shape,
                 kvh,
             )

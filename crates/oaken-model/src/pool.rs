@@ -114,7 +114,10 @@ use crate::cache::{BatchAppend, BatchKvCache, KindSlot};
 use crate::config::ModelConfig;
 use crate::trie::{PrefixStats, PrefixTrie, TrieBlock};
 use oaken_core::{KvKind, KvQuantizer};
-use oaken_mmu::{MmuSim, StreamClass, StreamKey, SwapReceipt, SwapStats};
+use oaken_mmu::{
+    FaultKind, FaultOp, FaultPlan, FaultStats, MmuSim, StreamClass, StreamKey, SwapReceipt,
+    SwapStats,
+};
 use oaken_runtime::{Runtime, UnsafeSlice};
 use std::collections::HashMap;
 use std::fmt;
@@ -148,6 +151,16 @@ pub enum PoolError {
         /// Host pages currently free.
         free: u32,
     },
+    /// The installed [`FaultPlan`] injected a fault at this operation's
+    /// pre-check boundary: nothing was mutated. Transient faults are
+    /// retry-able; persistent ones keep failing for the plan's burst
+    /// length and callers should degrade instead.
+    Fault {
+        /// The faulted operation class.
+        op: FaultOp,
+        /// Transient (retry-able) or persistent (degrade).
+        kind: FaultKind,
+    },
 }
 
 impl fmt::Display for PoolError {
@@ -164,6 +177,9 @@ impl fmt::Display for PoolError {
                     f,
                     "suspend needs {needed} host pages but only {free} are free"
                 )
+            }
+            PoolError::Fault { op, kind } => {
+                write!(f, "injected {kind} fault on {op}")
             }
         }
     }
@@ -597,6 +613,27 @@ impl PagedKvPool {
             .map_or_else(SwapStats::default, |h| h.stats())
     }
 
+    /// Installs a deterministic fault schedule on the underlying MMU (see
+    /// [`oaken_mmu::fault`]): appends, suspends, and resumes then poll it
+    /// at their pre-check boundaries and surface [`PoolError::Fault`]
+    /// without mutating any state. No schedule is installed by default
+    /// and the hook is a single `Option` check when disabled.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.mmu.install_faults(plan);
+    }
+
+    /// Whether a fault schedule is installed. The batched append path
+    /// degrades to the serial per-item loop while faults are active, so
+    /// the injection schedule is independent of the thread count.
+    pub fn faults_active(&self) -> bool {
+        self.mmu.faults_active()
+    }
+
+    /// Counters over the faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.mmu.fault_stats()
+    }
+
     /// Sequences currently suspended to host.
     pub fn suspended_seqs(&self) -> usize {
         self.suspended.len()
@@ -1026,12 +1063,20 @@ impl PagedKvPool {
     /// [`PoolError::UnknownSequence`] for a freed handle,
     /// [`PoolError::OutOfHostPages`] when the host tier cannot hold the
     /// sequence's private pages (callers fall back to
-    /// evict-and-recompute).
+    /// evict-and-recompute), [`PoolError::Fault`] when the installed
+    /// fault schedule fails the host charge or the transfer.
     pub fn suspend_seq(&mut self, seq: SeqId) -> Result<SwapReceipt, PoolError> {
-        let state = self
-            .seqs
-            .get(&seq.0)
-            .ok_or(PoolError::UnknownSequence { seq })?;
+        if !self.seqs.contains_key(&seq.0) {
+            return Err(PoolError::UnknownSequence { seq });
+        }
+        // Suspension charges the host tier and runs a device → host
+        // transfer: both are injectable, polled before anything mutates.
+        for op in [FaultOp::HostAlloc, FaultOp::SwapOut] {
+            if let Some(kind) = self.mmu.poll_fault(op) {
+                return Err(PoolError::Fault { op, kind });
+            }
+        }
+        let state = self.seqs.get(&seq.0).expect("checked above");
         let host_free = self.host_free_pages();
         if state.pages > host_free {
             return Err(PoolError::OutOfHostPages {
@@ -1072,12 +1117,22 @@ impl PagedKvPool {
     /// [`PoolError::UnknownSequence`] when the handle is not suspended,
     /// [`PoolError::OutOfPages`] when the device lacks the frozen page
     /// count — the sequence then stays on host and the caller retries
-    /// after pages free.
+    /// after pages free — and [`PoolError::Fault`] when the installed
+    /// fault schedule fails the transfer (the sequence also stays on
+    /// host; callers retry with backoff, then degrade to a restart).
     pub fn resume_seq(&mut self, seq: SeqId) -> Result<SwapReceipt, PoolError> {
-        let entry = self
-            .suspended
-            .get(&seq.0)
-            .ok_or(PoolError::UnknownSequence { seq })?;
+        if !self.suspended.contains_key(&seq.0) {
+            return Err(PoolError::UnknownSequence { seq });
+        }
+        // The resume runs a host → device transfer: injectable, polled
+        // before anything mutates (the sequence stays frozen on `Err`).
+        if let Some(kind) = self.mmu.poll_fault(FaultOp::SwapIn) {
+            return Err(PoolError::Fault {
+                op: FaultOp::SwapIn,
+                kind,
+            });
+        }
+        let entry = self.suspended.get(&seq.0).expect("checked above");
         let needed = entry.frozen_pages;
         let free = self.free_pages();
         if needed > free {
@@ -1141,7 +1196,8 @@ impl PagedKvPool {
     ///
     /// [`PoolError::UnknownSequence`] for a freed handle,
     /// [`PoolError::OutOfPages`] when the worst-case page bound exceeds
-    /// the free pages.
+    /// the free pages, [`PoolError::Fault`] when the installed fault
+    /// schedule fails an allocating append.
     ///
     /// # Panics
     ///
@@ -1163,6 +1219,17 @@ impl PagedKvPool {
             let pos = state.slots[layer][kind_index(kind)].rows;
             let owner = self.owner_for_pos(state, seq.0, pos);
             needed += self.stream_set_pages_needed(owner, layer, kind, 1);
+        }
+        if needed > 0 {
+            // The append would allocate: poll the fault schedule before
+            // anything mutates (appends that fit the page tails are not
+            // allocation events and never fault).
+            if let Some(kind) = self.mmu.poll_fault(FaultOp::DeviceAlloc) {
+                return Err(PoolError::Fault {
+                    op: FaultOp::DeviceAlloc,
+                    kind,
+                });
+            }
         }
         let free = self.free_pages();
         if needed > free {
@@ -1254,6 +1321,7 @@ impl PagedKvPool {
         items: &[SeqRowAppend<'_>],
     ) -> Result<(), PoolError> {
         self.append_batch_with(rt, layer, items.len(), &|i| items[i])
+            .map_err(|(_, e)| e)
     }
 
     /// [`PagedKvPool::append_batch`] over an item *accessor* instead of a
@@ -1263,26 +1331,36 @@ impl PagedKvPool {
     /// whole engine append path allocation-free in steady state.
     ///
     /// `get(i)` must be pure (it is called more than once per item).
+    ///
+    /// # Errors
+    ///
+    /// As [`PagedKvPool::append`], tagged with the index of the failing
+    /// item so adapters can contain the failure to one batch slot; like
+    /// the serial loop, items before the failing one remain applied and
+    /// items after it were not attempted.
     pub fn append_batch_with<'a>(
         &mut self,
         rt: &Runtime,
         layer: usize,
         n_items: usize,
         get: &(dyn Fn(usize) -> SeqRowAppend<'a> + Sync),
-    ) -> Result<(), PoolError> {
+    ) -> Result<(), (usize, PoolError)> {
         for i in 0..n_items {
             let it = get(i);
             assert_eq!(it.k.len(), self.kv_dim, "key width mismatch");
             assert_eq!(it.v.len(), self.kv_dim, "value width mismatch");
         }
-        let serial = |pool: &mut Self| -> Result<(), PoolError> {
+        let serial = |pool: &mut Self| -> Result<(), (usize, PoolError)> {
             for i in 0..n_items {
                 let it = get(i);
-                pool.append(it.seq, layer, it.k, it.v)?;
+                pool.append(it.seq, layer, it.k, it.v).map_err(|e| (i, e))?;
             }
             Ok(())
         };
-        if rt.is_serial() || n_items < 2 {
+        if rt.is_serial() || n_items < 2 || self.mmu.faults_active() {
+            // Faults force the serial loop: every item polls the
+            // schedule individually in item order, so the injection
+            // sequence is identical at every thread count.
             return serial(self);
         }
         // Consecutive same-sequence runs; any irregularity (unknown
@@ -1692,27 +1770,56 @@ fn rows_to_pages(tail_free: usize, rows: usize, bound: usize, page: usize) -> u3
 /// mapping for one engine iteration, implementing [`BatchKvCache`] for
 /// [`crate::Model::forward_batch`].
 ///
-/// Appends panic on pool exhaustion: the scheduler must reserve capacity
-/// with [`PagedKvPool::pages_possibly_needed_n`] (and preempt) *before*
-/// the forward pass, so a mid-token allocation failure is an engine bug,
-/// not a recoverable condition.
+/// Appends never panic: a failing append — an injected
+/// [`PoolError::Fault`], or pool exhaustion despite the scheduler's
+/// [`PagedKvPool::pages_possibly_needed_n`] reservation — **poisons** its
+/// batch slot instead. A poisoned slot's later appends are skipped (its
+/// cached state stays exactly as of the failure, so reads remain
+/// self-consistent) while every other slot proceeds untouched; the engine
+/// drains [`take_poisoned`](Self::take_poisoned) after the forward pass
+/// and quarantines the offending sequences. The poison list is an empty
+/// `Vec` on the fault-free path, so the steady state stays
+/// allocation-free.
 pub struct PoolBatchView<'p> {
     pool: &'p mut PagedKvPool,
     seqs: &'p [SeqId],
+    /// `(slot, error)` per poisoned slot, in failure order.
+    poisoned: Vec<(usize, PoolError)>,
 }
 
 impl<'p> PoolBatchView<'p> {
     /// Creates a view where batch slot `i` maps to `seqs[i]`.
     pub fn new(pool: &'p mut PagedKvPool, seqs: &'p [SeqId]) -> Self {
-        Self { pool, seqs }
+        Self {
+            pool,
+            seqs,
+            poisoned: Vec::new(),
+        }
+    }
+
+    /// Whether `slot` failed an append this iteration.
+    fn slot_poisoned(&self, slot: usize) -> bool {
+        self.poisoned.iter().any(|&(s, _)| s == slot)
+    }
+
+    /// Drains the `(slot, error)` pairs of every slot whose append failed
+    /// this iteration (empty on the fault-free path). The caller owns the
+    /// containment: each poisoned slot's sequence holds a partially
+    /// appended token (never sealed into the trie — sealing requires all
+    /// layers complete) and must be torn down or restarted.
+    pub fn take_poisoned(&mut self) -> Vec<(usize, PoolError)> {
+        std::mem::take(&mut self.poisoned)
     }
 }
 
 impl BatchKvCache for PoolBatchView<'_> {
     fn append(&mut self, slot: usize, layer: usize, k: &[f32], v: &[f32]) {
-        self.pool
-            .append(self.seqs[slot], layer, k, v)
-            .expect("scheduler reserves pages before the iteration");
+        if self.slot_poisoned(slot) {
+            return;
+        }
+        if let Err(e) = self.pool.append(self.seqs[slot], layer, k, v) {
+            self.poisoned.push((slot, e));
+        }
     }
 
     fn seq_len(&self, slot: usize, layer: usize) -> usize {
@@ -1732,20 +1839,35 @@ impl BatchKvCache for PoolBatchView<'_> {
     }
 
     fn append_batch(&mut self, rt: &Runtime, layer: usize, items: &[BatchAppend<'_>]) {
+        if self.pool.faults_active() || !self.poisoned.is_empty() {
+            // Per-item appends: each item polls the fault schedule in
+            // item order (thread-count-independent injection) and a
+            // failure poisons exactly its own slot.
+            for it in items {
+                self.append(it.slot, layer, it.k, it.v);
+            }
+            return;
+        }
         // Accessor form: translate slot → sequence on the fly instead of
         // materializing a mapped item list (this adapter sits on the
         // steady-state allocation-free append path).
         let seqs = self.seqs;
-        self.pool
-            .append_batch_with(rt, layer, items.len(), &|i| {
-                let it = &items[i];
-                SeqRowAppend {
-                    seq: seqs[it.slot],
-                    k: it.k,
-                    v: it.v,
-                }
-            })
-            .expect("scheduler reserves pages before the iteration");
+        if let Err((i, e)) = self.pool.append_batch_with(rt, layer, items.len(), &|i| {
+            let it = &items[i];
+            SeqRowAppend {
+                seq: seqs[it.slot],
+                k: it.k,
+                v: it.v,
+            }
+        }) {
+            // Items before `i` were applied, item `i` failed atomically:
+            // poison its slot and finish the rest one by one so the
+            // failure stays contained to a single sequence.
+            self.poisoned.push((items[i].slot, e));
+            for it in &items[i + 1..] {
+                self.append(it.slot, layer, it.k, it.v);
+            }
+        }
     }
 }
 

@@ -43,10 +43,26 @@
 
 use crate::scheduler::TokenScheduler;
 use oaken_model::{
-    sample_greedy, BatchStep, Model, PagedKvPool, PoolBatchView, PoolError, PrefixStats, SeqId,
+    sample_greedy, BatchStep, FaultKind, FaultPlan, Model, PagedKvPool, PoolBatchView, PoolError,
+    PrefixStats, SeqId,
 };
 use oaken_runtime::Runtime;
 use std::collections::VecDeque;
+
+/// Times a swap-out is retried after an injected transient fault before
+/// the victim demotes to evict-and-restart. Persistent faults demote
+/// immediately (retrying inside the burst is futile by construction).
+const SWAP_OUT_RETRY_LIMIT: u32 = 3;
+
+/// Failed resume attempts a suspended sequence may accumulate before it
+/// demotes to evict-and-restart. Between attempts the sequence backs off
+/// for `2^attempts` iterations — deterministic scheduler time, never
+/// wall-clock, so runs replay bit-exactly.
+const SWAP_IN_RETRY_LIMIT: u32 = 3;
+
+/// Times a request may be torn down and restarted after transient append
+/// faults before it fails for good.
+const FAULT_RESTART_LIMIT: u32 = 3;
 
 /// One serving request with real token content: a prompt to prefill and a
 /// number of tokens to greedily decode.
@@ -205,6 +221,20 @@ pub struct EngineConfig {
     /// [`oaken_runtime::default_threads`] (`OAKEN_THREADS` or the
     /// machine's available parallelism).
     pub num_threads: usize,
+    /// Deterministic fault schedule installed into the pool's MMU at
+    /// engine construction (see [`oaken_model::FaultPlan`]). **Always
+    /// `None` by default** — including under the `OAKEN_FAULTS` env knob,
+    /// which only the serve example and the chaos tests consult — so the
+    /// hooks are inert and the engine is bit-identical to a build without
+    /// them unless a plan is passed explicitly.
+    pub fault_plan: Option<FaultPlan>,
+    /// Per-request deadline: a request that has been in flight (active,
+    /// suspended, or requeued after preemption) for this many engine
+    /// iterations since its first admission is killed with
+    /// [`RequestOutcome::DeadlineExceeded`], its resources torn down
+    /// through the same audited path as retirement. `None` (the default)
+    /// disables the sweep.
+    pub max_iterations: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -216,8 +246,45 @@ impl Default for EngineConfig {
             record_logits: false,
             prefill_token_budget: 16,
             num_threads: oaken_runtime::default_threads(),
+            fault_plan: None,
+            max_iterations: None,
         }
     }
+}
+
+/// Why a request failed — the payload of [`RequestOutcome::Failed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestFailure {
+    /// The request can never complete: its non-shared footprint exceeds
+    /// the whole pool, its total length exceeds the model's
+    /// `max_seq_len`, or even alone it cannot take one more token.
+    Impossible,
+    /// A pool operation failed mid-flight and the retry/demotion budget
+    /// is exhausted; carries the final error.
+    Pool(PoolError),
+}
+
+impl std::fmt::Display for RequestFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestFailure::Impossible => write!(f, "request can never fit the pool"),
+            RequestFailure::Pool(e) => write!(f, "pool operation failed: {e}"),
+        }
+    }
+}
+
+/// Terminal state of a request. Every submitted request reaches exactly
+/// one of these — the containment guarantee the chaos property tests pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Every requested token was generated.
+    Finished,
+    /// Dropped: impossible, or a contained failure out of retries.
+    Failed(RequestFailure),
+    /// Cancelled via [`BatchEngine::cancel`].
+    Cancelled,
+    /// Killed by the [`EngineConfig::max_iterations`] deadline sweep.
+    DeadlineExceeded,
 }
 
 /// A completed (or failed) request.
@@ -227,18 +294,22 @@ pub struct FinishedRequest {
     pub id: u64,
     /// Prompt length.
     pub prompt_len: usize,
-    /// Greedily decoded tokens (empty for failed requests).
+    /// Greedily decoded tokens (empty for requests that never decoded;
+    /// partial for requests cancelled or killed mid-decode).
     pub generated: Vec<u32>,
     /// Decode-phase logits, present when `record_logits` was set.
     pub logits: Vec<Vec<f32>>,
-    /// `false` when the request could never fit the pool and was dropped.
+    /// `true` exactly when `outcome` is [`RequestOutcome::Finished`]
+    /// (kept alongside it for callers that only care about success).
     pub completed: bool,
     /// Times the request was evicted and restarted.
     pub preemptions: usize,
     /// Engine iteration (1-based) that produced the request's first
-    /// decode token — the time-to-first-token in iterations. 0 for failed
-    /// requests.
+    /// decode token — the time-to-first-token in iterations. 0 for
+    /// requests that never decoded.
     pub ttft_iteration: u64,
+    /// How the request ended.
+    pub outcome: RequestOutcome,
 }
 
 /// Aggregate counters over one engine run.
@@ -297,6 +368,26 @@ pub struct EngineStats {
     /// pages, newly sealed trie blocks pinning the device) — the liveness
     /// escape hatch of the resume queue. 0 on sanely provisioned pools.
     pub resume_restarts: u64,
+    /// Faults injected by the configured [`FaultPlan`] (mirrored from the
+    /// pool's injector; 0 with no plan).
+    pub faults_injected: u64,
+    /// Injected faults absorbed by the containment layer — handled by a
+    /// retry, a demotion, or a request-scoped teardown instead of a
+    /// panic. Equals [`faults_injected`](Self::faults_injected) at the
+    /// end of a run.
+    pub faults_absorbed: u64,
+    /// Operations retried after a transient fault: same-iteration
+    /// swap-out retries, backed-off resume attempts, and whole-request
+    /// restarts after an append fault.
+    pub fault_retries: u64,
+    /// Victims demoted from suspend-and-resume to evict-and-restart —
+    /// because the host tier was full, a swap fault exhausted its
+    /// retries, or a persistent fault made retrying futile.
+    pub demotions: u64,
+    /// Requests cancelled via [`BatchEngine::cancel`].
+    pub cancellations: u64,
+    /// Requests killed by the [`EngineConfig::max_iterations`] deadline.
+    pub deadline_kills: u64,
     /// Sum over generation iterations of the core utilization.
     utilization_sum: f64,
     /// Iterations with at least one decoding sequence — the denominator
@@ -341,6 +432,12 @@ struct QueuedRequest {
     /// fresh requests): model-fed prompt tokens below this mark are
     /// recomputation, the waste `recomputed_prefill_tokens` counts.
     reached: usize,
+    /// Iteration of the request's *first* admission (0 until admitted),
+    /// carried across restarts — the deadline clock.
+    born: u64,
+    /// Teardown-and-restart cycles caused by transient append faults
+    /// (bounded by `FAULT_RESTART_LIMIT`).
+    fault_restarts: u32,
 }
 
 /// A sequence suspended to the host tier, waiting in the resume queue.
@@ -357,6 +454,16 @@ struct SuspendedReq {
     reached: usize,
     /// Iteration the suspension happened in (resume-latency accounting).
     suspended_at: u64,
+    /// See [`QueuedRequest::born`].
+    born: u64,
+    /// See [`QueuedRequest::fault_restarts`].
+    fault_restarts: u32,
+    /// Failed resume attempts so far (injected swap-in faults).
+    retries: u32,
+    /// Earliest iteration the next resume attempt may run: after a
+    /// failed attempt the sequence backs off `2^retries` iterations —
+    /// deterministic scheduler time, so runs replay bit-exactly.
+    retry_at: u64,
 }
 
 struct ActiveSeq {
@@ -371,6 +478,10 @@ struct ActiveSeq {
     ttft_iteration: u64,
     /// See [`QueuedRequest::reached`].
     reached: usize,
+    /// See [`QueuedRequest::born`].
+    born: u64,
+    /// See [`QueuedRequest::fault_restarts`].
+    fault_restarts: u32,
 }
 
 impl ActiveSeq {
@@ -409,7 +520,7 @@ impl<'m> BatchEngine<'m> {
     /// Panics if `max_batch` or `prefill_token_budget` is zero.
     pub fn new(
         model: &'m Model,
-        pool: PagedKvPool,
+        mut pool: PagedKvPool,
         scheduler: TokenScheduler,
         config: EngineConfig,
     ) -> Self {
@@ -419,6 +530,9 @@ impl<'m> BatchEngine<'m> {
             "need at least one prefill token per iteration"
         );
         assert!(config.num_threads > 0, "need at least one thread");
+        if let Some(plan) = config.fault_plan {
+            pool.install_faults(plan);
+        }
         Self {
             model,
             pool,
@@ -451,7 +565,59 @@ impl<'m> BatchEngine<'m> {
             preemptions: 0,
             ttft_iteration: 0,
             reached: 0,
+            born: 0,
+            fault_restarts: 0,
         });
+    }
+
+    /// Cancels a request wherever it is parked — queued, active,
+    /// suspended on host, or waiting in the resume queue — releasing
+    /// every pool resource it owns (private pages, pending blocks, trie
+    /// refcounts, host pages) through the same audited teardown path
+    /// retirement uses. The request finishes with
+    /// [`RequestOutcome::Cancelled`], keeping the tokens it generated so
+    /// far. Returns `false` when `id` is not in flight (unknown or
+    /// already finished).
+    pub fn cancel(&mut self, id: u64) -> bool {
+        if let Some(i) = self.active.iter().position(|a| a.req.id == id) {
+            let a = self.active.remove(i);
+            self.teardown_seq(a.seq, false);
+            self.finish_request(
+                a.req,
+                a.generated,
+                a.logits,
+                a.preemptions,
+                a.ttft_iteration,
+                RequestOutcome::Cancelled,
+            );
+            return true;
+        }
+        if let Some(i) = self.resume.iter().position(|s| s.req.id == id) {
+            let s = self.resume.remove(i).expect("index from position");
+            self.teardown_seq(s.seq, true);
+            self.finish_request(
+                s.req,
+                s.generated,
+                s.logits,
+                s.preemptions,
+                s.ttft_iteration,
+                RequestOutcome::Cancelled,
+            );
+            return true;
+        }
+        if let Some(i) = self.queue.iter().position(|q| q.req.id == id) {
+            let q = self.queue.remove(i).expect("index from position");
+            self.finish_request(
+                q.req,
+                Vec::new(),
+                Vec::new(),
+                q.preemptions,
+                q.ttft_iteration,
+                RequestOutcome::Cancelled,
+            );
+            return true;
+        }
+        false
     }
 
     /// Requests finished so far.
@@ -494,6 +660,7 @@ impl<'m> BatchEngine<'m> {
             return false;
         }
         self.stats.iterations += 1;
+        self.enforce_deadlines();
         let mut stalled = self.admit();
         let plan = self.reserve_capacity();
         if self.active.is_empty() {
@@ -528,6 +695,11 @@ impl<'m> BatchEngine<'m> {
         let logits = self
             .model
             .forward_batch_on(&self.runtime, &mut view, &steps, None);
+        // Slots whose append failed mid-forward (injected fault or — never
+        // on the fault-free path — exhaustion despite the reservation):
+        // their forward output is discarded below and the sequences are
+        // quarantined after the batch bookkeeping.
+        let poisoned = view.take_poisoned();
         self.stats.pages_in_use_peak = self
             .stats
             .pages_in_use_peak
@@ -536,9 +708,14 @@ impl<'m> BatchEngine<'m> {
         let iteration = self.stats.iterations;
         let mut decode_ctx: Vec<f64> = Vec::new();
         let mut idx = 0usize;
-        for (a, &n) in self.active.iter_mut().zip(&plan) {
+        for (slot, (a, &n)) in self.active.iter_mut().zip(&plan).enumerate() {
             let last = &logits[idx + n - 1];
             idx += n;
+            if poisoned.iter().any(|&(s, _)| s == slot) {
+                // The slot's cached state stops at the failure point; do
+                // not advance its cursor or sample from garbage logits.
+                continue;
+            }
             let prompt_len = a.req.prompt.len();
             let fed_prompt = prompt_len.saturating_sub(a.pos).min(n);
             if fed_prompt > 0 {
@@ -574,6 +751,7 @@ impl<'m> BatchEngine<'m> {
             self.stats.utilization_iters += 1;
         }
 
+        self.quarantine_poisoned(&poisoned);
         self.retire();
         // Freed pages refill their slots in the same step.
         stalled |= self.admit();
@@ -596,6 +774,7 @@ impl<'m> BatchEngine<'m> {
             .stats
             .shared_pages_peak
             .max(self.pool.shared_block_pages());
+        self.stats.faults_injected = self.pool.fault_stats().injected;
     }
 
     /// Tokens each active sequence feeds this iteration: decoding
@@ -625,9 +804,9 @@ impl<'m> BatchEngine<'m> {
             .iter()
             .zip(plan)
             .map(|(a, &n)| {
-                self.pool
-                    .pages_possibly_needed_n(a.seq, n)
-                    .expect("active sequences are live in the pool")
+                let p = self.pool.pages_possibly_needed_n(a.seq, n);
+                debug_assert!(p.is_ok(), "active sequences are live in the pool");
+                p.unwrap_or(0)
             })
             .sum();
         needed <= self.pool.free_pages()
@@ -654,18 +833,158 @@ impl<'m> BatchEngine<'m> {
             .sum()
     }
 
-    /// Drops a request that can never (or can no longer) complete.
-    fn fail(&mut self, req: EngineRequest, preemptions: usize) {
-        self.stats.failed += 1;
+    /// The single audited teardown path: releases every pool resource a
+    /// sequence owns. `suspended` selects the pool-side entry point
+    /// (host-tier drop vs. device free). Teardown is best-effort by
+    /// design — a sequence the pool no longer knows is already torn down,
+    /// which only happens on paths that raced a prior teardown; the
+    /// invariant is asserted in debug builds and ignored in release so a
+    /// double-free can never cascade into a panic mid-run.
+    fn teardown_seq(&mut self, seq: SeqId, suspended: bool) {
+        let r = if suspended {
+            self.pool.drop_suspended_seq(seq)
+        } else {
+            self.pool.free_seq(seq)
+        };
+        debug_assert!(r.is_ok(), "teardown of a tracked sequence failed: {r:?}");
+    }
+
+    /// Records a request's terminal state. Every request leaves the engine
+    /// through this single path, whatever the outcome — the bookkeeping
+    /// (`retired`/`failed`/`cancellations`/`deadline_kills`) can therefore
+    /// never drift from the `finished` list.
+    fn finish_request(
+        &mut self,
+        req: EngineRequest,
+        generated: Vec<u32>,
+        logits: Vec<Vec<f32>>,
+        preemptions: usize,
+        ttft_iteration: u64,
+        outcome: RequestOutcome,
+    ) {
+        match outcome {
+            RequestOutcome::Finished => self.stats.retired += 1,
+            RequestOutcome::Failed(_) => self.stats.failed += 1,
+            RequestOutcome::Cancelled => self.stats.cancellations += 1,
+            RequestOutcome::DeadlineExceeded => self.stats.deadline_kills += 1,
+        }
         self.finished.push(FinishedRequest {
             id: req.id,
             prompt_len: req.prompt.len(),
-            generated: Vec::new(),
-            logits: Vec::new(),
-            completed: false,
+            generated,
+            logits,
+            completed: outcome == RequestOutcome::Finished,
             preemptions,
-            ttft_iteration: 0,
+            ttft_iteration,
+            outcome,
         });
+    }
+
+    /// Kills every in-flight request whose deadline clock
+    /// ([`EngineConfig::max_iterations`] iterations since first admission)
+    /// has expired — wherever it is parked. Queued requests that were
+    /// never admitted (`born == 0`) are exempt: their clock has not
+    /// started.
+    fn enforce_deadlines(&mut self) {
+        let Some(limit) = self.config.max_iterations else {
+            return;
+        };
+        let now = self.stats.iterations;
+        let expired = |born: u64| born > 0 && now - born >= limit;
+        let mut i = 0;
+        while i < self.active.len() {
+            if expired(self.active[i].born) {
+                let a = self.active.remove(i);
+                self.teardown_seq(a.seq, false);
+                self.finish_request(
+                    a.req,
+                    a.generated,
+                    a.logits,
+                    a.preemptions,
+                    a.ttft_iteration,
+                    RequestOutcome::DeadlineExceeded,
+                );
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.resume.len() {
+            if expired(self.resume[i].born) {
+                let s = self.resume.remove(i).expect("index in bounds");
+                self.teardown_seq(s.seq, true);
+                self.finish_request(
+                    s.req,
+                    s.generated,
+                    s.logits,
+                    s.preemptions,
+                    s.ttft_iteration,
+                    RequestOutcome::DeadlineExceeded,
+                );
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.queue.len() {
+            if expired(self.queue[i].born) {
+                let q = self.queue.remove(i).expect("index in bounds");
+                self.finish_request(
+                    q.req,
+                    Vec::new(),
+                    Vec::new(),
+                    q.preemptions,
+                    q.ttft_iteration,
+                    RequestOutcome::DeadlineExceeded,
+                );
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Quarantines the sequences whose in-forward append failed: the
+    /// poisoned slot is torn down and — for a transient fault within the
+    /// restart budget — requeued at the front to restart, otherwise
+    /// failed for good. Only the offending sequences are touched; the
+    /// rest of the batch already advanced normally.
+    fn quarantine_poisoned(&mut self, poisoned: &[(usize, PoolError)]) {
+        // Highest slot first so earlier removals don't shift later ones.
+        let mut order: Vec<usize> = (0..poisoned.len()).collect();
+        order.sort_by(|&x, &y| poisoned[y].0.cmp(&poisoned[x].0));
+        for &p in &order {
+            let (slot, ref err) = poisoned[p];
+            let a = self.active.remove(slot);
+            self.teardown_seq(a.seq, false);
+            self.stats.faults_absorbed += 1;
+            let transient = matches!(
+                err,
+                PoolError::Fault {
+                    kind: FaultKind::Transient,
+                    ..
+                }
+            );
+            if transient && a.fault_restarts < FAULT_RESTART_LIMIT {
+                self.stats.fault_retries += 1;
+                self.queue.push_front(QueuedRequest {
+                    req: a.req,
+                    preemptions: a.preemptions,
+                    ttft_iteration: a.ttft_iteration,
+                    reached: a.reached,
+                    born: a.born,
+                    fault_restarts: a.fault_restarts + 1,
+                });
+            } else {
+                self.finish_request(
+                    a.req,
+                    a.generated,
+                    a.logits,
+                    a.preemptions,
+                    a.ttft_iteration,
+                    RequestOutcome::Failed(RequestFailure::Pool(*err)),
+                );
+            }
+        }
     }
 
     /// Resumes suspended sequences from the front of the resume queue
@@ -686,29 +1005,79 @@ impl<'m> BatchEngine<'m> {
     fn resume_suspended(&mut self) -> Option<bool> {
         while self.active.len() < self.config.max_batch {
             let front = self.resume.front()?;
+            if front.retry_at > self.stats.iterations {
+                // Backing off after a failed resume attempt: the head
+                // holds its queue position (strict priority stands) but
+                // fresh admission is not page-stalled by it.
+                return Some(false);
+            }
             let frozen = u64::from(self.pool.suspended_seq_pages(front.seq));
             if frozen + self.committed_pages() > u64::from(self.pool.free_pages()) {
                 if !self.active.is_empty() {
                     return Some(true);
                 }
                 let s = self.resume.pop_front().expect("front exists");
-                self.pool
-                    .drop_suspended_seq(s.seq)
-                    .expect("resume-queued sequences are suspended in the pool");
+                self.teardown_seq(s.seq, true);
                 self.stats.resume_restarts += 1;
                 self.queue.push_front(QueuedRequest {
                     req: s.req,
                     preemptions: s.preemptions,
                     ttft_iteration: s.ttft_iteration,
                     reached: s.reached,
+                    born: s.born,
+                    fault_restarts: s.fault_restarts,
                 });
                 continue;
             }
             let s = self.resume.pop_front().expect("front exists");
-            let receipt = self
-                .pool
-                .resume_seq(s.seq)
-                .expect("headroom checked against the frozen page count");
+            let receipt = match self.pool.resume_seq(s.seq) {
+                Ok(receipt) => receipt,
+                Err(PoolError::Fault { op, kind }) => {
+                    // Injected swap-in fault: the sequence stays frozen on
+                    // the host. Retry after a deterministic exponential
+                    // backoff (scheduler iterations, never wall-clock);
+                    // out of retries, demote to evict-and-restart.
+                    self.stats.faults_absorbed += 1;
+                    let mut s = s;
+                    s.retries += 1;
+                    if s.retries > SWAP_IN_RETRY_LIMIT {
+                        self.teardown_seq(s.seq, true);
+                        self.stats.demotions += 1;
+                        self.stats.resume_restarts += 1;
+                        self.queue.push_front(QueuedRequest {
+                            req: s.req,
+                            preemptions: s.preemptions,
+                            ttft_iteration: s.ttft_iteration,
+                            reached: s.reached,
+                            born: s.born,
+                            fault_restarts: s.fault_restarts,
+                        });
+                        continue;
+                    }
+                    self.stats.fault_retries += 1;
+                    s.retry_at = self.stats.iterations + (1u64 << s.retries);
+                    let _ = (op, kind);
+                    self.resume.push_front(s);
+                    return Some(false);
+                }
+                Err(e) => {
+                    // Resume of a headroom-checked suspended sequence can
+                    // only fail via injection; anything else is an engine
+                    // bug. Contain it as a request failure rather than
+                    // panicking the loop.
+                    debug_assert!(false, "unexpected resume failure: {e}");
+                    self.teardown_seq(s.seq, true);
+                    self.finish_request(
+                        s.req,
+                        s.generated,
+                        s.logits,
+                        s.preemptions,
+                        s.ttft_iteration,
+                        RequestOutcome::Failed(RequestFailure::Pool(e)),
+                    );
+                    continue;
+                }
+            };
             self.stats.swap_ins += 1;
             self.stats.swap_bytes_to_device += receipt.bytes;
             self.stats.resume_latency_iters += self.stats.iterations - s.suspended_at;
@@ -721,6 +1090,8 @@ impl<'m> BatchEngine<'m> {
                 preemptions: s.preemptions,
                 ttft_iteration: s.ttft_iteration,
                 reached: s.reached,
+                born: s.born,
+                fault_restarts: s.fault_restarts,
             });
         }
         if self.resume.is_empty() {
@@ -767,7 +1138,14 @@ impl<'m> BatchEngine<'m> {
                 || front.req.total_tokens() > self.model.config().max_seq_len
             {
                 let q = self.queue.pop_front().expect("front exists");
-                self.fail(q.req, q.preemptions);
+                self.finish_request(
+                    q.req,
+                    Vec::new(),
+                    Vec::new(),
+                    q.preemptions,
+                    q.ttft_iteration,
+                    RequestOutcome::Failed(RequestFailure::Impossible),
+                );
                 continue;
             }
             let reserve = match self.config.admission {
@@ -794,6 +1172,14 @@ impl<'m> BatchEngine<'m> {
                 preemptions: q.preemptions,
                 ttft_iteration: q.ttft_iteration,
                 reached: q.reached,
+                // The deadline clock starts at the *first* admission and
+                // survives restarts.
+                born: if q.born == 0 {
+                    self.stats.iterations
+                } else {
+                    q.born
+                },
+                fault_restarts: q.fault_restarts,
             });
         }
         self.stats.peak_active = self.stats.peak_active.max(self.active.len());
@@ -834,46 +1220,79 @@ impl<'m> BatchEngine<'m> {
                 // at the extreme margin this can drop a request whose
                 // actual encoded rows would still have squeezed into the
                 // page tails — safety over utilization.
-                self.pool
-                    .free_seq(a.seq)
-                    .expect("active sequences are live in the pool");
-                self.fail(a.req, a.preemptions);
+                self.teardown_seq(a.seq, false);
+                self.finish_request(
+                    a.req,
+                    a.generated,
+                    a.logits,
+                    a.preemptions,
+                    a.ttft_iteration,
+                    RequestOutcome::Failed(RequestFailure::Impossible),
+                );
                 return Vec::new();
             }
             self.stats.preemptions += 1;
             if self.config.preempt == PreemptPolicy::SwapToHost {
-                match self.pool.suspend_seq(a.seq) {
-                    Ok(receipt) => {
-                        self.stats.swap_outs += 1;
-                        self.stats.swap_bytes_to_host += receipt.bytes;
-                        self.resume.push_back(SuspendedReq {
-                            req: a.req,
-                            seq: a.seq,
-                            pos: a.pos,
-                            generated: a.generated,
-                            logits: a.logits,
-                            preemptions: a.preemptions + 1,
-                            ttft_iteration: a.ttft_iteration,
-                            reached: a.reached,
-                            suspended_at: self.stats.iterations,
-                        });
-                        continue;
+                // Transient swap faults are retried in place (bounded);
+                // a persistent fault, an exhausted budget, or a full host
+                // tier demotes this victim to evict-and-restart.
+                let mut swapped = None;
+                for attempt in 0..=SWAP_OUT_RETRY_LIMIT {
+                    match self.pool.suspend_seq(a.seq) {
+                        Ok(receipt) => {
+                            swapped = Some(receipt);
+                            break;
+                        }
+                        Err(PoolError::Fault { kind, .. }) => {
+                            self.stats.faults_absorbed += 1;
+                            if kind == FaultKind::Persistent || attempt == SWAP_OUT_RETRY_LIMIT {
+                                self.stats.demotions += 1;
+                                break;
+                            }
+                            self.stats.fault_retries += 1;
+                        }
+                        // Host tier full: this victim falls back to
+                        // evict-and-restart (the recompute cost shows up
+                        // in `recomputed_prefill_tokens`).
+                        Err(PoolError::OutOfHostPages { .. }) => {
+                            self.stats.demotions += 1;
+                            break;
+                        }
+                        Err(e) => {
+                            debug_assert!(false, "unexpected suspend failure: {e}");
+                            break;
+                        }
                     }
-                    // Host tier full: this victim falls back to
-                    // evict-and-restart (the recompute cost shows up in
-                    // `recomputed_prefill_tokens`).
-                    Err(PoolError::OutOfHostPages { .. }) => {}
-                    Err(e) => panic!("suspend of a live sequence failed: {e}"),
+                }
+                if let Some(receipt) = swapped {
+                    self.stats.swap_outs += 1;
+                    self.stats.swap_bytes_to_host += receipt.bytes;
+                    self.resume.push_back(SuspendedReq {
+                        req: a.req,
+                        seq: a.seq,
+                        pos: a.pos,
+                        generated: a.generated,
+                        logits: a.logits,
+                        preemptions: a.preemptions + 1,
+                        ttft_iteration: a.ttft_iteration,
+                        reached: a.reached,
+                        suspended_at: self.stats.iterations,
+                        born: a.born,
+                        fault_restarts: a.fault_restarts,
+                        retries: 0,
+                        retry_at: 0,
+                    });
+                    continue;
                 }
             }
-            self.pool
-                .free_seq(a.seq)
-                .expect("active sequences are live in the pool");
+            self.teardown_seq(a.seq, false);
             self.queue.push_front(QueuedRequest {
                 req: a.req,
                 preemptions: a.preemptions + 1,
                 ttft_iteration: a.ttft_iteration,
                 reached: a.reached,
+                born: a.born,
+                fault_restarts: a.fault_restarts,
             });
         }
     }
@@ -888,19 +1307,15 @@ impl<'m> BatchEngine<'m> {
                 continue;
             }
             let a = self.active.remove(i);
-            self.pool
-                .free_seq(a.seq)
-                .expect("active sequences are live in the pool");
-            self.stats.retired += 1;
-            self.finished.push(FinishedRequest {
-                id: a.req.id,
-                prompt_len: a.req.prompt.len(),
-                generated: a.generated,
-                logits: a.logits,
-                completed: true,
-                preemptions: a.preemptions,
-                ttft_iteration: a.ttft_iteration,
-            });
+            self.teardown_seq(a.seq, false);
+            self.finish_request(
+                a.req,
+                a.generated,
+                a.logits,
+                a.preemptions,
+                a.ttft_iteration,
+                RequestOutcome::Finished,
+            );
         }
     }
 }
@@ -1273,6 +1688,265 @@ mod tests {
         assert!(s.preemptions > 0);
         assert_eq!(s.swap_bytes_to_host, 0, "no host pages, no bytes move");
         assert!(s.recomputed_prefill_tokens > 0, "fallback pays recompute");
+    }
+
+    /// Every tier of the hierarchy is empty: all device pages free, no
+    /// private or shared pages outstanding, nothing live or frozen, no
+    /// host pages held.
+    fn assert_pool_empty(e: &BatchEngine<'_>) {
+        let acct = e.pool().page_accounting();
+        assert_eq!(acct.free, e.pool().capacity_pages(), "device pages leak");
+        assert_eq!(acct.private, 0, "private pages leak");
+        assert_eq!(acct.shared_blocks, 0, "trie blocks leak");
+        assert_eq!(e.pool().host_pages_used(), 0, "host pages leak");
+        assert_eq!(e.pool().active_seqs(), 0, "live sequences leak");
+        assert_eq!(e.pool().suspended_seqs(), 0, "suspended sequences leak");
+    }
+
+    #[test]
+    fn cancel_during_prefill_chunk_leaves_no_residue() {
+        let m = tiny_model();
+        let mut e = engine_with_pages(
+            &m,
+            512,
+            EngineConfig {
+                prefill_token_budget: 8,
+                ..EngineConfig::default()
+            },
+        );
+        e.submit(req(0, 40, 3));
+        // Two steps ingest 16 of 40 prompt tokens: mid-chunked-prefill,
+        // with a partially filled pending block in the pool.
+        assert!(e.step());
+        assert!(e.step());
+        let a = &e.active[0];
+        assert!(a.pos > 0 && a.pos < a.req.prompt.len(), "mid-prefill");
+        assert!(e.cancel(0));
+        assert_pool_empty(&e);
+        assert!(!e.step(), "no work left");
+        let fin = &e.finished()[0];
+        assert_eq!(fin.outcome, RequestOutcome::Cancelled);
+        assert!(!fin.completed);
+        assert!(fin.generated.is_empty(), "never reached decode");
+        assert_eq!(e.stats().cancellations, 1);
+    }
+
+    #[test]
+    fn cancel_during_decode_keeps_partial_output() {
+        let m = tiny_model();
+        let mut e = engine_with_pages(&m, 512, EngineConfig::default());
+        e.submit(req(0, 4, 50));
+        while e.finished().is_empty() {
+            e.step();
+            if e.active.first().is_some_and(|a| a.generated.len() >= 3) {
+                break;
+            }
+        }
+        let already = e.active[0].generated.clone();
+        assert!(already.len() >= 3, "decoding");
+        assert!(e.cancel(0));
+        assert_pool_empty(&e);
+        let fin = &e.finished()[0];
+        assert_eq!(fin.outcome, RequestOutcome::Cancelled);
+        assert_eq!(fin.generated, already, "partial output is kept");
+    }
+
+    #[test]
+    fn cancel_while_suspended_on_host_releases_host_pages() {
+        let m = tiny_model();
+        let mut pool = PagedKvPool::for_model(m.config(), None, 70, 512);
+        pool.set_host_pages(70);
+        let mut e = BatchEngine::new(
+            &m,
+            pool,
+            TokenScheduler::new(4),
+            EngineConfig {
+                max_batch: 4,
+                admission: AdmissionPolicy::PromptOnly,
+                preempt: PreemptPolicy::SwapToHost,
+                ..EngineConfig::default()
+            },
+        );
+        for id in 0..4 {
+            e.submit(req(id, 4, 40));
+        }
+        while e.resume.is_empty() && e.step() {}
+        let frozen = e.resume.front().expect("a sequence was swapped out");
+        assert!(e.pool().host_pages_used() > 0 || e.pool().suspended_seqs() > 0);
+        let id = frozen.req.id;
+        assert!(e.cancel(id));
+        assert_eq!(
+            e.finished().iter().find(|f| f.id == id).unwrap().outcome,
+            RequestOutcome::Cancelled
+        );
+        // The survivors run to completion and drain the pool to empty —
+        // the cancelled sequence's host pages went with it.
+        e.run();
+        assert!(e.finished().iter().all(|f| f.completed || f.id == id));
+        assert_pool_empty(&e);
+    }
+
+    #[test]
+    fn cancel_while_queued_never_touches_the_pool() {
+        let m = tiny_model();
+        let mut e = engine_with_pages(
+            &m,
+            512,
+            EngineConfig {
+                max_batch: 1,
+                ..EngineConfig::default()
+            },
+        );
+        e.submit(req(0, 4, 20));
+        e.submit(req(1, 4, 20));
+        assert!(e.step());
+        assert_eq!(e.queue_len(), 1, "slot pressure parks request 1");
+        assert!(e.cancel(1));
+        let fin = e.finished().iter().find(|f| f.id == 1).unwrap();
+        assert_eq!(fin.outcome, RequestOutcome::Cancelled);
+        assert!(fin.generated.is_empty());
+        e.run();
+        assert!(e.finished().iter().find(|f| f.id == 0).unwrap().completed);
+        assert_pool_empty(&e);
+    }
+
+    #[test]
+    fn cancel_unknown_or_finished_id_is_a_noop() {
+        let m = tiny_model();
+        let mut e = engine_with_pages(&m, 512, EngineConfig::default());
+        e.submit(req(0, 4, 2));
+        assert!(!e.cancel(99), "never submitted");
+        e.run();
+        assert!(!e.cancel(0), "already finished");
+        assert_eq!(e.stats().cancellations, 0);
+    }
+
+    /// Adversarial abort points: cancel every request at a different
+    /// phase of its life and require the pool to drain to *exactly*
+    /// empty — the leak regression for the audited teardown path.
+    #[test]
+    fn drain_to_exactly_empty_after_mixed_aborts() {
+        let m = tiny_model();
+        let mut pool = PagedKvPool::for_model(m.config(), None, 70, 512);
+        pool.set_host_pages(70);
+        pool.set_block_tokens(8);
+        let mut e = BatchEngine::new(
+            &m,
+            pool,
+            TokenScheduler::new(4),
+            EngineConfig {
+                max_batch: 3,
+                admission: AdmissionPolicy::PromptOnly,
+                preempt: PreemptPolicy::SwapToHost,
+                prefill_token_budget: 8,
+                ..EngineConfig::default()
+            },
+        );
+        // Shared prefixes so sealed trie blocks are in play too.
+        for id in 0..6 {
+            let mut prompt: Vec<u32> = (0..12).collect();
+            prompt.extend((0..8).map(|i| 100 + id as u32 * 16 + i));
+            e.submit(EngineRequest::new(id, prompt, 30));
+        }
+        // Drive until the hierarchy is fully loaded: actives, a swapped
+        // victim, and a queued request all coexist.
+        for _ in 0..12 {
+            e.step();
+        }
+        // Cancel one request per parking spot, whatever is there now.
+        if let Some(a) = e.active.first() {
+            let id = a.req.id;
+            assert!(e.cancel(id));
+        }
+        if let Some(s) = e.resume.front() {
+            let id = s.req.id;
+            assert!(e.cancel(id));
+        }
+        if let Some(q) = e.queue.front() {
+            let id = q.req.id;
+            assert!(e.cancel(id));
+        }
+        // Mid-flight the books must still balance...
+        assert_eq!(
+            e.pool().page_accounting().total(),
+            e.pool().capacity_pages()
+        );
+        // ...then cancel everything else and require exact emptiness.
+        for id in 0..6 {
+            e.cancel(id);
+        }
+        assert_eq!(e.finished().len(), 6);
+        assert!(!e.step());
+        assert_pool_empty(&e);
+    }
+
+    #[test]
+    fn deadline_kills_overdue_requests_only() {
+        let m = tiny_model();
+        let mut e = engine_with_pages(
+            &m,
+            512,
+            EngineConfig {
+                max_iterations: Some(3),
+                ..EngineConfig::default()
+            },
+        );
+        e.submit(req(0, 4, 100)); // needs ~100 iterations: doomed
+        e.submit(req(1, 2, 2)); // finishes within the deadline
+        e.run();
+        let doomed = e.finished().iter().find(|f| f.id == 0).unwrap();
+        assert_eq!(doomed.outcome, RequestOutcome::DeadlineExceeded);
+        assert!(!doomed.completed);
+        let ok = e.finished().iter().find(|f| f.id == 1).unwrap();
+        assert_eq!(ok.outcome, RequestOutcome::Finished);
+        assert_eq!(e.stats().deadline_kills, 1);
+        assert_pool_empty(&e);
+    }
+
+    /// The deadline clock starts at first admission: a request that waits
+    /// in the queue forever (never admitted) is not killed by it.
+    #[test]
+    fn deadline_spares_never_admitted_requests() {
+        let m = tiny_model();
+        let mut e = engine_with_pages(
+            &m,
+            512,
+            EngineConfig {
+                max_batch: 1,
+                max_iterations: Some(4),
+                ..EngineConfig::default()
+            },
+        );
+        e.submit(req(0, 4, 6));
+        e.submit(req(1, 4, 3));
+        e.run();
+        // Request 1 waited out request 0's whole run in the queue, longer
+        // than the deadline, but its clock only started on admission.
+        let fin1 = e.finished().iter().find(|f| f.id == 1).unwrap();
+        assert_eq!(fin1.outcome, RequestOutcome::Finished);
+        assert_pool_empty(&e);
+    }
+
+    #[test]
+    fn injected_device_faults_are_absorbed_not_propagated() {
+        let m = tiny_model();
+        let mut e = engine_with_pages(
+            &m,
+            512,
+            EngineConfig {
+                fault_plan: Some(FaultPlan::new(7).with_rate_permille(200)),
+                ..EngineConfig::default()
+            },
+        );
+        for id in 0..4 {
+            e.submit(req(id, 6, 8));
+        }
+        e.run();
+        let s = *e.stats();
+        assert!(s.faults_injected > 0, "rate 20% over this workload");
+        assert_eq!(s.faults_absorbed, s.faults_injected);
+        assert_eq!(e.finished().len(), 4, "every request reached an outcome");
+        assert_pool_empty(&e);
     }
 
     #[test]

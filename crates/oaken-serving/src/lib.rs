@@ -30,8 +30,9 @@ pub mod traces;
 
 pub use engine::{
     AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, EngineStats, FinishedRequest,
-    PreemptPolicy,
+    PreemptPolicy, RequestFailure, RequestOutcome,
 };
+pub use oaken_model::{FaultKind, FaultOp, FaultPlan, FaultStats};
 pub use request::Request;
 pub use scheduler::{CoreAssignment, TokenScheduler};
 pub use simulate::{simulate_trace, TraceResult};

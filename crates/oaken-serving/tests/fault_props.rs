@@ -1,0 +1,227 @@
+//! Chaos property tests for the fault-injection harness: random
+//! workloads crossed with random deterministic fault plans, thread
+//! counts, preemption policies, and deadlines must never panic, never
+//! leak a page, always drive every request to a terminal state, and
+//! leave every *surviving* request token- and logit-identical to an
+//! uninterrupted legacy `Session` run.
+
+use oaken_core::{KvQuantizer, OakenConfig};
+use oaken_eval::harness::profile_oaken;
+use oaken_model::{sample_greedy, Model, ModelConfig, PagedKvPool, QuantizedCache, Session};
+use oaken_serving::{
+    AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, FaultPlan, PreemptPolicy,
+    RequestOutcome, TokenScheduler,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn tiny_model() -> Model {
+    Model::synthetic(ModelConfig::llama2_7b().proxy(2, 32), 7)
+}
+
+fn profiled_oaken(model: &Model) -> Arc<dyn KvQuantizer> {
+    Arc::new(profile_oaken(model, OakenConfig::default(), 6, 8, 5))
+}
+
+/// Greedy reference decode through the legacy single-sequence `Session` —
+/// the uninterrupted run survivors are compared against.
+fn reference_decode(
+    model: &Model,
+    quantizer: Arc<dyn KvQuantizer>,
+    prompt: &[u32],
+    max_new: usize,
+) -> (Vec<u32>, Vec<Vec<f32>>) {
+    let mut session: Session = model.session(Box::new(QuantizedCache::new(quantizer)));
+    let mut logits = session.prefill(prompt);
+    let mut tokens = Vec::new();
+    let mut all_logits = Vec::new();
+    for _ in 0..max_new {
+        let tok = sample_greedy(&logits);
+        tokens.push(tok);
+        all_logits.push(logits.clone());
+        if tokens.len() == max_new {
+            break;
+        }
+        logits = session.advance(tok);
+    }
+    (tokens, all_logits)
+}
+
+fn assert_bit_identical(a: &[Vec<f32>], b: &[Vec<f32>], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: logits count");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let xb: Vec<u32> = x.iter().map(|v| v.to_bits()).collect();
+        let yb: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(xb, yb, "{ctx}: logits diverged at decode step {i}");
+    }
+}
+
+/// Runs the workload under the fault plan, checking the containment
+/// contract at every single iteration, and verifies the survivors
+/// against uninterrupted references at the end.
+#[allow(clippy::too_many_arguments)]
+fn run_chaos(
+    model: &Model,
+    quantizer: Arc<dyn KvQuantizer>,
+    requests: &[(Vec<u32>, usize)],
+    plan: FaultPlan,
+    num_threads: usize,
+    preempt: PreemptPolicy,
+    max_iterations: Option<u64>,
+) -> u64 {
+    let mut pool = PagedKvPool::for_model(model.config(), Some(quantizer.clone()), 256, 512);
+    pool.set_host_pages(128);
+    pool.set_block_tokens(8);
+    let capacity = pool.capacity_pages();
+    let mut engine = BatchEngine::new(
+        model,
+        pool,
+        TokenScheduler::new(4),
+        EngineConfig {
+            max_batch: 4,
+            admission: AdmissionPolicy::PromptOnly,
+            preempt,
+            record_logits: true,
+            prefill_token_budget: 8,
+            num_threads,
+            fault_plan: Some(plan),
+            max_iterations,
+        },
+    );
+    for (id, (prompt, max_new)) in requests.iter().enumerate() {
+        engine.submit(EngineRequest::new(id as u64, prompt.clone(), *max_new));
+    }
+    let mut iters = 0u64;
+    while engine.step() {
+        iters += 1;
+        assert!(iters < 20_000, "engine failed to terminate under faults");
+        // The books balance after *every* iteration: free + private +
+        // shared pages always sum to the device capacity, whatever was
+        // injected, torn down, retried, or demoted this step.
+        let acct = engine.pool().page_accounting();
+        assert_eq!(
+            acct.total(),
+            capacity,
+            "page accounting leaked at iteration {iters}: {acct:?}"
+        );
+    }
+
+    // Containment: every request reached exactly one terminal state, and
+    // every injected fault was absorbed by the engine rather than
+    // escaping as a panic or a wedged sequence.
+    assert_eq!(engine.finished().len(), requests.len());
+    let stats = engine.stats();
+    assert_eq!(stats.faults_absorbed, stats.faults_injected);
+
+    // Nothing residual: the pool drained to exactly empty.
+    let acct = engine.pool().page_accounting();
+    assert_eq!(acct.free, capacity, "device pages leaked: {acct:?}");
+    assert_eq!(engine.pool().host_pages_used(), 0, "host pages leaked");
+    assert_eq!(engine.pool().active_seqs(), 0);
+    assert_eq!(engine.pool().suspended_seqs(), 0);
+
+    // Survivors are bit-exact with uninterrupted Session runs: faults
+    // absorbed around them never perturbed their arithmetic.
+    for fin in engine.finished() {
+        if fin.outcome != RequestOutcome::Finished {
+            continue;
+        }
+        let (prompt, max_new) = &requests[fin.id as usize];
+        let (ref_tokens, ref_logits) = reference_decode(model, quantizer.clone(), prompt, *max_new);
+        assert_eq!(
+            fin.generated, ref_tokens,
+            "surviving request {}: tokens differ from the uninterrupted run",
+            fin.id
+        );
+        assert_bit_identical(&fin.logits, &ref_logits, &format!("survivor {}", fin.id));
+    }
+    stats.faults_injected
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The capstone: random workloads x random fault plans x {1, 4}
+    /// threads x both preemption policies x optional deadlines.
+    #[test]
+    fn chaos_random_workloads_survive_random_fault_plans(
+        shapes in prop::collection::vec((1usize..10, 1usize..6, 0u32..1000), 1..6),
+        seed in any::<u64>(),
+        rate in 5u16..150,
+        four_threads in any::<bool>(),
+        swap in any::<bool>(),
+        with_deadline in any::<bool>(),
+        deadline_iters in 5u64..60,
+    ) {
+        let deadline = with_deadline.then_some(deadline_iters);
+        let model = tiny_model();
+        let quantizer = profiled_oaken(&model);
+        let requests: Vec<(Vec<u32>, usize)> = shapes
+            .iter()
+            .map(|&(plen, max_new, salt)| {
+                let prompt = (0..plen as u32).map(|i| (salt + i * 13) % 256).collect();
+                (prompt, max_new)
+            })
+            .collect();
+        run_chaos(
+            &model,
+            quantizer,
+            &requests,
+            FaultPlan::new(seed).with_rate_permille(rate),
+            if four_threads { 4 } else { 1 },
+            if swap { PreemptPolicy::SwapToHost } else { PreemptPolicy::RestartRecompute },
+            deadline,
+        );
+    }
+}
+
+/// The CI wiring: when `OAKEN_FAULTS` is set this runs the whole chaos
+/// contract under the env-seeded schedule (the suite's 4th pass sets it
+/// together with `OAKEN_THREADS=4` and `OAKEN_PREEMPT=swap`); unset, it
+/// still runs under a fixed seed so the path is always covered.
+#[test]
+fn env_seeded_fault_schedule_is_contained() {
+    let plan = FaultPlan::from_env()
+        .unwrap_or_else(|| FaultPlan::new(0xC0FFEE))
+        .with_rate_permille(100);
+    let model = tiny_model();
+    let quantizer = profiled_oaken(&model);
+    let requests: Vec<(Vec<u32>, usize)> = (0..6u32)
+        .map(|r| {
+            let prompt: Vec<u32> = (0..4 + r % 5).map(|i| (r * 37 + i * 11) % 256).collect();
+            (prompt, 3 + (r as usize % 4))
+        })
+        .collect();
+    run_chaos(
+        &model,
+        quantizer,
+        &requests,
+        plan,
+        oaken_runtime::default_threads(),
+        PreemptPolicy::default_policy(),
+        None,
+    );
+}
+
+/// A plan so hostile it is mostly failure — 80% of fallible ops fault,
+/// long persistent bursts — must still terminate with balanced books;
+/// under it most requests die, which is exactly the graceful-degradation
+/// contract (fail requests, never the engine).
+#[test]
+fn pathological_fault_rate_degrades_gracefully() {
+    let model = tiny_model();
+    let quantizer = profiled_oaken(&model);
+    let requests: Vec<(Vec<u32>, usize)> = (0..5u32)
+        .map(|r| ((0..6).map(|i| (r * 53 + i * 29) % 256).collect(), 4))
+        .collect();
+    let injected = run_chaos(
+        &model,
+        quantizer,
+        &requests,
+        FaultPlan::new(99).with_rate_permille(800),
+        2,
+        PreemptPolicy::SwapToHost,
+        Some(200),
+    );
+    assert!(injected > 0, "an 80% rate must actually inject");
+}

@@ -75,6 +75,7 @@ fn run_swap_engine(
             record_logits: true,
             prefill_token_budget: 16,
             num_threads,
+            ..EngineConfig::default()
         },
     );
     for (id, (prompt, max_new)) in requests.iter().enumerate() {

@@ -21,13 +21,19 @@
 //!   `OAKEN_PREEMPT` env knob, falling back to `restart`).
 //! * `--host-pages N` sizes the host swap tier in pages (default: the
 //!   device page count; `0` disables swapping entirely).
+//! * `--fault-seed N` installs a deterministic fault-injection schedule
+//!   seeded with `N` (page-allocation and swap-transfer failures; the
+//!   engine absorbs them with retries, demotions, and request-scoped
+//!   teardowns). Default: the `OAKEN_FAULTS` env knob, else no faults.
+//! * `--deadline N` kills any request still in flight `N` iterations
+//!   after its first admission (graceful degradation under overload).
 
 use oaken::core::OakenConfig;
 use oaken::eval::harness::profile_oaken;
 use oaken::model::{Model, ModelConfig, PagedKvPool};
 use oaken::serving::{
-    synthesize_requests, AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, PreemptPolicy,
-    Request, TokenScheduler, TraceSpec,
+    synthesize_requests, AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, FaultPlan,
+    PreemptPolicy, Request, TokenScheduler, TraceSpec,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -64,6 +70,17 @@ fn main() {
         .position(|a| a == "--host-pages")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--host-pages takes a page count"));
+    let fault_plan: Option<FaultPlan> = args
+        .iter()
+        .position(|a| a == "--fault-seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| FaultPlan::new(v.parse().expect("--fault-seed takes a u64 seed")))
+        .or_else(FaultPlan::from_env);
+    let deadline: Option<u64> = args
+        .iter()
+        .position(|a| a == "--deadline")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--deadline takes an iteration count"));
     let spec = TraceSpec::conversation();
 
     // A proxy model small enough to execute for real; trace lengths are
@@ -125,6 +142,8 @@ fn main() {
             record_logits: false,
             prefill_token_budget: 16,
             num_threads,
+            fault_plan,
+            max_iterations: deadline,
         },
     );
     for r in requests {
@@ -173,6 +192,11 @@ fn main() {
         "{:>22}  {}",
         "recomputed prefill", stats.recomputed_prefill_tokens
     );
+    println!("{:>22}  {}", "faults injected", stats.faults_injected);
+    println!("{:>22}  {}", "faults absorbed", stats.faults_absorbed);
+    println!("{:>22}  {}", "fault retries", stats.fault_retries);
+    println!("{:>22}  {}", "demotions", stats.demotions);
+    println!("{:>22}  {}", "deadline kills", stats.deadline_kills);
     println!(
         "{:>22}  {:.2}",
         "mean core util",
@@ -184,18 +208,30 @@ fn main() {
         stats.decode_tokens as f64 / secs.max(1e-9)
     );
 
-    let sample = engine
-        .finished()
-        .iter()
-        .find(|f| f.completed)
-        .expect("at least one request completes");
-    println!(
-        "\nrequest {}: prompt {} tokens -> {:?} (first token at iteration {})",
-        sample.id,
-        sample.prompt_len,
-        &sample.generated[..sample.generated.len().min(8)],
-        sample.ttft_iteration
-    );
-    assert_eq!(stats.retired as usize, engine.finished().len());
-    println!("\nall {} requests served to completion.", stats.retired);
+    if let Some(sample) = engine.finished().iter().find(|f| f.completed) {
+        println!(
+            "\nrequest {}: prompt {} tokens -> {:?} (first token at iteration {})",
+            sample.id,
+            sample.prompt_len,
+            &sample.generated[..sample.generated.len().min(8)],
+            sample.ttft_iteration
+        );
+    }
+    // Every request reaches exactly one terminal state; absent faults and
+    // deadlines that state is always `Finished`.
+    let total = stats.retired + stats.failed + stats.cancellations + stats.deadline_kills;
+    assert_eq!(total as usize, engine.finished().len());
+    assert_eq!(stats.faults_absorbed, stats.faults_injected);
+    if fault_plan.is_none() && deadline.is_none() {
+        assert_eq!(stats.retired as usize, engine.finished().len());
+        println!("\nall {} requests served to completion.", stats.retired);
+    } else {
+        println!(
+            "\n{} of {} requests served to completion ({} faults absorbed, {} deadline kills).",
+            stats.retired,
+            engine.finished().len(),
+            stats.faults_absorbed,
+            stats.deadline_kills
+        );
+    }
 }
