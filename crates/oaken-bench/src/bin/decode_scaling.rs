@@ -16,13 +16,18 @@
 use oaken_bench::decode_workload::{decode_rows, kv_row, oaken, KV_DIM};
 use oaken_bench::{banner, f, row};
 use oaken_core::KvQuantizer;
-use oaken_model::{KvCacheBackend, QuantizedCache};
+use oaken_model::{
+    attend_one_fused_into, attend_one_into, AttentionScratch, AttentionShape, KernelMode,
+    KvCacheBackend, QuantizedCache,
+};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
 const SEQ_LENS: [usize; 3] = [512, 2048, 8192];
+/// Read-path (attention kernel) sweep lengths.
+const READ_SEQ_LENS: [usize; 4] = [128, 512, 2048, 8192];
 /// Recompute above this length is extrapolation-verified only (the
 /// quadratic path at 8k already takes tens of seconds; we still run it —
 /// this cap only guards accidental larger sweeps).
@@ -69,6 +74,58 @@ fn verify_bit_identical(q: &Arc<dyn KvQuantizer>, seq_len: usize) -> bool {
         .zip(rec.values(0))
         .all(|(a, b)| a.to_bits() == b.to_bits());
     keys_match && values_match && inc.keys(0).len() == seq_len * KV_DIM
+}
+
+/// The attention geometry of the read-path sweep: `kv_dim` 128 split as
+/// 2 KV heads × 64, with 4 query heads (GQA group of 2).
+fn read_shape() -> AttentionShape {
+    AttentionShape {
+        num_heads: 4,
+        num_kv_heads: 2,
+        head_dim: KV_DIM / 2,
+        window: None,
+    }
+}
+
+/// One full decode of `seq_len` tokens through the **attention read
+/// path**: per token, append the K/V rows then run the single-token
+/// attention kernel over the whole prefix. `kernel` selects how the
+/// kernel reads the cache — `Exact` streams dequantized f32 views,
+/// `Fused` reads the encoded rows directly. Returns (seconds, checksum).
+fn run_read_path(mut cache: QuantizedCache, kernel: KernelMode, seq_len: usize) -> (f64, f64) {
+    let shape = read_shape();
+    cache.reset(1, KV_DIM);
+    cache.set_kernel_mode(kernel);
+    let rows = decode_rows(seq_len);
+    let queries: Vec<Vec<f32>> = (0..seq_len)
+        .map(|t| kv_row(shape.q_dim(), 50_000 + t as u64))
+        .collect();
+    let mut scratch = AttentionScratch::default();
+    let mut out = Vec::new();
+    let mut checksum = 0.0f64;
+    let start = Instant::now();
+    for t in 0..seq_len {
+        cache.append(0, &rows[2 * t], &rows[2 * t + 1]);
+        if kernel == KernelMode::Fused {
+            let (ke, ve) = cache.encoded_kv(0).expect("fused cache serves encoded");
+            attend_one_fused_into(&queries[t], &ke, &ve, t + 1, &shape, &mut scratch, &mut out);
+        } else {
+            let keys = black_box(cache.keys(0)).to_vec();
+            let values = black_box(cache.values(0));
+            attend_one_into(
+                &queries[t],
+                &keys,
+                values,
+                t + 1,
+                &shape,
+                &mut scratch,
+                &mut out,
+            );
+        }
+        checksum += f64::from(out[0]) + f64::from(out[out.len() - 1]);
+        black_box(&out);
+    }
+    (start.elapsed().as_secs_f64(), checksum)
 }
 
 fn main() {
@@ -131,6 +188,84 @@ fn main() {
         );
         json.push_str(if i + 1 < SEQ_LENS.len() { ",\n" } else { "\n" });
         prev_speedup = speedup;
+    }
+    json.push_str("  ],\n");
+
+    // ---- Read path: attention kernels over the three cache read modes.
+    println!();
+    banner(
+        "read_path",
+        &format!(
+            "per-token attention: exact (f32 views) vs fused (encoded rows) vs recompute \
+             [simd: {}]",
+            cfg!(feature = "simd")
+        ),
+    );
+    let rwidths = [8, 13, 13, 13, 12, 12];
+    row(
+        &[
+            &"seq_len",
+            &"exact tok/s",
+            &"fused tok/s",
+            &"rec tok/s",
+            &"fused/exact",
+            &"fused/rec",
+        ],
+        &rwidths,
+    );
+    let _ = write!(
+        json,
+        "  \"simd\": {},\n  \"read_path\": [\n",
+        cfg!(feature = "simd")
+    );
+    for (i, &seq_len) in READ_SEQ_LENS.iter().enumerate() {
+        let (exact_secs, c_exact) =
+            run_read_path(QuantizedCache::new(q.clone()), KernelMode::Exact, seq_len);
+        let (fused_secs, c_fused) =
+            run_read_path(QuantizedCache::new(q.clone()), KernelMode::Fused, seq_len);
+        let (rec_secs, c_rec) = run_read_path(
+            QuantizedCache::new_recompute(q.clone()),
+            KernelMode::Exact,
+            seq_len,
+        );
+        // Exact and recompute stream bit-identical views; fused is held to
+        // its SQNR contract (property-tested), so a loose relative check
+        // suffices here.
+        assert_eq!(
+            c_exact.to_bits(),
+            c_rec.to_bits(),
+            "exact != recompute at {seq_len}"
+        );
+        let rel = (c_exact - c_fused).abs() / c_exact.abs().max(1.0);
+        assert!(
+            rel < 5e-2,
+            "fused checksum drifted at {seq_len}: rel {rel:e}"
+        );
+        let exact_tps = seq_len as f64 / exact_secs;
+        let fused_tps = seq_len as f64 / fused_secs;
+        let rec_tps = seq_len as f64 / rec_secs;
+        row(
+            &[
+                &seq_len,
+                &f(exact_tps, 0),
+                &f(fused_tps, 0),
+                &f(rec_tps, 0),
+                &format!("{}x", f(fused_tps / exact_tps, 2)),
+                &format!("{}x", f(fused_tps / rec_tps, 1)),
+            ],
+            &rwidths,
+        );
+        let _ = write!(
+            json,
+            "    {{\"seq_len\": {seq_len}, \"exact_tokens_per_sec\": {exact_tps:.1}, \"fused_tokens_per_sec\": {fused_tps:.1}, \"recompute_tokens_per_sec\": {rec_tps:.1}, \"fused_vs_exact\": {:.2}, \"fused_vs_recompute\": {:.2}}}",
+            fused_tps / exact_tps,
+            fused_tps / rec_tps,
+        );
+        json.push_str(if i + 1 < READ_SEQ_LENS.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark json");

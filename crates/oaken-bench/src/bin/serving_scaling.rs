@@ -30,7 +30,13 @@
 //!    tokens vs bytes swapped, tok/s, and mean TTFT. Quantized pages
 //!    make the swapped bytes 3-4× smaller than FP16 would move, which is
 //!    why suspend/resume beats evict-and-recompute here.
-//! 6. **Fault-degradation sweep** — the main workload re-run under
+//! 6. **Kernel sweep** — the main workload re-run at `KernelMode::Exact`
+//!    vs `KernelMode::Fused`: aggregate tokens/sec plus the pool's KV
+//!    read counters. The fused engine must touch only encoded rows (zero
+//!    exact-view reads) and its resident read traffic per row must be
+//!    well under half the exact path's f32 bytes — the read-path face of
+//!    the storage win.
+//! 7. **Fault-degradation sweep** — the main workload re-run under
 //!    deterministic fault injection at growing rates (‰ of fallible
 //!    pool operations): tokens/sec and request completion rate as the
 //!    containment layer retries, demotes, and quarantines. Every
@@ -47,7 +53,7 @@
 use oaken_bench::{banner, f, row};
 use oaken_core::{KvQuantizer, OakenConfig};
 use oaken_eval::harness::profile_oaken;
-use oaken_model::{Model, ModelConfig, PagedKvPool};
+use oaken_model::{KernelMode, Model, ModelConfig, PagedKvPool};
 use oaken_serving::{
     AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, EngineStats, FaultPlan,
     PreemptPolicy, Request, TokenScheduler,
@@ -402,6 +408,66 @@ fn run_config(w: &Workload, max_batch: usize, pages: u32, num_threads: usize) ->
     best
 }
 
+/// One engine run with an explicitly pinned attention kernel (the other
+/// sweeps inherit the `OAKEN_KERNEL` env default so their curves track
+/// whatever mode CI exercises).
+fn run_kernel(
+    w: &Workload,
+    max_batch: usize,
+    pages: u32,
+    num_threads: usize,
+    kernel: KernelMode,
+) -> Measurement {
+    let run = || {
+        let pool = PagedKvPool::for_model(
+            w.model.config(),
+            Some(w.quantizer.clone()),
+            pages,
+            w.page_size,
+        );
+        let mut engine = BatchEngine::new(
+            &w.model,
+            pool,
+            TokenScheduler::new(max_batch.max(1)),
+            EngineConfig {
+                max_batch,
+                admission: AdmissionPolicy::PromptOnly,
+                preempt: PreemptPolicy::RestartRecompute,
+                record_logits: false,
+                prefill_token_budget: 16,
+                num_threads,
+                kernel,
+                ..EngineConfig::default()
+            },
+        );
+        for r in &w.requests {
+            engine.submit(r.clone());
+        }
+        let start = Instant::now();
+        engine.run();
+        let secs = start.elapsed().as_secs_f64();
+        let stats = *engine.stats();
+        assert_eq!(
+            stats.retired as usize,
+            w.requests.len(),
+            "every request must complete (kernel {})",
+            kernel.label()
+        );
+        Measurement {
+            tokens_per_sec: stats.decode_tokens as f64 / secs,
+            stats,
+        }
+    };
+    let mut best = run();
+    for _ in 1..w.repeats {
+        let m = run();
+        if m.tokens_per_sec > best.tokens_per_sec {
+            best = m;
+        }
+    }
+    best
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -689,6 +755,69 @@ fn main() {
         json.push_str(if i + 1 < policies.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+
+    // --- Kernel sweep (main workload, ample pool) ------------------------
+    println!(
+        "\nkernel sweep ({} requests, batch {batch}, pool {} pages):",
+        w.requests.len(),
+        w.ample_pages
+    );
+    let kwidths = [8, 10, 13, 13, 13, 13];
+    row(
+        &[
+            &"kernel",
+            &"tok/s",
+            &"fused_rows",
+            &"fused_bytes",
+            &"exact_rows",
+            &"exact_bytes",
+        ],
+        &kwidths,
+    );
+    json.push_str("  \"kernel_sweep\": [\n");
+    let kernels = [("exact", KernelMode::Exact), ("fused", KernelMode::Fused)];
+    let mut reads_by_kernel = Vec::new();
+    for (i, &(name, kernel)) in kernels.iter().enumerate() {
+        let m = run_kernel(&w, batch, w.ample_pages, threads, kernel);
+        let r = m.stats.kv_reads;
+        reads_by_kernel.push(r);
+        row(
+            &[
+                &name,
+                &f(m.tokens_per_sec, 1),
+                &r.fused_rows,
+                &r.fused_bytes,
+                &r.exact_rows,
+                &r.exact_bytes,
+            ],
+            &kwidths,
+        );
+        let _ = write!(
+            json,
+            "    {{\"kernel\": \"{name}\", \"tokens_per_sec\": {:.1}, \
+             \"fused_rows_read\": {}, \"fused_bytes_read\": {}, \
+             \"exact_rows_read\": {}, \"exact_bytes_read\": {}}}",
+            m.tokens_per_sec, r.fused_rows, r.fused_bytes, r.exact_rows, r.exact_bytes
+        );
+        json.push_str(if i + 1 < kernels.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    // The fused engine never touches a dequantized view, the exact engine
+    // never touches an encoded row, and both read the same rows — so the
+    // byte ratio is the per-row read-traffic win.
+    let (ex, fu) = (reads_by_kernel[0], reads_by_kernel[1]);
+    assert_eq!(ex.fused_rows, 0, "exact engine must read no encoded rows");
+    assert_eq!(fu.exact_rows, 0, "fused engine must read no f32 views");
+    assert_eq!(
+        fu.fused_rows, ex.exact_rows,
+        "both kernels must read the same row schedule"
+    );
+    let bytes_ratio = fu.fused_bytes as f64 / (ex.exact_bytes as f64).max(1.0);
+    assert!(
+        bytes_ratio < 0.5,
+        "fused read traffic must be well under half of exact ({bytes_ratio:.3})"
+    );
+    println!("fused/exact read bytes: {bytes_ratio:.3}\n");
 
     // --- Fault-degradation sweep (main workload, ample pool) -------------
     let fault_rates: &[u16] = if smoke { &[0, 100] } else { &[0, 25, 100, 250] };

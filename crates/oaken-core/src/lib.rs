@@ -51,6 +51,7 @@ pub mod error;
 pub mod granularity;
 pub mod groups;
 pub mod groupshift;
+pub mod kernel;
 pub mod pipeline;
 pub mod profiler;
 pub mod quant;
@@ -63,6 +64,9 @@ pub use encoding::{CooEntry, FusedVector, OutlierIter, ScaleSet};
 pub use error::OakenError;
 pub use granularity::{PerHeadProfiler, PerHeadQuantizer};
 pub use groups::{classify, GroupKind, GroupStats};
+pub use kernel::{
+    decode_row_fused_into, EncodedReadPlan, FusedReadParams, OutlierPatch, RowDecode,
+};
 pub use pipeline::{CompressionReport, OakenQuantizer, OakenRowStream, OakenScratch};
 pub use profiler::OfflineProfiler;
 pub use quant::UniformQuantizer;

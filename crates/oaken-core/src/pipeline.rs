@@ -17,6 +17,7 @@ use crate::encoding::{CooEntry, FusedVector, ScaleSet};
 use crate::error::OakenError;
 use crate::groups::GroupKind;
 use crate::groupshift::{shift, unshift_middle, unshift_sparse, ShiftedValue};
+use crate::kernel::{EncodedReadPlan, FusedReadParams};
 use crate::quant::UniformQuantizer;
 use crate::thresholds::{KvKind, ModelThresholds, Thresholds};
 use crate::traits::{KvQuantizer, KvRowStream, OnlineCost};
@@ -97,6 +98,26 @@ impl OakenQuantizer {
     /// The profiled thresholds.
     pub fn thresholds(&self) -> &ModelThresholds {
         &self.thresholds
+    }
+
+    /// The row-independent parameters of the quantized-domain read path
+    /// for one `(layer, kind)` tensor: offline thresholds plus configured
+    /// bit-widths (everything a [`crate::kernel::RowDecode`] needs besides
+    /// the per-row scales).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OakenError::LayerOutOfRange`] for an unprofiled layer.
+    pub fn fused_read_params(
+        &self,
+        layer: usize,
+        kind: KvKind,
+    ) -> Result<FusedReadParams, OakenError> {
+        Ok(FusedReadParams {
+            thresholds: *self.thresholds.get(layer, kind)?,
+            middle_bits: self.config.bits.middle,
+            outlier_bits: self.config.bits.outlier_mag,
+        })
     }
 
     /// Quantizes one per-token KV vector into the fused encoding.
@@ -403,7 +424,23 @@ pub struct OakenRowStream {
     scratch: OakenScratch,
     /// Per-row fused encodings: the stored cache payload.
     encoded: Vec<FusedVector>,
+    /// Read-side cache of `encoded[i]` — decode coefficients, flat dense
+    /// arena, and ready-to-apply outlier patches — built once at append
+    /// time so the fused kernels never redo per-row decode work per token
+    /// (derived metadata, not counted in `payload`).
+    plan: EncodedReadPlan,
     payload: usize,
+}
+
+impl OakenRowStream {
+    /// Folds and caches the newest row's read-plan entries.
+    fn push_decode(&mut self, fv: &FusedVector) {
+        let params = self
+            .quantizer
+            .fused_read_params(self.layer, self.kind)
+            .expect("layer must be profiled before streaming quantization");
+        self.plan.push_row(fv, &params);
+    }
 }
 
 impl OakenRowStream {
@@ -437,6 +474,7 @@ impl KvRowStream for OakenRowStream {
             .dequantize_vector_into(&fv, self.layer, self.kind, view)
             .expect("fused vector decodes with the same thresholds");
         self.payload += fv.payload_bytes();
+        self.push_decode(&fv);
         self.encoded.push(fv);
     }
 
@@ -454,6 +492,7 @@ impl KvRowStream for OakenRowStream {
         // with a freshly opened one. Scratch buffers are deliberately kept
         // warm for the next sequence.
         self.encoded.clear();
+        self.plan.clear();
         self.payload = 0;
     }
 
@@ -463,6 +502,56 @@ impl KvRowStream for OakenRowStream {
             // Scales travel with the dense transfer (fixed size per token).
             (fv.payload_bytes() - sparse, sparse)
         })
+    }
+
+    fn encoded_rows(&self) -> Option<&[FusedVector]> {
+        Some(&self.encoded)
+    }
+
+    fn append_row_encoded(&mut self, row: &[f32]) -> bool {
+        assert_eq!(row.len(), self.d, "row width mismatch");
+        // Same quantization as `append_row`, minus the dequantize-into-view
+        // step: the encoded vector *is* the cache contents, and the fused
+        // attention kernels read it in place.
+        let fv = self
+            .quantizer
+            .quantize_vector_with(row, self.layer, self.kind, &mut self.scratch)
+            .expect("layer must be profiled before streaming quantization");
+        self.payload += fv.payload_bytes();
+        self.push_decode(&fv);
+        self.encoded.push(fv);
+        true
+    }
+
+    fn fused_read_params(&self) -> Option<FusedReadParams> {
+        self.quantizer.fused_read_params(self.layer, self.kind).ok()
+    }
+
+    fn read_plan(&self) -> Option<&EncodedReadPlan> {
+        Some(&self.plan)
+    }
+
+    fn adopt_encoded_rows(&mut self, rows: &[FusedVector]) -> bool {
+        for fv in rows {
+            self.payload += fv.payload_bytes();
+            self.push_decode(fv);
+            self.encoded.push(fv.clone());
+        }
+        true
+    }
+
+    fn decode_rows_into(&self, start: usize, end: usize, out: &mut Vec<f32>) -> bool {
+        assert!(
+            start <= end && end <= self.encoded.len(),
+            "row range {start}..{end} out of bounds ({} rows)",
+            self.encoded.len()
+        );
+        for fv in &self.encoded[start..end] {
+            self.quantizer
+                .dequantize_vector_into(fv, self.layer, self.kind, out)
+                .expect("fused vector decodes with the same thresholds");
+        }
+        true
     }
 }
 
@@ -524,6 +613,7 @@ impl KvQuantizer for OakenQuantizer {
             d,
             scratch: OakenScratch::new(),
             encoded: Vec::new(),
+            plan: EncodedReadPlan::new(),
             payload: 0,
         }))
     }

@@ -3,6 +3,8 @@
 //! the serving-path KV cache drives, plus the [`OnlineCost`] descriptor that
 //! the performance simulator uses to charge each method's runtime overhead.
 
+use crate::encoding::FusedVector;
+use crate::kernel::{EncodedReadPlan, FusedReadParams};
 use crate::thresholds::KvKind;
 
 /// Runtime-cost descriptor of a KV quantization method, consumed by the
@@ -128,6 +130,71 @@ pub trait KvRowStream: Send {
     /// nominal [`KvQuantizer::effective_bits`] estimate (dense only).
     fn last_row_payload(&self) -> Option<(usize, usize)> {
         None
+    }
+
+    // ------------------------------------------------------------------
+    // Encoded (quantized-domain) read path — opt-in per method.
+    //
+    // Streams whose canonical state is the fused encoding can let the
+    // attention kernels read rows *without* a dequantized f32 view ever
+    // existing. All five methods default to "not supported" so every
+    // baseline keeps working unchanged; a caller must check
+    // `append_row_encoded`'s return and fall back to `append_row`.
+    // ------------------------------------------------------------------
+
+    /// The encoded rows held by the stream, when the method stores fused
+    /// vectors — the representation the quantized-domain attention kernels
+    /// read directly. `None` means the method has no encoded form and
+    /// readers must use the dequantized view.
+    fn encoded_rows(&self) -> Option<&[FusedVector]> {
+        None
+    }
+
+    /// Quantizes and appends the next token row **without materializing
+    /// its dequantized image** — the memory half of the fused-kernel win.
+    /// Returns `false` (and appends nothing) when the method cannot skip
+    /// the view; the caller must then use
+    /// [`append_row`](KvRowStream::append_row) instead.
+    fn append_row_encoded(&mut self, row: &[f32]) -> bool {
+        let _ = row;
+        false
+    }
+
+    /// The row-independent decode parameters of this stream's tensor, when
+    /// the encoded read path is supported. Valid before any row is
+    /// appended (thresholds are offline, bit-widths are global).
+    fn fused_read_params(&self) -> Option<FusedReadParams> {
+        None
+    }
+
+    /// The read-side cache maintained alongside the encoded rows — per-row
+    /// decode coefficients, a flat dense-nibble arena, and precomputed COO
+    /// patches (see [`EncodedReadPlan`]). Streams that keep this plan make
+    /// the fused kernels' per-row decode work O(1) amortized per appended
+    /// row instead of redone on every attention call. `None` sends readers
+    /// to the rebuild path.
+    fn read_plan(&self) -> Option<&EncodedReadPlan> {
+        None
+    }
+
+    /// Appends already-encoded rows (a sealed prefix block being adopted
+    /// from the trie) to the stream's encoded state. Returns `false` when
+    /// the method has no encoded form.
+    fn adopt_encoded_rows(&mut self, rows: &[FusedVector]) -> bool {
+        let _ = rows;
+        false
+    }
+
+    /// Dequantizes rows `start..end` of the encoded state, appending
+    /// `(end - start) × d` values to `out` — the exact-path escape hatch
+    /// for a stream populated through
+    /// [`append_row_encoded`](KvRowStream::append_row_encoded) (block
+    /// sealing, debug bit-compares, lazy view rebuilds). Bit-identical to
+    /// the view `append_row` would have produced. Returns `false` when
+    /// unsupported.
+    fn decode_rows_into(&self, start: usize, end: usize, out: &mut Vec<f32>) -> bool {
+        let _ = (start, end, out);
+        false
     }
 }
 

@@ -4,7 +4,25 @@
 //!
 //! Supports multi-head (MHA), grouped-query (GQA), and sliding-window
 //! attention as used by the eight evaluation models.
+//!
+//! Two kernel families share the score/softmax/weighted-sum structure:
+//!
+//! * the **exact** kernels ([`attend_one`], [`attend_kv_group`] and their
+//!   allocation-free `_into` variants) read dequantized f32 KV matrices
+//!   and carry the engine's bit-exactness contract;
+//! * the **fused** kernels ([`attend_one_fused`],
+//!   [`attend_kv_group_fused`]) read [`FusedVector`] rows directly —
+//!   integer nibble codes folded through per-row [`RowDecode`]
+//!   coefficients, with COO outliers patched into the accumulator — so
+//!   attention never needs a materialized f32 view of the cache. Their
+//!   numeric contract is SQNR-bounded against the exact kernels (see
+//!   `oaken_core::kernel`), and with the `simd` cargo feature the dense
+//!   nibble walk runs on an `std::arch` x86-64 SSE2 lane (accumulation
+//!   order differs from the scalar walk, so fused bits may change when
+//!   the feature is toggled).
 
+use oaken_core::kernel::{EncodedReadPlan, FusedReadParams, OutlierPatch, RowDecode};
+use oaken_core::FusedVector;
 use oaken_tensor::softmax_in_place;
 
 /// Shape parameters for one attention call.
@@ -37,6 +55,57 @@ impl AttentionShape {
     }
 }
 
+/// Reusable scratch buffers for the `_into` kernel variants: the score
+/// vector shared by both families plus the per-row decode coefficient
+/// tables of the fused kernels. Hold one per decode loop (or per worker)
+/// and every attention call after warm-up allocates nothing.
+#[derive(Debug, Default)]
+pub struct AttentionScratch {
+    scores: Vec<f32>,
+    key_decodes: Vec<RowDecode>,
+    value_decodes: Vec<RowDecode>,
+}
+
+impl AttentionScratch {
+    /// Splits the scratch into the score buffer plus the decode tables the
+    /// fused kernels should read for this call: a tensor's stream-side
+    /// cache when [`EncodedKv::decodes`] carries one, the freshly rebuilt
+    /// scratch table (filled by `prepare_decodes`) otherwise. Either way
+    /// entry `i` decodes row `start + i` of the windowed span.
+    fn decode_slices<'s>(
+        &'s mut self,
+        keys: &EncodedKv<'s>,
+        values: &EncodedKv<'s>,
+        seq_len: usize,
+        shape: &AttentionShape,
+    ) -> (&'s mut Vec<f32>, &'s [RowDecode], &'s [RowDecode]) {
+        let start = window_start(shape, seq_len);
+        let Self {
+            scores,
+            key_decodes,
+            value_decodes,
+        } = self;
+        let kd = match keys.plan {
+            Some(p) => &p.decodes()[start..seq_len],
+            None => &key_decodes[..],
+        };
+        let vd = match values.plan {
+            Some(p) => &p.decodes()[start..seq_len],
+            None => &value_decodes[..],
+        };
+        (scores, kd, vd)
+    }
+}
+
+/// First cached position visible to the query under the shape's sliding
+/// window.
+fn window_start(shape: &AttentionShape, seq_len: usize) -> usize {
+    match shape.window {
+        Some(w) => seq_len.saturating_sub(w),
+        None => 0,
+    }
+}
+
 /// Computes attention for a single query token against `seq_len` cached
 /// positions, returning the `[num_heads × head_dim]` context vector
 /// (the `C` rows of Figure 2b).
@@ -48,6 +117,8 @@ impl AttentionShape {
 /// kv head)`) execute identical per-head arithmetic — the bit-exactness
 /// requirement of the parallel forward pass.
 ///
+/// Allocating convenience wrapper over [`attend_one_into`].
+///
 /// # Panics
 ///
 /// Panics if slice lengths disagree with the shape parameters.
@@ -58,16 +129,47 @@ pub fn attend_one(
     seq_len: usize,
     shape: &AttentionShape,
 ) -> Vec<f32> {
+    let mut out = Vec::new();
+    let mut scratch = AttentionScratch::default();
+    attend_one_into(q, keys, values, seq_len, shape, &mut scratch, &mut out);
+    out
+}
+
+/// [`attend_one`] writing into caller-owned buffers: `out` is cleared and
+/// refilled with the `[num_heads × head_dim]` context vector. Bit-identical
+/// to [`attend_one`]; with warm buffers the call allocates nothing — the
+/// decode hot path reuses one scratch across every `(token, layer)` step.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the shape parameters.
+pub fn attend_one_into(
+    q: &[f32],
+    keys: &[f32],
+    values: &[f32],
+    seq_len: usize,
+    shape: &AttentionShape,
+    scratch: &mut AttentionScratch,
+    out: &mut Vec<f32>,
+) {
     let hd = shape.head_dim;
     assert_eq!(q.len(), shape.q_dim(), "query width mismatch");
     let group = shape.group_size().max(1);
-    let mut out = vec![0.0f32; shape.q_dim()];
-    let mut scores = Vec::new();
+    out.clear();
+    out.resize(shape.q_dim(), 0.0);
     for kvh in 0..shape.num_kv_heads {
         let out_g = &mut out[kvh * group * hd..(kvh + 1) * group * hd];
-        attend_kv_group_into(q, keys, values, seq_len, shape, kvh, out_g, &mut scores);
+        attend_kv_group_into(
+            q,
+            keys,
+            values,
+            seq_len,
+            shape,
+            kvh,
+            out_g,
+            &mut scratch.scores,
+        );
     }
-    out
 }
 
 /// Computes the context of the query heads sharing KV head `kv_head` for a
@@ -109,11 +211,17 @@ pub fn attend_kv_group(
     out
 }
 
-/// Shared kernel: attention of one KV head's query group, written into
-/// `out_g` (`group_size × head_dim` wide). `scores` is a reusable scratch
-/// buffer.
+/// [`attend_kv_group`] writing into caller-owned buffers: the group's
+/// context goes to `out_g` (`group_size × head_dim` wide, fully
+/// overwritten), `scores` is reusable scratch. Bit-identical to the
+/// allocating wrapper; this is the shard unit the parallel forward pass
+/// dispatches.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the shape parameters.
 #[allow(clippy::too_many_arguments)]
-fn attend_kv_group_into(
+pub fn attend_kv_group_into(
     q: &[f32],
     keys: &[f32],
     values: &[f32],
@@ -132,13 +240,11 @@ fn attend_kv_group_into(
         "value matrix shape mismatch"
     );
 
-    let start = match shape.window {
-        Some(w) => seq_len.saturating_sub(w),
-        None => 0,
-    };
+    let start = window_start(shape, seq_len);
     let span = seq_len - start;
     let inv_sqrt = 1.0 / (hd as f32).sqrt();
     let group = shape.group_size().max(1);
+    out_g.fill(0.0);
     scores.clear();
     scores.resize(span, 0.0);
 
@@ -160,6 +266,733 @@ fn attend_kv_group_into(
             for (o, &v) in out_h.iter_mut().zip(v_t) {
                 *o += p * v;
             }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Fused quantized-domain kernels
+// ----------------------------------------------------------------------
+
+/// Borrowed encoded KV tensor for the fused kernels: at least `seq_len`
+/// stored [`FusedVector`] rows plus the tensor's row-independent decode
+/// parameters. This is what the paged pool hands out in fused mode — no
+/// dequantized f32 image of these rows exists anywhere.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodedKv<'a> {
+    /// Encoded rows, one per cached token.
+    pub rows: &'a [FusedVector],
+    /// Decode parameters of the `(layer, kind)` tensor the rows belong to.
+    pub params: FusedReadParams,
+    /// The stream-maintained read plan for these rows (decode
+    /// coefficients, flat dense arena, precomputed COO patches; entry `i`
+    /// for `rows[i]`, at least `rows.len()` rows when present). `None`
+    /// makes the kernels rebuild coefficients into scratch and walk each
+    /// row's own buffers — correct but O(seq_len) extra work per call, so
+    /// production read paths hand the stream's plan through.
+    pub plan: Option<&'a EncodedReadPlan>,
+}
+
+/// Fused-kernel analogue of [`attend_one`]: computes the single-token
+/// context vector reading `keys`/`values` **directly in their encoded
+/// form**. Scores and weighted sums run over the packed 4-bit dense
+/// matrix through per-row [`RowDecode`] coefficients, with each COO
+/// outlier's contribution patched into the accumulator afterwards.
+///
+/// Numerically this is SQNR-bounded against [`attend_one`] over the
+/// dequantized views (see `oaken_core::kernel`), not bit-exact.
+///
+/// Allocating convenience wrapper over [`attend_one_fused_into`].
+///
+/// # Panics
+///
+/// Panics if `q` disagrees with the shape, fewer than `seq_len` encoded
+/// rows are supplied, or a row's width disagrees with `kv_dim`.
+pub fn attend_one_fused(
+    q: &[f32],
+    keys: &EncodedKv<'_>,
+    values: &EncodedKv<'_>,
+    seq_len: usize,
+    shape: &AttentionShape,
+) -> Vec<f32> {
+    let mut out = Vec::new();
+    let mut scratch = AttentionScratch::default();
+    attend_one_fused_into(q, keys, values, seq_len, shape, &mut scratch, &mut out);
+    out
+}
+
+/// [`attend_one_fused`] writing into caller-owned buffers; with warm
+/// buffers the call allocates nothing. The per-row decode coefficients are
+/// prepared once and shared across every KV head of the token.
+///
+/// # Panics
+///
+/// Same conditions as [`attend_one_fused`].
+pub fn attend_one_fused_into(
+    q: &[f32],
+    keys: &EncodedKv<'_>,
+    values: &EncodedKv<'_>,
+    seq_len: usize,
+    shape: &AttentionShape,
+    scratch: &mut AttentionScratch,
+    out: &mut Vec<f32>,
+) {
+    let hd = shape.head_dim;
+    assert_eq!(q.len(), shape.q_dim(), "query width mismatch");
+    let group = shape.group_size().max(1);
+    out.clear();
+    out.resize(shape.q_dim(), 0.0);
+    prepare_decodes(keys, values, seq_len, shape, scratch);
+    let (scores, kd, vd) = scratch.decode_slices(keys, values, seq_len, shape);
+    for kvh in 0..shape.num_kv_heads {
+        let out_g = &mut out[kvh * group * hd..(kvh + 1) * group * hd];
+        fused_group_kernel(q, keys, values, seq_len, shape, kvh, out_g, scores, kd, vd);
+    }
+}
+
+/// Fused-kernel analogue of [`attend_kv_group`]: one KV head's query-group
+/// context computed directly over the encoded rows. Shards tile
+/// [`attend_one_fused`] bit-exactly, so the parallel forward pass can fan
+/// fused groups out across threads exactly like exact ones.
+///
+/// # Panics
+///
+/// Same conditions as [`attend_one_fused`], plus
+/// `kv_head >= num_kv_heads`.
+pub fn attend_kv_group_fused(
+    q: &[f32],
+    keys: &EncodedKv<'_>,
+    values: &EncodedKv<'_>,
+    seq_len: usize,
+    shape: &AttentionShape,
+    kv_head: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; shape.group_size().max(1) * shape.head_dim];
+    let mut scratch = AttentionScratch::default();
+    attend_kv_group_fused_into(
+        q,
+        keys,
+        values,
+        seq_len,
+        shape,
+        kv_head,
+        &mut out,
+        &mut scratch,
+    );
+    out
+}
+
+/// [`attend_kv_group_fused`] writing into caller-owned buffers: the
+/// group's context goes to `out_g` (`group_size × head_dim` wide, fully
+/// overwritten).
+///
+/// # Panics
+///
+/// Same conditions as [`attend_kv_group_fused`].
+#[allow(clippy::too_many_arguments)]
+pub fn attend_kv_group_fused_into(
+    q: &[f32],
+    keys: &EncodedKv<'_>,
+    values: &EncodedKv<'_>,
+    seq_len: usize,
+    shape: &AttentionShape,
+    kv_head: usize,
+    out_g: &mut [f32],
+    scratch: &mut AttentionScratch,
+) {
+    assert_eq!(q.len(), shape.q_dim(), "query width mismatch");
+    assert!(kv_head < shape.num_kv_heads, "kv head out of range");
+    prepare_decodes(keys, values, seq_len, shape, scratch);
+    let (scores, kd, vd) = scratch.decode_slices(keys, values, seq_len, shape);
+    fused_group_kernel(
+        q, keys, values, seq_len, shape, kv_head, out_g, scores, kd, vd,
+    );
+}
+
+/// Validates row counts and widths once up front so the inner loops can
+/// index without checks, and — only for tensors *without* a stream-side
+/// decode cache — rebuilds the per-row coefficient tables for the
+/// windowed span `start..seq_len` into scratch.
+fn prepare_decodes(
+    keys: &EncodedKv<'_>,
+    values: &EncodedKv<'_>,
+    seq_len: usize,
+    shape: &AttentionShape,
+    scratch: &mut AttentionScratch,
+) {
+    assert!(
+        keys.rows.len() >= seq_len,
+        "encoded key rows shorter than seq_len"
+    );
+    assert!(
+        values.rows.len() >= seq_len,
+        "encoded value rows shorter than seq_len"
+    );
+    if let Some(p) = keys.plan {
+        assert!(p.rows() >= seq_len, "key read plan shorter than seq_len");
+    }
+    if let Some(p) = values.plan {
+        assert!(p.rows() >= seq_len, "value read plan shorter than seq_len");
+    }
+    let kv_dim = shape.kv_dim();
+    let start = window_start(shape, seq_len);
+    scratch.key_decodes.clear();
+    scratch.value_decodes.clear();
+    for t in start..seq_len {
+        assert_eq!(keys.rows[t].dim(), kv_dim, "encoded key row width mismatch");
+        assert_eq!(
+            values.rows[t].dim(),
+            kv_dim,
+            "encoded value row width mismatch"
+        );
+        if keys.plan.is_none() {
+            scratch
+                .key_decodes
+                .push(RowDecode::for_row(&keys.rows[t], &keys.params));
+        }
+        if values.plan.is_none() {
+            scratch
+                .value_decodes
+                .push(RowDecode::for_row(&values.rows[t], &values.params));
+        }
+    }
+}
+
+/// Shared fused kernel for one KV head's query group. Expects
+/// [`prepare_decodes`] validation to have run, and takes the decode
+/// tables for the windowed span (entry `i` ↔ row `start + i`) from
+/// [`AttentionScratch::decode_slices`].
+#[allow(clippy::too_many_arguments)]
+fn fused_group_kernel(
+    q: &[f32],
+    keys: &EncodedKv<'_>,
+    values: &EncodedKv<'_>,
+    seq_len: usize,
+    shape: &AttentionShape,
+    kv_head: usize,
+    out_g: &mut [f32],
+    scores: &mut Vec<f32>,
+    key_decodes: &[RowDecode],
+    value_decodes: &[RowDecode],
+) {
+    let hd = shape.head_dim;
+    let start = window_start(shape, seq_len);
+    let span = seq_len - start;
+    let inv_sqrt = 1.0 / (hd as f32).sqrt();
+    let group = shape.group_size().max(1);
+    let col = kv_head * hd;
+    out_g.fill(0.0);
+    scores.clear();
+    scores.resize(span, 0.0);
+
+    let key_rows = &keys.rows[start..seq_len];
+    let value_rows = &values.rows[start..seq_len];
+    for g in 0..group {
+        let h = kv_head * group + g;
+        let q_h = &q[h * hd..(h + 1) * hd];
+        match keys.plan {
+            Some(p) => fused_dot_plan(q_h, p, start, seq_len, col, key_decodes, inv_sqrt, scores),
+            None => {
+                for (i, fv) in key_rows.iter().enumerate() {
+                    scores[i] = fused_dot(q_h, fv, col, &key_decodes[i]) * inv_sqrt;
+                }
+            }
+        }
+        softmax_in_place(scores);
+        let out_h = &mut out_g[g * hd..(g + 1) * hd];
+        match values.plan {
+            Some(p) => fused_axpy_plan(scores, p, start, seq_len, col, value_decodes, out_h),
+            None => {
+                for (i, fv) in value_rows.iter().enumerate() {
+                    let p = scores[i];
+                    if p != 0.0 {
+                        fused_axpy(p, fv, col, &value_decodes[i], out_h);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One scores pass over the plan-cached span `start..seq_len`:
+/// `scores[i] = (dense + patches) / sqrt(d)` for row `start + i`. The
+/// dense walk streams the plan's flat nibble arena (sequential memory, no
+/// per-row pointer chase); the COO patch-up applies the precomputed
+/// `(index, delta)` pairs without re-parsing packed bytes. With the
+/// AVX-512 lane the whole span runs inside one `#[target_feature]` call
+/// and the patch-up follows as a scalar sweep (same per-row expression,
+/// patch terms summed before the dense total — a few-ULP reassociation of
+/// the same class as the documented feature-toggle variance).
+#[allow(clippy::too_many_arguments)]
+fn fused_dot_plan(
+    q_h: &[f32],
+    plan: &EncodedReadPlan,
+    start: usize,
+    seq_len: usize,
+    col: usize,
+    decs: &[RowDecode],
+    inv_sqrt: f32,
+    scores: &mut [f32],
+) {
+    let stride = plan.dense_stride();
+    let arena = &plan.dense_arena()[start * stride..seq_len * stride];
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::dot_block(q_h, arena, stride, col, decs, scores) {
+        for (i, s) in scores.iter_mut().enumerate() {
+            *s = (*s + patch_dot(q_h, plan.patches_for(start + i), col)) * inv_sqrt;
+        }
+        return;
+    }
+    for (i, s) in scores.iter_mut().enumerate() {
+        let bytes = &arena[i * stride..(i + 1) * stride];
+        let dense = dense_dot(q_h, bytes, col, &decs[i]);
+        *s = (dense + patch_dot(q_h, plan.patches_for(start + i), col)) * inv_sqrt;
+    }
+}
+
+/// One weighted-sum pass over the plan-cached span, mirroring
+/// [`fused_dot_plan`]: `out_h += probs[i] · row(start + i)`, zero
+/// probabilities skipped.
+fn fused_axpy_plan(
+    probs: &[f32],
+    plan: &EncodedReadPlan,
+    start: usize,
+    seq_len: usize,
+    col: usize,
+    decs: &[RowDecode],
+    out_h: &mut [f32],
+) {
+    let stride = plan.dense_stride();
+    let arena = &plan.dense_arena()[start * stride..seq_len * stride];
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::axpy_block(probs, arena, stride, col, decs, out_h) {
+        for (i, &p) in probs.iter().enumerate() {
+            if p != 0.0 {
+                patch_axpy(p, plan.patches_for(start + i), col, out_h);
+            }
+        }
+        return;
+    }
+    for (i, &p) in probs.iter().enumerate() {
+        if p == 0.0 {
+            continue;
+        }
+        let bytes = &arena[i * stride..(i + 1) * stride];
+        dense_axpy(p, bytes, col, &decs[i], out_h);
+        patch_axpy(p, plan.patches_for(start + i), col, out_h);
+    }
+}
+
+/// Applies a row's precomputed COO corrections to a dot product: the sum
+/// of `q_h[index - col] · delta` over patches inside `col .. col + len`.
+/// The patch list is index-sorted, so the loop early-exits past the head
+/// slice.
+#[inline]
+fn patch_dot(q_h: &[f32], patches: &[OutlierPatch], col: usize) -> f32 {
+    let col = col as u32;
+    let end = col + q_h.len() as u32;
+    let mut acc = 0.0f32;
+    for p in patches {
+        if p.index < col {
+            continue;
+        }
+        if p.index >= end {
+            break;
+        }
+        acc += q_h[(p.index - col) as usize] * p.delta;
+    }
+    acc
+}
+
+/// Applies a row's precomputed COO corrections to a weighted sum:
+/// `out_h[index - col] += p · delta` for patches inside the head slice.
+#[inline]
+fn patch_axpy(p: f32, patches: &[OutlierPatch], col: usize, out_h: &mut [f32]) {
+    let col = col as u32;
+    let end = col + out_h.len() as u32;
+    for e in patches {
+        if e.index < col {
+            continue;
+        }
+        if e.index >= end {
+            break;
+        }
+        out_h[(e.index - col) as usize] += p * e.delta;
+    }
+}
+
+/// Quantized-domain dot product of `q_h` against columns
+/// `col .. col + q_h.len()` of one encoded row: a dense nibble pass with
+/// the row's middle coefficients, then a COO patch-up replacing each
+/// in-range outlier's middle contribution with its outlier value. The COO
+/// stream is index-sorted, so the patch loop early-exits past the head
+/// slice.
+fn fused_dot(q_h: &[f32], fv: &FusedVector, col: usize, dec: &RowDecode) -> f32 {
+    dense_dot(q_h, fv.dense_bytes(), col, dec) + outlier_dot_patch(q_h, fv, col, dec)
+}
+
+/// The COO correction term of [`fused_dot`]: for each in-range outlier,
+/// the difference between its outlier reconstruction and the middle value
+/// the dense pass already charged, weighted by the query element.
+fn outlier_dot_patch(q_h: &[f32], fv: &FusedVector, col: usize, dec: &RowDecode) -> f32 {
+    let mut acc = 0.0f32;
+    let end = col + q_h.len();
+    for e in fv.outliers() {
+        if e.index < col {
+            continue;
+        }
+        if e.index >= end {
+            break;
+        }
+        let code = u32::from(fv.dense_code(e.index));
+        acc += q_h[e.index - col] * (dec.outlier(e.group, e.high_side, code) - dec.middle(code));
+    }
+    acc
+}
+
+/// Quantized-domain `out_h += p · v[col..col+len]` over one encoded row:
+/// dense nibble pass plus COO patch-up, mirroring [`fused_dot`].
+fn fused_axpy(p: f32, fv: &FusedVector, col: usize, dec: &RowDecode, out_h: &mut [f32]) {
+    dense_axpy(p, fv.dense_bytes(), col, dec, out_h);
+    outlier_axpy_patch(p, fv, col, dec, out_h);
+}
+
+/// The COO correction of [`fused_axpy`], mirroring [`outlier_dot_patch`].
+fn outlier_axpy_patch(p: f32, fv: &FusedVector, col: usize, dec: &RowDecode, out_h: &mut [f32]) {
+    let end = col + out_h.len();
+    for e in fv.outliers() {
+        if e.index < col {
+            continue;
+        }
+        if e.index >= end {
+            break;
+        }
+        let code = u32::from(fv.dense_code(e.index));
+        out_h[e.index - col] += p * (dec.outlier(e.group, e.high_side, code) - dec.middle(code));
+    }
+}
+
+/// Dense nibble `i` of a packed code buffer — the
+/// [`FusedVector::dense_bytes`] layout (element `i` in nibble `i`, low
+/// nibble first), shared by the per-row buffers and the plan's flat
+/// arena.
+#[inline]
+fn code_at(bytes: &[u8], i: usize) -> u32 {
+    let b = bytes[i / 2];
+    u32::from(if i.is_multiple_of(2) { b & 0xF } else { b >> 4 })
+}
+
+/// Scalar dense-pass dot product — the reference lane the `simd` feature's
+/// kernels are tested against.
+#[cfg_attr(all(feature = "simd", target_arch = "x86_64"), allow(dead_code))]
+fn dense_dot_scalar(q_h: &[f32], bytes: &[u8], col: usize, dec: &RowDecode) -> f32 {
+    let mut acc = 0.0f32;
+    for (j, &qv) in q_h.iter().enumerate() {
+        acc += qv * dec.middle(code_at(bytes, col + j));
+    }
+    acc
+}
+
+/// Scalar dense-pass axpy — the reference lane the `simd` feature's
+/// kernels are tested against.
+#[cfg_attr(all(feature = "simd", target_arch = "x86_64"), allow(dead_code))]
+fn dense_axpy_scalar(p: f32, bytes: &[u8], col: usize, dec: &RowDecode, out_h: &mut [f32]) {
+    for (j, o) in out_h.iter_mut().enumerate() {
+        *o += p * dec.middle(code_at(bytes, col + j));
+    }
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+use dense_axpy_scalar as dense_axpy;
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+use dense_dot_scalar as dense_dot;
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+use simd::{dense_axpy, dense_dot};
+
+/// `std::arch` lanes for the dense nibble walk, enabled by the `simd`
+/// cargo feature on x86-64. With AVX-512F (detected at runtime) sixteen
+/// dense codes are unpacked per iteration from one 8-byte load and decoded
+/// by a single table permute over the row's
+/// [`middle_lut`](RowDecode::middle_lut); otherwise an SSE2 lane unpacks
+/// four codes per iteration with the compare/blend decode. Per-element
+/// decoded values are bit-identical to the scalar lane in both cases, but
+/// the dot product's accumulation order differs (partial sums reduced at
+/// the end), so fused outputs may differ by a few ULP when the feature is
+/// toggled; the axpy lanes apply the same per-element expression as the
+/// scalar walk.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd {
+    use super::{code_at, RowDecode};
+    use std::arch::x86_64::*;
+    use std::sync::OnceLock;
+
+    /// One-time CPUID probe for the 512-bit lane.
+    fn use_avx512() -> bool {
+        static PROBE: OnceLock<bool> = OnceLock::new();
+        *PROBE.get_or_init(|| is_x86_feature_detected!("avx512f"))
+    }
+
+    pub(super) fn dense_dot(q_h: &[f32], bytes: &[u8], col: usize, dec: &RowDecode) -> f32 {
+        if use_avx512() {
+            // SAFETY: `use_avx512` verified AVX-512F support on this CPU.
+            unsafe { dense_dot_avx512(q_h, bytes, col, dec) }
+        } else {
+            dense_dot_sse2(q_h, bytes, col, dec)
+        }
+    }
+
+    pub(super) fn dense_axpy(p: f32, bytes: &[u8], col: usize, dec: &RowDecode, out_h: &mut [f32]) {
+        if use_avx512() {
+            // SAFETY: `use_avx512` verified AVX-512F support on this CPU.
+            unsafe { dense_axpy_avx512(p, bytes, col, dec, out_h) }
+        } else {
+            dense_axpy_sse2(p, bytes, col, dec, out_h)
+        }
+    }
+
+    /// Batched dense-dot over a span of the plan's flat nibble arena
+    /// (row `i` at `arena[i·stride..]`), or `false` without AVX-512F (the
+    /// caller then falls back to the per-row lane). Keeping the row loop
+    /// inside one `#[target_feature]` function lets the per-row kernel
+    /// inline — no vector-transition call per token row — while the arena
+    /// keeps the walk on sequential, prefetchable memory.
+    pub(super) fn dot_block(
+        q_h: &[f32],
+        arena: &[u8],
+        stride: usize,
+        col: usize,
+        decs: &[RowDecode],
+        scores: &mut [f32],
+    ) -> bool {
+        if !use_avx512() {
+            return false;
+        }
+        // SAFETY: `use_avx512` verified AVX-512F support on this CPU.
+        unsafe { dot_block_avx512(q_h, arena, stride, col, decs, scores) };
+        true
+    }
+
+    /// Batched dense-axpy over a span of the plan's arena, or `false`
+    /// without AVX-512F; skips zero probabilities like the scalar walk.
+    pub(super) fn axpy_block(
+        probs: &[f32],
+        arena: &[u8],
+        stride: usize,
+        col: usize,
+        decs: &[RowDecode],
+        out_h: &mut [f32],
+    ) -> bool {
+        if !use_avx512() {
+            return false;
+        }
+        // SAFETY: `use_avx512` verified AVX-512F support on this CPU.
+        unsafe { axpy_block_avx512(probs, arena, stride, col, decs, out_h) };
+        true
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn dot_block_avx512(
+        q_h: &[f32],
+        arena: &[u8],
+        stride: usize,
+        col: usize,
+        decs: &[RowDecode],
+        scores: &mut [f32],
+    ) {
+        for (i, s) in scores.iter_mut().enumerate() {
+            let bytes = &arena[i * stride..(i + 1) * stride];
+            // SAFETY: caller upholds the row-width contract checked in
+            // `prepare_decodes`; same target features, so this inlines.
+            *s = unsafe { dense_dot_avx512(q_h, bytes, col, &decs[i]) };
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn axpy_block_avx512(
+        probs: &[f32],
+        arena: &[u8],
+        stride: usize,
+        col: usize,
+        decs: &[RowDecode],
+        out_h: &mut [f32],
+    ) {
+        for (i, &p) in probs.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let bytes = &arena[i * stride..(i + 1) * stride];
+            // SAFETY: as in `dot_block_avx512`.
+            unsafe { dense_axpy_avx512(p, bytes, col, &decs[i], out_h) };
+        }
+    }
+
+    /// Lane selector for the 16-wide walks: the low 8 dwords replicate the
+    /// loaded 8-byte word's low half, the high 8 its high half, so the
+    /// per-lane shifts `4·(k mod 8)` put nibble `k` in lane `k`.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn nibble_codes(d: u64) -> __m512i {
+        let sel = _mm512_set_epi32(1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0);
+        let shifts = _mm512_set_epi32(28, 24, 20, 16, 12, 8, 4, 0, 28, 24, 20, 16, 12, 8, 4, 0);
+        let dw = _mm512_permutexvar_epi32(sel, _mm512_set1_epi64(d as i64));
+        _mm512_and_si512(_mm512_srlv_epi32(dw, shifts), _mm512_set1_epi32(15))
+    }
+
+    /// AVX-512F dot: 16 nibbles per iteration, decoded with one
+    /// `vpermps` over the row's 16-entry value table.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn dense_dot_avx512(q_h: &[f32], bytes: &[u8], col: usize, dec: &RowDecode) -> f32 {
+        let mut acc = 0.0f32;
+        let mut j = 0usize;
+        // Peel an odd starting column so the vector body is byte-aligned.
+        if col % 2 == 1 && !q_h.is_empty() {
+            acc += q_h[0] * dec.middle(code_at(bytes, col));
+            j = 1;
+        }
+        // SAFETY: `j + 16 <= q_h.len()` bounds the query loads and — with
+        // the row width checked by the caller — the 8-byte nibble reads
+        // (`(col + j) / 2 + 8 <= bytes.len()`).
+        unsafe {
+            let lut = _mm512_loadu_ps(dec.middle_lut.as_ptr());
+            let mut vacc = _mm512_setzero_ps();
+            while j + 16 <= q_h.len() {
+                let d = (bytes.as_ptr().add((col + j) / 2) as *const u64).read_unaligned();
+                let vals = _mm512_permutexvar_ps(nibble_codes(d), lut);
+                let qv = _mm512_loadu_ps(q_h.as_ptr().add(j));
+                vacc = _mm512_fmadd_ps(qv, vals, vacc);
+                j += 16;
+            }
+            acc += _mm512_reduce_add_ps(vacc);
+        }
+        while j < q_h.len() {
+            acc += q_h[j] * dec.middle(code_at(bytes, col + j));
+            j += 1;
+        }
+        acc
+    }
+
+    /// AVX-512F axpy: same unpack as the dot, with the scalar lane's
+    /// unfused `out += p · v` rounding (separate multiply and add).
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn dense_axpy_avx512(
+        p: f32,
+        bytes: &[u8],
+        col: usize,
+        dec: &RowDecode,
+        out_h: &mut [f32],
+    ) {
+        let mut j = 0usize;
+        if col % 2 == 1 && !out_h.is_empty() {
+            out_h[0] += p * dec.middle(code_at(bytes, col));
+            j = 1;
+        }
+        // SAFETY: as in `dense_dot_avx512`; stores stay within `out_h`
+        // because `j + 16 <= out_h.len()`.
+        unsafe {
+            let lut = _mm512_loadu_ps(dec.middle_lut.as_ptr());
+            let pv = _mm512_set1_ps(p);
+            while j + 16 <= out_h.len() {
+                let d = (bytes.as_ptr().add((col + j) / 2) as *const u64).read_unaligned();
+                let vals = _mm512_permutexvar_ps(nibble_codes(d), lut);
+                let cur = _mm512_loadu_ps(out_h.as_ptr().add(j));
+                _mm512_storeu_ps(
+                    out_h.as_mut_ptr().add(j),
+                    _mm512_add_ps(cur, _mm512_mul_ps(pv, vals)),
+                );
+                j += 16;
+            }
+        }
+        while j < out_h.len() {
+            out_h[j] += p * dec.middle(code_at(bytes, col + j));
+            j += 1;
+        }
+    }
+
+    fn dense_dot_sse2(q_h: &[f32], bytes: &[u8], col: usize, dec: &RowDecode) -> f32 {
+        let mut acc = 0.0f32;
+        let mut j = 0usize;
+        // Peel an odd starting column so the vector body is byte-aligned.
+        if col % 2 == 1 && !q_h.is_empty() {
+            acc += q_h[0] * dec.middle(code_at(bytes, col));
+            j = 1;
+        }
+        // SAFETY: SSE2 is baseline on every x86_64 target; loads are
+        // unaligned (`loadu`) and `j + 4 <= q_h.len()` bounds the query
+        // pointer while `(col + j + 3) / 2 < bytes.len()` (row width
+        // checked by the caller) bounds the nibble reads.
+        unsafe {
+            let step = _mm_set1_ps(dec.mid_step);
+            let base_hi = _mm_set1_ps(dec.base_hi);
+            let base_lo = _mm_set1_ps(dec.base_lo);
+            let c0 = _mm_set1_epi32(dec.c0 as i32);
+            let mut vacc = _mm_setzero_ps();
+            while j + 4 <= q_h.len() {
+                let byte = (col + j) / 2;
+                let b0 = i32::from(bytes[byte]);
+                let b1 = i32::from(bytes[byte + 1]);
+                let codes = _mm_set_epi32(b1 >> 4, b1 & 15, b0 >> 4, b0 & 15);
+                let lo_mask = _mm_castsi128_ps(_mm_cmplt_epi32(codes, c0));
+                let base = _mm_or_ps(
+                    _mm_and_ps(lo_mask, base_lo),
+                    _mm_andnot_ps(lo_mask, base_hi),
+                );
+                let vals = _mm_add_ps(_mm_mul_ps(_mm_cvtepi32_ps(codes), step), base);
+                let qv = _mm_loadu_ps(q_h.as_ptr().add(j));
+                vacc = _mm_add_ps(vacc, _mm_mul_ps(qv, vals));
+                j += 4;
+            }
+            // Horizontal sum of the four lanes.
+            let shuf = _mm_shuffle_ps(vacc, vacc, 0b10_11_00_01);
+            let sums = _mm_add_ps(vacc, shuf);
+            let high = _mm_movehl_ps(sums, sums);
+            acc += _mm_cvtss_f32(_mm_add_ss(sums, high));
+        }
+        while j < q_h.len() {
+            acc += q_h[j] * dec.middle(code_at(bytes, col + j));
+            j += 1;
+        }
+        acc
+    }
+
+    fn dense_axpy_sse2(p: f32, bytes: &[u8], col: usize, dec: &RowDecode, out_h: &mut [f32]) {
+        let mut j = 0usize;
+        if col % 2 == 1 && !out_h.is_empty() {
+            out_h[0] += p * dec.middle(code_at(bytes, col));
+            j = 1;
+        }
+        // SAFETY: as in `dense_dot`; stores stay within `out_h` because
+        // `j + 4 <= out_h.len()`.
+        unsafe {
+            let step = _mm_set1_ps(dec.mid_step);
+            let base_hi = _mm_set1_ps(dec.base_hi);
+            let base_lo = _mm_set1_ps(dec.base_lo);
+            let c0 = _mm_set1_epi32(dec.c0 as i32);
+            let pv = _mm_set1_ps(p);
+            while j + 4 <= out_h.len() {
+                let byte = (col + j) / 2;
+                let b0 = i32::from(bytes[byte]);
+                let b1 = i32::from(bytes[byte + 1]);
+                let codes = _mm_set_epi32(b1 >> 4, b1 & 15, b0 >> 4, b0 & 15);
+                let lo_mask = _mm_castsi128_ps(_mm_cmplt_epi32(codes, c0));
+                let base = _mm_or_ps(
+                    _mm_and_ps(lo_mask, base_lo),
+                    _mm_andnot_ps(lo_mask, base_hi),
+                );
+                let vals = _mm_add_ps(_mm_mul_ps(_mm_cvtepi32_ps(codes), step), base);
+                let cur = _mm_loadu_ps(out_h.as_ptr().add(j));
+                _mm_storeu_ps(
+                    out_h.as_mut_ptr().add(j),
+                    _mm_add_ps(cur, _mm_mul_ps(pv, vals)),
+                );
+                j += 4;
+            }
+        }
+        while j < out_h.len() {
+            out_h[j] += p * dec.middle(code_at(bytes, col + j));
+            j += 1;
         }
     }
 }
@@ -266,6 +1099,228 @@ mod tests {
                 .collect();
             let pb: Vec<u32> = part.iter().map(|v| v.to_bits()).collect();
             assert_eq!(wb, pb, "kv head {kvh} diverged");
+        }
+    }
+
+    /// `attend_one_into` with reused (dirty) buffers must reproduce
+    /// `attend_one` bit-for-bit.
+    #[test]
+    fn into_variant_matches_allocating_variant_bitwise() {
+        let s = shape(4, 2, 3, Some(5));
+        let seq_len = 7;
+        let q: Vec<f32> = (0..s.q_dim()).map(|i| (i as f32) * 0.3 - 1.7).collect();
+        let keys: Vec<f32> = (0..seq_len * s.kv_dim())
+            .map(|i| ((i * 53 + 3) % 31) as f32 / 7.0 - 1.9)
+            .collect();
+        let values: Vec<f32> = (0..seq_len * s.kv_dim())
+            .map(|i| ((i * 29 + 17) % 41) as f32 / 9.0 - 2.3)
+            .collect();
+        let fresh = attend_one(&q, &keys, &values, seq_len, &s);
+        let mut scratch = AttentionScratch::default();
+        let mut out = vec![42.0; 99]; // deliberately dirty and wrong-sized
+        scratch.scores.resize(33, 7.0);
+        for _ in 0..2 {
+            attend_one_into(&q, &keys, &values, seq_len, &s, &mut scratch, &mut out);
+            let fb: Vec<u32> = fresh.iter().map(|v| v.to_bits()).collect();
+            let ob: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fb, ob);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fused-kernel tests: quantize real rows through the Oaken pipeline
+    // and compare quantized-domain attention against the exact kernels
+    // over the dequantized views.
+    // ------------------------------------------------------------------
+
+    use oaken_core::{KvKind, OakenConfig, OakenQuantizer, OfflineProfiler};
+
+    fn kv_row(d: usize, seed: u64) -> Vec<f32> {
+        (0..d)
+            .map(|i| {
+                let u = ((i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(seed.wrapping_mul(0xD1B54A32D192ED03))
+                    >> 33) as f32
+                    / (1u64 << 31) as f32;
+                let base = (u - 0.5) * 4.0;
+                match i % 37 {
+                    0 => base * 8.0,
+                    1 => base * 0.02,
+                    _ => base,
+                }
+            })
+            .collect()
+    }
+
+    fn oaken(d: usize) -> OakenQuantizer {
+        let config = OakenConfig::default();
+        let mut p = OfflineProfiler::new(config.clone(), 1);
+        for s in 0..48 {
+            for kind in KvKind::ALL {
+                p.observe(0, kind, &kv_row(d.max(256), s * 11 + 5));
+            }
+        }
+        OakenQuantizer::new(config, p.try_finish().unwrap())
+    }
+
+    /// Quantizes `seq_len` rows, returning the encoded rows and the exact
+    /// dequantized view for one kind.
+    fn encode_rows(
+        q: &OakenQuantizer,
+        kind: KvKind,
+        seq_len: usize,
+        kv_dim: usize,
+        seed: u64,
+    ) -> (Vec<FusedVector>, Vec<f32>) {
+        let mut rows = Vec::new();
+        let mut view = Vec::new();
+        for t in 0..seq_len {
+            let x = kv_row(kv_dim, seed + t as u64 * 131);
+            let fv = q.quantize_vector(&x, 0, kind).unwrap();
+            view.extend_from_slice(&q.dequantize_vector(&fv, 0, kind).unwrap());
+            rows.push(fv);
+        }
+        (rows, view)
+    }
+
+    fn max_rel_err(a: &[f32], b: &[f32]) -> f32 {
+        let range = a.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1e-6);
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs() / range)
+            .fold(0.0f32, f32::max)
+    }
+
+    #[test]
+    fn fused_attention_close_to_exact_over_decoded_views() {
+        // GQA + window + odd head_dim to exercise the unaligned column
+        // paths of the dense nibble walk.
+        for (heads, kv, hd, window) in [(4, 2, 16, None), (6, 3, 5, Some(9)), (2, 2, 32, Some(4))] {
+            let s = shape(heads, kv, hd, window);
+            let quant = oaken(s.kv_dim());
+            let kp = quant.fused_read_params(0, KvKind::Key).unwrap();
+            let vp = quant.fused_read_params(0, KvKind::Value).unwrap();
+            let seq_len = 13;
+            let (krows, kview) = encode_rows(&quant, KvKind::Key, seq_len, s.kv_dim(), 1);
+            let (vrows, vview) = encode_rows(&quant, KvKind::Value, seq_len, s.kv_dim(), 2);
+            let q: Vec<f32> = kv_row(s.q_dim(), 977);
+            let exact = attend_one(&q, &kview, &vview, seq_len, &s);
+            let fused = attend_one_fused(
+                &q,
+                &EncodedKv {
+                    rows: &krows,
+                    params: kp,
+                    plan: None,
+                },
+                &EncodedKv {
+                    rows: &vrows,
+                    params: vp,
+                    plan: None,
+                },
+                seq_len,
+                &s,
+            );
+            let err = max_rel_err(&exact, &fused);
+            assert!(
+                err <= 5e-4,
+                "fused diverged from exact: rel err {err} at shape {s:?}"
+            );
+        }
+    }
+
+    /// The fused per-KV-head shard must tile `attend_one_fused` bitwise,
+    /// mirroring the exact-path invariant the parallel forward relies on.
+    #[test]
+    fn fused_group_shards_tile_fused_attend_one_bitwise() {
+        let s = shape(4, 2, 6, Some(5));
+        let quant = oaken(s.kv_dim());
+        let kp = quant.fused_read_params(0, KvKind::Key).unwrap();
+        let vp = quant.fused_read_params(0, KvKind::Value).unwrap();
+        let seq_len = 7;
+        let (krows, _) = encode_rows(&quant, KvKind::Key, seq_len, s.kv_dim(), 5);
+        let (vrows, _) = encode_rows(&quant, KvKind::Value, seq_len, s.kv_dim(), 6);
+        let keys = EncodedKv {
+            rows: &krows,
+            params: kp,
+            plan: None,
+        };
+        let values = EncodedKv {
+            rows: &vrows,
+            params: vp,
+            plan: None,
+        };
+        let q: Vec<f32> = kv_row(s.q_dim(), 311);
+        let whole = attend_one_fused(&q, &keys, &values, seq_len, &s);
+        let gw = s.group_size() * s.head_dim;
+        for kvh in 0..s.num_kv_heads {
+            let part = attend_kv_group_fused(&q, &keys, &values, seq_len, &s, kvh);
+            let wb: Vec<u32> = whole[kvh * gw..(kvh + 1) * gw]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let pb: Vec<u32> = part.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(wb, pb, "fused kv head {kvh} diverged");
+        }
+    }
+
+    #[test]
+    fn fused_sliding_window_ignores_old_tokens() {
+        let s = shape(1, 1, 8, Some(2));
+        let quant = oaken(s.kv_dim());
+        let kp = quant.fused_read_params(0, KvKind::Key).unwrap();
+        let vp = quant.fused_read_params(0, KvKind::Value).unwrap();
+        let seq_len = 6;
+        let (krows, kview) = encode_rows(&quant, KvKind::Key, seq_len, s.kv_dim(), 21);
+        let (vrows, vview) = encode_rows(&quant, KvKind::Value, seq_len, s.kv_dim(), 22);
+        let q: Vec<f32> = kv_row(s.q_dim(), 555);
+        let exact = attend_one(&q, &kview, &vview, seq_len, &s);
+        let fused = attend_one_fused(
+            &q,
+            &EncodedKv {
+                rows: &krows,
+                params: kp,
+                plan: None,
+            },
+            &EncodedKv {
+                rows: &vrows,
+                params: vp,
+                plan: None,
+            },
+            seq_len,
+            &s,
+        );
+        assert!(max_rel_err(&exact, &fused) <= 5e-4);
+    }
+
+    /// With the `simd` feature on, the SSE2 dense lanes must stay within a
+    /// few ULP of the scalar reference, including odd starting columns.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[test]
+    fn simd_dense_lanes_match_scalar_reference() {
+        let kv_dim = 33; // odd width → odd columns for kv_head 1 when hd=11
+        let quant = oaken(kv_dim);
+        let kp = quant.fused_read_params(0, KvKind::Key).unwrap();
+        for seed in 0..8u64 {
+            let x = kv_row(kv_dim, seed * 17 + 3);
+            let fv = quant.quantize_vector(&x, 0, KvKind::Key).unwrap();
+            let dec = RowDecode::for_row(&fv, &kp);
+            for (col, width) in [(0usize, 16usize), (11, 11), (3, 7), (32, 1), (5, 0)] {
+                let qv = kv_row(width, seed + 900 + col as u64);
+                let simd_dot = simd::dense_dot(&qv, fv.dense_bytes(), col, &dec);
+                let scalar_dot = dense_dot_scalar(&qv, fv.dense_bytes(), col, &dec);
+                assert!(
+                    (simd_dot - scalar_dot).abs() <= scalar_dot.abs().max(1.0) * 1e-5,
+                    "dot diverged at col {col}: simd {simd_dot} scalar {scalar_dot}"
+                );
+                let mut a = vec![0.5f32; width];
+                let mut b = a.clone();
+                simd::dense_axpy(0.37, fv.dense_bytes(), col, &dec, &mut a);
+                dense_axpy_scalar(0.37, fv.dense_bytes(), col, &dec, &mut b);
+                for (x, y) in a.iter().zip(&b) {
+                    assert!((x - y).abs() <= 1e-6, "axpy diverged: {x} vs {y}");
+                }
+            }
         }
     }
 }

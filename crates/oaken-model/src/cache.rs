@@ -44,8 +44,65 @@
 //! Streams are bit-exact with the batch path on every prefix — enforced by
 //! the property tests in `tests/props.rs`.
 
+use crate::attention::EncodedKv;
 use oaken_core::{KvKind, KvQuantizer, KvRowStream};
 use std::sync::Arc;
+
+/// Which attention read path the engine runs against a quantized cache.
+///
+/// * [`Exact`](KernelMode::Exact) — every append materializes the row's
+///   dequantized f32 image and attention runs the exact kernels over the
+///   views: the bit-exactness reference, unchanged from before fused
+///   kernels existed.
+/// * [`Fused`](KernelMode::Fused) — appends keep rows **only in their
+///   encoded form** and attention runs the quantized-domain kernels
+///   ([`crate::attend_one_fused`]) straight over the stored
+///   [`oaken_core::FusedVector`]s: resident KV bytes equal the encoded
+///   footprint, and reads skip the dequantize-then-dot roundtrip. The
+///   numeric contract is SQNR-bounded against `Exact` (see
+///   `oaken_core::kernel`), not bit-exact.
+///
+/// Methods without an encoded form (every non-Oaken baseline) silently
+/// keep their exact path under `Fused`; the mode is a capability request,
+/// not a guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Materialized f32 views + exact kernels (bit-exact reference).
+    #[default]
+    Exact,
+    /// Quantized-domain kernels over the encoded rows.
+    Fused,
+}
+
+impl KernelMode {
+    /// Parses a CLI/env spelling (`"exact"` / `"fused"`, case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.eq_ignore_ascii_case("exact") {
+            Some(KernelMode::Exact)
+        } else if s.eq_ignore_ascii_case("fused") {
+            Some(KernelMode::Fused)
+        } else {
+            None
+        }
+    }
+
+    /// The mode selected by the `OAKEN_KERNEL` environment variable
+    /// (unset or unrecognized → [`Exact`](KernelMode::Exact)).
+    pub fn default_mode() -> Self {
+        match std::env::var("OAKEN_KERNEL") {
+            Ok(v) => Self::parse(&v).unwrap_or(KernelMode::Exact),
+            Err(_) => KernelMode::Exact,
+        }
+    }
+
+    /// Stable lowercase label for logs and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelMode::Exact => "exact",
+            KernelMode::Fused => "fused",
+        }
+    }
+}
 
 /// Storage backend for the per-layer KV cache.
 pub trait KvCacheBackend: Send {
@@ -73,6 +130,39 @@ pub trait KvCacheBackend: Send {
 
     /// Mean stored bits per cached element, for capacity accounting.
     fn stored_bits_per_elem(&self) -> f64;
+
+    /// The layer's cached K and V tensors in their **encoded form**, when
+    /// this backend runs the fused read path for `layer`. `None` (the
+    /// default, and the answer of every purely-f32 backend) sends the
+    /// caller to [`keys`](KvCacheBackend::keys) /
+    /// [`values`](KvCacheBackend::values) and the exact kernels. Takes
+    /// `&self` so both tensors can be borrowed together.
+    fn encoded_kv(&self, layer: usize) -> Option<(EncodedKv<'_>, EncodedKv<'_>)> {
+        let _ = layer;
+        None
+    }
+
+    /// Cheap probe: `true` iff [`encoded_kv`](KvCacheBackend::encoded_kv)
+    /// would serve `layer`. Split from the read itself so the branch
+    /// probe never touches a backend's read accounting.
+    fn has_encoded_kv(&self, layer: usize) -> bool {
+        self.encoded_kv(layer).is_some()
+    }
+
+    /// Requests an attention kernel for this backend, returning the mode
+    /// actually installed. The request is a *capability* negotiation, not
+    /// a command: backends without a fused read path (the default) ignore
+    /// it and stay [`KernelMode::Exact`]. Must be called before any row
+    /// is appended.
+    fn set_kernel_mode(&mut self, kernel: KernelMode) -> KernelMode {
+        let _ = kernel;
+        KernelMode::Exact
+    }
+
+    /// The backend's installed kernel mode.
+    fn kernel_mode(&self) -> KernelMode {
+        KernelMode::Exact
+    }
 }
 
 /// One slot's K/V rows within a batched append
@@ -140,6 +230,21 @@ pub trait BatchKvCache {
             self.append(it.slot, layer, it.k, it.v);
         }
     }
+
+    /// The `(slot, layer)` K and V tensors in their encoded form, when the
+    /// backend runs the fused read path for that slot. See
+    /// [`KvCacheBackend::encoded_kv`].
+    fn encoded_kv(&self, slot: usize, layer: usize) -> Option<(EncodedKv<'_>, EncodedKv<'_>)> {
+        let _ = (slot, layer);
+        None
+    }
+
+    /// Cheap probe: `true` iff [`encoded_kv`](BatchKvCache::encoded_kv)
+    /// would serve `(slot, layer)`. Split from the read itself so the
+    /// branch probe never touches a backend's read accounting.
+    fn has_encoded_kv(&self, slot: usize, layer: usize) -> bool {
+        self.encoded_kv(slot, layer).is_some()
+    }
 }
 
 /// Adapter exposing one single-sequence [`KvCacheBackend`] as a one-slot
@@ -166,6 +271,16 @@ impl BatchKvCache for SingleSlot<'_> {
     fn values(&mut self, slot: usize, layer: usize) -> &[f32] {
         assert_eq!(slot, 0, "single-sequence cache has one slot");
         self.0.values(layer)
+    }
+
+    fn encoded_kv(&self, slot: usize, layer: usize) -> Option<(EncodedKv<'_>, EncodedKv<'_>)> {
+        assert_eq!(slot, 0, "single-sequence cache has one slot");
+        self.0.encoded_kv(layer)
+    }
+
+    fn has_encoded_kv(&self, slot: usize, layer: usize) -> bool {
+        assert_eq!(slot, 0, "single-sequence cache has one slot");
+        self.0.has_encoded_kv(layer)
     }
 }
 
@@ -248,11 +363,18 @@ pub(crate) struct KindSlot {
     pub(crate) stream: Option<Box<dyn KvRowStream>>,
     /// Exact rows (fallback path only).
     pub(crate) exact: Vec<f32>,
-    /// Dequantized `[rows × d]` view.
+    /// Dequantized `[rows × d]` view. In fused mode this stays empty (or
+    /// short) — rows live only in the stream's encoded state and the view
+    /// is rebuilt lazily by [`KindSlot::ensure_view`] if an exact reader
+    /// asks for it.
     pub(crate) view: Vec<f32>,
     /// Fallback only: view is stale relative to `exact`.
     pub(crate) dirty: bool,
     pub(crate) rows: usize,
+    /// Appends go through the stream's encoded path, skipping the view.
+    /// Only ever true for streams whose quantizer supports the encoded
+    /// read path (checked when the mode is installed).
+    pub(crate) fused: bool,
 }
 
 impl KindSlot {
@@ -263,16 +385,39 @@ impl KindSlot {
             view: Vec::new(),
             dirty: false,
             rows: 0,
+            fused: false,
         }
     }
 
     pub(crate) fn append(&mut self, row: &[f32]) {
         self.rows += 1;
         match &mut self.stream {
-            Some(stream) => stream.append_row(row, &mut self.view),
+            Some(stream) => {
+                if !(self.fused && stream.append_row_encoded(row)) {
+                    stream.append_row(row, &mut self.view);
+                }
+            }
             None => {
                 self.exact.extend_from_slice(row);
                 self.dirty = true;
+            }
+        }
+    }
+
+    /// Extends `view` until it covers all `rows` — the exact-path escape
+    /// hatch for a fused slot (swap, logit recording, tests that compare
+    /// views). A no-op on exact slots, whose appends maintain the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is fused but its stream cannot decode (ruled out
+    /// by the capability check when the mode is installed).
+    pub(crate) fn ensure_view(&mut self, d: usize) {
+        if let Some(stream) = &self.stream {
+            let have = self.view.len() / d.max(1);
+            if have < self.rows {
+                let ok = stream.decode_rows_into(have, self.rows, &mut self.view);
+                assert!(ok, "fused slot's stream lost its decode capability");
             }
         }
     }
@@ -289,6 +434,25 @@ impl KindSlot {
         self.dirty = false;
         self.rows = 0;
     }
+
+    /// The slot's encoded tensor, when it runs the fused read path and
+    /// the stream's encoded state covers every appended row.
+    pub(crate) fn encoded(&self) -> Option<EncodedKv<'_>> {
+        if !self.fused {
+            return None;
+        }
+        let stream = self.stream.as_ref()?;
+        let rows = stream.encoded_rows()?;
+        if rows.len() != self.rows {
+            return None;
+        }
+        let params = stream.fused_read_params()?;
+        Some(EncodedKv {
+            rows,
+            params,
+            plan: stream.read_plan(),
+        })
+    }
 }
 
 /// A cache that stores all KV data through a [`KvQuantizer`].
@@ -298,6 +462,7 @@ impl KindSlot {
 pub struct QuantizedCache {
     quantizer: Arc<dyn KvQuantizer>,
     mode: CacheMode,
+    kernel: KernelMode,
     kv_dim: usize,
     layers: Vec<[KindSlot; 2]>,
 }
@@ -320,6 +485,7 @@ impl QuantizedCache {
         Self {
             quantizer,
             mode,
+            kernel: KernelMode::Exact,
             kv_dim: 0,
             layers: Vec::new(),
         }
@@ -335,9 +501,39 @@ impl QuantizedCache {
         self.mode
     }
 
+    /// Selects the attention read path. Takes effect at the next
+    /// [`KvCacheBackend::reset`] (the session resets its cache before any
+    /// row is appended). [`KernelMode::Fused`] engages per slot only when
+    /// the quantizer's streams support the encoded read path; other slots
+    /// (and the whole cache in [`CacheMode::Recompute`]) keep the exact
+    /// behaviour.
+    pub fn set_kernel_mode(&mut self, kernel: KernelMode) {
+        self.kernel = kernel;
+        for layer in &mut self.layers {
+            for slot in layer.iter_mut() {
+                assert_eq!(slot.rows, 0, "kernel mode must be set before appends");
+                slot.fused = kernel == KernelMode::Fused
+                    && slot
+                        .stream
+                        .as_ref()
+                        .is_some_and(|s| s.fused_read_params().is_some());
+            }
+        }
+    }
+
+    /// The requested kernel mode.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel
+    }
+
     /// Whether the `(layer, kind)` slot runs on the streaming path.
     pub fn is_streaming(&self, layer: usize, kind: KvKind) -> bool {
         self.layers[layer][slot_index(kind)].stream.is_some()
+    }
+
+    /// Whether the `(layer, kind)` slot actually runs the fused read path.
+    pub fn is_fused(&self, layer: usize, kind: KvKind) -> bool {
+        self.layers[layer][slot_index(kind)].fused
     }
 
     fn refresh(&mut self, layer: usize, kind: KvKind) {
@@ -374,6 +570,7 @@ impl std::fmt::Debug for QuantizedCache {
 impl KvCacheBackend for QuantizedCache {
     fn reset(&mut self, num_layers: usize, kv_dim: usize) {
         self.kv_dim = kv_dim;
+        let kernel = self.kernel;
         self.layers = (0..num_layers)
             .map(|layer| {
                 let mk = |kind: KvKind| {
@@ -381,7 +578,13 @@ impl KvCacheBackend for QuantizedCache {
                         CacheMode::Incremental => self.quantizer.row_stream(kv_dim, layer, kind),
                         CacheMode::Recompute => None,
                     };
-                    KindSlot::new(stream)
+                    let mut slot = KindSlot::new(stream);
+                    slot.fused = kernel == KernelMode::Fused
+                        && slot
+                            .stream
+                            .as_ref()
+                            .is_some_and(|s| s.fused_read_params().is_some());
+                    slot
                 };
                 [mk(KvKind::Key), mk(KvKind::Value)]
             })
@@ -402,12 +605,18 @@ impl KvCacheBackend for QuantizedCache {
 
     fn keys(&mut self, layer: usize) -> &[f32] {
         self.refresh(layer, KvKind::Key);
-        &self.layers[layer][0].view
+        let d = self.kv_dim;
+        let slot = &mut self.layers[layer][0];
+        slot.ensure_view(d);
+        &slot.view
     }
 
     fn values(&mut self, layer: usize) -> &[f32] {
         self.refresh(layer, KvKind::Value);
-        &self.layers[layer][1].view
+        let d = self.kv_dim;
+        let slot = &mut self.layers[layer][1];
+        slot.ensure_view(d);
+        &slot.view
     }
 
     /// Mean stored bits per element across **all layers and both tensor
@@ -437,6 +646,20 @@ impl KvCacheBackend for QuantizedCache {
             return self.quantizer.effective_bits(1, d);
         }
         bits / elems as f64
+    }
+
+    fn encoded_kv(&self, layer: usize) -> Option<(EncodedKv<'_>, EncodedKv<'_>)> {
+        let [key_slot, value_slot] = &self.layers[layer];
+        Some((key_slot.encoded()?, value_slot.encoded()?))
+    }
+
+    fn set_kernel_mode(&mut self, kernel: KernelMode) -> KernelMode {
+        QuantizedCache::set_kernel_mode(self, kernel);
+        self.kernel
+    }
+
+    fn kernel_mode(&self) -> KernelMode {
+        self.kernel
     }
 }
 
@@ -645,5 +868,58 @@ mod tests {
         let mut c = ExactCache::new();
         c.reset(1, 4);
         c.append(0, &[1.0], &[1.0]);
+    }
+
+    #[test]
+    fn kernel_mode_parses_and_labels() {
+        assert_eq!(KernelMode::parse("exact"), Some(KernelMode::Exact));
+        assert_eq!(KernelMode::parse("FUSED"), Some(KernelMode::Fused));
+        assert_eq!(KernelMode::parse("turbo"), None);
+        assert_eq!(KernelMode::Fused.label(), "fused");
+        assert_eq!(KernelMode::default(), KernelMode::Exact);
+    }
+
+    /// Fused mode must keep rows encoded-only (no f32 view resident),
+    /// expose them through `encoded_kv`, and still produce the exact
+    /// view bit-identically when an exact reader asks.
+    #[test]
+    fn fused_mode_skips_views_and_decodes_lazily() {
+        use oaken_baselines_test_helpers::{oaken_quantizer, test_row};
+        let d = 32;
+        let q = Arc::new(oaken_quantizer(d, 1));
+        let mut exact = QuantizedCache::new(q.clone());
+        exact.reset(1, d);
+        let mut fused = QuantizedCache::new(q);
+        fused.set_kernel_mode(KernelMode::Fused);
+        fused.reset(1, d);
+        assert!(fused.is_fused(0, KvKind::Key));
+        for t in 0..12u64 {
+            let k = test_row(d, t * 3 + 1);
+            let v = test_row(d, t * 5 + 2);
+            exact.append(0, &k, &v);
+            fused.append(0, &k, &v);
+        }
+        // No dequantized image resident; encoded rows fully exposed.
+        assert!(fused.layers[0][0].view.is_empty());
+        assert!(fused.layers[0][1].view.is_empty());
+        let (ek, ev) = fused.encoded_kv(0).expect("fused cache exposes encoding");
+        assert_eq!(ek.rows.len(), 12);
+        assert_eq!(ev.rows.len(), 12);
+        assert!(KvCacheBackend::encoded_kv(&exact, 0).is_none());
+        // Lazy decode reproduces the exact views bit-for-bit.
+        let a: Vec<u32> = exact.keys(0).iter().map(|x| x.to_bits()).collect();
+        let b: Vec<u32> = fused.keys(0).iter().map(|x| x.to_bits()).collect();
+        assert_eq!(a, b);
+        let a: Vec<u32> = exact.values(0).iter().map(|x| x.to_bits()).collect();
+        let b: Vec<u32> = fused.values(0).iter().map(|x| x.to_bits()).collect();
+        assert_eq!(a, b);
+        // And appends after a lazy decode keep both halves consistent.
+        let k = test_row(d, 777);
+        let v = test_row(d, 778);
+        exact.append(0, &k, &v);
+        fused.append(0, &k, &v);
+        let a: Vec<u32> = exact.keys(0).iter().map(|x| x.to_bits()).collect();
+        let b: Vec<u32> = fused.keys(0).iter().map(|x| x.to_bits()).collect();
+        assert_eq!(a, b);
     }
 }

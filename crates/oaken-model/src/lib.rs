@@ -62,16 +62,22 @@ pub mod sampling;
 pub mod synth;
 pub mod trie;
 
-pub use attention::{attend_kv_group, attend_one, AttentionShape};
+pub use attention::{
+    attend_kv_group, attend_kv_group_fused, attend_kv_group_fused_into, attend_kv_group_into,
+    attend_one, attend_one_fused, attend_one_fused_into, attend_one_into, AttentionScratch,
+    AttentionShape, EncodedKv,
+};
 pub use cache::{
-    BatchAppend, BatchKvCache, CacheMode, ExactCache, KvCacheBackend, QuantizedCache, SingleSlot,
+    BatchAppend, BatchKvCache, CacheMode, ExactCache, KernelMode, KvCacheBackend, QuantizedCache,
+    SingleSlot,
 };
 pub use config::{ModelConfig, MoeConfig, Positional};
 pub use ffn::{DenseFfn, FfnWeights};
 pub use model::{BatchKvObserver, BatchStep, KvObserver, LayerWeights, Model, Session};
 pub use oaken_mmu::{FaultKind, FaultOp, FaultPlan, FaultStats, Residency, SwapReceipt, SwapStats};
 pub use pool::{
-    PageAccounting, PagedKvPool, PoolBatchView, PoolError, PrefixAlloc, SeqId, SeqRowAppend,
+    KvReadStats, PageAccounting, PagedKvPool, PoolBatchView, PoolError, PrefixAlloc, SeqId,
+    SeqRowAppend,
 };
 pub use sampling::{sample_greedy, sample_temperature};
 pub use synth::SynthParams;

@@ -2,12 +2,16 @@
 //! inference sessions with pluggable KV cache backends and KV observation
 //! hooks for offline profiling.
 
-use crate::attention::{attend_kv_group, attend_one, AttentionShape};
-use crate::cache::{BatchAppend, BatchKvCache, KvCacheBackend, SingleSlot};
+use crate::attention::{
+    attend_kv_group, attend_kv_group_fused, attend_one_fused_into, attend_one_into,
+    AttentionScratch, AttentionShape, EncodedKv,
+};
+use crate::cache::{BatchAppend, BatchKvCache, KernelMode, KvCacheBackend, SingleSlot};
 use crate::config::{ModelConfig, Positional};
 use crate::ffn::{DenseFfn, FfnWeights};
 use crate::synth::{self, SynthParams};
-use oaken_core::KvKind;
+use oaken_core::kernel::{EncodedReadPlan, FusedReadParams};
+use oaken_core::{FusedVector, KvKind};
 use oaken_runtime::Runtime;
 use oaken_tensor::norm::{layernorm, rmsnorm, NormKind};
 use oaken_tensor::rope::{apply_rope, DEFAULT_THETA};
@@ -256,8 +260,10 @@ impl Model {
     ///   independent) while keeping page allocation single-writer;
     /// * **attention** — one task per `(step, KV head)` over per-slot
     ///   snapshots, each sliced to the step's own causal length; group
-    ///   outputs merge in `(step, head)` order
-    ///   ([`attend_kv_group`]).
+    ///   outputs merge in `(step, head)` order ([`attend_kv_group`], or
+    ///   [`attend_kv_group_fused`] over *encoded* snapshots when the
+    ///   cache serves [`KernelMode::Fused`] tensors — no dequantized f32
+    ///   image is materialized anywhere on that path).
     ///
     /// When the cache's views are *not* append-only (the KIVI/KVQuant
     /// recompute fallback re-derives scales over the whole prefix on
@@ -332,6 +338,11 @@ impl Model {
             vs.iter().map(|v| v.as_slice()).collect()
         }
 
+        // One scratch for every (step, layer) of the serial attention path:
+        // scores and fused decode tables reach steady-state capacity after
+        // the first step and never allocate again.
+        let mut scratch = AttentionScratch::default();
+
         for (l, lw) in self.layers.iter().enumerate() {
             // Attention block: one weight sweep per projection serves the
             // whole batch (matvec_batch, row-sharded on `rt`), everything
@@ -364,11 +375,18 @@ impl Model {
                     }
                     cache.append(step.slot, l, k, v);
                     let seq_len = cache.seq_len(step.slot, l);
-                    let att = {
+                    let mut att = Vec::new();
+                    // Probe-then-reborrow: the scrutinee of a single
+                    // `match cache.encoded_kv(..)` would hold its borrow
+                    // across the arm that needs `cache` mutably.
+                    if cache.has_encoded_kv(step.slot, l) {
+                        let (ke, ve) = cache.encoded_kv(step.slot, l).expect("probed fused above");
+                        attend_one_fused_into(q, &ke, &ve, seq_len, &shape, &mut scratch, &mut att);
+                    } else {
                         let keys = cache.keys(step.slot, l).to_vec();
                         let values = cache.values(step.slot, l);
-                        attend_one(q, &keys, values, seq_len, &shape)
-                    };
+                        attend_one_into(q, &keys, values, seq_len, &shape, &mut scratch, &mut att);
+                    }
                     atts.push(att);
                 }
                 atts
@@ -467,15 +485,31 @@ impl Model {
 
         // Phase B (serial): one key/value snapshot per distinct slot; all
         // of a slot's steps slice the same buffers by their own lengths.
+        // Fused slots snapshot their *encoded* rows — no f32 image of the
+        // cache is materialized anywhere on this path.
         let mut slots: Vec<usize> = steps.iter().map(|s| s.slot).collect();
         slots.sort_unstable();
         slots.dedup();
-        let snaps: HashMap<usize, (Vec<f32>, Vec<f32>)> = slots
+        let snaps: HashMap<usize, KvSnapshot> = slots
             .into_iter()
             .map(|slot| {
-                let k = cache.keys(slot, l).to_vec();
-                let v = cache.values(slot, l).to_vec();
-                (slot, (k, v))
+                // Probe-then-reborrow, as on the serial path.
+                let snap = if cache.has_encoded_kv(slot, l) {
+                    let (ke, ve) = cache.encoded_kv(slot, l).expect("probed fused above");
+                    KvSnapshot::Fused {
+                        keys: ke.rows.to_vec(),
+                        values: ve.rows.to_vec(),
+                        key_params: ke.params,
+                        value_params: ve.params,
+                        key_plan: ke.plan.map(|p| Box::new(p.clone())),
+                        value_plan: ve.plan.map(|p| Box::new(p.clone())),
+                    }
+                } else {
+                    let keys = cache.keys(slot, l).to_vec();
+                    let values = cache.values(slot, l).to_vec();
+                    KvSnapshot::Exact { keys, values }
+                };
+                (slot, snap)
             })
             .collect();
 
@@ -485,20 +519,49 @@ impl Model {
         let group_width = shape.group_size().max(1) * hd;
         let groups = rt.map(steps.len() * nk, |t| {
             let (i, kvh) = (t / nk, t % nk);
-            let (keys, values) = &snaps[&steps[i].slot];
             // Clamp to what the cache actually holds: a poisoned slot
             // (failed append, see `PoolBatchView`) has fewer rows than
             // the Phase-A prediction; on the fault-free path the two are
             // always equal, so the clamp is bit-exact there.
-            let visible = (seq_lens[i] * kv_dim).min(keys.len());
-            attend_kv_group(
-                &qs[i],
-                &keys[..visible],
-                &values[..visible],
-                visible / kv_dim,
-                shape,
-                kvh,
-            )
+            match &snaps[&steps[i].slot] {
+                KvSnapshot::Exact { keys, values } => {
+                    let visible = (seq_lens[i] * kv_dim).min(keys.len());
+                    attend_kv_group(
+                        &qs[i],
+                        &keys[..visible],
+                        &values[..visible],
+                        visible / kv_dim,
+                        shape,
+                        kvh,
+                    )
+                }
+                KvSnapshot::Fused {
+                    keys,
+                    values,
+                    key_params,
+                    value_params,
+                    key_plan,
+                    value_plan,
+                } => {
+                    let visible = seq_lens[i].min(keys.len());
+                    attend_kv_group_fused(
+                        &qs[i],
+                        &EncodedKv {
+                            rows: keys,
+                            params: *key_params,
+                            plan: key_plan.as_deref(),
+                        },
+                        &EncodedKv {
+                            rows: values,
+                            params: *value_params,
+                            plan: value_plan.as_deref(),
+                        },
+                        visible,
+                        shape,
+                        kvh,
+                    )
+                }
+            }
         });
         (0..steps.len())
             .map(|i| {
@@ -511,6 +574,26 @@ impl Model {
             })
             .collect()
     }
+}
+
+/// One slot's per-layer KV snapshot on the parallel attention path: the
+/// dequantized f32 views, or — in fused kernel mode — clones of the
+/// encoded rows plus their decode parameters (never touching f32).
+enum KvSnapshot {
+    Exact {
+        keys: Vec<f32>,
+        values: Vec<f32>,
+    },
+    Fused {
+        keys: Vec<FusedVector>,
+        values: Vec<FusedVector>,
+        key_params: FusedReadParams,
+        value_params: FusedReadParams,
+        // Boxed: the plan is three Vecs plus a stride, which would bloat
+        // every Exact snapshot through the enum's size.
+        key_plan: Option<Box<EncodedReadPlan>>,
+        value_plan: Option<Box<EncodedReadPlan>>,
+    },
 }
 
 /// Observer for batched forward passes: sees every freshly generated K/V
@@ -567,6 +650,25 @@ impl<'m> Session<'m> {
         self.cache.stored_bits_per_elem()
     }
 
+    /// Selects the attention compute kernel for this session's cache
+    /// backend and returns the mode actually installed —
+    /// [`KernelMode::Exact`] for backends without a fused read path
+    /// (requests are capability-gated, never errors). Must be called
+    /// before the first token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token has already been fed.
+    pub fn set_kernel_mode(&mut self, kernel: KernelMode) -> KernelMode {
+        assert_eq!(self.pos, 0, "kernel mode must be selected before any token");
+        self.cache.set_kernel_mode(kernel)
+    }
+
+    /// The cache backend's installed kernel mode.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.cache.kernel_mode()
+    }
+
     /// Feeds one token and returns the next-token logits.
     ///
     /// Runs as a batch of one on the shared [`Model::forward_batch`] pass,
@@ -614,11 +716,44 @@ impl<'m> Session<'m> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cache::ExactCache;
+    use crate::cache::{ExactCache, QuantizedCache};
+    use oaken_core::{KvQuantizer, OakenConfig, OakenQuantizer, OfflineProfiler};
+    use std::sync::Arc;
 
     fn tiny() -> Model {
         let cfg = ModelConfig::llama2_7b().proxy(2, 32);
         Model::synthetic(cfg, 42)
+    }
+
+    fn profiled_row(d: usize, seed: u64) -> Vec<f32> {
+        (0..d)
+            .map(|i| {
+                let u = ((i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(seed * 7919)
+                    >> 33) as f32
+                    / (1u64 << 31) as f32;
+                let base = (u - 0.5) * 6.0;
+                match i % 19 {
+                    0 => base * 9.0,
+                    1 => base * 0.02,
+                    _ => base,
+                }
+            })
+            .collect()
+    }
+
+    fn oaken(d: usize, layers: usize) -> Arc<dyn KvQuantizer> {
+        let config = OakenConfig::default();
+        let mut p = OfflineProfiler::new(config.clone(), layers);
+        for s in 0..24 {
+            for layer in 0..layers {
+                for kind in KvKind::ALL {
+                    p.observe(layer, kind, &profiled_row(d.max(64), s * 3 + layer as u64));
+                }
+            }
+        }
+        Arc::new(OakenQuantizer::new(config, p.try_finish().unwrap()))
     }
 
     #[test]
@@ -825,6 +960,109 @@ mod tests {
         };
         let serial = run(&Runtime::serial());
         for threads in [2usize, 4, 8] {
+            let par = run(&Runtime::new(threads));
+            assert_eq!(par.len(), serial.len());
+            for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+                let ab: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+                let bb: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(ab, bb, "step {i} diverged at {threads} threads");
+            }
+        }
+    }
+
+    /// A fused-kernel session is a drop-in for an exact-kernel session over
+    /// the same quantizer: kernel mode installs through the backend trait,
+    /// and the logits agree within the fused kernels' accumulation-order
+    /// tolerance (the stored bits are identical either way).
+    #[test]
+    fn session_fused_kernel_tracks_exact_kernel() {
+        let m = tiny();
+        let cfg = m.config();
+        let q = oaken(cfg.kv_dim(), cfg.num_layers);
+        let tokens: Vec<u32> = (0..9).map(|i| (i * 37 + 5) % 256).collect();
+
+        let mut exact = m.session(Box::new(QuantizedCache::new(q.clone())));
+        assert_eq!(exact.kernel_mode(), KernelMode::Exact);
+        let a = exact.prefill(&tokens);
+
+        let mut fused = m.session(Box::new(QuantizedCache::new(q)));
+        assert_eq!(fused.set_kernel_mode(KernelMode::Fused), KernelMode::Fused);
+        assert_eq!(fused.kernel_mode(), KernelMode::Fused);
+        let b = fused.prefill(&tokens);
+
+        let scale = a.iter().fold(0.0f32, |m, x| m.max(x.abs())).max(1e-6);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert!(y.is_finite(), "fused logit {i} not finite");
+            assert!(
+                (x - y).abs() / scale < 1e-2,
+                "logit {i} diverged: exact {x} fused {y}"
+            );
+        }
+
+        // Capability gating: a purely-f32 backend ignores the request.
+        let mut plain = m.session(Box::new(ExactCache::new()));
+        assert_eq!(plain.set_kernel_mode(KernelMode::Fused), KernelMode::Exact);
+    }
+
+    /// The parallel forward pass over a *fused* paged pool must stay
+    /// bit-identical to the serial fused pass for every thread count, and
+    /// the whole run must read encoded rows only (no f32 views).
+    #[test]
+    fn forward_batch_on_fused_matches_serial_bitwise_over_fused_pool() {
+        use crate::cache::KernelMode;
+        use crate::pool::{PagedKvPool, PoolBatchView};
+        use oaken_runtime::Runtime;
+
+        let mut cfg = ModelConfig::llama2_7b().proxy(2, 64);
+        cfg.num_heads = 2;
+        cfg.num_kv_heads = 2;
+        let m = Model::synthetic(cfg.clone(), 42);
+        let q = oaken(cfg.kv_dim(), cfg.num_layers);
+        let run = |rt: &Runtime| -> Vec<Vec<f32>> {
+            let mut pool = PagedKvPool::for_model(&cfg, Some(q.clone()), 4096, 4096);
+            assert_eq!(pool.set_kernel_mode(KernelMode::Fused), KernelMode::Fused);
+            let seqs = vec![pool.alloc_seq(), pool.alloc_seq()];
+            assert!(pool.append_only_views(), "streaming pool is append-only");
+            let mut all = Vec::new();
+            let it1: Vec<BatchStep> = (0..3)
+                .map(|j| BatchStep {
+                    slot: 0,
+                    pos: j,
+                    token: 11 + j as u32,
+                })
+                .chain(std::iter::once(BatchStep {
+                    slot: 1,
+                    pos: 0,
+                    token: 40,
+                }))
+                .collect();
+            let it2 = [
+                BatchStep {
+                    slot: 0,
+                    pos: 3,
+                    token: 14,
+                },
+                BatchStep {
+                    slot: 1,
+                    pos: 1,
+                    token: 41,
+                },
+            ];
+            {
+                let mut view = PoolBatchView::new(&mut pool, &seqs);
+                all.extend(m.forward_batch_on(rt, &mut view, &it1, None));
+            }
+            {
+                let mut view = PoolBatchView::new(&mut pool, &seqs);
+                all.extend(m.forward_batch_on(rt, &mut view, &it2, None));
+            }
+            let reads = pool.kv_read_stats();
+            assert!(reads.fused_rows > 0, "fused pool must read encoded rows");
+            assert_eq!(reads.exact_rows, 0, "fused pool must not build f32 views");
+            all
+        };
+        let serial = run(&Runtime::serial());
+        for threads in [2usize, 4] {
             let par = run(&Runtime::new(threads));
             assert_eq!(par.len(), serial.len());
             for (i, (a, b)) in serial.iter().zip(&par).enumerate() {

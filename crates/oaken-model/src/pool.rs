@@ -110,10 +110,11 @@
 //!
 //! [`KvQuantizer::prefix_deterministic`]: oaken_core::KvQuantizer::prefix_deterministic
 
-use crate::cache::{BatchAppend, BatchKvCache, KindSlot};
+use crate::attention::EncodedKv;
+use crate::cache::{BatchAppend, BatchKvCache, KernelMode, KindSlot};
 use crate::config::ModelConfig;
 use crate::trie::{PrefixStats, PrefixTrie, TrieBlock};
-use oaken_core::{KvKind, KvQuantizer};
+use oaken_core::{FusedVector, KvKind, KvQuantizer};
 use oaken_mmu::{
     FaultKind, FaultOp, FaultPlan, FaultStats, MmuSim, StreamClass, StreamKey, SwapReceipt,
     SwapStats,
@@ -121,6 +122,7 @@ use oaken_mmu::{
 use oaken_runtime::{Runtime, UnsafeSlice};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Handle to one sequence's KV state inside a [`PagedKvPool`].
@@ -326,6 +328,44 @@ struct BatchScratch {
     ptrs: SlotPtrs,
 }
 
+/// Cumulative KV read-path traffic of a pool, split by kernel family —
+/// the measurement behind the fused kernels' bandwidth claim: in fused
+/// mode the bytes column counts **encoded payload bytes**, in exact mode
+/// it counts the dequantized f32 view bytes the kernels actually stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvReadStats {
+    /// Encoded rows handed to the fused kernels.
+    pub fused_rows: u64,
+    /// Encoded payload bytes those rows occupy.
+    pub fused_bytes: u64,
+    /// Dequantized f32 rows handed to the exact kernels.
+    pub exact_rows: u64,
+    /// f32 bytes those rows occupy.
+    pub exact_bytes: u64,
+}
+
+/// Interior-mutable [`KvReadStats`] accumulator: the fused read path
+/// borrows the pool shared (`&self` — K and V must coexist), so the
+/// counters are relaxed atomics rather than plain fields.
+#[derive(Default)]
+struct ReadCounters {
+    fused_rows: AtomicU64,
+    fused_bytes: AtomicU64,
+    exact_rows: AtomicU64,
+    exact_bytes: AtomicU64,
+}
+
+impl ReadCounters {
+    fn snapshot(&self) -> KvReadStats {
+        KvReadStats {
+            fused_rows: self.fused_rows.load(Ordering::Relaxed),
+            fused_bytes: self.fused_bytes.load(Ordering::Relaxed),
+            exact_rows: self.exact_rows.load(Ordering::Relaxed),
+            exact_bytes: self.exact_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Default tokens per shareable prefix block.
 pub const DEFAULT_BLOCK_TOKENS: usize = 16;
 
@@ -364,6 +404,11 @@ pub struct PagedKvPool {
     /// at construction): streams keep views append-only, the gate for the
     /// parallel forward pass. Exact-f32 pools (no quantizer) also qualify.
     streaming: bool,
+    /// Which attention read path sequences admitted to this pool feed
+    /// (installed by [`PagedKvPool::set_kernel_mode`] while idle).
+    kernel: KernelMode,
+    /// Cumulative read-path traffic, split by kernel family.
+    reads: ReadCounters,
     /// Reusable scratch for [`PagedKvPool::append_batch`].
     batch: BatchScratch,
 }
@@ -444,6 +489,8 @@ impl PagedKvPool {
             next_block_mmu: u32::MAX,
             stats: PrefixStats::default(),
             streaming,
+            kernel: KernelMode::Exact,
+            reads: ReadCounters::default(),
             batch: BatchScratch::default(),
         };
         assert!(
@@ -535,6 +582,55 @@ impl PagedKvPool {
             "prefix sharing can only be toggled on an idle pool"
         );
         self.sharing = enabled && self.sharing_supported;
+    }
+
+    /// Selects the attention read path for sequences admitted from now
+    /// on, returning the mode actually installed: [`KernelMode::Fused`]
+    /// silently downgrades to [`KernelMode::Exact`] when the pool cannot
+    /// support it — no quantizer (exact-f32 pools), no streaming path, or
+    /// any `(layer, kind)` stream lacking the encoded read path (every
+    /// non-Oaken baseline). Under `Fused`, appended rows live **only** in
+    /// their encoded form (no dequantized views are materialized), sealed
+    /// trie blocks store encoded rows, and attention reads go through
+    /// [`PagedKvPool::encoded_kv`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if sequences are active or suspended, or the trie is
+    /// non-empty — the switch is a construction-time choice.
+    pub fn set_kernel_mode(&mut self, kernel: KernelMode) -> KernelMode {
+        assert!(
+            self.seqs.is_empty() && self.suspended.is_empty() && self.trie.len() == 0,
+            "kernel mode can only be installed on an idle pool"
+        );
+        let capable = self.streaming
+            && self.quantizer.as_ref().is_some_and(|q| {
+                (0..self.num_layers).all(|l| {
+                    KvKind::ALL.iter().all(|&k| {
+                        q.row_stream(self.kv_dim, l, k)
+                            .is_some_and(|s| s.fused_read_params().is_some())
+                    })
+                })
+            });
+        self.kernel = if kernel == KernelMode::Fused && capable {
+            KernelMode::Fused
+        } else {
+            KernelMode::Exact
+        };
+        // Recycled slots carry the previous mode's flags; drop them so
+        // every future sequence starts from a correctly-flagged slot set.
+        self.recycled.clear();
+        self.kernel
+    }
+
+    /// The installed attention read path.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel
+    }
+
+    /// Cumulative KV read-path traffic, split by kernel family.
+    pub fn kv_read_stats(&self) -> KvReadStats {
+        self.reads.snapshot()
     }
 
     /// Tokens per shareable prefix block.
@@ -823,7 +919,11 @@ impl PagedKvPool {
                                 .quantizer
                                 .as_ref()
                                 .and_then(|q| q.row_stream(self.kv_dim, layer, kind));
-                            KindSlot::new(stream)
+                            let mut slot = KindSlot::new(stream);
+                            // Capability was verified for every (layer,
+                            // kind) when the mode was installed.
+                            slot.fused = self.kernel == KernelMode::Fused;
+                            slot
                         };
                         [mk(KvKind::Key), mk(KvKind::Value)]
                     })
@@ -921,12 +1021,26 @@ impl PagedKvPool {
             let block = self.trie.get(id);
             for (layer, pair) in state.slots.iter_mut().enumerate() {
                 for (ki, slot) in pair.iter_mut().enumerate() {
-                    let rows = &block.views[layer][ki];
-                    slot.view.extend_from_slice(rows);
-                    if slot.stream.is_none() {
-                        // Exact-f32 pools re-materialize views from
-                        // `exact` on read; keep it in sync.
-                        slot.exact.extend_from_slice(rows);
+                    if slot.fused {
+                        // Fused pools adopt the block's *encoded* rows
+                        // into the stream itself, so the stream's encoded
+                        // state always covers absolute positions 0..rows
+                        // and no f32 image is ever materialized.
+                        let rows = &block.encoded[layer][ki];
+                        let ok = slot
+                            .stream
+                            .as_mut()
+                            .expect("fused slots are streaming")
+                            .adopt_encoded_rows(rows);
+                        assert!(ok, "fused slot's stream refused adoption");
+                    } else {
+                        let rows = &block.views[layer][ki];
+                        slot.view.extend_from_slice(rows);
+                        if slot.stream.is_none() {
+                            // Exact-f32 pools re-materialize views from
+                            // `exact` on read; keep it in sync.
+                            slot.exact.extend_from_slice(rows);
+                        }
                     }
                     slot.rows += bt;
                 }
@@ -1580,6 +1694,18 @@ impl PagedKvPool {
         src[start * kv_dim..end * kv_dim].to_vec()
     }
 
+    /// Encoded rows `[start, end)` of one fused slot. Valid because in
+    /// fused mode the stream's encoded state covers absolute positions —
+    /// prefix adoption feeds the stream rather than a side view.
+    fn block_encoded_rows(slot: &KindSlot, start: usize, end: usize) -> Vec<FusedVector> {
+        let rows = slot
+            .stream
+            .as_ref()
+            .and_then(|s| s.encoded_rows())
+            .expect("fused slots expose encoded rows");
+        rows[start..end].to_vec()
+    }
+
     /// Seals the next pending block of `seq` (see
     /// [`seal_completed_blocks`](Self::seal_completed_blocks)).
     fn seal_block(&mut self, seq: SeqId) {
@@ -1615,15 +1741,24 @@ impl PagedKvPool {
                     let block = self.trie.get(existing);
                     for (layer, pair) in state.slots.iter().enumerate() {
                         for (ki, slot) in pair.iter().enumerate() {
-                            let ours = Self::block_rows(slot, kv_dim, b * bt, (b + 1) * bt);
-                            let theirs = &block.views[layer][ki];
-                            debug_assert!(
-                                ours.iter()
-                                    .map(|x| x.to_bits())
-                                    .eq(theirs.iter().map(|x| x.to_bits())),
-                                "trie hit is not bit-exact (layer {layer}, kind {ki}): \
-                                 quantizer wrongly claims prefix determinism"
-                            );
+                            if slot.fused {
+                                let ours = Self::block_encoded_rows(slot, b * bt, (b + 1) * bt);
+                                debug_assert!(
+                                    ours == block.encoded[layer][ki],
+                                    "trie hit is not encoding-exact (layer {layer}, kind \
+                                     {ki}): quantizer wrongly claims prefix determinism"
+                                );
+                            } else {
+                                let ours = Self::block_rows(slot, kv_dim, b * bt, (b + 1) * bt);
+                                let theirs = &block.views[layer][ki];
+                                debug_assert!(
+                                    ours.iter()
+                                        .map(|x| x.to_bits())
+                                        .eq(theirs.iter().map(|x| x.to_bits())),
+                                    "trie hit is not bit-exact (layer {layer}, kind {ki}): \
+                                     quantizer wrongly claims prefix determinism"
+                                );
+                            }
                         }
                     }
                 }
@@ -1642,8 +1777,17 @@ impl PagedKvPool {
             None => {
                 let pages = self.mmu.request_pages(pending_mmu);
                 let bytes = self.mmu.request_bytes(pending_mmu);
-                let views: Vec<[Vec<f32>; 2]> = {
-                    let state = self.seqs.get(&seq.0).expect("caller validated");
+                let state = self.seqs.get(&seq.0).expect("caller validated");
+                // Fused pools seal the encoded rows and never materialize
+                // an f32 image; exact pools seal the dequantized views.
+                let fused = self.kernel == KernelMode::Fused;
+                let views: Vec<[Vec<f32>; 2]> = if fused {
+                    state
+                        .slots
+                        .iter()
+                        .map(|_| [Vec::new(), Vec::new()])
+                        .collect()
+                } else {
                     state
                         .slots
                         .iter()
@@ -1655,10 +1799,20 @@ impl PagedKvPool {
                         })
                         .collect()
                 };
-                let id = self.trie.insert(
-                    parent,
-                    TrieBlock::new(chunk, pending_mmu, pages, bytes, views),
-                );
+                let mut block = TrieBlock::new(chunk, pending_mmu, pages, bytes, views);
+                if fused {
+                    block.encoded = state
+                        .slots
+                        .iter()
+                        .map(|pair| {
+                            [
+                                Self::block_encoded_rows(&pair[0], b * bt, (b + 1) * bt),
+                                Self::block_encoded_rows(&pair[1], b * bt, (b + 1) * bt),
+                            ]
+                        })
+                        .collect();
+                }
+                let id = self.trie.insert(parent, block);
                 // The pages move from this sequence's private count to the
                 // trie's shared count.
                 self.seqs.get_mut(&seq.0).expect("caller validated").pages -= pages;
@@ -1702,24 +1856,76 @@ impl PagedKvPool {
         self.seqs.get(&seq.0).expect("unknown sequence").slots[layer][0].rows
     }
 
-    /// Dequantized `[seq_len × kv_dim]` view of the cached keys.
+    /// Dequantized `[seq_len × kv_dim]` view of the cached keys. In fused
+    /// mode this is the exact-path escape hatch: the view is rebuilt
+    /// lazily from the encoded rows (attention itself goes through
+    /// [`PagedKvPool::encoded_kv`] and never pays this).
     ///
     /// # Panics
     ///
     /// Panics on an unknown sequence.
     pub fn keys(&mut self, seq: SeqId, layer: usize) -> &[f32] {
         self.refresh(seq, layer, KvKind::Key);
-        &self.seqs.get(&seq.0).expect("unknown sequence").slots[layer][0].view
+        let kv_dim = self.kv_dim;
+        let slot = &mut self.seqs.get_mut(&seq.0).expect("unknown sequence").slots[layer][0];
+        slot.ensure_view(kv_dim);
+        self.reads
+            .exact_rows
+            .fetch_add(slot.rows as u64, Ordering::Relaxed);
+        self.reads
+            .exact_bytes
+            .fetch_add((slot.rows * kv_dim * 4) as u64, Ordering::Relaxed);
+        &slot.view
     }
 
-    /// Dequantized view of the cached values.
+    /// Dequantized view of the cached values (see [`PagedKvPool::keys`]).
     ///
     /// # Panics
     ///
     /// Panics on an unknown sequence.
     pub fn values(&mut self, seq: SeqId, layer: usize) -> &[f32] {
         self.refresh(seq, layer, KvKind::Value);
-        &self.seqs.get(&seq.0).expect("unknown sequence").slots[layer][1].view
+        let kv_dim = self.kv_dim;
+        let slot = &mut self.seqs.get_mut(&seq.0).expect("unknown sequence").slots[layer][1];
+        slot.ensure_view(kv_dim);
+        self.reads
+            .exact_rows
+            .fetch_add(slot.rows as u64, Ordering::Relaxed);
+        self.reads
+            .exact_bytes
+            .fetch_add((slot.rows * kv_dim * 4) as u64, Ordering::Relaxed);
+        &slot.view
+    }
+
+    /// The `(seq, layer)` K and V tensors in their encoded form — the
+    /// fused kernels' read path. `None` unless the pool runs
+    /// [`KernelMode::Fused`] (or for an unknown sequence). Takes `&self`
+    /// so the key and value tensors can be borrowed together; read
+    /// accounting therefore goes through relaxed atomic counters.
+    pub fn encoded_kv(&self, seq: SeqId, layer: usize) -> Option<(EncodedKv<'_>, EncodedKv<'_>)> {
+        let state = self.seqs.get(&seq.0)?;
+        let [key_slot, value_slot] = &state.slots[layer];
+        let k = key_slot.encoded()?;
+        let v = value_slot.encoded()?;
+        let rows = (k.rows.len() + v.rows.len()) as u64;
+        let bytes: u64 = [key_slot, value_slot]
+            .iter()
+            .filter_map(|s| s.stream.as_ref().and_then(|st| st.payload_bytes()))
+            .sum::<usize>() as u64;
+        self.reads.fused_rows.fetch_add(rows, Ordering::Relaxed);
+        self.reads.fused_bytes.fetch_add(bytes, Ordering::Relaxed);
+        Some((k, v))
+    }
+
+    /// Whether [`encoded_kv`](PagedKvPool::encoded_kv) would serve
+    /// `(seq, layer)` — the branch probe, free of read accounting so the
+    /// probe-then-read pattern in the model never double-counts.
+    pub fn has_encoded_kv(&self, seq: SeqId, layer: usize) -> bool {
+        let Some(state) = self.seqs.get(&seq.0) else {
+            return false;
+        };
+        let [key_slot, value_slot] = &state.slots[layer];
+        key_slot.encoded().is_some() && value_slot.encoded().is_some()
     }
 }
 
@@ -1836,6 +2042,14 @@ impl BatchKvCache for PoolBatchView<'_> {
 
     fn append_only_views(&self) -> bool {
         self.pool.append_only_views()
+    }
+
+    fn encoded_kv(&self, slot: usize, layer: usize) -> Option<(EncodedKv<'_>, EncodedKv<'_>)> {
+        self.pool.encoded_kv(self.seqs[slot], layer)
+    }
+
+    fn has_encoded_kv(&self, slot: usize, layer: usize) -> bool {
+        self.pool.has_encoded_kv(self.seqs[slot], layer)
     }
 
     fn append_batch(&mut self, rt: &Runtime, layer: usize, items: &[BatchAppend<'_>]) {

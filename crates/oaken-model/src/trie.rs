@@ -23,6 +23,7 @@
 //! invariant simple: a node with zero references has no children and is
 //! removed immediately.
 
+use oaken_core::FusedVector;
 use std::collections::HashMap;
 
 /// Cumulative prefix-cache counters of one [`crate::PagedKvPool`].
@@ -65,8 +66,14 @@ pub(crate) struct TrieBlock {
     pub bytes: u64,
     /// Dequantized rows per layer, `[keys, values]`, each
     /// `[block_tokens × kv_dim]` — what an adopting sequence copies into
-    /// its attention view.
+    /// its attention view. Empty in a fused-kernel pool, where blocks hold
+    /// only [`TrieBlock::encoded`] and no f32 image is ever materialized.
     pub views: Vec<[Vec<f32>; 2]>,
+    /// Encoded rows per layer, `[keys, values]`, each `block_tokens` fused
+    /// vectors — what an adopting sequence feeds into its streams'
+    /// encoded state under [`crate::KernelMode::Fused`]. Empty in an
+    /// exact-kernel pool.
+    pub encoded: Vec<[Vec<FusedVector>; 2]>,
 }
 
 impl TrieBlock {
@@ -87,6 +94,7 @@ impl TrieBlock {
             pages,
             bytes,
             views,
+            encoded: Vec::new(),
         }
     }
 }

@@ -1,0 +1,134 @@
+//! Proves the decode-path attention kernels are **allocation-free in
+//! steady state**: once an [`AttentionScratch`] and an output buffer have
+//! grown to working capacity, a window of `attend_one_into` /
+//! `attend_one_fused_into` calls performs **zero** heap allocations — the
+//! scores buffer, the per-row decode tables, and the context vector all
+//! live in caller-owned reused storage. This is the scratch-reuse
+//! guarantee the serial forward pass relies on for every `(token, layer)`
+//! step of a decode.
+//!
+//! This file intentionally holds a single test: the counting global
+//! allocator must not observe allocations from concurrently running tests.
+
+use oaken_core::{KvKind, KvQuantizer, OakenConfig, OakenQuantizer, OfflineProfiler};
+use oaken_model::{
+    attend_one_fused_into, attend_one_into, AttentionScratch, AttentionShape, EncodedKv,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn kv_row(d: usize, seed: u64) -> Vec<f32> {
+    (0..d)
+        .map(|i| {
+            let u = ((i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(seed * 7_919)
+                >> 33) as f32
+                / (1u64 << 31) as f32;
+            let base = (u - 0.5) * 6.0;
+            match i % 19 {
+                0 => base * 9.0,
+                1 => base * 0.02,
+                _ => base,
+            }
+        })
+        .collect()
+}
+
+fn oaken(d: usize) -> OakenQuantizer {
+    let config = OakenConfig::default();
+    let mut p = OfflineProfiler::new(config.clone(), 1);
+    for s in 0..24 {
+        for kind in KvKind::ALL {
+            p.observe(0, kind, &kv_row(d.max(64), s * 3 + 1));
+        }
+    }
+    OakenQuantizer::new(config, p.try_finish().unwrap())
+}
+
+#[test]
+fn steady_state_attention_kernels_make_zero_allocations() {
+    let shape = AttentionShape {
+        num_heads: 4,
+        num_kv_heads: 2,
+        head_dim: 16,
+        window: None,
+    };
+    let d = shape.kv_dim();
+    let seq_len = 24usize;
+    let q: Vec<f32> = kv_row(shape.q_dim(), 99);
+
+    // Exact-path inputs: flat f32 K/V matrices.
+    let mut keys = Vec::new();
+    let mut values = Vec::new();
+    for t in 0..seq_len as u64 {
+        keys.extend(kv_row(d, 2 * t + 1));
+        values.extend(kv_row(d, 1_000 + 2 * t));
+    }
+
+    // Fused-path inputs: the same rows in encoded form, via the real
+    // Oaken row streams (storage growth happens here, during setup).
+    let quant = oaken(d);
+    let mut k_stream = quant.row_stream(d, 0, KvKind::Key).expect("oaken streams");
+    let mut v_stream = quant
+        .row_stream(d, 0, KvKind::Value)
+        .expect("oaken streams");
+    let mut scratch_view = Vec::new();
+    for t in 0..seq_len {
+        k_stream.append_row(&keys[t * d..(t + 1) * d], &mut scratch_view);
+        v_stream.append_row(&values[t * d..(t + 1) * d], &mut scratch_view);
+    }
+    let ek = EncodedKv {
+        rows: k_stream.encoded_rows().expect("oaken keeps encoded rows"),
+        params: k_stream.fused_read_params().expect("fused-capable"),
+        plan: k_stream.read_plan(),
+    };
+    let ev = EncodedKv {
+        rows: v_stream.encoded_rows().expect("oaken keeps encoded rows"),
+        params: v_stream.fused_read_params().expect("fused-capable"),
+        plan: v_stream.read_plan(),
+    };
+
+    let mut scratch = AttentionScratch::default();
+    let mut out = Vec::new();
+
+    // Warm-up: grow the scratch and output to working capacity.
+    attend_one_into(&q, &keys, &values, seq_len, &shape, &mut scratch, &mut out);
+    attend_one_fused_into(&q, &ek, &ev, seq_len, &shape, &mut scratch, &mut out);
+
+    // Measured window: both kernels, warm buffers, zero allocations.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..32 {
+        attend_one_into(&q, &keys, &values, seq_len, &shape, &mut scratch, &mut out);
+        attend_one_fused_into(&q, &ek, &ev, seq_len, &shape, &mut scratch, &mut out);
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(out.iter().all(|v| v.is_finite()));
+    assert_eq!(
+        delta, 0,
+        "steady-state attention kernels must not allocate ({delta} allocations in the window)"
+    );
+}

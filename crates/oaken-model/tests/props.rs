@@ -6,7 +6,10 @@
 use oaken_baselines::{AtomStyle, Fp16Reference, QServeStyle, TenderStyle};
 use oaken_core::{KvKind, KvQuantizer, OakenConfig, OakenQuantizer, OfflineProfiler};
 use oaken_model::QuantizedCache;
-use oaken_model::{attend_one, AttentionShape, ExactCache, KvCacheBackend, Model, ModelConfig};
+use oaken_model::{
+    attend_one, attend_one_fused, AttentionShape, EncodedKv, ExactCache, KernelMode,
+    KvCacheBackend, Model, ModelConfig,
+};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -198,4 +201,104 @@ fn model_construction_deterministic() {
     let lc = sc.prefill(&[1, 2, 3]);
     assert_eq!(la, lb);
     assert_ne!(la, lc);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The fused quantized-domain kernels' numerical contract: over random
+    /// shapes, sequence lengths, windows, and row contents, the fused
+    /// output tracks the exact kernels run on the *decoded views of the
+    /// same encoded rows* within a tight accumulation-order bound — both
+    /// per-coordinate relative error and aggregate SQNR. The stored bits
+    /// are identical either way; the only divergence is f32 summation
+    /// order inside the kernels.
+    #[test]
+    fn fused_kernel_is_sqnr_bounded_against_exact(
+        kv_heads in 1usize..4,
+        group in 1usize..3,
+        head_dim_sel in 0usize..2,
+        seq_len in 1usize..41,
+        window_sel in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let head_dim = [8, 16][head_dim_sel];
+        let window = [None, Some(7), Some(21)][window_sel];
+        let shape = AttentionShape {
+            num_heads: kv_heads * group,
+            num_kv_heads: kv_heads,
+            head_dim,
+            window,
+        };
+        let d = shape.kv_dim();
+        let quant = profiled_oaken(d, 1);
+        let mut k_stream = quant.row_stream(d, 0, KvKind::Key).expect("oaken streams");
+        let mut v_stream = quant.row_stream(d, 0, KvKind::Value).expect("oaken streams");
+        let (mut k_view, mut v_view) = (Vec::new(), Vec::new());
+        for t in 0..seq_len as u64 {
+            k_stream.append_row(&kv_row(d, seed * 31 + 2 * t), &mut k_view);
+            v_stream.append_row(&kv_row(d, seed * 37 + 2 * t + 1), &mut v_view);
+        }
+        // Exercise both coefficient paths: the stream's decode cache for
+        // keys, the kernels' scratch rebuild for values.
+        let ek = EncodedKv {
+            rows: k_stream.encoded_rows().expect("encoded state"),
+            params: k_stream.fused_read_params().expect("fused-capable"),
+            plan: k_stream.read_plan(),
+        };
+        let ev = EncodedKv {
+            rows: v_stream.encoded_rows().expect("encoded state"),
+            params: v_stream.fused_read_params().expect("fused-capable"),
+            plan: None,
+        };
+        let q = kv_row(shape.q_dim(), seed ^ 0xABCD);
+
+        let exact = attend_one(&q, &k_view, &v_view, seq_len, &shape);
+        let fused = attend_one_fused(&q, &ek, &ev, seq_len, &shape);
+        prop_assert_eq!(exact.len(), fused.len());
+
+        let scale = exact.iter().fold(0.0f32, |m, x| m.max(x.abs())).max(1e-6);
+        let mut signal = 0.0f64;
+        let mut noise = 0.0f64;
+        for (i, (a, b)) in exact.iter().zip(&fused).enumerate() {
+            prop_assert!(b.is_finite(), "fused coordinate {} not finite", i);
+            prop_assert!(
+                (a - b).abs() / scale < 5e-4,
+                "coordinate {}: exact {} fused {} (scale {})", i, a, b, scale
+            );
+            signal += (*a as f64) * (*a as f64);
+            noise += (*a as f64 - *b as f64) * (*a as f64 - *b as f64);
+        }
+        if noise > 0.0 {
+            let sqnr_db = 10.0 * (signal / noise).log10();
+            prop_assert!(
+                sqnr_db >= 60.0,
+                "SQNR {} dB below the fused kernels' 60 dB contract", sqnr_db
+            );
+        }
+    }
+
+    /// End-to-end: a fused-kernel session over the Oaken cache stays
+    /// within the same closeness bound of its exact-kernel twin at the
+    /// logit level, for random prompts.
+    #[test]
+    fn fused_session_tracks_exact_session(seed in 0u64..500) {
+        let cfg = ModelConfig::llama2_7b().proxy(2, 32);
+        let model = Model::synthetic(cfg, 42);
+        let q: Arc<dyn KvQuantizer> =
+            Arc::new(profiled_oaken(model.config().kv_dim(), 2));
+        let mut exact = model.session(Box::new(QuantizedCache::new(q.clone())));
+        let mut fused = model.session(Box::new(QuantizedCache::new(q)));
+        prop_assert_eq!(fused.set_kernel_mode(KernelMode::Fused), KernelMode::Fused);
+        let prompt: Vec<u32> = (0..7).map(|i| ((seed + i * 131) % 64) as u32).collect();
+        let a = exact.prefill(&prompt);
+        let b = fused.prefill(&prompt);
+        let scale = a.iter().fold(0.0f32, |m, x| m.max(x.abs())).max(1e-6);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            prop_assert!(
+                (x - y).abs() / scale < 1e-2,
+                "logit {} diverged: exact {} fused {}", i, x, y
+            );
+        }
+    }
 }

@@ -43,8 +43,8 @@
 
 use crate::scheduler::TokenScheduler;
 use oaken_model::{
-    sample_greedy, BatchStep, FaultKind, FaultPlan, Model, PagedKvPool, PoolBatchView, PoolError,
-    PrefixStats, SeqId,
+    sample_greedy, BatchStep, FaultKind, FaultPlan, KernelMode, KvReadStats, Model, PagedKvPool,
+    PoolBatchView, PoolError, PrefixStats, SeqId,
 };
 use oaken_runtime::Runtime;
 use std::collections::VecDeque;
@@ -235,6 +235,13 @@ pub struct EngineConfig {
     /// through the same audited path as retirement. `None` (the default)
     /// disables the sweep.
     pub max_iterations: Option<u64>,
+    /// Requested attention read path, installed into the pool at engine
+    /// construction ([`PagedKvPool::set_kernel_mode`]). The request is
+    /// capability-gated: a pool whose quantizer has no encoded read path
+    /// stays [`KernelMode::Exact`] (see [`BatchEngine::kernel_mode`] for
+    /// the installed answer). Defaults to [`KernelMode::default_mode`]
+    /// (the `OAKEN_KERNEL` environment knob).
+    pub kernel: KernelMode,
 }
 
 impl Default for EngineConfig {
@@ -248,6 +255,7 @@ impl Default for EngineConfig {
             num_threads: oaken_runtime::default_threads(),
             fault_plan: None,
             max_iterations: None,
+            kernel: KernelMode::default_mode(),
         }
     }
 }
@@ -388,6 +396,11 @@ pub struct EngineStats {
     pub cancellations: u64,
     /// Requests killed by the [`EngineConfig::max_iterations`] deadline.
     pub deadline_kills: u64,
+    /// Cumulative KV read-path traffic mirrored from the pool: encoded
+    /// rows/bytes streamed by the fused kernels vs dequantized f32
+    /// rows/bytes streamed by the exact kernels — the serving-level view
+    /// of the fused read path's bandwidth saving.
+    pub kv_reads: KvReadStats,
     /// Sum over generation iterations of the core utilization.
     utilization_sum: f64,
     /// Iterations with at least one decoding sequence — the denominator
@@ -533,6 +546,9 @@ impl<'m> BatchEngine<'m> {
         if let Some(plan) = config.fault_plan {
             pool.install_faults(plan);
         }
+        if config.kernel != pool.kernel_mode() {
+            pool.set_kernel_mode(config.kernel);
+        }
         Self {
             model,
             pool,
@@ -550,6 +566,13 @@ impl<'m> BatchEngine<'m> {
     /// The engine's fork-join runtime (shared by every iteration).
     pub fn runtime(&self) -> &Runtime {
         &self.runtime
+    }
+
+    /// The attention read path actually installed in the pool —
+    /// [`KernelMode::Exact`] when the configured request could not be
+    /// honored (quantizer without an encoded read path).
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.pool.kernel_mode()
     }
 
     /// Enqueues a request.
@@ -775,6 +798,7 @@ impl<'m> BatchEngine<'m> {
             .shared_pages_peak
             .max(self.pool.shared_block_pages());
         self.stats.faults_injected = self.pool.fault_stats().injected;
+        self.stats.kv_reads = self.pool.kv_read_stats();
     }
 
     /// Tokens each active sequence feeds this iteration: decoding

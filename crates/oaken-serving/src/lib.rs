@@ -32,7 +32,7 @@ pub use engine::{
     AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, EngineStats, FinishedRequest,
     PreemptPolicy, RequestFailure, RequestOutcome,
 };
-pub use oaken_model::{FaultKind, FaultOp, FaultPlan, FaultStats};
+pub use oaken_model::{FaultKind, FaultOp, FaultPlan, FaultStats, KernelMode, KvReadStats};
 pub use request::Request;
 pub use scheduler::{CoreAssignment, TokenScheduler};
 pub use simulate::{simulate_trace, TraceResult};

@@ -32,6 +32,9 @@ fn reference_decode(
         Some(q) => model.session(Box::new(QuantizedCache::new(q))),
         None => model.session(Box::new(oaken_model::ExactCache::new())),
     };
+    // Mirror the engine's env-driven kernel mode (`OAKEN_KERNEL`): the
+    // fused engine is bit-exact with a fused Session, not an exact one.
+    session.set_kernel_mode(oaken_model::KernelMode::default_mode());
     let mut logits = session.prefill(prompt);
     let mut tokens = Vec::new();
     let mut all_logits = Vec::new();

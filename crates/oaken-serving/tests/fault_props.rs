@@ -32,6 +32,9 @@ fn reference_decode(
     max_new: usize,
 ) -> (Vec<u32>, Vec<Vec<f32>>) {
     let mut session: Session = model.session(Box::new(QuantizedCache::new(quantizer)));
+    // Mirror the engine's env-driven kernel mode (`OAKEN_KERNEL`): the
+    // fused engine is bit-exact with a fused Session, not an exact one.
+    session.set_kernel_mode(oaken_model::KernelMode::default_mode());
     let mut logits = session.prefill(prompt);
     let mut tokens = Vec::new();
     let mut all_logits = Vec::new();
@@ -86,6 +89,7 @@ fn run_chaos(
             num_threads,
             fault_plan: Some(plan),
             max_iterations,
+            ..EngineConfig::default()
         },
     );
     for (id, (prompt, max_new)) in requests.iter().enumerate() {

@@ -1,0 +1,76 @@
+//! Kernel-mode guarantees of the serving engine: a fused-kernel engine
+//! serves every request reading **only encoded rows** (no dequantized f32
+//! views anywhere on the attention path), an exact-kernel engine reads
+//! only f32 views, and the fused read path's per-token traffic is a small
+//! fraction of the exact path's — the storage win carried through to read
+//! bandwidth.
+
+use oaken_core::{KvQuantizer, OakenConfig};
+use oaken_eval::harness::profile_oaken;
+use oaken_model::{KernelMode, Model, ModelConfig, PagedKvPool};
+use oaken_serving::{AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, TokenScheduler};
+use std::sync::Arc;
+
+fn tiny_model() -> Model {
+    Model::synthetic(ModelConfig::llama2_7b().proxy(2, 32), 7)
+}
+
+fn run_with_kernel(kernel: KernelMode) -> oaken_serving::EngineStats {
+    let model = tiny_model();
+    let quantizer: Arc<dyn KvQuantizer> =
+        Arc::new(profile_oaken(&model, OakenConfig::default(), 6, 8, 5));
+    let pool = PagedKvPool::for_model(model.config(), Some(quantizer), 1024, 512);
+    let mut engine = BatchEngine::new(
+        &model,
+        pool,
+        TokenScheduler::new(4),
+        EngineConfig {
+            max_batch: 3,
+            admission: AdmissionPolicy::PromptOnly,
+            kernel,
+            ..EngineConfig::default()
+        },
+    );
+    assert_eq!(engine.kernel_mode(), kernel, "oaken streams support fused");
+    for (id, prompt) in [vec![1, 2, 3, 4, 5], vec![9, 8, 7], vec![20, 21, 22, 23]]
+        .into_iter()
+        .enumerate()
+    {
+        engine.submit(EngineRequest::new(id as u64, prompt, 6));
+    }
+    engine.run();
+    let stats = *engine.stats();
+    assert_eq!(stats.retired, 3, "all requests served under {kernel:?}");
+    stats
+}
+
+#[test]
+fn fused_engine_reads_encoded_rows_only() {
+    let fused = run_with_kernel(KernelMode::Fused);
+    assert!(fused.kv_reads.fused_rows > 0, "fused engine reads encoded");
+    assert_eq!(
+        fused.kv_reads.exact_rows, 0,
+        "fused engine must never materialize f32 views"
+    );
+
+    let exact = run_with_kernel(KernelMode::Exact);
+    assert!(
+        exact.kv_reads.exact_rows > 0,
+        "exact engine reads f32 views"
+    );
+    assert_eq!(
+        exact.kv_reads.fused_rows, 0,
+        "exact engine must not touch the encoded read path"
+    );
+
+    // Same schedule, same rows read — the fused path just reads them in
+    // their encoded form, at a fraction of the f32 byte traffic.
+    assert_eq!(fused.kv_reads.fused_rows, exact.kv_reads.exact_rows);
+    let per_row_fused = fused.kv_reads.fused_bytes as f64 / fused.kv_reads.fused_rows as f64;
+    let per_row_exact = exact.kv_reads.exact_bytes as f64 / exact.kv_reads.exact_rows as f64;
+    assert!(
+        per_row_fused < 0.25 * per_row_exact,
+        "fused rows must stream <25% of the f32 bytes \
+         (fused {per_row_fused:.1} B/row vs exact {per_row_exact:.1} B/row)"
+    );
+}

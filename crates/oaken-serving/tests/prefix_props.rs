@@ -53,6 +53,9 @@ fn reference_decode(
     max_new: usize,
 ) -> Vec<u32> {
     let mut session: Session = model.session(Box::new(QuantizedCache::new(quantizer)));
+    // Mirror the engine's env-driven kernel mode (`OAKEN_KERNEL`): the
+    // fused engine is bit-exact with a fused Session, not an exact one.
+    session.set_kernel_mode(oaken_model::KernelMode::default_mode());
     let mut logits = session.prefill(prompt);
     let mut tokens = Vec::new();
     for _ in 0..max_new {

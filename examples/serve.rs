@@ -27,13 +27,17 @@
 //!   teardowns). Default: the `OAKEN_FAULTS` env knob, else no faults.
 //! * `--deadline N` kills any request still in flight `N` iterations
 //!   after its first admission (graceful degradation under overload).
+//! * `--kernel {exact,fused}` picks the attention read path: `exact`
+//!   dequantizes rows to f32 views, `fused` computes scores and weighted
+//!   sums directly over the encoded 4-bit + outlier representation
+//!   (default: the `OAKEN_KERNEL` env knob, falling back to `exact`).
 
 use oaken::core::OakenConfig;
 use oaken::eval::harness::profile_oaken;
 use oaken::model::{Model, ModelConfig, PagedKvPool};
 use oaken::serving::{
     synthesize_requests, AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, FaultPlan,
-    PreemptPolicy, Request, TokenScheduler, TraceSpec,
+    KernelMode, PreemptPolicy, Request, TokenScheduler, TraceSpec,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -81,6 +85,14 @@ fn main() {
         .position(|a| a == "--deadline")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--deadline takes an iteration count"));
+    let kernel = args
+        .iter()
+        .position(|a| a == "--kernel")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            KernelMode::parse(v).unwrap_or_else(|| panic!("--kernel takes exact|fused, got {v:?}"))
+        })
+        .unwrap_or_else(KernelMode::default_mode);
     let spec = TraceSpec::conversation();
 
     // A proxy model small enough to execute for real; trace lengths are
@@ -120,7 +132,7 @@ fn main() {
         spec.name
     );
     println!(
-        "  model {} | pool {pages} pages x {} B | host tier {} pages | block {} tokens | {} requests\n  preempt {} | {num_threads} threads\n",
+        "  model {} | pool {pages} pages x {} B | host tier {} pages | block {} tokens | {} requests\n  preempt {} | {num_threads} threads | kernel {}\n",
         model.config().name,
         pool.page_size(),
         pool.host_capacity_pages(),
@@ -130,6 +142,7 @@ fn main() {
             PreemptPolicy::RestartRecompute => "restart-recompute",
             PreemptPolicy::SwapToHost => "swap-to-host",
         },
+        kernel.label(),
     );
     let mut engine = BatchEngine::new(
         &model,
@@ -144,7 +157,13 @@ fn main() {
             num_threads,
             fault_plan,
             max_iterations: deadline,
+            kernel,
         },
+    );
+    assert_eq!(
+        engine.kernel_mode(),
+        kernel,
+        "Oaken streams support the fused read path"
     );
     for r in requests {
         engine.submit(r);
@@ -191,6 +210,16 @@ fn main() {
     println!(
         "{:>22}  {}",
         "recomputed prefill", stats.recomputed_prefill_tokens
+    );
+    println!("{:>22}  {}", "fused rows read", stats.kv_reads.fused_rows);
+    println!(
+        "{:>22}  {} B",
+        "fused bytes read", stats.kv_reads.fused_bytes
+    );
+    println!("{:>22}  {}", "exact rows read", stats.kv_reads.exact_rows);
+    println!(
+        "{:>22}  {} B",
+        "exact bytes read", stats.kv_reads.exact_bytes
     );
     println!("{:>22}  {}", "faults injected", stats.faults_injected);
     println!("{:>22}  {}", "faults absorbed", stats.faults_absorbed);
