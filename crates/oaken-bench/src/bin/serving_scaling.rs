@@ -42,6 +42,13 @@
 //!    containment layer retries, demotes, and quarantines. Every
 //!    injected fault must be absorbed (no panics, no leaks) at every
 //!    rate — the graceful-degradation curve of the robustness PR.
+//! 8. **Rank sweep** — the main workload re-run tensor-parallel at
+//!    1/2/4/8 engine ranks (`EngineConfig::num_ranks`): private per-rank
+//!    KV pool shards, rank-sharded forward passes, a deterministic
+//!    all-reduce. Every rank count must generate the identical token
+//!    streams (asserted), the all-reduce bytes per token must grow with
+//!    the rank count (the communication cost the sweep records), and
+//!    the per-rank page peaks show the shard-level memory balance.
 //!
 //! Usage: `cargo run --release -p oaken-bench --bin serving_scaling
 //! [--smoke] [--threads N] [out.json]` — `--smoke` runs a tiny model for
@@ -243,7 +250,7 @@ fn run_once_policy(
     let start = Instant::now();
     engine.run();
     let secs = start.elapsed().as_secs_f64();
-    let stats = *engine.stats();
+    let stats = engine.stats().clone();
     assert_eq!(
         stats.retired as usize,
         reqs.len(),
@@ -313,7 +320,7 @@ fn run_overlap(w: &Workload, overlap_pct: usize, num_threads: usize) -> OverlapM
         }
         engine.run();
         let secs = start.elapsed().as_secs_f64();
-        let stats = *engine.stats();
+        let stats = engine.stats().clone();
         assert_eq!(
             stats.retired as usize,
             reqs.len(),
@@ -381,7 +388,7 @@ fn run_faulty(
     let start = Instant::now();
     engine.run();
     let secs = start.elapsed().as_secs_f64();
-    let stats = *engine.stats();
+    let stats = engine.stats().clone();
     let completed = engine.finished().iter().filter(|f| f.completed).count();
     assert_eq!(
         engine.finished().len(),
@@ -393,6 +400,67 @@ fn run_faulty(
         "every injected fault must be absorbed (rate {rate_permille}permille)"
     );
     (stats.decode_tokens as f64 / secs, completed, stats)
+}
+
+/// One tensor-parallel engine run: returns the measurement plus every
+/// request's generated token stream (sorted by id) so the sweep can
+/// assert N-rank output equals 1-rank output. Single run per point —
+/// the asserted quantities are deterministic.
+fn run_ranked(
+    w: &Workload,
+    max_batch: usize,
+    pages: u32,
+    num_threads: usize,
+    num_ranks: usize,
+) -> (Measurement, Vec<Vec<u32>>) {
+    let pool = PagedKvPool::for_model(
+        w.model.config(),
+        Some(w.quantizer.clone()),
+        pages,
+        w.page_size,
+    );
+    let mut engine = BatchEngine::new(
+        &w.model,
+        pool,
+        TokenScheduler::new(max_batch.max(1)),
+        EngineConfig {
+            max_batch,
+            admission: AdmissionPolicy::PromptOnly,
+            preempt: PreemptPolicy::RestartRecompute,
+            record_logits: false,
+            prefill_token_budget: 16,
+            num_threads,
+            num_ranks,
+            ..EngineConfig::default()
+        },
+    );
+    assert_eq!(
+        engine.num_ranks(),
+        num_ranks,
+        "rank request must be honored"
+    );
+    for r in &w.requests {
+        engine.submit(r.clone());
+    }
+    let start = Instant::now();
+    engine.run();
+    let secs = start.elapsed().as_secs_f64();
+    let stats = engine.stats().clone();
+    assert_eq!(
+        stats.retired as usize,
+        w.requests.len(),
+        "every request must complete ({num_ranks} ranks)"
+    );
+    let mut fin = engine.finished().to_vec();
+    fin.sort_by_key(|f| f.id);
+    let streams = fin.into_iter().map(|f| f.generated).collect();
+    (
+        Measurement {
+            tokens_per_sec: stats.decode_tokens as f64 / secs,
+            stats,
+        },
+        streams,
+    )
 }
 
 /// Best-of-N to suppress scheduler noise (counters are identical across
@@ -446,7 +514,7 @@ fn run_kernel(
         let start = Instant::now();
         engine.run();
         let secs = start.elapsed().as_secs_f64();
-        let stats = *engine.stats();
+        let stats = engine.stats().clone();
         assert_eq!(
             stats.retired as usize,
             w.requests.len(),
@@ -818,6 +886,84 @@ fn main() {
         "fused read traffic must be well under half of exact ({bytes_ratio:.3})"
     );
     println!("fused/exact read bytes: {bytes_ratio:.3}\n");
+
+    // --- Rank sweep (tensor-parallel, ample pool) ------------------------
+    let rank_sweep: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    println!(
+        "\nrank sweep ({} requests, batch {batch}, pool {} pages):",
+        w.requests.len(),
+        w.ample_pages
+    );
+    let rwidths = [7, 10, 10, 13, 24];
+    row(
+        &[
+            &"ranks",
+            &"tok/s",
+            &"reduces",
+            &"comm B/tok",
+            &"rank page peaks",
+        ],
+        &rwidths,
+    );
+    json.push_str("  \"rank_sweep\": [\n");
+    let mut streams_by_rank: Vec<Vec<Vec<u32>>> = Vec::new();
+    let mut comm_bytes_by_rank: Vec<u64> = Vec::new();
+    for (i, &ranks) in rank_sweep.iter().enumerate() {
+        let (m, streams) = run_ranked(&w, batch, w.ample_pages, threads, ranks);
+        let peaks = m.stats.rank_page_peaks.clone();
+        row(
+            &[
+                &ranks,
+                &f(m.tokens_per_sec, 1),
+                &m.stats.comm.allreduce_calls,
+                &f(m.stats.comm_bytes_per_token(), 1),
+                &format!("{peaks:?}"),
+            ],
+            &rwidths,
+        );
+        let peaks_json = peaks
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(
+            json,
+            "    {{\"ranks\": {ranks}, \"tokens_per_sec\": {:.1}, \
+             \"allreduce_calls\": {}, \"comm_bytes_moved\": {}, \
+             \"comm_bytes_per_token\": {:.1}, \"rank_page_peaks\": [{peaks_json}]}}",
+            m.tokens_per_sec,
+            m.stats.comm.allreduce_calls,
+            m.stats.comm.bytes_moved,
+            m.stats.comm_bytes_per_token(),
+        );
+        json.push_str(if i + 1 < rank_sweep.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+        assert_eq!(m.stats.rank_page_peaks.len(), ranks);
+        assert!(
+            peaks.iter().all(|&p| p > 0),
+            "every rank shard must hold pages: {peaks:?}"
+        );
+        comm_bytes_by_rank.push(m.stats.comm.bytes_moved);
+        streams_by_rank.push(streams);
+    }
+    json.push_str("  ],\n");
+    // N-rank output is the 1-rank output, token for token; the price is
+    // all-reduce traffic that grows with the rank count.
+    for (i, &ranks) in rank_sweep.iter().enumerate().skip(1) {
+        assert_eq!(
+            streams_by_rank[i], streams_by_rank[0],
+            "{ranks}-rank token streams must equal 1-rank"
+        );
+        assert!(
+            comm_bytes_by_rank[i] > comm_bytes_by_rank[i - 1],
+            "all-reduce bytes must grow with ranks: {comm_bytes_by_rank:?}"
+        );
+    }
+    assert_eq!(comm_bytes_by_rank[0], 0, "1 rank moves no bytes");
+    println!("token streams identical across rank counts; comm bytes {comm_bytes_by_rank:?}\n");
 
     // --- Fault-degradation sweep (main workload, ample pool) -------------
     let fault_rates: &[u16] = if smoke { &[0, 100] } else { &[0, 25, 100, 250] };

@@ -257,6 +257,46 @@ impl FusedVector {
     pub fn effective_bits(&self) -> f64 {
         self.payload_bytes() as f64 * 8.0 / self.dim.max(1) as f64
     }
+
+    /// Extracts the encoding of a contiguous channel range as a standalone
+    /// vector of dimension `range.len()` — the unit a tensor-parallel rank
+    /// stores for its KV-head slice.
+    ///
+    /// Dense codes are positional and copy over directly; COO outliers are
+    /// rebased to the new origin and re-bucketed into blocks (the range
+    /// need not be block-aligned); the [`ScaleSet`] travels unchanged.
+    /// Because Oaken's scales are whole-row min/max reductions and every
+    /// element decodes as a pure function of its own code, outlier entry,
+    /// and the shared scales, dequantizing the slice is **bit-identical**
+    /// to slicing the full dequantization — quantize once, shard the
+    /// encoding, and every rank reconstructs the same values the unsharded
+    /// cache would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OakenError::CorruptEncoding`] if the range exceeds the
+    /// vector's dimension.
+    pub fn slice_channels(&self, range: std::ops::Range<usize>) -> Result<Self, OakenError> {
+        if range.start > range.end || range.end > self.dim {
+            return Err(OakenError::CorruptEncoding {
+                detail: format!(
+                    "channel slice {}..{} out of range for dimension {}",
+                    range.start, range.end, self.dim
+                ),
+            });
+        }
+        let codes: Vec<u8> = range.clone().map(|i| self.dense_code(i)).collect();
+        let outliers: Vec<CooEntry> = self
+            .outliers()
+            .skip_while(|e| e.index < range.start)
+            .take_while(|e| e.index < range.end)
+            .map(|mut e| {
+                e.index -= range.start;
+                e
+            })
+            .collect();
+        Self::from_parts(range.len(), self.block_size, &codes, &outliers, self.scales)
+    }
 }
 
 /// Allocation-free iterator over a [`FusedVector`]'s COO entries in

@@ -421,6 +421,35 @@ mod tests {
     }
 
     #[test]
+    fn sliced_rows_fused_decode_matches_full_slice() {
+        // The fused read path a tensor-parallel rank runs over its
+        // channel-sliced vectors must agree bitwise with the same channels
+        // of the full row's fused decode: `RowDecode` coefficients depend
+        // only on the (shared) scales, and each element decodes from its
+        // own code and outlier entry.
+        let q = quantizer();
+        let params = q.fused_read_params(0, KvKind::Key).unwrap();
+        for seed in 0..12 {
+            let x = test_vector(384, seed * 11 + 5);
+            let fv = q.quantize_vector(&x, 0, KvKind::Key).unwrap();
+            let mut full = Vec::new();
+            decode_row_fused_into(&fv, &params, &mut full);
+            for range in [0..80, 80..208, 208..384] {
+                let s = fv.slice_channels(range.clone()).unwrap();
+                let mut got = Vec::new();
+                decode_row_fused_into(&s, &params, &mut got);
+                for (j, (a, b)) in got.iter().zip(&full[range.clone()]).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "channel {j} of slice {range:?} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn params_are_row_independent() {
         let q = quantizer();
         let a = q.fused_read_params(0, KvKind::Key).unwrap();

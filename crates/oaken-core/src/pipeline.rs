@@ -837,6 +837,36 @@ mod tests {
     }
 
     #[test]
+    fn channel_slices_dequantize_bit_exact() {
+        // Tensor-parallel ranks store `FusedVector::slice_channels` shards;
+        // decoding a shard must reproduce the corresponding channels of the
+        // full decode bit-for-bit (scales are whole-row, reconstruction is
+        // per-element). Ranges deliberately cross the 64-element block
+        // boundaries unaligned, as head slices do.
+        let q = quantizer();
+        for seed in 0..8 {
+            let x = test_vector(512, seed * 17 + 3);
+            for kind in KvKind::ALL {
+                let fv = q.quantize_vector(&x, 0, kind).unwrap();
+                let full = q.dequantize_vector(&fv, 0, kind).unwrap();
+                for range in [0..96, 96..224, 224..512, 40..41, 0..512] {
+                    let s = fv.slice_channels(range.clone()).unwrap();
+                    assert_eq!(s.dim(), range.len());
+                    assert_eq!(s.scales(), fv.scales());
+                    let got = q.dequantize_vector(&s, 0, kind).unwrap();
+                    for (j, (a, b)) in got.iter().zip(&full[range.clone()]).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "channel {j} of slice {range:?} diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn row_stream_matches_batch_roundtrip() {
         let q = quantizer();
         let d = 256;

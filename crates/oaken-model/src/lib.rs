@@ -58,7 +58,9 @@ pub mod config;
 pub mod ffn;
 pub mod model;
 pub mod pool;
+pub mod ranks;
 pub mod sampling;
+pub(crate) mod sharding;
 pub mod synth;
 pub mod trie;
 
@@ -79,6 +81,7 @@ pub use pool::{
     KvReadStats, PageAccounting, PagedKvPool, PoolBatchView, PoolError, PrefixAlloc, SeqId,
     SeqRowAppend,
 };
+pub use ranks::{forward_batch_ranked, RankPlan, RankedPools};
 pub use sampling::{sample_greedy, sample_temperature};
 pub use synth::SynthParams;
 pub use trie::PrefixStats;

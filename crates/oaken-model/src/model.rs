@@ -189,7 +189,28 @@ impl Model {
         }
     }
 
-    fn norm(&self, x: &[f32], w: &[f32], b: Option<&Vec<f32>>) -> Vec<f32> {
+    /// Token embedding matrix (read-only; the ranked forward pass
+    /// replicates the embedding lookup on every rank).
+    pub(crate) fn embed(&self) -> &Tensor {
+        &self.embed
+    }
+
+    /// Learned positional embedding, when the model uses one.
+    pub(crate) fn pos_embed(&self) -> Option<&Tensor> {
+        self.pos_embed.as_ref()
+    }
+
+    /// Final-norm gain and bias.
+    pub(crate) fn final_norm(&self) -> (&[f32], Option<&Vec<f32>>) {
+        (&self.final_norm_w, self.final_norm_b.as_ref())
+    }
+
+    /// LM head `[vocab × d]` (read-only; ranks shard its rows).
+    pub(crate) fn lm_head(&self) -> &Tensor {
+        &self.lm_head
+    }
+
+    pub(crate) fn norm(&self, x: &[f32], w: &[f32], b: Option<&Vec<f32>>) -> Vec<f32> {
         match self.config.norm {
             NormKind::Rms => rmsnorm(x, w, 1e-5),
             NormKind::Layer => layernorm(x, w, b.map(|v| v.as_slice()).unwrap_or(&[]), 1e-5),

@@ -369,9 +369,25 @@ impl ReadCounters {
 /// Default tokens per shareable prefix block.
 pub const DEFAULT_BLOCK_TOKENS: usize = 16;
 
+/// The channel slice a rank-shard pool stores out of the full KV row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PoolShard {
+    /// First full-row channel this shard owns.
+    pub(crate) start: usize,
+    /// Full KV row width appends must supply.
+    pub(crate) full_dim: usize,
+}
+
 /// The shared paged KV pool. See the module docs for the design.
 pub struct PagedKvPool {
     quantizer: Option<Arc<dyn KvQuantizer>>,
+    /// When this pool is one tensor-parallel rank's private shard: the
+    /// channel slice of the full KV row it stores. Append entry points
+    /// then take *full-width* rows (every rank quantizes the full row so
+    /// whole-row scales match the 1-rank cache bit-for-bit; see
+    /// `crate::sharding`) while all storage, accounting, and reads cover
+    /// only the shard's channels.
+    shard: Option<PoolShard>,
     num_layers: usize,
     kv_dim: usize,
     kv_heads: usize,
@@ -472,6 +488,7 @@ impl PagedKvPool {
         mmu.attach_host_tier(num_pages);
         let pool = Self {
             quantizer,
+            shard: None,
             num_layers: model.num_layers,
             kv_dim,
             kv_heads,
@@ -499,6 +516,84 @@ impl PagedKvPool {
             pool.dense_row_bound()
         );
         pool
+    }
+
+    /// Creates one tensor-parallel rank's private pool shard: the same
+    /// geometry as [`PagedKvPool::for_model`] restricted to the contiguous
+    /// KV heads `kv_heads`, over this rank's own `num_pages`.
+    ///
+    /// The shard's append entry points take **full-width** rows — the rank
+    /// quantizes the whole row (Oaken's scales are whole-row min/max, so
+    /// this is what keeps shard bits identical to the 1-rank cache) and
+    /// stores only its heads' channels. With `quantizer = None` the rows
+    /// are sliced directly. Reads ([`PagedKvPool::keys`],
+    /// [`PagedKvPool::encoded_kv`]) return shard-width data laid out for a
+    /// rank-local attention shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head range is empty or out of range, or if a
+    /// quantizer is supplied that cannot stream encoded rows (sharding
+    /// slices the encoded form; methods without it cannot shard).
+    pub fn for_model_shard(
+        model: &ModelConfig,
+        quantizer: Option<Arc<dyn KvQuantizer>>,
+        num_pages: u32,
+        page_size: usize,
+        kv_heads: std::ops::Range<usize>,
+    ) -> Self {
+        assert!(
+            !kv_heads.is_empty() && kv_heads.end <= model.num_kv_heads,
+            "shard heads {kv_heads:?} invalid for {} KV heads",
+            model.num_kv_heads
+        );
+        let head_dim = model.head_dim();
+        let group = model.num_heads / model.num_kv_heads;
+        let full_dim = model.kv_dim();
+        let start = kv_heads.start * head_dim;
+        let dim = kv_heads.len() * head_dim;
+        // The shard's geometry is the model's, restricted to its heads;
+        // `head_dim` is preserved so row bounds and page math carry over.
+        let shard_cfg = ModelConfig {
+            num_kv_heads: kv_heads.len(),
+            num_heads: kv_heads.len() * group,
+            d_model: kv_heads.len() * group * head_dim,
+            ..model.clone()
+        };
+        let wrapped = quantizer.map(|q| {
+            Arc::new(crate::sharding::ShardedQuantizer::new(
+                q, start, dim, full_dim,
+            )) as Arc<dyn KvQuantizer>
+        });
+        let had_quantizer = wrapped.is_some();
+        let mut pool = Self::for_model(&shard_cfg, wrapped, num_pages, page_size);
+        assert!(
+            !had_quantizer || pool.streaming,
+            "sharding requires a quantizer with encoded row streams"
+        );
+        pool.shard = Some(PoolShard { start, full_dim });
+        pool
+    }
+
+    /// The row width append entry points expect: the full KV row for a
+    /// rank-shard pool, this pool's own `kv_dim` otherwise.
+    pub fn append_width(&self) -> usize {
+        self.shard.map_or(self.kv_dim, |s| s.full_dim)
+    }
+
+    /// The full-row channel range this pool stores (`0..kv_dim` for an
+    /// unsharded pool).
+    pub fn channel_range(&self) -> std::ops::Range<usize> {
+        match self.shard {
+            Some(s) => s.start..s.start + self.kv_dim,
+            None => 0..self.kv_dim,
+        }
+    }
+
+    /// The wrapped quantizer handle, for building further shards of the
+    /// same method.
+    pub(crate) fn quantizer_handle(&self) -> Option<Arc<dyn KvQuantizer>> {
+        self.quantizer.clone()
     }
 
     /// Worst-case dense bytes one appended row can add to a single head's
@@ -1323,8 +1418,8 @@ impl PagedKvPool {
         k: &[f32],
         v: &[f32],
     ) -> Result<(), PoolError> {
-        assert_eq!(k.len(), self.kv_dim, "key width mismatch");
-        assert_eq!(v.len(), self.kv_dim, "value width mismatch");
+        assert_eq!(k.len(), self.append_width(), "key width mismatch");
+        assert_eq!(v.len(), self.append_width(), "value width mismatch");
         let Some(state) = self.seqs.get(&seq.0) else {
             return Err(PoolError::UnknownSequence { seq });
         };
@@ -1461,8 +1556,8 @@ impl PagedKvPool {
     ) -> Result<(), (usize, PoolError)> {
         for i in 0..n_items {
             let it = get(i);
-            assert_eq!(it.k.len(), self.kv_dim, "key width mismatch");
-            assert_eq!(it.v.len(), self.kv_dim, "value width mismatch");
+            assert_eq!(it.k.len(), self.append_width(), "key width mismatch");
+            assert_eq!(it.v.len(), self.append_width(), "value width mismatch");
         }
         let serial = |pool: &mut Self| -> Result<(), (usize, PoolError)> {
             for i in 0..n_items {
@@ -1530,6 +1625,11 @@ impl PagedKvPool {
             let runs = &self.batch.runs;
             let ptrs = &self.batch.ptrs;
             let recs = UnsafeSlice::new(&mut self.batch.recs);
+            let exact_shard = if self.quantizer.is_none() {
+                self.shard
+            } else {
+                None
+            };
             let quantizer = self.quantizer.as_deref();
             let kv_dim = self.kv_dim;
             rt.run(runs.len(), |r| {
@@ -1547,6 +1647,10 @@ impl PagedKvPool {
                     rec.pos = state.slots[layer][0].rows;
                     for (ki, row) in [(0usize, it.k), (1usize, it.v)] {
                         let slot = &mut state.slots[layer][ki];
+                        let row = match exact_shard {
+                            Some(s) => &row[s.start..s.start + kv_dim],
+                            None => row,
+                        };
                         slot.append(row);
                         let bytes = encoded_row_payload(slot, quantizer, kv_dim);
                         if ki == 0 {
@@ -1589,9 +1693,20 @@ impl PagedKvPool {
         row: &[f32],
     ) -> (usize, usize) {
         let kv_dim = self.kv_dim;
+        // Quantized shards pass the full row through (the stream slices
+        // after whole-row quantization); exact shards slice here.
+        let exact_shard = if self.quantizer.is_none() {
+            self.shard
+        } else {
+            None
+        };
         let quantizer = self.quantizer.as_deref();
         let slot = &mut self.seqs.get_mut(&seq.0).expect("checked by caller").slots[layer]
             [kind_index(kind)];
+        let row = match exact_shard {
+            Some(s) => &row[s.start..s.start + kv_dim],
+            None => row,
+        };
         slot.append(row);
         encoded_row_payload(slot, quantizer, kv_dim)
     }

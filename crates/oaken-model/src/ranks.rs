@@ -1,0 +1,1263 @@
+//! Tensor-parallel rank-sharded execution: N engine ranks, each owning a
+//! contiguous slice of the KV heads, the matching row shard of every
+//! projection matrix, and a **private** [`PagedKvPool`] shard — glued back
+//! together by the deterministic all-reduce of `oaken-runtime`'s
+//! [`Comm`].
+//!
+//! This is the software analogue of Oaken's multi-channel deployment
+//! (§5.2: one quantization engine per memory channel, each owning its
+//! shard of the KV stream): work is partitioned *by ownership* up front,
+//! every floating-point accumulation chain lives inside exactly one rank,
+//! and the only cross-rank arithmetic is [`Comm::all_reduce`]'s
+//! fixed-shape combine tree. Consequences, in the repository's standing
+//! bit-exactness discipline:
+//!
+//! * **Row-sharded projections** (`Wq`/`Wk`/`Wv` by head, `Wo`, FFN and
+//!   LM head by [`chunk_range`]) reproduce the unsharded kernels bit for
+//!   bit: every output element is computed by exactly one rank with the
+//!   serial per-row accumulation chain ([`Tensor::matvec_batch_rows`]),
+//!   and the all-reduce's `+0.0` identity passes the owner's bits through
+//!   unchanged.
+//! * **Attention is head-local**, so each rank attends over its own KV
+//!   heads against its own pool shard; the rank outputs are disjoint
+//!   q-head slices gathered by one all-reduce per layer.
+//! * **Pool shards append full-width rows** (Oaken's scales are whole-row
+//!   min/max) and store only their heads' channels; the shard's decoded
+//!   views are bitwise slices of the 1-rank views (`sharding` tests), so
+//!   rank-local attention reads exactly the bits the unsharded kernel
+//!   would have read for those heads.
+//!
+//! Net: N-rank logits are **bit-exact with the 1-rank engine** in
+//! [`KernelMode::Exact`] for every thread count, and identical-within-mode
+//! (in fact also bitwise, since sliced fused decode is a bitwise slice of
+//! the full fused decode) for [`KernelMode::Fused`].
+//!
+//! Communication volume is accounted the way a real deployment would pay
+//! it: one all-reduce per projection merge (attention gather, `Wo`, FFN
+//! hidden, FFN down, and the final logits), plus a per-row scale sync for
+//! quantized pools (each rank computes its own K/V channels; only the
+//! whole-row min/max scales must be agreed globally).
+//!
+//! [`KernelMode::Exact`]: crate::cache::KernelMode::Exact
+//! [`KernelMode::Fused`]: crate::cache::KernelMode::Fused
+
+use crate::attention::{attend_kv_group, attend_kv_group_fused, AttentionShape, EncodedKv};
+use crate::cache::KernelMode;
+use crate::config::{ModelConfig, Positional};
+use crate::ffn::{DenseFfn, FfnWeights};
+use crate::model::{BatchStep, Model};
+use crate::pool::{KvReadStats, PagedKvPool, PoolError, PrefixAlloc, SeqId};
+use crate::trie::PrefixStats;
+use oaken_core::kernel::{EncodedReadPlan, FusedReadParams};
+use oaken_core::FusedVector;
+use oaken_mmu::{FaultPlan, FaultStats, SwapReceipt};
+use oaken_runtime::{chunk_range, Comm, Runtime};
+use oaken_tensor::activation::Activation;
+use oaken_tensor::rope::{apply_rope, DEFAULT_THETA};
+use oaken_tensor::{softmax_in_place, Tensor};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// The static shard-ownership map of a rank count over a model: which
+/// contiguous KV heads (and therefore which query heads and which K/V
+/// channels) each rank owns. Head ranges come from [`chunk_range`], so
+/// odd head counts split as evenly as possible (remainder heads to the
+/// low ranks) — `head_ranges_balance_odd_counts` in `oaken-runtime` pins
+/// the arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankPlan {
+    ranks: usize,
+    num_kv_heads: usize,
+    head_dim: usize,
+    group: usize,
+    d_model: usize,
+}
+
+impl RankPlan {
+    /// Builds the ownership map.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= ranks <= cfg.num_kv_heads` (a rank must own at
+    /// least one whole KV head — attention is head-local, so heads are
+    /// the finest shard unit).
+    pub fn new(cfg: &ModelConfig, ranks: usize) -> Self {
+        assert!(ranks >= 1, "need at least one rank");
+        assert!(
+            ranks <= cfg.num_kv_heads,
+            "{ranks} ranks cannot shard {} KV heads (each rank owns at least one)",
+            cfg.num_kv_heads
+        );
+        Self {
+            ranks,
+            num_kv_heads: cfg.num_kv_heads,
+            head_dim: cfg.head_dim(),
+            group: (cfg.num_heads / cfg.num_kv_heads).max(1),
+            d_model: cfg.d_model,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// The contiguous KV heads rank `r` owns.
+    pub fn kv_heads(&self, r: usize) -> Range<usize> {
+        chunk_range(r, self.num_kv_heads, self.ranks)
+    }
+
+    /// The K/V row channels rank `r` stores (its heads × `head_dim`).
+    pub fn kv_channels(&self, r: usize) -> Range<usize> {
+        let h = self.kv_heads(r);
+        h.start * self.head_dim..h.end * self.head_dim
+    }
+
+    /// The query/attention-output channels rank `r` computes (its heads ×
+    /// GQA group × `head_dim`).
+    pub fn q_channels(&self, r: usize) -> Range<usize> {
+        let h = self.kv_heads(r);
+        h.start * self.group * self.head_dim..h.end * self.group * self.head_dim
+    }
+}
+
+/// The engine side of tensor parallelism: one private [`PagedKvPool`]
+/// shard per rank, mutated in lockstep through this façade so sequence
+/// ids, trie structure, and suspend/resume state never diverge across
+/// ranks.
+///
+/// Rank 0 is the **lead shard**: it alone carries the fault injectors
+/// (so a fault plan fires once per logical operation, not once per rank)
+/// and answers the trie/statistics queries that are identical across
+/// ranks by construction.
+pub struct RankedPools {
+    plan: RankPlan,
+    pools: Vec<PagedKvPool>,
+    peaks: Vec<u32>,
+}
+
+impl RankedPools {
+    /// Wraps an unsharded pool as the single rank of a 1-rank plan (the
+    /// legacy engine path, byte-for-byte).
+    pub fn single(cfg: &ModelConfig, pool: PagedKvPool) -> Self {
+        Self {
+            plan: RankPlan::new(cfg, 1),
+            pools: vec![pool],
+            peaks: vec![0],
+        }
+    }
+
+    /// Splits an idle donor pool into `ranks` private shards: device and
+    /// host capacity are divided by [`chunk_range`], each shard owns its
+    /// plan's KV heads, and the donor's quantizer, block size, sharing
+    /// flag, and kernel mode carry over. `ranks <= 1` wraps the donor
+    /// unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the donor holds live or suspended sequences, if `ranks`
+    /// exceeds the model's KV heads, if the split leaves a rank without
+    /// pages, or if the donor's quantizer cannot stream encoded rows
+    /// (sharding slices the encoded form).
+    pub fn split(cfg: &ModelConfig, donor: PagedKvPool, ranks: usize) -> Self {
+        if ranks <= 1 {
+            return Self::single(cfg, donor);
+        }
+        assert!(
+            donor.active_seqs() == 0 && donor.suspended_seqs() == 0,
+            "pool split requires an idle donor pool"
+        );
+        let plan = RankPlan::new(cfg, ranks);
+        let quantizer = donor.quantizer_handle();
+        let capacity = donor.capacity_pages() as usize;
+        let host = donor.host_capacity_pages() as usize;
+        let page_size = donor.page_size();
+        let block_tokens = donor.block_tokens();
+        let sharing = donor.prefix_sharing();
+        let kernel = donor.kernel_mode();
+        let pools: Vec<PagedKvPool> = (0..ranks)
+            .map(|r| {
+                let pages = chunk_range(r, capacity, ranks).len() as u32;
+                assert!(
+                    pages > 0,
+                    "capacity {capacity} leaves rank {r} without pages"
+                );
+                let mut p = PagedKvPool::for_model_shard(
+                    cfg,
+                    quantizer.clone(),
+                    pages,
+                    page_size,
+                    plan.kv_heads(r),
+                );
+                p.set_host_pages(chunk_range(r, host, ranks).len() as u32);
+                p.set_block_tokens(block_tokens);
+                p.set_prefix_sharing(sharing);
+                p.set_kernel_mode(kernel);
+                p
+            })
+            .collect();
+        Self {
+            plan,
+            pools,
+            peaks: vec![0; ranks],
+        }
+    }
+
+    /// The ownership map.
+    pub fn plan(&self) -> &RankPlan {
+        &self.plan
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// The lead (rank 0) shard — the one carrying fault injectors and
+    /// answering rank-invariant queries.
+    pub fn lead(&self) -> &PagedKvPool {
+        &self.pools[0]
+    }
+
+    /// Mutable lead shard.
+    pub fn lead_mut(&mut self) -> &mut PagedKvPool {
+        &mut self.pools[0]
+    }
+
+    /// All rank shards, rank order.
+    pub fn ranks(&self) -> &[PagedKvPool] {
+        &self.pools
+    }
+
+    /// All rank shards, mutable.
+    pub fn ranks_mut(&mut self) -> &mut [PagedKvPool] {
+        &mut self.pools
+    }
+
+    /// Whether the shards store quantized streams (drives the scale-sync
+    /// accounting of the ranked forward pass).
+    pub(crate) fn quantized(&self) -> bool {
+        self.pools[0].quantizer_handle().is_some()
+    }
+
+    /// Allocates a sequence on every rank, probing the prefix trie; the
+    /// rank pools allocate in lockstep, so the ids and trie matches must
+    /// agree (asserted — a divergence would mean the façade was bypassed).
+    pub fn alloc_seq_with_prefix(&mut self, tokens: &[u32]) -> PrefixAlloc {
+        let first = self.pools[0].alloc_seq_with_prefix(tokens);
+        for p in &mut self.pools[1..] {
+            let a = p.alloc_seq_with_prefix(tokens);
+            assert_eq!(
+                a.seq, first.seq,
+                "rank pools allocate sequence ids in lockstep"
+            );
+            assert_eq!(
+                a.matched_tokens, first.matched_tokens,
+                "rank tries agree on shared prefixes"
+            );
+        }
+        first
+    }
+
+    /// Trie probe (rank-invariant: every rank seals the same token
+    /// blocks, only the stored bytes differ).
+    pub fn probe_prefix(&self, tokens: &[u32]) -> usize {
+        self.pools[0].probe_prefix(tokens)
+    }
+
+    /// Frees a live sequence on every rank; returns the total pages
+    /// released across shards (first error wins, but every rank is still
+    /// torn down — containment over early exit).
+    pub fn free_seq(&mut self, seq: SeqId) -> Result<u32, PoolError> {
+        let mut total = 0u32;
+        let mut err = None;
+        for p in &mut self.pools {
+            match p.free_seq(seq) {
+                Ok(n) => total += n,
+                Err(e) => err = err.or(Some(e)),
+            }
+        }
+        err.map_or(Ok(total), Err)
+    }
+
+    /// Drops a suspended sequence's host pages on every rank.
+    pub fn drop_suspended_seq(&mut self, seq: SeqId) -> Result<u32, PoolError> {
+        let mut total = 0u32;
+        let mut err = None;
+        for p in &mut self.pools {
+            match p.drop_suspended_seq(seq) {
+                Ok(n) => total += n,
+                Err(e) => err = err.or(Some(e)),
+            }
+        }
+        err.map_or(Ok(total), Err)
+    }
+
+    /// Suspends a sequence to the host tier **atomically across shards**:
+    /// followers first, the lead shard last — the lead carries the fault
+    /// injectors, so its verdict arrives while every follower can still
+    /// be rolled back (resumed) without touching the fault schedule. On
+    /// any failure the already-suspended shards are resumed and the error
+    /// is returned; on success every shard is frozen and the summed
+    /// receipt comes back.
+    pub fn suspend_seq(&mut self, seq: SeqId) -> Result<SwapReceipt, PoolError> {
+        if self.pools.len() == 1 {
+            return self.pools[0].suspend_seq(seq);
+        }
+        let mut done: Vec<usize> = Vec::new();
+        let mut total = SwapReceipt { pages: 0, bytes: 0 };
+        for r in (1..self.pools.len()).chain([0]) {
+            match self.pools[r].suspend_seq(seq) {
+                Ok(receipt) => {
+                    total.pages += receipt.pages;
+                    total.bytes += receipt.bytes;
+                    done.push(r);
+                }
+                Err(e) => {
+                    for &d in &done {
+                        self.pools[d]
+                            .resume_seq(seq)
+                            .expect("rolling back a follower suspend cannot fault");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Resumes a suspended sequence on every rank, lead shard first (its
+    /// injectors get the only say before any follower thaws); follower
+    /// resumes are headroom-pre-checked by the engine and fault-free by
+    /// construction, so a follower failure rolls the resumed shards back
+    /// to the host tier and surfaces the error.
+    pub fn resume_seq(&mut self, seq: SeqId) -> Result<SwapReceipt, PoolError> {
+        let mut done: Vec<usize> = Vec::new();
+        let mut total = SwapReceipt { pages: 0, bytes: 0 };
+        for r in 0..self.pools.len() {
+            match self.pools[r].resume_seq(seq) {
+                Ok(receipt) => {
+                    total.pages += receipt.pages;
+                    total.bytes += receipt.bytes;
+                    done.push(r);
+                }
+                Err(e) => {
+                    for &d in done.iter().rev() {
+                        self.pools[d]
+                            .suspend_seq(seq)
+                            .expect("re-freezing a just-resumed shard cannot fail");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Device pages a suspended sequence needs on rank `r` to resume.
+    pub fn suspended_seq_pages(&self, r: usize, seq: SeqId) -> u32 {
+        self.pools[r].suspended_seq_pages(seq)
+    }
+
+    /// Installs a fault plan on the **lead shard only**: one logical
+    /// operation polls the schedule once, exactly like the 1-rank engine,
+    /// and the shard orderings above guarantee followers never see a
+    /// half-applied operation.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.pools[0].install_faults(plan);
+    }
+
+    /// Lead-shard fault counters (followers have no injectors).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.pools[0].fault_stats()
+    }
+
+    /// Requests a kernel mode on every rank; returns the mode actually
+    /// installed (capability-gated identically on every shard — they wrap
+    /// the same quantizer).
+    pub fn set_kernel_mode(&mut self, kernel: KernelMode) -> KernelMode {
+        let mut installed = kernel;
+        for p in &mut self.pools {
+            installed = p.set_kernel_mode(kernel);
+        }
+        installed
+    }
+
+    /// The installed attention read path.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.pools[0].kernel_mode()
+    }
+
+    /// Prefix-cache counters (lead-shard view; hit/token/row counts are
+    /// rank-invariant, byte counters are the lead shard's slice).
+    pub fn prefix_stats(&self) -> PrefixStats {
+        self.pools[0].prefix_stats()
+    }
+
+    /// Pages held by sealed shared blocks, summed across shards.
+    pub fn shared_block_pages(&self) -> u32 {
+        self.pools.iter().map(|p| p.shared_block_pages()).sum()
+    }
+
+    /// Total device capacity across shards.
+    pub fn capacity_pages(&self) -> u32 {
+        self.pools.iter().map(|p| p.capacity_pages()).sum()
+    }
+
+    /// Total free device pages across shards.
+    pub fn free_pages(&self) -> u32 {
+        self.pools.iter().map(|p| p.free_pages()).sum()
+    }
+
+    /// Pages currently allocated across all shards.
+    pub fn pages_in_use(&self) -> u32 {
+        self.pools
+            .iter()
+            .map(|p| p.capacity_pages() - p.free_pages())
+            .sum()
+    }
+
+    /// KV read-path traffic summed across shards.
+    pub fn kv_read_stats(&self) -> KvReadStats {
+        let mut total = KvReadStats::default();
+        for p in &self.pools {
+            let s = p.kv_read_stats();
+            total.fused_rows += s.fused_rows;
+            total.fused_bytes += s.fused_bytes;
+            total.exact_rows += s.exact_rows;
+            total.exact_bytes += s.exact_bytes;
+        }
+        total
+    }
+
+    /// Folds the current per-rank page occupancy into the running peaks
+    /// (called once per engine iteration, after the forward pass).
+    pub fn note_page_peaks(&mut self) {
+        for (p, peak) in self.pools.iter().zip(&mut self.peaks) {
+            *peak = (*peak).max(p.capacity_pages() - p.free_pages());
+        }
+    }
+
+    /// Peak allocated pages per rank over the run so far.
+    pub fn page_peaks(&self) -> &[u32] {
+        &self.peaks
+    }
+}
+
+impl std::fmt::Debug for RankedPools {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankedPools")
+            .field("ranks", &self.pools.len())
+            .field("free_pages", &self.free_pages())
+            .field("peaks", &self.peaks)
+            .finish()
+    }
+}
+
+/// One rank's per-layer KV snapshot on the ranked attention path —
+/// shard-width clone of the rank pool's rows (see `KvSnapshot` on the
+/// unsharded parallel path).
+enum RankSnap {
+    Exact {
+        keys: Vec<f32>,
+        values: Vec<f32>,
+    },
+    Fused {
+        keys: Vec<FusedVector>,
+        values: Vec<FusedVector>,
+        key_params: FusedReadParams,
+        value_params: FusedReadParams,
+        key_plan: Option<Box<EncodedReadPlan>>,
+        value_plan: Option<Box<EncodedReadPlan>>,
+    },
+}
+
+/// Computes each rank's rows of `w · x` per input, without merging:
+/// `shards[r][s]` holds rows `rows_of(r)` of input `s`'s product, in the
+/// serial kernel's exact bits ([`Tensor::matvec_batch_rows`]). Ranks run
+/// as parallel tasks on `rt` — each rank's rows are a self-contained
+/// accumulation chain, so scheduling is unobservable.
+fn rank_rows<F>(rt: &Runtime, n: usize, w: &Tensor, xs: &[&[f32]], rows_of: F) -> Vec<Vec<Vec<f32>>>
+where
+    F: Fn(usize) -> Range<usize> + Sync,
+{
+    rt.map(n, |r| {
+        w.matvec_batch_rows(xs, rows_of(r))
+            .expect("rank row shard shape")
+    })
+}
+
+/// Scatters per-rank compact row shards into zero-padded full-width
+/// buffers (`xs.len() × m` per rank) and merges them with one
+/// [`Comm::all_reduce`]: every output element is owned by exactly one
+/// rank, so the reduce is a bit-exact gather (the `+0.0` identity passes
+/// the owner's bits through). Returns the full-width products.
+fn reduce_row_shards(
+    comm: &mut Comm,
+    shards: &[Vec<Vec<f32>>],
+    n_inputs: usize,
+    m: usize,
+    rows_of: impl Fn(usize) -> Range<usize>,
+) -> Vec<Vec<f32>> {
+    let n = shards.len();
+    let mut parts: Vec<Vec<f32>> = vec![vec![0.0f32; n_inputs * m]; n];
+    for (r, outs) in shards.iter().enumerate() {
+        let rows = rows_of(r);
+        for (s, out) in outs.iter().enumerate() {
+            parts[r][s * m + rows.start..s * m + rows.end].copy_from_slice(out);
+        }
+    }
+    let mut refs: Vec<&mut [f32]> = parts.iter_mut().map(|p| p.as_mut_slice()).collect();
+    comm.all_reduce(&mut refs);
+    (0..n_inputs)
+        .map(|s| parts[0][s * m..(s + 1) * m].to_vec())
+        .collect()
+}
+
+/// Row-sharded matvec + all-reduce in one step: each rank computes its
+/// `rows_of(rank)` rows, the shards gather through the reduce tree.
+fn sharded_matvec<F>(
+    rt: &Runtime,
+    comm: &mut Comm,
+    w: &Tensor,
+    xs: &[&[f32]],
+    m: usize,
+    rows_of: F,
+) -> Vec<Vec<f32>>
+where
+    F: Fn(usize) -> Range<usize> + Sync,
+{
+    let n = comm.num_ranks();
+    let shards = rank_rows(rt, n, w, xs, &rows_of);
+    reduce_row_shards(comm, &shards, xs.len(), m, rows_of)
+}
+
+/// The FFN hidden activation, row-sharded over the hidden dimension:
+/// each rank computes its rows of `up` (and `gate`), applies the
+/// activation and the gating product **locally** (elementwise, so shard
+/// bits equal full-vector bits), and the shards gather through one
+/// all-reduce. Returns the full hidden vector per input.
+fn sharded_hidden(
+    rt: &Runtime,
+    comm: &mut Comm,
+    ffn: &DenseFfn,
+    xs: &[&[f32]],
+    hidden: usize,
+    act: Activation,
+) -> Vec<Vec<f32>> {
+    let n = comm.num_ranks();
+    let shards: Vec<Vec<Vec<f32>>> = rt.map(n, |r| {
+        let rows = chunk_range(r, hidden, n);
+        let mut ups = ffn
+            .w_up
+            .matvec_batch_rows(xs, rows.clone())
+            .expect("up-projection shard shape");
+        match &ffn.w_gate {
+            Some(g) => {
+                let mut gates = g.matvec_batch_rows(xs, rows).expect("gate shard shape");
+                for (up, gate) in ups.iter_mut().zip(&mut gates) {
+                    act.apply_in_place(gate);
+                    for (u, gv) in up.iter_mut().zip(gate.iter()) {
+                        *u *= gv;
+                    }
+                }
+            }
+            None => {
+                for up in &mut ups {
+                    act.apply_in_place(up);
+                }
+            }
+        }
+        ups
+    });
+    reduce_row_shards(comm, &shards, xs.len(), hidden, |r| {
+        chunk_range(r, hidden, n)
+    })
+}
+
+/// One dense FFN application sharded across ranks: hidden rows on each
+/// rank (one all-reduce), then down-projection rows (a second). Bit-exact
+/// per input with [`DenseFfn::forward_batch_on`] — and, for a single
+/// input, with the serial [`DenseFfn::forward`] (the lone-vector kernel
+/// path is shared).
+fn sharded_dense_ffn(
+    rt: &Runtime,
+    comm: &mut Comm,
+    ffn: &DenseFfn,
+    xs: &[&[f32]],
+    d: usize,
+    hidden: usize,
+    act: Activation,
+) -> Vec<Vec<f32>> {
+    let n = comm.num_ranks();
+    let hs = sharded_hidden(rt, comm, ffn, xs, hidden, act);
+    let href: Vec<&[f32]> = hs.iter().map(|v| v.as_slice()).collect();
+    sharded_matvec(rt, comm, &ffn.w_down, &href, d, |r| chunk_range(r, d, n))
+}
+
+/// One MoE layer sharded across ranks: the router's expert rows are
+/// chunked across ranks and gathered once for the whole batch; softmax,
+/// top-k selection, and the routed accumulation are replicated (pure
+/// elementwise/ordering work on identical bits), and each chosen expert
+/// runs as a rank-sharded dense FFN. Bit-exact per token with
+/// [`FfnWeights::forward`].
+#[allow(clippy::too_many_arguments)]
+fn sharded_moe(
+    rt: &Runtime,
+    comm: &mut Comm,
+    router: &Tensor,
+    experts: &[DenseFfn],
+    top_k: usize,
+    xs: &[&[f32]],
+    d: usize,
+    hidden: usize,
+    act: Activation,
+) -> Vec<Vec<f32>> {
+    let n = comm.num_ranks();
+    let num_experts = experts.len();
+    let all_logits = sharded_matvec(rt, comm, router, xs, num_experts, |r| {
+        chunk_range(r, num_experts, n)
+    });
+    xs.iter()
+        .zip(all_logits)
+        .map(|(x, mut logits)| {
+            softmax_in_place(&mut logits);
+            let mut idx: Vec<usize> = (0..num_experts).collect();
+            idx.sort_by(|&a, &b| logits[b].partial_cmp(&logits[a]).unwrap());
+            let chosen = &idx[..top_k.min(num_experts)];
+            let norm: f32 = chosen.iter().map(|&i| logits[i]).sum();
+            let mut out = vec![0.0f32; x.len()];
+            for &e in chosen {
+                let w = if norm > 0.0 { logits[e] / norm } else { 0.0 };
+                let ys = sharded_dense_ffn(rt, comm, &experts[e], &[x], d, hidden, act);
+                for (o, v) in out.iter_mut().zip(&ys[0]) {
+                    *o += w * v;
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// The rank-sharded batched forward pass: [`Model::forward_batch_on`]'s
+/// arithmetic executed as `comm.num_ranks()` cooperating ranks over
+/// private pool shards, merged by deterministic all-reduces. Returns the
+/// per-step logits and the batch slots whose append failed mid-forward
+/// (the engine quarantines those exactly like the 1-rank poison path).
+///
+/// Per decoder layer the ranks communicate four times (attention gather,
+/// `Wo` merge, FFN hidden merge, FFN down merge — MoE layers pay the
+/// router merge plus two per routed expert instead), plus one logits
+/// merge per forward; quantized pools additionally account a whole-row
+/// scale sync per appended K/V row.
+///
+/// # Panics
+///
+/// Panics if `comm` and `pools` disagree on the rank count, on the same
+/// shape violations as [`Model::forward_batch_on`], or if a follower
+/// shard diverges from the lead (a façade-bypass bug).
+pub fn forward_batch_ranked(
+    model: &Model,
+    rt: &Runtime,
+    comm: &mut Comm,
+    pools: &mut RankedPools,
+    seqs: &[SeqId],
+    steps: &[BatchStep],
+) -> (Vec<Vec<f32>>, Vec<(usize, PoolError)>) {
+    let cfg = model.config();
+    let n = comm.num_ranks();
+    assert_eq!(n, pools.num_ranks(), "comm and pools agree on rank count");
+    for s in steps {
+        assert!(
+            (s.token as usize) < cfg.vocab_size,
+            "token {} outside vocabulary {}",
+            s.token,
+            cfg.vocab_size
+        );
+        assert!(
+            s.pos < cfg.max_seq_len,
+            "sequence exceeds max_seq_len {}",
+            cfg.max_seq_len
+        );
+    }
+    #[cfg(debug_assertions)]
+    {
+        let mut last: HashMap<usize, usize> = HashMap::new();
+        for s in steps {
+            if let Some(prev) = last.insert(s.slot, s.pos) {
+                debug_assert_eq!(
+                    s.pos,
+                    prev + 1,
+                    "slot {}: chunked steps must have consecutive positions",
+                    s.slot
+                );
+            }
+        }
+    }
+
+    let plan = pools.plan().clone();
+    let d = cfg.d_model;
+    let hd = cfg.head_dim();
+    let kv_dim = cfg.kv_dim();
+    let nk = cfg.num_kv_heads;
+    let group_width = plan.group * hd;
+    let quantized = pools.quantized();
+    // Global KV head → (owning rank, rank-local head index).
+    let mut owner = vec![(0usize, 0usize); nk];
+    for r in 0..n {
+        for (local, kvh) in plan.kv_heads(r).enumerate() {
+            owner[kvh] = (r, local);
+        }
+    }
+    let shapes: Vec<AttentionShape> = (0..n)
+        .map(|r| AttentionShape {
+            num_heads: plan.kv_heads(r).len() * plan.group,
+            num_kv_heads: plan.kv_heads(r).len(),
+            head_dim: hd,
+            window: cfg.sliding_window,
+        })
+        .collect();
+
+    // Embedding is replicated on every rank (it feeds every shard).
+    let mut xs: Vec<Vec<f32>> = steps
+        .iter()
+        .map(|s| {
+            let mut x = model.embed().row(s.token as usize).to_vec();
+            if let Some(pe) = model.pos_embed() {
+                for (xi, pi) in x.iter_mut().zip(pe.row(s.pos)) {
+                    *xi += pi;
+                }
+            }
+            x
+        })
+        .collect();
+
+    fn as_refs(vs: &[Vec<f32>]) -> Vec<&[f32]> {
+        vs.iter().map(|v| v.as_slice()).collect()
+    }
+
+    let mut poisoned: Vec<(usize, PoolError)> = Vec::new();
+
+    for (l, lw) in model.layers().iter().enumerate() {
+        // Attention block. Norms are replicated; the three projections
+        // are row-sharded by head ownership and *stay rank-local* — only
+        // the attention outputs are gathered.
+        let hs: Vec<Vec<f32>> = xs
+            .iter()
+            .map(|x| model.norm(x, &lw.attn_norm_w, lw.attn_norm_b.as_ref()))
+            .collect();
+        let href = as_refs(&hs);
+        let mut q_parts = rank_rows(rt, n, &lw.wq, &href, |r| plan.q_channels(r));
+        let k_parts = rank_rows(rt, n, &lw.wk, &href, |r| plan.kv_channels(r));
+        let v_parts = rank_rows(rt, n, &lw.wv, &href, |r| plan.kv_channels(r));
+
+        // Assemble the full-width K/V rows every rank appends: Oaken's
+        // whole-row min/max scales need global agreement, which a real
+        // deployment pays as a tiny per-row scale sync (accounted below);
+        // the channel payloads themselves stay rank-local in the pools.
+        let mut ks: Vec<Vec<f32>> = vec![vec![0.0f32; kv_dim]; steps.len()];
+        let mut vs: Vec<Vec<f32>> = vec![vec![0.0f32; kv_dim]; steps.len()];
+        for r in 0..n {
+            let ch = plan.kv_channels(r);
+            for i in 0..steps.len() {
+                ks[i][ch.clone()].copy_from_slice(&k_parts[r][i]);
+                vs[i][ch.clone()].copy_from_slice(&v_parts[r][i]);
+            }
+        }
+        if quantized {
+            // One (min, max) pair per appended K and V row.
+            comm.account_sync(2 * steps.len() as u64, 2);
+        }
+
+        // Rope is head-local: each rank rotates its own query heads, and
+        // the assembled K rows rotate whole heads in place — the same
+        // bits as the unsharded path's full-width rotation.
+        if cfg.positional == Positional::Rope {
+            for (i, step) in steps.iter().enumerate() {
+                for part in q_parts.iter_mut() {
+                    for head in part[i].chunks_mut(hd) {
+                        apply_rope(head, step.pos, DEFAULT_THETA);
+                    }
+                }
+                for head in ks[i].chunks_mut(hd) {
+                    apply_rope(head, step.pos, DEFAULT_THETA);
+                }
+            }
+        }
+
+        // Causal lengths, predicted exactly like the unsharded parallel
+        // path (rank-invariant: every shard appends the same steps).
+        let mut seq_lens = vec![0usize; steps.len()];
+        let mut grown: HashMap<usize, usize> = HashMap::new();
+        for (i, step) in steps.iter().enumerate() {
+            let len = grown
+                .entry(step.slot)
+                .or_insert_with(|| pools.lead().seq_len(seqs[step.slot], l));
+            *len += 1;
+            seq_lens[i] = *len;
+        }
+
+        // Appends, serial in step order, lead shard first per step: the
+        // lead's injectors give the only fault verdict, and a failure
+        // poisons the slot before any follower stores the row — so a
+        // quarantined teardown is the only cross-shard divergence that
+        // can ever exist, and it removes the sequence everywhere.
+        for (i, step) in steps.iter().enumerate() {
+            if poisoned.iter().any(|&(s, _)| s == step.slot) {
+                continue;
+            }
+            let seq = seqs[step.slot];
+            if let Err(e) = pools.ranks_mut()[0].append(seq, l, &ks[i], &vs[i]) {
+                poisoned.push((step.slot, e));
+                continue;
+            }
+            let mut failed = None;
+            for r in 1..n {
+                if let Err(e) = pools.ranks_mut()[r].append(seq, l, &ks[i], &vs[i]) {
+                    failed = Some(e);
+                    break;
+                }
+            }
+            if let Some(e) = failed {
+                poisoned.push((step.slot, e));
+            }
+        }
+
+        // Per-rank snapshots of each distinct slot (shard-width rows).
+        let mut slots: Vec<usize> = steps.iter().map(|s| s.slot).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        let mut snaps: Vec<HashMap<usize, RankSnap>> = Vec::with_capacity(n);
+        for r in 0..n {
+            let pool = &mut pools.ranks_mut()[r];
+            let mut map = HashMap::with_capacity(slots.len());
+            for &slot in &slots {
+                let seq = seqs[slot];
+                let snap = if pool.has_encoded_kv(seq, l) {
+                    let (ke, ve) = pool.encoded_kv(seq, l).expect("probed fused above");
+                    RankSnap::Fused {
+                        keys: ke.rows.to_vec(),
+                        values: ve.rows.to_vec(),
+                        key_params: ke.params,
+                        value_params: ve.params,
+                        key_plan: ke.plan.map(|p| Box::new(p.clone())),
+                        value_plan: ve.plan.map(|p| Box::new(p.clone())),
+                    }
+                } else {
+                    RankSnap::Exact {
+                        keys: pool.keys(seq, l).to_vec(),
+                        values: pool.values(seq, l).to_vec(),
+                    }
+                };
+                map.insert(slot, snap);
+            }
+            snaps.push(map);
+        }
+
+        // One attention task per (step, global KV head), exactly the
+        // unsharded decomposition — each task just runs on its owner
+        // rank's shard with the rank-local shape. Head-local arithmetic
+        // makes the group outputs bit-identical to the 1-rank kernel.
+        let groups = rt.map(steps.len() * nk, |t| {
+            let (i, kvh) = (t / nk, t % nk);
+            let (r, local) = owner[kvh];
+            let shape_r = &shapes[r];
+            let kv_dim_r = shape_r.kv_dim();
+            let q = &q_parts[r][i];
+            match &snaps[r][&steps[i].slot] {
+                RankSnap::Exact { keys, values } => {
+                    let visible = (seq_lens[i] * kv_dim_r).min(keys.len());
+                    attend_kv_group(
+                        q,
+                        &keys[..visible],
+                        &values[..visible],
+                        visible / kv_dim_r,
+                        shape_r,
+                        local,
+                    )
+                }
+                RankSnap::Fused {
+                    keys,
+                    values,
+                    key_params,
+                    value_params,
+                    key_plan,
+                    value_plan,
+                } => {
+                    let visible = seq_lens[i].min(keys.len());
+                    attend_kv_group_fused(
+                        q,
+                        &EncodedKv {
+                            rows: keys,
+                            params: *key_params,
+                            plan: key_plan.as_deref(),
+                        },
+                        &EncodedKv {
+                            rows: values,
+                            params: *value_params,
+                            plan: value_plan.as_deref(),
+                        },
+                        visible,
+                        shape_r,
+                        local,
+                    )
+                }
+            }
+        });
+
+        // Gather the disjoint q-head slices: one all-reduce per layer.
+        let mut parts: Vec<Vec<f32>> = vec![vec![0.0f32; steps.len() * d]; n];
+        for i in 0..steps.len() {
+            for kvh in 0..nk {
+                let (r, _) = owner[kvh];
+                parts[r][i * d + kvh * group_width..i * d + (kvh + 1) * group_width]
+                    .copy_from_slice(&groups[i * nk + kvh]);
+            }
+        }
+        let mut refs: Vec<&mut [f32]> = parts.iter_mut().map(|p| p.as_mut_slice()).collect();
+        comm.all_reduce(&mut refs);
+        let atts: Vec<Vec<f32>> = (0..steps.len())
+            .map(|i| parts[0][i * d..(i + 1) * d].to_vec())
+            .collect();
+
+        let attref = as_refs(&atts);
+        let projs = sharded_matvec(rt, comm, &lw.wo, &attref, d, |r| chunk_range(r, d, n));
+        for (x, proj) in xs.iter_mut().zip(projs) {
+            for (xi, pi) in x.iter_mut().zip(proj) {
+                *xi += pi;
+            }
+        }
+
+        // FFN block.
+        let hs: Vec<Vec<f32>> = xs
+            .iter()
+            .map(|x| model.norm(x, &lw.ffn_norm_w, lw.ffn_norm_b.as_ref()))
+            .collect();
+        let href = as_refs(&hs);
+        let ys = match &lw.ffn {
+            FfnWeights::Dense(ffn) => {
+                sharded_dense_ffn(rt, comm, ffn, &href, d, cfg.ffn_hidden, cfg.activation)
+            }
+            FfnWeights::Moe {
+                router,
+                experts,
+                top_k,
+            } => sharded_moe(
+                rt,
+                comm,
+                router,
+                experts,
+                *top_k,
+                &href,
+                d,
+                cfg.ffn_hidden,
+                cfg.activation,
+            ),
+        };
+        for (x, y) in xs.iter_mut().zip(ys) {
+            for (xi, yi) in x.iter_mut().zip(y) {
+                *xi += yi;
+            }
+        }
+    }
+
+    let (fw, fb) = model.final_norm();
+    let hs: Vec<Vec<f32>> = xs.iter().map(|x| model.norm(x, fw, fb)).collect();
+    let href = as_refs(&hs);
+    let logits = sharded_matvec(rt, comm, model.lm_head(), &href, cfg.vocab_size, |r| {
+        chunk_range(r, cfg.vocab_size, n)
+    });
+    (logits, poisoned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolBatchView;
+    use crate::sampling::sample_greedy;
+    use oaken_core::{KvKind, KvQuantizer, OakenConfig, OakenQuantizer, OfflineProfiler};
+    use std::sync::Arc;
+
+    fn row(d: usize, seed: u64) -> Vec<f32> {
+        (0..d)
+            .map(|i| {
+                let u = ((i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(seed * 7919)
+                    >> 33) as f32
+                    / (1u64 << 31) as f32;
+                let base = (u - 0.5) * 6.0;
+                match i % 19 {
+                    0 => base * 9.0,
+                    1 => base * 0.02,
+                    _ => base,
+                }
+            })
+            .collect()
+    }
+
+    fn oaken(d: usize, layers: usize) -> Arc<dyn KvQuantizer> {
+        let config = OakenConfig::default();
+        let mut p = OfflineProfiler::new(config.clone(), layers);
+        for s in 0..24 {
+            for layer in 0..layers {
+                for kind in KvKind::ALL {
+                    p.observe(layer, kind, &row(d.max(64), s * 3 + layer as u64));
+                }
+            }
+        }
+        Arc::new(OakenQuantizer::new(config, p.try_finish().unwrap()))
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Drives `iters` engine-style iterations (a prompt chunk, then
+    /// greedy decode) over two interleaved sequences through both the
+    /// unsharded parallel forward and the ranked forward, comparing every
+    /// step's logits bitwise.
+    fn assert_ranked_matches_unsharded(
+        cfg: &ModelConfig,
+        quantizer: Option<Arc<dyn KvQuantizer>>,
+        ranks: usize,
+        threads: usize,
+        kernel: KernelMode,
+        iters: usize,
+    ) {
+        let model = Model::synthetic(cfg.clone(), 42);
+        let rt = Runtime::new(threads);
+
+        let mut ref_pool = PagedKvPool::for_model(cfg, quantizer.clone(), 512, 4096);
+        ref_pool.set_kernel_mode(kernel);
+        let donor = {
+            let mut p = PagedKvPool::for_model(cfg, quantizer, 512, 4096);
+            p.set_kernel_mode(kernel);
+            p
+        };
+        let mut pools = RankedPools::split(cfg, donor, ranks);
+        let mut comm = Comm::new(ranks);
+
+        let ref_seqs = vec![ref_pool.alloc_seq(), ref_pool.alloc_seq()];
+        let seqs = vec![
+            pools.alloc_seq_with_prefix(&[]).seq,
+            pools.alloc_seq_with_prefix(&[]).seq,
+        ];
+        assert_eq!(ref_seqs, seqs, "reference and ranked ids align");
+
+        let mut pos = [0usize; 2];
+        let mut last = [1u32, 7u32];
+        for it in 0..iters {
+            // First iteration feeds a 3-token chunk to slot 0; afterwards
+            // every slot advances one token.
+            let mut steps = Vec::new();
+            for slot in 0..2usize {
+                let chunk = if it == 0 && slot == 0 { 3 } else { 1 };
+                for j in 0..chunk {
+                    let token = (last[slot] + j as u32 * 11) % cfg.vocab_size as u32;
+                    steps.push(BatchStep {
+                        slot,
+                        pos: pos[slot] + j,
+                        token,
+                    });
+                }
+                pos[slot] += chunk;
+            }
+
+            let want = {
+                let mut view = PoolBatchView::new(&mut ref_pool, &ref_seqs);
+                model.forward_batch_on(&rt, &mut view, &steps, None)
+            };
+            let (got, poisons) =
+                forward_batch_ranked(&model, &rt, &mut comm, &mut pools, &seqs, &steps);
+            assert!(poisons.is_empty(), "fault-free run poisons nothing");
+            assert_eq!(want.len(), got.len());
+            for (s, (w, g)) in want.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    bits(w),
+                    bits(g),
+                    "iter {it} step {s}: ranked logits diverged ({ranks} ranks, {threads} threads, {kernel:?})"
+                );
+            }
+            for slot in 0..2usize {
+                let slot_last = steps
+                    .iter()
+                    .rposition(|s| s.slot == slot)
+                    .expect("every slot stepped");
+                last[slot] = sample_greedy(&got[slot_last]);
+            }
+        }
+        assert!(
+            comm.stats().allreduce_calls > 0,
+            "ranked forward reduces at least once per layer"
+        );
+    }
+
+    fn dense_cfg() -> ModelConfig {
+        // 8 KV heads / head_dim 8 — rank counts 2, 3 (uneven), 4 all fit.
+        ModelConfig::llama2_7b().proxy(2, 64)
+    }
+
+    #[test]
+    fn exact_pools_match_unsharded_bitwise() {
+        for ranks in [2, 3, 4] {
+            for threads in [1, 4] {
+                assert_ranked_matches_unsharded(
+                    &dense_cfg(),
+                    None,
+                    ranks,
+                    threads,
+                    KernelMode::Exact,
+                    4,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_pools_match_unsharded_bitwise() {
+        let cfg = dense_cfg();
+        let q = oaken(cfg.kv_dim(), cfg.num_layers);
+        for ranks in [2, 4] {
+            for threads in [1, 4] {
+                assert_ranked_matches_unsharded(
+                    &cfg,
+                    Some(q.clone()),
+                    ranks,
+                    threads,
+                    KernelMode::Exact,
+                    4,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernels_match_unsharded_bitwise() {
+        // Sliced fused decode is a bitwise slice of the full fused decode
+        // (kernel tests), so fused ranked logits match the fused 1-rank
+        // pass exactly — not merely within tolerance.
+        let cfg = dense_cfg();
+        let q = oaken(cfg.kv_dim(), cfg.num_layers);
+        for ranks in [2, 3] {
+            assert_ranked_matches_unsharded(&cfg, Some(q.clone()), ranks, 4, KernelMode::Fused, 4);
+        }
+    }
+
+    #[test]
+    fn moe_layers_match_unsharded_bitwise() {
+        // Mixtral proxy: 2 KV heads (GQA 4), 8 experts top-2.
+        let cfg = ModelConfig::mixtral_8x7b().proxy(2, 32);
+        assert!(cfg.moe.is_some(), "mixtral proxy keeps its experts");
+        assert_ranked_matches_unsharded(&cfg, None, 2, 4, KernelMode::Exact, 3);
+    }
+
+    #[test]
+    fn comm_accounting_counts_reduces_and_scale_syncs() {
+        let cfg = dense_cfg();
+        let q = oaken(cfg.kv_dim(), cfg.num_layers);
+        let model = Model::synthetic(cfg.clone(), 42);
+        let rt = Runtime::serial();
+        let donor = PagedKvPool::for_model(&cfg, Some(q), 256, 4096);
+        let mut pools = RankedPools::split(&cfg, donor, 2);
+        let mut comm = Comm::new(2);
+        let seqs = vec![pools.alloc_seq_with_prefix(&[]).seq];
+        let steps = vec![BatchStep {
+            slot: 0,
+            pos: 0,
+            token: 5,
+        }];
+        let (_, poisons) = forward_batch_ranked(&model, &rt, &mut comm, &mut pools, &seqs, &steps);
+        assert!(poisons.is_empty());
+        // 4 reduces per dense layer + 1 logits reduce.
+        assert_eq!(
+            comm.stats().allreduce_calls,
+            (cfg.num_layers * 4 + 1) as u64
+        );
+        // Scale syncs moved bytes beyond the reduces alone.
+        assert!(comm.stats().sync_calls >= (2 * cfg.num_layers) as u64);
+        assert!(comm.stats().bytes_moved > 0);
+    }
+
+    #[test]
+    fn suspend_and_resume_stay_atomic_across_shards() {
+        let cfg = dense_cfg();
+        let q = oaken(cfg.kv_dim(), cfg.num_layers);
+        let model = Model::synthetic(cfg.clone(), 42);
+        let rt = Runtime::serial();
+        let donor = PagedKvPool::for_model(&cfg, Some(q), 256, 4096);
+        let mut pools = RankedPools::split(&cfg, donor, 3);
+        let mut comm = Comm::new(3);
+        let seqs = vec![pools.alloc_seq_with_prefix(&[]).seq];
+
+        let mut feed = 3u32;
+        for pos in 0..4usize {
+            let steps = vec![BatchStep {
+                slot: 0,
+                pos,
+                token: feed,
+            }];
+            let (logits, _) =
+                forward_batch_ranked(&model, &rt, &mut comm, &mut pools, &seqs, &steps);
+            feed = sample_greedy(&logits[0]);
+        }
+        let before: Vec<Vec<u32>> = (0..3)
+            .map(|r| bits(pools.ranks_mut()[r].keys(seqs[0], 0)))
+            .collect();
+
+        let receipt = pools.suspend_seq(seqs[0]).expect("suspend fits host tiers");
+        assert!(receipt.bytes > 0);
+        for p in pools.ranks() {
+            assert!(p.is_suspended(seqs[0]), "every shard froze");
+        }
+        let back = pools.resume_seq(seqs[0]).expect("resume fits device");
+        assert_eq!(back.bytes, receipt.bytes, "round trip moves the same bytes");
+        for (r, want) in before.iter().enumerate() {
+            assert_eq!(
+                &bits(pools.ranks_mut()[r].keys(seqs[0], 0)),
+                want,
+                "rank {r} resumed bit-exactly"
+            );
+        }
+
+        // The next forward continues bit-exactly from the thawed state.
+        let steps = vec![BatchStep {
+            slot: 0,
+            pos: 4,
+            token: feed,
+        }];
+        let (_, poisons) = forward_batch_ranked(&model, &rt, &mut comm, &mut pools, &seqs, &steps);
+        assert!(poisons.is_empty());
+        assert!(pools.free_seq(seqs[0]).is_ok());
+        assert_eq!(pools.free_pages(), pools.capacity_pages());
+    }
+
+    #[test]
+    fn page_peaks_track_per_rank_occupancy() {
+        let cfg = dense_cfg();
+        let model = Model::synthetic(cfg.clone(), 42);
+        let rt = Runtime::serial();
+        let donor = PagedKvPool::for_model(&cfg, None, 90, 4096);
+        let mut pools = RankedPools::split(&cfg, donor, 4);
+        let mut comm = Comm::new(4);
+        // Uneven capacity split: 90 pages over 4 ranks → 23/23/22/22.
+        let caps: Vec<u32> = pools.ranks().iter().map(|p| p.capacity_pages()).collect();
+        assert_eq!(caps, vec![23, 23, 22, 22]);
+        let seqs = vec![pools.alloc_seq_with_prefix(&[]).seq];
+        for pos in 0..3usize {
+            let steps = vec![BatchStep {
+                slot: 0,
+                pos,
+                token: 9,
+            }];
+            forward_batch_ranked(&model, &rt, &mut comm, &mut pools, &seqs, &steps);
+            pools.note_page_peaks();
+        }
+        assert_eq!(pools.page_peaks().len(), 4);
+        assert!(
+            pools.page_peaks().iter().all(|&p| p > 0),
+            "every rank allocated pages: {:?}",
+            pools.page_peaks()
+        );
+    }
+}

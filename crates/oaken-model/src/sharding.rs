@@ -1,0 +1,358 @@
+//! Channel-sharded KV quantization for tensor-parallel ranks.
+//!
+//! A rank's private [`PagedKvPool`](crate::pool::PagedKvPool) shard stores
+//! only its KV heads' channels, but Oaken's quantization scales are
+//! **whole-row** min/max reductions (paper §4.3): slicing the row first and
+//! quantizing the slice would compute different scales and different bits
+//! than the unsharded cache. The sharded stream therefore quantizes the
+//! *full* row exactly once — the same arithmetic, the same scratch walk as
+//! the 1-rank pool — and then stores only the
+//! [`FusedVector::slice_channels`] shard of the encoding. Since min/max
+//! reductions are exact and every channel decodes as a pure function of its
+//! own code, outlier entry, and the shared scales, the shard's dequantized
+//! image is bit-identical to the corresponding channels of the 1-rank
+//! cache. (A real rank group would compute partial scales and min/max
+//! all-reduce them — an associative, exact reduction with the same result;
+//! the forward pass accounts those scale syncs to
+//! [`CommStats`](oaken_runtime::CommStats).)
+//!
+//! Two wrapped streams implement this:
+//!
+//! * `full` — an inner stream of the full row width, used purely as the
+//!   quantization engine. It is reset after every row (sound because the
+//!   encoded-capable quantizers this module accepts are stateless per row —
+//!   [`KvQuantizer::prefix_deterministic`] methods by construction).
+//! * `local` — an inner stream of the shard width that owns the sliced
+//!   encoded rows, their [`EncodedReadPlan`], payload accounting, and the
+//!   decode path, all via the stream's own `adopt_encoded_rows` and
+//!   `decode_rows_into` machinery. Trie blocks sealed from a sharded
+//!   stream hold sliced vectors, so prefix adoption also lands here.
+//!
+//! Quantizers without the encoded-row path cannot be sharded (`row_stream`
+//! returns `None`, which the pool's streaming gate turns into a clear
+//! construction failure).
+
+use oaken_core::{
+    EncodedReadPlan, FusedReadParams, FusedVector, KvKind, KvQuantizer, KvRowStream, OnlineCost,
+};
+use std::sync::Arc;
+
+/// A [`KvQuantizer`] adaptor that presents a contiguous channel slice
+/// `start..start + dim` of a `full_dim`-wide quantizer as a standalone
+/// `dim`-wide method — the quantizer a rank's private pool shard runs.
+pub(crate) struct ShardedQuantizer {
+    inner: Arc<dyn KvQuantizer>,
+    /// First sliced channel in the full row.
+    start: usize,
+    /// Shard width (the wrapped pool's `kv_dim`).
+    dim: usize,
+    /// Full row width (what append sites must supply).
+    full_dim: usize,
+}
+
+impl ShardedQuantizer {
+    pub(crate) fn new(
+        inner: Arc<dyn KvQuantizer>,
+        start: usize,
+        dim: usize,
+        full_dim: usize,
+    ) -> Self {
+        assert!(start + dim <= full_dim, "shard exceeds full row width");
+        Self {
+            inner,
+            start,
+            dim,
+            full_dim,
+        }
+    }
+}
+
+impl KvQuantizer for ShardedQuantizer {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn roundtrip_matrix(
+        &self,
+        _data: &[f32],
+        _rows: usize,
+        _d: usize,
+        _layer: usize,
+        _kind: KvKind,
+    ) -> Vec<f32> {
+        // The pool only reaches the matrix fallback when streaming is
+        // unavailable, and sharded pools assert streaming at construction.
+        unreachable!("sharded pools always run the streaming path")
+    }
+
+    fn effective_bits(&self, rows: usize, d: usize) -> f64 {
+        // Nominal estimate at the shard width: the scale metadata is
+        // genuinely replicated per rank (each shard stores its own copy),
+        // which the inner formula's per-`d` amortization captures.
+        self.inner.effective_bits(rows, d)
+    }
+
+    fn online_cost(&self) -> OnlineCost {
+        self.inner.online_cost()
+    }
+
+    fn row_stream(&self, d: usize, layer: usize, kind: KvKind) -> Option<Box<dyn KvRowStream>> {
+        assert_eq!(d, self.dim, "shard stream width mismatch");
+        let full = self.inner.row_stream(self.full_dim, layer, kind)?;
+        // Slicing needs the encoded form; without it there is nothing to
+        // shard and the pool must refuse to build.
+        full.encoded_rows()?;
+        let local = self.inner.row_stream(self.dim, layer, kind)?;
+        Some(Box::new(ShardedRowStream {
+            full,
+            local,
+            start: self.start,
+            dim: self.dim,
+            full_dim: self.full_dim,
+            rows: 0,
+            scratch: Vec::new(),
+        }))
+    }
+
+    fn prefix_deterministic(&self) -> bool {
+        self.inner.prefix_deterministic()
+    }
+}
+
+/// The per-`(layer, kind)` stream of a rank's pool shard: quantizes full
+/// rows, stores channel slices. See the module docs for the design.
+struct ShardedRowStream {
+    /// Full-width inner stream: the quantization engine, reset per row.
+    full: Box<dyn KvRowStream>,
+    /// Shard-width inner stream: owns the sliced rows, plan, payload.
+    local: Box<dyn KvRowStream>,
+    start: usize,
+    dim: usize,
+    full_dim: usize,
+    rows: usize,
+    /// Full-width dequantized image of the row being appended.
+    scratch: Vec<f32>,
+}
+
+impl ShardedRowStream {
+    /// Moves `full`'s single encoded row into `local` as a channel slice
+    /// and resets `full` for the next row.
+    fn adopt_sliced_row(&mut self) {
+        let sliced = {
+            let rows = self
+                .full
+                .encoded_rows()
+                .expect("capability checked at stream construction");
+            let fv = rows.last().expect("append just pushed a row");
+            fv.slice_channels(self.start..self.start + self.dim)
+                .expect("shard range validated at construction")
+        };
+        let ok = self.local.adopt_encoded_rows(std::slice::from_ref(&sliced));
+        assert!(ok, "capability checked at stream construction");
+        // Stateless-per-row contract: a reset stream is bit-exact with a
+        // fresh one, so the engine can be reused for every row.
+        self.full.reset();
+        self.rows += 1;
+    }
+}
+
+impl KvRowStream for ShardedRowStream {
+    fn append_row(&mut self, row: &[f32], view: &mut Vec<f32>) {
+        assert_eq!(row.len(), self.full_dim, "sharded streams take full rows");
+        // Canonical full-row roundtrip, then slice the dequantized image:
+        // exactly the channels the 1-rank view holds for this shard.
+        self.scratch.clear();
+        self.full.append_row(row, &mut self.scratch);
+        view.extend_from_slice(&self.scratch[self.start..self.start + self.dim]);
+        self.adopt_sliced_row();
+    }
+
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn payload_bytes(&self) -> Option<usize> {
+        // `local` accounts adopted rows at their actual sliced sizes.
+        self.local.payload_bytes()
+    }
+
+    fn reset(&mut self) {
+        self.full.reset();
+        self.local.reset();
+        self.rows = 0;
+    }
+
+    fn last_row_payload(&self) -> Option<(usize, usize)> {
+        self.local.last_row_payload()
+    }
+
+    fn encoded_rows(&self) -> Option<&[FusedVector]> {
+        self.local.encoded_rows()
+    }
+
+    fn append_row_encoded(&mut self, row: &[f32]) -> bool {
+        assert_eq!(row.len(), self.full_dim, "sharded streams take full rows");
+        if !self.full.append_row_encoded(row) {
+            return false;
+        }
+        self.adopt_sliced_row();
+        true
+    }
+
+    fn fused_read_params(&self) -> Option<FusedReadParams> {
+        self.local.fused_read_params()
+    }
+
+    fn read_plan(&self) -> Option<&EncodedReadPlan> {
+        self.local.read_plan()
+    }
+
+    fn adopt_encoded_rows(&mut self, rows: &[FusedVector]) -> bool {
+        // Trie blocks sealed from sharded streams already hold sliced
+        // vectors; they adopt straight into the local state.
+        if !self.local.adopt_encoded_rows(rows) {
+            return false;
+        }
+        self.rows += rows.len();
+        true
+    }
+
+    fn decode_rows_into(&self, start: usize, end: usize, out: &mut Vec<f32>) -> bool {
+        self.local.decode_rows_into(start, end, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oaken_core::{OakenConfig, OakenQuantizer, OfflineProfiler};
+
+    fn test_vector(n: usize, seed: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let u = ((i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(seed)
+                    >> 33) as f32
+                    / (1u64 << 31) as f32;
+                (u - 0.5) * if i % 37 == 0 { 24.0 } else { 4.0 }
+            })
+            .collect()
+    }
+
+    fn quantizer(d: usize) -> Arc<dyn KvQuantizer> {
+        let config = OakenConfig::default();
+        let mut p = OfflineProfiler::new(config.clone(), 2);
+        for s in 0..24 {
+            for layer in 0..2 {
+                for kind in KvKind::ALL {
+                    p.observe(layer, kind, &test_vector(d, s * 5 + layer as u64));
+                }
+            }
+        }
+        Arc::new(OakenQuantizer::new(config, p.try_finish().unwrap()))
+    }
+
+    #[test]
+    fn sharded_stream_views_match_full_stream_slices() {
+        let full_dim = 96; // e.g. 6 heads × 16 — split 4 + 2 unevenly.
+        let q = quantizer(full_dim);
+        for (start, dim) in [(0usize, 64usize), (64, 32), (16, 48)] {
+            let sq = ShardedQuantizer::new(q.clone(), start, dim, full_dim);
+            let mut sharded = sq.row_stream(dim, 0, KvKind::Key).unwrap();
+            let mut reference = q.row_stream(full_dim, 0, KvKind::Key).unwrap();
+            let mut sview = Vec::new();
+            let mut rview = Vec::new();
+            for seed in 0..6 {
+                let row = test_vector(full_dim, 1000 + seed);
+                sharded.append_row(&row, &mut sview);
+                reference.append_row(&row, &mut rview);
+            }
+            assert_eq!(sharded.rows(), 6);
+            assert_eq!(sview.len(), 6 * dim);
+            for r in 0..6 {
+                for c in 0..dim {
+                    assert_eq!(
+                        sview[r * dim + c].to_bits(),
+                        rview[r * full_dim + start + c].to_bits(),
+                        "row {r} channel {c} of shard {start}+{dim}"
+                    );
+                }
+            }
+            // Encoded rows are genuine dim-width vectors with the full
+            // row's scales.
+            let enc = sharded.encoded_rows().unwrap();
+            let renc = reference.encoded_rows().unwrap();
+            assert_eq!(enc.len(), 6);
+            for (s, f) in enc.iter().zip(renc) {
+                assert_eq!(s.dim(), dim);
+                assert_eq!(s.scales(), f.scales());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_stream_encoded_path_decodes_bit_exact() {
+        let full_dim = 80;
+        let q = quantizer(full_dim);
+        let sq = ShardedQuantizer::new(q.clone(), 32, 48, full_dim);
+        let mut sharded = sq.row_stream(48, 1, KvKind::Value).unwrap();
+        let mut reference = q.row_stream(full_dim, 1, KvKind::Value).unwrap();
+        let mut rview = Vec::new();
+        for seed in 0..5 {
+            let row = test_vector(full_dim, 7000 + seed);
+            assert!(sharded.append_row_encoded(&row));
+            reference.append_row(&row, &mut rview);
+        }
+        // The view-less append kept real payload accounting…
+        assert!(sharded.payload_bytes().unwrap() > 0);
+        let (dense, _sparse) = sharded.last_row_payload().unwrap();
+        assert!(dense > 0);
+        // …and the decode escape hatch reproduces the reference slice.
+        let mut decoded = Vec::new();
+        assert!(sharded.decode_rows_into(0, 5, &mut decoded));
+        assert_eq!(decoded.len(), 5 * 48);
+        for r in 0..5 {
+            for c in 0..48 {
+                assert_eq!(
+                    decoded[r * 48 + c].to_bits(),
+                    rview[r * full_dim + 32 + c].to_bits(),
+                    "row {r} channel {c}"
+                );
+            }
+        }
+        // Read-plan state tracks the sliced rows.
+        assert_eq!(sharded.read_plan().unwrap().rows(), 5);
+        assert!(sharded.fused_read_params().is_some());
+        // Reset restores a fresh stream.
+        sharded.reset();
+        assert_eq!(sharded.rows(), 0);
+        assert_eq!(sharded.payload_bytes(), Some(0));
+    }
+
+    #[test]
+    fn sharded_payloads_sum_close_to_full_payload() {
+        // Shards store dense + sparse exactly once plus one scale copy per
+        // rank; total payload across ranks therefore exceeds the 1-rank
+        // payload by exactly (ranks − 1) scale copies per row.
+        let full_dim = 128;
+        let q = quantizer(full_dim);
+        let mut reference = q.row_stream(full_dim, 0, KvKind::Key).unwrap();
+        let sq0 = ShardedQuantizer::new(q.clone(), 0, 64, full_dim);
+        let sq1 = ShardedQuantizer::new(q.clone(), 64, 64, full_dim);
+        let mut s0 = sq0.row_stream(64, 0, KvKind::Key).unwrap();
+        let mut s1 = sq1.row_stream(64, 0, KvKind::Key).unwrap();
+        let rows = 4;
+        for seed in 0..rows {
+            let row = test_vector(full_dim, 300 + seed);
+            assert!(reference.append_row_encoded(&row));
+            assert!(s0.append_row_encoded(&row));
+            assert!(s1.append_row_encoded(&row));
+        }
+        let scale_bytes = 8; // ScaleSet::STORAGE_BITS / 8
+        assert_eq!(
+            s0.payload_bytes().unwrap() + s1.payload_bytes().unwrap(),
+            reference.payload_bytes().unwrap() + rows as usize * scale_bytes
+        );
+    }
+}

@@ -48,9 +48,11 @@
 //! [`default_threads`]: the `OAKEN_THREADS` environment variable when set,
 //! otherwise [`std::thread::available_parallelism`].
 
+pub mod comm;
 mod pool;
 mod shard;
 
+pub use comm::{default_ranks, Comm, CommStats};
 pub use pool::WorkerPool;
 pub use shard::{chunk_range, UnsafeSlice};
 

@@ -43,10 +43,10 @@
 
 use crate::scheduler::TokenScheduler;
 use oaken_model::{
-    sample_greedy, BatchStep, FaultKind, FaultPlan, KernelMode, KvReadStats, Model, PagedKvPool,
-    PoolBatchView, PoolError, PrefixStats, SeqId,
+    forward_batch_ranked, sample_greedy, BatchStep, FaultKind, FaultPlan, KernelMode, KvReadStats,
+    Model, PagedKvPool, PoolBatchView, PoolError, PrefixStats, RankedPools, SeqId,
 };
-use oaken_runtime::Runtime;
+use oaken_runtime::{Comm, CommStats, Runtime};
 use std::collections::VecDeque;
 
 /// Times a swap-out is retried after an injected transient fault before
@@ -221,6 +221,19 @@ pub struct EngineConfig {
     /// [`oaken_runtime::default_threads`] (`OAKEN_THREADS` or the
     /// machine's available parallelism).
     pub num_threads: usize,
+    /// Tensor-parallel engine ranks. `1` (the default) is the unsharded
+    /// engine, byte for byte. `N > 1` splits the pool into `N` private
+    /// per-rank shards (contiguous KV-head slices, device/host capacity
+    /// divided evenly) and runs every forward pass rank-sharded with a
+    /// deterministic all-reduce ([`oaken_model::forward_batch_ranked`]) —
+    /// logits stay **bit-exact** with the 1-rank engine in
+    /// [`KernelMode::Exact`] for every thread count. The request is
+    /// capability-gated like [`EngineConfig::kernel`]: clamped to the
+    /// model's KV-head count, and downgraded to `1` for a pool whose
+    /// quantizer cannot stream encoded rows (sharding slices the encoded
+    /// form). Defaults to [`oaken_runtime::default_ranks`] (the
+    /// `OAKEN_RANKS` environment knob).
+    pub num_ranks: usize,
     /// Deterministic fault schedule installed into the pool's MMU at
     /// engine construction (see [`oaken_model::FaultPlan`]). **Always
     /// `None` by default** — including under the `OAKEN_FAULTS` env knob,
@@ -253,6 +266,7 @@ impl Default for EngineConfig {
             record_logits: false,
             prefill_token_budget: 16,
             num_threads: oaken_runtime::default_threads(),
+            num_ranks: oaken_runtime::default_ranks(),
             fault_plan: None,
             max_iterations: None,
             kernel: KernelMode::default_mode(),
@@ -321,7 +335,7 @@ pub struct FinishedRequest {
 }
 
 /// Aggregate counters over one engine run.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineStats {
     /// Engine iterations executed.
     pub iterations: u64,
@@ -401,6 +415,19 @@ pub struct EngineStats {
     /// rows/bytes streamed by the exact kernels — the serving-level view
     /// of the fused read path's bandwidth saving.
     pub kv_reads: KvReadStats,
+    /// Tensor-parallel ranks the engine actually ran with (after
+    /// capability gating; 1 for the unsharded engine).
+    pub num_ranks: usize,
+    /// Cross-rank communication mirrored from the engine's [`Comm`]:
+    /// all-reduce calls, scale syncs, and total bytes moved. All zero for
+    /// a 1-rank engine.
+    pub comm: CommStats,
+    /// Peak allocated pages **per rank shard** over the run (one entry
+    /// per rank; sums to at least [`pages_in_use_peak`] when page use
+    /// peaked simultaneously).
+    ///
+    /// [`pages_in_use_peak`]: Self::pages_in_use_peak
+    pub rank_page_peaks: Vec<u32>,
     /// Sum over generation iterations of the core utilization.
     utilization_sum: f64,
     /// Iterations with at least one decoding sequence — the denominator
@@ -418,6 +445,18 @@ impl EngineStats {
             0.0
         } else {
             self.utilization_sum / self.utilization_iters as f64
+        }
+    }
+
+    /// All-reduce bytes moved per model-fed token (prefill + decode) —
+    /// the per-token communication cost of tensor parallelism; 0.0 for a
+    /// 1-rank engine.
+    pub fn comm_bytes_per_token(&self) -> f64 {
+        let tokens = self.prefill_tokens + self.decode_tokens;
+        if tokens == 0 {
+            0.0
+        } else {
+            self.comm.bytes_moved as f64 / tokens as f64
         }
     }
 
@@ -510,7 +549,12 @@ impl ActiveSeq {
 /// The continuous-batching engine. See the module docs.
 pub struct BatchEngine<'m> {
     model: &'m Model,
-    pool: PagedKvPool,
+    /// The KV pool, split into one private shard per tensor-parallel rank
+    /// (a single unsharded pool for the 1-rank engine).
+    pools: RankedPools,
+    /// The deterministic all-reduce context shared by every iteration
+    /// (a no-op accounting shell for the 1-rank engine).
+    comm: Comm,
     scheduler: TokenScheduler,
     config: EngineConfig,
     runtime: Runtime,
@@ -533,7 +577,7 @@ impl<'m> BatchEngine<'m> {
     /// Panics if `max_batch` or `prefill_token_budget` is zero.
     pub fn new(
         model: &'m Model,
-        mut pool: PagedKvPool,
+        pool: PagedKvPool,
         scheduler: TokenScheduler,
         config: EngineConfig,
     ) -> Self {
@@ -543,15 +587,36 @@ impl<'m> BatchEngine<'m> {
             "need at least one prefill token per iteration"
         );
         assert!(config.num_threads > 0, "need at least one thread");
+        assert!(config.num_ranks > 0, "need at least one rank");
+        // Capability-gate the rank request: sharding stores each rank's
+        // KV-head slice as encoded row *slices*, which requires the
+        // pool's quantizer to stream encoded rows (the same capability
+        // the fused kernels need). A pool without it runs unsharded.
+        let ranks = if config.num_ranks > 1 && pool.append_only_views() {
+            config.num_ranks.min(model.config().num_kv_heads)
+        } else {
+            1
+        };
+        let mut pools = if ranks > 1 {
+            RankedPools::split(model.config(), pool, ranks)
+        } else {
+            RankedPools::single(model.config(), pool)
+        };
         if let Some(plan) = config.fault_plan {
-            pool.install_faults(plan);
+            pools.install_faults(plan);
         }
-        if config.kernel != pool.kernel_mode() {
-            pool.set_kernel_mode(config.kernel);
+        if config.kernel != pools.kernel_mode() {
+            pools.set_kernel_mode(config.kernel);
         }
+        let stats = EngineStats {
+            num_ranks: ranks,
+            rank_page_peaks: vec![0; ranks],
+            ..EngineStats::default()
+        };
         Self {
             model,
-            pool,
+            pools,
+            comm: Comm::new(ranks),
             scheduler,
             runtime: Runtime::new(config.num_threads),
             config,
@@ -559,7 +624,7 @@ impl<'m> BatchEngine<'m> {
             resume: VecDeque::new(),
             active: Vec::new(),
             finished: Vec::new(),
-            stats: EngineStats::default(),
+            stats,
         }
     }
 
@@ -572,7 +637,14 @@ impl<'m> BatchEngine<'m> {
     /// [`KernelMode::Exact`] when the configured request could not be
     /// honored (quantizer without an encoded read path).
     pub fn kernel_mode(&self) -> KernelMode {
-        self.pool.kernel_mode()
+        self.pools.kernel_mode()
+    }
+
+    /// Tensor-parallel ranks the engine actually runs with, after
+    /// capability gating — 1 when the request was downgraded (see
+    /// [`EngineConfig::num_ranks`]).
+    pub fn num_ranks(&self) -> usize {
+        self.pools.num_ranks()
     }
 
     /// Enqueues a request.
@@ -653,9 +725,15 @@ impl<'m> BatchEngine<'m> {
         &self.stats
     }
 
-    /// The shared pool (read-only).
+    /// The shared pool (read-only): the sole pool for a 1-rank engine,
+    /// rank 0's shard otherwise.
     pub fn pool(&self) -> &PagedKvPool {
-        &self.pool
+        self.pools.lead()
+    }
+
+    /// The per-rank pool shards (one entry for a 1-rank engine).
+    pub fn rank_pools(&self) -> &[PagedKvPool] {
+        self.pools.ranks()
     }
 
     /// Currently active sequences.
@@ -714,19 +792,31 @@ impl<'m> BatchEngine<'m> {
                 steps.push(BatchStep { slot, pos, token });
             }
         }
-        let mut view = PoolBatchView::new(&mut self.pool, &seqs);
-        let logits = self
-            .model
-            .forward_batch_on(&self.runtime, &mut view, &steps, None);
-        // Slots whose append failed mid-forward (injected fault or — never
-        // on the fault-free path — exhaustion despite the reservation):
-        // their forward output is discarded below and the sequences are
-        // quarantined after the batch bookkeeping.
-        let poisoned = view.take_poisoned();
-        self.stats.pages_in_use_peak = self
-            .stats
-            .pages_in_use_peak
-            .max(self.pool.capacity_pages() - self.pool.free_pages());
+        let (logits, poisoned) = if self.pools.num_ranks() == 1 {
+            // The unsharded engine, byte for byte: the legacy batched
+            // forward over the sole pool.
+            let mut view = PoolBatchView::new(self.pools.lead_mut(), &seqs);
+            let logits = self
+                .model
+                .forward_batch_on(&self.runtime, &mut view, &steps, None);
+            // Slots whose append failed mid-forward (injected fault or —
+            // never on the fault-free path — exhaustion despite the
+            // reservation): their forward output is discarded below and
+            // the sequences are quarantined after the batch bookkeeping.
+            let poisoned = view.take_poisoned();
+            (logits, poisoned)
+        } else {
+            forward_batch_ranked(
+                self.model,
+                &self.runtime,
+                &mut self.comm,
+                &mut self.pools,
+                &seqs,
+                &steps,
+            )
+        };
+        self.pools.note_page_peaks();
+        self.stats.pages_in_use_peak = self.stats.pages_in_use_peak.max(self.pools.pages_in_use());
 
         let iteration = self.stats.iterations;
         let mut decode_ctx: Vec<f64> = Vec::new();
@@ -792,13 +882,18 @@ impl<'m> BatchEngine<'m> {
     }
 
     fn sync_prefix_stats(&mut self) {
-        self.stats.prefix = self.pool.prefix_stats();
+        self.stats.prefix = self.pools.prefix_stats();
         self.stats.shared_pages_peak = self
             .stats
             .shared_pages_peak
-            .max(self.pool.shared_block_pages());
-        self.stats.faults_injected = self.pool.fault_stats().injected;
-        self.stats.kv_reads = self.pool.kv_read_stats();
+            .max(self.pools.shared_block_pages());
+        self.stats.faults_injected = self.pools.fault_stats().injected;
+        self.stats.kv_reads = self.pools.kv_read_stats();
+        self.stats.comm = self.comm.stats();
+        self.stats.rank_page_peaks.clear();
+        self.stats
+            .rank_page_peaks
+            .extend_from_slice(self.pools.page_peaks());
     }
 
     /// Tokens each active sequence feeds this iteration: decoding
@@ -821,19 +916,24 @@ impl<'m> BatchEngine<'m> {
             .collect()
     }
 
-    /// Whether the pool can absorb `plan` in the worst case.
+    /// Whether the pool can absorb `plan` in the worst case. With ranked
+    /// shards **every** rank must have the headroom — shards grow in
+    /// lockstep (one row-slice per appended token each), so the tightest
+    /// shard bounds the whole batch.
     fn plan_fits(&self, plan: &[usize]) -> bool {
-        let needed: u32 = self
-            .active
-            .iter()
-            .zip(plan)
-            .map(|(a, &n)| {
-                let p = self.pool.pages_possibly_needed_n(a.seq, n);
-                debug_assert!(p.is_ok(), "active sequences are live in the pool");
-                p.unwrap_or(0)
-            })
-            .sum();
-        needed <= self.pool.free_pages()
+        self.pools.ranks().iter().all(|pool| {
+            let needed: u32 = self
+                .active
+                .iter()
+                .zip(plan)
+                .map(|(a, &n)| {
+                    let p = pool.pages_possibly_needed_n(a.seq, n);
+                    debug_assert!(p.is_ok(), "active sequences are live in the pool");
+                    p.unwrap_or(0)
+                })
+                .sum();
+            needed <= pool.free_pages()
+        })
     }
 
     /// Pages the admission policy has promised to active sequences but
@@ -843,7 +943,7 @@ impl<'m> BatchEngine<'m> {
     /// leave this headroom untouched, otherwise "reserving" would be a
     /// no-op until the pages actually allocate and `FullSequence` would
     /// over-admit.
-    fn committed_pages(&self) -> u64 {
+    fn committed_pages_on(&self, pool: &PagedKvPool) -> u64 {
         self.active
             .iter()
             .map(|a| {
@@ -851,8 +951,7 @@ impl<'m> BatchEngine<'m> {
                     AdmissionPolicy::PromptOnly => a.req.prompt.len(),
                     AdmissionPolicy::FullSequence => a.req.total_tokens(),
                 };
-                self.pool
-                    .pages_for_tokens(promised_tokens.saturating_sub(a.pos))
+                pool.pages_for_tokens(promised_tokens.saturating_sub(a.pos))
             })
             .sum()
     }
@@ -866,9 +965,9 @@ impl<'m> BatchEngine<'m> {
     /// double-free can never cascade into a panic mid-run.
     fn teardown_seq(&mut self, seq: SeqId, suspended: bool) {
         let r = if suspended {
-            self.pool.drop_suspended_seq(seq)
+            self.pools.drop_suspended_seq(seq)
         } else {
-            self.pool.free_seq(seq)
+            self.pools.free_seq(seq)
         };
         debug_assert!(r.is_ok(), "teardown of a tracked sequence failed: {r:?}");
     }
@@ -1035,8 +1134,15 @@ impl<'m> BatchEngine<'m> {
                 // fresh admission is not page-stalled by it.
                 return Some(false);
             }
-            let frozen = u64::from(self.pool.suspended_seq_pages(front.seq));
-            if frozen + self.committed_pages() > u64::from(self.pool.free_pages()) {
+            let front_seq = front.seq;
+            // Resuming materializes the frozen pages on *every* rank
+            // shard simultaneously; the tightest shard gates the resume.
+            let fits = (0..self.pools.num_ranks()).all(|r| {
+                let pool = &self.pools.ranks()[r];
+                let frozen = u64::from(self.pools.suspended_seq_pages(r, front_seq));
+                frozen + self.committed_pages_on(pool) <= u64::from(pool.free_pages())
+            });
+            if !fits {
                 if !self.active.is_empty() {
                     return Some(true);
                 }
@@ -1054,7 +1160,7 @@ impl<'m> BatchEngine<'m> {
                 continue;
             }
             let s = self.resume.pop_front().expect("front exists");
-            let receipt = match self.pool.resume_seq(s.seq) {
+            let receipt = match self.pools.resume_seq(s.seq) {
                 Ok(receipt) => receipt,
                 Err(PoolError::Fault { op, kind }) => {
                     // Injected swap-in fault: the sequence stays frozen on
@@ -1146,21 +1252,20 @@ impl<'m> BatchEngine<'m> {
         if let Some(resume_stalled) = pending_resumes {
             return resume_stalled;
         }
-        let host_headroom = match self.config.preempt {
-            PreemptPolicy::SwapToHost => u64::from(self.pool.host_free_pages()),
-            PreemptPolicy::RestartRecompute => 0,
-        };
         while self.active.len() < self.config.max_batch {
             let Some(front) = self.queue.front() else {
                 break;
             };
-            let matched = self.pool.probe_prefix(&front.req.prompt);
-            let full = self
-                .pool
-                .pages_for_tokens(front.req.total_tokens() - matched);
-            if full > u64::from(self.pool.capacity_pages())
-                || front.req.total_tokens() > self.model.config().max_seq_len
-            {
+            let matched = self.pools.probe_prefix(&front.req.prompt);
+            // Every rank shard must hold the request (its slice of every
+            // row), so both the impossibility and the reservation checks
+            // quantify over all shards — the tightest one decides.
+            let impossible = front.req.total_tokens() > self.model.config().max_seq_len
+                || self.pools.ranks().iter().any(|pool| {
+                    pool.pages_for_tokens(front.req.total_tokens() - matched)
+                        > u64::from(pool.capacity_pages())
+                });
+            if impossible {
                 let q = self.queue.pop_front().expect("front exists");
                 self.finish_request(
                     q.req,
@@ -1172,19 +1277,28 @@ impl<'m> BatchEngine<'m> {
                 );
                 continue;
             }
-            let reserve = match self.config.admission {
-                AdmissionPolicy::PromptOnly => {
-                    self.pool.pages_for_tokens(front.req.prompt.len() - matched)
-                }
-                AdmissionPolicy::FullSequence => full,
-            };
-            if reserve + self.committed_pages() > u64::from(self.pool.free_pages()) + host_headroom
-            {
+            let fits = self.pools.ranks().iter().all(|pool| {
+                let reserve = match self.config.admission {
+                    AdmissionPolicy::PromptOnly => {
+                        pool.pages_for_tokens(front.req.prompt.len() - matched)
+                    }
+                    AdmissionPolicy::FullSequence => {
+                        pool.pages_for_tokens(front.req.total_tokens() - matched)
+                    }
+                };
+                let host_headroom = match self.config.preempt {
+                    PreemptPolicy::SwapToHost => u64::from(pool.host_free_pages()),
+                    PreemptPolicy::RestartRecompute => 0,
+                };
+                reserve + self.committed_pages_on(pool)
+                    <= u64::from(pool.free_pages()) + host_headroom
+            });
+            if !fits {
                 stalled = true;
                 break;
             }
             let q = self.queue.pop_front().expect("front exists");
-            let alloc = self.pool.alloc_seq_with_prefix(&q.req.prompt);
+            let alloc = self.pools.alloc_seq_with_prefix(&q.req.prompt);
             debug_assert_eq!(alloc.matched_tokens, matched, "probe/alloc agree");
             self.stats.admitted += 1;
             self.active.push(ActiveSeq {
@@ -1262,7 +1376,7 @@ impl<'m> BatchEngine<'m> {
                 // tier demotes this victim to evict-and-restart.
                 let mut swapped = None;
                 for attempt in 0..=SWAP_OUT_RETRY_LIMIT {
-                    match self.pool.suspend_seq(a.seq) {
+                    match self.pools.suspend_seq(a.seq) {
                         Ok(receipt) => {
                             swapped = Some(receipt);
                             break;
@@ -1351,7 +1465,8 @@ impl std::fmt::Debug for BatchEngine<'_> {
             .field("queued", &self.queue.len())
             .field("resume_queued", &self.resume.len())
             .field("finished", &self.finished.len())
-            .field("free_pages", &self.pool.free_pages())
+            .field("num_ranks", &self.pools.num_ranks())
+            .field("free_pages", &self.pools.free_pages())
             .finish()
     }
 }
@@ -1519,6 +1634,10 @@ mod tests {
             EngineConfig {
                 max_batch: 4,
                 admission: AdmissionPolicy::PromptOnly,
+                // Pinned unsharded: the 70-page geometry is calibrated so
+                // decode growth evicts exactly here; rank-sharded pools
+                // round pages per shard and shift the eviction schedule.
+                num_ranks: 1,
                 ..EngineConfig::default()
             },
         );
@@ -1608,6 +1727,8 @@ mod tests {
                 max_batch: 2,
                 admission: AdmissionPolicy::PromptOnly,
                 preempt: PreemptPolicy::RestartRecompute,
+                // Pinned unsharded: fixed 70-page eviction geometry.
+                num_ranks: 1,
                 ..EngineConfig::default()
             },
         );
@@ -1646,6 +1767,8 @@ mod tests {
                     max_batch: 4,
                     admission: AdmissionPolicy::PromptOnly,
                     preempt,
+                    // Pinned unsharded: fixed 70-page eviction geometry.
+                    num_ranks: 1,
                     ..EngineConfig::default()
                 },
             );
@@ -1654,7 +1777,7 @@ mod tests {
             }
             let mut fin = e.run().to_vec();
             fin.sort_by_key(|f| f.id);
-            (fin, *e.stats())
+            (fin, e.stats().clone())
         };
         let (fin_restart, restart) = run(PreemptPolicy::RestartRecompute);
         let (fin_swap, swap) = run(PreemptPolicy::SwapToHost);
@@ -1700,6 +1823,8 @@ mod tests {
                 max_batch: 4,
                 admission: AdmissionPolicy::PromptOnly,
                 preempt: PreemptPolicy::SwapToHost,
+                // Pinned unsharded: fixed 70-page swap geometry.
+                num_ranks: 1,
                 ..EngineConfig::default()
             },
         );
@@ -1788,6 +1913,8 @@ mod tests {
                 max_batch: 4,
                 admission: AdmissionPolicy::PromptOnly,
                 preempt: PreemptPolicy::SwapToHost,
+                // Pinned unsharded: fixed 70-page swap geometry.
+                num_ranks: 1,
                 ..EngineConfig::default()
             },
         );
@@ -1966,7 +2093,7 @@ mod tests {
             e.submit(req(id, 6, 8));
         }
         e.run();
-        let s = *e.stats();
+        let s = e.stats().clone();
         assert!(s.faults_injected > 0, "rate 20% over this workload");
         assert_eq!(s.faults_absorbed, s.faults_injected);
         assert_eq!(e.finished().len(), 4, "every request reached an outcome");

@@ -67,8 +67,9 @@ fn run_engine_and_compare(
     num_pages: u32,
     admission: AdmissionPolicy,
 ) {
+    let num_ranks = EngineConfig::default().num_ranks;
     run_engine_and_compare_budget(
-        model, quantizer, requests, max_batch, num_pages, admission, 16,
+        model, quantizer, requests, max_batch, num_pages, admission, 16, num_ranks,
     )
 }
 
@@ -81,6 +82,7 @@ fn run_engine_and_compare_budget(
     num_pages: u32,
     admission: AdmissionPolicy,
     prefill_token_budget: usize,
+    num_ranks: usize,
 ) {
     let pool = PagedKvPool::for_model(model.config(), quantizer.clone(), num_pages, 512);
     let mut engine = BatchEngine::new(
@@ -92,6 +94,7 @@ fn run_engine_and_compare_budget(
             admission,
             record_logits: true,
             prefill_token_budget,
+            num_ranks,
             ..EngineConfig::default()
         },
     );
@@ -166,13 +169,18 @@ fn preemption_preserves_bit_exactness() {
         .collect();
     // 70 pages with optimistic admission: decode growth forces eviction
     // (same shape as the engine's unit test, which asserts preemptions).
-    run_engine_and_compare(
+    // Pinned unsharded: uneven rank splits of the 70-page pool shift the
+    // per-shard worst-case bounds enough to shed a request outright
+    // (cross-rank page pressure is covered by tp_props).
+    run_engine_and_compare_budget(
         &model,
         Some(quantizer),
         &requests,
         4,
         70,
         AdmissionPolicy::PromptOnly,
+        16,
+        1,
     );
 }
 
@@ -203,8 +211,9 @@ proptest! {
         } else {
             AdmissionPolicy::FullSequence
         };
+        let num_ranks = EngineConfig::default().num_ranks;
         run_engine_and_compare_budget(
-            &model, Some(quantizer), &requests, max_batch, 2048, admission, budget,
+            &model, Some(quantizer), &requests, max_batch, 2048, admission, budget, num_ranks,
         );
     }
 }

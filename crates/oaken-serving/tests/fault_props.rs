@@ -75,7 +75,6 @@ fn run_chaos(
     let mut pool = PagedKvPool::for_model(model.config(), Some(quantizer.clone()), 256, 512);
     pool.set_host_pages(128);
     pool.set_block_tokens(8);
-    let capacity = pool.capacity_pages();
     let mut engine = BatchEngine::new(
         model,
         pool,
@@ -99,15 +98,18 @@ fn run_chaos(
     while engine.step() {
         iters += 1;
         assert!(iters < 20_000, "engine failed to terminate under faults");
-        // The books balance after *every* iteration: free + private +
-        // shared pages always sum to the device capacity, whatever was
-        // injected, torn down, retried, or demoted this step.
-        let acct = engine.pool().page_accounting();
-        assert_eq!(
-            acct.total(),
-            capacity,
-            "page accounting leaked at iteration {iters}: {acct:?}"
-        );
+        // The books balance after *every* iteration, on *every* rank
+        // shard (one unsharded pool unless OAKEN_RANKS splits it): free
+        // + private + shared pages always sum to the shard's capacity,
+        // whatever was injected, torn down, retried, or demoted.
+        for (r, pool) in engine.rank_pools().iter().enumerate() {
+            let acct = pool.page_accounting();
+            assert_eq!(
+                acct.total(),
+                pool.capacity_pages(),
+                "rank {r} page accounting leaked at iteration {iters}: {acct:?}"
+            );
+        }
     }
 
     // Containment: every request reached exactly one terminal state, and
@@ -117,12 +119,18 @@ fn run_chaos(
     let stats = engine.stats();
     assert_eq!(stats.faults_absorbed, stats.faults_injected);
 
-    // Nothing residual: the pool drained to exactly empty.
-    let acct = engine.pool().page_accounting();
-    assert_eq!(acct.free, capacity, "device pages leaked: {acct:?}");
-    assert_eq!(engine.pool().host_pages_used(), 0, "host pages leaked");
-    assert_eq!(engine.pool().active_seqs(), 0);
-    assert_eq!(engine.pool().suspended_seqs(), 0);
+    // Nothing residual: every rank shard drained to exactly empty.
+    for (r, pool) in engine.rank_pools().iter().enumerate() {
+        let acct = pool.page_accounting();
+        assert_eq!(
+            acct.free,
+            pool.capacity_pages(),
+            "rank {r} device pages leaked: {acct:?}"
+        );
+        assert_eq!(pool.host_pages_used(), 0, "rank {r} host pages leaked");
+        assert_eq!(pool.active_seqs(), 0);
+        assert_eq!(pool.suspended_seqs(), 0);
+    }
 
     // Survivors are bit-exact with uninterrupted Session runs: faults
     // absorbed around them never perturbed their arithmetic.

@@ -28,6 +28,12 @@ fn run_with_kernel(kernel: KernelMode) -> oaken_serving::EngineStats {
             max_batch: 3,
             admission: AdmissionPolicy::PromptOnly,
             kernel,
+            // Pinned unsharded: this test calibrates the encoded row's
+            // per-row byte traffic against full-width f32 rows. Sharding
+            // splits each row across ranks and re-pays the fixed encoding
+            // header per slice, which shifts the ratio without changing
+            // the representation under test.
+            num_ranks: 1,
             ..EngineConfig::default()
         },
     );
@@ -39,7 +45,7 @@ fn run_with_kernel(kernel: KernelMode) -> oaken_serving::EngineStats {
         engine.submit(EngineRequest::new(id as u64, prompt, 6));
     }
     engine.run();
-    let stats = *engine.stats();
+    let stats = engine.stats().clone();
     assert_eq!(stats.retired, 3, "all requests served under {kernel:?}");
     stats
 }

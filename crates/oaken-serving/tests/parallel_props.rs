@@ -38,6 +38,7 @@ fn run_engine(
     num_pages: u32,
     prefill_token_budget: usize,
     block_tokens: usize,
+    num_ranks: usize,
 ) -> Vec<FinishedRequest> {
     let mut pool = PagedKvPool::for_model(model.config(), quantizer, num_pages, 512);
     pool.set_block_tokens(block_tokens);
@@ -51,6 +52,7 @@ fn run_engine(
             record_logits: true,
             prefill_token_budget,
             num_threads,
+            num_ranks,
             ..EngineConfig::default()
         },
     );
@@ -129,6 +131,7 @@ fn eight_requests_bit_exact_across_thread_counts() {
         4096,
         16,
         4,
+        EngineConfig::default().num_ranks,
     );
     for threads in [2usize, 4, 8] {
         let par = run_engine(
@@ -140,6 +143,7 @@ fn eight_requests_bit_exact_across_thread_counts() {
             4096,
             16,
             4,
+            EngineConfig::default().num_ranks,
         );
         assert_runs_identical(&serial, &par, &format!("{threads} threads"));
     }
@@ -156,7 +160,10 @@ fn preemption_schedule_bit_exact_across_thread_counts() {
     let shapes: Vec<(usize, usize, u32)> = (0..4u32).map(|r| (4, 40, r * 41)).collect();
     let requests = requests_with_overlap(&shapes, 0);
     let pages = 70;
-    let serial = run_engine(&model, None, &requests, 1, 4, pages, 16, 16);
+    // Pinned unsharded (last arg): rank-splitting the 70-page pool shifts
+    // the per-shard worst-case bounds and this geometry stops preempting;
+    // cross-rank preemption pressure is covered by tp_props.
+    let serial = run_engine(&model, None, &requests, 1, 4, pages, 16, 16, 1);
     assert!(
         serial.iter().any(|f| f.preemptions > 0),
         "workload must actually preempt: {:?}",
@@ -166,7 +173,7 @@ fn preemption_schedule_bit_exact_across_thread_counts() {
             .collect::<Vec<_>>()
     );
     for threads in [2usize, 4, 8] {
-        let par = run_engine(&model, None, &requests, threads, 4, pages, 16, 16);
+        let par = run_engine(&model, None, &requests, threads, 4, pages, 16, 16, 1);
         assert_runs_identical(&serial, &par, &format!("{threads} threads (preempting)"));
     }
 }
@@ -193,13 +200,15 @@ proptest! {
         // eviction; ample pools exercise the full chunk plans. Both must
         // stay deterministic.
         let pages = if tight { 160 } else { 2048 };
+        let num_ranks = EngineConfig::default().num_ranks;
         let serial = run_engine(
             &model, Some(quantizer.clone()), &requests, 1, max_batch, pages, budget, block_tokens,
+            num_ranks,
         );
         for threads in [2usize, 4, 8] {
             let par = run_engine(
                 &model, Some(quantizer.clone()), &requests, threads, max_batch, pages, budget,
-                block_tokens,
+                block_tokens, num_ranks,
             );
             assert_runs_identical(&serial, &par, &format!("{threads} threads"));
         }

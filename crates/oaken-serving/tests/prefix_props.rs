@@ -85,7 +85,7 @@ fn run_checked(engine: &mut BatchEngine<'_>) -> EngineStats {
         assert_accounting_balanced(engine);
     }
     assert_accounting_balanced(engine);
-    *engine.stats()
+    engine.stats().clone()
 }
 
 fn shared_prompt_requests(

@@ -63,6 +63,7 @@ fn run_swap_engine(
     host_pages: u32,
     block_tokens: usize,
     num_threads: usize,
+    num_ranks: usize,
 ) -> (Vec<oaken_serving::FinishedRequest>, EngineStats) {
     let mut pool = PagedKvPool::for_model(model.config(), quantizer, num_pages, 512);
     pool.set_block_tokens(block_tokens);
@@ -78,6 +79,7 @@ fn run_swap_engine(
             record_logits: true,
             prefill_token_budget: 16,
             num_threads,
+            num_ranks,
             ..EngineConfig::default()
         },
     );
@@ -87,7 +89,7 @@ fn run_swap_engine(
     engine.run();
     let mut fin = engine.finished().to_vec();
     fin.sort_by_key(|f| f.id);
-    (fin, *engine.stats())
+    (fin, engine.stats().clone())
 }
 
 /// Checks every *completed* request against an uninterrupted `Session`
@@ -160,6 +162,11 @@ fn swapped_sharers_resume_bit_exactly_with_zero_recompute() {
         })
         .collect();
     for threads in [1usize, 4] {
+        // Pinned unsharded: the 230-page pool is calibrated so decode
+        // growth preempts *loaded* mid-stream victims. Rank-sharded page
+        // math shifts which sequence preempts when (still bit-exact, but
+        // the victims may freeze before carrying payload), so the
+        // payload-size assertions below only hold on this geometry.
         let (fin, stats) = run_swap_engine(
             &model,
             quantizer.clone(),
@@ -169,6 +176,7 @@ fn swapped_sharers_resume_bit_exactly_with_zero_recompute() {
             460,
             4,
             threads,
+            1,
         );
         assert!(
             stats.preemptions > 0,
@@ -271,6 +279,7 @@ proptest! {
             host_pages,
             4,
             threads,
+            EngineConfig::default().num_ranks,
         );
         // Zero-recompute holds exactly when every preemption swapped
         // (host never filled: preemptions == swap_outs) and no resume had

@@ -564,6 +564,82 @@ impl Tensor {
         Ok(outs)
     }
 
+    /// [`Tensor::matvec_batch`] restricted to a contiguous row range:
+    /// `rows.len()` outputs per input, `outs[s][li] == matvec(xs[s])[rows.start + li]`.
+    ///
+    /// This is the tensor-parallel rank's shard kernel: each rank owns a
+    /// row range of every projection and computes exactly these outputs.
+    /// The per-row arithmetic replicates [`Tensor::matvec_batch`] —
+    /// including the lone-vector dot fast path and the
+    /// `MATVEC_CHUNK`-interleaved accumulators — and every accumulation
+    /// chain is row-local, so each produced element is **bit-exact** with
+    /// the corresponding element of the full product. Concatenating the
+    /// ranks' shards in rank order therefore reproduces the unsharded
+    /// result bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] unless `self` is rank 2,
+    /// every vector's length equals the column count, and `rows` is within
+    /// the row count.
+    pub fn matvec_batch_rows(
+        &self,
+        xs: &[&[f32]],
+        rows: std::ops::Range<usize>,
+    ) -> Result<Vec<Vec<f32>>, TensorError> {
+        let m = *self.shape.first().unwrap_or(&0);
+        if self.rank() != 2 || rows.start > rows.end || rows.end > m {
+            return Err(TensorError::IncompatibleShapes {
+                lhs: self.shape.clone(),
+                rhs: vec![rows.start, rows.end],
+                op: "matvec_batch_rows",
+            });
+        }
+        for v in xs {
+            if self.shape[1] != v.len() {
+                return Err(TensorError::IncompatibleShapes {
+                    lhs: self.shape.clone(),
+                    rhs: vec![v.len()],
+                    op: "matvec_batch_rows",
+                });
+            }
+        }
+        let k = self.shape[1];
+        let rows_len = rows.len();
+        let mut outs = vec![vec![0.0f32; rows_len]; xs.len()];
+        let mut start = 0usize;
+        while start < xs.len() {
+            let n = (xs.len() - start).min(MATVEC_CHUNK);
+            if n == 1 {
+                // Same lone-vector fast path as the full kernel.
+                let x = &xs[start][..k];
+                for (li, i) in rows.clone().enumerate() {
+                    outs[start][li] = dot(&self.data[i * k..(i + 1) * k], x);
+                }
+                start += 1;
+                continue;
+            }
+            let mut chunk = [&[] as &[f32]; MATVEC_CHUNK];
+            for (c, x) in chunk[..n].iter_mut().zip(&xs[start..start + n]) {
+                *c = &x[..k];
+            }
+            for (li, i) in rows.clone().enumerate() {
+                let row = &self.data[i * k..(i + 1) * k];
+                let mut acc = [0.0f32; MATVEC_CHUNK];
+                for (j, &w) in row.iter().enumerate() {
+                    for (a, x) in acc[..n].iter_mut().zip(&chunk[..n]) {
+                        *a += w * x[j];
+                    }
+                }
+                for (s, &a) in acc[..n].iter().enumerate() {
+                    outs[start + s][li] = a;
+                }
+            }
+            start += n;
+        }
+        Ok(outs)
+    }
+
     /// Transposes a rank-2 tensor.
     ///
     /// # Errors
@@ -675,6 +751,46 @@ mod tests {
         let vm = Tensor::from_vec(v.clone(), &[3, 1]).unwrap();
         let want = a.matmul(&vm).unwrap();
         assert_eq!(got, want.as_slice());
+    }
+
+    #[test]
+    fn matvec_batch_rows_bit_exact_with_full_product() {
+        // Row shards concatenated in rank order must reproduce the full
+        // batched product bit-for-bit — the tensor-parallel invariant.
+        let (m, k) = (13, 29);
+        let data: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 2654435761) % 991) as f32 / 127.0 - 3.9)
+            .collect();
+        let a = Tensor::from_vec(data, &[m, k]).unwrap();
+        for n in [1usize, 2, 9] {
+            let xs: Vec<Vec<f32>> = (0..n)
+                .map(|s| {
+                    (0..k)
+                        .map(|j| ((s * 37 + j * 11) % 29) as f32 / 9.0 - 1.4)
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+            let full = a.matvec_batch(&refs).unwrap();
+            for ranks in [1usize, 2, 3, 5] {
+                for r in 0..ranks {
+                    let rows = oaken_runtime::chunk_range(r, m, ranks);
+                    let shard = a.matvec_batch_rows(&refs, rows.clone()).unwrap();
+                    for s in 0..n {
+                        for (li, i) in rows.clone().enumerate() {
+                            assert_eq!(
+                                shard[s][li].to_bits(),
+                                full[s][i].to_bits(),
+                                "seq {s} row {i} rank {r}/{ranks}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Range validation.
+        let x = vec![0.0f32; k];
+        assert!(a.matvec_batch_rows(&[&x], 5..20).is_err());
     }
 
     #[test]

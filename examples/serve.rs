@@ -31,6 +31,10 @@
 //!   dequantizes rows to f32 views, `fused` computes scores and weighted
 //!   sums directly over the encoded 4-bit + outlier representation
 //!   (default: the `OAKEN_KERNEL` env knob, falling back to `exact`).
+//! * `--ranks N` runs the engine tensor-parallel over `N` ranks, each
+//!   with a private KV pool shard and a deterministic all-reduce —
+//!   logits bit-exact with `--ranks 1` under the exact kernel (default:
+//!   the `OAKEN_RANKS` env knob, falling back to 1).
 
 use oaken::core::OakenConfig;
 use oaken::eval::harness::profile_oaken;
@@ -93,6 +97,13 @@ fn main() {
             KernelMode::parse(v).unwrap_or_else(|| panic!("--kernel takes exact|fused, got {v:?}"))
         })
         .unwrap_or_else(KernelMode::default_mode);
+    let num_ranks: usize = args
+        .iter()
+        .position(|a| a == "--ranks")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--ranks takes a positive integer"))
+        .unwrap_or_else(oaken::runtime::default_ranks);
+    assert!(num_ranks > 0, "--ranks takes a positive integer");
     let spec = TraceSpec::conversation();
 
     // A proxy model small enough to execute for real; trace lengths are
@@ -132,7 +143,7 @@ fn main() {
         spec.name
     );
     println!(
-        "  model {} | pool {pages} pages x {} B | host tier {} pages | block {} tokens | {} requests\n  preempt {} | {num_threads} threads | kernel {}\n",
+        "  model {} | pool {pages} pages x {} B | host tier {} pages | block {} tokens | {} requests\n  preempt {} | {num_threads} threads | kernel {} | {num_ranks} ranks\n",
         model.config().name,
         pool.page_size(),
         pool.host_capacity_pages(),
@@ -155,6 +166,7 @@ fn main() {
             record_logits: false,
             prefill_token_budget: 16,
             num_threads,
+            num_ranks,
             fault_plan,
             max_iterations: deadline,
             kernel,
@@ -172,7 +184,7 @@ fn main() {
     engine.run();
     let secs = start.elapsed().as_secs_f64();
 
-    let stats = *engine.stats();
+    let stats = engine.stats().clone();
     println!("{:>22}  {}", "iterations", stats.iterations);
     println!("{:>22}  {}", "admitted", stats.admitted);
     println!("{:>22}  {}", "retired", stats.retired);
@@ -221,6 +233,14 @@ fn main() {
         "{:>22}  {} B",
         "exact bytes read", stats.kv_reads.exact_bytes
     );
+    println!("{:>22}  {}", "engine ranks", stats.num_ranks);
+    println!("{:>22}  {}", "all-reduce calls", stats.comm.allreduce_calls);
+    println!(
+        "{:>22}  {:.1} B/token",
+        "all-reduce bytes",
+        stats.comm_bytes_per_token()
+    );
+    println!("{:>22}  {:?}", "per-rank page peaks", stats.rank_page_peaks);
     println!("{:>22}  {}", "faults injected", stats.faults_injected);
     println!("{:>22}  {}", "faults absorbed", stats.faults_absorbed);
     println!("{:>22}  {}", "fault retries", stats.fault_retries);
