@@ -49,6 +49,15 @@
 //!    streams (asserted), the all-reduce bytes per token must grow with
 //!    the rank count (the communication cost the sweep records), and
 //!    the per-rank page peaks show the shard-level memory balance.
+//! 9. **Open-loop sweep** — the main workload driven through the
+//!    `oaken-service` streaming frontend on seeded open-loop arrival
+//!    schedules at growing arrival rates (plus one bursty point):
+//!    p50/p95/p99/max time-to-first-token and inter-token latency in
+//!    service-clock ticks. The latencies are exact functions of the
+//!    seed, and every point asserts the service determinism contract —
+//!    delivered streams, delivery clocks, and aggregate engine stats
+//!    bit-identical to the same schedule replayed directly against the
+//!    engine.
 //!
 //! Usage: `cargo run --release -p oaken-bench --bin serving_scaling
 //! [--smoke] [--threads N] [out.json]` — `--smoke` runs a tiny model for
@@ -61,6 +70,9 @@ use oaken_bench::{banner, f, row};
 use oaken_core::{KvQuantizer, OakenConfig};
 use oaken_eval::harness::profile_oaken;
 use oaken_model::{KernelMode, Model, ModelConfig, PagedKvPool};
+use oaken_service::{
+    arrival_schedule, replay_open_loop_direct, serve, LatencyRecorder, OpenLoopSpec, Percentiles,
+};
 use oaken_serving::{
     AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, EngineStats, FaultPlan,
     PreemptPolicy, Request, TokenScheduler,
@@ -461,6 +473,118 @@ fn run_ranked(
         },
         streams,
     )
+}
+
+struct OpenLoopPoint {
+    tokens_per_sec: f64,
+    /// Final service clock (engine iterations plus open-loop idle gaps).
+    clock: u64,
+    ttft: Percentiles,
+    itl: Percentiles,
+    itl_samples: usize,
+    last_arrival: u64,
+}
+
+/// One point of the open-loop sweep: the main workload submitted through
+/// the streaming service frontend on a seeded arrival schedule, latencies
+/// measured in service-clock ticks. Asserts the service determinism
+/// contract — streams, delivery clocks, and aggregate stats bit-identical
+/// to the direct engine replay of the same schedule — before reporting
+/// anything. Single run per point: every reported latency is an exact
+/// function of the seed, only tokens/sec rides the wall clock.
+fn run_open_loop(
+    w: &Workload,
+    max_batch: usize,
+    pages: u32,
+    num_threads: usize,
+    mean_interarrival: f64,
+    burst: Option<usize>,
+) -> OpenLoopPoint {
+    let cfg = EngineConfig {
+        max_batch,
+        admission: AdmissionPolicy::PromptOnly,
+        preempt: PreemptPolicy::RestartRecompute,
+        record_logits: false,
+        prefill_token_budget: 16,
+        num_threads,
+        ..EngineConfig::default()
+    };
+    let spec = match burst {
+        Some(b) => OpenLoopSpec::bursty(mean_interarrival, b, 0x0A11),
+        None => OpenLoopSpec::poisson(mean_interarrival, 0x0A11),
+    };
+    let arrivals = arrival_schedule(&spec, w.requests.len());
+    let last_arrival = arrivals.last().copied().unwrap_or(0);
+    let schedule: Vec<(EngineRequest, u64)> = w.requests.iter().cloned().zip(arrivals).collect();
+    let make_pool = || {
+        PagedKvPool::for_model(
+            w.model.config(),
+            Some(w.quantizer.clone()),
+            pages,
+            w.page_size,
+        )
+    };
+
+    let start = Instant::now();
+    let (results, report) = serve(
+        &w.model,
+        make_pool(),
+        TokenScheduler::new(max_batch.max(1)),
+        cfg,
+        |client| {
+            let handles = client.submit_schedule(schedule.iter().cloned());
+            handles.into_iter().map(|h| h.wait()).collect::<Vec<_>>()
+        },
+    );
+    let secs = start.elapsed().as_secs_f64();
+
+    // The determinism contract, asserted at every sweep point.
+    let replay = replay_open_loop_direct(
+        &w.model,
+        make_pool(),
+        TokenScheduler::new(max_batch.max(1)),
+        cfg,
+        schedule.clone(),
+        &[],
+    );
+    let mut recorder = LatencyRecorder::new();
+    for res in &results {
+        let timing = replay.timing_for(res.id);
+        assert_eq!(
+            res.tokens, timing.tokens,
+            "service stream != direct replay (request {}, mean {mean_interarrival})",
+            res.id
+        );
+        assert_eq!(
+            res.token_clocks, timing.token_clocks,
+            "delivery clocks != direct replay (request {}, mean {mean_interarrival})",
+            res.id
+        );
+        recorder.record("open_loop", timing.arrival, &res.token_clocks);
+    }
+    assert_eq!(
+        report.stats, replay.stats,
+        "service stats != direct replay stats (mean {mean_interarrival})"
+    );
+    assert_eq!(
+        report.stats.retired as usize,
+        w.requests.len(),
+        "every request must complete (mean {mean_interarrival})"
+    );
+    assert!(
+        report.drained_empty(),
+        "pool residue (mean {mean_interarrival}): {:?}",
+        report.drain
+    );
+    let class = recorder.report().pop().expect("one recorded class");
+    OpenLoopPoint {
+        tokens_per_sec: report.stats.decode_tokens as f64 / secs.max(1e-9),
+        clock: report.clock,
+        ttft: class.ttft,
+        itl: class.itl,
+        itl_samples: class.itl_samples,
+        last_arrival,
+    }
 }
 
 /// Best-of-N to suppress scheduler noise (counters are identical across
@@ -1021,7 +1145,90 @@ fn main() {
             "\n"
         });
     }
+    json.push_str("  ],\n");
+
+    // --- Open-loop sweep (service frontend, ample pool) -------------------
+    // `(mean_interarrival, burst)` points, sparse to saturated, plus one
+    // bursty schedule at the middle rate.
+    let open_loop_points: &[(f64, Option<usize>)] = if smoke {
+        &[(4.0, None), (2.0, Some(2))]
+    } else {
+        &[(16.0, None), (4.0, None), (1.0, None), (4.0, Some(4))]
+    };
+    println!(
+        "\nopen-loop sweep ({} requests through the service frontend, batch {batch}, pool {} pages, seed 0x0A11):",
+        w.requests.len(),
+        w.ample_pages
+    );
+    let lwidths = [14, 10, 9, 20, 20];
+    row(
+        &[
+            &"arrivals",
+            &"tok/s",
+            &"clock",
+            &"ttft p50/p95/p99",
+            &"itl p50/p95/p99",
+        ],
+        &lwidths,
+    );
+    json.push_str("  \"open_loop_sweep\": [\n");
+    let mut ttft_p95_by_rate = Vec::new();
+    for (i, &(mean, burst)) in open_loop_points.iter().enumerate() {
+        let p = run_open_loop(&w, batch, w.ample_pages, threads, mean, burst);
+        if burst.is_none() {
+            ttft_p95_by_rate.push(p.ttft.p95);
+        }
+        let kind = match burst {
+            Some(b) => format!("bursty x{b}"),
+            None => "poisson".to_string(),
+        };
+        row(
+            &[
+                &format!("{kind} @{:.2}", 1.0 / mean),
+                &f(p.tokens_per_sec, 1),
+                &p.clock,
+                &format!("{}/{}/{}", p.ttft.p50, p.ttft.p95, p.ttft.p99),
+                &format!("{}/{}/{}", p.itl.p50, p.itl.p95, p.itl.p99),
+            ],
+            &lwidths,
+        );
+        let _ = write!(
+            json,
+            "    {{\"kind\": \"{}\", \"burst\": {}, \"mean_interarrival_ticks\": {mean:.1}, \
+             \"arrival_rate_per_tick\": {:.4}, \"last_arrival_tick\": {}, \
+             \"service_clock\": {}, \"tokens_per_sec\": {:.1}, \
+             \"ttft_ticks\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}, \
+             \"itl_ticks\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}, \
+             \"itl_samples\": {}, \"service_matches_direct_replay\": true}}",
+            if burst.is_some() { "bursty" } else { "poisson" },
+            burst.unwrap_or(1),
+            1.0 / mean,
+            p.last_arrival,
+            p.clock,
+            p.tokens_per_sec,
+            p.ttft.p50,
+            p.ttft.p95,
+            p.ttft.p99,
+            p.ttft.max,
+            p.itl.p50,
+            p.itl.p95,
+            p.itl.p99,
+            p.itl.max,
+            p.itl_samples,
+        );
+        json.push_str(if i + 1 < open_loop_points.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
     json.push_str("  ]\n}\n");
+    // Queueing must show up in the tail: the saturated arrival rate cannot
+    // beat the sparse one on p95 TTFT (exact tick counts, no timer noise).
+    assert!(
+        ttft_p95_by_rate.last() >= ttft_p95_by_rate.first(),
+        "saturated arrivals must not lower tail TTFT: {ttft_p95_by_rate:?}"
+    );
 
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("\nwrote {out_path}");

@@ -1,0 +1,55 @@
+//! Streaming service frontend over the continuous-batching engine: the
+//! layer that turns `oaken-serving`'s [`BatchEngine`] iteration loop
+//! into a concurrent, cancellable, latency-measured serving system —
+//! without an async runtime (`std::thread` + `Mutex`/`Condvar` only,
+//! matching `oaken-runtime`'s style).
+//!
+//! Architecture (InfiniLM-style service / session / batcher split):
+//!
+//! - [`Batcher`] — the request queue: a `Mutex` + `Condvar` mailbox that
+//!   any number of client threads push submissions and cancellations
+//!   into, drained by the single engine thread at the top of every loop
+//!   pass.
+//! - [`serve`] — spawns the engine thread (scoped, so it borrows
+//!   `&Model` directly), runs your closure against a [`ServiceClient`],
+//!   then shuts down and returns a [`ServiceReport`] with engine stats
+//!   and per-rank pool-drain accounting.
+//! - [`SessionHandle`] — one per submission: a bounded-channel token
+//!   stream ([`StreamEvent`]) with mid-decode
+//!   [`cancel`](SessionHandle::cancel) and a terminal
+//!   [`RequestOutcome`].
+//! - [`workload`] — seeded open-loop arrival schedules (Poisson /
+//!   bursty, measured in engine iterations for reproducibility) and
+//!   [`replay_open_loop_direct`], which drives a bare engine through the
+//!   identical tick protocol so tests and benches can assert the service
+//!   is **bit-exact** with a direct engine run.
+//! - [`metrics`] — per-class p50/p95/p99 time-to-first-token and
+//!   inter-token latency over service-clock ticks.
+//!
+//! The determinism contract the engine already enforces (per-sequence
+//! streams identical across thread counts, rank counts, kernel modes,
+//! and preemption policies) lifts through this layer: with a seeded
+//! arrival schedule, service-delivered token streams are bit-identical
+//! to the same workload fed directly to the engine — the property pinned
+//! by `tests/service_props.rs`.
+
+pub mod batcher;
+pub mod metrics;
+pub mod service;
+pub mod session;
+pub mod workload;
+
+pub use batcher::Batcher;
+pub use metrics::{ClassLatency, LatencyRecorder, Percentiles};
+pub use service::{serve, PoolDrain, ServiceClient, ServiceReport};
+pub use session::{SessionEnd, SessionHandle, SessionResult, StreamEvent, StreamToken};
+pub use workload::{
+    arrival_schedule, replay_open_loop_direct, ArrivalKind, DirectReplay, OpenLoopSpec,
+    RequestTiming,
+};
+
+// Re-exported so service users need only this crate for the common path.
+pub use oaken_serving::{
+    BatchEngine, EngineConfig, EngineRequest, EngineStats, FinishedRequest, PreemptPolicy,
+    RequestOutcome, TokenScheduler,
+};

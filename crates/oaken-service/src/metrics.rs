@@ -1,0 +1,186 @@
+//! Tail-latency metrics over service-clock deliveries: per-class
+//! time-to-first-token and inter-token latency, reported as
+//! nearest-rank p50 / p95 / p99.
+//!
+//! Every latency is measured in **service-clock ticks** (engine
+//! iterations plus open-loop idle gaps), so the numbers are exactly
+//! reproducible from a seeded arrival schedule — the recorder is pure
+//! arithmetic over the clocks the service already stamps on each token.
+//!
+//! Conventions: a request arriving at tick `a` whose first token is
+//! delivered at tick `c` has `TTFT = c - a + 1` (the `+1` counts the
+//! delivering iteration itself, matching the engine's 1-based
+//! `ttft_iteration` when the request arrives at tick 0 into an
+//! otherwise-empty engine). Inter-token latency is the difference of
+//! consecutive delivery ticks; a request with fewer than two tokens
+//! contributes no ITL samples.
+
+/// Nearest-rank percentiles over a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Percentiles {
+    /// Nearest-rank percentiles (ceil(p/100 · n)-th smallest sample).
+    /// Returns all-zero for an empty sample set.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = |p: f64| -> u64 {
+            let n = sorted.len();
+            let k = ((p / 100.0) * n as f64).ceil() as usize;
+            sorted[k.clamp(1, n) - 1]
+        };
+        Self {
+            p50: rank(50.0),
+            p95: rank(95.0),
+            p99: rank(99.0),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Aggregated latency report for one request class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassLatency {
+    /// Class label (e.g. `"conversation"`, `"burstgpt"`).
+    pub class: String,
+    /// Requests recorded.
+    pub requests: usize,
+    /// Requests that never produced a token (no TTFT sample).
+    pub tokenless: usize,
+    /// Time-to-first-token percentiles, in ticks.
+    pub ttft: Percentiles,
+    /// Inter-token latency percentiles, in ticks.
+    pub itl: Percentiles,
+    /// ITL sample count backing `itl`.
+    pub itl_samples: usize,
+}
+
+/// Accumulates per-request delivery clocks into per-class percentile
+/// reports. Feed it either a service `SessionResult` (arrival +
+/// `token_clocks`) or a replay `RequestTiming` — both carry the same
+/// clocks, by construction.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    classes: Vec<(String, ClassSamples)>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ClassSamples {
+    requests: usize,
+    tokenless: usize,
+    ttft: Vec<u64>,
+    itl: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request's deliveries: its class, arrival tick, and
+    /// the service-clock tick of each streamed token (in order).
+    pub fn record(&mut self, class: &str, arrival: u64, token_clocks: &[u64]) {
+        let samples = match self.classes.iter_mut().find(|(c, _)| c == class) {
+            Some((_, s)) => s,
+            None => {
+                self.classes
+                    .push((class.to_string(), ClassSamples::default()));
+                &mut self.classes.last_mut().expect("just pushed").1
+            }
+        };
+        samples.requests += 1;
+        match token_clocks.first() {
+            Some(&first) => {
+                debug_assert!(first >= arrival, "tokens cannot precede arrival");
+                samples.ttft.push(first - arrival + 1);
+            }
+            None => samples.tokenless += 1,
+        }
+        for w in token_clocks.windows(2) {
+            debug_assert!(w[1] >= w[0], "delivery clocks are non-decreasing");
+            samples.itl.push(w[1] - w[0]);
+        }
+    }
+
+    /// Total requests recorded across classes.
+    pub fn requests(&self) -> usize {
+        self.classes.iter().map(|(_, s)| s.requests).sum()
+    }
+
+    /// Per-class percentile reports, in first-recorded order.
+    pub fn report(&self) -> Vec<ClassLatency> {
+        self.classes
+            .iter()
+            .map(|(class, s)| ClassLatency {
+                class: class.clone(),
+                requests: s.requests,
+                tokenless: s.tokenless,
+                ttft: Percentiles::from_samples(&s.ttft),
+                itl: Percentiles::from_samples(&s.itl),
+                itl_samples: s.itl.len(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_hand_computation() {
+        let p = Percentiles::from_samples(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(p.p50, 5);
+        assert_eq!(p.p95, 10);
+        assert_eq!(p.p99, 10);
+        assert_eq!(p.max, 10);
+        let p = Percentiles::from_samples(&[42]);
+        assert_eq!((p.p50, p.p95, p.p99, p.max), (42, 42, 42, 42));
+        assert_eq!(Percentiles::from_samples(&[]), Percentiles::default());
+    }
+
+    #[test]
+    fn recorder_ttft_and_itl_conventions() {
+        let mut rec = LatencyRecorder::new();
+        // Arrived at 2, tokens at clocks 4, 6, 9: TTFT = 3, ITLs = 2, 3.
+        rec.record("a", 2, &[4, 6, 9]);
+        // Tokenless request: counted, no TTFT sample.
+        rec.record("a", 0, &[]);
+        let report = rec.report();
+        assert_eq!(report.len(), 1);
+        let a = &report[0];
+        assert_eq!(a.requests, 2);
+        assert_eq!(a.tokenless, 1);
+        assert_eq!(a.ttft.p50, 3);
+        assert_eq!(a.itl.p50, 2);
+        assert_eq!(a.itl.max, 3);
+        assert_eq!(a.itl_samples, 2);
+    }
+
+    #[test]
+    fn classes_report_in_first_recorded_order() {
+        let mut rec = LatencyRecorder::new();
+        rec.record("conv", 0, &[1]);
+        rec.record("burst", 0, &[2]);
+        rec.record("conv", 0, &[3]);
+        let report = rec.report();
+        assert_eq!(report[0].class, "conv");
+        assert_eq!(report[0].requests, 2);
+        assert_eq!(report[1].class, "burst");
+        assert_eq!(rec.requests(), 3);
+    }
+}

@@ -1,0 +1,253 @@
+//! Open-loop workload driver: seeded arrival schedules (Poisson and
+//! bursty), and a direct-engine replay of the service clock protocol.
+//!
+//! Open-loop means arrivals are scheduled by an external clock and do
+//! *not* wait for earlier requests to finish — the load the server must
+//! absorb is independent of how fast it serves, which is what makes tail
+//! latency meaningful. Time is measured in **service-clock ticks**
+//! (engine iterations plus idle gaps), not wall clock, so a schedule is
+//! a pure function of its seed and every run of it is reproducible.
+//!
+//! [`replay_open_loop_direct`] feeds the same `(request, arrival)`
+//! schedule straight into a bare [`BatchEngine`], mirroring the engine
+//! thread's tick protocol verbatim (see `crate::service`): inject due
+//! arrivals in `(arrival, index)` order, apply due cancels, step, stamp
+//! deliveries with the pre-increment clock, advance iff progressed or
+//! arrivals remain. With the determinism contract the engine already
+//! guarantees, this makes "service == direct" a bit-exact assertion, not
+//! a statistical one.
+
+use oaken_model::{Model, PagedKvPool};
+use oaken_serving::{
+    BatchEngine, EngineConfig, EngineRequest, EngineStats, FinishedRequest, TokenScheduler,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Shape of the arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Memoryless arrivals: i.i.d. exponential inter-arrival gaps.
+    Poisson,
+    /// Bursty arrivals: requests land in back-to-back groups of `burst`,
+    /// with exponential gaps between groups (mean scaled by `burst` so
+    /// the long-run arrival *rate* matches a Poisson process with the
+    /// same `mean_interarrival`).
+    Bursty {
+        /// Requests per burst (all share one arrival tick).
+        burst: usize,
+    },
+}
+
+/// A seeded open-loop arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenLoopSpec {
+    /// Arrival shape.
+    pub kind: ArrivalKind,
+    /// Mean inter-arrival gap in service-clock ticks (the reciprocal of
+    /// the arrival rate).
+    pub mean_interarrival: f64,
+    /// RNG seed — the schedule is a pure function of the spec.
+    pub seed: u64,
+}
+
+impl OpenLoopSpec {
+    /// Poisson arrivals at `1 / mean_interarrival` requests per tick.
+    pub fn poisson(mean_interarrival: f64, seed: u64) -> Self {
+        Self {
+            kind: ArrivalKind::Poisson,
+            mean_interarrival,
+            seed,
+        }
+    }
+
+    /// Bursty arrivals with the same long-run rate.
+    pub fn bursty(mean_interarrival: f64, burst: usize, seed: u64) -> Self {
+        assert!(burst > 0, "burst must hold at least one request");
+        Self {
+            kind: ArrivalKind::Bursty { burst },
+            mean_interarrival,
+            seed,
+        }
+    }
+}
+
+/// Samples `n` arrival ticks (non-decreasing, starting at tick 0's
+/// first gap) from the spec. Gaps are exponential via inverse-CDF on the
+/// vendored `StdRng`, floored to integer ticks.
+pub fn arrival_schedule(spec: &OpenLoopSpec, n: usize) -> Vec<u64> {
+    assert!(
+        spec.mean_interarrival >= 0.0,
+        "mean inter-arrival must be non-negative"
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut gap = |mean: f64| -> f64 {
+        let u: f64 = rng.gen::<f64>();
+        -mean * (1.0 - u).ln()
+    };
+    let mut out = Vec::with_capacity(n);
+    match spec.kind {
+        ArrivalKind::Poisson => {
+            let mut t = 0.0f64;
+            for _ in 0..n {
+                t += gap(spec.mean_interarrival);
+                out.push(t.floor() as u64);
+            }
+        }
+        ArrivalKind::Bursty { burst } => {
+            let mut t = 0.0f64;
+            while out.len() < n {
+                t += gap(spec.mean_interarrival * burst as f64);
+                let tick = t.floor() as u64;
+                for _ in 0..burst.min(n - out.len()) {
+                    out.push(tick);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Per-request delivery record from a direct replay — the comparator for
+/// the service's streamed `SessionResult`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTiming {
+    /// Request id.
+    pub id: u64,
+    /// Scheduled arrival tick.
+    pub arrival: u64,
+    /// Decode tokens in index order (restart re-emissions deduped, same
+    /// as the service stream).
+    pub tokens: Vec<u32>,
+    /// Service-clock tick of each token's first emission.
+    pub token_clocks: Vec<u64>,
+}
+
+/// Everything a direct replay produced.
+#[derive(Debug, Clone)]
+pub struct DirectReplay {
+    /// Engine-terminal records, in retirement order.
+    pub finished: Vec<FinishedRequest>,
+    /// Delivery timings, in schedule order.
+    pub timings: Vec<RequestTiming>,
+    /// Final service-clock value.
+    pub clock: u64,
+    /// The engine's aggregate counters — a service run of the same
+    /// schedule must produce an *identical* value (the tick protocols
+    /// match step for step).
+    pub stats: EngineStats,
+}
+
+impl DirectReplay {
+    /// The terminal record for `id`.
+    pub fn finished_for(&self, id: u64) -> &FinishedRequest {
+        self.finished
+            .iter()
+            .find(|f| f.id == id)
+            .expect("replay drove every request to a terminal state")
+    }
+
+    /// The delivery timing for `id`.
+    pub fn timing_for(&self, id: u64) -> &RequestTiming {
+        self.timings
+            .iter()
+            .find(|t| t.id == id)
+            .expect("every scheduled request has a timing record")
+    }
+}
+
+/// Replays an open-loop `(request, arrival)` schedule — plus optional
+/// scripted `(tick, id)` cancels — directly against a bare
+/// [`BatchEngine`], using the exact service tick protocol. The reference
+/// half of every service-vs-direct bit-exactness assertion.
+pub fn replay_open_loop_direct(
+    model: &Model,
+    pool: PagedKvPool,
+    scheduler: TokenScheduler,
+    config: EngineConfig,
+    schedule: Vec<(EngineRequest, u64)>,
+    cancels: &[(u64, u64)],
+) -> DirectReplay {
+    let mut engine = BatchEngine::new(model, pool, scheduler, config);
+    let order: Vec<u64> = schedule.iter().map(|(req, _)| req.id).collect();
+    let mut pending: Vec<(u64, u64, EngineRequest)> = schedule
+        .into_iter()
+        .enumerate()
+        .map(|(i, (req, arrival))| (arrival, i as u64, req))
+        .collect();
+    pending.sort_by_key(|&(arrival, seq, _)| (arrival, seq));
+    let mut cancels: Vec<(u64, u64)> = cancels.to_vec();
+    let mut timings: HashMap<u64, RequestTiming> = pending
+        .iter()
+        .map(|&(arrival, _, ref req)| {
+            (
+                req.id,
+                RequestTiming {
+                    id: req.id,
+                    arrival,
+                    tokens: Vec::new(),
+                    token_clocks: Vec::new(),
+                },
+            )
+        })
+        .collect();
+    let mut clock: u64 = 0;
+
+    loop {
+        let engine_idle =
+            engine.active_len() == 0 && engine.queue_len() == 0 && engine.resume_len() == 0;
+        if engine_idle && pending.is_empty() {
+            break;
+        }
+
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].0 <= clock {
+                let (_, _, req) = pending.remove(i);
+                engine.submit(req);
+            } else {
+                i += 1;
+            }
+        }
+        let mut j = 0;
+        while j < cancels.len() {
+            if cancels[j].0 <= clock {
+                let (_, id) = cancels.remove(j);
+                if let Some(p) = pending.iter().position(|(_, _, r)| r.id == id) {
+                    // Cancelled while still schedule-parked: the service
+                    // resolves it client-side; here it simply never runs.
+                    pending.remove(p);
+                    timings.remove(&id);
+                } else {
+                    engine.cancel(id);
+                }
+            } else {
+                j += 1;
+            }
+        }
+
+        let progressed = engine.step();
+        for ev in engine.take_token_events() {
+            if let Some(t) = timings.get_mut(&ev.id) {
+                if ev.index == t.tokens.len() {
+                    t.tokens.push(ev.token);
+                    t.token_clocks.push(clock);
+                }
+            }
+        }
+        if progressed || !pending.is_empty() {
+            clock += 1;
+        }
+    }
+
+    let finished = engine.finished().to_vec();
+    let stats = engine.stats().clone();
+    let timings = order.iter().filter_map(|id| timings.remove(id)).collect();
+    DirectReplay {
+        finished,
+        timings,
+        clock,
+        stats,
+    }
+}

@@ -1,0 +1,86 @@
+//! Shared harness for the service test suites: the same tiny proxy
+//! model, profiled Oaken quantizer, pool geometry, and uninterrupted
+//! `Session` reference decode the engine suites use — so "service ==
+//! direct == Session" assertions all speak the same bits.
+
+#![allow(dead_code)]
+
+use oaken_core::{KvQuantizer, OakenConfig};
+use oaken_eval::harness::profile_oaken;
+use oaken_model::{sample_greedy, Model, ModelConfig, PagedKvPool, QuantizedCache, Session};
+use oaken_serving::{AdmissionPolicy, EngineConfig, EngineRequest, PreemptPolicy};
+use std::sync::Arc;
+
+pub fn tiny_model() -> Model {
+    Model::synthetic(ModelConfig::llama2_7b().proxy(2, 32), 7)
+}
+
+/// Profiles an Oaken quantizer on the model's actual KV distribution via
+/// the observer hook, matching the engine suites.
+pub fn profiled_oaken(model: &Model) -> Arc<dyn KvQuantizer> {
+    Arc::new(profile_oaken(model, OakenConfig::default(), 6, 8, 5))
+}
+
+/// The standard service-test pool: quantized, host swap tier enabled,
+/// small trie blocks so prefix sharing actually triggers.
+pub fn service_pool(
+    model: &Model,
+    quantizer: &Arc<dyn KvQuantizer>,
+    pages: u32,
+    host_pages: u32,
+) -> PagedKvPool {
+    let mut pool = PagedKvPool::for_model(model.config(), Some(quantizer.clone()), pages, 512);
+    pool.set_host_pages(host_pages);
+    pool.set_block_tokens(8);
+    pool
+}
+
+/// Engine knobs shared by the service suites: chunked prefill with a
+/// small budget and optimistic admission, so preemption and suspension
+/// genuinely occur under the test workloads.
+pub fn service_config(num_threads: usize, preempt: PreemptPolicy) -> EngineConfig {
+    EngineConfig {
+        max_batch: 4,
+        admission: AdmissionPolicy::PromptOnly,
+        preempt,
+        prefill_token_budget: 8,
+        num_threads,
+        ..EngineConfig::default()
+    }
+}
+
+/// A deterministic prompt unique to `id` (tokens stay inside the proxy
+/// vocab).
+pub fn prompt_for(id: u64, len: usize) -> Vec<u32> {
+    (0..len as u32)
+        .map(|i| (id as u32 * 37 + i * 11) % 256)
+        .collect()
+}
+
+/// A request with a deterministic prompt.
+pub fn request_for(id: u64, prompt_len: usize, max_new: usize) -> EngineRequest {
+    EngineRequest::new(id, prompt_for(id, prompt_len), max_new)
+}
+
+/// Greedy reference decode through the legacy single-sequence `Session`
+/// — the uninterrupted run every service stream must match token for
+/// token. Mirrors the engine's env-driven kernel mode (`OAKEN_KERNEL`).
+pub fn session_decode(
+    model: &Model,
+    quantizer: &Arc<dyn KvQuantizer>,
+    prompt: &[u32],
+    max_new: usize,
+) -> Vec<u32> {
+    let mut session: Session = model.session(Box::new(QuantizedCache::new(quantizer.clone())));
+    session.set_kernel_mode(oaken_model::KernelMode::default_mode());
+    let mut logits = session.prefill(prompt);
+    let mut tokens = Vec::new();
+    loop {
+        let tok = sample_greedy(&logits);
+        tokens.push(tok);
+        if tokens.len() == max_new {
+            return tokens;
+        }
+        logits = session.advance(tok);
+    }
+}

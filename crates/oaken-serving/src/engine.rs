@@ -309,6 +309,25 @@ pub enum RequestOutcome {
     DeadlineExceeded,
 }
 
+/// One decode token produced by an engine step — the streaming handoff
+/// surface a service frontend drains after each iteration (see
+/// [`BatchEngine::take_token_events`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenEvent {
+    /// Request id the token belongs to.
+    pub id: u64,
+    /// 0-based decode index of the token within its request's output. A
+    /// request evicted and restarted mid-decode re-emits the indices it
+    /// recomputes — with identical token values, by the determinism
+    /// contract — so a consumer resuming a stream drops events whose
+    /// index is below what it already delivered.
+    pub index: usize,
+    /// The sampled token.
+    pub token: u32,
+    /// Engine iteration (1-based) that produced the token.
+    pub iteration: u64,
+}
+
 /// A completed (or failed) request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FinishedRequest {
@@ -565,6 +584,11 @@ pub struct BatchEngine<'m> {
     resume: VecDeque<SuspendedReq>,
     active: Vec<ActiveSeq>,
     finished: Vec<FinishedRequest>,
+    /// Decode tokens emitted since the last [`take_token_events`] drain
+    /// (bounded by the workload's total decode tokens when never drained).
+    ///
+    /// [`take_token_events`]: Self::take_token_events
+    emitted: Vec<TokenEvent>,
     stats: EngineStats,
 }
 
@@ -624,6 +648,7 @@ impl<'m> BatchEngine<'m> {
             resume: VecDeque::new(),
             active: Vec::new(),
             finished: Vec::new(),
+            emitted: Vec::new(),
             stats,
         }
     }
@@ -751,6 +776,44 @@ impl<'m> BatchEngine<'m> {
         self.resume.len()
     }
 
+    /// Drains the decode tokens emitted since the last drain, in the order
+    /// they were sampled. This is the per-token streaming handoff for a
+    /// service frontend: drained after every [`step`](Self::step), the
+    /// events reconstruct each request's output stream incrementally
+    /// without waiting for retirement. Restarted requests re-emit the
+    /// decode indices they recompute (identical values — see
+    /// [`TokenEvent::index`]), so stream consumers dedup by index.
+    pub fn take_token_events(&mut self) -> Vec<TokenEvent> {
+        std::mem::take(&mut self.emitted)
+    }
+
+    /// Ids of queued (not yet admitted) requests, queue order.
+    pub fn queued_ids(&self) -> Vec<u64> {
+        self.queue.iter().map(|q| q.req.id).collect()
+    }
+
+    /// Ids of currently active sequences, admission (slot) order.
+    pub fn active_ids(&self) -> Vec<u64> {
+        self.active.iter().map(|a| a.req.id).collect()
+    }
+
+    /// Ids of sequences suspended to the host tier, oldest suspension
+    /// first — index 0 is the resume-queue head.
+    pub fn suspended_ids(&self) -> Vec<u64> {
+        self.resume.iter().map(|s| s.req.id).collect()
+    }
+
+    /// `(tokens_cached, prompt_len)` of an *active* request: mid-chunked
+    /// prefill exactly when `0 < tokens_cached < prompt_len` (the cursor
+    /// starts at the trie-matched prefix, so a fully shared prompt can
+    /// skip the window). `None` for requests parked anywhere else.
+    pub fn active_progress(&self, id: u64) -> Option<(usize, usize)> {
+        self.active
+            .iter()
+            .find(|a| a.req.id == id)
+            .map(|a| (a.pos, a.req.prompt.len()))
+    }
+
     /// Runs one engine iteration: admit (prefix-probed), reserve capacity
     /// for the iteration's chunk plan (possibly degrading to single-token
     /// steps, then preempting), advance every active sequence by its
@@ -844,7 +907,14 @@ impl<'m> BatchEngine<'m> {
             if a.pos < prompt_len {
                 continue; // still prefilling: logits are not sampled
             }
-            a.generated.push(sample_greedy(last));
+            let token = sample_greedy(last);
+            a.generated.push(token);
+            self.emitted.push(TokenEvent {
+                id: a.req.id,
+                index: a.generated.len() - 1,
+                token,
+                iteration,
+            });
             self.stats.decode_tokens += 1;
             if a.generated.len() == 1 && a.ttft_iteration == 0 {
                 a.ttft_iteration = iteration;

@@ -35,10 +35,23 @@
 //!   with a private KV pool shard and a deterministic all-reduce —
 //!   logits bit-exact with `--ranks 1` under the exact kernel (default:
 //!   the `OAKEN_RANKS` env knob, falling back to 1).
+//! * `--open-loop` drives the workload through the streaming service
+//!   frontend (`oaken-service`) on a seeded open-loop arrival schedule
+//!   instead of submitting everything up front: per-request token
+//!   streams, p50/p95/p99 TTFT and inter-token latency in service-clock
+//!   ticks, and an on-line assertion that every stream is bit-identical
+//!   to the same schedule replayed directly against the engine.
+//! * `--arrival-rate R` sets the open-loop arrival rate in requests per
+//!   service-clock tick (default 0.3).
+//! * `--burst B` makes the open-loop arrivals bursty: groups of `B`
+//!   requests landing together, same long-run rate.
 
 use oaken::core::OakenConfig;
 use oaken::eval::harness::profile_oaken;
 use oaken::model::{Model, ModelConfig, PagedKvPool};
+use oaken::service::{
+    arrival_schedule, replay_open_loop_direct, serve, LatencyRecorder, OpenLoopSpec,
+};
 use oaken::serving::{
     synthesize_requests, AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, FaultPlan,
     KernelMode, PreemptPolicy, Request, TokenScheduler, TraceSpec,
@@ -104,6 +117,19 @@ fn main() {
         .map(|v| v.parse().expect("--ranks takes a positive integer"))
         .unwrap_or_else(oaken::runtime::default_ranks);
     assert!(num_ranks > 0, "--ranks takes a positive integer");
+    let open_loop = args.iter().any(|a| a == "--open-loop");
+    let arrival_rate: f64 = args
+        .iter()
+        .position(|a| a == "--arrival-rate")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--arrival-rate takes requests per tick"))
+        .unwrap_or(0.3);
+    assert!(arrival_rate > 0.0, "--arrival-rate takes a positive rate");
+    let burst: Option<usize> = args
+        .iter()
+        .position(|a| a == "--burst")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--burst takes a burst size"));
     let spec = TraceSpec::conversation();
 
     // A proxy model small enough to execute for real; trace lengths are
@@ -133,11 +159,19 @@ fn main() {
     // Prefix sharing is on automatically (Oaken is prefix-deterministic);
     // 8-token blocks suit the scaled-down prompts.
     let pages = if smoke { 512 } else { 2048 };
-    let mut pool = PagedKvPool::for_model(model.config(), Some(quantizer), pages, 1024);
-    pool.set_block_tokens(8);
-    if let Some(h) = host_pages {
-        pool.set_host_pages(h);
-    }
+    // The open-loop path needs two identical pools (one for the live
+    // service, one for the direct replay it is checked against), so pool
+    // construction is a closure.
+    let build_pool = || {
+        let mut pool =
+            PagedKvPool::for_model(model.config(), Some(quantizer.clone() as _), pages, 1024);
+        pool.set_block_tokens(8);
+        if let Some(h) = host_pages {
+            pool.set_host_pages(h);
+        }
+        pool
+    };
+    let pool = build_pool();
     println!(
         "replaying `{}` (scaled 1/{scale}, {overlap_pct}% shared prefix) through the executed engine:",
         spec.name
@@ -155,23 +189,34 @@ fn main() {
         },
         kernel.label(),
     );
-    let mut engine = BatchEngine::new(
-        &model,
-        pool,
-        TokenScheduler::new(8),
-        EngineConfig {
-            max_batch: if smoke { 2 } else { 8 },
-            admission: AdmissionPolicy::PromptOnly,
-            preempt,
-            record_logits: false,
-            prefill_token_budget: 16,
-            num_threads,
-            num_ranks,
-            fault_plan,
-            max_iterations: deadline,
-            kernel,
-        },
-    );
+    let cfg = EngineConfig {
+        max_batch: if smoke { 2 } else { 8 },
+        admission: AdmissionPolicy::PromptOnly,
+        preempt,
+        record_logits: false,
+        prefill_token_budget: 16,
+        num_threads,
+        num_ranks,
+        fault_plan,
+        max_iterations: deadline,
+        kernel,
+    };
+
+    if open_loop {
+        run_open_loop(
+            &model,
+            pool,
+            build_pool(),
+            cfg,
+            requests,
+            arrival_rate,
+            burst,
+            &spec,
+        );
+        return;
+    }
+
+    let mut engine = BatchEngine::new(&model, pool, TokenScheduler::new(8), cfg);
     assert_eq!(
         engine.kernel_mode(),
         kernel,
@@ -283,4 +328,122 @@ fn main() {
             stats.deadline_kills
         );
     }
+}
+
+/// The `--open-loop` path: the same scaled trace driven through the
+/// streaming service frontend on a seeded arrival schedule, with
+/// per-class percentile latency reporting and an on-line bit-exactness
+/// check against the direct engine replay of the identical schedule.
+#[allow(clippy::too_many_arguments)]
+fn run_open_loop(
+    model: &Model,
+    pool: PagedKvPool,
+    replay_pool: PagedKvPool,
+    cfg: EngineConfig,
+    requests: Vec<EngineRequest>,
+    arrival_rate: f64,
+    burst: Option<usize>,
+    spec: &TraceSpec,
+) {
+    let mean = 1.0 / arrival_rate;
+    let ol = match burst {
+        Some(b) => OpenLoopSpec::bursty(mean, b, 11),
+        None => OpenLoopSpec::poisson(mean, 11),
+    };
+    let arrivals = arrival_schedule(&ol, requests.len());
+    let last = arrivals.last().copied().unwrap_or(0);
+    let schedule: Vec<(EngineRequest, u64)> = requests.into_iter().zip(arrivals).collect();
+    println!(
+        "open-loop arrivals: {} requests at {arrival_rate:.2} req/tick ({}), last arrival at tick {last}\n",
+        schedule.len(),
+        match burst {
+            Some(b) => format!("bursty x{b}"),
+            None => "poisson".to_string(),
+        },
+    );
+
+    let start = Instant::now();
+    let (results, report) = serve(model, pool, TokenScheduler::new(8), cfg, |client| {
+        let handles = client.submit_schedule(schedule.iter().cloned());
+        handles.into_iter().map(|h| h.wait()).collect::<Vec<_>>()
+    });
+    let secs = start.elapsed().as_secs_f64();
+
+    // The determinism contract, checked on every run: streams delivered
+    // through the concurrent service are bit-identical — tokens, delivery
+    // clocks, outcomes, aggregate stats — to the same seeded schedule fed
+    // directly to the engine.
+    let replay = replay_open_loop_direct(
+        model,
+        replay_pool,
+        TokenScheduler::new(8),
+        cfg,
+        schedule.clone(),
+        &[],
+    );
+    let mut recorder = LatencyRecorder::new();
+    for res in &results {
+        let timing = replay.timing_for(res.id);
+        assert_eq!(
+            res.tokens, timing.tokens,
+            "request {}: service != direct",
+            res.id
+        );
+        assert_eq!(
+            res.token_clocks, timing.token_clocks,
+            "request {}: delivery clocks != direct",
+            res.id
+        );
+        assert_eq!(
+            res.end.outcome,
+            replay.finished_for(res.id).outcome,
+            "request {}",
+            res.id
+        );
+        recorder.record(spec.name, timing.arrival, &res.token_clocks);
+    }
+    let stats = &report.stats;
+    assert_eq!(*stats, replay.stats, "service stats != direct replay stats");
+    assert!(report.drained_empty(), "pool residue: {:?}", report.drain);
+    assert_eq!(
+        stats.retired + stats.failed + stats.cancellations + stats.deadline_kills,
+        results.len() as u64
+    );
+    assert_eq!(stats.faults_absorbed, stats.faults_injected);
+
+    for class in recorder.report() {
+        println!(
+            "  {:<14} {:>3} reqs | ttft p50/p95/p99/max {}/{}/{}/{} ticks | itl p50/p95/p99/max {}/{}/{}/{} ({} gaps)",
+            class.class,
+            class.requests,
+            class.ttft.p50,
+            class.ttft.p95,
+            class.ttft.p99,
+            class.ttft.max,
+            class.itl.p50,
+            class.itl.p95,
+            class.itl.p99,
+            class.itl.max,
+            class.itl_samples,
+        );
+    }
+    println!();
+    println!("{:>22}  {}", "service clock", report.clock);
+    println!("{:>22}  {}", "iterations", stats.iterations);
+    println!("{:>22}  {}", "retired", stats.retired);
+    println!("{:>22}  {}", "preemptions", stats.preemptions);
+    println!("{:>22}  {}", "admission stalls", stats.admission_stalls);
+    println!("{:>22}  {}", "swap outs", stats.swap_outs);
+    println!("{:>22}  {}", "decode tokens", stats.decode_tokens);
+    println!("{:>22}  {}", "faults absorbed", stats.faults_absorbed);
+    println!("{:>22}  {}", "deadline kills", stats.deadline_kills);
+    println!(
+        "{:>22}  {:.1} tok/s",
+        "gen throughput",
+        stats.decode_tokens as f64 / secs.max(1e-9)
+    );
+    println!(
+        "\nall {} streams bit-exact with the direct engine replay.",
+        results.len()
+    );
 }

@@ -15,6 +15,7 @@
 //! | [`accel`] | `oaken-accel` | accelerator/GPU performance, area, power simulator |
 //! | [`runtime`] | `oaken-runtime` | deterministic fork-join worker pool (bit-exact parallelism) |
 //! | [`serving`] | `oaken-serving` | batch scheduling, traces, serving simulation, executed `BatchEngine` |
+//! | [`service`] | `oaken-service` | streaming service frontend: batcher, sessions, open-loop workloads, tail latency |
 //!
 //! # Quickstart
 //!
@@ -39,5 +40,6 @@ pub use oaken_eval as eval;
 pub use oaken_mmu as mmu;
 pub use oaken_model as model;
 pub use oaken_runtime as runtime;
+pub use oaken_service as service;
 pub use oaken_serving as serving;
 pub use oaken_tensor as tensor;
