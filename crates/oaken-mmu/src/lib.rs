@@ -59,7 +59,10 @@ pub use alloc::{AllocError, PageAllocator, PageId};
 pub use burst::{plan_bursts, BurstPlan};
 pub use fault::{FaultInjector, FaultKind, FaultOp, FaultPlan, FaultStats};
 pub use stream::{MmuSim, StreamClass, StreamKey, WriteReceipt};
-pub use swap::{Residency, SwapError, SwapPool, SwapReceipt, SwapStats};
+pub use swap::{
+    size_checksum, Residency, StreamPayload, SwapError, SwapPool, SwapReceipt, SwapStats,
+    TransferPayload,
+};
 pub use table::{StreamTable, TableEntry};
 
 /// Physical byte address in the device memory's single address space.

@@ -224,6 +224,7 @@ impl MmuSim {
             streams: Vec::with_capacity(keys.len()),
             pages,
             bytes: 0,
+            checksum: 0,
             state: Residency::InFlight,
         };
         for k in keys {
@@ -240,9 +241,13 @@ impl MmuSim {
             });
         }
         entry.state = Residency::Host;
+        entry.checksum = crate::swap::size_checksum(
+            entry.streams.iter().flat_map(|fs| fs.sizes.iter().copied()),
+        );
         let receipt = SwapReceipt {
             pages: entry.pages,
             bytes: entry.bytes,
+            checksum: entry.checksum,
         };
         self.host
             .as_mut()
@@ -283,8 +288,17 @@ impl MmuSim {
             .expect("checked above")
             .thaw(request, true)
             .expect("residency checked above");
+        debug_assert_eq!(
+            crate::swap::size_checksum(
+                entry.streams.iter().flat_map(|fs| fs.sizes.iter().copied())
+            ),
+            entry.checksum,
+            "frozen size tables of request {request} fail their checksum; \
+             refusing to rebuild a corrupted page layout"
+        );
         let mut allocated = 0u32;
         let bytes = entry.bytes;
+        let checksum = entry.checksum;
         for fs in entry.streams {
             debug_assert!(!self.streams.contains_key(&fs.key), "thaw into live key");
             for size in fs.sizes {
@@ -301,6 +315,7 @@ impl MmuSim {
         Ok(SwapReceipt {
             pages: allocated,
             bytes,
+            checksum,
         })
     }
 
@@ -318,6 +333,106 @@ impl MmuSim {
             .thaw(request, false)
             .ok_or(SwapError::NotFrozen { request })?;
         Ok(entry.pages)
+    }
+
+    /// The per-token size tables of `request`'s *live* streams, in
+    /// deterministic key order — the raw material a pool-level exporter
+    /// flattens into a [`crate::swap::TransferPayload`]. Empty for unknown requests.
+    pub fn request_stream_sizes(&self, request: u32) -> Vec<(StreamKey, Vec<u32>)> {
+        let mut out: Vec<(StreamKey, Vec<u32>)> = self
+            .streams
+            .iter()
+            .filter(|(k, _)| k.request == request)
+            .map(|(k, s)| (*k, s.table.iter().map(|e| e.size).collect()))
+            .collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Lands a [`crate::swap::TransferPayload`] from another MMU as a frozen entry of
+    /// this MMU's host tier under local id `request` — the receive side of
+    /// a prefill→decode KV handoff. The imported request behaves exactly
+    /// like a locally frozen one: [`swap_in_request`](Self::swap_in_request)
+    /// thaws it onto fresh device pages (replaying the carried size tables
+    /// through the normal write path), and the page count charged to host
+    /// is recomputed here with the same packing rule `write_token` uses,
+    /// so accounting never depends on the exporter's page geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::NoHostTier`], [`SwapError::AlreadyFrozen`] (the local
+    /// id is taken), or [`SwapError::OutOfHostPages`] — all checked before
+    /// any state changes, so a failed import is a no-op and the caller can
+    /// retry later (the cluster's transfer clock does exactly that).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the payload fails its own checksum (a corrupted or
+    /// truncated transfer must fail loudly, never rebuild garbage tables)
+    /// or when any carried size exceeds the page size.
+    pub fn import_frozen(
+        &mut self,
+        request: u32,
+        payload: &crate::swap::TransferPayload,
+    ) -> Result<SwapReceipt, SwapError> {
+        let host = self.host.as_ref().ok_or(SwapError::NoHostTier)?;
+        if host.is_frozen(request) || self.streams.keys().any(|k| k.request == request) {
+            return Err(SwapError::AlreadyFrozen { request });
+        }
+        assert_eq!(
+            crate::swap::size_checksum(
+                payload.streams.iter().flat_map(|s| s.sizes.iter().copied())
+            ),
+            payload.checksum,
+            "transfer payload for request {request} fails its checksum; \
+             refusing to import corrupted size tables"
+        );
+        let pages = payload.pages_needed(self.allocator.page_size());
+        let bytes: u64 = payload
+            .streams
+            .iter()
+            .flat_map(|s| s.sizes.iter())
+            .map(|&s| u64::from(s))
+            .sum();
+        if pages > host.free_pages() {
+            return Err(SwapError::OutOfHostPages {
+                needed: pages,
+                free: host.free_pages(),
+            });
+        }
+        let mut streams: Vec<FrozenStream> = payload
+            .streams
+            .iter()
+            .map(|s| FrozenStream {
+                key: StreamKey {
+                    request,
+                    layer: s.layer,
+                    head: s.head,
+                    class: s.class,
+                },
+                sizes: s.sizes.clone(),
+            })
+            .collect();
+        streams.sort_unstable_by_key(|fs| fs.key);
+        let entry = FrozenRequest {
+            checksum: crate::swap::size_checksum(
+                streams.iter().flat_map(|fs| fs.sizes.iter().copied()),
+            ),
+            streams,
+            pages,
+            bytes,
+            state: Residency::Host,
+        };
+        let receipt = SwapReceipt {
+            pages,
+            bytes,
+            checksum: entry.checksum,
+        };
+        self.host
+            .as_mut()
+            .expect("checked above")
+            .freeze(request, entry);
+        Ok(receipt)
     }
 
     /// Appends one token's payload to a stream, allocating pages on demand.
@@ -936,7 +1051,14 @@ mod tests {
         mmu.attach_host_tier(2);
         // A request with no streams freezes as a 0-page entry.
         let r = mmu.swap_out_request(7).unwrap();
-        assert_eq!(r, SwapReceipt { pages: 0, bytes: 0 });
+        assert_eq!(
+            r,
+            SwapReceipt {
+                pages: 0,
+                bytes: 0,
+                checksum: 0
+            }
+        );
         assert_eq!(mmu.residency(7), Some(crate::swap::Residency::Host));
         assert_eq!(mmu.swap_in_request(7).unwrap().pages, 0);
         assert_eq!(mmu.residency(7), None);
@@ -951,6 +1073,136 @@ mod tests {
             mmu.discard_frozen(3),
             Err(SwapError::NotFrozen { request: 3 })
         ));
+    }
+
+    #[test]
+    fn export_import_roundtrip_rebuilds_tables() {
+        use crate::swap::{size_checksum, StreamPayload, TransferPayload};
+        // Source MMU: one dense + one sparse stream with uneven sizes.
+        let mut src = MmuSim::new(8, 128);
+        let kd = key(5, 0, StreamClass::Dense);
+        let ks = key(5, 0, StreamClass::Sparse);
+        for size in [100u32, 60, 60] {
+            src.write_token(kd, size).unwrap();
+        }
+        for size in [7u32, 0, 29] {
+            src.write_token(ks, size).unwrap();
+        }
+        let sizes = src.request_stream_sizes(5);
+        assert_eq!(sizes.len(), 2);
+        assert_eq!(sizes[0].0, kd, "dense sorts before sparse");
+        let mut payload = TransferPayload {
+            streams: sizes
+                .iter()
+                .map(|(k, sz)| StreamPayload {
+                    layer: k.layer,
+                    head: k.head,
+                    class: k.class,
+                    sizes: sz.clone(),
+                })
+                .collect(),
+            bytes: 0,
+            checksum: 0,
+        };
+        payload.seal();
+        assert_eq!(payload.bytes, src.request_bytes(5));
+
+        // Destination MMU under a different local id.
+        let mut dst = MmuSim::new(8, 128);
+        dst.attach_host_tier(8);
+        let receipt = dst.import_frozen(9, &payload).unwrap();
+        assert_eq!(receipt.bytes, payload.bytes);
+        assert_eq!(receipt.checksum, payload.checksum);
+        assert_eq!(dst.residency(9), Some(crate::swap::Residency::Host));
+        assert_eq!(dst.host_tier().unwrap().used_pages(), receipt.pages);
+
+        let thawed = dst.swap_in_request(9).unwrap();
+        assert_eq!(thawed.bytes, payload.bytes);
+        let got: Vec<u32> = dst
+            .table(&key(9, 0, StreamClass::Dense))
+            .unwrap()
+            .iter()
+            .map(|e| e.size)
+            .collect();
+        assert_eq!(got, vec![100, 60, 60]);
+        let got: Vec<u32> = dst
+            .table(&key(9, 0, StreamClass::Sparse))
+            .unwrap()
+            .iter()
+            .map(|e| e.size)
+            .collect();
+        assert_eq!(got, vec![7, 0, 29]);
+        // Same packing rule ⇒ same tail headroom as the source stream.
+        assert_eq!(
+            dst.tail_free(&key(9, 0, StreamClass::Dense)),
+            src.tail_free(&kd)
+        );
+        // The swap-out receipt's checksum is the same fold the transfer
+        // carries.
+        let out = src.swap_out_request(5);
+        src.attach_host_tier(8);
+        assert!(out.is_err(), "no host tier on src yet");
+        let out = src.swap_out_request(5).unwrap();
+        assert_eq!(out.checksum, size_checksum([100u32, 60, 60, 7, 0, 29]));
+    }
+
+    #[test]
+    #[should_panic(expected = "checksum")]
+    fn corrupted_transfer_fails_loudly_on_import() {
+        use crate::swap::{StreamPayload, TransferPayload};
+        let mut payload = TransferPayload {
+            streams: vec![StreamPayload {
+                layer: 0,
+                head: 0,
+                class: StreamClass::Dense,
+                sizes: vec![16, 16, 16],
+            }],
+            bytes: 0,
+            checksum: 0,
+        };
+        payload.seal();
+        // Truncate after sealing: the wire lost a token.
+        payload.streams[0].sizes.pop();
+        let mut dst = MmuSim::new(4, 128);
+        dst.attach_host_tier(4);
+        let _ = dst.import_frozen(1, &payload);
+    }
+
+    #[test]
+    fn import_checks_capacity_and_id_collisions_first() {
+        use crate::swap::{StreamPayload, TransferPayload};
+        let mut payload = TransferPayload {
+            streams: vec![StreamPayload {
+                layer: 0,
+                head: 0,
+                class: StreamClass::Dense,
+                sizes: vec![100, 100],
+            }],
+            bytes: 0,
+            checksum: 0,
+        };
+        payload.seal();
+        let mut dst = MmuSim::new(4, 128);
+        assert_eq!(dst.import_frozen(1, &payload), Err(SwapError::NoHostTier));
+        dst.attach_host_tier(1);
+        assert_eq!(
+            dst.import_frozen(1, &payload),
+            Err(SwapError::OutOfHostPages { needed: 2, free: 1 }),
+            "two 100-byte tokens cannot share a 128-byte page"
+        );
+        dst.attach_host_tier(4);
+        // A live local stream under the id blocks the import.
+        dst.write_token(key(1, 0, StreamClass::Dense), 10).unwrap();
+        assert_eq!(
+            dst.import_frozen(1, &payload),
+            Err(SwapError::AlreadyFrozen { request: 1 })
+        );
+        dst.free_request(1).unwrap();
+        dst.import_frozen(1, &payload).unwrap();
+        assert_eq!(
+            dst.import_frozen(1, &payload),
+            Err(SwapError::AlreadyFrozen { request: 1 })
+        );
     }
 
     #[test]

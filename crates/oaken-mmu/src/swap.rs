@@ -130,6 +130,11 @@ pub struct SwapReceipt {
     /// Payload bytes moved (the modeled transfer size — encoded dense +
     /// sparse bytes, not page-rounded).
     pub bytes: u64,
+    /// Position-weighted checksum over the moved per-token sizes
+    /// ([`size_checksum`]): the integrity tag the transfer path re-derives
+    /// and asserts on thaw, so a truncated or reordered size table fails
+    /// loudly instead of rebuilding a garbage page layout.
+    pub checksum: u64,
 }
 
 impl SwapReceipt {
@@ -138,7 +143,21 @@ impl SwapReceipt {
     pub fn merge(&mut self, other: SwapReceipt) {
         self.pages += other.pages;
         self.bytes += other.bytes;
+        self.checksum = self.checksum.wrapping_add(other.checksum);
     }
+}
+
+/// Order-sensitive checksum over a per-token size table: each size is
+/// folded with its 1-based position (`Σ (i+1)·(sizeᵢ+1)`, wrapping), so a
+/// truncated, reordered, or resized table disagrees even when the plain
+/// byte sum happens to match. The `+1` on the size keeps zero-byte tokens
+/// (empty sparse rows) from being invisible to the fold.
+pub fn size_checksum<I: IntoIterator<Item = u32>>(sizes: I) -> u64 {
+    let mut sum = 0u64;
+    for (i, size) in sizes.into_iter().enumerate() {
+        sum = sum.wrapping_add((i as u64 + 1).wrapping_mul(u64::from(size) + 1));
+    }
+    sum
 }
 
 /// Cumulative transfer counters of one host tier.
@@ -173,7 +192,116 @@ pub(crate) struct FrozenRequest {
     pub(crate) streams: Vec<FrozenStream>,
     pub(crate) pages: u32,
     pub(crate) bytes: u64,
+    /// [`size_checksum`] over the streams' size tables in listed order
+    /// (one running position counter across the whole request), asserted
+    /// on thaw before any page is rebuilt.
+    pub(crate) checksum: u64,
     pub(crate) state: Residency,
+}
+
+/// One stream inside a [`TransferPayload`]: the coordinates within the
+/// request (the request id itself is deliberately absent — the importer
+/// assigns its own) plus the full per-token size table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamPayload {
+    /// Decoder layer (the exporter's `StreamKey::layer` encoding).
+    pub layer: u16,
+    /// Attention (KV) head.
+    pub head: u16,
+    /// Dense or sparse table.
+    pub class: crate::stream::StreamClass,
+    /// Per-token payload sizes, token order.
+    pub sizes: Vec<u32>,
+}
+
+/// A self-describing KV transfer: one request's page tables flattened for
+/// shipment to another MMU (the prefill→decode handoff of a disaggregated
+/// cluster). "Self-describing" means the payload alone — no shared state
+/// with the exporter — lets the importer rebuild bit-compatible management
+/// tables: stream coordinates, per-token sizes, byte totals, and an
+/// integrity checksum all travel together.
+///
+/// The *payload bytes themselves* are not here for the same reason the
+/// host tier never stores them: in this functional model encoded bytes
+/// live in the pool's quantizer streams, which the pool-level exporter
+/// carries alongside this table. The MMU half is exactly the accounting
+/// a real transfer engine would prepend as a header.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TransferPayload {
+    /// Streams in deterministic `(layer, head, class)` order.
+    pub streams: Vec<StreamPayload>,
+    /// Total payload bytes (Σ sizes) — the wire cost of the KV itself.
+    pub bytes: u64,
+    /// [`size_checksum`] over all size tables in listed order (one running
+    /// position counter), re-derived and asserted by the importer.
+    pub checksum: u64,
+}
+
+impl TransferPayload {
+    /// Seals the payload: recomputes `bytes` and `checksum` from the size
+    /// tables currently in `streams`. Call after assembling the streams.
+    pub fn seal(&mut self) {
+        self.bytes = self
+            .streams
+            .iter()
+            .flat_map(|s| s.sizes.iter())
+            .map(|&s| u64::from(s))
+            .sum();
+        self.checksum = size_checksum(self.streams.iter().flat_map(|s| s.sizes.iter().copied()));
+    }
+
+    /// Bytes this transfer occupies on the modeled wire: the KV payload
+    /// plus the self-describing header (4 bytes per size-table entry and
+    /// an 8-byte descriptor per stream).
+    pub fn wire_bytes(&self) -> u64 {
+        let header: u64 = self
+            .streams
+            .iter()
+            .map(|s| 8 + 4 * s.sizes.len() as u64)
+            .sum();
+        self.bytes + header
+    }
+
+    /// Total tokens described by the densest table — the per-head dense
+    /// stream carries one entry per token, so this is the row count the
+    /// importer should expect per head.
+    pub fn max_stream_tokens(&self) -> usize {
+        self.streams
+            .iter()
+            .map(|s| s.sizes.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Pages this payload occupies when packed with the MMU's write rule
+    /// (a token never spans pages; a new page opens when the tail cannot
+    /// hold it) — the host charge an import needs, computed from the
+    /// payload alone so capacity checks never consume it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any carried size exceeds `page_size` (such a payload
+    /// could never have been written by an exporter with this page size).
+    pub fn pages_needed(&self, page_size: usize) -> u32 {
+        let mut pages = 0u32;
+        for s in &self.streams {
+            let mut tail_used = 0usize;
+            let mut opened = false;
+            for &size in &s.sizes {
+                assert!(
+                    size as usize <= page_size,
+                    "transfer token payload {size} exceeds page size {page_size}"
+                );
+                if !opened || tail_used + size as usize > page_size {
+                    pages += 1;
+                    tail_used = 0;
+                    opened = true;
+                }
+                tail_used += size as usize;
+            }
+        }
+        pages
+    }
 }
 
 /// The host tier: page-granular capacity accounting over frozen requests.
@@ -298,6 +426,7 @@ mod tests {
             }],
             pages,
             bytes,
+            checksum: size_checksum([bytes as u32]),
             state: Residency::Host,
         }
     }
@@ -345,14 +474,59 @@ mod tests {
         let mut r = SwapReceipt {
             pages: 1,
             bytes: 10,
+            checksum: 7,
         };
-        r.merge(SwapReceipt { pages: 2, bytes: 5 });
+        r.merge(SwapReceipt {
+            pages: 2,
+            bytes: 5,
+            checksum: 3,
+        });
         assert_eq!(
             r,
             SwapReceipt {
                 pages: 3,
-                bytes: 15
+                bytes: 15,
+                checksum: 10,
             }
         );
+    }
+
+    #[test]
+    fn size_checksum_detects_truncation_and_reordering() {
+        let full = size_checksum([3u32, 5, 7]);
+        assert_ne!(full, size_checksum([3u32, 5]), "truncation must move it");
+        assert_ne!(full, size_checksum([7u32, 5, 3]), "reorder must move it");
+        // Plain byte sums cannot see a reorder; the weighted fold can.
+        assert_ne!(size_checksum([1u32, 2]), size_checksum([2u32, 1]));
+        // Zero-size tokens still contribute (empty sparse rows are real).
+        assert_ne!(size_checksum([0u32]), size_checksum([] as [u32; 0]));
+    }
+
+    #[test]
+    fn transfer_payload_seals_and_prices_itself() {
+        let mut p = TransferPayload {
+            streams: vec![
+                StreamPayload {
+                    layer: 0,
+                    head: 0,
+                    class: StreamClass::Dense,
+                    sizes: vec![16, 16],
+                },
+                StreamPayload {
+                    layer: 0,
+                    head: 0,
+                    class: StreamClass::Sparse,
+                    sizes: vec![3, 0],
+                },
+            ],
+            bytes: 0,
+            checksum: 0,
+        };
+        p.seal();
+        assert_eq!(p.bytes, 35);
+        assert_eq!(p.checksum, size_checksum([16u32, 16, 3, 0]));
+        // Wire = payload + 2 stream descriptors + 4 size entries.
+        assert_eq!(p.wire_bytes(), 35 + 2 * 8 + 4 * 4);
+        assert_eq!(p.max_stream_tokens(), 2);
     }
 }

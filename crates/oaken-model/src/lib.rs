@@ -78,8 +78,8 @@ pub use ffn::{DenseFfn, FfnWeights};
 pub use model::{BatchKvObserver, BatchStep, KvObserver, LayerWeights, Model, Session};
 pub use oaken_mmu::{FaultKind, FaultOp, FaultPlan, FaultStats, Residency, SwapReceipt, SwapStats};
 pub use pool::{
-    KvReadStats, PageAccounting, PagedKvPool, PoolBatchView, PoolError, PrefixAlloc, SeqId,
-    SeqRowAppend,
+    KvReadStats, KvTransfer, PageAccounting, PagedKvPool, PoolBatchView, PoolError, PrefixAlloc,
+    SeqId, SeqRowAppend,
 };
 pub use ranks::{forward_batch_ranked, RankPlan, RankedPools};
 pub use sampling::{sample_greedy, sample_temperature};

@@ -257,6 +257,53 @@ struct SuspendedSeq {
     frozen_pages: u32,
 }
 
+/// One sequence's KV state packaged for shipment to another pool — the
+/// prefill→decode handoff object of a disaggregated cluster
+/// ([`PagedKvPool::export_seq`] / [`PagedKvPool::import_seq`]).
+///
+/// Two halves travel together, mirroring the repo's functional split:
+/// the **payload** (quantizer stream state, dequantized views, row
+/// counts — the sequence's internal `SeqSlots`, flattened to fully private
+/// form) and the **accounting** (an [`oaken_mmu::TransferPayload`]: the
+/// self-describing per-token size tables covering *every* token,
+/// adopted prefix rows included, so the importer rebuilds bit-compatible
+/// page tables with no shared state). The wire cost the cluster's
+/// transfer clock charges is [`KvTransfer::wire_bytes`].
+pub struct KvTransfer {
+    slots: SeqSlots,
+    payload: oaken_mmu::TransferPayload,
+}
+
+impl fmt::Debug for KvTransfer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KvTransfer")
+            .field("layers", &self.slots.slots.len())
+            .field("bytes", &self.payload.bytes)
+            .field("checksum", &self.payload.checksum)
+            .finish()
+    }
+}
+
+impl KvTransfer {
+    /// The self-describing MMU half: per-stream size tables, byte totals,
+    /// and the integrity checksum asserted on import.
+    pub fn payload(&self) -> &oaken_mmu::TransferPayload {
+        &self.payload
+    }
+
+    /// Modeled wire bytes of this transfer: the encoded KV payload plus
+    /// the self-describing size-table header.
+    pub fn wire_bytes(&self) -> u64 {
+        self.payload.wire_bytes()
+    }
+
+    /// Tokens cached per `(layer, kind)` slot — the rows the importer's
+    /// decode resumes from.
+    pub fn tokens(&self) -> usize {
+        self.slots.slots.first().map_or(0, |pair| pair[0].rows)
+    }
+}
+
 /// Per-sequence storage: one [`KindSlot`] per `(layer, kind)`, plus a
 /// running private page count so admission accounting never scans the
 /// MMU's global stream map.
@@ -835,6 +882,12 @@ impl PagedKvPool {
         self.suspended.contains_key(&seq.0)
     }
 
+    /// Whether `seq` is live on the device tier (allocated, not
+    /// suspended, not freed).
+    pub fn is_live(&self, seq: SeqId) -> bool {
+        self.seqs.contains_key(&seq.0)
+    }
+
     /// Host pages a suspended sequence occupies — also the upper bound on
     /// the device pages [`resume_seq`](Self::resume_seq) will need (0 for
     /// handles that are not suspended).
@@ -1392,6 +1445,191 @@ impl PagedKvPool {
         }
         self.recycle_slots(entry.slots);
         Ok(freed)
+    }
+
+    /// Exports an active sequence as a [`KvTransfer`] and retires it from
+    /// this pool — the send side of a prefill→decode handoff.
+    ///
+    /// The sequence is **flattened to fully private form**: its per-token
+    /// size tables are collected across every owner in token order
+    /// (adopted shared trie blocks, pending prompt blocks, then the
+    /// private tail — per `(layer, kind, head, class)` stream), sealed
+    /// into a self-describing [`oaken_mmu::TransferPayload`], and its
+    /// slots (quantizer stream state, views, row counts) ship verbatim
+    /// with the prompt plan stripped. Flattening is what makes the
+    /// transfer self-contained: the importer owes nothing to this pool's
+    /// trie, and the slots already hold every adopted row's bytes (exact
+    /// mode copies views at adoption; fused mode adopts encoded rows into
+    /// the stream itself). The source side then tears down exactly like
+    /// [`free_seq`](Self::free_seq): private pages free, shared blocks
+    /// release leaf-first.
+    ///
+    /// Bit-exactness argument: the slots are the same state
+    /// [`suspend_seq`](Self::suspend_seq) retains verbatim — no byte is
+    /// re-encoded anywhere on the path — so a decode continued from the
+    /// imported sequence reproduces the monolithic engine's tokens
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownSequence`] for a freed or suspended handle (a
+    /// failed export changes nothing).
+    pub fn export_seq(&mut self, seq: SeqId) -> Result<KvTransfer, PoolError> {
+        use std::collections::BTreeMap;
+        let state = self
+            .seqs
+            .get(&seq.0)
+            .ok_or(PoolError::UnknownSequence { seq })?;
+        // Owners in token order: plan blocks root-to-leaf, then the tail.
+        let mut owners: Vec<u32> = Vec::new();
+        if let Some(plan) = &state.plan {
+            for block in &plan.blocks {
+                owners.push(match block {
+                    SeqBlock::Shared(id) => self.trie.get(*id).mmu,
+                    SeqBlock::Pending { mmu } => *mmu,
+                });
+            }
+        }
+        owners.push(seq.0);
+        let mut tables: BTreeMap<(u16, u16, StreamClass), Vec<u32>> = BTreeMap::new();
+        for owner in owners {
+            for (key, sizes) in self.mmu.request_stream_sizes(owner) {
+                tables
+                    .entry((key.layer, key.head, key.class))
+                    .or_default()
+                    .extend(sizes);
+            }
+        }
+        let mut payload = oaken_mmu::TransferPayload {
+            streams: tables
+                .into_iter()
+                .map(|((layer, head, class), sizes)| oaken_mmu::StreamPayload {
+                    layer,
+                    head,
+                    class,
+                    sizes,
+                })
+                .collect(),
+            bytes: 0,
+            checksum: 0,
+        };
+        payload.seal();
+        // Source-side teardown, exactly as free_seq.
+        let mut slots = self.seqs.remove(&seq.0).expect("checked above");
+        self.mmu
+            .free_request(seq.0)
+            .expect("pool-owned pages cannot double-free");
+        if let Some(plan) = slots.plan.take() {
+            for block in plan.blocks.into_iter().rev() {
+                match block {
+                    SeqBlock::Pending { mmu } => {
+                        self.mmu
+                            .free_request(mmu)
+                            .expect("pending pages are exclusively owned");
+                    }
+                    SeqBlock::Shared(id) => {
+                        self.release_shared_block(id);
+                    }
+                }
+            }
+        }
+        slots.pages = 0;
+        Ok(KvTransfer { slots, payload })
+    }
+
+    /// Whether [`import_seq`](Self::import_seq) would accept `transfer`
+    /// right now — the capacity pre-flight a cluster's transfer clock
+    /// polls before committing a handoff (so a full host tier delays the
+    /// transfer instead of dropping it).
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::OutOfHostPages`] when the host tier lacks room for
+    /// the payload's page charge.
+    pub fn can_import(&self, transfer: &KvTransfer) -> Result<(), PoolError> {
+        let needed = transfer.payload.pages_needed(self.page_size());
+        let free = self.host_free_pages();
+        if needed > free {
+            return Err(PoolError::OutOfHostPages { needed, free });
+        }
+        Ok(())
+    }
+
+    /// Imports a [`KvTransfer`] from another pool: the payload lands as a
+    /// frozen entry of this pool's **host tier** under a fresh local
+    /// sequence id (returned), and the slots park in the suspended map —
+    /// the imported sequence is indistinguishable from one
+    /// [`suspend_seq`](Self::suspend_seq) froze locally, so the normal
+    /// [`resume_seq`](Self::resume_seq) machinery (and the serving
+    /// engine's resume queue, with its priority, backoff, and demotion
+    /// rules) activates it. The transfer's checksum is asserted before
+    /// any state lands (see [`MmuSim::import_frozen`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the transfer back untouched with
+    /// [`PoolError::OutOfHostPages`] when the host tier lacks room (the
+    /// caller retries later) or [`PoolError::Fault`] when the installed
+    /// fault schedule fails the host charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the transfer's geometry disagrees with this pool
+    /// (layer count or kernel mode) — cluster engines must share a model
+    /// and kernel configuration — or when the payload fails its checksum.
+    #[allow(clippy::result_large_err)]
+    pub fn import_seq(
+        &mut self,
+        transfer: KvTransfer,
+    ) -> Result<(SeqId, SwapReceipt), (KvTransfer, PoolError)> {
+        assert_eq!(
+            transfer.slots.slots.len(),
+            self.num_layers,
+            "imported sequence's layer count disagrees with this pool"
+        );
+        for pair in &transfer.slots.slots {
+            for slot in pair {
+                assert_eq!(
+                    slot.fused,
+                    self.kernel == KernelMode::Fused,
+                    "imported sequence's kernel mode disagrees with this pool"
+                );
+            }
+        }
+        // The landing charges the host tier: injectable, polled before
+        // anything mutates (the transfer is handed back for a retry).
+        if let Some(kind) = self.mmu.poll_fault(FaultOp::HostAlloc) {
+            return Err((
+                transfer,
+                PoolError::Fault {
+                    op: FaultOp::HostAlloc,
+                    kind,
+                },
+            ));
+        }
+        if let Err(e) = self.can_import(&transfer) {
+            return Err((transfer, e));
+        }
+        let id = self.next_id;
+        let receipt = match self.mmu.import_frozen(id, &transfer.payload) {
+            Ok(r) => r,
+            Err(oaken_mmu::SwapError::OutOfHostPages { needed, free }) => {
+                return Err((transfer, PoolError::OutOfHostPages { needed, free }))
+            }
+            Err(e) => panic!("import pre-flight missed {e}"),
+        };
+        self.next_id += 1;
+        let mut slots = transfer.slots;
+        slots.pages = 0;
+        debug_assert!(slots.plan.is_none(), "exports are flattened");
+        self.suspended.insert(
+            id,
+            SuspendedSeq {
+                slots,
+                frozen_pages: receipt.pages,
+            },
+        );
+        Ok((SeqId(id), receipt))
     }
 
     /// Appends one token's K/V rows for `(seq, layer)`, quantizing them
@@ -2883,6 +3121,107 @@ mod tests {
         assert_eq!(stats.bytes_to_host, stats.bytes_to_device);
         pool.free_seq(s.seq).unwrap();
         assert_eq!(pool.free_pages(), pool.capacity_pages());
+    }
+
+    #[test]
+    fn export_import_handoff_is_bit_exact_across_pools() {
+        let layers = 2;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let q = oaken(d, layers);
+        let mut src = PagedKvPool::for_model(&cfg, Some(q.clone()), 2048, 512);
+        src.set_block_tokens(4);
+        let prompt: Vec<u32> = (0..13).collect();
+
+        // Seal the prefix once, then let the exported sequence adopt it:
+        // the export path must flatten shared trie blocks into a fully
+        // private payload.
+        let warm = src.alloc_seq_with_prefix(&prompt);
+        feed_prompt(&mut src, warm.seq, layers, d, 0, prompt.len());
+        let s = src.alloc_seq_with_prefix(&prompt);
+        assert_eq!(s.matched_tokens, 12, "three blocks adopted");
+        feed_prompt(&mut src, s.seq, layers, d, 12, prompt.len() + 2);
+
+        let fed = prompt.len() + 2;
+        let transfer = src.export_seq(s.seq).unwrap();
+        assert_eq!(transfer.tokens(), fed, "every row ships, adopted included");
+        assert!(transfer.wire_bytes() > transfer.payload().bytes);
+        // Source side is torn down exactly like free_seq.
+        assert!(!src.is_live(s.seq) && !src.is_suspended(s.seq));
+        assert!(matches!(
+            src.export_seq(s.seq),
+            Err(PoolError::UnknownSequence { .. })
+        ));
+        assert_balanced(&src);
+        src.free_seq(warm.seq).unwrap();
+        assert_eq!(src.free_pages(), src.capacity_pages());
+
+        // Land on a cold destination pool and resume through the normal
+        // suspended-sequence machinery.
+        let mut dst = PagedKvPool::for_model(&cfg, Some(q.clone()), 2048, 512);
+        dst.set_block_tokens(4);
+        dst.can_import(&transfer).unwrap();
+        let (seq, receipt) = dst.import_seq(transfer).unwrap();
+        assert!(receipt.pages > 0 && receipt.bytes > 0);
+        assert!(dst.is_suspended(seq));
+        assert_eq!(dst.host_pages_used(), receipt.pages);
+        let back = dst.resume_seq(seq).unwrap();
+        assert_eq!(back.pages, receipt.pages);
+        assert_eq!(back.bytes, receipt.bytes);
+        assert_balanced(&dst);
+
+        // The imported history and its continuation are bit-exact with an
+        // uninterrupted cache fed the same rows.
+        feed_prompt(&mut dst, seq, layers, d, fed, fed + 3);
+        let mut cache = QuantizedCache::new(q);
+        cache.reset(layers, d);
+        for pos in 0..fed + 3 {
+            let (k, v) = kv_for_pos(d, pos);
+            for layer in 0..layers {
+                cache.append(layer, &k, &v);
+            }
+        }
+        for layer in 0..layers {
+            let a: Vec<u32> = dst.keys(seq, layer).iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = cache.keys(layer).iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "keys diverged after handoff (layer {layer})");
+            let a: Vec<u32> = dst.values(seq, layer).iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = cache.values(layer).iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "values diverged after handoff (layer {layer})");
+        }
+        dst.free_seq(seq).unwrap();
+        assert_eq!(dst.free_pages(), dst.capacity_pages());
+    }
+
+    #[test]
+    fn rejected_import_hands_the_transfer_back() {
+        let layers = 1;
+        let d = 64;
+        let cfg = tiny_config(layers, 2, 32);
+        let q = oaken(d, layers);
+        let mut src = PagedKvPool::for_model(&cfg, Some(q.clone()), 2048, 512);
+        let s = src.alloc_seq();
+        feed_prompt(&mut src, s, layers, d, 0, 12);
+        let transfer = src.export_seq(s).unwrap();
+
+        // A destination whose host tier is too small refuses the landing
+        // and hands the transfer back for a later retry.
+        let mut tiny = PagedKvPool::for_model(&cfg, Some(q.clone()), 2, 256);
+        let needed = transfer.payload().pages_needed(tiny.page_size());
+        assert!(needed > 2);
+        assert!(matches!(
+            tiny.can_import(&transfer),
+            Err(PoolError::OutOfHostPages { .. })
+        ));
+        let (transfer, err) = tiny.import_seq(transfer).unwrap_err();
+        assert!(matches!(err, PoolError::OutOfHostPages { .. }));
+        assert_eq!(tiny.host_pages_used(), 0, "nothing landed");
+
+        // The returned transfer is intact: a roomier pool accepts it.
+        let mut dst = PagedKvPool::for_model(&cfg, Some(q), 2048, 512);
+        let (seq, _) = dst.import_seq(transfer).unwrap();
+        dst.resume_seq(seq).unwrap();
+        assert_eq!(dst.seq_len(seq, 0), 12);
     }
 
     #[test]

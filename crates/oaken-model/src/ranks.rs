@@ -46,7 +46,7 @@ use crate::cache::KernelMode;
 use crate::config::{ModelConfig, Positional};
 use crate::ffn::{DenseFfn, FfnWeights};
 use crate::model::{BatchStep, Model};
-use crate::pool::{KvReadStats, PagedKvPool, PoolError, PrefixAlloc, SeqId};
+use crate::pool::{KvReadStats, KvTransfer, PagedKvPool, PoolError, PrefixAlloc, SeqId};
 use crate::trie::PrefixStats;
 use oaken_core::kernel::{EncodedReadPlan, FusedReadParams};
 use oaken_core::FusedVector;
@@ -305,12 +305,11 @@ impl RankedPools {
             return self.pools[0].suspend_seq(seq);
         }
         let mut done: Vec<usize> = Vec::new();
-        let mut total = SwapReceipt { pages: 0, bytes: 0 };
+        let mut total = SwapReceipt::default();
         for r in (1..self.pools.len()).chain([0]) {
             match self.pools[r].suspend_seq(seq) {
                 Ok(receipt) => {
-                    total.pages += receipt.pages;
-                    total.bytes += receipt.bytes;
+                    total.merge(receipt);
                     done.push(r);
                 }
                 Err(e) => {
@@ -333,12 +332,11 @@ impl RankedPools {
     /// to the host tier and surfaces the error.
     pub fn resume_seq(&mut self, seq: SeqId) -> Result<SwapReceipt, PoolError> {
         let mut done: Vec<usize> = Vec::new();
-        let mut total = SwapReceipt { pages: 0, bytes: 0 };
+        let mut total = SwapReceipt::default();
         for r in 0..self.pools.len() {
             match self.pools[r].resume_seq(seq) {
                 Ok(receipt) => {
-                    total.pages += receipt.pages;
-                    total.bytes += receipt.bytes;
+                    total.merge(receipt);
                     done.push(r);
                 }
                 Err(e) => {
@@ -357,6 +355,86 @@ impl RankedPools {
     /// Device pages a suspended sequence needs on rank `r` to resume.
     pub fn suspended_seq_pages(&self, r: usize, seq: SeqId) -> u32 {
         self.pools[r].suspended_seq_pages(seq)
+    }
+
+    /// Exports a sequence from every rank as one [`KvTransfer`] per
+    /// shard, in rank order — the send side of a cross-engine handoff.
+    /// Export is teardown (each shard frees the sequence), so it probes
+    /// the lead shard's liveness first and otherwise changes nothing;
+    /// past that probe the per-rank exports are infallible.
+    pub fn export_seq(&mut self, seq: SeqId) -> Result<Vec<KvTransfer>, PoolError> {
+        if !self.pools[0].is_live(seq) {
+            return Err(PoolError::UnknownSequence { seq });
+        }
+        Ok(self
+            .pools
+            .iter_mut()
+            .map(|p| {
+                p.export_seq(seq)
+                    .expect("rank pools hold sequences in lockstep")
+            })
+            .collect())
+    }
+
+    /// Whether every rank can land its shard of `transfers` right now
+    /// (the cluster's transfer clock polls this before committing).
+    pub fn can_import(&self, transfers: &[KvTransfer]) -> Result<(), PoolError> {
+        assert_eq!(
+            transfers.len(),
+            self.pools.len(),
+            "a transfer carries one shard per rank"
+        );
+        for (p, t) in self.pools.iter().zip(transfers) {
+            p.can_import(t)?;
+        }
+        Ok(())
+    }
+
+    /// Imports one [`KvTransfer`] per rank (produced by
+    /// [`export_seq`](Self::export_seq) on a pool fleet with the same
+    /// rank count), landing each shard in its rank's host tier under one
+    /// lockstep sequence id. Every rank's capacity is pre-checked before
+    /// any shard lands, so a rejection hands the transfers back untouched
+    /// — there is no partial import to roll back.
+    #[allow(clippy::type_complexity, clippy::result_large_err)]
+    pub fn import_seq(
+        &mut self,
+        transfers: Vec<KvTransfer>,
+    ) -> Result<(SeqId, SwapReceipt), (Vec<KvTransfer>, PoolError)> {
+        if let Err(e) = self.can_import(&transfers) {
+            return Err((transfers, e));
+        }
+        let mut total = SwapReceipt::default();
+        let mut id = None;
+        let mut pending = transfers.into_iter();
+        for r in 0..self.pools.len() {
+            let t = pending.next().expect("length asserted above");
+            match self.pools[r].import_seq(t) {
+                Ok((seq, receipt)) => {
+                    match id {
+                        None => id = Some(seq),
+                        Some(first) => assert_eq!(
+                            seq, first,
+                            "rank pools assign imported sequence ids in lockstep"
+                        ),
+                    }
+                    total.merge(receipt);
+                }
+                Err((t, e)) => {
+                    // Only the lead shard carries fault injectors, and it
+                    // imports first — no follower state to unwind, and the
+                    // untouched shards hand straight back.
+                    assert!(
+                        r == 0 && id.is_none(),
+                        "follower imports cannot fail past the capacity pre-check"
+                    );
+                    let mut back = vec![t];
+                    back.extend(pending);
+                    return Err((back, e));
+                }
+            }
+        }
+        Ok((id.expect("at least one rank"), total))
     }
 
     /// Installs a fault plan on the **lead shard only**: one logical

@@ -34,12 +34,14 @@
 //! by `tests/service_props.rs`.
 
 pub mod batcher;
+pub mod clock;
 pub mod metrics;
 pub mod service;
 pub mod session;
 pub mod workload;
 
 pub use batcher::Batcher;
+pub use clock::{clock_tick, ArrivalQueue, ClockHooks};
 pub use metrics::{ClassLatency, LatencyRecorder, Percentiles};
 pub use service::{serve, PoolDrain, ServiceClient, ServiceReport};
 pub use session::{SessionEnd, SessionHandle, SessionResult, StreamEvent, StreamToken};

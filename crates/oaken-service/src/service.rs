@@ -12,19 +12,14 @@
 //! blocked in `Batcher::wait` — nothing running, nothing scheduled —
 //! the clock is *frozen*: live idle time never pollutes latency numbers.
 //!
-//! Each tick runs the same protocol, and
-//! [`replay_open_loop_direct`](crate::workload::replay_open_loop_direct)
-//! mirrors it verbatim against a bare engine, which is what makes
-//! service-vs-direct bit-exactness assertable:
-//!
-//! 1. drain the mailbox (blocking only when fully idle);
-//! 2. inject every scheduled arrival with `arrival <= clock`, in
-//!    `(arrival, submission order)` order, then apply every due cancel;
-//! 3. `engine.step()` once;
-//! 4. deliver this step's token events and terminal outcomes, stamped
-//!    with the current (pre-increment) clock;
-//! 5. advance the clock iff the step progressed or arrivals remain
-//!    scheduled.
+//! Each tick runs the protocol of [`crate::clock`] — *the same code*
+//! that [`replay_open_loop_direct`](crate::workload::replay_open_loop_direct)
+//! and the disaggregated cluster drive, which is what makes
+//! service-vs-direct bit-exactness assertable: drain the mailbox
+//! (blocking only when fully idle), then one [`clock_tick`] — inject due
+//! arrivals in `(arrival, submission order)` order, apply due cancels,
+//! step, deliver stamped with the pre-increment clock, advance iff
+//! progressed or arrivals remain scheduled.
 //!
 //! Token delivery dedups by decode index: an evicted-and-restarted
 //! request re-emits its already-delivered tokens bit-identically, and the
@@ -32,6 +27,7 @@
 //! streams are append-only even under preemption.
 
 use crate::batcher::{Batcher, Command, Submission};
+use crate::clock::{clock_tick, ArrivalQueue, ClockHooks};
 use crate::session::{SessionEnd, SessionHandle, StreamEvent, StreamToken};
 use oaken_model::{KernelMode, Model, PagedKvPool};
 use oaken_serving::{
@@ -221,6 +217,73 @@ struct SessionState {
     delivered: usize,
 }
 
+/// The engine thread's side of the tick protocol: session registration
+/// on injection, channel delivery on the way out.
+#[derive(Default)]
+struct ServiceHooks {
+    sessions: HashMap<u64, SessionState>,
+    finished_seen: usize,
+}
+
+impl ClockHooks<Submission> for ServiceHooks {
+    fn id_of(&self, sub: &Submission) -> u64 {
+        sub.req.id
+    }
+
+    fn inject(&mut self, engine: &mut BatchEngine<'_>, sub: Submission) {
+        self.sessions.insert(
+            sub.req.id,
+            SessionState {
+                tx: sub.tx,
+                delivered: 0,
+            },
+        );
+        engine.submit(sub.req);
+    }
+
+    fn cancelled_parked(&mut self, sub: Submission, clock: u64) {
+        // Still parked in the batcher schedule: never reaches the engine
+        // at all; resolved client-side.
+        let _ = sub.tx.send(StreamEvent::Done(SessionEnd {
+            outcome: RequestOutcome::Cancelled,
+            generated: Vec::new(),
+            ttft_iteration: 0,
+            preemptions: 0,
+            clock,
+        }));
+    }
+
+    fn deliver(&mut self, engine: &mut BatchEngine<'_>, clock: u64) {
+        // This step's tokens, deduped by decode index.
+        for ev in engine.take_token_events() {
+            if let Some(s) = self.sessions.get_mut(&ev.id) {
+                if ev.index == s.delivered {
+                    s.delivered += 1;
+                    let _ = s.tx.send(StreamEvent::Token(StreamToken {
+                        index: ev.index,
+                        token: ev.token,
+                        clock,
+                    }));
+                }
+            }
+        }
+        // Terminals (a cancel may have retired requests even when the
+        // step itself was a no-op).
+        for fr in &engine.finished()[self.finished_seen..] {
+            if let Some(s) = self.sessions.remove(&fr.id) {
+                let _ = s.tx.send(StreamEvent::Done(SessionEnd {
+                    outcome: fr.outcome,
+                    generated: fr.generated.clone(),
+                    ttft_iteration: fr.ttft_iteration,
+                    preemptions: fr.preemptions,
+                    clock,
+                }));
+            }
+        }
+        self.finished_seen = engine.finished().len();
+    }
+}
+
 fn engine_loop(
     model: &Model,
     pool: PagedKvPool,
@@ -230,19 +293,14 @@ fn engine_loop(
 ) -> ServiceReport {
     let mut engine = BatchEngine::new(model, pool, scheduler, config);
     let mut clock: u64 = 0;
-    let mut next_seq: u64 = 0;
-    // Scheduled-but-not-yet-injected submissions, keyed for stable
-    // `(arrival, submission order)` injection.
-    let mut pending: Vec<(u64, u64, Submission)> = Vec::new();
-    let mut cancels: Vec<(u64, u64)> = Vec::new(); // (due tick, id)
-    let mut sessions: HashMap<u64, SessionState> = HashMap::new();
-    let mut finished_seen = 0usize;
+    let mut queue: ArrivalQueue<Submission> = ArrivalQueue::new();
+    let mut hooks = ServiceHooks::default();
     let mut shutdown = false;
 
     loop {
         let engine_idle =
             engine.active_len() == 0 && engine.queue_len() == 0 && engine.resume_len() == 0;
-        let idle = engine_idle && pending.is_empty();
+        let idle = engine_idle && !queue.has_pending();
         // Only a fully idle engine blocks — the clock is frozen in
         // `wait`, so live idle gaps never inflate latency numbers.
         let (cmds, sd) = if idle && !shutdown {
@@ -254,19 +312,20 @@ fn engine_loop(
         for cmd in cmds {
             match cmd {
                 Command::Submit(sub) => {
+                    // Live submissions arrive "now"; scheduled ones in the
+                    // past are clamped to now.
                     let arrival = sub.arrival.unwrap_or(clock).max(clock);
-                    pending.push((arrival, next_seq, sub));
-                    next_seq += 1;
+                    queue.schedule(arrival, sub);
                 }
                 Command::Cancel { id, at } => {
-                    cancels.push((at.unwrap_or(clock).max(clock), id));
+                    queue.schedule_cancel(at.unwrap_or(clock).max(clock), id);
                 }
             }
         }
-        if engine_idle && pending.is_empty() {
+        if engine_idle && !queue.has_pending() {
             // Nothing a cancel could still target; drop strays so they
             // cannot wedge the shutdown test below.
-            cancels.clear();
+            queue.clear_cancels();
             if shutdown {
                 break;
             }
@@ -275,87 +334,13 @@ fn engine_loop(
             continue;
         }
 
-        // Inject due arrivals in (arrival, submission order) order — the
-        // exact order `replay_open_loop_direct` mirrors.
-        pending.sort_by_key(|&(arrival, seq, _)| (arrival, seq));
-        let mut i = 0;
-        while i < pending.len() {
-            if pending[i].0 <= clock {
-                let (_, _, sub) = pending.remove(i);
-                sessions.insert(
-                    sub.req.id,
-                    SessionState {
-                        tx: sub.tx,
-                        delivered: 0,
-                    },
-                );
-                engine.submit(sub.req);
-            } else {
-                i += 1;
-            }
-        }
-        // Then due cancels — after arrivals, so a cancel scripted for a
-        // request's own arrival tick catches it in the engine queue.
-        let mut j = 0;
-        while j < cancels.len() {
-            if cancels[j].0 <= clock {
-                let (_, id) = cancels.remove(j);
-                if let Some(p) = pending.iter().position(|(_, _, s)| s.req.id == id) {
-                    // Still parked in the batcher schedule: never reaches
-                    // the engine at all.
-                    let (_, _, sub) = pending.remove(p);
-                    let _ = sub.tx.send(StreamEvent::Done(SessionEnd {
-                        outcome: RequestOutcome::Cancelled,
-                        generated: Vec::new(),
-                        ttft_iteration: 0,
-                        preemptions: 0,
-                        clock,
-                    }));
-                } else {
-                    engine.cancel(id);
-                }
-            } else {
-                j += 1;
-            }
-        }
-
-        let progressed = engine.step();
-
-        // Deliver this step's tokens, deduped by decode index, stamped
-        // with the pre-increment clock.
-        for ev in engine.take_token_events() {
-            if let Some(s) = sessions.get_mut(&ev.id) {
-                if ev.index == s.delivered {
-                    s.delivered += 1;
-                    let _ = s.tx.send(StreamEvent::Token(StreamToken {
-                        index: ev.index,
-                        token: ev.token,
-                        clock,
-                    }));
-                }
-            }
-        }
-        // Deliver terminals (cancel() above may have retired requests
-        // even when the step itself was a no-op).
-        for fr in &engine.finished()[finished_seen..] {
-            if let Some(s) = sessions.remove(&fr.id) {
-                let _ = s.tx.send(StreamEvent::Done(SessionEnd {
-                    outcome: fr.outcome,
-                    generated: fr.generated.clone(),
-                    ttft_iteration: fr.ttft_iteration,
-                    preemptions: fr.preemptions,
-                    clock,
-                }));
-            }
-        }
-        finished_seen = engine.finished().len();
-
-        if progressed || !pending.is_empty() {
-            clock += 1;
-        }
+        clock_tick(&mut engine, &mut clock, &mut queue, &mut hooks);
     }
 
-    debug_assert!(sessions.is_empty(), "all sessions reach a terminal state");
+    debug_assert!(
+        hooks.sessions.is_empty(),
+        "all sessions reach a terminal state"
+    );
     ServiceReport {
         stats: engine.stats().clone(),
         drain: engine.rank_pools().iter().map(PoolDrain::capture).collect(),

@@ -9,14 +9,15 @@
 //! a pure function of its seed and every run of it is reproducible.
 //!
 //! [`replay_open_loop_direct`] feeds the same `(request, arrival)`
-//! schedule straight into a bare [`BatchEngine`], mirroring the engine
-//! thread's tick protocol verbatim (see `crate::service`): inject due
-//! arrivals in `(arrival, index)` order, apply due cancels, step, stamp
-//! deliveries with the pre-increment clock, advance iff progressed or
-//! arrivals remain. With the determinism contract the engine already
-//! guarantees, this makes "service == direct" a bit-exact assertion, not
-//! a statistical one.
+//! schedule straight into a bare [`BatchEngine`], driven by the *same*
+//! tick-protocol implementation the engine thread runs
+//! ([`crate::clock`]): inject due arrivals in `(arrival, index)` order,
+//! apply due cancels, step, stamp deliveries with the pre-increment
+//! clock, advance iff progressed or arrivals remain. With the
+//! determinism contract the engine already guarantees, this makes
+//! "service == direct" a bit-exact assertion, not a statistical one.
 
+use crate::clock::{clock_tick, ArrivalQueue, ClockHooks};
 use oaken_model::{Model, PagedKvPool};
 use oaken_serving::{
     BatchEngine, EngineConfig, EngineRequest, EngineStats, FinishedRequest, TokenScheduler,
@@ -169,81 +170,77 @@ pub fn replay_open_loop_direct(
     schedule: Vec<(EngineRequest, u64)>,
     cancels: &[(u64, u64)],
 ) -> DirectReplay {
+    /// The replay's side of the tick protocol: bare submission on
+    /// injection, timing records on delivery.
+    struct ReplayHooks {
+        timings: HashMap<u64, RequestTiming>,
+    }
+
+    impl ClockHooks<EngineRequest> for ReplayHooks {
+        fn id_of(&self, req: &EngineRequest) -> u64 {
+            req.id
+        }
+
+        fn inject(&mut self, engine: &mut BatchEngine<'_>, req: EngineRequest) {
+            engine.submit(req);
+        }
+
+        fn cancelled_parked(&mut self, req: EngineRequest, _clock: u64) {
+            // Cancelled while still schedule-parked: the service resolves
+            // it client-side; here it simply never runs.
+            self.timings.remove(&req.id);
+        }
+
+        fn deliver(&mut self, engine: &mut BatchEngine<'_>, clock: u64) {
+            for ev in engine.take_token_events() {
+                if let Some(t) = self.timings.get_mut(&ev.id) {
+                    if ev.index == t.tokens.len() {
+                        t.tokens.push(ev.token);
+                        t.token_clocks.push(clock);
+                    }
+                }
+            }
+        }
+    }
+
     let mut engine = BatchEngine::new(model, pool, scheduler, config);
     let order: Vec<u64> = schedule.iter().map(|(req, _)| req.id).collect();
-    let mut pending: Vec<(u64, u64, EngineRequest)> = schedule
-        .into_iter()
-        .enumerate()
-        .map(|(i, (req, arrival))| (arrival, i as u64, req))
-        .collect();
-    pending.sort_by_key(|&(arrival, seq, _)| (arrival, seq));
-    let mut cancels: Vec<(u64, u64)> = cancels.to_vec();
-    let mut timings: HashMap<u64, RequestTiming> = pending
-        .iter()
-        .map(|&(arrival, _, ref req)| {
-            (
-                req.id,
-                RequestTiming {
-                    id: req.id,
-                    arrival,
-                    tokens: Vec::new(),
-                    token_clocks: Vec::new(),
-                },
-            )
-        })
-        .collect();
+    let mut queue: ArrivalQueue<EngineRequest> = ArrivalQueue::new();
+    let mut hooks = ReplayHooks {
+        timings: HashMap::new(),
+    };
+    for (req, arrival) in schedule {
+        hooks.timings.insert(
+            req.id,
+            RequestTiming {
+                id: req.id,
+                arrival,
+                tokens: Vec::new(),
+                token_clocks: Vec::new(),
+            },
+        );
+        queue.schedule(arrival, req);
+    }
+    for &(at, id) in cancels {
+        queue.schedule_cancel(at, id);
+    }
     let mut clock: u64 = 0;
 
     loop {
         let engine_idle =
             engine.active_len() == 0 && engine.queue_len() == 0 && engine.resume_len() == 0;
-        if engine_idle && pending.is_empty() {
+        if engine_idle && !queue.has_pending() {
             break;
         }
-
-        let mut i = 0;
-        while i < pending.len() {
-            if pending[i].0 <= clock {
-                let (_, _, req) = pending.remove(i);
-                engine.submit(req);
-            } else {
-                i += 1;
-            }
-        }
-        let mut j = 0;
-        while j < cancels.len() {
-            if cancels[j].0 <= clock {
-                let (_, id) = cancels.remove(j);
-                if let Some(p) = pending.iter().position(|(_, _, r)| r.id == id) {
-                    // Cancelled while still schedule-parked: the service
-                    // resolves it client-side; here it simply never runs.
-                    pending.remove(p);
-                    timings.remove(&id);
-                } else {
-                    engine.cancel(id);
-                }
-            } else {
-                j += 1;
-            }
-        }
-
-        let progressed = engine.step();
-        for ev in engine.take_token_events() {
-            if let Some(t) = timings.get_mut(&ev.id) {
-                if ev.index == t.tokens.len() {
-                    t.tokens.push(ev.token);
-                    t.token_clocks.push(clock);
-                }
-            }
-        }
-        if progressed || !pending.is_empty() {
-            clock += 1;
-        }
+        clock_tick(&mut engine, &mut clock, &mut queue, &mut hooks);
     }
 
     let finished = engine.finished().to_vec();
     let stats = engine.stats().clone();
-    let timings = order.iter().filter_map(|id| timings.remove(id)).collect();
+    let timings = order
+        .iter()
+        .filter_map(|id| hooks.timings.remove(id))
+        .collect();
     DirectReplay {
         finished,
         timings,

@@ -44,10 +44,10 @@
 use crate::scheduler::TokenScheduler;
 use oaken_model::{
     forward_batch_ranked, sample_greedy, BatchStep, FaultKind, FaultPlan, KernelMode, KvReadStats,
-    Model, PagedKvPool, PoolBatchView, PoolError, PrefixStats, RankedPools, SeqId,
+    KvTransfer, Model, PagedKvPool, PoolBatchView, PoolError, PrefixStats, RankedPools, SeqId,
 };
 use oaken_runtime::{Comm, CommStats, Runtime};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 /// Times a swap-out is retried after an injected transient fault before
 /// the victim demotes to evict-and-restart. Persistent faults demote
@@ -353,6 +353,40 @@ pub struct FinishedRequest {
     pub outcome: RequestOutcome,
 }
 
+/// A retired request's frozen KV plus everything a peer engine needs to
+/// continue decoding it — the unit a disaggregated cluster ships from a
+/// prefill engine to a decode engine (one [`KvTransfer`] per rank shard).
+///
+/// Produced by [`BatchEngine::take_exports`] for requests previously
+/// tagged with [`BatchEngine::mark_for_export`]; consumed by
+/// [`BatchEngine::ingest_frozen`] on the destination. The destination
+/// continues bit-exactly: the KV holds exactly `request.prompt.len()`
+/// rows (the first decode token was sampled but never fed), so decoding
+/// picks up at the same position a monolithic engine would.
+#[derive(Debug)]
+pub struct KvExport {
+    /// The request as the exporting engine ran it. A disaggregating
+    /// caller typically truncated `max_new_tokens` to 1 for the prefill
+    /// leg and restores the original before ingesting.
+    pub request: EngineRequest,
+    /// Tokens decoded before export (the prefill leg's first token).
+    pub generated: Vec<u32>,
+    /// Decode-phase logits, present when `record_logits` was set.
+    pub logits: Vec<Vec<f32>>,
+    /// Exporting engine's iteration of the first decode token.
+    pub ttft_iteration: u64,
+    /// One flattened KV transfer per rank shard, in rank order.
+    pub transfers: Vec<KvTransfer>,
+}
+
+impl KvExport {
+    /// Total bytes on the modeled wire: every shard's payload plus its
+    /// self-describing size tables.
+    pub fn wire_bytes(&self) -> u64 {
+        self.transfers.iter().map(|t| t.wire_bytes()).sum()
+    }
+}
+
 /// Aggregate counters over one engine run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineStats {
@@ -425,6 +459,13 @@ pub struct EngineStats {
     /// because the host tier was full, a swap fault exhausted its
     /// retries, or a persistent fault made retrying futile.
     pub demotions: u64,
+    /// Requests retired as [`KvExport`]s instead of finishing locally
+    /// (disaggregated prefill legs).
+    pub exports: u64,
+    /// Frozen KV handoffs accepted via [`BatchEngine::ingest_frozen`].
+    pub imports: u64,
+    /// Modeled wire bytes across all exports (payload + size tables).
+    pub export_wire_bytes: u64,
     /// Requests cancelled via [`BatchEngine::cancel`].
     pub cancellations: u64,
     /// Requests killed by the [`EngineConfig::max_iterations`] deadline.
@@ -584,6 +625,12 @@ pub struct BatchEngine<'m> {
     resume: VecDeque<SuspendedReq>,
     active: Vec<ActiveSeq>,
     finished: Vec<FinishedRequest>,
+    /// Request ids to retire as [`KvExport`]s instead of finishing.
+    export_marks: HashSet<u64>,
+    /// Exports produced but not yet drained by [`take_exports`].
+    ///
+    /// [`take_exports`]: Self::take_exports
+    exports: Vec<KvExport>,
     /// Decode tokens emitted since the last [`take_token_events`] drain
     /// (bounded by the workload's total decode tokens when never drained).
     ///
@@ -648,6 +695,8 @@ impl<'m> BatchEngine<'m> {
             resume: VecDeque::new(),
             active: Vec::new(),
             finished: Vec::new(),
+            export_marks: HashSet::new(),
+            exports: Vec::new(),
             emitted: Vec::new(),
             stats,
         }
@@ -812,6 +861,102 @@ impl<'m> BatchEngine<'m> {
             .iter()
             .find(|a| a.req.id == id)
             .map(|a| (a.pos, a.req.prompt.len()))
+    }
+
+    /// Tags request `id` to retire as a [`KvExport`] instead of entering
+    /// the finished list — the prefill leg of a disaggregated cluster
+    /// marks each request at submit time and drains
+    /// [`take_exports`](Self::take_exports) after each step. A mark on a
+    /// request that ends any other way (failed, cancelled, deadline) is
+    /// simply never consumed: those requests finish locally.
+    pub fn mark_for_export(&mut self, id: u64) {
+        self.export_marks.insert(id);
+    }
+
+    /// Drains the [`KvExport`]s produced by marked requests since the
+    /// last call (in retirement order).
+    pub fn take_exports(&mut self) -> Vec<KvExport> {
+        std::mem::take(&mut self.exports)
+    }
+
+    /// Accepts a peer engine's [`KvExport`]: each rank shard lands in
+    /// this engine's host tier, and the request parks in the resume
+    /// queue — strict priority over fresh admissions, identical to a
+    /// locally suspended sequence — to thaw and continue decoding
+    /// bit-exactly where the exporter stopped. If the resume later
+    /// demotes to evict-and-restart (capacity pressure, injected swap
+    /// faults), the request re-prefills here and regenerates the same
+    /// tokens; consumers dedupe the re-emitted indices as usual.
+    ///
+    /// # Errors
+    ///
+    /// Hands the export back untouched when a rank's host tier lacks room
+    /// ([`PoolError::OutOfHostPages`] — retry after pages free) or the
+    /// injected fault schedule rejects the landing ([`PoolError::Fault`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the export does not match this engine (rank count,
+    /// layer count, kernel mode, or a row count disagreeing with the
+    /// prompt), or fails its payload checksum — a corrupted or truncated
+    /// transfer never lands silently.
+    #[allow(clippy::result_large_err)]
+    pub fn ingest_frozen(&mut self, export: KvExport) -> Result<(), (KvExport, PoolError)> {
+        assert_eq!(
+            export.transfers.len(),
+            self.pools.num_ranks(),
+            "an export carries one transfer per rank"
+        );
+        assert!(
+            !export.generated.is_empty(),
+            "an export continues decoding: the prefill leg samples at least one token"
+        );
+        let pos = export.request.prompt.len();
+        for t in &export.transfers {
+            assert_eq!(
+                t.tokens(),
+                pos,
+                "an export's KV holds exactly the prompt rows on every shard"
+            );
+        }
+        let KvExport {
+            request,
+            generated,
+            logits,
+            ttft_iteration,
+            transfers,
+        } = export;
+        match self.pools.import_seq(transfers) {
+            Ok((seq, _receipt)) => {
+                self.stats.imports += 1;
+                self.resume.push_back(SuspendedReq {
+                    req: request,
+                    seq,
+                    pos,
+                    generated,
+                    logits,
+                    preemptions: 0,
+                    ttft_iteration,
+                    reached: pos,
+                    suspended_at: self.stats.iterations,
+                    born: self.stats.iterations,
+                    fault_restarts: 0,
+                    retries: 0,
+                    retry_at: 0,
+                });
+                Ok(())
+            }
+            Err((transfers, e)) => Err((
+                KvExport {
+                    request,
+                    generated,
+                    logits,
+                    ttft_iteration,
+                    transfers,
+                },
+                e,
+            )),
+        }
     }
 
     /// Runs one engine iteration: admit (prefix-probed), reserve capacity
@@ -1515,6 +1660,27 @@ impl<'m> BatchEngine<'m> {
                 continue;
             }
             let a = self.active.remove(i);
+            if self.export_marks.remove(&a.req.id) {
+                // Export *is* the teardown: every rank pool flattens and
+                // frees the sequence, and the request leaves through the
+                // export drain instead of the finished list — a peer
+                // engine finishes it.
+                let transfers = self
+                    .pools
+                    .export_seq(a.seq)
+                    .expect("retiring sequences are live in every rank pool");
+                let export = KvExport {
+                    request: a.req,
+                    generated: a.generated,
+                    logits: a.logits,
+                    ttft_iteration: a.ttft_iteration,
+                    transfers,
+                };
+                self.stats.exports += 1;
+                self.stats.export_wire_bytes += export.wire_bytes();
+                self.exports.push(export);
+                continue;
+            }
             self.teardown_seq(a.seq, false);
             self.finish_request(
                 a.req,
@@ -1624,6 +1790,66 @@ mod tests {
             classic.stats().iterations
         );
         assert!(chunked.stats().prefill_chunks < classic.stats().prefill_chunks);
+    }
+
+    #[test]
+    fn disaggregated_handoff_matches_monolithic_tokens() {
+        let m = tiny_model();
+        // Monolithic reference: one engine runs the request end to end.
+        let mut mono = engine_with_pages(&m, 512, EngineConfig::default());
+        mono.submit(req(7, 12, 5));
+        mono.run();
+        let want = mono.finished()[0].generated.clone();
+        assert_eq!(want.len(), 5);
+
+        // Prefill leg: same request truncated to one decode token,
+        // marked so it retires as an export instead of finishing.
+        let mut prefill = engine_with_pages(&m, 512, EngineConfig::default());
+        let mut r = req(7, 12, 5);
+        r.max_new_tokens = 1;
+        prefill.submit(r);
+        prefill.mark_for_export(7);
+        prefill.run();
+        assert!(
+            prefill.finished().is_empty(),
+            "exported requests do not finish locally"
+        );
+        assert_eq!(prefill.stats().exports, 1);
+        assert_eq!(
+            prefill.pool().free_pages(),
+            prefill.pool().capacity_pages(),
+            "export is teardown: every source page freed"
+        );
+        let mut exports = prefill.take_exports();
+        assert_eq!(exports.len(), 1);
+        assert!(prefill.take_exports().is_empty(), "drain empties");
+        let mut export = exports.pop().unwrap();
+        assert_eq!(export.generated, want[..1], "first token rides along");
+        assert!(export.wire_bytes() > 0);
+        assert_eq!(prefill.stats().export_wire_bytes, export.wire_bytes());
+        export.request.max_new_tokens = 5;
+
+        // Decode leg: ingest the frozen KV and finish the request
+        // without refeeding a single prompt token.
+        let mut decode = engine_with_pages(&m, 512, EngineConfig::default());
+        decode.ingest_frozen(export).unwrap();
+        decode.run();
+        let fin = decode.finished();
+        assert_eq!(fin.len(), 1);
+        assert!(fin[0].completed);
+        assert_eq!(fin[0].generated, want, "handoff is bit-exact");
+        assert_eq!(decode.stats().imports, 1);
+        assert_eq!(
+            decode.stats().swap_ins,
+            1,
+            "thawed through the resume queue"
+        );
+        assert_eq!(
+            decode.stats().prefill_tokens,
+            0,
+            "no prompt recompute on the decode leg"
+        );
+        assert_eq!(decode.pool().free_pages(), decode.pool().capacity_pages());
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod traces;
 
 pub use engine::{
     AdmissionPolicy, BatchEngine, EngineConfig, EngineRequest, EngineStats, FinishedRequest,
-    PreemptPolicy, RequestFailure, RequestOutcome, TokenEvent,
+    KvExport, PreemptPolicy, RequestFailure, RequestOutcome, TokenEvent,
 };
 pub use oaken_model::{FaultKind, FaultOp, FaultPlan, FaultStats, KernelMode, KvReadStats};
 pub use request::Request;

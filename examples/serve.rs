@@ -45,7 +45,18 @@
 //!   service-clock tick (default 0.3).
 //! * `--burst B` makes the open-loop arrivals bursty: groups of `B`
 //!   requests landing together, same long-run rate.
+//! * `--replicas N` runs the workload through the disaggregated cluster
+//!   (`oaken-cluster`): `N` prefill/decode engine pairs behind the
+//!   prefix-affinity router (`OAKEN_ROUTER` picks the policy), frozen KV
+//!   shipped prefill→decode over a modeled link. Prints the router and
+//!   transfer counters and checks every token stream against the
+//!   monolithic comparator run (default: the `OAKEN_REPLICAS` env knob;
+//!   values above 1 engage cluster mode, which ignores `--open-loop`,
+//!   `--fault-seed`, and `--deadline`).
+//! * `--transfer-cost B` sets the cluster link bandwidth in wire bytes
+//!   per service-clock tick (0 = instantaneous; implies cluster mode).
 
+use oaken::cluster::{run_cluster, run_monolithic, ClusterConfig, EngineRole, RouterPolicy};
 use oaken::core::OakenConfig;
 use oaken::eval::harness::profile_oaken;
 use oaken::model::{Model, ModelConfig, PagedKvPool};
@@ -130,6 +141,23 @@ fn main() {
         .position(|a| a == "--burst")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--burst takes a burst size"));
+    let replicas: usize = args
+        .iter()
+        .position(|a| a == "--replicas")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--replicas takes a positive integer"))
+        .unwrap_or_else(oaken::cluster::default_replicas);
+    assert!(replicas > 0, "--replicas takes a positive integer");
+    let transfer_cost: Option<u64> = args
+        .iter()
+        .position(|a| a == "--transfer-cost")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .expect("--transfer-cost takes wire bytes per tick")
+        });
+    let cluster_mode =
+        replicas > 1 || transfer_cost.is_some() || args.iter().any(|a| a == "--replicas");
     let spec = TraceSpec::conversation();
 
     // A proxy model small enough to execute for real; trace lengths are
@@ -201,6 +229,18 @@ fn main() {
         max_iterations: deadline,
         kernel,
     };
+
+    if cluster_mode {
+        run_cluster_mode(
+            &model,
+            &build_pool,
+            cfg,
+            requests,
+            replicas,
+            transfer_cost.unwrap_or(0),
+        );
+        return;
+    }
 
     if open_loop {
         run_open_loop(
@@ -328,6 +368,130 @@ fn main() {
             stats.deadline_kills
         );
     }
+}
+
+/// The `--replicas` path: the scaled trace as an open-loop schedule
+/// through the disaggregated cluster — prefill/decode engine pairs
+/// behind the prefix-affinity router with frozen-KV handoff over the
+/// modeled link — checked token-exact against the monolithic comparator
+/// run of the identical schedule.
+fn run_cluster_mode(
+    model: &Model,
+    build_pool: &dyn Fn() -> PagedKvPool,
+    mut cfg: EngineConfig,
+    requests: Vec<EngineRequest>,
+    replicas: usize,
+    transfer_cost: u64,
+) {
+    // Fault injection and deadlines are per-engine knobs; their schedules
+    // would differ between the cluster and the comparator, so cluster
+    // mode pins both off to keep the bit-exactness check meaningful.
+    cfg.fault_plan = None;
+    cfg.max_iterations = None;
+    let cluster_cfg = ClusterConfig {
+        replicas,
+        router: RouterPolicy::default_policy(),
+        transfer_bytes_per_tick: transfer_cost,
+        work_tokens_per_tick: 8,
+        scheduler_cores: 8,
+        engine: cfg,
+    };
+    let schedule: Vec<(EngineRequest, u64)> = requests
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (r, i as u64 * 3))
+        .collect();
+    println!(
+        "cluster mode: {replicas} prefill/decode pair(s) | router {:?} | link {} | arrivals 3 ticks apart\n",
+        cluster_cfg.router,
+        if transfer_cost == 0 {
+            "instantaneous".to_owned()
+        } else {
+            format!("{transfer_cost} B/tick")
+        },
+    );
+
+    let start = Instant::now();
+    let report = run_cluster(
+        model,
+        &cluster_cfg,
+        &mut |_: EngineRole, _: usize| build_pool(),
+        schedule.clone(),
+        &[],
+    );
+    let secs = start.elapsed().as_secs_f64();
+    let mono = run_monolithic(
+        model,
+        &cluster_cfg,
+        &mut |_: EngineRole, _: usize| build_pool(),
+        schedule,
+        &[],
+    );
+    for rec in &report.requests {
+        assert_eq!(
+            rec.tokens,
+            mono.request(rec.id).tokens,
+            "request {}: cluster stream != monolithic comparator",
+            rec.id
+        );
+    }
+
+    let pctl = |samples: &[u64], q: f64| -> u64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64) * q).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    };
+    let ttft = report.ttft_samples();
+    let mono_ttft = mono.ttft_samples();
+    let decode_tokens: u64 = report
+        .prefill_stats
+        .iter()
+        .chain(&report.decode_stats)
+        .map(|s| s.decode_tokens)
+        .sum();
+    println!(
+        "{:>22}  {} (monolithic {})",
+        "service clock", report.clock, mono.clock
+    );
+    println!("{:>22}  {}", "placements", report.router.placed);
+    println!("{:>22}  {}", "affinity hits", report.router.affinity_hits);
+    println!(
+        "{:>22}  {}",
+        "matched at placement", report.router.matched_tokens
+    );
+    println!("{:>22}  {}", "router fallbacks", report.router.fallbacks);
+    println!("{:>22}  {}", "kv transfers", report.transfer.transfers);
+    println!("{:>22}  {} B", "wire bytes", report.transfer.wire_bytes);
+    println!(
+        "{:>22}  {}",
+        "wire delay ticks", report.transfer.delay_ticks
+    );
+    println!("{:>22}  {}", "bounced deliveries", report.transfer.retries);
+    println!(
+        "{:>22}  {} (monolithic {})",
+        "tokens reused",
+        report.tokens_reused(),
+        mono.tokens_reused()
+    );
+    println!(
+        "{:>22}  {}/{} ticks (monolithic {}/{})",
+        "ttft p50/p99",
+        pctl(&ttft, 0.50),
+        pctl(&ttft, 0.99),
+        pctl(&mono_ttft, 0.50),
+        pctl(&mono_ttft, 0.99),
+    );
+    println!("{:>22}  {}", "decode tokens", decode_tokens);
+    println!(
+        "{:>22}  {:.1} tok/s",
+        "gen throughput",
+        decode_tokens as f64 / secs.max(1e-9)
+    );
+    println!(
+        "\nall {} streams bit-exact with the monolithic comparator.",
+        report.requests.len()
+    );
 }
 
 /// The `--open-loop` path: the same scaled trace driven through the

@@ -16,6 +16,7 @@
 //! | [`runtime`] | `oaken-runtime` | deterministic fork-join worker pool (bit-exact parallelism) |
 //! | [`serving`] | `oaken-serving` | batch scheduling, traces, serving simulation, executed `BatchEngine` |
 //! | [`service`] | `oaken-service` | streaming service frontend: batcher, sessions, open-loop workloads, tail latency |
+//! | [`cluster`] | `oaken-cluster` | disaggregated prefill/decode replicas, prefix-affinity router, KV transfer link |
 //!
 //! # Quickstart
 //!
@@ -35,6 +36,7 @@
 
 pub use oaken_accel as accel;
 pub use oaken_baselines as baselines;
+pub use oaken_cluster as cluster;
 pub use oaken_core as core;
 pub use oaken_eval as eval;
 pub use oaken_mmu as mmu;
